@@ -1,0 +1,32 @@
+//! Ablation: the blocked engine's chunk length — the host analogue of the
+//! paper's §4.4 row-length tuning (a shape parameter trading startup
+//! against parallelism).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mp_bench::lcg_labels;
+use multiprefix::blocked::multiprefix_blocked_with_chunk;
+use multiprefix::op::Plus;
+use std::time::Duration;
+
+fn bench_chunking(c: &mut Criterion) {
+    let n = 4_000_000usize;
+    let m = 1024;
+    let values: Vec<i64> = vec![1; n];
+    let labels = lcg_labels(n, m, 1);
+
+    let mut group = c.benchmark_group("chunking");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(n as u64));
+    for &chunk in &[16_384usize, 65_536, 262_144, 1_048_576, 4_000_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            b.iter(|| multiprefix_blocked_with_chunk(&values, &labels, m, Plus, chunk))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunking);
+criterion_main!(benches);

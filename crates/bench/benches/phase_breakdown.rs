@@ -1,0 +1,64 @@
+//! Host wall-clock of each spinetree phase in isolation — the Table 3
+//! measurement, on the host instead of the Y-MP.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mp_bench::lcg_labels;
+use multiprefix::op::Plus;
+use multiprefix::spinetree::build::{build_spinetree, ArbPolicy};
+use multiprefix::spinetree::layout::Layout;
+use multiprefix::spinetree::phases::{multisums, rowsums, spinesums};
+use std::time::Duration;
+
+fn bench_phases(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let m = n / 16;
+    let values: Vec<i64> = vec![1; n];
+    let labels = lcg_labels(n, m, 1);
+    let layout = Layout::square(n, m);
+    let slots = layout.slots();
+
+    let spine = build_spinetree(&labels, &layout, ArbPolicy::LastWins);
+    let mut rowsum = vec![0i64; slots];
+    let mut has_child = vec![false; slots];
+    rowsums(&values, &spine, &layout, Plus, &mut rowsum, &mut has_child);
+    let mut spinesum_base = vec![0i64; slots];
+    spinesums(&spine, &layout, Plus, &rowsum, &has_child, &mut spinesum_base);
+
+    let mut group = c.benchmark_group("phase_breakdown");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(n as u64));
+
+    group.bench_function("spinetree_build", |b| {
+        b.iter(|| build_spinetree(&labels, &layout, ArbPolicy::LastWins));
+    });
+    group.bench_function("rowsums", |b| {
+        b.iter(|| {
+            let mut rs = vec![0i64; slots];
+            let mut hc = vec![false; slots];
+            rowsums(&values, &spine, &layout, Plus, &mut rs, &mut hc);
+            rs
+        });
+    });
+    group.bench_function("spinesums", |b| {
+        b.iter(|| {
+            let mut ss = vec![0i64; slots];
+            spinesums(&spine, &layout, Plus, &rowsum, &has_child, &mut ss);
+            ss
+        });
+    });
+    group.bench_function("multisums", |b| {
+        b.iter(|| {
+            let mut ss = spinesum_base.clone();
+            let mut multi = vec![0i64; n];
+            multisums(&values, &spine, &layout, Plus, &mut ss, &mut multi);
+            multi
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

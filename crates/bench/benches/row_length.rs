@@ -1,0 +1,49 @@
+//! §4.4 ablation on the host: does the row-length choice matter off-Cray?
+//! (On a cached multicore the effect is memory-locality-shaped rather than
+//! bank-shaped, but the sweep is the same experiment.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mp_bench::lcg_labels;
+use multiprefix::op::Plus;
+use multiprefix::spinetree::build::ArbPolicy;
+use multiprefix::spinetree::engine::multiprefix_spinetree_instrumented;
+use multiprefix::spinetree::layout::{choose_row_len_skewed, Layout};
+use std::time::Duration;
+
+fn bench_row_length(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let m = n / 16;
+    let values: Vec<i64> = vec![1; n];
+    let labels = lcg_labels(n, m, 1);
+
+    let mut group = c.benchmark_group("row_length");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(n as u64));
+
+    for &factor in &[0.25f64, 0.5, 0.749, 1.0, 2.0, 4.0] {
+        let row_len = choose_row_len_skewed(n, factor);
+        let layout = Layout::with_row_len(n, m, row_len);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("factor_{factor}")),
+            &factor,
+            |b, _| {
+                b.iter(|| {
+                    multiprefix_spinetree_instrumented(
+                        &values,
+                        &labels,
+                        Plus,
+                        layout,
+                        ArbPolicy::LastWins,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_row_length);
+criterion_main!(benches);

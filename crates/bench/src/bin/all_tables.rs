@@ -1,0 +1,33 @@
+//! Run every table/figure binary in sequence — the one-command
+//! reproduction of the paper's whole evaluation section.
+//!
+//! ```sh
+//! cargo run -p mp-bench --release --bin all_tables
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let targets = [
+        "table1", "table2", "table3", "table4", "table5", "fig10", "row_length", "plus_sim",
+        "amortize",
+    ];
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("target dir");
+    let mut failures = Vec::new();
+    for target in targets {
+        println!("\n================ {target} ================\n");
+        let status = Command::new(dir.join(target))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {target}: {e}"));
+        if !status.success() {
+            failures.push(target);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiment targets completed", targets.len());
+    } else {
+        eprintln!("\nFAILED targets: {failures:?}");
+        std::process::exit(1);
+    }
+}

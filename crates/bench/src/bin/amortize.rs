@@ -1,0 +1,77 @@
+//! §5.2.1 extension experiment: setup amortization over repeated
+//! multiplies.
+//!
+//! "Because of the speed of the evaluation phase of the JD approach, its
+//! use would be preferable in an application that requires repeated
+//! multiplication of the same matrix, while the MP approach would be
+//! better suited to cases where only one multiplication is performed."
+//!
+//! This binary quantifies that sentence on the simulated machine: for a
+//! Table 2 matrix, total time = setup + k × evaluation as a function of
+//! k, locating the crossover where JD's big setup pays off — and showing
+//! where the *cached-spinetree* MP variant (this repo's extension:
+//! `spmv::mp_spmv::PreparedMpSpmv`) moves the MP line.
+
+use mp_bench::render_table;
+use mp_bench::spmv_tables::{clk_to_ms, evaluate_matrix};
+use spmv::gen::uniform_random;
+
+fn main() {
+    let order: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5000);
+    let rho: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.001);
+    let coo = uniform_random(order, rho, 42);
+    let r = evaluate_matrix(&order.to_string(), &coo);
+    println!(
+        "amortization at order {order}, rho {rho} (nnz {}), simulated ms:\n",
+        r.nnz
+    );
+    println!(
+        "per-route setup/eval: CSR 0.00/{:.2}  JD {:.2}/{:.2}  MP {:.2}/{:.2}  MP-cached {:.2}/{:.2}\n",
+        clk_to_ms(r.csr.evaluation),
+        clk_to_ms(r.jd.setup),
+        clk_to_ms(r.jd.evaluation),
+        clk_to_ms(r.mp.setup),
+        clk_to_ms(r.mp.evaluation),
+        clk_to_ms(r.mp.setup),
+        clk_to_ms(r.mp.evaluation), // cached: same eval, setup paid once
+    );
+
+    let mut rows = Vec::new();
+    let mut crossover_jd_csr = None;
+    let mut crossover_jd_mp_cached = None;
+    for k in [1usize, 2, 3, 5, 8, 13, 21, 34, 55, 100] {
+        let kf = k as f64;
+        let csr = r.csr.evaluation * kf;
+        let jd = r.jd.setup + r.jd.evaluation * kf;
+        let mp = (r.mp.setup + r.mp.evaluation) * kf; // setup re-done each time
+        let mp_cached = r.mp.setup + r.mp.evaluation * kf; // PreparedMpSpmv
+        if crossover_jd_csr.is_none() && jd < csr {
+            crossover_jd_csr = Some(k);
+        }
+        if crossover_jd_mp_cached.is_none() && jd < mp_cached {
+            crossover_jd_mp_cached = Some(k);
+        }
+        rows.push(vec![
+            k.to_string(),
+            format!("{:.2}", clk_to_ms(csr)),
+            format!("{:.2}", clk_to_ms(jd)),
+            format!("{:.2}", clk_to_ms(mp)),
+            format!("{:.2}", clk_to_ms(mp_cached)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["k multiplies", "CSR", "JD", "MP (setup x k)", "MP cached spinetree"],
+            &rows
+        )
+    );
+    match crossover_jd_csr {
+        Some(k) => println!("JD overtakes CSR at k = {k} (its setup amortized)"),
+        None => println!("JD never overtakes CSR in this range"),
+    }
+    match crossover_jd_mp_cached {
+        Some(k) => println!("JD overtakes cached-MP at k = {k}"),
+        None => println!("cached-MP stays ahead of JD through k = 100"),
+    }
+}

@@ -1,0 +1,76 @@
+//! Regenerates **Figure 10**: time per element (in 6 ns clocks) of the
+//! full multiprefix, for input sizes 10³..10⁶ and bucket loads
+//! {1, 16, 256, n}. The paper's punchline: "the time per element required
+//! varies no more than a few clocks" across all of it.
+
+use cray_sim::kernels::{multiprefix_timed, MpVariant};
+use cray_sim::{CostBook, VectorMachine};
+use mp_bench::{labels_for_load, render_table};
+
+fn main() {
+    println!("Figure 10 — clocks per element vs n, one curve per bucket load\n");
+    let sizes = [1_000usize, 4_642, 21_544, 100_000, 464_159, 1_000_000];
+    let loads: [(&str, fn(usize) -> usize); 4] = [
+        ("load 1", |n| 1.max(n / n)), // 1 element per bucket
+        ("load 16", |_| 16),
+        ("load 256", |_| 256),
+        ("load n", |n| n), // one bucket
+    ];
+    let book = CostBook::default();
+
+    let mut rows = Vec::new();
+    let mut all: Vec<f64> = Vec::new();
+    for &n in &sizes {
+        let values = vec![1i64; n];
+        let mut row = vec![format!("{n}")];
+        for (k, &(_, loadf)) in loads.iter().enumerate() {
+            let load = loadf(n);
+            let (labels, m) = labels_for_load(n, load, 42 + k as u64);
+            let mut machine = VectorMachine::ymp();
+            let run = multiprefix_timed(&mut machine, &book, &values, &labels, m, MpVariant::FULL);
+            let per_elt = run.clocks.per_element(n);
+            all.push(per_elt);
+            row.push(format!("{per_elt:.1}"));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(&["n", "load 1", "load 16", "load 256", "load n"], &rows)
+    );
+    let min = all.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = all.iter().cloned().fold(0.0f64, f64::max);
+    println!("spread over the whole figure: {min:.1}..{max:.1} clk/elt ({:.1} clocks)", max - min);
+    println!("paper: curves sit in the ~20s of clocks, spread \"no more than a few clocks\"\n");
+
+    // Per-phase detail at n = 10^6 — the §4.3 narrative rows.
+    println!("per-phase clk/elt at n = 1,000,000:");
+    let n = 1_000_000;
+    let values = vec![1i64; n];
+    let mut detail = Vec::new();
+    for &(name, loadf) in &loads {
+        let (labels, m) = labels_for_load(n, loadf(n), 7);
+        let mut machine = VectorMachine::ymp();
+        let run = multiprefix_timed(&mut machine, &book, &values, &labels, m, MpVariant::FULL);
+        let c = run.clocks;
+        let f = n as f64;
+        detail.push(vec![
+            name.to_string(),
+            format!("{:.1}", c.init / f),
+            format!("{:.1}", c.spinetree / f),
+            format!("{:.1}", c.rowsum / f),
+            format!("{:.1}", c.spinesum / f),
+            format!("{:.1}", c.prefixsum / f),
+            format!("{:.1}", c.total() / f),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["load", "INIT", "SPINETREE", "ROWSUM", "SPINESUM", "PREFIXSUM", "TOTAL"],
+            &detail
+        )
+    );
+    println!("§4.3 checkpoints: heavy load (load n) SPINETREE ≈ 12-13, SPINESUM ≈ 2-3;");
+    println!("light load (load 1) SPINESUM ≈ 8-9 from the dummy-location hot spot.");
+}

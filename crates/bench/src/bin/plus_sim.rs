@@ -1,0 +1,52 @@
+//! §1.2 demonstration: a CRCW-PLUS PRAM simulated on a CRCW-ARB PRAM via
+//! multiprefix — constant slowdown once `n ≥ p²`.
+
+use mp_bench::render_table;
+use pram::sim_plus::plus_slowdown;
+
+fn main() {
+    println!("§1.2 — CRCW-PLUS combining write on a CRCW-ARB PRAM\n");
+    println!("slowdown = (real ARB steps to run the multiprefix subroutine,");
+    println!("folded onto p processors) / (the trivial n/p lower bound)\n");
+
+    let mut rows = Vec::new();
+    for &p in &[4usize, 8, 16, 32] {
+        for &alpha in &[1usize, 2, 4] {
+            let n = alpha * alpha * p * p;
+            let s = plus_slowdown(n, p, 1).expect("simulation runs clean");
+            rows.push(vec![
+                format!("{p}"),
+                format!("{alpha}"),
+                format!("{n}"),
+                format!("{}", s.virtual_steps),
+                format!("{}", s.real_steps),
+                format!("{}", s.optimal_steps),
+                format!("{:.2}", s.slowdown),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["p", "alpha", "n = (alpha p)^2", "virtual S", "real steps", "n/p bound", "slowdown"],
+            &rows
+        )
+    );
+
+    // The regime boundary: n below p² is NOT constant-slowdown.
+    println!("below the n >= p^2 threshold the slowdown is no longer constant:");
+    let mut rows = Vec::new();
+    for &(n, p) in &[(256usize, 256usize), (1024, 256), (4096, 256), (65_536, 256)] {
+        let s = plus_slowdown(n, p, 1).unwrap();
+        rows.push(vec![
+            format!("{n}"),
+            format!("{p}"),
+            format!("{}", n >= p * p),
+            format!("{:.1}", s.slowdown),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["n", "p", "n >= p^2", "slowdown"], &rows)
+    );
+}

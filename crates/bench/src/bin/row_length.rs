@@ -1,0 +1,85 @@
+//! §4.4 ablation: choosing the row length.
+//!
+//! The paper differentiates the four-phase cost model and finds the
+//! optimum at `p = 0.749 √n` for the Table 3 constants, but notes "the
+//! sensitivity of this formula to variations in p near the optimal value
+//! is very small" (< 2 % at n = 1000). This binary sweeps the skew factor
+//! on the executable model and reports both facts.
+
+use cray_sim::kernels::multiprefix::{multiprefix_timed_with_layout, MpVariant};
+use cray_sim::{CostBook, VectorMachine};
+use mp_bench::{lcg_labels, render_table};
+use multiprefix::spinetree::layout::{choose_row_len_skewed, Layout};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(262_144);
+    let m = (n / 16).max(1);
+    println!("§4.4 — row-length ablation at n = {n}, moderate load (m = {m})\n");
+
+    let values = vec![1i64; n];
+    let labels = lcg_labels(n, m, 5);
+    let book = CostBook::default();
+
+    let factors = [0.25, 0.4, 0.55, 0.7, 0.749, 0.8, 1.0, 1.3, 1.7, 2.2, 3.0, 4.0];
+    let mut results: Vec<(f64, usize, f64)> = Vec::new();
+    for &f in &factors {
+        let row_len = choose_row_len_skewed(n, f);
+        let layout = Layout::with_row_len(n, m, row_len);
+        let mut machine = VectorMachine::ymp();
+        let run = multiprefix_timed_with_layout(
+            &mut machine,
+            &book,
+            &values,
+            &labels,
+            layout,
+            MpVariant::FULL,
+        );
+        results.push((f, row_len, run.clocks.total()));
+    }
+    let best = results.iter().cloned().fold(
+        (0.0, 0, f64::INFINITY),
+        |acc, r| if r.2 < acc.2 { r } else { acc },
+    );
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|&(f, w, clocks)| {
+            vec![
+                format!("{f:.3}"),
+                format!("{w}"),
+                format!("{:.2}", clocks * 6e-6),
+                format!("{:+.1}%", (clocks / best.2 - 1.0) * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["factor (p/sqrt n)", "row length", "total (ms)", "vs best"],
+            &rows
+        )
+    );
+    println!("best factor here: {:.3} (paper's analytic optimum: 0.749)", best.0);
+
+    // The < 2 % sensitivity claim, at the paper's n = 1000.
+    let n1k = 1000;
+    let m1k = 64;
+    let v1k = vec![1i64; n1k];
+    let l1k = lcg_labels(n1k, m1k, 9);
+    let t = |factor: f64| {
+        let layout = Layout::with_row_len(n1k, m1k, choose_row_len_skewed(n1k, factor));
+        let mut machine = VectorMachine::ymp();
+        multiprefix_timed_with_layout(&mut machine, &book, &v1k, &l1k, layout, MpVariant::FULL)
+            .clocks
+            .total()
+    };
+    let at_opt = t(0.749);
+    let at_sqrt = t(1.0);
+    println!(
+        "\nn = 1000 sensitivity: sqrt-n vs optimal row length differ by {:.2}% (paper: < 2%)",
+        (at_sqrt / at_opt - 1.0).abs() * 100.0
+    );
+}

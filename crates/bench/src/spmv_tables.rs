@@ -1,0 +1,111 @@
+//! Shared machinery for the SpMV tables (2, 4, 5): generate a matrix,
+//! route it through the three kernels' cost models, collect the split.
+
+use cray_sim::kernels::spmv::{csr_clocks, jd_clocks, mp_clocks, SpmvClocks};
+use cray_sim::{CostBook, VectorMachine};
+use spmv::{CooMatrix, CsrMatrix, JaggedDiagonal};
+
+/// One matrix's results across the three routes, in simulated milliseconds.
+#[derive(Debug, Clone)]
+pub struct SpmvRow {
+    /// Label for the first column (order, or matrix name).
+    pub label: String,
+    /// Matrix order.
+    pub order: usize,
+    /// Measured density.
+    pub density: f64,
+    /// Nonzeros.
+    pub nnz: usize,
+    /// CSR clocks (setup always 0).
+    pub csr: SpmvClocks,
+    /// JD clocks.
+    pub jd: SpmvClocks,
+    /// MP clocks.
+    pub mp: SpmvClocks,
+}
+
+/// Milliseconds for a clock count on the default 6 ns machine.
+pub fn clk_to_ms(clocks: f64) -> f64 {
+    clocks * 6e-6
+}
+
+/// Run one matrix through all three simulated routes.
+pub fn evaluate_matrix(label: &str, coo: &CooMatrix) -> SpmvRow {
+    let book = CostBook::default();
+    let csr_m = CsrMatrix::from_coo(coo);
+    let jd_m = JaggedDiagonal::from_coo(coo);
+
+    let mut machine = VectorMachine::ymp();
+    let csr = csr_clocks(&mut machine, &book, &csr_m.row_lengths());
+
+    let mut machine = VectorMachine::ymp();
+    let jd = jd_clocks(&mut machine, &book, coo.nnz(), coo.order, &jd_m.diag_lengths());
+
+    let mut machine = VectorMachine::ymp();
+    // The MP timing depends on the structure (row labels), not the values.
+    let products = vec![1i64; coo.nnz()];
+    let (mp, _) = mp_clocks(&mut machine, &book, &products, &coo.rows, &coo.cols, coo.order);
+
+    SpmvRow {
+        label: label.to_string(),
+        order: coo.order,
+        density: coo.density(),
+        nnz: coo.nnz(),
+        csr,
+        jd,
+        mp,
+    }
+}
+
+/// The Table 2/4 matrix list: `(order, density, paper totals [CSR, JD, MP])`.
+pub const TABLE2_CASES: &[(usize, f64, [f64; 3])] = &[
+    (15_000, 0.001, [30.29, 28.09, 27.43]),
+    (10_000, 0.001, [19.52, 16.31, 12.43]),
+    (5_000, 0.001, [9.48, 6.99, 3.45]),
+    (2_000, 0.005, [3.90, 3.23, 2.77]),
+    (1_000, 0.010, [1.95, 1.66, 1.50]),
+    (100, 0.400, [0.27, 0.42, 0.76]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv::gen::uniform_random;
+
+    #[test]
+    fn row_carries_all_routes() {
+        let coo = uniform_random(500, 0.005, 1);
+        let row = evaluate_matrix("500", &coo);
+        assert_eq!(row.csr.setup, 0.0, "CSR is the no-setup base case");
+        assert!(row.jd.setup > 0.0);
+        assert!(row.mp.setup > 0.0);
+        assert!(row.csr.total() > 0.0 && row.jd.total() > 0.0 && row.mp.total() > 0.0);
+    }
+
+    #[test]
+    fn large_sparse_ordering_matches_table_2() {
+        // The 5000/0.001 row shows the paper's strongest MP win:
+        // 9.48 (CSR) > 6.99 (JD) > 3.45 (MP).
+        let coo = uniform_random(5_000, 0.001, 42);
+        let row = evaluate_matrix("5000", &coo);
+        let (c, j, m) = (
+            clk_to_ms(row.csr.total()),
+            clk_to_ms(row.jd.total()),
+            clk_to_ms(row.mp.total()),
+        );
+        assert!(m < j && j < c, "expected MP < JD < CSR, got {m:.2} / {j:.2} / {c:.2}");
+    }
+
+    #[test]
+    fn small_dense_ordering_matches_table_2() {
+        // The 100/0.4 row inverts: 0.27 (CSR) < 0.42 (JD) < 0.76 (MP).
+        let coo = uniform_random(100, 0.4, 42);
+        let row = evaluate_matrix("100", &coo);
+        let (c, j, m) = (
+            clk_to_ms(row.csr.total()),
+            clk_to_ms(row.jd.total()),
+            clk_to_ms(row.mp.total()),
+        );
+        assert!(c < j && j < m, "expected CSR < JD < MP, got {c:.2} / {j:.2} / {m:.2}");
+    }
+}

@@ -1,0 +1,95 @@
+//! End-to-end tests of the `mp_cli` binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_cli(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mp_cli"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mp_cli");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+const FIGURE_1: &str = "1,1\n3,2\n2,1\n1,1\n1,2\n2,2\n3,1\n1,1\n";
+
+#[test]
+fn figure_1_sums() {
+    let (stdout, _, ok) = run_cli(&[], FIGURE_1);
+    assert!(ok);
+    assert_eq!(stdout, "0\n0\n1\n3\n3\n4\n4\n7\n");
+}
+
+#[test]
+fn figure_1_reductions() {
+    let (stdout, _, ok) = run_cli(&["--reduce"], FIGURE_1);
+    assert!(ok);
+    assert_eq!(stdout, "0,0\n1,8\n2,6\n");
+}
+
+#[test]
+fn inclusive_and_engine_choice() {
+    let (stdout, _, ok) = run_cli(&["--inclusive", "--engine", "spinetree"], FIGURE_1);
+    assert!(ok);
+    assert_eq!(stdout, "1\n3\n3\n4\n4\n6\n7\n8\n");
+}
+
+#[test]
+fn max_operator() {
+    let (stdout, _, ok) = run_cli(&["--op", "max", "--reduce"], "5,0\n9,0\n2,1\n");
+    assert!(ok);
+    assert_eq!(stdout, "0,9\n1,2\n");
+}
+
+#[test]
+fn comments_and_blank_lines_skipped() {
+    let (stdout, _, ok) = run_cli(&[], "# header\n\n7,0\n");
+    assert!(ok);
+    assert_eq!(stdout, "0\n");
+}
+
+#[test]
+fn malformed_line_reports_position() {
+    let (_, stderr, ok) = run_cli(&[], "1,0\nnonsense\n");
+    assert!(!ok);
+    assert!(stderr.contains("line 2"), "{stderr}");
+}
+
+#[test]
+fn conflicting_flags_rejected() {
+    let (_, stderr, ok) = run_cli(&["--reduce", "--inclusive"], "");
+    assert!(!ok);
+    assert!(stderr.contains("mutually exclusive"));
+}
+
+#[test]
+fn file_input() {
+    let dir = std::env::temp_dir().join("mp_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("input.csv");
+    std::fs::write(&path, "4,0\n5,0\n").unwrap();
+    let (stdout, _, ok) = run_cli(&[path.to_str().unwrap()], "");
+    assert!(ok);
+    assert_eq!(stdout, "0\n4\n");
+}
+
+#[test]
+fn empty_input_is_fine() {
+    let (stdout, _, ok) = run_cli(&[], "");
+    assert!(ok);
+    assert!(stdout.is_empty());
+}

@@ -1,0 +1,204 @@
+//! The public front door: validated multiprefix / multireduce with engine
+//! selection.
+
+use crate::blocked::{multiprefix_blocked, multireduce_blocked};
+use crate::error::MpError;
+use crate::op::CombineOp;
+use crate::problem::{validate_slices, Element, MultiprefixOutput};
+use crate::serial::{multiprefix_serial, multireduce_serial};
+use crate::spinetree::{multiprefix_spinetree, multireduce_spinetree};
+
+/// Which implementation executes the operation.
+///
+/// All engines compute identical results; they differ in execution
+/// strategy. See the module docs of [`crate::serial`], [`crate::spinetree`]
+/// and [`crate::blocked`]. (The `i64`-only concurrent engine lives in
+/// [`crate::atomic`] and is invoked directly, not through this enum,
+/// because it constrains the element type.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Pick automatically: serial below a size threshold, blocked above.
+    #[default]
+    Auto,
+    /// The paper's Figure 2 reference loop.
+    Serial,
+    /// The paper's `O(√n)`-step spinetree algorithm (vector-simulation
+    /// execution: one loop per parallel step).
+    Spinetree,
+    /// The chunked rayon engine — the fastest on multicore hosts.
+    Blocked,
+}
+
+/// Below this element count `Engine::Auto` stays serial: the parallel
+/// engines' fixed costs (thread wake-ups, table allocation) dominate.
+pub const AUTO_SERIAL_THRESHOLD: usize = 16 * 1024;
+
+/// Compute the multiprefix of `values` under `labels` with `m` buckets.
+///
+/// Validates the inputs (`values.len() == labels.len()`, all labels `< m`)
+/// and dispatches to the chosen [`Engine`].
+///
+/// ```
+/// use multiprefix::{multiprefix, op::Plus, Engine};
+/// let out = multiprefix(&[1i64, 1, 1], &[0, 1, 0], 2, Plus, Engine::Auto).unwrap();
+/// assert_eq!(out.sums, vec![0, 0, 1]);
+/// assert_eq!(out.reductions, vec![2, 1]);
+/// ```
+pub fn multiprefix<T: Element, O: CombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    engine: Engine,
+) -> Result<MultiprefixOutput<T>, MpError> {
+    validate_slices(values, labels, m)?;
+    Ok(match resolve(engine, values.len()) {
+        Engine::Serial => multiprefix_serial(values, labels, m, op),
+        Engine::Spinetree => multiprefix_spinetree(values, labels, m, op),
+        Engine::Blocked => multiprefix_blocked(values, labels, m, op),
+        Engine::Auto => unreachable!("resolve() never returns Auto"),
+    })
+}
+
+/// Compute only the per-label reductions (§4.2's cheaper multireduce).
+pub fn multireduce<T: Element, O: CombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    engine: Engine,
+) -> Result<Vec<T>, MpError> {
+    validate_slices(values, labels, m)?;
+    Ok(match resolve(engine, values.len()) {
+        Engine::Serial => multireduce_serial(values, labels, m, op),
+        Engine::Spinetree => multireduce_spinetree(values, labels, m, op),
+        Engine::Blocked => multireduce_blocked(values, labels, m, op),
+        Engine::Auto => unreachable!("resolve() never returns Auto"),
+    })
+}
+
+fn resolve(engine: Engine, n: usize) -> Engine {
+    match engine {
+        Engine::Auto => {
+            if n < AUTO_SERIAL_THRESHOLD {
+                Engine::Serial
+            } else {
+                Engine::Blocked
+            }
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Plus;
+
+    #[test]
+    fn engines_agree() {
+        let values: Vec<i64> = (0..2500).map(|i| (i % 17) as i64 - 8).collect();
+        let labels: Vec<usize> = (0..2500).map(|i| (i * 3 + 1) % 11).collect();
+        let reference = multiprefix(&values, &labels, 11, Plus, Engine::Serial).unwrap();
+        for engine in [Engine::Spinetree, Engine::Blocked, Engine::Auto] {
+            assert_eq!(
+                multiprefix(&values, &labels, 11, Plus, engine).unwrap(),
+                reference,
+                "{engine:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_happens_before_dispatch() {
+        for engine in [Engine::Serial, Engine::Spinetree, Engine::Blocked, Engine::Auto] {
+            let err = multiprefix(&[1i64], &[3], 2, Plus, engine).unwrap_err();
+            assert!(matches!(err, MpError::LabelOutOfRange { .. }), "{engine:?}");
+            let err = multiprefix(&[1i64, 2], &[0], 2, Plus, engine).unwrap_err();
+            assert!(matches!(err, MpError::LengthMismatch { .. }), "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn auto_threshold_behavior() {
+        // Below and above the threshold both give correct results (the
+        // dispatch itself is an implementation detail; correctness isn't).
+        let small: Vec<i64> = vec![1; 100];
+        let labels_small = vec![0usize; 100];
+        let out = multiprefix(&small, &labels_small, 1, Plus, Engine::Auto).unwrap();
+        assert_eq!(out.reductions, vec![100]);
+
+        let big: Vec<i64> = vec![1; AUTO_SERIAL_THRESHOLD + 1];
+        let labels_big = vec![0usize; AUTO_SERIAL_THRESHOLD + 1];
+        let out = multiprefix(&big, &labels_big, 1, Plus, Engine::Auto).unwrap();
+        assert_eq!(out.reductions, vec![(AUTO_SERIAL_THRESHOLD + 1) as i64]);
+    }
+
+    #[test]
+    fn multireduce_engines_agree() {
+        let values: Vec<i64> = (0..4000).map(|i| i as i64).collect();
+        let labels: Vec<usize> = (0..4000).map(|i| i % 7).collect();
+        let reference = multireduce(&values, &labels, 7, Plus, Engine::Serial).unwrap();
+        for engine in [Engine::Spinetree, Engine::Blocked, Engine::Auto] {
+            assert_eq!(
+                multireduce(&values, &labels, 7, Plus, engine).unwrap(),
+                reference,
+                "{engine:?}"
+            );
+        }
+    }
+}
+
+/// Inclusive multiprefix: `sums[i]` *includes* element `i` itself
+/// (`s_i = ⊕ { a_j | l_j = l_i, j ≤ i }`). Computed as the exclusive
+/// multiprefix with each element's own value appended — one extra `O(n)`
+/// pass, no second engine run.
+pub fn multiprefix_inclusive<T: Element, O: CombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    engine: Engine,
+) -> Result<MultiprefixOutput<T>, MpError> {
+    let mut out = multiprefix(values, labels, m, op, engine)?;
+    for (s, &v) in out.sums.iter_mut().zip(values) {
+        *s = op.combine(*s, v);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod inclusive_tests {
+    use super::*;
+    use crate::op::{Max, Plus};
+
+    #[test]
+    fn inclusive_includes_self() {
+        let values = [1i64, 3, 2, 1, 1, 2, 3, 1];
+        let labels = [1usize, 2, 1, 1, 2, 2, 1, 1];
+        let out = multiprefix_inclusive(&values, &labels, 4, Plus, Engine::Serial).unwrap();
+        assert_eq!(out.sums, vec![1, 3, 3, 4, 4, 6, 7, 8]);
+        assert_eq!(out.reductions, vec![0, 8, 6, 0]);
+    }
+
+    #[test]
+    fn last_of_each_class_equals_reduction() {
+        let values: Vec<i64> = (0..200).map(|i| i % 13 - 6).collect();
+        let labels: Vec<usize> = (0..200).map(|i| i % 7).collect();
+        let out = multiprefix_inclusive(&values, &labels, 7, Plus, Engine::Blocked).unwrap();
+        // For each label, the last occurrence's inclusive sum is the
+        // label's reduction.
+        for k in 0..7 {
+            let last = (0..200).rev().find(|&i| labels[i] == k).unwrap();
+            assert_eq!(out.sums[last], out.reductions[k]);
+        }
+    }
+
+    #[test]
+    fn inclusive_max() {
+        let values = [5i64, 1, 9];
+        let labels = [0usize, 0, 0];
+        let out = multiprefix_inclusive(&values, &labels, 1, Max, Engine::Serial).unwrap();
+        assert_eq!(out.sums, vec![5, 5, 9]);
+    }
+}

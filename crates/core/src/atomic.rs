@@ -1,0 +1,323 @@
+//! A genuinely concurrent CRCW-ARB spinetree engine for `i64`.
+//!
+//! The [`crate::spinetree`] module executes the paper's algorithm in the
+//! vector-simulation style (each `pardo` is one sequential loop). This
+//! module runs the *same* four phases with real threads:
+//!
+//! * the SPINETREE scatter is an honest data race — every element of a row
+//!   issues a relaxed atomic store to its bucket's pointer cell, and
+//!   whichever store the memory system orders last wins. That is precisely
+//!   the CRCW-ARB contract ("of multiple processors writing to the same
+//!   location, an arbitrary one succeeds"), realized without UB because the
+//!   cells are atomics;
+//! * ROWSUMS exploits commutativity: one parallel sweep of *all* elements
+//!   with `fetch_add`-style RMWs (for a commutative ⊕, row/column
+//!   discipline is unnecessary for this phase);
+//! * SPINESUMS and MULTISUMS keep the paper's sweep order; within a sweep
+//!   the §3.1 theorems guarantee exclusive access, so plain relaxed
+//!   load/store pairs suffice — the atomics only rule out UB, the theorems
+//!   rule out lost updates. Each `pardo` is a rayon parallel iterator, and
+//!   the barrier between steps is the iterator's completion.
+//!
+//! Restricted to `i64` with a commutative [`AtomicCombine`] operator
+//! (`Plus`, `Max`, `Min`, `And`, `Or`) — the price of lock-free child
+//! accumulation.
+
+use crate::op::{And, CombineOp, Max, Min, Or, Plus};
+use crate::problem::MultiprefixOutput;
+use crate::spinetree::layout::Layout;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering::Relaxed};
+
+/// A commutative operator on `i64` with a lock-free read-modify-write.
+pub trait AtomicCombine: CombineOp<i64> {
+    /// Atomically `cell ← cell ⊕ v`.
+    fn fetch_combine(&self, cell: &AtomicI64, v: i64);
+}
+
+impl AtomicCombine for Plus {
+    #[inline(always)]
+    fn fetch_combine(&self, cell: &AtomicI64, v: i64) {
+        cell.fetch_add(v, Relaxed);
+    }
+}
+
+impl AtomicCombine for Max {
+    #[inline(always)]
+    fn fetch_combine(&self, cell: &AtomicI64, v: i64) {
+        cell.fetch_max(v, Relaxed);
+    }
+}
+
+impl AtomicCombine for Min {
+    #[inline(always)]
+    fn fetch_combine(&self, cell: &AtomicI64, v: i64) {
+        cell.fetch_min(v, Relaxed);
+    }
+}
+
+impl AtomicCombine for And {
+    #[inline(always)]
+    fn fetch_combine(&self, cell: &AtomicI64, v: i64) {
+        cell.fetch_and(v, Relaxed);
+    }
+}
+
+impl AtomicCombine for Or {
+    #[inline(always)]
+    fn fetch_combine(&self, cell: &AtomicI64, v: i64) {
+        cell.fetch_or(v, Relaxed);
+    }
+}
+
+/// Concurrent spinetree multiprefix over `i64`.
+///
+/// Preconditions: `values.len() == labels.len()`, labels `< m` (validated
+/// by [`crate::api::multiprefix`]'s callers; debug-asserted here).
+pub fn multiprefix_atomic<O: AtomicCombine>(
+    values: &[i64],
+    labels: &[usize],
+    m: usize,
+    op: O,
+) -> MultiprefixOutput<i64> {
+    debug_assert_eq!(values.len(), labels.len());
+    let layout = Layout::square(values.len(), m);
+    multiprefix_atomic_with(values, labels, op, &layout)
+}
+
+/// [`multiprefix_atomic`] with an explicit layout.
+pub fn multiprefix_atomic_with<O: AtomicCombine>(
+    values: &[i64],
+    labels: &[usize],
+    op: O,
+    layout: &Layout,
+) -> MultiprefixOutput<i64> {
+    let n = layout.n;
+    let m = layout.m;
+    let slots = layout.slots();
+    let id = op.identity();
+
+    // INIT — one (parallel) step clears the temporaries and aims every
+    // element's pointer at its bucket, every bucket at itself.
+    let spine: Vec<AtomicUsize> = (0..slots)
+        .into_par_iter()
+        .map(|s| AtomicUsize::new(if s < m { s } else { labels[s - m] }))
+        .collect();
+    let rowsum: Vec<AtomicI64> = (0..slots).into_par_iter().map(|_| AtomicI64::new(id)).collect();
+    let spinesum: Vec<AtomicI64> =
+        (0..slots).into_par_iter().map(|_| AtomicI64::new(id)).collect();
+    let has_child: Vec<AtomicBool> =
+        (0..slots).into_par_iter().map(|_| AtomicBool::new(false)).collect();
+
+    // Phase 1 — SPINETREE, rows top to bottom; gather then racing scatter.
+    for r in layout.rows_top_down() {
+        let range = layout.row_elements(r);
+        range.clone().into_par_iter().for_each(|i| {
+            // Concurrent READ of the bucket pointer: every same-label
+            // element of this row observes the same value.
+            let parent = spine[labels[i]].load(Relaxed);
+            spine[m + i].store(parent, Relaxed);
+        });
+        range.into_par_iter().for_each(|i| {
+            // Concurrent ARB WRITE: the overwrite-and-test race. Any one
+            // of the same-label stores survives — which one is up to the
+            // scheduler and the memory system, exactly the ARB model.
+            spine[labels[i]].store(m + i, Relaxed);
+        });
+    }
+
+    // Phase 2 — ROWSUMS. ⊕ is commutative here, so children may combine
+    // into their parents in any order: a single parallel sweep of all
+    // elements with lock-free RMWs replaces the column discipline.
+    (0..n).into_par_iter().for_each(|i| {
+        let parent = spine[m + i].load(Relaxed);
+        op.fetch_combine(&rowsum[parent], values[i]);
+        has_child[parent].store(true, Relaxed);
+    });
+
+    // Phase 3 — SPINESUMS, rows bottom to top. Corollary 2: at most one
+    // spine child per parent, so the store is exclusive within the step.
+    for r in layout.rows_bottom_up() {
+        layout.row_elements(r).into_par_iter().for_each(|i| {
+            let slot = m + i;
+            if has_child[slot].load(Relaxed) {
+                let parent = spine[slot].load(Relaxed);
+                let v = op.combine(spinesum[slot].load(Relaxed), rowsum[slot].load(Relaxed));
+                spinesum[parent].store(v, Relaxed);
+            }
+        });
+    }
+
+    // Reductions (§4.2) — available before MULTISUMS.
+    let reductions: Vec<i64> = (0..m)
+        .into_par_iter()
+        .map(|b| op.combine(spinesum[b].load(Relaxed), rowsum[b].load(Relaxed)))
+        .collect();
+
+    // Phase 4 — MULTISUMS, columns left to right. Theorem 1 + Corollary 1:
+    // within one column no two elements share a parent, so the read-modify-
+    // write below is exclusive within the step; the inter-column barrier is
+    // the end of each par_iter.
+    let multi: Vec<AtomicI64> = (0..n).into_par_iter().map(|_| AtomicI64::new(id)).collect();
+    for c in layout.cols_left_right() {
+        let col: Vec<usize> = layout.col_elements(c).collect();
+        col.into_par_iter().for_each(|i| {
+            let parent = spine[m + i].load(Relaxed);
+            let prefix = spinesum[parent].load(Relaxed);
+            multi[i].store(prefix, Relaxed);
+            spinesum[parent].store(op.combine(prefix, values[i]), Relaxed);
+        });
+    }
+
+    let sums = multi.into_iter().map(AtomicI64::into_inner).collect();
+    MultiprefixOutput { sums, reductions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::multiprefix_serial;
+
+    fn mixed(n: usize, m: usize) -> (Vec<i64>, Vec<usize>) {
+        let values = (0..n).map(|i| (i as i64 * 131 % 97) - 48).collect();
+        let labels = (0..n).map(|i| (i * 31 + i / 17) % m).collect();
+        (values, labels)
+    }
+
+    #[test]
+    fn plus_matches_serial() {
+        let (values, labels) = mixed(5000, 13);
+        let got = multiprefix_atomic(&values, &labels, 13, Plus);
+        let expect = multiprefix_serial(&values, &labels, 13, Plus);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn max_matches_serial() {
+        let (values, labels) = mixed(3000, 7);
+        let got = multiprefix_atomic(&values, &labels, 7, Max);
+        let expect = multiprefix_serial(&values, &labels, 7, Max);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn min_matches_serial() {
+        let (values, labels) = mixed(3000, 7);
+        let got = multiprefix_atomic(&values, &labels, 7, Min);
+        let expect = multiprefix_serial(&values, &labels, 7, Min);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn or_matches_serial() {
+        let values: Vec<i64> = (0..2000).map(|i| 1i64 << (i % 60)).collect();
+        let labels: Vec<usize> = (0..2000).map(|i| i % 5).collect();
+        let got = multiprefix_atomic(&values, &labels, 5, Or);
+        let expect = multiprefix_serial(&values, &labels, 5, Or);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn and_matches_serial() {
+        let values: Vec<i64> = (0..2000).map(|i| !(1i64 << (i % 60))).collect();
+        let labels: Vec<usize> = (0..2000).map(|i| i % 3).collect();
+        let got = multiprefix_atomic(&values, &labels, 3, And);
+        let expect = multiprefix_serial(&values, &labels, 3, And);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn all_same_label_heavy_load() {
+        // Heavy load (§4.3): every element in one class — the maximally
+        // contended arbitration case.
+        let values: Vec<i64> = (0..4096).map(|i| i as i64).collect();
+        let labels = vec![0usize; 4096];
+        let got = multiprefix_atomic(&values, &labels, 1, Plus);
+        let expect = multiprefix_serial(&values, &labels, 1, Plus);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn one_label_each_light_load() {
+        let n = 2048;
+        let values: Vec<i64> = (0..n as i64).collect();
+        let labels: Vec<usize> = (0..n).collect();
+        let got = multiprefix_atomic(&values, &labels, n, Plus);
+        let expect = multiprefix_serial(&values, &labels, n, Plus);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic_in_value() {
+        // The tree shape may differ run to run (true arbitration); the
+        // output must not.
+        let (values, labels) = mixed(20_000, 101);
+        let first = multiprefix_atomic(&values, &labels, 101, Plus);
+        for _ in 0..5 {
+            assert_eq!(multiprefix_atomic(&values, &labels, 101, Plus), first);
+        }
+    }
+
+    #[test]
+    fn empty() {
+        let got = multiprefix_atomic(&[], &[], 2, Plus);
+        assert!(got.sums.is_empty());
+        assert_eq!(got.reductions, vec![0, 0]);
+    }
+}
+
+/// Concurrent multireduce: one lock-free parallel sweep — every element
+/// fetch-combines straight into its bucket. This is the Connection
+/// Machine's *combining send* (§1) realized with atomics; no spinetree is
+/// needed because only the reductions are wanted and ⊕ is commutative.
+pub fn multireduce_atomic<O: AtomicCombine>(
+    values: &[i64],
+    labels: &[usize],
+    m: usize,
+    op: O,
+) -> Vec<i64> {
+    debug_assert_eq!(values.len(), labels.len());
+    let buckets: Vec<AtomicI64> =
+        (0..m).map(|_| AtomicI64::new(op.identity())).collect();
+    values.par_iter().zip(labels.par_iter()).for_each(|(&v, &l)| {
+        op.fetch_combine(&buckets[l], v);
+    });
+    buckets.into_iter().map(AtomicI64::into_inner).collect()
+}
+
+#[cfg(test)]
+mod reduce_tests {
+    use super::*;
+    use crate::serial::multireduce_serial;
+
+    #[test]
+    fn atomic_reduce_matches_serial() {
+        let n = 100_000;
+        let values: Vec<i64> = (0..n as i64).map(|i| i % 1001 - 500).collect();
+        let labels: Vec<usize> = (0..n).map(|i| (i * 31) % 257).collect();
+        assert_eq!(
+            multireduce_atomic(&values, &labels, 257, Plus),
+            multireduce_serial(&values, &labels, 257, Plus)
+        );
+        assert_eq!(
+            multireduce_atomic(&values, &labels, 257, Max),
+            multireduce_serial(&values, &labels, 257, Max)
+        );
+    }
+
+    #[test]
+    fn single_bucket_contention() {
+        let values: Vec<i64> = vec![1; 500_000];
+        let labels = vec![0usize; 500_000];
+        assert_eq!(multireduce_atomic(&values, &labels, 1, Plus), vec![500_000]);
+    }
+
+    #[test]
+    fn empty_and_absent_labels() {
+        assert_eq!(multireduce_atomic(&[], &[], 3, Plus), vec![0, 0, 0]);
+        assert_eq!(
+            multireduce_atomic(&[7], &[1], 3, Min),
+            vec![i64::MAX, 7, i64::MAX]
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for multiprefix problem validation.
+
+use std::fmt;
+
+/// Errors reported when the inputs to a multiprefix operation are malformed.
+///
+/// The paper assumes labels lie in `[1, m]` and that `values` and `labels`
+/// have the same length; this crate checks both (with 0-based labels in
+/// `[0, m)`) and reports precise diagnostics instead of panicking deep
+/// inside an engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpError {
+    /// `values` and `labels` differ in length.
+    LengthMismatch {
+        /// Length of the value vector.
+        values: usize,
+        /// Length of the label vector.
+        labels: usize,
+    },
+    /// Some label is `>= m`.
+    LabelOutOfRange {
+        /// Index of the offending element.
+        index: usize,
+        /// The offending label.
+        label: usize,
+        /// The declared number of buckets.
+        m: usize,
+    },
+}
+
+impl fmt::Display for MpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MpError::LengthMismatch { values, labels } => write!(
+                f,
+                "values ({values}) and labels ({labels}) have different lengths"
+            ),
+            MpError::LabelOutOfRange { index, label, m } => write!(
+                f,
+                "label {label} at index {index} is out of range for m = {m} buckets"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = MpError::LengthMismatch { values: 3, labels: 4 };
+        assert_eq!(
+            e.to_string(),
+            "values (3) and labels (4) have different lengths"
+        );
+    }
+
+    #[test]
+    fn display_label_out_of_range() {
+        let e = MpError::LabelOutOfRange { index: 7, label: 9, m: 8 };
+        assert_eq!(
+            e.to_string(),
+            "label 9 at index 7 is out of range for m = 8 buckets"
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(MpError::LengthMismatch { values: 1, labels: 2 });
+        assert!(e.to_string().contains("different lengths"));
+    }
+}

@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+
+//! # multiprefix
+//!
+//! A reproduction of the multiprefix operation of
+//! *Implementing the Multiprefix Operation on Parallel and Vector Computers*
+//! (Thomas J. Sheffler, CMU-CS-92-173, SPAA 1993).
+//!
+//! For an ordered set of `n` values `A = (a_0, .., a_{n-1})`, each with an
+//! integer label `l_i ∈ [0, m)`, the **multiprefix** operation computes
+//!
+//! * a partial sum `s_i = ⊕ { a_j | l_j = l_i and j < i }` for every element
+//!   (the ⊕-sum of all *preceding* values with the *same* label — an
+//!   exclusive scan-by-key over **unsorted** labels, in vector-index order),
+//! * a reduction `r_k = ⊕ { a_j | l_j = k }` for every label.
+//!
+//! `⊕` is any binary associative operator (see [`op`]); labels that never
+//! appear get the operator identity in the reduction vector, and the
+//! first element of every label class receives the identity as its sum.
+//!
+//! ## Engines
+//!
+//! | Engine | Module | What it is |
+//! |---|---|---|
+//! | [`Engine::Serial`] | [`serial`] | the paper's Figure 2 bucket loop — the reference semantics |
+//! | [`Engine::Spinetree`] | [`spinetree`] | the paper's `O(√n)`-step CRCW-ARB algorithm, executed as the paper did on the CRAY Y-MP: one vector loop per parallel step |
+//! | [`Engine::Blocked`] | [`blocked`] | a production `rayon` engine (chunk-local buckets → per-label scan across chunks → replay); deterministic and work-efficient |
+//! | [`Engine::AtomicSpinetree`] | [`atomic`] | a genuinely concurrent spinetree build for `i64`/`Plus`: the overwrite-and-test races are resolved by relaxed atomic stores, a faithful CRCW-ARB realization |
+//!
+//! All engines produce results identical to [`serial::multiprefix_serial`]
+//! (bit-for-bit for integer types).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use multiprefix::{multiprefix, op::Plus, Engine};
+//!
+//! // The paper's Figure 1 example style: values with unsorted labels.
+//! let values = [1i64, 3, 2, 1, 1, 2, 3, 1];
+//! let labels = [1usize, 2, 1, 1, 2, 2, 1, 1];
+//! let out = multiprefix(&values, &labels, 4, Plus, Engine::Auto).unwrap();
+//! assert_eq!(out.sums, vec![0, 0, 1, 3, 3, 4, 4, 7]);
+//! assert_eq!(out.reductions, vec![0, 8, 6, 0]);
+//! ```
+//!
+//! ## Derived primitives
+//!
+//! The paper argues multiprefix subsumes many parallel primitives; the
+//! corresponding modules are [`segmented`] (segmented scans), [`fetch_op`]
+//! (deterministic fetch-and-op), [`histogram`] (multireduce / "vector update
+//! loop"), and [`scan`] (plain prefix sums, including the partition method
+//! the paper uses for the bucket-cumulation step of its sorting benchmark).
+
+pub mod api;
+pub mod atomic;
+pub mod blocked;
+pub mod error;
+pub mod fetch_op;
+pub mod histogram;
+pub mod keyed;
+pub mod op;
+pub mod oracle;
+pub mod problem;
+pub mod scan;
+pub mod segmented;
+pub mod serial;
+pub mod split;
+pub mod stream;
+pub mod spinetree;
+
+pub use api::{multiprefix, multiprefix_inclusive, multireduce, Engine};
+pub use error::MpError;
+pub use problem::{validate, Element, MultiprefixOutput};

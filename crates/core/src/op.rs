@@ -1,0 +1,427 @@
+//! Binary associative operators for the general multiprefix operation.
+//!
+//! §1 of the paper: "The general multiprefix operator … extends the summing
+//! operation to any binary associative operator on values of arbitrary type.
+//! Typical operators are MAX, MIN, PLUS, MULT, AND and OR on data types
+//! INTEGER, FLOATING and BOOLEAN" — "as long as 0 is replaced with the
+//! appropriate identity element for the operator chosen."
+//!
+//! [`CombineOp`] captures exactly that contract: an associative `combine`
+//! with a two-sided `identity`. Operators additionally declare whether they
+//! are commutative ([`CombineOp::COMMUTATIVE`]); the spinetree and blocked
+//! engines preserve vector order and therefore work for *non*-commutative
+//! operators too, but the lock-free atomic engine requires commutativity
+//! (it accumulates children with fetch-and-op in nondeterministic order).
+
+use crate::problem::Element;
+
+/// A binary associative operator with identity, over element type `T`.
+///
+/// Laws (checked by property tests in this module and relied on by every
+/// engine):
+///
+/// * associativity: `combine(a, combine(b, c)) == combine(combine(a, b), c)`
+/// * identity: `combine(identity(), a) == a == combine(a, identity())`
+/// * if [`Self::COMMUTATIVE`] is `true`: `combine(a, b) == combine(b, a)`
+pub trait CombineOp<T: Element>: Copy + Send + Sync + 'static {
+    /// Whether `combine` is commutative. Engines that reorder reductions
+    /// (e.g. the atomic spinetree engine) are only offered for commutative
+    /// operators; the order-preserving engines ignore this flag.
+    const COMMUTATIVE: bool;
+
+    /// The identity element (the "0" of the paper, generalized).
+    fn identity(&self) -> T;
+
+    /// Apply the operator. The left argument always corresponds to
+    /// *earlier* vector positions.
+    fn combine(&self, a: T, b: T) -> T;
+}
+
+/// Addition (`PLUS`). Identity: `0` / `0.0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Plus;
+
+/// Multiplication (`MULT`). Identity: `1` / `1.0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mult;
+
+/// Maximum (`MAX`). Identity: the type's minimum value / `-∞`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Max;
+
+/// Minimum (`MIN`). Identity: the type's maximum value / `+∞`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Min;
+
+/// Conjunction: bitwise `AND` on integers, logical `AND` on `bool`.
+/// Identity: all-ones / `true`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct And;
+
+/// Disjunction: bitwise `OR` on integers, logical `OR` on `bool`.
+/// Identity: `0` / `false`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Or;
+
+macro_rules! impl_int_ops {
+    ($($t:ty),*) => {$(
+        impl CombineOp<$t> for Plus {
+            const COMMUTATIVE: bool = true;
+            #[inline(always)]
+            fn identity(&self) -> $t { 0 }
+            #[inline(always)]
+            fn combine(&self, a: $t, b: $t) -> $t { a.wrapping_add(b) }
+        }
+        impl CombineOp<$t> for Mult {
+            const COMMUTATIVE: bool = true;
+            #[inline(always)]
+            fn identity(&self) -> $t { 1 }
+            #[inline(always)]
+            fn combine(&self, a: $t, b: $t) -> $t { a.wrapping_mul(b) }
+        }
+        impl CombineOp<$t> for Max {
+            const COMMUTATIVE: bool = true;
+            #[inline(always)]
+            fn identity(&self) -> $t { <$t>::MIN }
+            #[inline(always)]
+            fn combine(&self, a: $t, b: $t) -> $t { a.max(b) }
+        }
+        impl CombineOp<$t> for Min {
+            const COMMUTATIVE: bool = true;
+            #[inline(always)]
+            fn identity(&self) -> $t { <$t>::MAX }
+            #[inline(always)]
+            fn combine(&self, a: $t, b: $t) -> $t { a.min(b) }
+        }
+        impl CombineOp<$t> for And {
+            const COMMUTATIVE: bool = true;
+            #[inline(always)]
+            fn identity(&self) -> $t { !0 }
+            #[inline(always)]
+            fn combine(&self, a: $t, b: $t) -> $t { a & b }
+        }
+        impl CombineOp<$t> for Or {
+            const COMMUTATIVE: bool = true;
+            #[inline(always)]
+            fn identity(&self) -> $t { 0 }
+            #[inline(always)]
+            fn combine(&self, a: $t, b: $t) -> $t { a | b }
+        }
+    )*};
+}
+
+impl_int_ops!(i8, i16, i32, i64, i128, u8, u16, u32, u64, u128, usize, isize);
+
+macro_rules! impl_float_ops {
+    ($($t:ty),*) => {$(
+        impl CombineOp<$t> for Plus {
+            const COMMUTATIVE: bool = true;
+            #[inline(always)]
+            fn identity(&self) -> $t { 0.0 }
+            #[inline(always)]
+            fn combine(&self, a: $t, b: $t) -> $t { a + b }
+        }
+        impl CombineOp<$t> for Mult {
+            const COMMUTATIVE: bool = true;
+            #[inline(always)]
+            fn identity(&self) -> $t { 1.0 }
+            #[inline(always)]
+            fn combine(&self, a: $t, b: $t) -> $t { a * b }
+        }
+        impl CombineOp<$t> for Max {
+            const COMMUTATIVE: bool = true;
+            #[inline(always)]
+            fn identity(&self) -> $t { <$t>::NEG_INFINITY }
+            #[inline(always)]
+            fn combine(&self, a: $t, b: $t) -> $t { a.max(b) }
+        }
+        impl CombineOp<$t> for Min {
+            const COMMUTATIVE: bool = true;
+            #[inline(always)]
+            fn identity(&self) -> $t { <$t>::INFINITY }
+            #[inline(always)]
+            fn combine(&self, a: $t, b: $t) -> $t { a.min(b) }
+        }
+    )*};
+}
+
+impl_float_ops!(f32, f64);
+
+impl CombineOp<bool> for And {
+    const COMMUTATIVE: bool = true;
+    #[inline(always)]
+    fn identity(&self) -> bool {
+        true
+    }
+    #[inline(always)]
+    fn combine(&self, a: bool, b: bool) -> bool {
+        a && b
+    }
+}
+
+impl CombineOp<bool> for Or {
+    const COMMUTATIVE: bool = true;
+    #[inline(always)]
+    fn identity(&self) -> bool {
+        false
+    }
+    #[inline(always)]
+    fn combine(&self, a: bool, b: bool) -> bool {
+        a || b
+    }
+}
+
+/// Arg-max over `(value, index)` pairs: the combination keeps the pair
+/// with the larger value, breaking ties toward the **smaller index**
+/// (the earlier occurrence), which makes the operator commutative and
+/// the multiprefix deterministic. Identity: `(i64::MIN, i64::MAX)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArgMax;
+
+impl CombineOp<(i64, i64)> for ArgMax {
+    const COMMUTATIVE: bool = true;
+    #[inline(always)]
+    fn identity(&self) -> (i64, i64) {
+        (i64::MIN, i64::MAX)
+    }
+    #[inline(always)]
+    fn combine(&self, a: (i64, i64), b: (i64, i64)) -> (i64, i64) {
+        match a.0.cmp(&b.0) {
+            std::cmp::Ordering::Greater => a,
+            std::cmp::Ordering::Less => b,
+            std::cmp::Ordering::Equal => {
+                if a.1 <= b.1 {
+                    a
+                } else {
+                    b
+                }
+            }
+        }
+    }
+}
+
+/// Arg-min over `(value, index)` pairs, ties toward the smaller index.
+/// Identity: `(i64::MAX, i64::MAX)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArgMin;
+
+impl CombineOp<(i64, i64)> for ArgMin {
+    const COMMUTATIVE: bool = true;
+    #[inline(always)]
+    fn identity(&self) -> (i64, i64) {
+        (i64::MAX, i64::MAX)
+    }
+    #[inline(always)]
+    fn combine(&self, a: (i64, i64), b: (i64, i64)) -> (i64, i64) {
+        match a.0.cmp(&b.0) {
+            std::cmp::Ordering::Less => a,
+            std::cmp::Ordering::Greater => b,
+            std::cmp::Ordering::Equal => {
+                if a.1 <= b.1 {
+                    a
+                } else {
+                    b
+                }
+            }
+        }
+    }
+}
+
+/// String-like concatenation over fixed-width "first/last" pairs — a
+/// deliberately **non-commutative** associative operator used by the test
+/// suite to prove the order-preserving engines do not silently assume
+/// commutativity.
+///
+/// `combine((a_first, a_last), (b_first, b_last))` keeps the first element
+/// of the left side and the last element of the right side, except that the
+/// identity `(i32::MIN, i32::MIN)` is transparent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FirstLast;
+
+/// Sentinel used by [`FirstLast`] as its identity marker.
+pub const FIRST_LAST_IDENTITY: (i32, i32) = (i32::MIN, i32::MIN);
+
+impl CombineOp<(i32, i32)> for FirstLast {
+    const COMMUTATIVE: bool = false;
+    #[inline(always)]
+    fn identity(&self) -> (i32, i32) {
+        FIRST_LAST_IDENTITY
+    }
+    #[inline(always)]
+    fn combine(&self, a: (i32, i32), b: (i32, i32)) -> (i32, i32) {
+        if a == FIRST_LAST_IDENTITY {
+            return b;
+        }
+        if b == FIRST_LAST_IDENTITY {
+            return a;
+        }
+        (a.0, b.1)
+    }
+}
+
+/// 2×2 matrix product over `i64` (mod wrapping arithmetic) — a second
+/// non-commutative operator, exercising engines with a "wide" element type.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mat2Mul;
+
+impl CombineOp<[i64; 4]> for Mat2Mul {
+    const COMMUTATIVE: bool = false;
+    #[inline(always)]
+    fn identity(&self) -> [i64; 4] {
+        [1, 0, 0, 1]
+    }
+    #[inline(always)]
+    fn combine(&self, a: [i64; 4], b: [i64; 4]) -> [i64; 4] {
+        [
+            a[0].wrapping_mul(b[0]).wrapping_add(a[1].wrapping_mul(b[2])),
+            a[0].wrapping_mul(b[1]).wrapping_add(a[1].wrapping_mul(b[3])),
+            a[2].wrapping_mul(b[0]).wrapping_add(a[3].wrapping_mul(b[2])),
+            a[2].wrapping_mul(b[1]).wrapping_add(a[3].wrapping_mul(b[3])),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check_laws<T: Element + PartialEq + std::fmt::Debug, O: CombineOp<T>>(
+        op: O,
+        a: T,
+        b: T,
+        c: T,
+    ) {
+        let id = op.identity();
+        assert_eq!(op.combine(id, a), a, "left identity");
+        assert_eq!(op.combine(a, id), a, "right identity");
+        assert_eq!(
+            op.combine(a, op.combine(b, c)),
+            op.combine(op.combine(a, b), c),
+            "associativity"
+        );
+        if O::COMMUTATIVE {
+            assert_eq!(op.combine(a, b), op.combine(b, a), "commutativity");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn plus_i64_laws(a: i64, b: i64, c: i64) { check_laws(Plus, a, b, c); }
+
+        #[test]
+        fn mult_i64_laws(a: i64, b: i64, c: i64) { check_laws(Mult, a, b, c); }
+
+        #[test]
+        fn max_i64_laws(a: i64, b: i64, c: i64) { check_laws(Max, a, b, c); }
+
+        #[test]
+        fn min_i64_laws(a: i64, b: i64, c: i64) { check_laws(Min, a, b, c); }
+
+        #[test]
+        fn and_u64_laws(a: u64, b: u64, c: u64) { check_laws(And, a, b, c); }
+
+        #[test]
+        fn or_u64_laws(a: u64, b: u64, c: u64) { check_laws(Or, a, b, c); }
+
+        #[test]
+        fn and_bool_laws(a: bool, b: bool, c: bool) { check_laws(And, a, b, c); }
+
+        #[test]
+        fn or_bool_laws(a: bool, b: bool, c: bool) { check_laws(Or, a, b, c); }
+
+        #[test]
+        fn argmax_laws(
+            a in (any::<i64>(), 0i64..1000),
+            b in (any::<i64>(), 0i64..1000),
+            c in (any::<i64>(), 0i64..1000),
+        ) {
+            check_laws(ArgMax, a, b, c);
+        }
+
+        #[test]
+        fn argmin_laws(
+            a in (any::<i64>(), 0i64..1000),
+            b in (any::<i64>(), 0i64..1000),
+            c in (any::<i64>(), 0i64..1000),
+        ) {
+            check_laws(ArgMin, a, b, c);
+        }
+
+        #[test]
+        fn first_last_laws(
+            a in (0i32..100, 0i32..100),
+            b in (0i32..100, 0i32..100),
+            c in (0i32..100, 0i32..100),
+        ) {
+            check_laws(FirstLast, a, b, c);
+        }
+
+        #[test]
+        fn mat2_laws(a: [i64; 4], b: [i64; 4], c: [i64; 4]) {
+            check_laws(Mat2Mul, a, b, c);
+        }
+
+        // f64 PLUS is only associative up to rounding, but identity laws are
+        // exact; MAX/MIN are exactly associative on non-NaN floats.
+        #[test]
+        fn max_f64_laws(a in -1e12f64..1e12, b in -1e12f64..1e12, c in -1e12f64..1e12) {
+            check_laws(Max, a, b, c);
+        }
+
+        #[test]
+        fn min_f64_laws(a in -1e12f64..1e12, b in -1e12f64..1e12, c in -1e12f64..1e12) {
+            check_laws(Min, a, b, c);
+        }
+    }
+
+    #[test]
+    fn float_identities_exact() {
+        assert_eq!(CombineOp::<f64>::identity(&Plus), 0.0);
+        assert_eq!(CombineOp::<f64>::identity(&Mult), 1.0);
+        assert_eq!(Plus.combine(0.0f64, 3.5), 3.5);
+        assert_eq!(Mult.combine(1.0f64, 3.5), 3.5);
+    }
+
+    #[test]
+    fn argmax_prefers_earlier_on_ties() {
+        assert_eq!(ArgMax.combine((5, 3), (5, 7)), (5, 3));
+        assert_eq!(ArgMax.combine((5, 7), (5, 3)), (5, 3));
+        assert_eq!(ArgMax.combine((4, 0), (5, 9)), (5, 9));
+        assert_eq!(ArgMin.combine((5, 3), (5, 7)), (5, 3));
+        assert_eq!(ArgMin.combine((4, 9), (5, 0)), (4, 9));
+    }
+
+    #[test]
+    fn running_argmax_through_multiprefix() {
+        // The idiom: pair each value with its index, multiprefix with
+        // ArgMax -> each element learns the position of the largest
+        // preceding same-label value.
+        let values: Vec<(i64, i64)> = [3i64, 9, 2, 9, 1]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as i64))
+            .collect();
+        let labels = [0usize; 5];
+        let out = crate::serial::multiprefix_serial(&values, &labels, 1, ArgMax);
+        assert_eq!(out.sums[0], (i64::MIN, i64::MAX));
+        assert_eq!(out.sums[2], (9, 1));
+        assert_eq!(out.sums[4], (9, 1), "first 9 wins the tie");
+        assert_eq!(out.reductions[0], (9, 1));
+    }
+
+    #[test]
+    fn first_last_keeps_order() {
+        let a = (1, 2);
+        let b = (3, 4);
+        assert_eq!(FirstLast.combine(a, b), (1, 4));
+        assert_eq!(FirstLast.combine(b, a), (3, 2));
+    }
+
+    #[test]
+    fn mat2_is_noncommutative_witness() {
+        let a = [1, 1, 0, 1];
+        let b = [1, 0, 1, 1];
+        assert_ne!(Mat2Mul.combine(a, b), Mat2Mul.combine(b, a));
+    }
+}

@@ -1,0 +1,262 @@
+//! The assembled four-phase spinetree engine, with step/work instrumentation.
+
+use super::build::{build_spinetree, ArbPolicy};
+use super::layout::Layout;
+use super::phases::{bucket_reductions, multisums, rowsums, spinesums};
+use crate::op::CombineOp;
+use crate::problem::{Element, MultiprefixOutput};
+
+/// Parallel-step and work accounting for one phase, in the paper's §3
+/// measures: `steps` is the number of `pardo` issues (parallel steps), and
+/// `work` the total number of element operations across all steps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Number of parallel steps (outer-loop iterations).
+    pub steps: usize,
+    /// Total elements operated on over all steps.
+    pub work: usize,
+}
+
+/// A fully instrumented spinetree run: the result plus the layout used and
+/// per-phase step/work counts (INIT, SPINETREE, ROWSUMS, SPINESUMS,
+/// MULTISUMS in that order).
+#[derive(Debug, Clone)]
+pub struct SpinetreeRun<T> {
+    /// The multiprefix result.
+    pub output: MultiprefixOutput<T>,
+    /// The grid geometry used.
+    pub layout: Layout,
+    /// Per-phase accounting: `[init, spinetree, rowsums, spinesums, multisums]`.
+    pub phases: [PhaseStats; 5],
+}
+
+impl<T> SpinetreeRun<T> {
+    /// Total parallel steps `S` over all phases.
+    pub fn total_steps(&self) -> usize {
+        self.phases.iter().map(|p| p.steps).sum()
+    }
+
+    /// Total work `W` over all phases.
+    pub fn total_work(&self) -> usize {
+        self.phases.iter().map(|p| p.work).sum()
+    }
+}
+
+/// Run the paper's multiprefix algorithm with an explicit layout and
+/// arbitration policy, returning full instrumentation.
+///
+/// Preconditions (checked by [`crate::api::multiprefix`], debug-asserted
+/// here): `values.len() == labels.len() == layout.n`, labels `< layout.m`.
+pub fn multiprefix_spinetree_instrumented<T: Element, O: CombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    op: O,
+    layout: Layout,
+    policy: ArbPolicy,
+) -> SpinetreeRun<T> {
+    debug_assert_eq!(values.len(), labels.len());
+    debug_assert_eq!(values.len(), layout.n);
+    let slots = layout.slots();
+    let n = layout.n;
+
+    // INIT (Figure 3): one parallel step clears all temporaries. (We follow
+    // §4's "modified initialization": buckets are cleared directly, which
+    // costs O(m) work but is faster in practice whenever m ≤ n.)
+    let mut rowsum = vec![op.identity(); slots];
+    let mut spinesum = vec![op.identity(); slots];
+    let mut has_child = vec![false; slots];
+    let init = PhaseStats { steps: 1, work: slots };
+
+    // Phase 1: SPINETREE (rows, top to bottom).
+    let spine = build_spinetree(labels, &layout, policy);
+    let spinetree = PhaseStats { steps: layout.n_rows, work: n };
+
+    // Phase 2: ROWSUMS (columns, left to right).
+    rowsums(values, &spine, &layout, op, &mut rowsum, &mut has_child);
+    let rowsums_stats = PhaseStats { steps: layout.cols_left_right().len(), work: n };
+
+    // Phase 3: SPINESUMS (rows, bottom to top).
+    spinesums(&spine, &layout, op, &rowsum, &has_child, &mut spinesum);
+    let spinesums_stats = PhaseStats { steps: layout.n_rows, work: n };
+
+    // The reductions are already available here — §4.2's multireduce exit.
+    let reductions = bucket_reductions(&layout, op, &rowsum, &spinesum);
+
+    // Phase 4: MULTISUMS (columns, left to right).
+    let mut sums = vec![op.identity(); n];
+    multisums(values, &spine, &layout, op, &mut spinesum, &mut sums);
+    let multisums_stats = PhaseStats { steps: layout.cols_left_right().len(), work: n };
+
+    SpinetreeRun {
+        output: MultiprefixOutput { sums, reductions },
+        layout,
+        phases: [init, spinetree, rowsums_stats, spinesums_stats, multisums_stats],
+    }
+}
+
+/// Run the spinetree multiprefix with default geometry (near-`√n` rows) and
+/// `LastWins` arbitration.
+pub fn multiprefix_spinetree<T: Element, O: CombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+) -> MultiprefixOutput<T> {
+    let layout = Layout::square(values.len(), m);
+    multiprefix_spinetree_instrumented(values, labels, op, layout, ArbPolicy::LastWins).output
+}
+
+/// The multireduce operation (§4.2): per-label reductions only, skipping
+/// MULTISUMS. "Compared to the PREFIXSUM phase, which requires almost 7
+/// clock ticks per element, this is a substantial savings in time."
+pub fn multireduce_spinetree<T: Element, O: CombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+) -> Vec<T> {
+    let layout = Layout::square(values.len(), m);
+    let slots = layout.slots();
+    let mut rowsum = vec![op.identity(); slots];
+    let mut spinesum = vec![op.identity(); slots];
+    let mut has_child = vec![false; slots];
+    let spine = build_spinetree(labels, &layout, ArbPolicy::LastWins);
+    rowsums(values, &spine, &layout, op, &mut rowsum, &mut has_child);
+    spinesums(&spine, &layout, op, &rowsum, &has_child, &mut spinesum);
+    bucket_reductions(&layout, op, &rowsum, &spinesum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{FirstLast, Max, Plus, FIRST_LAST_IDENTITY};
+    use crate::serial::{multiprefix_serial, multireduce_serial};
+
+    #[test]
+    fn matches_figure_1() {
+        let values = [1i64, 3, 2, 1, 1, 2, 3, 1];
+        let labels = [1usize, 2, 1, 1, 2, 2, 1, 1];
+        let out = multiprefix_spinetree(&values, &labels, 4, Plus);
+        assert_eq!(out.sums, vec![0, 0, 1, 3, 3, 4, 4, 7]);
+        assert_eq!(out.reductions, vec![0, 8, 6, 0]);
+    }
+
+    #[test]
+    fn matches_serial_on_mixed_input() {
+        let values: Vec<i64> = (0..257).map(|i| (i * 37 % 19) - 9).collect();
+        let labels: Vec<usize> = (0..257).map(|i| (i * i + 3 * i) % 13).collect();
+        let expect = multiprefix_serial(&values, &labels, 13, Plus);
+        let got = multiprefix_spinetree(&values, &labels, 13, Plus);
+        assert_eq!(got.sums, expect.sums);
+        assert_eq!(got.reductions, expect.reductions);
+    }
+
+    #[test]
+    fn arbitration_independence() {
+        // The ARB model promises an *arbitrary* winner; the result must not
+        // depend on which. Different policies give different trees but the
+        // same sums — the key soundness property of the paper's §3.1.
+        let values: Vec<i64> = (0..500).map(|i| i % 23).collect();
+        let labels: Vec<usize> = (0..500).map(|i| (i * 7 + i / 11) % 9).collect();
+        let layout = Layout::square(500, 9);
+        let reference =
+            multiprefix_spinetree_instrumented(&values, &labels, Plus, layout, ArbPolicy::LastWins)
+                .output;
+        for policy in [
+            ArbPolicy::FirstWins,
+            ArbPolicy::Seeded(1),
+            ArbPolicy::Seeded(0xDEADBEEF),
+        ] {
+            let run =
+                multiprefix_spinetree_instrumented(&values, &labels, Plus, layout, policy);
+            assert_eq!(run.output.sums, reference.sums, "{policy:?}");
+            assert_eq!(run.output.reductions, reference.reductions, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn step_complexity_is_order_sqrt_n() {
+        // §3: each of the four phases executes exactly √n parallel steps.
+        for n in [100usize, 1024, 4096, 10_000] {
+            let values = vec![1i64; n];
+            let labels = vec![0usize; n];
+            let layout = Layout::square(n, 1);
+            let run = multiprefix_spinetree_instrumented(
+                &values,
+                &labels,
+                Plus,
+                layout,
+                ArbPolicy::LastWins,
+            );
+            let sqrt_n = (n as f64).sqrt();
+            let s = run.total_steps() as f64;
+            assert!(
+                s <= 4.5 * sqrt_n + 10.0,
+                "S = {s} not O(sqrt n) for n = {n}"
+            );
+            // Work efficiency: W = O(n) — 4 phases of n plus O(n+m) init.
+            assert!(run.total_work() <= 5 * n + layout.m + 8);
+        }
+    }
+
+    #[test]
+    fn extreme_row_lengths_still_correct() {
+        let values: Vec<i64> = (0..40).map(|i| i as i64).collect();
+        let labels: Vec<usize> = (0..40).map(|i| i % 3).collect();
+        let expect = multiprefix_serial(&values, &labels, 3, Plus);
+        for row_len in [1usize, 2, 5, 7, 39, 40, 64] {
+            let layout = Layout::with_row_len(40, 3, row_len);
+            let run = multiprefix_spinetree_instrumented(
+                &values,
+                &labels,
+                Plus,
+                layout,
+                ArbPolicy::Seeded(3),
+            );
+            assert_eq!(run.output.sums, expect.sums, "row_len = {row_len}");
+            assert_eq!(run.output.reductions, expect.reductions);
+        }
+    }
+
+    #[test]
+    fn noncommutative_operator_preserved() {
+        let values: Vec<(i32, i32)> = (0..100).map(|i| (i, i)).collect();
+        let labels: Vec<usize> = (0..100).map(|i| i % 4).collect();
+        let expect = multiprefix_serial(&values, &labels, 4, FirstLast);
+        let got = multiprefix_spinetree(&values, &labels, 4, FirstLast);
+        assert_eq!(got.sums, expect.sums);
+        assert_eq!(got.reductions, expect.reductions);
+        // Spot check: element 4 (label 0) should see (0, previous=0).
+        assert_eq!(got.sums[0], FIRST_LAST_IDENTITY);
+        assert_eq!(got.sums[4], (0, 0));
+    }
+
+    #[test]
+    fn max_operator_through_engine() {
+        let values = [3i64, 7, 2, 9, 1, 4];
+        let labels = [0usize, 1, 0, 1, 0, 1];
+        let expect = multiprefix_serial(&values, &labels, 2, Max);
+        let got = multiprefix_spinetree(&values, &labels, 2, Max);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn multireduce_agrees() {
+        let values: Vec<i64> = (0..321).map(|i| (i * 31 % 17) as i64 - 8).collect();
+        let labels: Vec<usize> = (0..321).map(|i| (i * 13) % 29).collect();
+        assert_eq!(
+            multireduce_spinetree(&values, &labels, 29, Plus),
+            multireduce_serial(&values, &labels, 29, Plus)
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let out = multiprefix_spinetree::<i64, _>(&[], &[], 3, Plus);
+        assert!(out.sums.is_empty());
+        assert_eq!(out.reductions, vec![0, 0, 0]);
+        let out = multiprefix_spinetree(&[5i64], &[0], 1, Plus);
+        assert_eq!(out.sums, vec![0]);
+        assert_eq!(out.reductions, vec![5]);
+    }
+}

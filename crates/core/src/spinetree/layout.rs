@@ -1,0 +1,276 @@
+//! The pivot memory layout and row/column geometry (Figure 8, §4.4).
+//!
+//! Temporary memory for the buckets and elements is a single conceptual
+//! block "divided at the pivot point": bucket `b` lives at slot `b`
+//! (`0 ≤ b < m`) and element `i` at slot `m + i`. All spine pointers are
+//! plain indices into that block, so on a vector machine every pointer
+//! dereference is a gather/scatter, and here it is a `usize` index.
+//!
+//! Elements are conceptually arranged into a grid of `n_rows` rows of
+//! `row_len` elements each. Unlike the PRAM presentation, `n` need not be a
+//! perfect square: the last row may be short (§2.2 "it is a simple matter to
+//! pad the elements up to a square … Later, we will show how this can be
+//! avoided"; §4.4 chooses the row length freely).
+
+/// Geometry of the element grid plus the pivot split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Number of elements.
+    pub n: usize,
+    /// Number of buckets (labels range over `[0, m)`).
+    pub m: usize,
+    /// Elements per row (the paper's `p`; the stride of column access).
+    pub row_len: usize,
+    /// Number of rows, `ceil(n / row_len)`.
+    pub n_rows: usize,
+}
+
+impl Layout {
+    /// Build a layout with an explicitly chosen row length.
+    ///
+    /// # Panics
+    /// Panics if `row_len == 0` while `n > 0`.
+    pub fn with_row_len(n: usize, m: usize, row_len: usize) -> Self {
+        assert!(row_len > 0 || n == 0, "row_len must be positive");
+        let n_rows = if n == 0 { 0 } else { n.div_ceil(row_len) };
+        Layout { n, m, row_len: row_len.max(1), n_rows }
+    }
+
+    /// Build a layout with the default near-`√n` row length of
+    /// [`choose_row_len`].
+    pub fn square(n: usize, m: usize) -> Self {
+        Self::with_row_len(n, m, choose_row_len(n))
+    }
+
+    /// Total slots in the pivot block (`m` buckets + `n` elements).
+    #[inline(always)]
+    pub fn slots(&self) -> usize {
+        self.m + self.n
+    }
+
+    /// Slot of bucket `b`.
+    #[inline(always)]
+    pub fn bucket_slot(&self, b: usize) -> usize {
+        debug_assert!(b < self.m);
+        b
+    }
+
+    /// Slot of element `i`.
+    #[inline(always)]
+    pub fn elem_slot(&self, i: usize) -> usize {
+        debug_assert!(i < self.n);
+        self.m + i
+    }
+
+    /// Is `slot` a bucket slot (left of the pivot)?
+    #[inline(always)]
+    pub fn is_bucket(&self, slot: usize) -> bool {
+        slot < self.m
+    }
+
+    /// Element index of an element slot.
+    #[inline(always)]
+    pub fn elem_of_slot(&self, slot: usize) -> usize {
+        debug_assert!(slot >= self.m);
+        slot - self.m
+    }
+
+    /// Row of element `i` (row 0 holds the first, lowest-indexed elements —
+    /// the paper's "bottom" row).
+    #[inline(always)]
+    pub fn row_of(&self, i: usize) -> usize {
+        i / self.row_len
+    }
+
+    /// Column of element `i`.
+    #[inline(always)]
+    pub fn col_of(&self, i: usize) -> usize {
+        i % self.row_len
+    }
+
+    /// The element indices of row `r`, in increasing (vector) order.
+    /// The last row may be shorter than `row_len`.
+    #[inline]
+    pub fn row_elements(&self, r: usize) -> std::ops::Range<usize> {
+        debug_assert!(r < self.n_rows);
+        let start = r * self.row_len;
+        let end = ((r + 1) * self.row_len).min(self.n);
+        start..end
+    }
+
+    /// The element indices of column `c`, bottom row upward — a
+    /// constant-stride sequence (stride = `row_len`), exactly the access
+    /// pattern the CRAY vectorizes with strided gathers.
+    #[inline]
+    pub fn col_elements(&self, c: usize) -> impl Iterator<Item = usize> + '_ {
+        debug_assert!(c < self.row_len);
+        (c..self.n).step_by(self.row_len.max(1))
+    }
+
+    /// Rows from top (last elements) down to bottom — the SPINETREE sweep
+    /// order (`for r = √n downto 1`).
+    #[inline]
+    pub fn rows_top_down(&self) -> impl Iterator<Item = usize> {
+        (0..self.n_rows).rev()
+    }
+
+    /// Rows bottom-up — the SPINESUMS sweep order.
+    #[inline]
+    pub fn rows_bottom_up(&self) -> std::ops::Range<usize> {
+        0..self.n_rows
+    }
+
+    /// Columns left to right — the ROWSUMS / MULTISUMS sweep order.
+    #[inline]
+    pub fn cols_left_right(&self) -> std::ops::Range<usize> {
+        0..if self.n == 0 { 0 } else { self.row_len.min(self.n) }
+    }
+}
+
+/// Default bank count used by [`choose_row_len`]'s stride hygiene (the CRAY
+/// Y-MP section sizes are powers of two; 64 is a conservative stand-in).
+pub const DEFAULT_BANKS: usize = 64;
+
+/// Bank busy time in clocks on the Y-MP (§4.4: "nor of the bank cycle time
+/// (4 in the case of the CRAY Y-MP)").
+pub const BANK_CYCLE: usize = 4;
+
+/// Choose a row length near `√n`.
+///
+/// §4.4 of the paper: the optimum for the measured loop constants is
+/// `p = 0.749 √n`, but total time is within 2 % of optimal for any
+/// near-square choice, and the *important* criterion is that the column
+/// stride (= row length) avoids multiples of the number of memory banks and
+/// of the bank cycle time. We therefore take `⌈√n⌉` and nudge it upward to
+/// an odd value (odd ⇒ coprime with every power-of-two bank count and with
+/// the bank cycle 4).
+pub fn choose_row_len(n: usize) -> usize {
+    if n <= 1 {
+        return 1;
+    }
+    let mut w = (n as f64).sqrt().ceil() as usize;
+    if w % 2 == 0 {
+        w += 1;
+    }
+    w
+}
+
+/// Row length skewed by the paper's optimal factor (§4.4, `p = 0.749 √n`),
+/// with the same odd-stride hygiene as [`choose_row_len`]. Exposed so the
+/// `row_length` ablation bench can sweep around it.
+pub fn choose_row_len_skewed(n: usize, factor: f64) -> usize {
+    if n <= 1 {
+        return 1;
+    }
+    let mut w = ((n as f64).sqrt() * factor).round().max(1.0) as usize;
+    if w % 2 == 0 {
+        w += 1;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_layout_covers_all_elements_once() {
+        for n in [0usize, 1, 2, 3, 8, 9, 10, 63, 64, 65, 100, 1000] {
+            let l = Layout::square(n, 7);
+            let mut seen = vec![false; n];
+            for r in 0..l.n_rows {
+                for i in l.row_elements(r) {
+                    assert!(!seen[i], "element {i} in two rows (n={n})");
+                    seen[i] = true;
+                    assert_eq!(l.row_of(i), r);
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "row cover incomplete for n={n}");
+
+            let mut seen = vec![false; n];
+            for c in l.cols_left_right() {
+                for i in l.col_elements(c) {
+                    assert!(!seen[i], "element {i} in two columns (n={n})");
+                    seen[i] = true;
+                    assert_eq!(l.col_of(i), c);
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "column cover incomplete for n={n}");
+        }
+    }
+
+    #[test]
+    fn pivot_addressing() {
+        let l = Layout::with_row_len(10, 4, 3);
+        assert_eq!(l.slots(), 14);
+        assert_eq!(l.bucket_slot(0), 0);
+        assert_eq!(l.bucket_slot(3), 3);
+        assert_eq!(l.elem_slot(0), 4);
+        assert_eq!(l.elem_slot(9), 13);
+        assert!(l.is_bucket(3));
+        assert!(!l.is_bucket(4));
+        assert_eq!(l.elem_of_slot(4), 0);
+    }
+
+    #[test]
+    fn ragged_last_row() {
+        let l = Layout::with_row_len(10, 0, 4);
+        assert_eq!(l.n_rows, 3);
+        assert_eq!(l.row_elements(0), 0..4);
+        assert_eq!(l.row_elements(2), 8..10);
+        let col3: Vec<_> = l.col_elements(3).collect();
+        assert_eq!(col3, vec![3, 7]); // column 3 misses the short top row
+    }
+
+    #[test]
+    fn sweep_orders() {
+        let l = Layout::with_row_len(9, 2, 3);
+        let top_down: Vec<_> = l.rows_top_down().collect();
+        assert_eq!(top_down, vec![2, 1, 0]);
+        assert_eq!(l.rows_bottom_up().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(l.cols_left_right().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn chosen_row_len_is_near_sqrt_and_odd() {
+        for n in [2usize, 10, 100, 1000, 10_000, 1_000_000] {
+            let w = choose_row_len(n);
+            assert_eq!(w % 2, 1, "row length must be odd for n={n}");
+            let s = (n as f64).sqrt();
+            assert!((w as f64) >= s, "row len below sqrt for n={n}");
+            assert!((w as f64) <= s + 2.0, "row len too far above sqrt for n={n}");
+            // odd => not a multiple of any power-of-two bank count or of 4
+            assert_ne!(w % BANK_CYCLE, 0);
+            assert_ne!(w % DEFAULT_BANKS, 0);
+        }
+    }
+
+    #[test]
+    fn skewed_row_len_tracks_factor() {
+        let n = 10_000;
+        let w = choose_row_len_skewed(n, 0.749);
+        assert!((70..=80).contains(&w), "w = {w}");
+        assert_eq!(w % 2, 1);
+        assert_eq!(choose_row_len_skewed(1, 0.5), 1);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let l = Layout::square(0, 3);
+        assert_eq!(l.n_rows, 0);
+        assert_eq!(l.cols_left_right().count(), 0);
+        let l = Layout::square(1, 1);
+        assert_eq!(l.n_rows, 1);
+        assert_eq!(l.row_elements(0), 0..1);
+    }
+
+    #[test]
+    fn single_column_layout() {
+        // row_len 1 makes the grid one element per row: the spinetree
+        // degenerates to a chain, which must still work.
+        let l = Layout::with_row_len(5, 2, 1);
+        assert_eq!(l.n_rows, 5);
+        assert_eq!(l.cols_left_right().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(l.col_elements(0).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+}

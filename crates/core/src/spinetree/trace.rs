@@ -1,0 +1,117 @@
+//! ASCII renderings of the spinetree, in the spirit of the paper's
+//! Figures 5, 6 and 9 — used by the walkthrough example and by doc tests.
+
+use super::build::{build_spinetree_traced, ArbPolicy};
+use super::layout::Layout;
+use std::fmt::Write as _;
+
+/// Render the pivot-block `spine` vector in the Figure 9 style: the bucket
+/// slots, a `‖` pivot marker, then the element grid row by row (top row
+/// first), each cell showing `slot→parent`.
+pub fn render_spine(layout: &Layout, spine: &[usize]) -> String {
+    let m = layout.m;
+    let mut out = String::new();
+    let _ = write!(out, "buckets:");
+    for b in 0..m {
+        let _ = write!(out, " {b}→{}", spine[b]);
+    }
+    let _ = writeln!(out, "  ‖ pivot at {m}");
+    for r in (0..layout.n_rows).rev() {
+        let _ = write!(out, "row {r:>3}:");
+        for i in layout.row_elements(r) {
+            let _ = write!(out, " {}→{}", m + i, spine[m + i]);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Reproduce the Figure 6 evolution: build the spinetree for `labels`,
+/// snapshotting the rendered pointer state after every row update.
+/// Returns `(snapshots, final_spine)`; `snapshots[k]` is the state after
+/// the `k`-th processed row (top row first).
+pub fn trace_build(
+    labels: &[usize],
+    layout: &Layout,
+    policy: ArbPolicy,
+) -> (Vec<String>, Vec<usize>) {
+    let mut snaps = Vec::new();
+    let spine = build_spinetree_traced(labels, layout, policy, |r, spine| {
+        let mut s = format!("after row {r}:\n");
+        s.push_str(&render_spine(layout, spine));
+        snaps.push(s);
+    });
+    (snaps, spine)
+}
+
+/// One-line summary of a class's spine path, bucket-root first, e.g.
+/// `bucket 2 <- e8 <- e5` (element indices, not slots). Mirrors the paper's
+/// "the spine includes elements 4 and 7 and the bucket" narrative.
+pub fn spine_path(layout: &Layout, spine: &[usize], labels: &[usize], class: usize) -> String {
+    let m = layout.m;
+    // Find spine elements of the class: elements with at least one child.
+    let mut has_child = vec![false; layout.slots()];
+    for i in 0..layout.n {
+        has_child[spine[m + i]] = true;
+    }
+    // Walk from the top: the element whose parent is the bucket and has a
+    // child, then follow children-of links downward via reverse lookup.
+    let mut path = format!("bucket {class}");
+    let mut current = class; // slot
+    loop {
+        // the (unique, by Corollary 2) spine child of `current`
+        let next = (0..layout.n)
+            .find(|&i| labels[i] == class && spine[m + i] == current && has_child[m + i]);
+        match next {
+            Some(i) => {
+                let _ = write!(path, " <- e{i}");
+                current = m + i;
+            }
+            None => break,
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_6_snapshot_count() {
+        let labels = [2usize; 9];
+        let layout = Layout::with_row_len(9, 5, 3);
+        let (snaps, spine) = trace_build(&labels, &layout, ArbPolicy::LastWins);
+        assert_eq!(snaps.len(), 3, "one snapshot per row");
+        assert!(snaps[0].contains("after row 2"));
+        assert!(snaps[2].contains("after row 0"));
+        assert_eq!(spine.len(), layout.slots());
+    }
+
+    #[test]
+    fn render_mentions_pivot() {
+        let labels = [0usize, 1, 0, 1];
+        let layout = Layout::with_row_len(4, 2, 2);
+        let spine = super::super::build::build_spinetree(&labels, &layout, ArbPolicy::LastWins);
+        let text = render_spine(&layout, &spine);
+        assert!(text.contains("pivot at 2"));
+        assert!(text.contains("row   1"));
+    }
+
+    #[test]
+    fn spine_path_for_nine_ones() {
+        let labels = [2usize; 9];
+        let layout = Layout::with_row_len(9, 5, 3);
+        let spine = super::super::build::build_spinetree(&labels, &layout, ArbPolicy::LastWins);
+        // LastWins: bucket <- e8 <- e5 (e2 has no children).
+        assert_eq!(spine_path(&layout, &spine, &labels, 2), "bucket 2 <- e8 <- e5");
+    }
+
+    #[test]
+    fn spine_path_for_absent_class() {
+        let labels = [0usize; 4];
+        let layout = Layout::with_row_len(4, 2, 2);
+        let spine = super::super::build::build_spinetree(&labels, &layout, ArbPolicy::LastWins);
+        assert_eq!(spine_path(&layout, &spine, &labels, 1), "bucket 1");
+    }
+}

@@ -1,0 +1,201 @@
+//! Mechanical checks of the paper's §3.1 correctness properties.
+//!
+//! These are not used on the hot path; they exist so the test suite (and
+//! the PRAM simulation) can *verify* the structural theorems that make
+//! phases 2–4 conflict-free, for any labeling and any arbitration policy:
+//!
+//! * **Theorem 1** — elements have the same parent iff they have the same
+//!   label and are in the same row.
+//! * **Corollary 1** — the children of a spine element are in different
+//!   columns.
+//! * **Theorem 2** — at most one spine element per class per row.
+//! * **Corollary 2** — a spine element has at most one child that is also a
+//!   spine element (the spine is a path).
+
+use super::layout::Layout;
+use std::collections::HashMap;
+
+/// A violated structural property, with enough context to debug it.
+/// Fields name the offending element indices / parent slot / class / row.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpinetreeViolation {
+    /// Two elements share a parent but differ in row or label (Theorem 1 ⇒).
+    SharedParentDifferentRowOrLabel { a: usize, b: usize, parent: usize },
+    /// Two same-row same-label elements have different parents (Theorem 1 ⇐).
+    SameRowLabelDifferentParent { a: usize, b: usize },
+    /// Two children of one parent share a column (Corollary 1).
+    SiblingsShareColumn { a: usize, b: usize, parent: usize },
+    /// Two spine elements of one class in one row (Theorem 2).
+    TwoSpinePerClassRow { a: usize, b: usize, label: usize, row: usize },
+    /// A spine element with two spine children (Corollary 2).
+    TwoSpineChildren { parent: usize, a: usize, b: usize },
+    /// A parent that is neither the element's bucket nor a same-label
+    /// element in a strictly higher row.
+    BadParent { element: usize, parent: usize },
+}
+
+/// Verify every §3.1 property of a built spinetree. Returns all violations
+/// (empty = the structure is sound).
+pub fn check_spinetree(
+    labels: &[usize],
+    layout: &Layout,
+    spine: &[usize],
+) -> Vec<SpinetreeViolation> {
+    let m = layout.m;
+    let n = layout.n;
+    assert_eq!(labels.len(), n);
+    assert_eq!(spine.len(), layout.slots());
+    let mut violations = Vec::new();
+
+    // children[parent slot] = element indices pointing at it.
+    let mut children: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..n {
+        let parent = spine[m + i];
+        children.entry(parent).or_default().push(i);
+
+        // Parent sanity: own bucket, or same-label element strictly above.
+        if parent < m {
+            if parent != labels[i] {
+                violations.push(SpinetreeViolation::BadParent { element: i, parent });
+            }
+        } else {
+            let pe = layout.elem_of_slot(parent);
+            if labels[pe] != labels[i] || layout.row_of(pe) <= layout.row_of(i) {
+                violations.push(SpinetreeViolation::BadParent { element: i, parent });
+            }
+        }
+    }
+
+    // Theorem 1 (⇒) and Corollary 1: siblings share row+label, differ in column.
+    for (&parent, kids) in &children {
+        for w in 0..kids.len() {
+            for v in (w + 1)..kids.len() {
+                let (a, b) = (kids[w], kids[v]);
+                if labels[a] != labels[b] || layout.row_of(a) != layout.row_of(b) {
+                    violations.push(SpinetreeViolation::SharedParentDifferentRowOrLabel {
+                        a,
+                        b,
+                        parent,
+                    });
+                }
+                if layout.col_of(a) == layout.col_of(b) {
+                    violations.push(SpinetreeViolation::SiblingsShareColumn { a, b, parent });
+                }
+            }
+        }
+    }
+
+    // Theorem 1 (⇐): same row + same label ⇒ same parent.
+    let mut by_row_label: HashMap<(usize, usize), usize> = HashMap::new();
+    for i in 0..n {
+        let key = (layout.row_of(i), labels[i]);
+        match by_row_label.get(&key) {
+            None => {
+                by_row_label.insert(key, i);
+            }
+            Some(&j) => {
+                if spine[m + i] != spine[m + j] {
+                    violations.push(SpinetreeViolation::SameRowLabelDifferentParent {
+                        a: j,
+                        b: i,
+                    });
+                }
+            }
+        }
+    }
+
+    // Spine elements = element slots with children.
+    let is_spine = |i: usize| children.contains_key(&(m + i));
+
+    // Theorem 2: ≤ 1 spine element per (class, row).
+    let mut spine_seen: HashMap<(usize, usize), usize> = HashMap::new();
+    for i in 0..n {
+        if is_spine(i) {
+            let key = (labels[i], layout.row_of(i));
+            if let Some(&j) = spine_seen.get(&key) {
+                violations.push(SpinetreeViolation::TwoSpinePerClassRow {
+                    a: j,
+                    b: i,
+                    label: labels[i],
+                    row: layout.row_of(i),
+                });
+            } else {
+                spine_seen.insert(key, i);
+            }
+        }
+    }
+
+    // Corollary 2: each parent has ≤ 1 spine child.
+    for (&parent, kids) in &children {
+        let spine_kids: Vec<usize> = kids.iter().copied().filter(|&k| is_spine(k)).collect();
+        if spine_kids.len() > 1 {
+            violations.push(SpinetreeViolation::TwoSpineChildren {
+                parent,
+                a: spine_kids[0],
+                b: spine_kids[1],
+            });
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spinetree::build::{build_spinetree, ArbPolicy};
+
+    #[test]
+    fn sound_for_uniform_labels() {
+        let labels = vec![0usize; 100];
+        let layout = Layout::square(100, 1);
+        for policy in [ArbPolicy::LastWins, ArbPolicy::FirstWins, ArbPolicy::Seeded(5)] {
+            let spine = build_spinetree(&labels, &layout, policy);
+            assert_eq!(check_spinetree(&labels, &layout, &spine), vec![]);
+        }
+    }
+
+    #[test]
+    fn sound_for_mixed_labels_ragged_grid() {
+        let labels: Vec<usize> = (0..93).map(|i| (i * 5 + i / 7) % 11).collect();
+        let layout = Layout::with_row_len(93, 11, 10);
+        let spine = build_spinetree(&labels, &layout, ArbPolicy::Seeded(77));
+        assert_eq!(check_spinetree(&labels, &layout, &spine), vec![]);
+    }
+
+    #[test]
+    fn detects_forged_bad_parent() {
+        let labels = vec![0usize, 0, 0, 0];
+        let layout = Layout::with_row_len(4, 1, 2);
+        let mut spine = build_spinetree(&labels, &layout, ArbPolicy::LastWins);
+        // Forge: point element 3 (top row) at element 0 (bottom row).
+        spine[1 + 3] = 1;
+        let violations = check_spinetree(&labels, &layout, &spine);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, SpinetreeViolation::BadParent { element: 3, .. })),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn detects_forged_split_parents() {
+        let labels = vec![0usize; 9];
+        let layout = Layout::with_row_len(9, 1, 3);
+        let mut spine = build_spinetree(&labels, &layout, ArbPolicy::LastWins);
+        // Elements 0..3 are the bottom row with a common parent in row 1.
+        // Reroute element 1 to a *different* row-1 element.
+        let parent = spine[1 + 0];
+        let other = if parent == 1 + 4 { 1 + 5 } else { 1 + 4 };
+        spine[1 + 1] = other;
+        let violations = check_spinetree(&labels, &layout, &spine);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, SpinetreeViolation::SameRowLabelDifferentParent { .. })),
+            "{violations:?}"
+        );
+    }
+}

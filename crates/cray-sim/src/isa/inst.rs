@@ -1,0 +1,140 @@
+//! The instruction set.
+//!
+//! Register operands are indices: `V0..V7` vector registers, `S0..S7`
+//! scalar registers. Memory operands are always formed from scalar
+//! registers (base, stride) or a vector register of indices (gather /
+//! scatter), as on the Y-MP.
+
+/// One machine instruction.
+///
+/// Variant fields are register operands, documented per variant.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    // ---- scalar ---------------------------------------------------------
+    /// `S[dst] ← imm`
+    SLoadImm { dst: u8, imm: i64 },
+    /// `S[dst] ← S[a] + S[b]`
+    SAdd { dst: u8, a: u8, b: u8 },
+    /// `S[dst] ← S[a] · S[b]`
+    SMul { dst: u8, a: u8, b: u8 },
+    /// `S[dst] ← mem[S[addr]]` (scalar load through an address register)
+    SLoad { dst: u8, addr: u8 },
+    /// `mem[S[addr]] ← S[src]`
+    SStore { src: u8, addr: u8 },
+
+    // ---- vector length & mask ------------------------------------------
+    /// `VL ← len` (`1 ≤ len ≤ VLEN`)
+    SetVl { len: u8 },
+    /// `VM ← lanes where V[a] ≠ S[s]` (the §4.1 SPINESUM guard)
+    VCmpNeS { a: u8, s: u8 },
+
+    // ---- vector memory ---------------------------------------------------
+    /// `V[dst][k] ← mem[S[base] + k·S[stride]]` for `k < VL`
+    VLoad { dst: u8, base: u8, stride: u8 },
+    /// `mem[S[base] + k·S[stride]] ← V[src][k]`
+    VStore { src: u8, base: u8, stride: u8 },
+    /// `V[dst][k] ← mem[S[base] + V[idx][k]]`
+    VGather { dst: u8, base: u8, idx: u8 },
+    /// `mem[S[base] + V[idx][k]] ← V[src][k]` — duplicate addresses
+    /// resolve in element order (last lane wins): hardware CRCW-ARB.
+    VScatter { src: u8, base: u8, idx: u8 },
+    /// [`Inst::VScatter`] restricted to lanes set in `VM`; false lanes are
+    /// *timed* as dummy-location writes (the compiler trick of §4.1) but
+    /// perform no architectural write.
+    VScatterMasked { src: u8, base: u8, idx: u8 },
+
+    // ---- vector arithmetic ------------------------------------------------
+    /// `V[dst][k] ← k` (index generation)
+    VIota { dst: u8 },
+    /// `V[dst][k] ← S[s]` (broadcast)
+    VBroadcast { dst: u8, s: u8 },
+    /// `V[dst] ← V[a] + V[b]`
+    VAddV { dst: u8, a: u8, b: u8 },
+    /// `V[dst] ← V[a] + S[s]`
+    VAddS { dst: u8, a: u8, s: u8 },
+    /// `V[dst] ← V[a] · V[b]`
+    VMulV { dst: u8, a: u8, b: u8 },
+    /// `V[dst] ← max(V[a], V[b])`
+    VMaxV { dst: u8, a: u8, b: u8 },
+    /// `V[dst] ← min(V[a], V[b])`
+    VMinV { dst: u8, a: u8, b: u8 },
+}
+
+impl Inst {
+    /// Whether this instruction touches memory (used by the timing model).
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Inst::VLoad { .. }
+                | Inst::VStore { .. }
+                | Inst::VGather { .. }
+                | Inst::VScatter { .. }
+                | Inst::VScatterMasked { .. }
+                | Inst::SLoad { .. }
+                | Inst::SStore { .. }
+        )
+    }
+
+    /// Whether this is a vector (vs scalar/control) instruction.
+    pub fn is_vector(&self) -> bool {
+        !matches!(
+            self,
+            Inst::SLoadImm { .. }
+                | Inst::SAdd { .. }
+                | Inst::SMul { .. }
+                | Inst::SLoad { .. }
+                | Inst::SStore { .. }
+                | Inst::SetVl { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for Inst {
+    /// Assembly-style rendering, e.g. `vgather v1, [s2 + v0]`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Inst::SLoadImm { dst, imm } => write!(f, "sli    s{dst}, {imm}"),
+            Inst::SAdd { dst, a, b } => write!(f, "sadd   s{dst}, s{a}, s{b}"),
+            Inst::SMul { dst, a, b } => write!(f, "smul   s{dst}, s{a}, s{b}"),
+            Inst::SLoad { dst, addr } => write!(f, "sload  s{dst}, [s{addr}]"),
+            Inst::SStore { src, addr } => write!(f, "sstore [s{addr}], s{src}"),
+            Inst::SetVl { len } => write!(f, "setvl  {len}"),
+            Inst::VCmpNeS { a, s } => write!(f, "vcmpne vm, v{a}, s{s}"),
+            Inst::VLoad { dst, base, stride } => {
+                write!(f, "vload  v{dst}, [s{base} : s{stride}]")
+            }
+            Inst::VStore { src, base, stride } => {
+                write!(f, "vstore [s{base} : s{stride}], v{src}")
+            }
+            Inst::VGather { dst, base, idx } => write!(f, "vgather v{dst}, [s{base} + v{idx}]"),
+            Inst::VScatter { src, base, idx } => {
+                write!(f, "vscatter [s{base} + v{idx}], v{src}")
+            }
+            Inst::VScatterMasked { src, base, idx } => {
+                write!(f, "vscatter.m [s{base} + v{idx}], v{src}")
+            }
+            Inst::VIota { dst } => write!(f, "viota  v{dst}"),
+            Inst::VBroadcast { dst, s } => write!(f, "vbcast v{dst}, s{s}"),
+            Inst::VAddV { dst, a, b } => write!(f, "vadd   v{dst}, v{a}, v{b}"),
+            Inst::VAddS { dst, a, s } => write!(f, "vadds  v{dst}, v{a}, s{s}"),
+            Inst::VMulV { dst, a, b } => write!(f, "vmul   v{dst}, v{a}, v{b}"),
+            Inst::VMaxV { dst, a, b } => write!(f, "vmax   v{dst}, v{a}, v{b}"),
+            Inst::VMinV { dst, a, b } => write!(f, "vmin   v{dst}, v{a}, v{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Inst::VGather { dst: 0, base: 0, idx: 1 }.is_memory());
+        assert!(!Inst::VAddV { dst: 0, a: 1, b: 2 }.is_memory());
+        assert!(Inst::VIota { dst: 0 }.is_vector());
+        assert!(!Inst::SetVl { len: 64 }.is_vector());
+        assert!(!Inst::SLoadImm { dst: 0, imm: 3 }.is_vector());
+    }
+}

@@ -1,0 +1,510 @@
+//! The machine state and interpreter.
+
+use super::inst::Inst;
+
+/// Hardware vector length (Y-MP: 64 words per vector register).
+pub const VLEN: usize = 64;
+/// Vector register count.
+pub const NV: usize = 8;
+/// Scalar register count.
+pub const NS: usize = 8;
+
+/// Execution errors — all are programming errors of the emitted code, so
+/// the multiprefix emitter's tests double as a check that it never
+/// produces one. Fields carry the failing instruction index and operand.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// Register index out of range.
+    BadRegister { inst: usize },
+    /// Memory access out of bounds.
+    MemOutOfBounds { inst: usize, addr: i64 },
+    /// `SetVl` with 0 or more than [`VLEN`].
+    BadVectorLength { inst: usize, len: usize },
+}
+
+impl std::fmt::Display for IsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            IsaError::BadRegister { inst } => write!(f, "bad register at instruction {inst}"),
+            IsaError::MemOutOfBounds { inst, addr } => {
+                write!(f, "memory access {addr} out of bounds at instruction {inst}")
+            }
+            IsaError::BadVectorLength { inst, len } => {
+                write!(f, "illegal vector length {len} at instruction {inst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+/// Per-class instruction timing (clocks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IsaTimings {
+    /// Startup of any vector instruction.
+    pub vector_startup: f64,
+    /// Extra startup of a vector *memory* instruction.
+    pub memory_startup: f64,
+    /// Clocks per scalar instruction.
+    pub scalar: f64,
+    /// Memory banks (power of two) for gather/scatter serialization.
+    pub banks: usize,
+    /// Bank busy time in clocks.
+    pub bank_cycle: usize,
+}
+
+impl Default for IsaTimings {
+    fn default() -> Self {
+        IsaTimings {
+            vector_startup: 5.0,
+            memory_startup: 15.0,
+            scalar: 1.0,
+            banks: 64,
+            bank_cycle: 4,
+        }
+    }
+}
+
+/// The register vector machine.
+#[derive(Debug, Clone)]
+pub struct IsaMachine {
+    /// Word-addressed memory.
+    pub mem: Vec<i64>,
+    v: [[i64; VLEN]; NV],
+    s: [i64; NS],
+    vl: usize,
+    vmask: u64,
+    clocks: f64,
+    instructions_retired: u64,
+    timings: IsaTimings,
+}
+
+impl IsaMachine {
+    /// A machine with `cells` zeroed memory words and default timings.
+    pub fn new(cells: usize) -> Self {
+        IsaMachine {
+            mem: vec![0; cells],
+            v: [[0; VLEN]; NV],
+            s: [0; NS],
+            vl: VLEN,
+            vmask: 0,
+            clocks: 0.0,
+            instructions_retired: 0,
+            timings: IsaTimings::default(),
+        }
+    }
+
+    /// Simulated clocks elapsed.
+    pub fn clocks(&self) -> f64 {
+        self.clocks
+    }
+
+    /// Instructions retired.
+    pub fn instructions_retired(&self) -> u64 {
+        self.instructions_retired
+    }
+
+    /// Current vector length.
+    pub fn vl(&self) -> usize {
+        self.vl
+    }
+
+    /// Read a vector register's active lanes (testing/debug).
+    pub fn v_reg(&self, r: usize) -> &[i64] {
+        &self.v[r][..self.vl]
+    }
+
+    /// Read a scalar register.
+    pub fn s_reg(&self, r: usize) -> i64 {
+        self.s[r]
+    }
+
+    fn bank_surcharge(&self, addrs: impl Iterator<Item = i64>) -> f64 {
+        let mut counts = vec![0u32; self.timings.banks];
+        let mut n = 0usize;
+        let mut max_load = 0u32;
+        for a in addrs {
+            let b = (a as usize) & (self.timings.banks - 1);
+            counts[b] += 1;
+            max_load = max_load.max(counts[b]);
+            n += 1;
+        }
+        (max_load as f64 * self.timings.bank_cycle as f64 - n as f64).max(0.0)
+    }
+
+    #[inline]
+    fn addr(&self, inst_idx: usize, a: i64) -> Result<usize, IsaError> {
+        if a < 0 || a as usize >= self.mem.len() {
+            Err(IsaError::MemOutOfBounds { inst: inst_idx, addr: a })
+        } else {
+            Ok(a as usize)
+        }
+    }
+
+    /// Execute one instruction.
+    pub fn step(&mut self, inst_idx: usize, inst: Inst) -> Result<(), IsaError> {
+        let t = self.timings;
+        let vl = self.vl;
+        let check_v = |r: u8| {
+            if (r as usize) < NV { Ok(r as usize) } else { Err(IsaError::BadRegister { inst: inst_idx }) }
+        };
+        let check_s = |r: u8| {
+            if (r as usize) < NS { Ok(r as usize) } else { Err(IsaError::BadRegister { inst: inst_idx }) }
+        };
+
+        // Timing first (data-independent parts).
+        self.clocks += match inst {
+            Inst::SLoadImm { .. } | Inst::SAdd { .. } | Inst::SMul { .. } | Inst::SetVl { .. } => {
+                t.scalar
+            }
+            // Scalar memory: one port transaction, no vector startup.
+            Inst::SLoad { .. } | Inst::SStore { .. } => t.scalar + 2.0,
+            i if i.is_memory() => t.vector_startup + t.memory_startup + vl as f64,
+            _ => t.vector_startup + vl as f64,
+        };
+        self.instructions_retired += 1;
+
+        match inst {
+            Inst::SLoadImm { dst, imm } => self.s[check_s(dst)?] = imm,
+            Inst::SAdd { dst, a, b } => {
+                self.s[check_s(dst)?] = self.s[check_s(a)?].wrapping_add(self.s[check_s(b)?])
+            }
+            Inst::SMul { dst, a, b } => {
+                self.s[check_s(dst)?] = self.s[check_s(a)?].wrapping_mul(self.s[check_s(b)?])
+            }
+            Inst::SLoad { dst, addr } => {
+                let a = self.addr(inst_idx, self.s[check_s(addr)?])?;
+                self.s[check_s(dst)?] = self.mem[a];
+            }
+            Inst::SStore { src, addr } => {
+                let a = self.addr(inst_idx, self.s[check_s(addr)?])?;
+                self.mem[a] = self.s[check_s(src)?];
+            }
+            Inst::SetVl { len } => {
+                let len = len as usize;
+                if len == 0 || len > VLEN {
+                    return Err(IsaError::BadVectorLength { inst: inst_idx, len });
+                }
+                self.vl = len;
+            }
+            Inst::VCmpNeS { a, s } => {
+                let a = check_v(a)?;
+                let sv = self.s[check_s(s)?];
+                let mut mask = 0u64;
+                for k in 0..vl {
+                    if self.v[a][k] != sv {
+                        mask |= 1 << k;
+                    }
+                }
+                self.vmask = mask;
+            }
+            Inst::VLoad { dst, base, stride } => {
+                let dst = check_v(dst)?;
+                let base = self.s[check_s(base)?];
+                let stride = self.s[check_s(stride)?];
+                for k in 0..vl {
+                    let a = self.addr(inst_idx, base + k as i64 * stride)?;
+                    self.v[dst][k] = self.mem[a];
+                }
+                if stride != 1 {
+                    self.clocks +=
+                        self.bank_surcharge((0..vl).map(|k| base + k as i64 * stride));
+                }
+            }
+            Inst::VStore { src, base, stride } => {
+                let src = check_v(src)?;
+                let base = self.s[check_s(base)?];
+                let stride = self.s[check_s(stride)?];
+                for k in 0..vl {
+                    let a = self.addr(inst_idx, base + k as i64 * stride)?;
+                    self.mem[a] = self.v[src][k];
+                }
+                if stride != 1 {
+                    self.clocks +=
+                        self.bank_surcharge((0..vl).map(|k| base + k as i64 * stride));
+                }
+            }
+            Inst::VGather { dst, base, idx } => {
+                let dst = check_v(dst)?;
+                let idx = check_v(idx)?;
+                let base = self.s[check_s(base)?];
+                self.clocks += self.bank_surcharge((0..vl).map(|k| base + self.v[idx][k]));
+                for k in 0..vl {
+                    let a = self.addr(inst_idx, base + self.v[idx][k])?;
+                    self.v[dst][k] = self.mem[a];
+                }
+            }
+            Inst::VScatter { src, base, idx } => {
+                let src = check_v(src)?;
+                let idx = check_v(idx)?;
+                let base = self.s[check_s(base)?];
+                self.clocks += self.bank_surcharge((0..vl).map(|k| base + self.v[idx][k]));
+                // Element order: on duplicate addresses the LAST lane's
+                // value survives — hardware arbitration.
+                for k in 0..vl {
+                    let a = self.addr(inst_idx, base + self.v[idx][k])?;
+                    self.mem[a] = self.v[src][k];
+                }
+            }
+            Inst::VScatterMasked { src, base, idx } => {
+                let src = check_v(src)?;
+                let idx = check_v(idx)?;
+                let base = self.s[check_s(base)?];
+                // Timing: false lanes become dummy-location writes (§4.1) —
+                // a single shared address, creating the hot spot.
+                let dummy = base; // any fixed cell models the contention
+                self.clocks += self.bank_surcharge((0..vl).map(|k| {
+                    if self.vmask & (1 << k) != 0 { base + self.v[idx][k] } else { dummy }
+                }));
+                for k in 0..vl {
+                    if self.vmask & (1 << k) != 0 {
+                        let a = self.addr(inst_idx, base + self.v[idx][k])?;
+                        self.mem[a] = self.v[src][k];
+                    }
+                }
+            }
+            Inst::VIota { dst } => {
+                let dst = check_v(dst)?;
+                for k in 0..vl {
+                    self.v[dst][k] = k as i64;
+                }
+            }
+            Inst::VBroadcast { dst, s } => {
+                let dst = check_v(dst)?;
+                let sv = self.s[check_s(s)?];
+                for k in 0..vl {
+                    self.v[dst][k] = sv;
+                }
+            }
+            Inst::VAddV { dst, a, b } => {
+                let (dst, a, b) = (check_v(dst)?, check_v(a)?, check_v(b)?);
+                for k in 0..vl {
+                    self.v[dst][k] = self.v[a][k].wrapping_add(self.v[b][k]);
+                }
+            }
+            Inst::VAddS { dst, a, s } => {
+                let (dst, a, s) = (check_v(dst)?, check_v(a)?, check_s(s)?);
+                for k in 0..vl {
+                    self.v[dst][k] = self.v[a][k].wrapping_add(self.s[s]);
+                }
+            }
+            Inst::VMulV { dst, a, b } => {
+                let (dst, a, b) = (check_v(dst)?, check_v(a)?, check_v(b)?);
+                for k in 0..vl {
+                    self.v[dst][k] = self.v[a][k].wrapping_mul(self.v[b][k]);
+                }
+            }
+            Inst::VMaxV { dst, a, b } => {
+                let (dst, a, b) = (check_v(dst)?, check_v(a)?, check_v(b)?);
+                for k in 0..vl {
+                    self.v[dst][k] = self.v[a][k].max(self.v[b][k]);
+                }
+            }
+            Inst::VMinV { dst, a, b } => {
+                let (dst, a, b) = (check_v(dst)?, check_v(a)?, check_v(b)?);
+                for k in 0..vl {
+                    self.v[dst][k] = self.v[a][k].min(self.v[b][k]);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run a whole program.
+    pub fn run(&mut self, program: &[Inst]) -> Result<(), IsaError> {
+        for (i, &inst) in program.iter().enumerate() {
+            self.step(i, inst)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Inst::*;
+
+    #[test]
+    fn scalar_arithmetic() {
+        let mut m = IsaMachine::new(8);
+        m.run(&[
+            SLoadImm { dst: 0, imm: 6 },
+            SLoadImm { dst: 1, imm: 7 },
+            SMul { dst: 2, a: 0, b: 1 },
+            SAdd { dst: 3, a: 2, b: 0 },
+        ])
+        .unwrap();
+        assert_eq!(m.s_reg(2), 42);
+        assert_eq!(m.s_reg(3), 48);
+        assert_eq!(m.instructions_retired(), 4);
+    }
+
+    #[test]
+    fn vector_load_add_store() {
+        let mut m = IsaMachine::new(32);
+        for i in 0..16 {
+            m.mem[i] = i as i64;
+        }
+        m.run(&[
+            SetVl { len: 16 },
+            SLoadImm { dst: 0, imm: 0 },  // base
+            SLoadImm { dst: 1, imm: 1 },  // stride
+            SLoadImm { dst: 2, imm: 16 }, // out base
+            VLoad { dst: 0, base: 0, stride: 1 },
+            VAddV { dst: 1, a: 0, b: 0 },
+            VStore { src: 1, base: 2, stride: 1 },
+        ])
+        .unwrap();
+        assert_eq!(&m.mem[16..32], (0..16).map(|i| 2 * i).collect::<Vec<i64>>().as_slice());
+    }
+
+    #[test]
+    fn strided_access() {
+        let mut m = IsaMachine::new(64);
+        for i in 0..64 {
+            m.mem[i] = i as i64;
+        }
+        m.run(&[
+            SetVl { len: 8 },
+            SLoadImm { dst: 0, imm: 3 }, // base 3
+            SLoadImm { dst: 1, imm: 7 }, // stride 7
+            VLoad { dst: 0, base: 0, stride: 1 },
+        ])
+        .unwrap();
+        assert_eq!(m.v_reg(0), &[3, 10, 17, 24, 31, 38, 45, 52]);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let mut m = IsaMachine::new(32);
+        for i in 0..8 {
+            m.mem[i] = 100 + i as i64;
+        }
+        // idx = [7,6,...,0]; gather reversed, scatter to 16+idx.
+        m.run(&[
+            SetVl { len: 8 },
+            SLoadImm { dst: 0, imm: 7 },
+            SLoadImm { dst: 1, imm: -1 },
+            SLoadImm { dst: 2, imm: 0 },  // gather base
+            SLoadImm { dst: 3, imm: 16 }, // scatter base
+            VIota { dst: 0 },
+            VBroadcast { dst: 1, s: 0 },
+            // idx = 7 - iota
+            VMulV { dst: 2, a: 0, b: 0 }, // scratch (unused value)
+            VAddS { dst: 2, a: 0, s: 1 }, // wrong on purpose? compute 7-iota via iota*(-1)+7
+        ])
+        .unwrap();
+        // Simpler: set idx directly by loading from memory.
+        let mut m = IsaMachine::new(48);
+        for i in 0..8 {
+            m.mem[i] = 100 + i as i64; // data
+            m.mem[8 + i] = (7 - i) as i64; // indices
+        }
+        m.run(&[
+            SetVl { len: 8 },
+            SLoadImm { dst: 0, imm: 8 },
+            SLoadImm { dst: 1, imm: 1 },
+            VLoad { dst: 1, base: 0, stride: 1 }, // V1 = indices
+            SLoadImm { dst: 2, imm: 0 },
+            VGather { dst: 0, base: 2, idx: 1 }, // V0 = data reversed
+            SLoadImm { dst: 3, imm: 16 },
+            VScatter { src: 0, base: 3, idx: 1 }, // undo the reversal
+        ])
+        .unwrap();
+        assert_eq!(m.v_reg(0), &[107, 106, 105, 104, 103, 102, 101, 100]);
+        assert_eq!(&m.mem[16..24], &[100, 101, 102, 103, 104, 105, 106, 107]);
+    }
+
+    #[test]
+    fn scatter_duplicates_last_lane_wins() {
+        let mut m = IsaMachine::new(16);
+        for i in 0..4 {
+            m.mem[i] = 10 + i as i64; // values 10..13
+            m.mem[4 + i] = 9; // all indices the same: cell 9
+        }
+        m.run(&[
+            SetVl { len: 4 },
+            SLoadImm { dst: 0, imm: 0 },
+            SLoadImm { dst: 1, imm: 1 },
+            VLoad { dst: 0, base: 0, stride: 1 },
+            SLoadImm { dst: 2, imm: 4 },
+            VLoad { dst: 1, base: 2, stride: 1 },
+            SLoadImm { dst: 3, imm: 0 },
+            VScatter { src: 0, base: 3, idx: 1 },
+        ])
+        .unwrap();
+        assert_eq!(m.mem[9], 13, "the last lane's store must survive");
+    }
+
+    #[test]
+    fn masked_scatter_skips_false_lanes() {
+        let mut m = IsaMachine::new(32);
+        // data = [5,0,7,0]; mask on != 0; indices 20..24.
+        for (i, v) in [5i64, 0, 7, 0].iter().enumerate() {
+            m.mem[i] = *v;
+            m.mem[8 + i] = 20 + i as i64;
+        }
+        m.run(&[
+            SetVl { len: 4 },
+            SLoadImm { dst: 0, imm: 0 },
+            SLoadImm { dst: 1, imm: 1 },
+            VLoad { dst: 0, base: 0, stride: 1 },
+            SLoadImm { dst: 2, imm: 8 },
+            VLoad { dst: 1, base: 2, stride: 1 },
+            SLoadImm { dst: 3, imm: 0 }, // compare against 0
+            VCmpNeS { a: 0, s: 3 },
+            VScatterMasked { src: 0, base: 3, idx: 1 },
+        ])
+        .unwrap();
+        assert_eq!(&m.mem[20..24], &[5, 0, 7, 0]);
+        assert_eq!(m.mem[21], 0, "false lane must not write");
+    }
+
+    #[test]
+    fn mem_bounds_checked() {
+        let mut m = IsaMachine::new(4);
+        let err = m.run(&[
+            SetVl { len: 4 },
+            SLoadImm { dst: 0, imm: 2 },
+            SLoadImm { dst: 1, imm: 1 },
+            VLoad { dst: 0, base: 0, stride: 1 },
+        ]);
+        assert!(matches!(err, Err(IsaError::MemOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn bad_vl_rejected() {
+        let mut m = IsaMachine::new(4);
+        assert!(matches!(
+            m.run(&[SetVl { len: 0 }]),
+            Err(IsaError::BadVectorLength { len: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn hot_spot_scatter_costs_more() {
+        let cost = |same_addr: bool| {
+            let mut m = IsaMachine::new(128);
+            for i in 0..64 {
+                m.mem[64 + i] = if same_addr { 0 } else { i as i64 };
+            }
+            m.run(&[
+                SLoadImm { dst: 0, imm: 64 },
+                SLoadImm { dst: 1, imm: 1 },
+                VLoad { dst: 1, base: 0, stride: 1 },
+                VIota { dst: 0 },
+                SLoadImm { dst: 2, imm: 0 },
+                VScatter { src: 0, base: 2, idx: 1 },
+            ])
+            .unwrap();
+            m.clocks()
+        };
+        assert!(
+            cost(true) > cost(false) + 150.0,
+            "64 writes to one bank must serialize: {} vs {}",
+            cost(true),
+            cost(false)
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! An instruction-level register vector machine.
+//!
+//! The rest of `cray-sim` charges costs at the granularity of whole
+//! vectorized loops. This module goes one level down: a programmable
+//! vector CPU in the CRAY mold — 8 vector registers of 64 words, scalar
+//! registers, a vector-length register, a vector mask, and an instruction
+//! set with strided loads/stores, gather/scatter, elementwise arithmetic
+//! and masked scatter.
+//!
+//! Its purpose is to make §1.1's execution model *literal*: "A vector
+//! computer with scatter/gather capability may simulate a synchronous PRAM
+//! algorithm by issuing one vector operation for each parallel step."
+//! [`multiprefix_program`] emits the paper's four phases as straight-line
+//! vector code (one strip-mined instruction sequence per `pardo`), and the
+//! machine executes it — the results are tested bit-identical to the host
+//! library, and the correctness of the unguarded gather-op-scatter
+//! sequences rests precisely on the §3.1 theorems (no duplicate parents
+//! within a column strip).
+//!
+//! Timing is charged per instruction: one clock per element plus a
+//! startup, with the same memory-bank serialization model as the coarse
+//! simulator for indexed accesses, and the dummy-location model for masked
+//! scatters. Scatter semantics on duplicate addresses are
+//! **element-order, last writer wins** — which is how the overwrite-and-
+//! test races of the SPINETREE phase resolve on real hardware.
+
+pub mod inst;
+pub mod machine;
+pub mod multiprefix_program;
+pub mod sort_program;
+pub mod spmv_program;
+
+pub use inst::Inst;
+pub use machine::{IsaError, IsaMachine, VLEN};
+pub use multiprefix_program::{emit_multiprefix, run_multiprefix_isa, IsaMultiprefix};
+pub use sort_program::{emit_rank_sort, run_rank_sort_isa, IsaRankSort};
+pub use spmv_program::{emit_spmv, run_spmv_isa, IsaSpmv};

@@ -1,0 +1,472 @@
+//! The paper's algorithm compiled to vector instructions.
+//!
+//! [`emit_multiprefix`] plays the role of the CRAY C compiler in §4: it
+//! strip-mines every `pardo` loop into VL-sized vector instruction groups,
+//! performing exactly the fissions and address tricks the paper describes:
+//!
+//! * SPINETREE is split into a whole-row gather pass followed by a
+//!   whole-row scatter pass ("The compiler splits this (using loop
+//!   fission) into a gather operation followed by a scatter") — fission
+//!   at the *row* level, or a later strip would observe an updated bucket
+//!   pointer within its own row;
+//! * column loops use constant-stride loads with stride = row length;
+//! * the SPINESUM guard is a compare-to-zero mask with a masked scatter —
+//!   dummy-location timing included;
+//! * all pointer dereferences are gathers/scatters against the pivot
+//!   block (buckets at `0..m`, element `i` at `m + i`).
+//!
+//! The emitted program's *correctness* rests on the §3.1 theorems: the
+//! unguarded gather-add-scatter sequences of ROWSUM and MULTISUMS are only
+//! right because no two lanes of a column strip share a parent.
+
+use super::inst::Inst;
+use super::machine::{IsaError, IsaMachine, VLEN};
+use multiprefix::problem::MultiprefixOutput;
+use multiprefix::spinetree::layout::Layout;
+
+/// Memory map of the emitted program inside the ISA machine.
+#[derive(Debug, Clone, Copy)]
+pub struct MemMap {
+    /// Values `[0, n)`.
+    pub a_value: i64,
+    /// Labels `[n, 2n)`.
+    pub a_label: i64,
+    /// Spine pivot block (`m + n` slots).
+    pub a_spine: i64,
+    /// Rowsum pivot block.
+    pub a_rowsum: i64,
+    /// Spinesum pivot block.
+    pub a_spinesum: i64,
+    /// Has-child flags pivot block.
+    pub a_haschild: i64,
+    /// Reductions `[.., m)`.
+    pub a_red: i64,
+    /// Multiprefix output `[.., n)`.
+    pub a_multi: i64,
+    /// Total cells.
+    pub cells: usize,
+}
+
+impl MemMap {
+    fn for_layout(layout: &Layout) -> MemMap {
+        let n = layout.n as i64;
+        let slots = layout.slots() as i64;
+        let a_value = 0;
+        let a_label = n;
+        let a_spine = 2 * n;
+        let a_rowsum = a_spine + slots;
+        let a_spinesum = a_rowsum + slots;
+        let a_haschild = a_spinesum + slots;
+        let a_red = a_haschild + slots;
+        let a_multi = a_red + layout.m as i64;
+        MemMap {
+            a_value,
+            a_label,
+            a_spine,
+            a_rowsum,
+            a_spinesum,
+            a_haschild,
+            a_red,
+            a_multi,
+            cells: (a_multi + n) as usize,
+        }
+    }
+}
+
+// Scalar register conventions inside emitted code.
+const S_BASE: u8 = 0; // load/store base
+const S_STRIDE: u8 = 1; // load/store stride
+const S_REGION: u8 = 2; // gather/scatter region base
+const S_ZERO: u8 = 3; // constant 0
+const S_OFF: u8 = 4; // iota offset
+
+/// Strips of at most [`VLEN`] covering `start..end` (contiguous index
+/// space). Yields `(strip_start, strip_len)`.
+fn strips(start: usize, end: usize) -> impl Iterator<Item = (usize, usize)> {
+    (start..end).step_by(VLEN).map(move |s| (s, (end - s).min(VLEN)))
+}
+
+/// Strips over a strided column: element indices `c, c+w, c+2w, …< n`,
+/// chunked by VL. Yields `(first_element_index, lanes)`.
+fn col_strips(c: usize, w: usize, n: usize) -> Vec<(usize, usize)> {
+    let count = if c >= n { 0 } else { (n - c).div_ceil(w) };
+    (0..count)
+        .step_by(VLEN)
+        .map(|k0| (c + k0 * w, (count - k0).min(VLEN)))
+        .collect()
+}
+
+fn set_vl(p: &mut Vec<Inst>, len: usize) {
+    debug_assert!(len >= 1 && len <= VLEN);
+    p.push(Inst::SetVl { len: len as u8 });
+}
+
+/// Emit the complete four-phase multiprefix-PLUS program for `layout`.
+/// Inputs are expected at [`MemMap::a_value`] / [`MemMap::a_label`];
+/// outputs appear at `a_multi` / `a_red`.
+pub fn emit_multiprefix(layout: &Layout) -> (Vec<Inst>, MemMap) {
+    emit_multiprefix_variant(layout, false)
+}
+
+/// [`emit_multiprefix`] with a **multireduce** option: when `reduce_only`
+/// is set the PREFIXSUM phase is not emitted (§4.2 — "a substantial
+/// savings in time, for only a small modification"); only `a_red` is
+/// produced.
+pub fn emit_multiprefix_variant(layout: &Layout, reduce_only: bool) -> (Vec<Inst>, MemMap) {
+    use Inst::*;
+    let map = MemMap::for_layout(layout);
+    let n = layout.n;
+    let m = layout.m;
+    let w = layout.row_len;
+    let slots = layout.slots();
+    let mut p: Vec<Inst> = Vec::new();
+
+    p.push(SLoadImm { dst: S_ZERO, imm: 0 });
+
+    // ---- INIT: clear the three temp blocks; point buckets at themselves
+    // and elements at their buckets. ---------------------------------------
+    p.push(VBroadcast { dst: 3, s: S_ZERO }); // needs some VL; set before use
+    for region in [map.a_rowsum, map.a_spinesum, map.a_haschild] {
+        for (s0, len) in strips(0, slots) {
+            set_vl(&mut p, len);
+            p.push(VBroadcast { dst: 3, s: S_ZERO });
+            p.push(SLoadImm { dst: S_BASE, imm: region + s0 as i64 });
+            p.push(SLoadImm { dst: S_STRIDE, imm: 1 });
+            p.push(VStore { src: 3, base: S_BASE, stride: S_STRIDE });
+        }
+    }
+    // Buckets: spine[b] = b.
+    for (s0, len) in strips(0, m) {
+        set_vl(&mut p, len);
+        p.push(VIota { dst: 0 });
+        p.push(SLoadImm { dst: S_OFF, imm: s0 as i64 });
+        p.push(VAddS { dst: 0, a: 0, s: S_OFF });
+        p.push(SLoadImm { dst: S_BASE, imm: map.a_spine + s0 as i64 });
+        p.push(SLoadImm { dst: S_STRIDE, imm: 1 });
+        p.push(VStore { src: 0, base: S_BASE, stride: S_STRIDE });
+    }
+    // Elements: spine[m+i] = label[i].
+    for (s0, len) in strips(0, n) {
+        set_vl(&mut p, len);
+        p.push(SLoadImm { dst: S_BASE, imm: map.a_label + s0 as i64 });
+        p.push(SLoadImm { dst: S_STRIDE, imm: 1 });
+        p.push(VLoad { dst: 0, base: S_BASE, stride: S_STRIDE });
+        p.push(SLoadImm { dst: S_BASE, imm: map.a_spine + (m + s0) as i64 });
+        p.push(VStore { src: 0, base: S_BASE, stride: S_STRIDE });
+    }
+
+    // ---- Phase 1: SPINETREE, rows top to bottom. -------------------------
+    for r in layout.rows_top_down() {
+        let row = layout.row_elements(r);
+        // Fission pass A (whole row): temp[i].spine = bucket[label[i]].spine
+        for (s0, len) in strips(row.start, row.end) {
+            set_vl(&mut p, len);
+            p.push(SLoadImm { dst: S_BASE, imm: map.a_label + s0 as i64 });
+            p.push(SLoadImm { dst: S_STRIDE, imm: 1 });
+            p.push(VLoad { dst: 0, base: S_BASE, stride: S_STRIDE }); // labels
+            p.push(SLoadImm { dst: S_REGION, imm: map.a_spine });
+            p.push(VGather { dst: 1, base: S_REGION, idx: 0 }); // bucket ptr
+            p.push(SLoadImm { dst: S_BASE, imm: map.a_spine + (m + s0) as i64 });
+            p.push(VStore { src: 1, base: S_BASE, stride: S_STRIDE });
+        }
+        // Fission pass B (whole row): bucket[label[i]].spine = &temp[i]
+        for (s0, len) in strips(row.start, row.end) {
+            set_vl(&mut p, len);
+            p.push(SLoadImm { dst: S_BASE, imm: map.a_label + s0 as i64 });
+            p.push(SLoadImm { dst: S_STRIDE, imm: 1 });
+            p.push(VLoad { dst: 0, base: S_BASE, stride: S_STRIDE }); // labels
+            p.push(VIota { dst: 2 });
+            p.push(SLoadImm { dst: S_OFF, imm: (m + s0) as i64 });
+            p.push(VAddS { dst: 2, a: 2, s: S_OFF }); // slot addresses m+i
+            p.push(SLoadImm { dst: S_REGION, imm: map.a_spine });
+            p.push(VScatter { src: 2, base: S_REGION, idx: 0 }); // ARB race
+        }
+    }
+
+    // ---- Phase 2: ROWSUM, columns left to right. -------------------------
+    for c in layout.cols_left_right() {
+        for (first, lanes) in col_strips(c, w, n) {
+            set_vl(&mut p, lanes);
+            p.push(SLoadImm { dst: S_STRIDE, imm: w as i64 });
+            p.push(SLoadImm { dst: S_BASE, imm: map.a_spine + (m + first) as i64 });
+            p.push(VLoad { dst: 0, base: S_BASE, stride: S_STRIDE }); // parents
+            p.push(SLoadImm { dst: S_REGION, imm: map.a_rowsum });
+            p.push(VGather { dst: 1, base: S_REGION, idx: 0 }); // rowsum[p]
+            p.push(SLoadImm { dst: S_BASE, imm: map.a_value + first as i64 });
+            p.push(VLoad { dst: 2, base: S_BASE, stride: S_STRIDE }); // values
+            p.push(VAddV { dst: 1, a: 1, b: 2 });
+            p.push(VScatter { src: 1, base: S_REGION, idx: 0 }); // exclusive by Thm 1
+            // has_child[p] = 1
+            p.push(SLoadImm { dst: S_OFF, imm: 1 });
+            p.push(VBroadcast { dst: 3, s: S_OFF });
+            p.push(SLoadImm { dst: S_REGION, imm: map.a_haschild });
+            p.push(VScatter { src: 3, base: S_REGION, idx: 0 });
+        }
+    }
+
+    // ---- Phase 3: SPINESUM, rows bottom to top (masked). -----------------
+    for r in layout.rows_bottom_up() {
+        let row = layout.row_elements(r);
+        for (s0, len) in strips(row.start, row.end) {
+            set_vl(&mut p, len);
+            p.push(SLoadImm { dst: S_STRIDE, imm: 1 });
+            p.push(SLoadImm { dst: S_BASE, imm: map.a_haschild + (m + s0) as i64 });
+            p.push(VLoad { dst: 0, base: S_BASE, stride: S_STRIDE }); // flags
+            p.push(VCmpNeS { a: 0, s: S_ZERO }); // mask = spine elements
+            p.push(SLoadImm { dst: S_BASE, imm: map.a_spinesum + (m + s0) as i64 });
+            p.push(VLoad { dst: 1, base: S_BASE, stride: S_STRIDE });
+            p.push(SLoadImm { dst: S_BASE, imm: map.a_rowsum + (m + s0) as i64 });
+            p.push(VLoad { dst: 2, base: S_BASE, stride: S_STRIDE });
+            p.push(VAddV { dst: 1, a: 1, b: 2 }); // spinesum + rowsum
+            p.push(SLoadImm { dst: S_BASE, imm: map.a_spine + (m + s0) as i64 });
+            p.push(VLoad { dst: 3, base: S_BASE, stride: S_STRIDE }); // parents
+            p.push(SLoadImm { dst: S_REGION, imm: map.a_spinesum });
+            p.push(VScatterMasked { src: 1, base: S_REGION, idx: 3 });
+        }
+    }
+
+    // Reductions: red[b] = spinesum[b] + rowsum[b] (§4.2's vector add).
+    for (s0, len) in strips(0, m) {
+        set_vl(&mut p, len);
+        p.push(SLoadImm { dst: S_STRIDE, imm: 1 });
+        p.push(SLoadImm { dst: S_BASE, imm: map.a_spinesum + s0 as i64 });
+        p.push(VLoad { dst: 0, base: S_BASE, stride: S_STRIDE });
+        p.push(SLoadImm { dst: S_BASE, imm: map.a_rowsum + s0 as i64 });
+        p.push(VLoad { dst: 1, base: S_BASE, stride: S_STRIDE });
+        p.push(VAddV { dst: 0, a: 0, b: 1 });
+        p.push(SLoadImm { dst: S_BASE, imm: map.a_red + s0 as i64 });
+        p.push(VStore { src: 0, base: S_BASE, stride: S_STRIDE });
+    }
+
+    // ---- Phase 4: PREFIXSUM (MULTISUMS), columns left to right. ----------
+    if reduce_only {
+        return (p, map);
+    }
+    for c in layout.cols_left_right() {
+        for (first, lanes) in col_strips(c, w, n) {
+            set_vl(&mut p, lanes);
+            p.push(SLoadImm { dst: S_STRIDE, imm: w as i64 });
+            p.push(SLoadImm { dst: S_BASE, imm: map.a_spine + (m + first) as i64 });
+            p.push(VLoad { dst: 0, base: S_BASE, stride: S_STRIDE }); // parents
+            p.push(SLoadImm { dst: S_REGION, imm: map.a_spinesum });
+            p.push(VGather { dst: 1, base: S_REGION, idx: 0 }); // prefix
+            p.push(SLoadImm { dst: S_BASE, imm: map.a_multi + first as i64 });
+            p.push(VStore { src: 1, base: S_BASE, stride: S_STRIDE });
+            p.push(SLoadImm { dst: S_BASE, imm: map.a_value + first as i64 });
+            p.push(VLoad { dst: 2, base: S_BASE, stride: S_STRIDE });
+            p.push(VAddV { dst: 1, a: 1, b: 2 });
+            p.push(VScatter { src: 1, base: S_REGION, idx: 0 });
+        }
+    }
+
+    (p, map)
+}
+
+/// A finished ISA run.
+#[derive(Debug, Clone)]
+pub struct IsaMultiprefix {
+    /// Sums and reductions read back from machine memory.
+    pub output: MultiprefixOutput<i64>,
+    /// Simulated clocks.
+    pub clocks: f64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Program length (static instruction count).
+    pub program_len: usize,
+}
+
+/// Emit, load, run and read back a multiprefix-PLUS over `i64`.
+pub fn run_multiprefix_isa(
+    values: &[i64],
+    labels: &[usize],
+    m: usize,
+    layout: Layout,
+) -> Result<IsaMultiprefix, IsaError> {
+    assert_eq!(values.len(), labels.len());
+    assert_eq!(values.len(), layout.n);
+    assert_eq!(m, layout.m);
+    let (program, map) = emit_multiprefix(&layout);
+    let mut machine = IsaMachine::new(map.cells.max(1));
+    for (i, (&v, &l)) in values.iter().zip(labels).enumerate() {
+        machine.mem[map.a_value as usize + i] = v;
+        machine.mem[map.a_label as usize + i] = l as i64;
+    }
+    machine.run(&program)?;
+    let sums = machine.mem[map.a_multi as usize..map.a_multi as usize + layout.n].to_vec();
+    let reductions = machine.mem[map.a_red as usize..map.a_red as usize + m].to_vec();
+    Ok(IsaMultiprefix {
+        output: MultiprefixOutput { sums, reductions },
+        clocks: machine.clocks(),
+        instructions: machine.instructions_retired(),
+        program_len: program.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiprefix::op::Plus;
+    use multiprefix::serial::multiprefix_serial;
+
+    fn lcg_labels(n: usize, m: usize, seed: u64) -> Vec<usize> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as usize) % m
+            })
+            .collect()
+    }
+
+    #[test]
+    fn figure_1_on_the_isa() {
+        let values = [1i64, 3, 2, 1, 1, 2, 3, 1];
+        let labels = [1usize, 2, 1, 1, 2, 2, 1, 1];
+        let layout = Layout::square(8, 4);
+        let run = run_multiprefix_isa(&values, &labels, 4, layout).unwrap();
+        assert_eq!(run.output.sums, vec![0, 0, 1, 3, 3, 4, 4, 7]);
+        assert_eq!(run.output.reductions, vec![0, 8, 6, 0]);
+    }
+
+    #[test]
+    fn matches_host_library_on_mixed_input() {
+        let n = 3000;
+        let m = 23;
+        let values: Vec<i64> = (0..n as i64).map(|i| i % 41 - 20).collect();
+        let labels = lcg_labels(n, m, 7);
+        let layout = Layout::square(n, m);
+        let run = run_multiprefix_isa(&values, &labels, m, layout).unwrap();
+        let expect = multiprefix_serial(&values, &labels, m, Plus);
+        assert_eq!(run.output.sums, expect.sums);
+        assert_eq!(run.output.reductions, expect.reductions);
+        assert!(run.clocks > 0.0);
+        assert!(run.instructions as usize >= run.program_len);
+    }
+
+    #[test]
+    fn heavy_load_single_class() {
+        let n = 1000;
+        let values: Vec<i64> = (0..n as i64).collect();
+        let labels = vec![0usize; n];
+        let layout = Layout::square(n, 1);
+        let run = run_multiprefix_isa(&values, &labels, 1, layout).unwrap();
+        let expect = multiprefix_serial(&values, &labels, 1, Plus);
+        assert_eq!(run.output.sums, expect.sums);
+        assert_eq!(run.output.reductions, expect.reductions);
+    }
+
+    #[test]
+    fn light_load_all_distinct() {
+        let n = 500;
+        let values: Vec<i64> = (0..n as i64).map(|i| 3 * i + 1).collect();
+        let labels: Vec<usize> = (0..n).collect();
+        let layout = Layout::square(n, n);
+        let run = run_multiprefix_isa(&values, &labels, n, layout).unwrap();
+        let expect = multiprefix_serial(&values, &labels, n, Plus);
+        assert_eq!(run.output.sums, expect.sums);
+        assert_eq!(run.output.reductions, expect.reductions);
+    }
+
+    #[test]
+    fn odd_row_lengths_and_ragged_grids() {
+        let n = 777;
+        let m = 13;
+        let values: Vec<i64> = (0..n as i64).map(|i| i % 9 - 4).collect();
+        let labels = lcg_labels(n, m, 5);
+        let expect = multiprefix_serial(&values, &labels, m, Plus);
+        for row_len in [1usize, 7, 33, 100, 777] {
+            let layout = Layout::with_row_len(n, m, row_len);
+            let run = run_multiprefix_isa(&values, &labels, m, layout).unwrap();
+            assert_eq!(run.output.sums, expect.sums, "row_len {row_len}");
+            assert_eq!(run.output.reductions, expect.reductions, "row_len {row_len}");
+        }
+    }
+
+    #[test]
+    fn cancelling_values_mask_still_correct() {
+        // The has_child mask (not rowsum != 0) must drive the masked
+        // scatter: values summing to zero on a spine element.
+        let values = [1i64, -1, 1, -1, 5, 0, 2, -2, 7];
+        let labels = [0usize; 9];
+        let layout = Layout::with_row_len(9, 1, 3);
+        let run = run_multiprefix_isa(&values, &labels, 1, layout).unwrap();
+        let expect = multiprefix_serial(&values, &labels, 1, Plus);
+        assert_eq!(run.output.sums, expect.sums);
+        assert_eq!(run.output.reductions, expect.reductions);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let layout = Layout::square(1, 2);
+        let run = run_multiprefix_isa(&[9], &[1], 2, layout).unwrap();
+        assert_eq!(run.output.sums, vec![0]);
+        assert_eq!(run.output.reductions, vec![0, 9]);
+    }
+
+    #[test]
+    fn heavy_load_pays_more_spinetree_clocks_per_element() {
+        let n = 4096;
+        let values = vec![1i64; n];
+        let heavy = run_multiprefix_isa(&values, &vec![0; n], 1, Layout::square(n, 1)).unwrap();
+        let labels = lcg_labels(n, n / 4, 3);
+        let moderate =
+            run_multiprefix_isa(&values, &labels, n / 4, Layout::square(n, n / 4)).unwrap();
+        // Same program shape, but the heavy run's scatters serialize.
+        assert!(
+            heavy.clocks > moderate.clocks,
+            "heavy {} should exceed moderate {}",
+            heavy.clocks,
+            moderate.clocks
+        );
+    }
+}
+
+#[cfg(test)]
+mod stride_hygiene_tests {
+    use super::*;
+    use multiprefix::op::Plus;
+    use multiprefix::serial::multiprefix_serial;
+
+    /// §4.4: "a more important consideration is the choice of a value that
+    /// minimizes memory bank conflicts. Our implementation chooses a value
+    /// near the square root that is not a multiple of the number of memory
+    /// banks nor of the bank cycle time."
+    ///
+    /// On the ISA machine the column loops use constant-stride loads with
+    /// stride = row length; a row length that is a multiple of the bank
+    /// count sends every access of a strip to ONE bank and serializes.
+    #[test]
+    fn bank_aligned_row_length_is_slower_and_still_correct() {
+        let n = 64 * 64;
+        let m = 32;
+        let values: Vec<i64> = (0..n as i64).map(|i| i % 9 - 4).collect();
+        let labels: Vec<usize> = (0..n).map(|i| (i * 7) % m).collect();
+        let expect = multiprefix_serial(&values, &labels, m, Plus);
+
+        // 64 = the bank count: worst possible column stride.
+        let aligned = run_multiprefix_isa(
+            &values,
+            &labels,
+            m,
+            Layout::with_row_len(n, m, 64),
+        )
+        .unwrap();
+        // 65: odd, coprime with the banks — the hygiene the paper applies.
+        let odd = run_multiprefix_isa(
+            &values,
+            &labels,
+            m,
+            Layout::with_row_len(n, m, 65),
+        )
+        .unwrap();
+
+        assert_eq!(aligned.output.sums, expect.sums);
+        assert_eq!(odd.output.sums, expect.sums);
+        assert!(
+            aligned.clocks > 1.5 * odd.clocks,
+            "bank-aligned stride ({}) should serialize badly vs odd ({})",
+            aligned.clocks,
+            odd.clocks
+        );
+    }
+}

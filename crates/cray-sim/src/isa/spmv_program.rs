@@ -1,0 +1,167 @@
+//! Figure 12's sparse mat-vec compiled to machine code.
+//!
+//! ```text
+//! PARALLEL-MATVECT:
+//!     pardo (i = 1 to n)
+//!         product[i] = vals[i] × vector[cols[i]];
+//!     MR(product, rows, +, vector);
+//! ```
+//!
+//! The product `pardo` is a strip-mined load/gather/multiply/store
+//! sequence; the multireduce is the reduce-only multiprefix program of
+//! [`super::multiprefix_program::emit_multiprefix_variant`] keyed by the
+//! row indices. The ISA carries `i64` words, so this is an exact
+//! integer-matrix multiply — the structure and timing (which is what the
+//! cost model is for) are identical to the floating case; host numerics
+//! live in the `spmv` crate.
+
+use super::inst::Inst;
+use super::machine::{IsaError, IsaMachine, VLEN};
+use super::multiprefix_program::{emit_multiprefix_variant, MemMap};
+use multiprefix::spinetree::layout::Layout;
+
+/// Memory map of the SpMV program.
+#[derive(Debug, Clone, Copy)]
+pub struct SpmvMap {
+    /// The embedded multiprefix block: products land at its `a_value`,
+    /// row indices at its `a_label`, the output `y` at its `a_red`.
+    pub mp: MemMap,
+    /// The dense vector `x` `[.., order)`.
+    pub a_x: i64,
+    /// Matrix values `[.., nnz)`.
+    pub a_vals: i64,
+    /// Column indices `[.., nnz)`.
+    pub a_cols: i64,
+    /// Total cells.
+    pub cells: usize,
+}
+
+/// Emit the SpMV program for an `order × order` matrix with `nnz`
+/// nonzeros (the multireduce geometry comes from `layout`, which must
+/// have `n = nnz`, `m = order`).
+pub fn emit_spmv(layout: &Layout) -> (Vec<Inst>, SpmvMap) {
+    use Inst::*;
+    let nnz = layout.n;
+    let order = layout.m;
+    let (mp_program, mp) = emit_multiprefix_variant(layout, true);
+    let a_x = mp.cells as i64;
+    let a_vals = a_x + order as i64;
+    let a_cols = a_vals + nnz as i64;
+    let map = SpmvMap { mp, a_x, a_vals, a_cols, cells: (a_cols + nnz as i64) as usize };
+
+    let mut p: Vec<Inst> = Vec::new();
+    // ---- Product pardo: product[i] = vals[i] * x[cols[i]] ---------------
+    for s0 in (0..nnz).step_by(VLEN) {
+        let len = (nnz - s0).min(VLEN);
+        p.push(SetVl { len: len as u8 });
+        p.push(SLoadImm { dst: 1, imm: 1 });
+        p.push(SLoadImm { dst: 0, imm: map.a_cols + s0 as i64 });
+        p.push(VLoad { dst: 0, base: 0, stride: 1 }); // cols
+        p.push(SLoadImm { dst: 2, imm: map.a_x });
+        p.push(VGather { dst: 1, base: 2, idx: 0 }); // x[col]
+        p.push(SLoadImm { dst: 0, imm: map.a_vals + s0 as i64 });
+        p.push(VLoad { dst: 2, base: 0, stride: 1 }); // vals
+        p.push(VMulV { dst: 1, a: 1, b: 2 });
+        p.push(SLoadImm { dst: 0, imm: mp.a_value + s0 as i64 });
+        p.push(VStore { src: 1, base: 0, stride: 1 }); // products
+    }
+    // ---- Multireduce keyed by row index ----------------------------------
+    p.extend(mp_program);
+    (p, map)
+}
+
+/// A finished ISA SpMV run.
+#[derive(Debug, Clone)]
+pub struct IsaSpmv {
+    /// `y = A·x` (exact integer arithmetic).
+    pub y: Vec<i64>,
+    /// Simulated clocks.
+    pub clocks: f64,
+    /// Instructions retired.
+    pub instructions: u64,
+}
+
+/// Emit, load and run an integer SpMV on the ISA machine.
+pub fn run_spmv_isa(
+    order: usize,
+    rows: &[usize],
+    cols: &[usize],
+    vals: &[i64],
+    x: &[i64],
+) -> Result<IsaSpmv, IsaError> {
+    assert_eq!(rows.len(), cols.len());
+    assert_eq!(rows.len(), vals.len());
+    assert_eq!(x.len(), order);
+    let layout = Layout::square(rows.len(), order);
+    let (program, map) = emit_spmv(&layout);
+    let mut machine = IsaMachine::new(map.cells.max(1));
+    for (i, ((&r, &c), &v)) in rows.iter().zip(cols).zip(vals).enumerate() {
+        machine.mem[map.mp.a_label as usize + i] = r as i64;
+        machine.mem[map.a_cols as usize + i] = c as i64;
+        machine.mem[map.a_vals as usize + i] = v;
+    }
+    for (j, &xj) in x.iter().enumerate() {
+        machine.mem[map.a_x as usize + j] = xj;
+    }
+    machine.run(&program)?;
+    let y = machine.mem[map.mp.a_red as usize..map.mp.a_red as usize + order].to_vec();
+    Ok(IsaSpmv { y, clocks: machine.clocks(), instructions: machine.instructions_retired() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_oracle(order: usize, rows: &[usize], cols: &[usize], vals: &[i64], x: &[i64]) -> Vec<i64> {
+        let mut y = vec![0i64; order];
+        for k in 0..rows.len() {
+            y[rows[k]] += vals[k] * x[cols[k]];
+        }
+        y
+    }
+
+    #[test]
+    fn small_matrix() {
+        // [1 0 3]      [1]   [10]
+        // [2 0 0]  ×   [2] = [ 2]
+        // [0 4 5]      [3]   [23]
+        let rows = [0usize, 0, 1, 2, 2];
+        let cols = [0usize, 2, 0, 1, 2];
+        let vals = [1i64, 3, 2, 4, 5];
+        let x = [1i64, 2, 3];
+        let run = run_spmv_isa(3, &rows, &cols, &vals, &x).unwrap();
+        assert_eq!(run.y, vec![10, 2, 23]);
+    }
+
+    #[test]
+    fn random_structure_matches_oracle() {
+        let order = 60;
+        let nnz = 700;
+        let mut state = 77u64;
+        let mut step = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let rows: Vec<usize> = (0..nnz).map(|_| step() % order).collect();
+        let cols: Vec<usize> = (0..nnz).map(|_| step() % order).collect();
+        let vals: Vec<i64> = (0..nnz).map(|_| (step() % 9) as i64 - 4).collect();
+        let x: Vec<i64> = (0..order).map(|_| (step() % 7) as i64 - 3).collect();
+        let run = run_spmv_isa(order, &rows, &cols, &vals, &x).unwrap();
+        assert_eq!(run.y, dense_oracle(order, &rows, &cols, &vals, &x));
+    }
+
+    #[test]
+    fn empty_rows_stay_zero() {
+        let run = run_spmv_isa(3, &[1], &[2], &[7], &[0, 0, 5]).unwrap();
+        assert_eq!(run.y, vec![0, 35, 0]);
+    }
+
+    #[test]
+    fn reduce_only_program_is_shorter_than_full() {
+        use super::super::multiprefix_program::emit_multiprefix_variant;
+        let layout = Layout::square(1000, 100);
+        let (full, _) = emit_multiprefix_variant(&layout, false);
+        let (reduce, _) = emit_multiprefix_variant(&layout, true);
+        assert!(reduce.len() < full.len(), "§4.2: multireduce must skip a phase");
+    }
+}

@@ -1,0 +1,8 @@
+//! Timed kernels: the paper's loops, executed for real while charging the
+//! simulated clock.
+
+pub mod multiprefix;
+pub mod sort;
+pub mod spmv;
+
+pub use multiprefix::{multiprefix_timed, multiprefix_timed_with_layout, MpVariant, PhaseClocks, TimedMultiprefix};

@@ -1,0 +1,393 @@
+//! The four multiprefix loops (§4.1) on the simulated machine.
+//!
+//! Execution is delegated to the `multiprefix` core crate (the same code
+//! path as the host library — results are bit-identical); timing is charged
+//! loop by loop with the real address streams, so the data-dependent
+//! effects of §4.3 (heavy-load hot spots, light-load dummy contention,
+//! all-false early exits) emerge from the input rather than from
+//! case-by-case formulas.
+
+use crate::machine::VectorMachine;
+use crate::params::CostBook;
+use multiprefix::op::{CombineOp, Plus};
+use multiprefix::problem::{Element, MultiprefixOutput};
+use multiprefix::spinetree::build::{build_spinetree, ArbPolicy};
+use multiprefix::spinetree::layout::Layout;
+use multiprefix::spinetree::phases::{bucket_reductions, multisums, rowsums, spinesums};
+
+/// Which variant of the operation to run/charge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpVariant {
+    /// All values are a compile-time constant 1 (§5.1.1): the ROWSUM and
+    /// PREFIXSUM loops skip one memory access each and use the cheaper
+    /// `*_const1` parameters.
+    pub const_one_values: bool,
+    /// Multireduce only (§4.2): skip the PREFIXSUM phase entirely and
+    /// charge the cheap reduction-extraction vector add instead.
+    pub reduce_only: bool,
+}
+
+impl MpVariant {
+    /// The full multiprefix with data-dependent values.
+    pub const FULL: MpVariant = MpVariant { const_one_values: false, reduce_only: false };
+    /// Multireduce with data-dependent values.
+    pub const REDUCE: MpVariant = MpVariant { const_one_values: false, reduce_only: true };
+    /// Full multiprefix over constant-1 values (sorting's first call).
+    pub const FULL_CONST1: MpVariant = MpVariant { const_one_values: true, reduce_only: false };
+}
+
+/// Per-phase simulated clocks.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseClocks {
+    /// Initialization sweep.
+    pub init: f64,
+    /// SPINETREE phase.
+    pub spinetree: f64,
+    /// ROWSUM phase.
+    pub rowsum: f64,
+    /// SPINESUM phase.
+    pub spinesum: f64,
+    /// PREFIXSUM (MULTISUMS) phase — 0 when `reduce_only`.
+    pub prefixsum: f64,
+    /// Reduction extraction — 0 unless `reduce_only`.
+    pub extract: f64,
+}
+
+impl PhaseClocks {
+    /// Total clocks over all phases.
+    pub fn total(&self) -> f64 {
+        self.init + self.spinetree + self.rowsum + self.spinesum + self.prefixsum + self.extract
+    }
+
+    /// Clocks per element — Figure 10's y-axis.
+    pub fn per_element(&self, n: usize) -> f64 {
+        self.total() / n.max(1) as f64
+    }
+}
+
+/// A timed multiprefix run. Defaults to the `i64` element type the
+/// Table/Figure harnesses use; the generic entry point
+/// [`multiprefix_timed_op`] produces other element types.
+#[derive(Debug, Clone)]
+pub struct TimedMultiprefix<T = i64> {
+    /// The (real, host-computed) result.
+    pub output: MultiprefixOutput<T>,
+    /// Per-phase clock charges.
+    pub clocks: PhaseClocks,
+    /// Geometry used.
+    pub layout: Layout,
+}
+
+/// Run multiprefix-PLUS over `i64` on the simulated machine, charging each
+/// `pardo` issue. Preconditions: labels `< m`, `values.len() == labels.len()`.
+pub fn multiprefix_timed(
+    machine: &mut VectorMachine,
+    book: &CostBook,
+    values: &[i64],
+    labels: &[usize],
+    m: usize,
+    variant: MpVariant,
+) -> TimedMultiprefix {
+    let layout = Layout::square(values.len(), m);
+    multiprefix_timed_with_layout(machine, book, values, labels, layout, variant)
+}
+
+/// [`multiprefix_timed`] with an explicit [`Layout`] — the knob the §4.4
+/// row-length ablation turns.
+pub fn multiprefix_timed_with_layout(
+    machine: &mut VectorMachine,
+    book: &CostBook,
+    values: &[i64],
+    labels: &[usize],
+    layout: Layout,
+    variant: MpVariant,
+) -> TimedMultiprefix {
+    multiprefix_timed_op(machine, book, values, labels, layout, variant, Plus)
+}
+
+/// The fully generic timed kernel: any element type, any associative
+/// operator (§4: "ADD, MULT, MAX, MIN, AND, OR on data types INTEGER,
+/// DOUBLE and BOOLEAN" were all generated from one template — this is the
+/// template). The clock charges are value-independent, so all operators
+/// cost the same; only the computed results differ.
+pub fn multiprefix_timed_op<T: Element, O: CombineOp<T>>(
+    machine: &mut VectorMachine,
+    book: &CostBook,
+    values: &[T],
+    labels: &[usize],
+    layout: Layout,
+    variant: MpVariant,
+    op: O,
+) -> TimedMultiprefix<T> {
+    assert_eq!(values.len(), labels.len());
+    assert_eq!(values.len(), layout.n);
+    let n = layout.n;
+    let m = layout.m;
+    let slots = layout.slots();
+    let mut clocks = PhaseClocks::default();
+
+    let start = machine.clocks();
+    // INIT (§4: buckets cleared directly, element temporaries cleared in a
+    // second contiguous sweep).
+    machine.charge_loop(book.init.te, book.init.n_half, m);
+    machine.charge_loop(book.init.te, book.init.n_half, n);
+    clocks.init = machine.clocks() - start;
+
+    // ---- SPINETREE -----------------------------------------------------
+    let t0 = machine.clocks();
+    for r in layout.rows_top_down() {
+        let row = layout.row_elements(r);
+        machine.charge_loop(book.spinetree.te, book.spinetree.n_half, row.len());
+        // Two indexed streams (the gather and the scatter of the bucket
+        // pointer) share the bucket-address pattern of this row.
+        machine.charge_indexed(row.clone().map(|i| labels[i]), 2.0);
+    }
+    let spine = build_spinetree(labels, &layout, ArbPolicy::LastWins);
+    clocks.spinetree = machine.clocks() - t0;
+
+    // ---- ROWSUM ----------------------------------------------------------
+    let t0 = machine.clocks();
+    let rowsum_params = if variant.const_one_values { book.rowsum_const1 } else { book.rowsum };
+    for c in layout.cols_left_right() {
+        let col: Vec<usize> = layout.col_elements(c).collect();
+        machine.charge_loop(rowsum_params.te, rowsum_params.n_half, col.len());
+        machine.charge_indexed(col.iter().map(|&i| spine[m + i]), 2.0);
+    }
+    let mut rowsum = vec![op.identity(); slots];
+    let mut has_child = vec![false; slots];
+    rowsums(values, &spine, &layout, op, &mut rowsum, &mut has_child);
+    clocks.rowsum = machine.clocks() - t0;
+
+    // ---- SPINESUM --------------------------------------------------------
+    let t0 = machine.clocks();
+    let mut mask_buf: Vec<bool> = Vec::with_capacity(layout.row_len);
+    for r in layout.rows_bottom_up() {
+        mask_buf.clear();
+        mask_buf.extend(layout.row_elements(r).map(|i| has_child[m + i]));
+        machine.charge_masked_loop(book.spinesum.te, book.spinesum.n_half, &mask_buf);
+    }
+    let mut spinesum = vec![op.identity(); slots];
+    spinesums(&spine, &layout, op, &rowsum, &has_child, &mut spinesum);
+    clocks.spinesum = machine.clocks() - t0;
+
+    let reductions = bucket_reductions(&layout, op, &rowsum, &spinesum);
+
+    // ---- PREFIXSUM or reduction extraction ------------------------------
+    let mut sums = vec![op.identity(); n];
+    if variant.reduce_only {
+        let t0 = machine.clocks();
+        machine.charge_loop(book.reduce_extract.te, book.reduce_extract.n_half, m);
+        clocks.extract = machine.clocks() - t0;
+    } else {
+        let t0 = machine.clocks();
+        let pf = if variant.const_one_values { book.prefixsum_const1 } else { book.prefixsum };
+        for c in layout.cols_left_right() {
+            let col: Vec<usize> = layout.col_elements(c).collect();
+            machine.charge_loop(pf.te, pf.n_half, col.len());
+            machine.charge_indexed(col.iter().map(|&i| spine[m + i]), 2.0);
+        }
+        multisums(values, &spine, &layout, op, &mut spinesum, &mut sums);
+        clocks.prefixsum = machine.clocks() - t0;
+    }
+
+    TimedMultiprefix {
+        output: MultiprefixOutput { sums, reductions },
+        clocks,
+        layout,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiprefix::serial::multiprefix_serial;
+
+    fn lcg_labels(n: usize, m: usize, seed: u64) -> Vec<usize> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as usize) % m
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_match_host_library() {
+        let n = 5000;
+        let m = 37;
+        let values: Vec<i64> = (0..n as i64).map(|i| i % 97 - 48).collect();
+        let labels = lcg_labels(n, m, 7);
+        let mut machine = VectorMachine::ymp();
+        let run = multiprefix_timed(&mut machine, &CostBook::default(), &values, &labels, m, MpVariant::FULL);
+        let expect = multiprefix_serial(&values, &labels, m, Plus);
+        assert_eq!(run.output.sums, expect.sums);
+        assert_eq!(run.output.reductions, expect.reductions);
+        assert!(machine.clocks() > 0.0);
+        assert!((machine.clocks() - run.clocks.total()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn moderate_load_per_element_near_table_3_sum() {
+        // Moderate load: t_e sums to 5.3+4.1+7.4+6.9 ≈ 23.7 clk/elt plus
+        // init and startups; Figure 10's moderate curves sit in the low-to-
+        // mid 20s. Accept a generous band.
+        let n = 262_144;
+        let m = n / 16; // load factor 16
+        let values = vec![3i64; n];
+        let labels = lcg_labels(n, m, 11);
+        let mut machine = VectorMachine::ymp();
+        let run = multiprefix_timed(&mut machine, &CostBook::default(), &values, &labels, m, MpVariant::FULL);
+        let per_elt = run.clocks.per_element(n);
+        assert!(
+            (18.0..32.0).contains(&per_elt),
+            "moderate load {per_elt:.1} clk/elt outside the Figure 10 band"
+        );
+    }
+
+    #[test]
+    fn heavy_load_spinetree_slows_spinesum_speeds() {
+        // §4.3 Heavy Load: SPINETREE "12 to 13 clock ticks per element";
+        // SPINESUMS "2 to 3 clock ticks per element" (early exits).
+        let n = 262_144;
+        let values = vec![1i64; n];
+        let labels = vec![0usize; n];
+        let mut machine = VectorMachine::ymp();
+        let run = multiprefix_timed(&mut machine, &CostBook::default(), &values, &labels, 1, MpVariant::FULL);
+        let st = run.clocks.spinetree / n as f64;
+        let ss = run.clocks.spinesum / n as f64;
+        assert!((10.0..15.0).contains(&st), "heavy-load SPINETREE = {st:.1} clk/elt");
+        assert!(ss < 3.5, "heavy-load SPINESUM = {ss:.1} clk/elt should be tiny");
+    }
+
+    #[test]
+    fn light_load_spinesum_slows() {
+        // §4.3 Light Load: many false lanes → dummy hot spot → "8 to 9
+        // clock ticks per element" in SPINESUMS.
+        let n = 262_144;
+        let values = vec![1i64; n];
+        let labels = lcg_labels(n, n, 13); // ~one element per bucket
+        let mut machine = VectorMachine::ymp();
+        let run = multiprefix_timed(&mut machine, &CostBook::default(), &values, &labels, n, MpVariant::FULL);
+        let ss = run.clocks.spinesum / n as f64;
+        assert!(
+            (7.5..11.0).contains(&ss),
+            "light-load SPINESUM = {ss:.1} clk/elt, expected the 8-9 band"
+        );
+    }
+
+    #[test]
+    fn total_is_load_insensitive() {
+        // The paper's headline observation (§4.3): "the absolute
+        // performance of this algorithm shows little sensitivity to these
+        // variations … the time per element required varies no more than a
+        // few clocks."
+        let n = 65_536;
+        let values = vec![1i64; n];
+        let mut per_elt = Vec::new();
+        for m in [1usize, n / 256, n / 16, n] {
+            let labels = if m == 1 { vec![0usize; n] } else { lcg_labels(n, m, 3) };
+            let mut machine = VectorMachine::ymp();
+            let run =
+                multiprefix_timed(&mut machine, &CostBook::default(), &values, &labels, m, MpVariant::FULL);
+            per_elt.push(run.clocks.per_element(n));
+        }
+        let min = per_elt.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_elt.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            max - min < 10.0,
+            "per-element spread {min:.1}..{max:.1} too wide: {per_elt:?}"
+        );
+    }
+
+    #[test]
+    fn reduce_only_is_cheaper() {
+        let n = 65_536;
+        let m = n / 16;
+        let values = vec![2i64; n];
+        let labels = lcg_labels(n, m, 19);
+        let book = CostBook::default();
+        let mut m1 = VectorMachine::ymp();
+        let full = multiprefix_timed(&mut m1, &book, &values, &labels, m, MpVariant::FULL);
+        let mut m2 = VectorMachine::ymp();
+        let reduce = multiprefix_timed(&mut m2, &book, &values, &labels, m, MpVariant::REDUCE);
+        assert_eq!(full.output.reductions, reduce.output.reductions);
+        assert!(
+            m2.clocks() < m1.clocks() - 0.8 * full.clocks.prefixsum,
+            "multireduce should save ~the whole PREFIXSUM phase"
+        );
+    }
+
+    #[test]
+    fn const1_variant_is_cheaper_and_correct() {
+        let n = 32_768;
+        let m = 512;
+        let values = vec![1i64; n];
+        let labels = lcg_labels(n, m, 23);
+        let book = CostBook::default();
+        let mut m1 = VectorMachine::ymp();
+        let a = multiprefix_timed(&mut m1, &book, &values, &labels, m, MpVariant::FULL);
+        let mut m2 = VectorMachine::ymp();
+        let b = multiprefix_timed(&mut m2, &book, &values, &labels, m, MpVariant::FULL_CONST1);
+        assert_eq!(a.output, b.output);
+        assert!(m2.clocks() < m1.clocks());
+    }
+}
+
+#[cfg(test)]
+mod generic_op_tests {
+    use super::*;
+    use multiprefix::op::{FirstLast, Max, Min};
+    use multiprefix::serial::multiprefix_serial;
+    use multiprefix::spinetree::layout::Layout;
+
+    #[test]
+    fn max_and_min_through_the_timed_kernel() {
+        let n = 2000;
+        let m = 17;
+        let values: Vec<i64> = (0..n as i64).map(|i| (i * 37) % 101 - 50).collect();
+        let labels: Vec<usize> = (0..n).map(|i| (i * 7) % m).collect();
+        let layout = Layout::square(n, m);
+        let book = CostBook::default();
+        let mut machine = VectorMachine::ymp();
+        let mx = multiprefix_timed_op(&mut machine, &book, &values, &labels, layout, MpVariant::FULL, Max);
+        assert_eq!(mx.output, multiprefix_serial(&values, &labels, m, Max));
+        let mut machine = VectorMachine::ymp();
+        let mn = multiprefix_timed_op(&mut machine, &book, &values, &labels, layout, MpVariant::FULL, Min);
+        assert_eq!(mn.output, multiprefix_serial(&values, &labels, m, Min));
+    }
+
+    #[test]
+    fn noncommutative_and_float_elements() {
+        let n = 500;
+        let m = 5;
+        let labels: Vec<usize> = (0..n).map(|i| i % m).collect();
+        let layout = Layout::square(n, m);
+        let book = CostBook::default();
+
+        let pairs: Vec<(i32, i32)> = (0..n as i32).map(|i| (i, i)).collect();
+        let mut machine = VectorMachine::ymp();
+        let run = multiprefix_timed_op(&mut machine, &book, &pairs, &labels, layout, MpVariant::FULL, FirstLast);
+        assert_eq!(run.output, multiprefix_serial(&pairs, &labels, m, FirstLast));
+
+        let floats: Vec<f64> = (0..n).map(|i| i as f64 * 0.25).collect();
+        let mut machine = VectorMachine::ymp();
+        let run = multiprefix_timed_op(&mut machine, &book, &floats, &labels, layout, MpVariant::FULL, Plus);
+        assert_eq!(run.output.sums, multiprefix_serial(&floats, &labels, m, Plus).sums);
+    }
+
+    #[test]
+    fn charges_are_operator_independent() {
+        let n = 3000;
+        let m = 64;
+        let values: Vec<i64> = vec![1; n];
+        let labels: Vec<usize> = (0..n).map(|i| (i * 11) % m).collect();
+        let layout = Layout::square(n, m);
+        let book = CostBook::default();
+        let mut m1 = VectorMachine::ymp();
+        multiprefix_timed_op(&mut m1, &book, &values, &labels, layout, MpVariant::FULL, Plus);
+        let mut m2 = VectorMachine::ymp();
+        multiprefix_timed_op(&mut m2, &book, &values, &labels, layout, MpVariant::FULL, Max);
+        assert_eq!(m1.clocks(), m2.clocks(), "timing must not depend on the operator");
+    }
+}

@@ -1,0 +1,162 @@
+//! Simulated-time integer sorting (§5.1, Table 1).
+//!
+//! The multiprefix rank sort is Figure 11 of the paper:
+//!
+//! ```text
+//! MP(1, key, +, rank, bucket);         // count preceding equal keys
+//! MP(bucket, 1, total, cumulative);    // prefix over the buckets
+//! pardo (i): rank[i] += cumulative[key[i]] + 1;
+//! ```
+//!
+//! The first call is the constant-1 specialization (§5.1.1); the second —
+//! a plain prefix sum — is charged as the "partition method" recurrence
+//! the paper actually used for the benchmark run. Ranks are computed for
+//! real alongside the clock charges.
+
+use super::multiprefix::{multiprefix_timed, MpVariant};
+use crate::machine::VectorMachine;
+use crate::params::CostBook;
+use crate::params::LoopParams;
+
+/// A timed ranking run.
+#[derive(Debug, Clone)]
+pub struct TimedRankSort {
+    /// `rank[i]`: 0-based position of `keys[i]` in stable sorted order.
+    pub ranks: Vec<usize>,
+    /// Total simulated clocks.
+    pub clocks: f64,
+}
+
+/// Parameters of the rank fix-up loop (gather `cumulative[key]`, add,
+/// store) — a ROWSUM-class indexed loop.
+const RANK_FIXUP: LoopParams = LoopParams::new(2.5, 40.0);
+
+/// Parameters of one pass of the partition-method prefix sum.
+const SCAN_PASS: LoopParams = LoopParams::new(1.0, 40.0);
+
+/// Multiprefix rank sort of `keys` in `[0, m)` on the simulated machine.
+pub fn mp_rank_sort_timed(
+    machine: &mut VectorMachine,
+    book: &CostBook,
+    keys: &[usize],
+    m: usize,
+) -> TimedRankSort {
+    let n = keys.len();
+    let start = machine.clocks();
+
+    // MP #1: constant-1 full multiprefix keyed by the integer keys.
+    let ones = vec![1i64; n];
+    let run = multiprefix_timed(machine, book, &ones, keys, m, MpVariant::FULL_CONST1);
+
+    // MP #2 (degenerate: all labels equal = plain prefix sum over the
+    // buckets): the partition method — two vectorized passes over m.
+    machine.charge_loop(SCAN_PASS.te, SCAN_PASS.n_half, m);
+    machine.charge_loop(SCAN_PASS.te, SCAN_PASS.n_half, m);
+    let mut cumulative = Vec::with_capacity(m);
+    let mut acc = 0i64;
+    for &count in &run.output.reductions {
+        cumulative.push(acc);
+        acc += count;
+    }
+
+    // Rank fix-up: rank[i] = preceding-equal-count + #smaller keys.
+    machine.charge_loop(RANK_FIXUP.te, RANK_FIXUP.n_half, n);
+    machine.charge_indexed(keys.iter().copied(), 1.0);
+    let ranks = run
+        .output
+        .sums
+        .iter()
+        .zip(keys)
+        .map(|(&pre, &k)| (pre + cumulative[k]) as usize)
+        .collect();
+
+    TimedRankSort { ranks, clocks: machine.clocks() - start }
+}
+
+/// Clock cost of the "Partially Vectorized FORTRAN Bucket Sort" baseline
+/// over `n` keys (Table 1 row 1). The scalar bucket-update recurrence
+/// resists vectorization, costing a flat per-key rate.
+pub fn bucket_sort_clocks(machine: &mut VectorMachine, book: &CostBook, n: usize) -> f64 {
+    let c = book.bucket_sort_per_key * n as f64;
+    machine.charge(c);
+    c
+}
+
+/// Clock cost of the Cray Research Inc. implementation stand-in
+/// (Table 1 row 2; see DESIGN.md on the substitution).
+pub fn cri_sort_clocks(machine: &mut VectorMachine, book: &CostBook, n: usize) -> f64 {
+    let c = book.cri_sort_per_key * n as f64;
+    machine.charge(c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_keys(n: usize, m: usize, seed: u64) -> Vec<usize> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as usize) % m
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ranks_are_a_stable_sorting_permutation() {
+        let keys = lcg_keys(5000, 64, 3);
+        let mut machine = VectorMachine::ymp();
+        let run = mp_rank_sort_timed(&mut machine, &CostBook::default(), &keys, 64);
+        // Ranks form a permutation…
+        let mut seen = vec![false; keys.len()];
+        for &r in &run.ranks {
+            assert!(!seen[r]);
+            seen[r] = true;
+        }
+        // …that sorts the keys…
+        let mut sorted = vec![0usize; keys.len()];
+        for (i, &r) in run.ranks.iter().enumerate() {
+            sorted[r] = keys[i];
+        }
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        // …stably (equal keys keep input order).
+        for w in 0..keys.len() {
+            for v in (w + 1)..keys.len() {
+                if keys[w] == keys[v] {
+                    assert!(run.ranks[w] < run.ranks[v], "stability broken at {w},{v}");
+                    break; // one witness per w is plenty
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mp_sort_beats_bucket_sort_at_nas_scale() {
+        // Table 1's ordering: MP (13.66 s) < CRI (14.00 s) < bucket
+        // (18.24 s). At a scaled-down n the per-key rates must preserve
+        // that ordering.
+        let n = 1 << 18;
+        let m = 1 << 14;
+        let keys = lcg_keys(n, m, 9);
+        let book = CostBook::default();
+        let mut mm = VectorMachine::ymp();
+        let mp = mp_rank_sort_timed(&mut mm, &book, &keys, m).clocks;
+        let mut mb = VectorMachine::ymp();
+        let bucket = bucket_sort_clocks(&mut mb, &book, n);
+        let mut mc = VectorMachine::ymp();
+        let cri = cri_sort_clocks(&mut mc, &book, n);
+        assert!(mp < cri, "MP ({mp:.0}) should edge out CRI ({cri:.0})");
+        assert!(cri < bucket, "CRI ({cri:.0}) should beat bucket ({bucket:.0})");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut machine = VectorMachine::ymp();
+        let run = mp_rank_sort_timed(&mut machine, &CostBook::default(), &[], 4);
+        assert!(run.ranks.is_empty());
+        let run = mp_rank_sort_timed(&mut machine, &CostBook::default(), &[2], 4);
+        assert_eq!(run.ranks, vec![0]);
+    }
+}

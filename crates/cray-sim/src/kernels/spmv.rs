@@ -1,0 +1,213 @@
+//! Simulated-time accounting of the three sparse mat-vec routes (§5.2).
+//!
+//! The numeric results come from the host `spmv` crate (the bench harness
+//! cross-checks them); this module charges the machine the way the three
+//! FORTRAN/C kernels of the paper would:
+//!
+//! * **CSR** — one vectorized multiply-and-reduce loop *per matrix row*;
+//!   the reduction startup (`n_1/2 ≈ 150`) is why "for very sparse
+//!   matrices, the row lengths can become quite short. Often they are much
+//!   shorter than the vector half-length of the operation";
+//! * **JD (jagged diagonal)** — an expensive setup (sort rows by
+//!   population, rebuild the element array) buys one long vectorized loop
+//!   *per jagged diagonal*;
+//! * **MP (multiprefix)** — Figure 12: an element-product loop followed by
+//!   a multireduce keyed by row index. Its "setup" is precisely the
+//!   SPINETREE build (§5.2.1), charged through the timed multiprefix
+//!   kernel.
+
+use super::multiprefix::{multiprefix_timed, MpVariant};
+use crate::machine::VectorMachine;
+use crate::params::CostBook;
+
+/// Setup/evaluation/total clock split — the columns of Table 4.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpmvClocks {
+    /// Preprocessing clocks (0 for CSR, the base case).
+    pub setup: f64,
+    /// Per-multiply clocks.
+    pub evaluation: f64,
+}
+
+impl SpmvClocks {
+    /// One setup plus one evaluation — Table 2's and Table 4's TOTAL.
+    pub fn total(&self) -> f64 {
+        self.setup + self.evaluation
+    }
+}
+
+/// CSR evaluation: one reduction loop per row. `row_lengths[r]` is the
+/// nonzero count of row `r`; empty rows still pay the loop prologue.
+pub fn csr_clocks(machine: &mut VectorMachine, book: &CostBook, row_lengths: &[usize]) -> SpmvClocks {
+    let start = machine.clocks();
+    for &len in row_lengths {
+        if len == 0 {
+            machine.charge(book.csr_row.te * 4.0); // scalar skip of an empty row
+        } else {
+            machine.charge_loop(book.csr_row.te, book.csr_row.n_half, len);
+        }
+    }
+    SpmvClocks { setup: 0.0, evaluation: machine.clocks() - start }
+}
+
+/// JD setup + evaluation. `diag_lengths[j]` is the population of jagged
+/// diagonal `j` (computed by the host `spmv` crate's JD builder);
+/// `nnz`/`rows` drive the setup cost (row sort + element permutation).
+pub fn jd_clocks(
+    machine: &mut VectorMachine,
+    book: &CostBook,
+    nnz: usize,
+    rows: usize,
+    diag_lengths: &[usize],
+) -> SpmvClocks {
+    let start = machine.clocks();
+    machine.charge(book.jd_setup_per_nnz * nnz as f64 + book.jd_setup_per_row * rows as f64);
+    let setup = machine.clocks() - start;
+
+    let start = machine.clocks();
+    for &len in diag_lengths {
+        machine.charge_loop(book.jd_diag.te, book.jd_diag.n_half, len);
+    }
+    SpmvClocks { setup, evaluation: machine.clocks() - start }
+}
+
+/// MP route (Figure 12): gather-multiply product loop, then multireduce by
+/// row label. `cols[i]` / `rows[i]` are the column and row index of
+/// nonzero `i`; `order` is the matrix dimension. Returns the clock split
+/// (setup = init + SPINETREE, per §5.2.1) and the computed per-row sums
+/// as `i64` fixed-point when `products` are supplied (the harness usually
+/// validates numerics host-side and passes the structure only).
+pub fn mp_clocks(
+    machine: &mut VectorMachine,
+    book: &CostBook,
+    products: &[i64],
+    rows: &[usize],
+    cols: &[usize],
+    order: usize,
+) -> (SpmvClocks, Vec<i64>) {
+    assert_eq!(products.len(), rows.len());
+    assert_eq!(products.len(), cols.len());
+    let nnz = products.len();
+
+    // Product loop: load vals, gather vector[col], multiply, store.
+    let start = machine.clocks();
+    machine.charge_loop(book.product.te, book.product.n_half, nnz);
+    machine.charge_indexed(cols.iter().copied(), 1.0);
+    let product_clocks = machine.clocks() - start;
+
+    // Multireduce keyed by row index.
+    let run = multiprefix_timed(machine, book, products, rows, order, MpVariant::REDUCE);
+
+    // §5.2.1: "the setup time is precisely the time spent in the first
+    // phase of the multiprefix algorithm building the spinetree" (we fold
+    // the temporary-clearing INIT in with it; both are per-structure).
+    let setup = run.clocks.init + run.clocks.spinetree;
+    let evaluation =
+        product_clocks + run.clocks.rowsum + run.clocks.spinesum + run.clocks.extract;
+    (SpmvClocks { setup, evaluation }, run.output.reductions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_short_rows_pay_startup() {
+        let book = CostBook::default();
+        let mut m = VectorMachine::ymp();
+        // 100 rows of 5: each pays 2.0*(5+150) = 310 clocks.
+        let c = csr_clocks(&mut m, &book, &vec![5; 100]);
+        assert!((c.evaluation - 31_000.0).abs() < 1e-6);
+        // One row of 500 moves the same nnz in 2.0*(500+150) = 1300.
+        let mut m2 = VectorMachine::ymp();
+        let c2 = csr_clocks(&mut m2, &book, &[500]);
+        assert!(c2.evaluation < c.evaluation / 10.0);
+    }
+
+    #[test]
+    fn jd_trades_setup_for_eval() {
+        let book = CostBook::default();
+        // Same 500-nonzero matrix as 100 rows of 5 → 5 diagonals of 100.
+        let mut mc = VectorMachine::ymp();
+        let csr = csr_clocks(&mut mc, &book, &vec![5; 100]);
+        let mut mj = VectorMachine::ymp();
+        let jd = jd_clocks(&mut mj, &book, 500, 100, &vec![100; 5]);
+        assert!(jd.evaluation < csr.evaluation, "JD eval must beat CSR on short rows");
+        assert!(jd.setup > jd.evaluation, "JD setup dominates its own eval");
+    }
+
+    #[test]
+    fn jd_suffers_with_many_short_diagonals() {
+        // The Table 5 effect: one nearly-full row forces as many diagonals
+        // as its length; most diagonals then hold a single element.
+        let book = CostBook::default();
+        let mut m = VectorMachine::ymp();
+        let mut diags = vec![1usize; 1000]; // a 1000-long row → 1000 diagonals
+        diags[0] = 500;
+        let bad = jd_clocks(&mut m, &book, 1500, 200, &diags);
+        let mut m2 = VectorMachine::ymp();
+        let good = jd_clocks(&mut m2, &book, 1500, 200, &vec![150; 10]);
+        assert!(
+            bad.evaluation > 5.0 * good.evaluation,
+            "degenerate diagonals should wreck JD eval: {} vs {}",
+            bad.evaluation,
+            good.evaluation
+        );
+    }
+
+    #[test]
+    fn mp_reduces_correctly_and_splits_setup() {
+        let book = CostBook::default();
+        let mut m = VectorMachine::ymp();
+        // 3×3 matrix: row sums of products.
+        let products = vec![10i64, 20, 30, 40];
+        let rows = vec![0usize, 1, 1, 2];
+        let cols = vec![0usize, 1, 2, 0];
+        let (clocks, sums) = mp_clocks(&mut m, &book, &products, &rows, &cols, 3);
+        assert_eq!(sums, vec![10, 50, 40]);
+        assert!(clocks.setup > 0.0);
+        assert!(clocks.evaluation > 0.0);
+    }
+
+    #[test]
+    fn crossover_large_sparse_favors_mp_small_dense_favors_csr() {
+        // The Table 2 shape in miniature, via synthetic structures.
+        let book = CostBook::default();
+
+        // Large & very sparse: order 5000, ρ = 0.001 → rows of ~5.
+        let order = 5000;
+        let row_len = 5usize;
+        let nnz = order * row_len;
+        let mut mc = VectorMachine::ymp();
+        let csr = csr_clocks(&mut mc, &book, &vec![row_len; order]);
+        let rows: Vec<usize> = (0..nnz).map(|i| i / row_len).collect();
+        let cols: Vec<usize> = (0..nnz).map(|i| (i * 7) % order).collect();
+        let products = vec![1i64; nnz];
+        let mut mm = VectorMachine::ymp();
+        let (mp, _) = mp_clocks(&mut mm, &book, &products, &rows, &cols, order);
+        assert!(
+            mp.total() < csr.total(),
+            "large sparse: MP ({}) should beat CSR ({})",
+            mp.total(),
+            csr.total()
+        );
+
+        // Small & dense: order 100, ρ = 0.4 → rows of 40.
+        let order = 100;
+        let row_len = 40usize;
+        let nnz = order * row_len;
+        let mut mc = VectorMachine::ymp();
+        let csr = csr_clocks(&mut mc, &book, &vec![row_len; order]);
+        let rows: Vec<usize> = (0..nnz).map(|i| i / row_len).collect();
+        let cols: Vec<usize> = (0..nnz).map(|i| (i * 13) % order).collect();
+        let products = vec![1i64; nnz];
+        let mut mm = VectorMachine::ymp();
+        let (mp, _) = mp_clocks(&mut mm, &book, &products, &rows, &cols, order);
+        assert!(
+            csr.total() < mp.total(),
+            "small dense: CSR ({}) should beat MP ({})",
+            csr.total(),
+            mp.total()
+        );
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # cray-sim — an executable cost model of a CRAY Y-MP-class vector CPU
+//!
+//! The paper's evaluation (§4–§5) reports times measured on one CPU of a
+//! CRAY Y-MP: a register vector machine with a 6 ns clock, vector length
+//! 64, two read pipes and one write pipe, and interleaved memory banks with
+//! a 4-clock bank-busy time. Those numbers obey a simple, well-documented
+//! performance model (Hockney & Jesshope's `t(n) = t_e (n + n_{1/2})` per
+//! vectorized loop, plus data-dependent memory-bank effects), and the paper
+//! itself characterizes each of its loops in exactly those terms (Table 3).
+//!
+//! This crate implements that model *executably*: kernels perform the real
+//! computation on host integers while charging a simulated clock for every
+//! vector-loop issue, with three data-dependent effects the paper calls out:
+//!
+//! * **bank serialization** of gathers/scatters — a strip of VL=64 indexed
+//!   accesses costs `max(strip, max_bank_load × bank_cycle)` clocks, so
+//!   same-cell hot spots (heavy bucket load in SPINETREE, §4.3) slow down
+//!   while well-spread streams run at full speed;
+//! * **masked-loop dummy writes** — the §4.1 SPINESUM loop's compiler
+//!   trick sends false lanes to one dummy location, creating a hot spot
+//!   when many lanes are false (the "light load" anomaly of §4.3);
+//! * **all-false early exit** — a 64-strip whose mask is entirely false
+//!   "jumps ahead", giving the near-superlinear heavy-load behaviour of
+//!   §4.3.
+//!
+//! The absolute constants are calibrated to Table 3 of the paper; the
+//! *shapes* (who wins where, crossovers, load-insensitivity of the total)
+//! then emerge from the model rather than being hard-coded. See
+//! `EXPERIMENTS.md` for paper-vs-model numbers per table/figure.
+
+//! ## Example
+//!
+//! ```
+//! use cray_sim::kernels::{multiprefix_timed, MpVariant};
+//! use cray_sim::{CostBook, VectorMachine};
+//!
+//! let values = vec![1i64; 10_000];
+//! let labels: Vec<usize> = (0..10_000).map(|i| i % 64).collect();
+//! let mut machine = VectorMachine::ymp();
+//! let run = multiprefix_timed(
+//!     &mut machine, &CostBook::default(), &values, &labels, 64, MpVariant::FULL,
+//! );
+//! assert_eq!(run.output.reductions.iter().sum::<i64>(), 10_000);
+//! // Figure 10 territory: a few tens of clocks per element.
+//! assert!(run.clocks.per_element(10_000) < 40.0);
+//! ```
+
+pub mod calibrate;
+pub mod isa;
+pub mod kernels;
+pub mod machine;
+pub mod params;
+pub mod pipes;
+
+pub use machine::{MachineConfig, VectorMachine};
+pub use params::{CostBook, LoopParams};

@@ -1,0 +1,129 @@
+//! Memory-pipe occupancy analysis of the four loops.
+//!
+//! §4.1 explains loop speeds through port arithmetic: "since this loop
+//! involves 3 read operations and 1 write and there are only 2 read pipes
+//! on the Y-MP, it does not run at peak speed", and PREFIXSUM "requires
+//! approximately the cost of an additional gather operation beyond the
+//! ROWSUM phase" because "the CRAY Y-MP has only one write-pipe".
+//!
+//! This module encodes each loop's memory-stream composition and computes
+//! the **port-occupancy lower bound** on its per-element time: contiguous
+//! or strided streams share the two read ports (or the one write port) at
+//! one word per port per clock; indexed (gather/scatter) streams cannot
+//! chain and occupy their port for [`GATHER_OCCUPANCY`] clocks per
+//! element. The measured Table 3 `t_e` values must dominate these bounds
+//! — and the bound *differences* explain the measured differences (the
+//! PREFIXSUM−ROWSUM gap is one indexed write stream, exactly the paper's
+//! sentence).
+
+/// Read ports per CPU (Y-MP: 2).
+pub const READ_PORTS: f64 = 2.0;
+/// Write ports per CPU (Y-MP: 1).
+pub const WRITE_PORTS: f64 = 1.0;
+/// Effective port occupancy of an unchained indexed access, clocks per
+/// element. On the Y-MP gathers/scatters run at roughly half the chained
+/// streaming rate; 2.0 is the conventional figure.
+pub const GATHER_OCCUPANCY: f64 = 2.0;
+
+/// A loop's memory-stream composition (per element).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamMix {
+    /// Contiguous or constant-stride reads.
+    pub sequential_reads: f64,
+    /// Gathers (indexed reads).
+    pub gathers: f64,
+    /// Contiguous or constant-stride writes.
+    pub sequential_writes: f64,
+    /// Scatters (indexed writes).
+    pub scatters: f64,
+}
+
+impl StreamMix {
+    /// The port-occupancy lower bound on `t_e`, in clocks per element:
+    /// the busier of the read side and the write side.
+    pub fn te_lower_bound(&self) -> f64 {
+        let read_clocks =
+            (self.sequential_reads + self.gathers * GATHER_OCCUPANCY) / READ_PORTS;
+        let write_clocks =
+            (self.sequential_writes + self.scatters * GATHER_OCCUPANCY) / WRITE_PORTS;
+        read_clocks.max(write_clocks)
+    }
+}
+
+/// The four loops' stream mixes, straight from the §4.1 listings.
+pub fn phase_mixes() -> [(&'static str, StreamMix); 4] {
+    [
+        (
+            // gather of bucket.spine via label + scatter back, plus the
+            // label loads and the temp store (both fissioned halves).
+            "SPINETREE",
+            StreamMix { sequential_reads: 2.0, gathers: 1.0, sequential_writes: 1.0, scatters: 1.0 },
+        ),
+        (
+            // "3 read operations and 1 write": spine (strided), rowsum
+            // (gather), value (strided); rowsum scatter.
+            "ROWSUM",
+            StreamMix { sequential_reads: 2.0, gathers: 1.0, sequential_writes: 0.0, scatters: 1.0 },
+        ),
+        (
+            // rowsum, spinesum, spine loads (strided) + masked scatter.
+            "SPINESUM",
+            StreamMix { sequential_reads: 3.0, gathers: 0.0, sequential_writes: 0.0, scatters: 1.0 },
+        ),
+        (
+            // ROWSUM's mix plus the extra multi store through the single
+            // write pipe — the §4.1 "additional gather" remark.
+            "PREFIXSUM",
+            StreamMix { sequential_reads: 2.0, gathers: 1.0, sequential_writes: 1.0, scatters: 1.0 },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CostBook;
+
+    #[test]
+    fn measured_te_dominates_port_bounds() {
+        let book = CostBook::default();
+        let measured = [book.spinetree.te, book.rowsum.te, book.spinesum.te, book.prefixsum.te];
+        for ((name, mix), te) in phase_mixes().into_iter().zip(measured) {
+            let bound = mix.te_lower_bound();
+            assert!(
+                te >= bound,
+                "{name}: measured t_e {te} below the port bound {bound}"
+            );
+            // The bound should be meaningful, not vacuous: within ~4x.
+            assert!(
+                te <= 4.0 * bound,
+                "{name}: bound {bound} too slack against measured {te}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefixsum_rowsum_gap_is_the_write_stream() {
+        // The paper: PREFIXSUM ≈ ROWSUM + one more write-side stream.
+        let mixes = phase_mixes();
+        let rowsum = mixes[1].1;
+        let prefixsum = mixes[3].1;
+        let gap = prefixsum.te_lower_bound() - rowsum.te_lower_bound();
+        assert!(gap > 0.0, "the extra store must raise the bound");
+        // Measured gap: 6.9 − 4.1 = 2.8 clk; the bound gap must not
+        // exceed it (bounds are conservative).
+        assert!(gap <= 2.8 + 1e-9, "bound gap {gap} exceeds the measured gap");
+    }
+
+    #[test]
+    fn read_and_write_sides_both_bind() {
+        // A pure-read mix binds on the read side, a pure-write one on the
+        // write side.
+        let reads = StreamMix { sequential_reads: 4.0, gathers: 0.0, sequential_writes: 0.0, scatters: 0.0 };
+        assert_eq!(reads.te_lower_bound(), 2.0);
+        let writes = StreamMix { sequential_reads: 0.0, gathers: 0.0, sequential_writes: 2.0, scatters: 0.0 };
+        assert_eq!(writes.te_lower_bound(), 2.0);
+        let scatter = StreamMix { sequential_reads: 0.0, gathers: 0.0, sequential_writes: 0.0, scatters: 1.0 };
+        assert_eq!(scatter.te_lower_bound(), GATHER_OCCUPANCY);
+    }
+}

@@ -1,0 +1,79 @@
+//! The "Partially Vectorized FORTRAN Bucket Sort" baseline (Table 1,
+//! row 1).
+//!
+//! The classic three-pass structure on which the pre-multiprefix NAS
+//! submissions were built: (1) a histogram of the keys — the loop whose
+//! scalar bucket-increment recurrence resists vectorization ("Previous
+//! attempts to vectorize the first step of the bucket sorting algorithm
+//! have relied on sophisticated compiler technology to recognize this
+//! particular loop", §5.1.1); (2) an exclusive prefix over the buckets;
+//! (3) a forward scatter of the keys to their offsets.
+//!
+//! On the host this is simply a fast stable counting sort; its role in the
+//! suite is as Table 1's baseline for both wall-clock benches and the
+//! simulated Y-MP comparison.
+
+/// The ranking the bucket sort assigns (0-based position in stable sorted
+/// order) — identical semantics to the multiprefix rank.
+pub fn bucket_ranks(keys: &[usize], m: usize) -> Vec<usize> {
+    // Pass 1: histogram (the scalar recurrence).
+    let mut buckets = vec![0usize; m];
+    for &k in keys {
+        assert!(k < m, "key {k} out of range for m = {m}");
+        buckets[k] += 1;
+    }
+    // Pass 2: exclusive prefix over buckets.
+    let mut acc = 0usize;
+    for b in buckets.iter_mut() {
+        let c = *b;
+        *b = acc;
+        acc += c;
+    }
+    // Pass 3: forward scatter, stable.
+    keys.iter()
+        .map(|&k| {
+            let r = buckets[k];
+            buckets[k] += 1;
+            r
+        })
+        .collect()
+}
+
+/// Full bucket sort: sorted copy of the keys.
+pub fn bucket_sort(keys: &[usize], m: usize) -> Vec<usize> {
+    let ranks = bucket_ranks(keys, m);
+    let mut out = vec![0usize; keys.len()];
+    for (i, &r) in ranks.iter().enumerate() {
+        out[r] = keys[i];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting_sort::counting_ranks;
+
+    #[test]
+    fn agrees_with_counting_sort_ranks() {
+        let keys: Vec<usize> = (0..2000).map(|i| (i * 131 + i / 3) % 97).collect();
+        assert_eq!(bucket_ranks(&keys, 97), counting_ranks(&keys, 97));
+    }
+
+    #[test]
+    fn sorts() {
+        let keys = vec![9usize, 1, 4, 1, 9, 0];
+        assert_eq!(bucket_sort(&keys, 10), vec![0, 1, 1, 4, 9, 9]);
+    }
+
+    #[test]
+    fn single_bucket() {
+        let keys = vec![0usize; 64];
+        assert_eq!(bucket_ranks(&keys, 1), (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty() {
+        assert!(bucket_sort(&[], 8).is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Serial counting sort — the work-efficiency baseline.
+//!
+//! §5.1: "The serial counterpart to this algorithm is called 'counting
+//! sort' and performs just as much work [Knu68, CLR89], so our algorithm
+//! is work efficient." This is the CLR formulation: histogram, inclusive
+//! prefix, then a **backward** placement pass that preserves stability.
+
+/// Stable counting sort of keys in `[0, m)`. Returns the sorted keys.
+pub fn counting_sort(keys: &[usize], m: usize) -> Vec<usize> {
+    counting_sort_pairs(keys, keys, m).into_iter().map(|(k, _)| k).collect()
+}
+
+/// Stable counting sort of `(key, payload)` pairs by key.
+pub fn counting_sort_pairs<T: Clone>(keys: &[usize], payloads: &[T], m: usize) -> Vec<(usize, T)> {
+    assert_eq!(keys.len(), payloads.len());
+    let mut counts = vec![0usize; m];
+    for &k in keys {
+        assert!(k < m, "key {k} out of range for m = {m}");
+        counts[k] += 1;
+    }
+    // Inclusive prefix: counts[k] = number of keys ≤ k.
+    for k in 1..m {
+        counts[k] += counts[k - 1];
+    }
+    let mut out: Vec<Option<(usize, T)>> = vec![None; keys.len()];
+    // Backward pass for stability (CLR's COUNTING-SORT).
+    for i in (0..keys.len()).rev() {
+        let k = keys[i];
+        counts[k] -= 1;
+        out[counts[k]] = Some((k, payloads[i].clone()));
+    }
+    out.into_iter().map(|x| x.expect("placement covers all slots")).collect()
+}
+
+/// The 0-based rank each key would take — the counting-sort view of the
+/// paper's ranking problem, used as an oracle for the multiprefix route.
+pub fn counting_ranks(keys: &[usize], m: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; m];
+    for &k in keys {
+        counts[k] += 1;
+    }
+    let mut offsets = vec![0usize; m];
+    let mut acc = 0usize;
+    for k in 0..m {
+        offsets[k] = acc;
+        acc += counts[k];
+    }
+    keys.iter()
+        .map(|&k| {
+            let r = offsets[k];
+            offsets[k] += 1;
+            r
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_correctly() {
+        let keys = vec![5usize, 3, 9, 3, 0, 5, 5];
+        assert_eq!(counting_sort(&keys, 10), vec![0, 3, 3, 5, 5, 5, 9]);
+    }
+
+    #[test]
+    fn stability_via_payloads() {
+        let keys = vec![1usize, 0, 1, 0];
+        let payloads = vec!['a', 'b', 'c', 'd'];
+        assert_eq!(
+            counting_sort_pairs(&keys, &payloads, 2),
+            vec![(0, 'b'), (0, 'd'), (1, 'a'), (1, 'c')]
+        );
+    }
+
+    #[test]
+    fn ranks_agree_with_multiprefix_route() {
+        let keys: Vec<usize> = (0..800).map(|i| (i * 31 + i / 9) % 23).collect();
+        let expect = counting_ranks(&keys, 23);
+        let got = crate::rank_sort::rank_keys(&keys, 23, multiprefix::Engine::Serial).unwrap();
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(counting_sort(&[], 4).is_empty());
+        assert!(counting_ranks(&[], 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        counting_sort(&[4], 4);
+    }
+}

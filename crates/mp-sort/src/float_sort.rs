@@ -1,0 +1,145 @@
+//! Sorting floating-point keys through the integer machinery.
+//!
+//! Radix/counting/multiprefix sorts operate on unsigned integers. IEEE-754
+//! doubles admit an order-preserving bijection into `u64` (flip the sign
+//! bit for non-negatives, flip *all* bits for negatives), after which any
+//! stable integer sort — including the multiprefix radix of
+//! [`crate::radix_sort::mp_radix_sort`] — sorts floats. A standard trick,
+//! included so the suite's sorting story covers the paper's FLOATING data
+//! type end to end.
+
+use crate::radix_sort::{mp_radix_sort, radix_sort};
+use multiprefix::Engine;
+
+/// Order-preserving map `f64 → u64`: `a < b  ⇔  key(a) < key(b)` for all
+/// non-NaN floats (with `-0.0 < +0.0`, consistent with total order).
+#[inline]
+pub fn f64_to_ordered_u64(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 0 {
+        bits | 0x8000_0000_0000_0000 // non-negative: set the sign bit
+    } else {
+        !bits // negative: flip everything (reverses their order)
+    }
+}
+
+/// Inverse of [`f64_to_ordered_u64`].
+#[inline]
+pub fn ordered_u64_to_f64(k: u64) -> f64 {
+    if k >> 63 == 1 {
+        f64::from_bits(k & 0x7FFF_FFFF_FFFF_FFFF)
+    } else {
+        f64::from_bits(!k)
+    }
+}
+
+/// Sort non-NaN doubles with the classic LSD radix sort.
+///
+/// # Panics
+/// Panics if any key is NaN (NaN has no place in a total order; filter
+/// first).
+pub fn radix_sort_f64(keys: &[f64], bits: u32) -> Vec<f64> {
+    let mapped = map_checked(keys);
+    radix_sort(&mapped, bits).into_iter().map(ordered_u64_to_f64).collect()
+}
+
+/// Sort non-NaN doubles with the multiprefix-per-digit radix sort.
+pub fn mp_radix_sort_f64(keys: &[f64], bits: u32, engine: Engine) -> Vec<f64> {
+    let mapped = map_checked(keys);
+    mp_radix_sort(&mapped, bits, engine)
+        .into_iter()
+        .map(ordered_u64_to_f64)
+        .collect()
+}
+
+fn map_checked(keys: &[f64]) -> Vec<u64> {
+    keys.iter()
+        .map(|&k| {
+            assert!(!k.is_nan(), "NaN keys cannot be totally ordered");
+            f64_to_ordered_u64(k)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mapping_is_monotone_on_landmarks() {
+        let landmarks = [
+            f64::NEG_INFINITY,
+            -1e308,
+            -1.0,
+            -1e-308,
+            -0.0,
+            0.0,
+            1e-308,
+            1.0,
+            1e308,
+            f64::INFINITY,
+        ];
+        for w in landmarks.windows(2) {
+            assert!(
+                f64_to_ordered_u64(w[0]) <= f64_to_ordered_u64(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+        // -0.0 maps strictly below +0.0.
+        assert!(f64_to_ordered_u64(-0.0) < f64_to_ordered_u64(0.0));
+    }
+
+    #[test]
+    fn roundtrip() {
+        for &x in &[-2.5f64, 0.0, -0.0, 3.75, f64::INFINITY, f64::NEG_INFINITY, 1e-300] {
+            assert_eq!(ordered_u64_to_f64(f64_to_ordered_u64(x)).to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn sorts_mixed_signs() {
+        let keys = [3.5f64, -1.25, 0.0, -0.0, 2.0, -100.0, 0.5];
+        let sorted = radix_sort_f64(&keys, 11);
+        let mut expect = keys.to_vec();
+        expect.sort_by(f64::total_cmp);
+        assert_eq!(
+            sorted.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            expect.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn mp_route_agrees() {
+        let keys: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+        let a = radix_sort_f64(&keys, 8);
+        let b = mp_radix_sort_f64(&keys, 8, Engine::Serial);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        radix_sort_f64(&[1.0, f64::NAN], 8);
+    }
+
+    proptest! {
+        #[test]
+        fn mapping_preserves_total_order(a in any::<f64>(), b in any::<f64>()) {
+            prop_assume!(!a.is_nan() && !b.is_nan());
+            let (ka, kb) = (f64_to_ordered_u64(a), f64_to_ordered_u64(b));
+            prop_assert_eq!(a.total_cmp(&b), ka.cmp(&kb));
+        }
+
+        #[test]
+        fn sorts_arbitrary_floats(keys in proptest::collection::vec(-1e15f64..1e15, 0..200)) {
+            let sorted = radix_sort_f64(&keys, 16);
+            let mut expect = keys.clone();
+            expect.sort_by(f64::total_cmp);
+            prop_assert_eq!(sorted, expect);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! The paper's multiprefix algorithm (Figures 3–4) as explicit PRAM steps.
+//!
+//! Memory map (word addresses), mirroring the Figure 8 pivot layout inside
+//! the simulated memory:
+//!
+//! ```text
+//! [0, n)                values
+//! [n, 2n)               labels
+//! [V+0,        V+m+n)   spine      (V = 2n; buckets first, then elements)
+//! [V+(m+n),  V+2(m+n))  rowsum
+//! [V+2(m+n), V+3(m+n))  spinesum
+//! [V+3(m+n), V+4(m+n))  has_child
+//! [R, R+m)              reductions (R = V + 4(m+n))
+//! [U, U+n)              multi      (U = R + m)
+//! ```
+//!
+//! Each `pardo` of the paper becomes one [`Pram::step`] whose processor
+//! count equals the row or column population. The SPINETREE body is split
+//! into its concurrent-READ half and its concurrent-ARB-WRITE half (the
+//! loop fission the CRAY compiler performs, §4.1), so the conflict ledger
+//! attributes reads and writes to the right sub-steps.
+//!
+//! The tests here check the paper's central structural claim: **only the
+//! SPINETREE phase performs concurrent accesses** — the INIT, ROWSUMS,
+//! SPINESUMS and MULTISUMS phases run with zero concurrent reads and zero
+//! concurrent writes (EREW), on the honest machine, for arbitrary inputs.
+
+use crate::machine::{Pram, PramError, WritePolicy, Word};
+use crate::metrics::Metrics;
+use multiprefix::problem::MultiprefixOutput;
+use multiprefix::spinetree::Layout;
+
+/// A finished PRAM execution of the multiprefix algorithm.
+#[derive(Debug, Clone)]
+pub struct PramRun {
+    /// Sums and reductions read back from the simulated memory.
+    pub output: MultiprefixOutput<i64>,
+    /// Geometry used.
+    pub layout: Layout,
+    /// Per-phase metrics: `[init, spinetree, rowsums, spinesums, multisums]`
+    /// (the reduction extraction is folded into `spinesums`).
+    pub phases: [Metrics; 5],
+    /// Whole-run metrics.
+    pub total: Metrics,
+}
+
+/// Run multiprefix-PLUS on a CRCW-ARB PRAM with `p ≈ √n` processors.
+///
+/// `seed` drives the machine's write arbitration; the returned sums and
+/// reductions are independent of it (tested), as the ARB model requires.
+pub fn multiprefix_on_pram(
+    values: &[i64],
+    labels: &[usize],
+    m: usize,
+    layout: Layout,
+    seed: u64,
+) -> Result<PramRun, PramError> {
+    assert_eq!(values.len(), labels.len());
+    assert_eq!(values.len(), layout.n);
+    assert_eq!(m, layout.m);
+    let n = layout.n;
+    let slots = m + n;
+
+    // Address map.
+    let a_value = 0;
+    let a_label = n;
+    let v = 2 * n;
+    let a_spine = v;
+    let a_rowsum = v + slots;
+    let a_spinesum = v + 2 * slots;
+    let a_haschild = v + 3 * slots;
+    let a_red = v + 4 * slots;
+    let a_multi = a_red + m;
+    let total_cells = a_multi + n;
+
+    let mut pram = Pram::new(total_cells, WritePolicy::CrcwArb, seed);
+    for i in 0..n {
+        pram.mem_mut()[a_value + i] = values[i];
+        pram.mem_mut()[a_label + i] = labels[i] as Word;
+    }
+
+    let snap0 = pram.metrics_snapshot();
+
+    // ---- INIT (Figure 3): one parallel step over all m+n slots. --------
+    pram.step(slots, |s, ctx| {
+        ctx.write(a_rowsum + s, 0);
+        ctx.write(a_spinesum + s, 0);
+        ctx.write(a_haschild + s, 0);
+        if s < m {
+            ctx.write(a_spine + s, s as Word); // bucket points at itself
+        } else {
+            let label = ctx.read(a_label + (s - m));
+            ctx.write(a_spine + s, label); // element points at its bucket
+        }
+    })?;
+    let snap1 = pram.metrics_snapshot();
+
+    // ---- Phase 1: SPINETREE, rows top to bottom. -----------------------
+    for r in layout.rows_top_down() {
+        let row = layout.row_elements(r);
+        let base = row.start;
+        let width = row.len();
+        // Concurrent-READ half: test the bucket pointer.
+        pram.step(width, |k, ctx| {
+            let i = base + k;
+            let label = ctx.read(a_label + i) as usize;
+            let parent = ctx.read(a_spine + label);
+            ctx.write(a_spine + m + i, parent);
+        })?;
+        // Concurrent-ARB-WRITE half: overwrite the bucket pointer.
+        pram.step(width, |k, ctx| {
+            let i = base + k;
+            let label = ctx.read(a_label + i) as usize;
+            ctx.write(a_spine + label, (m + i) as Word);
+        })?;
+    }
+    let snap2 = pram.metrics_snapshot();
+
+    // ---- Phase 2: ROWSUMS, columns left to right. ----------------------
+    for c in layout.cols_left_right() {
+        let col: Vec<usize> = layout.col_elements(c).collect();
+        pram.step(col.len(), |k, ctx| {
+            let i = col[k];
+            let parent = ctx.read(a_spine + m + i) as usize;
+            let rs = ctx.read(a_rowsum + parent);
+            let val = ctx.read(a_value + i);
+            ctx.write(a_rowsum + parent, rs.wrapping_add(val));
+            ctx.write(a_haschild + parent, 1);
+        })?;
+    }
+    let snap3 = pram.metrics_snapshot();
+
+    // ---- Phase 3: SPINESUMS, rows bottom to top. -----------------------
+    for r in layout.rows_bottom_up() {
+        let row = layout.row_elements(r);
+        let base = row.start;
+        pram.step(row.len(), |k, ctx| {
+            let i = base + k;
+            let slot = m + i;
+            if ctx.read(a_haschild + slot) != 0 {
+                let parent = ctx.read(a_spine + slot) as usize;
+                let ss = ctx.read(a_spinesum + slot);
+                let rs = ctx.read(a_rowsum + slot);
+                ctx.write(a_spinesum + parent, ss.wrapping_add(rs));
+            }
+        })?;
+    }
+    // Reductions (§4.2): one exclusive step over the buckets.
+    if m > 0 {
+        pram.step(m, |b, ctx| {
+            let ss = ctx.read(a_spinesum + b);
+            let rs = ctx.read(a_rowsum + b);
+            ctx.write(a_red + b, ss.wrapping_add(rs));
+        })?;
+    }
+    let snap4 = pram.metrics_snapshot();
+
+    // ---- Phase 4: MULTISUMS, columns left to right. --------------------
+    for c in layout.cols_left_right() {
+        let col: Vec<usize> = layout.col_elements(c).collect();
+        pram.step(col.len(), |k, ctx| {
+            let i = col[k];
+            let parent = ctx.read(a_spine + m + i) as usize;
+            let prefix = ctx.read(a_spinesum + parent);
+            let val = ctx.read(a_value + i);
+            ctx.write(a_multi + i, prefix);
+            ctx.write(a_spinesum + parent, prefix.wrapping_add(val));
+        })?;
+    }
+    let snap5 = pram.metrics_snapshot();
+
+    let mem = pram.mem();
+    let sums = mem[a_multi..a_multi + n].to_vec();
+    let reductions = mem[a_red..a_red + m].to_vec();
+
+    Ok(PramRun {
+        output: MultiprefixOutput { sums, reductions },
+        layout,
+        phases: [
+            snap1 - snap0,
+            snap2 - snap1,
+            snap3 - snap2,
+            snap4 - snap3,
+            snap5 - snap4,
+        ],
+        total: snap5 - snap0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiprefix::op::Plus;
+    use multiprefix::serial::multiprefix_serial;
+
+    fn mixed(n: usize, m: usize) -> (Vec<i64>, Vec<usize>) {
+        let values = (0..n).map(|i| (i as i64 * 37 % 41) - 20).collect();
+        let labels = (0..n).map(|i| (i * 13 + i / 7) % m).collect();
+        (values, labels)
+    }
+
+    #[test]
+    fn matches_serial() {
+        let (values, labels) = mixed(625, 9);
+        let layout = Layout::square(625, 9);
+        let run = multiprefix_on_pram(&values, &labels, 9, layout, 1).unwrap();
+        let expect = multiprefix_serial(&values, &labels, 9, Plus);
+        assert_eq!(run.output.sums, expect.sums);
+        assert_eq!(run.output.reductions, expect.reductions);
+    }
+
+    #[test]
+    fn only_spinetree_phase_conflicts() {
+        // The central §3.1 claim, checked on the honest machine: INIT and
+        // phases 2-4 are EREW; every concurrent access sits in SPINETREE.
+        let (values, labels) = mixed(900, 7);
+        let layout = Layout::square(900, 7);
+        let run = multiprefix_on_pram(&values, &labels, 7, layout, 99).unwrap();
+        let [init, spinetree, rowsums, spinesums, multisums] = run.phases;
+        assert!(init.is_erew(), "INIT must be EREW: {init:?}");
+        assert!(rowsums.is_erew(), "ROWSUMS must be EREW: {rowsums:?}");
+        assert!(spinesums.is_erew(), "SPINESUMS must be EREW: {spinesums:?}");
+        assert!(multisums.is_erew(), "MULTISUMS must be EREW: {multisums:?}");
+        // With 900 elements over 7 classes there absolutely are conflicts
+        // in the tree-building phase — that is the point of ARB.
+        assert!(!spinetree.is_erew(), "SPINETREE should show concurrency");
+    }
+
+    #[test]
+    fn erew_claim_holds_under_every_arbitration() {
+        let (values, labels) = mixed(400, 5);
+        let layout = Layout::square(400, 5);
+        let expect = multiprefix_serial(&values, &labels, 5, Plus);
+        for seed in [0u64, 1, 7, 0xFEED, 0xDEADBEEF] {
+            let run = multiprefix_on_pram(&values, &labels, 5, layout, seed).unwrap();
+            assert_eq!(run.output.sums, expect.sums, "seed {seed}");
+            assert_eq!(run.output.reductions, expect.reductions, "seed {seed}");
+            for (k, phase) in run.phases.iter().enumerate() {
+                if k != 1 {
+                    assert!(phase.is_erew(), "phase {k} not EREW under seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_complexity_theta_sqrt_n() {
+        for n in [64usize, 256, 1024, 4096] {
+            let (values, labels) = mixed(n, 3);
+            let layout = Layout::square(n, 3);
+            let run = multiprefix_on_pram(&values, &labels, 3, layout, 5).unwrap();
+            let sqrt_n = (n as f64).sqrt();
+            let s = run.total.steps as f64;
+            // 2·rows (spinetree halves) + cols + rows + cols + 2 ≈ 5√n.
+            assert!(s <= 6.0 * sqrt_n + 8.0, "S = {s}, √n = {sqrt_n}, n = {n}");
+            assert!(s >= 3.0 * sqrt_n - 8.0, "S suspiciously small: {s} for n = {n}");
+            // Work efficiency: W = O(n).
+            let w = run.total.work as f64;
+            assert!(w <= 6.0 * n as f64 + 64.0, "W = {w} not O(n) for n = {n}");
+        }
+    }
+
+    #[test]
+    fn heavy_load_single_class() {
+        let n = 256;
+        let values: Vec<i64> = (0..n as i64).collect();
+        let labels = vec![0usize; n];
+        let layout = Layout::square(n, 1);
+        let run = multiprefix_on_pram(&values, &labels, 1, layout, 11).unwrap();
+        let expect = multiprefix_serial(&values, &labels, 1, Plus);
+        assert_eq!(run.output.sums, expect.sums);
+        assert_eq!(run.output.reductions, expect.reductions);
+    }
+
+    #[test]
+    fn light_load_all_distinct() {
+        let n = 169;
+        let values: Vec<i64> = (0..n as i64).map(|i| i * 3 + 1).collect();
+        let labels: Vec<usize> = (0..n).collect();
+        let layout = Layout::square(n, n);
+        let run = multiprefix_on_pram(&values, &labels, n, layout, 2).unwrap();
+        let expect = multiprefix_serial(&values, &labels, n, Plus);
+        assert_eq!(run.output.sums, expect.sums);
+        assert_eq!(run.output.reductions, expect.reductions);
+        // All-distinct labels: even the SPINETREE writes are exclusive.
+        assert!(run.phases[1].concurrent_write_cells == 0);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let layout = Layout::square(1, 2);
+        let run = multiprefix_on_pram(&[7], &[1], 2, layout, 0).unwrap();
+        assert_eq!(run.output.sums, vec![0]);
+        assert_eq!(run.output.reductions, vec![0, 7]);
+    }
+}

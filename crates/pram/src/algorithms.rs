@@ -1,0 +1,225 @@
+//! Further PRAM programs: Figure 11's integer sort, and a pointer-doubling
+//! scan as the work-inefficiency contrast.
+//!
+//! §3 of the paper distinguishes step complexity `S` from work `W` and
+//! calls an algorithm work efficient when `W` matches the serial bound.
+//! The doubling scan here ([`scan_doubling_on_pram`]) runs in `O(log n)`
+//! steps but does `Θ(n log n)` work — faster in steps, wasteful in work —
+//! while the multiprefix-based sort ([`integer_sort_on_pram`]) keeps
+//! `W = O(n + m)` at `S = O(√n + √m)`, the paper's §5.1 bound.
+
+use crate::algo::multiprefix_on_pram;
+use crate::machine::{Pram, PramError, WritePolicy, Word};
+use crate::metrics::Metrics;
+use multiprefix::spinetree::Layout;
+
+/// A PRAM integer-sort run.
+#[derive(Debug, Clone)]
+pub struct PramSortRun {
+    /// 0-based stable rank of each key.
+    pub ranks: Vec<usize>,
+    /// Combined metrics over both multiprefix calls and the fix-up step.
+    pub total: Metrics,
+}
+
+/// Figure 11 on the PRAM: two multiprefix calls plus one rank-fix-up
+/// `pardo`, all metered.
+///
+/// ```text
+/// MP(1, key, +, rank, bucket);
+/// MP(bucket, 1, total, cumulative);     // all labels equal: plain scan
+/// pardo (i): rank[i] += cumulative[key[i]];
+/// ```
+pub fn integer_sort_on_pram(
+    keys: &[usize],
+    m: usize,
+    seed: u64,
+) -> Result<PramSortRun, PramError> {
+    let n = keys.len();
+
+    // First multiprefix: constant-1 values keyed by the integers.
+    let ones = vec![1i64; n];
+    let layout1 = Layout::square(n, m);
+    let run1 = multiprefix_on_pram(&ones, keys, m, layout1, seed)?;
+
+    // Second multiprefix: the bucket counts, all under one label — the
+    // degenerate case that is a plain prefix sum (§5.1.1).
+    let labels0 = vec![0usize; m];
+    let layout2 = Layout::square(m, 1);
+    let run2 = multiprefix_on_pram(&run1.output.reductions, &labels0, 1, layout2, seed)?;
+
+    // Rank fix-up as one explicit PRAM step: rank[i] = rank1[i] +
+    // cumulative[key[i]]. Reads of cumulative[key] are concurrent (same
+    // key), so this step needs CR; each rank cell has a single writer.
+    let a_key = 0;
+    let a_rank = n;
+    let a_cum = 2 * n;
+    let mut pram = Pram::new(2 * n + m, WritePolicy::CrcwArb, seed);
+    for i in 0..n {
+        pram.mem_mut()[a_key + i] = keys[i] as Word;
+        pram.mem_mut()[a_rank + i] = run1.output.sums[i];
+    }
+    for (b, &c) in run2.output.sums.iter().enumerate() {
+        pram.mem_mut()[a_cum + b] = c;
+    }
+    pram.step(n, |i, ctx| {
+        let k = ctx.read(a_key + i) as usize;
+        let r = ctx.read(a_rank + i);
+        let c = ctx.read(a_cum + k);
+        ctx.write(a_rank + i, r + c);
+    })?;
+
+    let ranks = pram.mem()[a_rank..a_rank + n]
+        .iter()
+        .map(|&r| r as usize)
+        .collect();
+    let fix = pram.metrics_snapshot();
+    let total = Metrics {
+        steps: run1.total.steps + run2.total.steps + fix.steps,
+        work: run1.total.work + run2.total.work + fix.work,
+        concurrent_read_cells: run1.total.concurrent_read_cells
+            + run2.total.concurrent_read_cells
+            + fix.concurrent_read_cells,
+        concurrent_write_cells: run1.total.concurrent_write_cells
+            + run2.total.concurrent_write_cells
+            + fix.concurrent_write_cells,
+    };
+    Ok(PramSortRun { ranks, total })
+}
+
+/// Hillis–Steele pointer-doubling **inclusive** scan on the PRAM:
+/// `O(log n)` steps, `Θ(n log n)` work.
+///
+/// The textbook one-array formulation is CREW (cell `i` is read both by
+/// processor `i` and by processor `i + 2^d`); the EREW variant below gives
+/// each processor a private accumulator cell (`B[i]`, touched only by
+/// processor `i`) and a published cell (`A[i]`, written by processor `i`,
+/// read only by processor `i + 2^d`). Synchronous snapshot semantics make
+/// the publish-while-read safe, and the machine verifies the EREW claim.
+pub fn scan_doubling_on_pram(values: &[i64]) -> Result<(Vec<i64>, Metrics), PramError> {
+    let n = values.len();
+    let (a_pub, a_acc) = (0usize, n);
+    let mut pram = Pram::new((2 * n).max(1), WritePolicy::Erew, 0);
+    pram.mem_mut()[a_pub..a_pub + n].copy_from_slice(values);
+    pram.mem_mut()[a_acc..a_acc + n].copy_from_slice(values);
+    let mut d = 1usize;
+    while d < n {
+        pram.step(n, |i, ctx| {
+            let mut acc = ctx.read(a_acc + i); // private
+            if i >= d {
+                acc = acc.wrapping_add(ctx.read(a_pub + i - d)); // sole reader
+                ctx.write(a_acc + i, acc);
+            }
+            ctx.write(a_pub + i, acc); // publish for round d·2
+        })?;
+        d *= 2;
+    }
+    Ok((pram.mem()[a_pub..a_pub + n].to_vec(), pram.metrics_snapshot()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_sort_oracle::counting_ranks;
+
+    /// A tiny local oracle (avoiding a cyclic dev-dependency on mp-sort).
+    mod mp_sort_oracle {
+        pub fn counting_ranks(keys: &[usize], m: usize) -> Vec<usize> {
+            let mut counts = vec![0usize; m];
+            for &k in keys {
+                counts[k] += 1;
+            }
+            let mut offsets = vec![0usize; m];
+            let mut acc = 0;
+            for k in 0..m {
+                offsets[k] = acc;
+                acc += counts[k];
+            }
+            keys.iter()
+                .map(|&k| {
+                    let r = offsets[k];
+                    offsets[k] += 1;
+                    r
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn pram_sort_ranks_correctly() {
+        let keys: Vec<usize> = (0..400).map(|i| (i * 37 + i / 5) % 19).collect();
+        let run = integer_sort_on_pram(&keys, 19, 3).unwrap();
+        assert_eq!(run.ranks, counting_ranks(&keys, 19));
+    }
+
+    #[test]
+    fn pram_sort_is_seed_invariant() {
+        let keys: Vec<usize> = (0..256).map(|i| (i * 7) % 31).collect();
+        let a = integer_sort_on_pram(&keys, 31, 1).unwrap();
+        let b = integer_sort_on_pram(&keys, 31, 0xFACE).unwrap();
+        assert_eq!(a.ranks, b.ranks);
+    }
+
+    #[test]
+    fn pram_sort_work_is_linear() {
+        // W = O(n + m): doubling n should ~double the work.
+        let work = |n: usize| {
+            let keys: Vec<usize> = (0..n).map(|i| i % 17).collect();
+            integer_sort_on_pram(&keys, 17, 1).unwrap().total.work as f64
+        };
+        let (w1, w2) = (work(1024), work(2048));
+        let ratio = w2 / w1;
+        assert!((1.6..2.6).contains(&ratio), "W(2n)/W(n) = {ratio}");
+    }
+
+    #[test]
+    fn doubling_scan_correct_but_wasteful() {
+        let values: Vec<i64> = (0..512).map(|i| i % 7 - 3).collect();
+        let (scan, metrics) = scan_doubling_on_pram(&values).unwrap();
+        // Inclusive scan oracle.
+        let mut acc = 0i64;
+        let expect: Vec<i64> = values
+            .iter()
+            .map(|&v| {
+                acc += v;
+                acc
+            })
+            .collect();
+        assert_eq!(scan, expect);
+        // O(log n) steps…
+        assert_eq!(metrics.steps, 9, "log2(512) rounds");
+        // …but Θ(n log n) work — NOT work efficient.
+        assert!(metrics.work >= 512 * 9);
+        assert!(metrics.is_erew(), "doubling scan must be EREW under snapshots");
+    }
+
+    #[test]
+    fn work_efficiency_contrast() {
+        // The quantitative version of §3's point: per element, the
+        // multiprefix sort's work stays flat while the doubling scan's
+        // grows with log n.
+        let n1 = 1 << 9;
+        let n2 = 1 << 13;
+        let mp_work = |n: usize| {
+            let keys: Vec<usize> = (0..n).map(|i| i % 13).collect();
+            integer_sort_on_pram(&keys, 13, 1).unwrap().total.work as f64 / n as f64
+        };
+        let scan_work = |n: usize| {
+            let values = vec![1i64; n];
+            scan_doubling_on_pram(&values).unwrap().1.work as f64 / n as f64
+        };
+        let mp_growth = mp_work(n2) / mp_work(n1);
+        let scan_growth = scan_work(n2) / scan_work(n1);
+        assert!(mp_growth < 1.3, "multiprefix work/elt must stay flat: x{mp_growth:.2}");
+        assert!(scan_growth > 1.3, "doubling work/elt must grow: x{scan_growth:.2}");
+    }
+
+    #[test]
+    fn empty_and_tiny_scan() {
+        let (s, _) = scan_doubling_on_pram(&[]).unwrap();
+        assert!(s.is_empty());
+        let (s, m) = scan_doubling_on_pram(&[42]).unwrap();
+        assert_eq!(s, vec![42]);
+        assert_eq!(m.steps, 0);
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # pram — a synchronous PRAM simulator
+//!
+//! The paper states its algorithm and theorems on a **CRCW-ARB PRAM**:
+//! `p` processors sharing a word-addressed memory, proceeding in lockstep
+//! steps; when several processors write one cell in the same step, an
+//! *arbitrary* one succeeds. This crate is an executable version of that
+//! machine, built so the paper's claims can be *checked* rather than
+//! assumed:
+//!
+//! * [`machine::Pram`] runs synchronous steps with pluggable write
+//!   policies ([`machine::WritePolicy`]: EREW, CREW, CRCW-ARB, CRCW-PLUS)
+//!   and detects every concurrent read and concurrent write per step;
+//! * [`metrics::Metrics`] accounts parallel steps, work, and conflict
+//!   counts — the `S` and `W` measures of §3;
+//! * [`algo`] expresses the paper's Figures 3–4 as explicit PRAM steps with
+//!   `p ≈ √n` processors. Its tests confirm `S = Θ(√n)`, `W = Θ(n)`, and —
+//!   the §3.1 punchline — that after the SPINETREE phase **every remaining
+//!   step is EREW** (zero concurrent reads or writes), for random labelings;
+//! * [`sim_plus`] demonstrates §1.2: a CRCW-PLUS combining write simulated
+//!   on the ARB machine via multiprefix, with measured (constant, for
+//!   `n ≥ p²`) slowdown.
+
+//! ## Example
+//!
+//! ```
+//! use pram::{Pram, WritePolicy};
+//!
+//! // Eight processors concurrently increment-via-ARB one cell: exactly
+//! // one write survives, and the machine records the conflict.
+//! let mut pram = Pram::new(4, WritePolicy::CrcwArb, 42);
+//! pram.step(8, |p, ctx| ctx.write(0, 100 + p as i64)).unwrap();
+//! assert!((100..108).contains(&pram.mem()[0]));
+//! assert_eq!(pram.metrics().concurrent_write_cells, 1);
+//! ```
+
+pub mod algo;
+pub mod algorithms;
+pub mod machine;
+pub mod metrics;
+pub mod sim_plus;
+pub mod spmv_pram;
+
+pub use machine::{Pram, PramError, ProcCtx, WritePolicy, Word};
+pub use metrics::Metrics;

@@ -1,0 +1,366 @@
+//! The synchronous shared-memory machine.
+//!
+//! A [`Pram`] owns a word memory and executes **steps**. In one step every
+//! active processor runs the same program fragment (a closure receiving its
+//! processor id and a [`ProcCtx`]): all reads observe the memory as of the
+//! *start* of the step, and all writes are buffered and committed together
+//! at the *end* of the step — the standard synchronous PRAM semantics.
+//!
+//! After the processors run, the machine inspects the access sets:
+//!
+//! * a cell read by ≥ 2 distinct processors is a **concurrent read** —
+//!   an error under [`WritePolicy::Erew`], counted otherwise;
+//! * a cell written by ≥ 2 distinct processors is a **concurrent write** —
+//!   an error under EREW/CREW, resolved under CRCW-ARB by electing a
+//!   pseudo-random winner (deterministic in the machine's seed: "an
+//!   arbitrary one succeeds"), and under CRCW-PLUS by summing the written
+//!   values (the combining write of [CLR89, p. 690]).
+
+use crate::metrics::Metrics;
+use std::collections::HashMap;
+
+/// Machine word. The paper's algorithm only needs integers and indices.
+pub type Word = i64;
+
+/// Concurrent-access discipline of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Exclusive read, exclusive write: any concurrent access is an error.
+    Erew,
+    /// Concurrent read, exclusive write.
+    Crew,
+    /// Concurrent read; of concurrent writers an arbitrary one succeeds.
+    CrcwArb,
+    /// Concurrent read; concurrent writes to one cell are combined with `+`.
+    CrcwPlus,
+    /// Concurrent read; concurrent writes combined with `max` (another
+    /// combining CW from the CLR taxonomy).
+    CrcwMax,
+}
+
+/// A concurrent access the active policy forbids. Fields: the step index,
+/// the contested cell and the number of processors involved.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PramError {
+    /// ≥ 2 processors read `addr` in step `step` under EREW.
+    ReadConflict { step: usize, addr: usize, processors: usize },
+    /// ≥ 2 processors wrote `addr` in step `step` under EREW/CREW.
+    WriteConflict { step: usize, addr: usize, processors: usize },
+}
+
+impl std::fmt::Display for PramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            PramError::ReadConflict { step, addr, processors } => write!(
+                f,
+                "EREW violation: {processors} processors read cell {addr} in step {step}"
+            ),
+            PramError::WriteConflict { step, addr, processors } => write!(
+                f,
+                "exclusive-write violation: {processors} processors wrote cell {addr} in step {step}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PramError {}
+
+/// Per-processor view of one step: reads against the step-start snapshot,
+/// buffered writes.
+pub struct ProcCtx<'a> {
+    snapshot: &'a [Word],
+    proc: usize,
+    reads: &'a mut Vec<(usize, usize)>,
+    writes: &'a mut Vec<(usize, usize, Word)>,
+}
+
+impl ProcCtx<'_> {
+    /// Read a cell (as of the start of this step).
+    pub fn read(&mut self, addr: usize) -> Word {
+        self.reads.push((self.proc, addr));
+        self.snapshot[addr]
+    }
+
+    /// Buffer a write, committed at the end of the step.
+    pub fn write(&mut self, addr: usize, value: Word) {
+        self.writes.push((self.proc, addr, value));
+    }
+}
+
+/// The machine.
+pub struct Pram {
+    mem: Vec<Word>,
+    policy: WritePolicy,
+    seed: u64,
+    metrics: Metrics,
+}
+
+#[inline]
+fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    let mut z = seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.rotate_left(32);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Pram {
+    /// Create a machine with `cells` zeroed memory words under `policy`.
+    /// `seed` drives CRCW-ARB arbitration (different seeds may elect
+    /// different winners; algorithms claiming ARB-correctness must produce
+    /// identical results for every seed).
+    pub fn new(cells: usize, policy: WritePolicy, seed: u64) -> Self {
+        Pram { mem: vec![0; cells], policy, seed, metrics: Metrics::default() }
+    }
+
+    /// Direct (host-side) access to memory — for loading inputs and reading
+    /// results outside the stepped computation.
+    pub fn mem(&self) -> &[Word] {
+        &self.mem
+    }
+
+    /// Mutable host-side access (input loading).
+    pub fn mem_mut(&mut self) -> &mut [Word] {
+        &mut self.mem
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The active write policy.
+    pub fn policy(&self) -> WritePolicy {
+        self.policy
+    }
+
+    /// Execute one synchronous step on `processors` processors.
+    ///
+    /// `body(proc, ctx)` runs once per processor; `proc ∈ [0, processors)`.
+    /// Returns the step's conflict tallies or a [`PramError`] if the policy
+    /// forbids an observed access pattern (memory is left unchanged in the
+    /// error case — the illegal step does not commit).
+    pub fn step<F>(&mut self, processors: usize, mut body: F) -> Result<(), PramError>
+    where
+        F: FnMut(usize, &mut ProcCtx),
+    {
+        let step_index = self.metrics.steps;
+        let mut reads: Vec<(usize, usize)> = Vec::new();
+        let mut writes: Vec<(usize, usize, Word)> = Vec::new();
+
+        for proc in 0..processors {
+            let mut ctx = ProcCtx {
+                snapshot: &self.mem,
+                proc,
+                reads: &mut reads,
+                writes: &mut writes,
+            };
+            body(proc, &mut ctx);
+        }
+
+        // --- conflict analysis ---------------------------------------
+        let mut readers: HashMap<usize, usize> = HashMap::new();
+        {
+            // distinct processors per read cell
+            let mut seen: HashMap<(usize, usize), ()> = HashMap::new();
+            for &(proc, addr) in &reads {
+                if seen.insert((proc, addr), ()).is_none() {
+                    *readers.entry(addr).or_insert(0) += 1;
+                }
+            }
+        }
+        for (&addr, &procs) in &readers {
+            if procs > 1 {
+                if self.policy == WritePolicy::Erew {
+                    return Err(PramError::ReadConflict { step: step_index, addr, processors: procs });
+                }
+                self.metrics.concurrent_read_cells += 1;
+            }
+        }
+
+        let mut writers: HashMap<usize, Vec<(usize, Word)>> = HashMap::new();
+        for &(proc, addr, value) in &writes {
+            writers.entry(addr).or_default().push((proc, value));
+        }
+        for (&addr, entries) in &writers {
+            let distinct: std::collections::HashSet<usize> =
+                entries.iter().map(|&(p, _)| p).collect();
+            if distinct.len() > 1 {
+                match self.policy {
+                    WritePolicy::Erew | WritePolicy::Crew => {
+                        return Err(PramError::WriteConflict {
+                            step: step_index,
+                            addr,
+                            processors: distinct.len(),
+                        });
+                    }
+                    WritePolicy::CrcwArb | WritePolicy::CrcwPlus | WritePolicy::CrcwMax => {
+                        self.metrics.concurrent_write_cells += 1;
+                    }
+                }
+            }
+        }
+
+        // --- commit ---------------------------------------------------
+        for (addr, entries) in writers {
+            match self.policy {
+                WritePolicy::CrcwPlus => {
+                    // Combining write: the cell is REPLACED by the sum of
+                    // all concurrently written values (CLR's combining CW;
+                    // the old content does not participate).
+                    let mut total = 0i64;
+                    for &(_, v) in &entries {
+                        total = total.wrapping_add(v);
+                    }
+                    self.mem[addr] = total;
+                }
+                WritePolicy::CrcwMax => {
+                    self.mem[addr] = entries.iter().map(|&(_, v)| v).max().expect("non-empty");
+                }
+                _ => {
+                    // ARB (and the trivially exclusive cases): elect a
+                    // winner by seeded hash — "an arbitrary one succeeds."
+                    let winner = entries
+                        .iter()
+                        .max_by_key(|&&(p, _)| mix(self.seed, step_index as u64, (p as u64) << 20 | addr as u64))
+                        .expect("non-empty");
+                    self.mem[addr] = winner.1;
+                }
+            }
+        }
+
+        self.metrics.steps += 1;
+        self.metrics.work += processors;
+        Ok(())
+    }
+
+    /// Snapshot the metrics (for per-phase accounting: snapshot before and
+    /// after, subtract).
+    pub fn metrics_snapshot(&self) -> Metrics {
+        self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_write_read_roundtrip() {
+        let mut pram = Pram::new(4, WritePolicy::Erew, 1);
+        pram.step(4, |p, ctx| ctx.write(p, p as Word * 10)).unwrap();
+        let mut got = vec![0; 4];
+        pram.step(4, |p, ctx| got[p] = ctx.read(p)).unwrap();
+        assert_eq!(got, vec![0, 10, 20, 30]);
+        assert_eq!(pram.mem(), &[0, 10, 20, 30]);
+        assert_eq!(pram.metrics().steps, 2);
+        assert_eq!(pram.metrics().work, 8);
+    }
+
+    #[test]
+    fn erew_rejects_concurrent_read() {
+        let mut pram = Pram::new(2, WritePolicy::Erew, 1);
+        let err = pram.step(2, |_, ctx| {
+            ctx.read(0);
+        });
+        assert!(matches!(err, Err(PramError::ReadConflict { addr: 0, processors: 2, .. })));
+    }
+
+    #[test]
+    fn erew_allows_same_processor_rereads() {
+        let mut pram = Pram::new(2, WritePolicy::Erew, 1);
+        pram.step(1, |_, ctx| {
+            ctx.read(0);
+            ctx.read(0);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn crew_allows_concurrent_read_rejects_concurrent_write() {
+        let mut pram = Pram::new(2, WritePolicy::Crew, 1);
+        pram.step(2, |_, ctx| {
+            ctx.read(0);
+        })
+        .unwrap();
+        let err = pram.step(2, |p, ctx| ctx.write(0, p as Word));
+        assert!(matches!(err, Err(PramError::WriteConflict { addr: 0, processors: 2, .. })));
+    }
+
+    #[test]
+    fn failed_step_does_not_commit() {
+        let mut pram = Pram::new(1, WritePolicy::Crew, 1);
+        let _ = pram.step(2, |p, ctx| ctx.write(0, 7 + p as Word));
+        assert_eq!(pram.mem()[0], 0, "illegal step must not modify memory");
+    }
+
+    #[test]
+    fn arb_elects_exactly_one_writer() {
+        let mut pram = Pram::new(1, WritePolicy::CrcwArb, 42);
+        pram.step(8, |p, ctx| ctx.write(0, 100 + p as Word)).unwrap();
+        let v = pram.mem()[0];
+        assert!((100..108).contains(&v), "winner must be one of the written values, got {v}");
+        assert_eq!(pram.metrics().concurrent_write_cells, 1);
+    }
+
+    #[test]
+    fn arb_winner_varies_with_seed() {
+        let winner = |seed| {
+            let mut pram = Pram::new(1, WritePolicy::CrcwArb, seed);
+            pram.step(64, |p, ctx| ctx.write(0, p as Word)).unwrap();
+            pram.mem()[0]
+        };
+        let w: Vec<Word> = (0..16).map(winner).collect();
+        assert!(w.iter().any(|&x| x != w[0]), "arbitration should vary across seeds: {w:?}");
+    }
+
+    #[test]
+    fn plus_combines_concurrent_writes() {
+        let mut pram = Pram::new(2, WritePolicy::CrcwPlus, 1);
+        pram.step(5, |p, ctx| ctx.write(0, p as Word + 1)).unwrap();
+        assert_eq!(pram.mem()[0], 1 + 2 + 3 + 4 + 5);
+        // Exclusive cells behave normally under PLUS too.
+        pram.step(1, |_, ctx| ctx.write(1, 9)).unwrap();
+        assert_eq!(pram.mem()[1], 9);
+    }
+
+    #[test]
+    fn max_combines_concurrent_writes() {
+        let mut pram = Pram::new(1, WritePolicy::CrcwMax, 1);
+        pram.step(5, |p, ctx| ctx.write(0, (p as Word) * 3 - 5)).unwrap();
+        assert_eq!(pram.mem()[0], 7, "max of {{-5,-2,1,4,7}}");
+    }
+
+    #[test]
+    fn reads_see_step_start_snapshot() {
+        // Processor 0 writes cell 1 while processor 1 reads it: the read
+        // must observe the pre-step value (synchronous semantics).
+        let mut pram = Pram::new(2, WritePolicy::CrcwArb, 1);
+        pram.mem_mut()[1] = 55;
+        let mut observed = 0;
+        pram.step(2, |p, ctx| {
+            if p == 0 {
+                ctx.write(1, 99);
+            } else {
+                observed = ctx.read(1);
+            }
+        })
+        .unwrap();
+        assert_eq!(observed, 55);
+        assert_eq!(pram.mem()[1], 99);
+    }
+
+    #[test]
+    fn conflict_metrics_accumulate() {
+        let mut pram = Pram::new(4, WritePolicy::CrcwArb, 3);
+        pram.step(4, |_, ctx| {
+            ctx.read(2);
+        })
+        .unwrap();
+        pram.step(4, |p, ctx| ctx.write(3, p as Word)).unwrap();
+        let m = pram.metrics();
+        assert_eq!(m.concurrent_read_cells, 1);
+        assert_eq!(m.concurrent_write_cells, 1);
+        assert_eq!(m.steps, 2);
+    }
+}

@@ -1,0 +1,62 @@
+//! Step / work / conflict accounting — the complexity measures of §3.
+
+use std::ops::Sub;
+
+/// Cumulative counters for a [`crate::Pram`] run.
+///
+/// * `steps` — parallel steps executed (`S` in the paper);
+/// * `work` — total processor activations over all steps (`W`);
+/// * `concurrent_read_cells` — cells observed with ≥ 2 distinct readers in
+///   one step, summed over steps (0 ⇒ every step was exclusive-read);
+/// * `concurrent_write_cells` — likewise for writers (0 ⇒ exclusive-write).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Parallel steps executed.
+    pub steps: usize,
+    /// Total processor activations (work).
+    pub work: usize,
+    /// Cells with concurrent readers, accumulated over steps.
+    pub concurrent_read_cells: usize,
+    /// Cells with concurrent writers, accumulated over steps.
+    pub concurrent_write_cells: usize,
+}
+
+impl Metrics {
+    /// True iff the accounted interval used only exclusive reads & writes —
+    /// i.e. it would have been legal on an EREW PRAM.
+    pub fn is_erew(&self) -> bool {
+        self.concurrent_read_cells == 0 && self.concurrent_write_cells == 0
+    }
+}
+
+impl Sub for Metrics {
+    type Output = Metrics;
+    /// Difference of two snapshots: the accounting of the interval between
+    /// them (later minus earlier).
+    fn sub(self, earlier: Metrics) -> Metrics {
+        Metrics {
+            steps: self.steps - earlier.steps,
+            work: self.work - earlier.work,
+            concurrent_read_cells: self.concurrent_read_cells - earlier.concurrent_read_cells,
+            concurrent_write_cells: self.concurrent_write_cells - earlier.concurrent_write_cells,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_subtraction() {
+        let before = Metrics { steps: 2, work: 10, concurrent_read_cells: 1, concurrent_write_cells: 0 };
+        let after = Metrics { steps: 5, work: 25, concurrent_read_cells: 1, concurrent_write_cells: 2 };
+        let d = after - before;
+        assert_eq!(d.steps, 3);
+        assert_eq!(d.work, 15);
+        assert_eq!(d.concurrent_read_cells, 0);
+        assert_eq!(d.concurrent_write_cells, 2);
+        assert!(!d.is_erew());
+        assert!(Metrics::default().is_erew());
+    }
+}

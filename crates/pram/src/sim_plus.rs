@@ -1,0 +1,210 @@
+//! §1.2: simulating a CRCW-PLUS PRAM on a CRCW-ARB PRAM.
+//!
+//! "The CRCW-PLUS PRAM model allows a combining function to be applied to
+//! values concurrently written to the same location. Our multiprefix
+//! algorithm can be used to simulate a concurrent combining write for
+//! problem sizes `n ≥ p²` … A CRCW-PLUS PRAM may be simulated on a
+//! CRCW-ARB PRAM with only constant slowdown for problem sizes `n ≥ p²`."
+//!
+//! The simulation of one combining-write step is exactly a **multireduce**:
+//! treat each virtual processor's `(address, value)` request as an element
+//! labeled by its address, run the multiprefix algorithm on the ARB
+//! machine, and store each bucket's reduction into the target cell.
+//!
+//! [`plus_slowdown`] quantifies the theorem: a `p`-processor host
+//! simulating the `O(√n)`-virtual-step algorithm (whose steps engage ~`√n`
+//! virtual processors each) spends `Θ(√n · √n / p) = Θ(n/p)` real steps —
+//! the trivial lower bound for touching `n` requests with `p` processors —
+//! whenever `n ≥ p²`, i.e. constant slowdown. Below that size the `√n`
+//! step count itself dominates and the slowdown grows as `p²/n`.
+
+use crate::algo::multiprefix_on_pram;
+use crate::machine::{Pram, PramError, WritePolicy, Word};
+use multiprefix::spinetree::Layout;
+
+/// One combining-write request of a virtual processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRequest {
+    /// Target cell in `[0, m)`.
+    pub addr: usize,
+    /// Value contributed.
+    pub value: i64,
+}
+
+/// Execute one combining-write step *directly* on a CRCW-PLUS machine —
+/// the specification the ARB simulation must match. Returns the memory
+/// image after the step (cells never written stay at their prior value).
+pub fn combining_write_direct(
+    memory: &[Word],
+    requests: &[WriteRequest],
+) -> Result<Vec<Word>, PramError> {
+    let mut pram = Pram::new(memory.len(), WritePolicy::CrcwPlus, 0);
+    pram.mem_mut().copy_from_slice(memory);
+    pram.step(requests.len(), |k, ctx| {
+        ctx.write(requests[k].addr, requests[k].value);
+    })?;
+    Ok(pram.mem().to_vec())
+}
+
+/// Result of simulating a combining write on the ARB machine.
+#[derive(Debug, Clone)]
+pub struct ArbSimulation {
+    /// Memory image after the simulated step.
+    pub memory: Vec<Word>,
+    /// Virtual parallel steps the multiprefix subroutine used.
+    pub virtual_steps: usize,
+    /// Total work of the subroutine.
+    pub work: usize,
+}
+
+/// Simulate one CRCW-PLUS combining write on the CRCW-ARB machine via the
+/// multiprefix algorithm (used as a multireduce).
+pub fn combining_write_on_arb(
+    memory: &[Word],
+    requests: &[WriteRequest],
+    seed: u64,
+) -> Result<ArbSimulation, PramError> {
+    let m = memory.len();
+    let values: Vec<i64> = requests.iter().map(|r| r.value).collect();
+    let labels: Vec<usize> = requests.iter().map(|r| r.addr).collect();
+    let layout = Layout::square(requests.len(), m);
+    let run = multiprefix_on_pram(&values, &labels, m, layout, seed)?;
+
+    let mut out = memory.to_vec();
+    let mut touched = vec![false; m];
+    for &l in &labels {
+        touched[l] = true;
+    }
+    for (cell, (&red, &was_written)) in
+        out.iter_mut().zip(run.output.reductions.iter().zip(&touched))
+    {
+        if was_written {
+            // CLR's combining write REPLACES the cell with the combination
+            // of the concurrently written values.
+            *cell = red;
+        }
+    }
+    Ok(ArbSimulation {
+        memory: out,
+        virtual_steps: run.total.steps,
+        work: run.total.work,
+    })
+}
+
+/// Slowdown accounting for the §1.2 theorem.
+#[derive(Debug, Clone, Copy)]
+pub struct Slowdown {
+    /// Problem size (virtual processors issuing the combining write).
+    pub n: usize,
+    /// Real processors of the host ARB machine.
+    pub p: usize,
+    /// Virtual steps of the multiprefix subroutine (≈ 5√n).
+    pub virtual_steps: usize,
+    /// Real steps after folding each wide virtual step onto `p` processors:
+    /// `Σ ceil(step_width / p)`, estimated as `steps + work/p`.
+    pub real_steps: usize,
+    /// The trivial lower bound `ceil(n / p)` — any algorithm must spend
+    /// this many steps just reading the requests.
+    pub optimal_steps: usize,
+    /// `real_steps / optimal_steps` — the simulation's slowdown factor.
+    pub slowdown: f64,
+}
+
+/// Measure the simulation slowdown for `n` requests on a `p`-processor
+/// host, by actually running the algorithm and folding its step widths.
+pub fn plus_slowdown(n: usize, p: usize, seed: u64) -> Result<Slowdown, PramError> {
+    assert!(n > 0 && p > 0);
+    let values: Vec<i64> = (0..n as i64).collect();
+    let labels: Vec<usize> = (0..n).map(|i| (i * 7) % (n / 2 + 1)).collect();
+    let m = n / 2 + 1;
+    let layout = Layout::square(n, m);
+    let run = multiprefix_on_pram(&values, &labels, m, layout, seed)?;
+    // Each virtual step engages at most max(row_len, n_rows, m+n-init)
+    // processors; folding onto p real processors costs ceil(width/p) real
+    // steps. `steps + work/p` is an exact upper bound on Σ ceil(w_i / p).
+    let real_steps = run.total.steps + run.total.work.div_ceil(p);
+    let optimal_steps = n.div_ceil(p);
+    Ok(Slowdown {
+        n,
+        p,
+        virtual_steps: run.total.steps,
+        real_steps,
+        optimal_steps,
+        slowdown: real_steps as f64 / optimal_steps as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn requests(n: usize, m: usize) -> Vec<WriteRequest> {
+        (0..n)
+            .map(|i| WriteRequest { addr: (i * 31 + i / 5) % m, value: (i as i64 * 13) % 50 - 25 })
+            .collect()
+    }
+
+    #[test]
+    fn arb_simulation_matches_plus_machine() {
+        let memory: Vec<Word> = (0..10).map(|i| i * 100).collect();
+        let reqs = requests(200, 10);
+        let direct = combining_write_direct(&memory, &reqs).unwrap();
+        for seed in [0u64, 3, 17] {
+            let sim = combining_write_on_arb(&memory, &reqs, seed).unwrap();
+            assert_eq!(sim.memory, direct, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn untouched_cells_keep_old_values() {
+        let memory = vec![11, 22, 33, 44];
+        let reqs = vec![WriteRequest { addr: 1, value: 5 }, WriteRequest { addr: 1, value: 6 }];
+        let direct = combining_write_direct(&memory, &reqs).unwrap();
+        assert_eq!(direct, vec![11, 11, 33, 44]);
+        let sim = combining_write_on_arb(&memory, &reqs, 9).unwrap();
+        assert_eq!(sim.memory, direct);
+    }
+
+    #[test]
+    fn constant_slowdown_when_n_at_least_p_squared() {
+        // For n = α²p², the slowdown must stay below a fixed constant as
+        // both α and p vary — the theorem's statement.
+        let mut max_slowdown: f64 = 0.0;
+        for p in [4usize, 8, 16] {
+            for alpha in [1usize, 2, 4] {
+                let n = alpha * alpha * p * p;
+                let s = plus_slowdown(n, p, 1).unwrap();
+                assert!(
+                    s.slowdown < 16.0,
+                    "slowdown {} too large for n={n}, p={p}",
+                    s.slowdown
+                );
+                max_slowdown = max_slowdown.max(s.slowdown);
+            }
+        }
+        assert!(max_slowdown > 0.0);
+    }
+
+    #[test]
+    fn slowdown_grows_below_the_threshold() {
+        // With n = p (far below p²) the √n virtual step count dominates and
+        // the slowdown is no longer constant: it must exceed the constant
+        // regime observed above by a clear margin.
+        let under = plus_slowdown(256, 256, 1).unwrap(); // n = p
+        let over = plus_slowdown(256 * 256, 256, 1).unwrap(); // n = p²
+        assert!(
+            under.slowdown > 4.0 * over.slowdown,
+            "expected sub-threshold slowdown ({}) to dwarf the n ≥ p² case ({})",
+            under.slowdown,
+            over.slowdown
+        );
+    }
+
+    #[test]
+    fn virtual_steps_scale_as_sqrt_n() {
+        let a = plus_slowdown(1024, 4, 1).unwrap();
+        let b = plus_slowdown(4096, 4, 1).unwrap();
+        let ratio = b.virtual_steps as f64 / a.virtual_steps as f64;
+        assert!((1.5..=2.6).contains(&ratio), "S(4n)/S(n) = {ratio}, expected ≈ 2");
+    }
+}

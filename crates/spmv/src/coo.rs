@@ -1,0 +1,125 @@
+//! Coordinate (COO) storage: the neutral interchange format.
+//!
+//! The Figure 12 algorithm works directly on this representation: "The
+//! elements are stored in three vectors that hold their values, and the
+//! row and column index of each."
+
+/// A square sparse matrix in coordinate form. Entries are unique
+/// `(row, col)` pairs (enforced by the constructors in [`crate::gen`] and
+/// checked by [`CooMatrix::validate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix {
+    /// Dimension (the matrix is `order × order`).
+    pub order: usize,
+    /// Row index of each nonzero.
+    pub rows: Vec<usize>,
+    /// Column index of each nonzero.
+    pub cols: Vec<usize>,
+    /// Value of each nonzero.
+    pub vals: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Build from triplets; panics on inconsistent lengths.
+    pub fn new(order: usize, rows: Vec<usize>, cols: Vec<usize>, vals: Vec<f64>) -> Self {
+        assert_eq!(rows.len(), cols.len());
+        assert_eq!(rows.len(), vals.len());
+        CooMatrix { order, rows, cols, vals }
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Density ρ = nnz / order².
+    pub fn density(&self) -> f64 {
+        if self.order == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.order as f64 * self.order as f64)
+        }
+    }
+
+    /// Per-row nonzero counts — the structural input to the CSR and JD
+    /// cost models.
+    pub fn row_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.order];
+        for &r in &self.rows {
+            counts[r] += 1;
+        }
+        counts
+    }
+
+    /// Check indices in range and `(row, col)` pairs unique.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::with_capacity(self.nnz());
+        for k in 0..self.nnz() {
+            let (r, c) = (self.rows[k], self.cols[k]);
+            if r >= self.order || c >= self.order {
+                return Err(format!("entry {k} at ({r},{c}) outside order {}", self.order));
+            }
+            if !seen.insert((r, c)) {
+                return Err(format!("duplicate entry at ({r},{c})"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Sort entries row-major (row, then column) in place — the order the
+    /// CSR conversion and the multiprefix route both want.
+    pub fn sort_row_major(&mut self) {
+        let mut idx: Vec<usize> = (0..self.nnz()).collect();
+        idx.sort_by_key(|&k| (self.rows[k], self.cols[k]));
+        self.rows = idx.iter().map(|&k| self.rows[k]).collect();
+        self.cols = idx.iter().map(|&k| self.cols[k]).collect();
+        self.vals = idx.iter().map(|&k| self.vals[k]).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooMatrix {
+        CooMatrix::new(3, vec![2, 0, 1, 0], vec![1, 2, 0, 0], vec![4.0, 3.0, 2.0, 1.0])
+    }
+
+    #[test]
+    fn counts_and_density() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_counts(), vec![2, 1, 1]);
+        assert!((m.density() - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_catches_problems() {
+        let m = sample();
+        assert!(m.validate().is_ok());
+        let mut bad = sample();
+        bad.rows[0] = 5;
+        assert!(bad.validate().is_err());
+        let mut dup = sample();
+        dup.rows[0] = 0;
+        dup.cols[0] = 0;
+        assert!(dup.validate().unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn row_major_sorting() {
+        let mut m = sample();
+        m.sort_row_major();
+        assert_eq!(m.rows, vec![0, 0, 1, 2]);
+        assert_eq!(m.cols, vec![0, 2, 0, 1]);
+        assert_eq!(m.vals, vec![1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CooMatrix::new(0, vec![], vec![], vec![]);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.density(), 0.0);
+        assert!(m.validate().is_ok());
+    }
+}

@@ -1,0 +1,216 @@
+//! Compressed Sparse Row storage and multiply.
+//!
+//! "The Compressed Sparse Row (CSR) storage format is most typically used
+//! and arranges the matrix into rows, with the column index of each
+//! element stored in a separate vector. … the row-major algorithm suffers
+//! from poor vectorization because of the very short rows for sparse
+//! systems." The *setup* is considered free ("We consider the CSR format
+//! approach the base case, and associate no setup time with it", §5.2.1).
+
+use crate::coo::CooMatrix;
+use rayon::prelude::*;
+
+/// A square sparse matrix in CSR form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    /// Dimension.
+    pub order: usize,
+    /// `row_ptr[r]..row_ptr[r+1]` indexes row `r`'s entries.
+    pub row_ptr: Vec<usize>,
+    /// Column of each entry, row-major.
+    pub col_idx: Vec<usize>,
+    /// Value of each entry, row-major.
+    pub vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Convert from COO (any entry order).
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let counts = coo.row_counts();
+        let mut row_ptr = Vec::with_capacity(coo.order + 1);
+        let mut acc = 0usize;
+        row_ptr.push(0);
+        for &c in &counts {
+            acc += c;
+            row_ptr.push(acc);
+        }
+        let mut cursor = row_ptr.clone();
+        let mut col_idx = vec![0usize; coo.nnz()];
+        let mut vals = vec![0.0f64; coo.nnz()];
+        for k in 0..coo.nnz() {
+            let r = coo.rows[k];
+            let at = cursor[r];
+            col_idx[at] = coo.cols[k];
+            vals[at] = coo.vals[k];
+            cursor[r] += 1;
+        }
+        CsrMatrix { order: coo.order, row_ptr, col_idx, vals }
+    }
+
+    /// Number of nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Per-row lengths (for the cost model).
+    pub fn row_lengths(&self) -> Vec<usize> {
+        self.row_ptr.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// `y = A·x`, serial — the FORTRAN row loop, verbatim.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.order);
+        (0..self.order)
+            .map(|r| {
+                let lo = self.row_ptr[r];
+                let hi = self.row_ptr[r + 1];
+                let mut acc = 0.0;
+                for k in lo..hi {
+                    acc += self.vals[k] * x[self.col_idx[k]];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// `y = A·x` with rayon over the rows (each row stays a serial
+    /// reduction, so the numerics match [`Self::spmv`] bit for bit).
+    pub fn spmv_parallel(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.order);
+        (0..self.order)
+            .into_par_iter()
+            .map(|r| {
+                let lo = self.row_ptr[r];
+                let hi = self.row_ptr[r + 1];
+                let mut acc = 0.0;
+                for k in lo..hi {
+                    acc += self.vals[k] * x[self.col_idx[k]];
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense_reference;
+
+    fn sample() -> CooMatrix {
+        // [1 0 3]
+        // [2 0 0]
+        // [0 4 5]
+        CooMatrix::new(
+            3,
+            vec![0, 0, 1, 2, 2],
+            vec![0, 2, 0, 1, 2],
+            vec![1.0, 3.0, 2.0, 4.0, 5.0],
+        )
+    }
+
+    #[test]
+    fn conversion_structure() {
+        let csr = CsrMatrix::from_coo(&sample());
+        assert_eq!(csr.row_ptr, vec![0, 2, 3, 5]);
+        assert_eq!(csr.row_lengths(), vec![2, 1, 2]);
+        assert_eq!(csr.nnz(), 5);
+    }
+
+    #[test]
+    fn multiply_matches_dense_reference() {
+        let coo = sample();
+        let csr = CsrMatrix::from_coo(&coo);
+        let x = vec![1.0, 2.0, 3.0];
+        let y = csr.spmv(&x);
+        assert_eq!(y, dense_reference(&coo, &x));
+        assert_eq!(y, vec![10.0, 2.0, 23.0]);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let coo = crate::gen::uniform_random(200, 0.05, 42);
+        let csr = CsrMatrix::from_coo(&coo);
+        let x: Vec<f64> = (0..200).map(|i| (i as f64).sin()).collect();
+        assert_eq!(csr.spmv(&x), csr.spmv_parallel(&x));
+    }
+
+    #[test]
+    fn unsorted_coo_converts_correctly() {
+        let mut coo = sample();
+        // Shuffle entries.
+        coo.rows.swap(0, 4);
+        coo.cols.swap(0, 4);
+        coo.vals.swap(0, 4);
+        let csr = CsrMatrix::from_coo(&coo);
+        let x = vec![1.0, 1.0, 1.0];
+        assert_eq!(csr.spmv(&x), vec![4.0, 2.0, 9.0]);
+    }
+
+    #[test]
+    fn empty_rows_yield_zero() {
+        let coo = CooMatrix::new(3, vec![1], vec![1], vec![7.0]);
+        let csr = CsrMatrix::from_coo(&coo);
+        assert_eq!(csr.spmv(&[1.0, 2.0, 3.0]), vec![0.0, 14.0, 0.0]);
+    }
+}
+
+impl CsrMatrix {
+    /// Build the transposed matrix (`Aᵀ` in CSR) — the structure a
+    /// CSR-based transpose multiply must materialize, in contrast to the
+    /// multiprefix route's label swap (`spmv::mp_spmv::mp_spmv_transpose`).
+    pub fn transpose(&self) -> CsrMatrix {
+        let n = self.order;
+        let mut counts = vec![0usize; n];
+        for &c in &self.col_idx {
+            counts[c] += 1;
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        row_ptr.push(0);
+        for &c in &counts {
+            acc += c;
+            row_ptr.push(acc);
+        }
+        let mut cursor = row_ptr.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut vals = vec![0.0f64; self.nnz()];
+        for r in 0..n {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k];
+                let at = cursor[c];
+                col_idx[at] = r;
+                vals[at] = self.vals[k];
+                cursor[c] += 1;
+            }
+        }
+        CsrMatrix { order: n, row_ptr, col_idx, vals }
+    }
+}
+
+#[cfg(test)]
+mod transpose_tests {
+    use super::*;
+    use crate::{approx_eq, mp_spmv::mp_spmv_transpose};
+    use multiprefix::Engine;
+
+    #[test]
+    fn transpose_matches_mp_label_swap() {
+        let coo = crate::gen::uniform_random(120, 0.04, 6);
+        let csr = CsrMatrix::from_coo(&coo);
+        let x: Vec<f64> = (0..120).map(|i| 0.25 * (i % 9) as f64 - 1.0).collect();
+        let via_csr_t = csr.transpose().spmv(&x);
+        let via_mp = mp_spmv_transpose(&coo, &x, Engine::Serial);
+        assert!(approx_eq(&via_csr_t, &via_mp, 1e-9));
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let coo = crate::gen::uniform_random(80, 0.05, 2);
+        let csr = CsrMatrix::from_coo(&coo);
+        let tt = csr.transpose().transpose();
+        assert_eq!(csr.row_ptr, tt.row_ptr);
+        assert_eq!(csr.col_idx, tt.col_idx);
+        assert_eq!(csr.vals, tt.vals);
+    }
+}

@@ -1,0 +1,67 @@
+//! Drive the CRAY Y-MP cost model directly: per-phase clocks per element
+//! across bucket loads — a miniature Figure 10, plus the multireduce
+//! saving of §4.2.
+//!
+//! ```sh
+//! cargo run --release --example cray_timing [n]
+//! ```
+
+use cray_sim::kernels::{multiprefix_timed, MpVariant};
+use cray_sim::{CostBook, VectorMachine};
+
+fn labels_for_load(n: usize, load: usize, seed: u64) -> (Vec<usize>, usize) {
+    if load >= n {
+        return (vec![0; n], 1);
+    }
+    let m = (n / load).max(1);
+    let mut state = seed | 1;
+    let labels = (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m
+        })
+        .collect();
+    (labels, m)
+}
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(262_144);
+    let book = CostBook::default();
+    let values = vec![1i64; n];
+
+    println!("simulated CRAY Y-MP, n = {n} (6 ns clocks per element)\n");
+    println!("{:<10} {:>6} {:>10} {:>8} {:>9} {:>10} {:>8} {:>9}",
+        "load", "INIT", "SPINETREE", "ROWSUM", "SPINESUM", "PREFIXSUM", "TOTAL", "ms");
+    for load in [1usize, 16, 256, n] {
+        let (labels, m) = labels_for_load(n, load, 11);
+        let mut machine = VectorMachine::ymp();
+        let run = multiprefix_timed(&mut machine, &book, &values, &labels, m, MpVariant::FULL);
+        let c = run.clocks;
+        let f = n as f64;
+        println!(
+            "{:<10} {:>6.1} {:>10.1} {:>8.1} {:>9.1} {:>10.1} {:>8.1} {:>9.2}",
+            if load == n { "n (heavy)".to_string() } else { format!("{load}") },
+            c.init / f,
+            c.spinetree / f,
+            c.rowsum / f,
+            c.spinesum / f,
+            c.prefixsum / f,
+            c.total() / f,
+            machine.millis()
+        );
+    }
+
+    // §4.2: multireduce skips PREFIXSUM for "slightly more than 1 clock
+    // tick per element" of extraction.
+    let (labels, m) = labels_for_load(n, 16, 11);
+    let mut full = VectorMachine::ymp();
+    multiprefix_timed(&mut full, &book, &values, &labels, m, MpVariant::FULL);
+    let mut reduce = VectorMachine::ymp();
+    multiprefix_timed(&mut reduce, &book, &values, &labels, m, MpVariant::REDUCE);
+    println!(
+        "\nmultireduce saves the PREFIXSUM phase: {:.2} ms -> {:.2} ms ({:.0}% cheaper)",
+        full.millis(),
+        reduce.millis(),
+        (1.0 - reduce.clocks() / full.clocks()) * 100.0
+    );
+}

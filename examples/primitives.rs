@@ -1,0 +1,49 @@
+//! The primitives multiprefix subsumes (§1): segmented scan, combining
+//! send / histogram, and deterministic fetch-and-op.
+//!
+//! ```sh
+//! cargo run --example primitives
+//! ```
+
+use multiprefix::fetch_op::fetch_and_op;
+use multiprefix::histogram::{histogram, histogram_weighted};
+use multiprefix::op::{Max, Plus};
+use multiprefix::segmented::{segmented_exclusive_scan, segmented_inclusive_scan};
+use multiprefix::Engine;
+
+fn main() {
+    // -- Segmented scan [Ble90]: "distribute the same label to each
+    //    element in a segment and execute the multiprefix operation."
+    let values = [3i64, 1, 4, 1, 5, 9, 2, 6];
+    let flags = [true, false, false, true, false, true, false, false];
+    let out = segmented_exclusive_scan(&values, &flags, Plus, Engine::Auto).unwrap();
+    println!("values:             {values:?}");
+    println!("segment starts:     {flags:?}");
+    println!("segmented excl sum: {:?}", out.sums);
+    println!("segment totals:     {:?}", out.reductions);
+    let inc = segmented_inclusive_scan(&values, &flags, Max, Engine::Auto).unwrap();
+    println!("segmented incl max: {inc:?}\n");
+
+    // -- Histogram (the "Vector Update Loop" / combining-send of the CM).
+    let keys = [2usize, 0, 2, 2, 1, 0, 2];
+    println!("keys:               {keys:?}");
+    println!("histogram:          {:?}", histogram(&keys, 4, Engine::Auto).unwrap());
+    let weights = [10i64, 5, 20, 30, 7, 2, 40];
+    println!(
+        "max weight per key: {:?}\n",
+        histogram_weighted(&keys, &weights, 4, Max, Engine::Auto).unwrap()
+    );
+
+    // -- Fetch-and-op [GLR81], determinized: "the multiprefix operator
+    //    ensures that results are computed in vector index order."
+    let memory = [100i64, 200];
+    let addresses = [0usize, 0, 1, 0];
+    let increments = [1i64, 2, 50, 4];
+    let r = fetch_and_op(&memory, &addresses, &increments, Plus, Engine::Auto).unwrap();
+    println!("fetch-and-add on memory {memory:?}:");
+    println!("  requests (addr, inc): {:?}", addresses.iter().zip(&increments).collect::<Vec<_>>());
+    println!("  fetched (vector order, deterministic): {:?}", r.fetched);
+    println!("  final memory: {:?}", r.memory);
+    assert_eq!(r.fetched, vec![100, 101, 200, 103]);
+    assert_eq!(r.memory, vec![107, 250]);
+}

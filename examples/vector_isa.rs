@@ -1,0 +1,61 @@
+//! Run the paper's algorithm at the instruction level: the four phases
+//! compiled to vector instructions (gathers, scatters, masked scatters)
+//! and executed on the register vector machine.
+//!
+//! ```sh
+//! cargo run --release --example vector_isa [n]
+//! ```
+
+use cray_sim::isa::{emit_multiprefix, run_multiprefix_isa};
+use multiprefix::op::Plus;
+use multiprefix::serial::multiprefix_serial;
+use multiprefix::spinetree::Layout;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4096);
+    let m = (n / 16).max(1);
+    let mut state = 0x1234_5678u64;
+    let labels: Vec<usize> = (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m
+        })
+        .collect();
+    let values: Vec<i64> = (0..n as i64).map(|i| i % 23 - 11).collect();
+    let layout = Layout::square(n, m);
+
+    let (program, map) = emit_multiprefix(&layout);
+    println!("compiled multiprefix for n = {n}, m = {m} (grid {} x {}):", layout.n_rows, layout.row_len);
+    println!("  {} static instructions, {} memory cells", program.len(), map.cells);
+    let gathers = program.iter().filter(|i| matches!(i, cray_sim::isa::Inst::VGather { .. })).count();
+    let scatters = program
+        .iter()
+        .filter(|i| {
+            matches!(
+                i,
+                cray_sim::isa::Inst::VScatter { .. } | cray_sim::isa::Inst::VScatterMasked { .. }
+            )
+        })
+        .count();
+    println!("  {gathers} gathers, {scatters} scatters (incl. masked)\n");
+
+    let run = run_multiprefix_isa(&values, &labels, m, layout).expect("program is well formed");
+    println!("executed: {} instructions, {:.0} clocks ({:.2} clk/elt, {:.3} ms at 6 ns)",
+        run.instructions,
+        run.clocks,
+        run.clocks / n as f64,
+        run.clocks * 6e-6
+    );
+
+    let expect = multiprefix_serial(&values, &labels, m, Plus);
+    assert_eq!(run.output.sums, expect.sums);
+    assert_eq!(run.output.reductions, expect.reductions);
+    println!("results bit-identical to the host library\n");
+
+    println!("first 8 sums: {:?}", &run.output.sums[..8.min(n)]);
+    println!(
+        "\"A vector computer with scatter/gather capability may simulate a"
+    );
+    println!("synchronous PRAM algorithm by issuing one vector operation for");
+    println!("each parallel step.\" — §1.1, now literally executed.");
+}

@@ -1,0 +1,111 @@
+//! The vector-machine model, cross-checked end to end: timed kernels must
+//! compute the same answers as the host library while their clock charges
+//! show the paper's orderings.
+
+use cray_sim::kernels::sort::mp_rank_sort_timed;
+use cray_sim::kernels::spmv::{csr_clocks, jd_clocks, mp_clocks};
+use cray_sim::kernels::{multiprefix_timed, MpVariant};
+use cray_sim::{CostBook, VectorMachine};
+use mp_sort::counting_sort::counting_ranks;
+use multiprefix::op::Plus;
+use multiprefix::serial::multiprefix_serial;
+use proptest::prelude::*;
+use spmv::gen::{circuit_matrix, uniform_random};
+use spmv::{CsrMatrix, JaggedDiagonal};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn timed_multiprefix_is_exact(
+        m in 1usize..16,
+        raw in proptest::collection::vec((any::<i16>(), 0usize..16), 0..400),
+    ) {
+        let values: Vec<i64> = raw.iter().map(|&(v, _)| v as i64).collect();
+        let labels: Vec<usize> = raw.iter().map(|&(_, l)| l % m).collect();
+        let mut machine = VectorMachine::ymp();
+        let run = multiprefix_timed(
+            &mut machine, &CostBook::default(), &values, &labels, m, MpVariant::FULL,
+        );
+        let expect = multiprefix_serial(&values, &labels, m, Plus);
+        prop_assert_eq!(run.output.sums, expect.sums);
+        prop_assert_eq!(run.output.reductions, expect.reductions);
+        prop_assert!(machine.clocks() >= 0.0);
+    }
+
+    #[test]
+    fn timed_rank_sort_is_exact(keys in proptest::collection::vec(0usize..64, 0..300)) {
+        let mut machine = VectorMachine::ymp();
+        let run = mp_rank_sort_timed(&mut machine, &CostBook::default(), &keys, 64);
+        prop_assert_eq!(run.ranks, counting_ranks(&keys, 64));
+    }
+}
+
+#[test]
+fn table2_orderings_hold_in_the_model() {
+    // Large sparse → MP < JD < CSR; small dense → CSR < JD < MP.
+    let book = CostBook::default();
+    let total = |order: usize, rho: f64| {
+        let coo = uniform_random(order, rho, 5);
+        let csr_m = CsrMatrix::from_coo(&coo);
+        let jd_m = JaggedDiagonal::from_coo(&coo);
+        let mut mc = VectorMachine::ymp();
+        let c = csr_clocks(&mut mc, &book, &csr_m.row_lengths()).total();
+        let mut mj = VectorMachine::ymp();
+        let j = jd_clocks(&mut mj, &book, coo.nnz(), coo.order, &jd_m.diag_lengths()).total();
+        let products = vec![1i64; coo.nnz()];
+        let mut mm = VectorMachine::ymp();
+        let (mp, _) = mp_clocks(&mut mm, &book, &products, &coo.rows, &coo.cols, coo.order);
+        (c, j, mp.total())
+    };
+    let (c, j, m) = total(5000, 0.001);
+    assert!(m < j && j < c, "large sparse: {m:.0} / {j:.0} / {c:.0}");
+    let (c, j, m) = total(100, 0.4);
+    assert!(c < j && j < m, "small dense: {c:.0} / {j:.0} / {m:.0}");
+}
+
+#[test]
+fn table5_jd_collapse_holds_in_the_model() {
+    let book = CostBook::default();
+    let coo = circuit_matrix(2806, 6.5, 2, 7);
+    let jd_m = JaggedDiagonal::from_coo(&coo);
+    let csr_m = CsrMatrix::from_coo(&coo);
+    let mut mj = VectorMachine::ymp();
+    let jd = jd_clocks(&mut mj, &book, coo.nnz(), coo.order, &jd_m.diag_lengths());
+    let products = vec![1i64; coo.nnz()];
+    let mut mm = VectorMachine::ymp();
+    let (mp, _) = mp_clocks(&mut mm, &book, &products, &coo.rows, &coo.cols, coo.order);
+    let mut mc = VectorMachine::ymp();
+    let csr = csr_clocks(&mut mc, &book, &csr_m.row_lengths());
+    // MP best total; JD total even behind CSR (the paper's Table 5 shape).
+    assert!(mp.total() < csr.total(), "MP {:.0} vs CSR {:.0}", mp.total(), csr.total());
+    assert!(mp.total() < jd.total(), "MP {:.0} vs JD {:.0}", mp.total(), jd.total());
+    assert!(
+        jd.total() > csr.total(),
+        "the rails should drag JD ({:.0}) behind even CSR ({:.0})",
+        jd.total(),
+        csr.total()
+    );
+}
+
+#[test]
+fn figure_10_flatness_at_scale() {
+    // Per-element cost varies by less than ~6 clocks across four decades
+    // of load at n = 256k — the paper's core robustness claim.
+    let n = 262_144;
+    let values = vec![1i64; n];
+    let book = CostBook::default();
+    let mut per_elt = Vec::new();
+    for &m in &[1usize, 1024, 16_384, n] {
+        let labels: Vec<usize> = if m == 1 {
+            vec![0; n]
+        } else {
+            (0..n).map(|i| (i.wrapping_mul(2654435761)) % m).collect()
+        };
+        let mut machine = VectorMachine::ymp();
+        let run = multiprefix_timed(&mut machine, &book, &values, &labels, m, MpVariant::FULL);
+        per_elt.push(run.clocks.per_element(n));
+    }
+    let min = per_elt.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_elt.iter().cloned().fold(0.0f64, f64::max);
+    assert!(max - min < 8.0, "spread {min:.1}..{max:.1}: {per_elt:?}");
+}

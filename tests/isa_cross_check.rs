@@ -1,0 +1,95 @@
+//! Cross-check the three execution levels of the reproduction: host
+//! library ↔ PRAM simulator ↔ ISA vector machine, on shared inputs.
+
+use cray_sim::isa::run_multiprefix_isa;
+use cray_sim::kernels::{multiprefix_timed, MpVariant};
+use cray_sim::{CostBook, VectorMachine};
+use multiprefix::op::Plus;
+use multiprefix::serial::multiprefix_serial;
+use multiprefix::spinetree::Layout;
+use pram::algo::multiprefix_on_pram;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn three_machines_one_answer(
+        m in 1usize..10,
+        raw in proptest::collection::vec((any::<i8>(), 0usize..10), 1..200),
+        row_skew in 1usize..4,
+    ) {
+        let values: Vec<i64> = raw.iter().map(|&(v, _)| v as i64).collect();
+        let labels: Vec<usize> = raw.iter().map(|&(_, l)| l % m).collect();
+        let n = values.len();
+        let base = Layout::square(n, m);
+        let layout = Layout::with_row_len(n, m, (base.row_len * row_skew).max(1));
+
+        let host = multiprefix_serial(&values, &labels, m, Plus);
+
+        let pram_run = multiprefix_on_pram(&values, &labels, m, layout, 7).unwrap();
+        prop_assert_eq!(&pram_run.output.sums, &host.sums);
+        prop_assert_eq!(&pram_run.output.reductions, &host.reductions);
+
+        let isa_run = run_multiprefix_isa(&values, &labels, m, layout).unwrap();
+        prop_assert_eq!(&isa_run.output.sums, &host.sums);
+        prop_assert_eq!(&isa_run.output.reductions, &host.reductions);
+
+        let mut machine = VectorMachine::ymp();
+        let coarse = multiprefix_timed(&mut machine, &CostBook::default(), &values, &labels, m, MpVariant::FULL);
+        prop_assert_eq!(&coarse.output.sums, &host.sums);
+        prop_assert_eq!(&coarse.output.reductions, &host.reductions);
+    }
+}
+
+#[test]
+fn isa_and_coarse_model_agree_on_cost_trends() {
+    // The two timing models are calibrated differently, but both must
+    // agree that heavy load costs more than moderate load, and that cost
+    // grows roughly linearly in n.
+    let run_isa = |n: usize, m: usize| {
+        let values = vec![1i64; n];
+        let labels: Vec<usize> =
+            (0..n).map(|i| if m == 1 { 0 } else { (i * 2654435761) % m }).collect();
+        run_multiprefix_isa(&values, &labels, m, Layout::square(n, m)).unwrap().clocks
+    };
+    let run_coarse = |n: usize, m: usize| {
+        let values = vec![1i64; n];
+        let labels: Vec<usize> =
+            (0..n).map(|i| if m == 1 { 0 } else { (i * 2654435761) % m }).collect();
+        let mut machine = VectorMachine::ymp();
+        multiprefix_timed(&mut machine, &CostBook::default(), &values, &labels, m, MpVariant::FULL);
+        machine.clocks()
+    };
+
+    for run in [&run_isa as &dyn Fn(usize, usize) -> f64, &run_coarse] {
+        let heavy = run(8192, 1);
+        let moderate = run(8192, 512);
+        assert!(heavy > moderate, "heavy {heavy} vs moderate {moderate}");
+        let small = run(4096, 256);
+        let large = run(16384, 1024);
+        let growth = large / small;
+        assert!((2.0..8.0).contains(&growth), "4x data should cost ~4x: {growth}");
+    }
+}
+
+#[test]
+fn pram_work_and_isa_instructions_are_both_linear() {
+    // W on the PRAM and retired instructions on the ISA are different
+    // work measures of the same algorithm; both must scale linearly.
+    let measure = |n: usize| {
+        let values = vec![1i64; n];
+        let labels: Vec<usize> = (0..n).map(|i| i % 7).collect();
+        let layout = Layout::square(n, 7);
+        let pram_work =
+            multiprefix_on_pram(&values, &labels, 7, layout, 1).unwrap().total.work as f64;
+        let isa_instr =
+            run_multiprefix_isa(&values, &labels, 7, layout).unwrap().instructions as f64;
+        (pram_work, isa_instr)
+    };
+    let (w1, i1) = measure(2048);
+    let (w2, i2) = measure(8192);
+    assert!((3.0..5.5).contains(&(w2 / w1)), "PRAM work growth {}", w2 / w1);
+    // ISA instruction count is ~linear but has per-strip constants; allow
+    // a wider band.
+    assert!((2.0..6.0).contains(&(i2 / i1)), "ISA instruction growth {}", i2 / i1);
+}

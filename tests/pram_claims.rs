@@ -1,0 +1,69 @@
+//! The paper's PRAM claims, checked on the honest machine for randomized
+//! inputs: EREW-ness of phases 2–4, arbitration independence, and the
+//! CRCW-PLUS simulation.
+
+use multiprefix::op::Plus;
+use multiprefix::serial::multiprefix_serial;
+use multiprefix::spinetree::Layout;
+use pram::algo::multiprefix_on_pram;
+use pram::sim_plus::{combining_write_direct, combining_write_on_arb, WriteRequest};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn only_spinetree_may_conflict(
+        m in 1usize..12,
+        raw in proptest::collection::vec((any::<i8>(), 0usize..12), 1..300),
+        seed in any::<u64>(),
+    ) {
+        let values: Vec<i64> = raw.iter().map(|&(v, _)| v as i64).collect();
+        let labels: Vec<usize> = raw.iter().map(|&(_, l)| l % m).collect();
+        let layout = Layout::square(values.len(), m);
+        let run = multiprefix_on_pram(&values, &labels, m, layout, seed).unwrap();
+
+        let expect = multiprefix_serial(&values, &labels, m, Plus);
+        prop_assert_eq!(&run.output.sums, &expect.sums);
+        prop_assert_eq!(&run.output.reductions, &expect.reductions);
+
+        for (k, phase) in run.phases.iter().enumerate() {
+            if k != 1 {
+                prop_assert!(
+                    phase.is_erew(),
+                    "phase {} had conflicts: {:?}",
+                    k,
+                    phase
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn combining_write_simulated_correctly(
+        mem_len in 1usize..16,
+        reqs in proptest::collection::vec((0usize..16, -50i64..50), 1..100),
+        seed in any::<u64>(),
+    ) {
+        let memory: Vec<i64> = (0..mem_len as i64).map(|i| i * 7).collect();
+        let requests: Vec<WriteRequest> = reqs
+            .into_iter()
+            .map(|(a, v)| WriteRequest { addr: a % mem_len, value: v })
+            .collect();
+        let direct = combining_write_direct(&memory, &requests).unwrap();
+        let sim = combining_write_on_arb(&memory, &requests, seed).unwrap();
+        prop_assert_eq!(sim.memory, direct);
+    }
+}
+
+#[test]
+fn step_count_grows_as_sqrt() {
+    let steps = |n: usize| {
+        let values = vec![1i64; n];
+        let labels: Vec<usize> = (0..n).map(|i| i % 5).collect();
+        let layout = Layout::square(n, 5);
+        multiprefix_on_pram(&values, &labels, 5, layout, 1).unwrap().total.steps as f64
+    };
+    let (s1, s4, s16) = (steps(1024), steps(4096), steps(16384));
+    assert!((1.6..2.5).contains(&(s4 / s1)), "S(4n)/S(n) = {}", s4 / s1);
+    assert!((1.6..2.5).contains(&(s16 / s4)), "S(16n)/S(4n) = {}", s16 / s4);
+}

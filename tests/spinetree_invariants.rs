@@ -1,0 +1,75 @@
+//! Property tests of the §3.1 structural theorems: for any labeling, any
+//! grid shape and any arbitration, the built spinetree satisfies
+//! Theorems 1–2 and Corollaries 1–2.
+
+use multiprefix::spinetree::build::{build_spinetree, ArbPolicy};
+use multiprefix::spinetree::layout::Layout;
+use multiprefix::spinetree::validate::check_spinetree;
+use proptest::prelude::*;
+
+fn labeled_grid() -> impl Strategy<Value = (Vec<usize>, usize, usize)> {
+    (1usize..20, 1usize..25).prop_flat_map(|(m, row_len)| {
+        proptest::collection::vec(0..m, 0..400)
+            .prop_map(move |labels| (labels, m, row_len))
+    })
+}
+
+proptest! {
+    #[test]
+    fn theorems_hold_for_any_input((labels, m, row_len) in labeled_grid(), seed in any::<u64>()) {
+        let layout = Layout::with_row_len(labels.len(), m, row_len);
+        for policy in [ArbPolicy::LastWins, ArbPolicy::FirstWins, ArbPolicy::Seeded(seed)] {
+            let spine = build_spinetree(&labels, &layout, policy);
+            let violations = check_spinetree(&labels, &layout, &spine);
+            prop_assert!(
+                violations.is_empty(),
+                "policy {:?}: {:?}",
+                policy,
+                violations
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_points_into_lowest_occupied_row((labels, m, row_len) in labeled_grid()) {
+        // After the top-to-bottom sweep, each touched bucket's pointer
+        // names an element of its class's bottom-most occupied row (the
+        // last row processed).
+        let layout = Layout::with_row_len(labels.len(), m, row_len);
+        let spine = build_spinetree(&labels, &layout, ArbPolicy::LastWins);
+        for b in 0..m {
+            let lowest = labels
+                .iter()
+                .enumerate()
+                .filter(|&(_, &l)| l == b)
+                .map(|(i, _)| layout.row_of(i))
+                .min();
+            match lowest {
+                None => prop_assert_eq!(spine[b], b, "untouched bucket self-points"),
+                Some(row) => {
+                    let e = spine[b] - m;
+                    prop_assert_eq!(labels[e], b);
+                    prop_assert_eq!(layout.row_of(e), row);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_element_reaches_its_bucket((labels, m, row_len) in labeled_grid()) {
+        // Following parent pointers from any element terminates at the
+        // element's own bucket (the spinetree really is a tree per class).
+        let layout = Layout::with_row_len(labels.len(), m, row_len);
+        let spine = build_spinetree(&labels, &layout, ArbPolicy::Seeded(3));
+        for i in 0..labels.len() {
+            let mut slot = m + i;
+            let mut hops = 0;
+            while slot >= m {
+                slot = spine[slot];
+                hops += 1;
+                prop_assert!(hops <= layout.n_rows + 1, "cycle suspected from element {}", i);
+            }
+            prop_assert_eq!(slot, labels[i], "element {} drained to wrong bucket", i);
+        }
+    }
+}
