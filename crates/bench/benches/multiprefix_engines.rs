@@ -19,13 +19,9 @@ fn bench_engines(c: &mut Criterion) {
         let labels = lcg_labels(n, m, 1);
         group.throughput(Throughput::Elements(n as u64));
         for engine in [Engine::Serial, Engine::Spinetree, Engine::Blocked] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{engine:?}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| multiprefix(&values, &labels, m, Plus, engine).unwrap());
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{engine:?}"), n), &n, |b, _| {
+                b.iter(|| multiprefix(&values, &labels, m, Plus, engine).unwrap());
+            });
         }
         group.bench_with_input(BenchmarkId::new("AtomicSpinetree", n), &n, |b, _| {
             b.iter(|| multiprefix_atomic(&values, &labels, m, Plus));

@@ -22,7 +22,14 @@ fn bench_phases(c: &mut Criterion) {
     let mut has_child = vec![false; slots];
     rowsums(&values, &spine, &layout, Plus, &mut rowsum, &mut has_child);
     let mut spinesum_base = vec![0i64; slots];
-    spinesums(&spine, &layout, Plus, &rowsum, &has_child, &mut spinesum_base);
+    spinesums(
+        &spine,
+        &layout,
+        Plus,
+        &rowsum,
+        &has_child,
+        &mut spinesum_base,
+    );
 
     let mut group = c.benchmark_group("phase_breakdown");
     group

@@ -19,7 +19,9 @@ fn bench_scan(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(1))
         .throughput(Throughput::Elements(n as u64));
 
-    group.bench_function("serial", |b| b.iter(|| exclusive_scan_serial(&values, Plus)));
+    group.bench_function("serial", |b| {
+        b.iter(|| exclusive_scan_serial(&values, Plus))
+    });
     group.bench_function("partition_method", |b| {
         b.iter(|| exclusive_scan_partition(&values, Plus))
     });

@@ -8,7 +8,11 @@ use spmv::mp_spmv::mp_spmv;
 use spmv::{CooMatrix, CsrMatrix, JaggedDiagonal};
 use std::time::Duration;
 
-fn bench_matrix(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, name: &str, coo: &CooMatrix) {
+fn bench_matrix(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    name: &str,
+    coo: &CooMatrix,
+) {
     let csr = CsrMatrix::from_coo(coo);
     let jd = JaggedDiagonal::from_coo(coo);
     let x: Vec<f64> = (0..coo.order).map(|i| 1.0 + (i % 5) as f64).collect();

@@ -9,7 +9,14 @@ use std::process::Command;
 
 fn main() {
     let targets = [
-        "table1", "table2", "table3", "table4", "table5", "fig10", "row_length", "plus_sim",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "fig10",
+        "row_length",
+        "plus_sim",
         "amortize",
     ];
     let me = std::env::current_exe().expect("current exe path");

@@ -17,8 +17,14 @@ use mp_bench::spmv_tables::{clk_to_ms, evaluate_matrix};
 use spmv::gen::uniform_random;
 
 fn main() {
-    let order: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5000);
-    let rho: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.001);
+    let order: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5000);
+    let rho: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.001);
     let coo = uniform_random(order, rho, 42);
     let r = evaluate_matrix(&order.to_string(), &coo);
     println!(
@@ -62,7 +68,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["k multiplies", "CSR", "JD", "MP (setup x k)", "MP cached spinetree"],
+            &[
+                "k multiplies",
+                "CSR",
+                "JD",
+                "MP (setup x k)",
+                "MP cached spinetree"
+            ],
             &rows
         )
     );

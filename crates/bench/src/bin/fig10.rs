@@ -10,8 +10,9 @@ use mp_bench::{labels_for_load, render_table};
 fn main() {
     println!("Figure 10 — clocks per element vs n, one curve per bucket load\n");
     let sizes = [1_000usize, 4_642, 21_544, 100_000, 464_159, 1_000_000];
-    let loads: [(&str, fn(usize) -> usize); 4] = [
-        ("load 1", |n| 1.max(n / n)), // 1 element per bucket
+    type LoadFn = fn(usize) -> usize;
+    let loads: [(&str, LoadFn); 4] = [
+        ("load 1", |_| 1), // 1 element per bucket
         ("load 16", |_| 16),
         ("load 256", |_| 256),
         ("load n", |n| n), // one bucket
@@ -40,7 +41,10 @@ fn main() {
     );
     let min = all.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = all.iter().cloned().fold(0.0f64, f64::max);
-    println!("spread over the whole figure: {min:.1}..{max:.1} clk/elt ({:.1} clocks)", max - min);
+    println!(
+        "spread over the whole figure: {min:.1}..{max:.1} clk/elt ({:.1} clocks)",
+        max - min
+    );
     println!("paper: curves sit in the ~20s of clocks, spread \"no more than a few clocks\"\n");
 
     // Per-phase detail at n = 10^6 — the §4.3 narrative rows.
@@ -67,7 +71,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["load", "INIT", "SPINETREE", "ROWSUM", "SPINESUM", "PREFIXSUM", "TOTAL"],
+            &[
+                "load",
+                "INIT",
+                "SPINETREE",
+                "ROWSUM",
+                "SPINESUM",
+                "PREFIXSUM",
+                "TOTAL"
+            ],
             &detail
         )
     );

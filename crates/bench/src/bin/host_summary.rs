@@ -9,9 +9,7 @@
 use mp_bench::{lcg_labels, render_table};
 use multiprefix::atomic::{multiprefix_atomic, multireduce_atomic};
 use multiprefix::op::Plus;
-use multiprefix::scan::{
-    exclusive_scan_blelloch, exclusive_scan_partition, exclusive_scan_serial,
-};
+use multiprefix::scan::{exclusive_scan_blelloch, exclusive_scan_partition, exclusive_scan_serial};
 use multiprefix::{multiprefix, multireduce, Engine};
 use std::time::Instant;
 
@@ -22,7 +20,10 @@ fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
 }
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4_000_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4_000_000);
     let m = 1024;
     let values: Vec<i64> = (0..n as i64).map(|i| i % 101 - 50).collect();
     let labels = lcg_labels(n, m, 1);
@@ -33,19 +34,31 @@ fn main() {
 
     let mut rows = Vec::new();
     let (reference, t) = time(|| multiprefix(&values, &labels, m, Plus, Engine::Serial).unwrap());
-    rows.push(vec!["multiprefix Serial (Figure 2)".into(), format!("{t:.1}")]);
+    rows.push(vec![
+        "multiprefix Serial (Figure 2)".into(),
+        format!("{t:.1}"),
+    ]);
 
     let (out, t) = time(|| multiprefix(&values, &labels, m, Plus, Engine::Spinetree).unwrap());
     assert_eq!(out, reference);
-    rows.push(vec!["multiprefix Spinetree (vector-sim)".into(), format!("{t:.1}")]);
+    rows.push(vec![
+        "multiprefix Spinetree (vector-sim)".into(),
+        format!("{t:.1}"),
+    ]);
 
     let (out, t) = time(|| multiprefix(&values, &labels, m, Plus, Engine::Blocked).unwrap());
     assert_eq!(out, reference);
-    rows.push(vec!["multiprefix Blocked (rayon)".into(), format!("{t:.1}")]);
+    rows.push(vec![
+        "multiprefix Blocked (rayon)".into(),
+        format!("{t:.1}"),
+    ]);
 
     let (out, t) = time(|| multiprefix_atomic(&values, &labels, m, Plus));
     assert_eq!(out, reference);
-    rows.push(vec!["multiprefix Atomic (lock-free)".into(), format!("{t:.1}")]);
+    rows.push(vec![
+        "multiprefix Atomic (lock-free)".into(),
+        format!("{t:.1}"),
+    ]);
 
     let (red, t) = time(|| multireduce(&values, &labels, m, Plus, Engine::Blocked).unwrap());
     assert_eq!(red, reference.reductions);
@@ -53,7 +66,10 @@ fn main() {
 
     let (red, t) = time(|| multireduce_atomic(&values, &labels, m, Plus));
     assert_eq!(red, reference.reductions);
-    rows.push(vec!["multireduce Atomic (combining send)".into(), format!("{t:.1}")]);
+    rows.push(vec![
+        "multireduce Atomic (combining send)".into(),
+        format!("{t:.1}"),
+    ]);
 
     let (s0, t) = time(|| exclusive_scan_serial(&values, Plus));
     rows.push(vec!["scan serial".into(), format!("{t:.1}")]);

@@ -144,7 +144,9 @@ fn main() {
     };
     match run(&opts) {
         Ok(text) => {
-            std::io::stdout().write_all(text.as_bytes()).expect("stdout");
+            std::io::stdout()
+                .write_all(text.as_bytes())
+                .expect("stdout");
         }
         Err(e) => {
             eprintln!("mp_cli: {e}");

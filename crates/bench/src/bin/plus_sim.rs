@@ -28,7 +28,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["p", "alpha", "n = (alpha p)^2", "virtual S", "real steps", "n/p bound", "slowdown"],
+            &[
+                "p",
+                "alpha",
+                "n = (alpha p)^2",
+                "virtual S",
+                "real steps",
+                "n/p bound",
+                "slowdown"
+            ],
             &rows
         )
     );
@@ -36,7 +44,12 @@ fn main() {
     // The regime boundary: n below p² is NOT constant-slowdown.
     println!("below the n >= p^2 threshold the slowdown is no longer constant:");
     let mut rows = Vec::new();
-    for &(n, p) in &[(256usize, 256usize), (1024, 256), (4096, 256), (65_536, 256)] {
+    for &(n, p) in &[
+        (256usize, 256usize),
+        (1024, 256),
+        (4096, 256),
+        (65_536, 256),
+    ] {
         let s = plus_slowdown(n, p, 1).unwrap();
         rows.push(vec![
             format!("{n}"),

@@ -23,7 +23,9 @@ fn main() {
     let labels = lcg_labels(n, m, 5);
     let book = CostBook::default();
 
-    let factors = [0.25, 0.4, 0.55, 0.7, 0.749, 0.8, 1.0, 1.3, 1.7, 2.2, 3.0, 4.0];
+    let factors = [
+        0.25, 0.4, 0.55, 0.7, 0.749, 0.8, 1.0, 1.3, 1.7, 2.2, 3.0, 4.0,
+    ];
     let mut results: Vec<(f64, usize, f64)> = Vec::new();
     for &f in &factors {
         let row_len = choose_row_len_skewed(n, f);
@@ -39,10 +41,11 @@ fn main() {
         );
         results.push((f, row_len, run.clocks.total()));
     }
-    let best = results.iter().cloned().fold(
-        (0.0, 0, f64::INFINITY),
-        |acc, r| if r.2 < acc.2 { r } else { acc },
-    );
+    let best =
+        results.iter().cloned().fold(
+            (0.0, 0, f64::INFINITY),
+            |acc, r| if r.2 < acc.2 { r } else { acc },
+        );
 
     let rows: Vec<Vec<String>> = results
         .iter()
@@ -62,7 +65,10 @@ fn main() {
             &rows
         )
     );
-    println!("best factor here: {:.3} (paper's analytic optimum: 0.749)", best.0);
+    println!(
+        "best factor here: {:.3} (paper's analytic optimum: 0.749)",
+        best.0
+    );
 
     // The < 2 % sensitivity claim, at the paper's n = 1000.
     let n1k = 1000;

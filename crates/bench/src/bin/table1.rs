@@ -49,7 +49,10 @@ fn main() {
 
     let mut machine = VectorMachine::ymp();
     let run = mp_rank_sort_timed(&mut machine, &book, &keys, m);
-    assert!(full_verify(&keys, &run.ranks), "simulated sort failed verification");
+    assert!(
+        full_verify(&keys, &run.ranks),
+        "simulated sort failed verification"
+    );
     let mp_s = machine.seconds() * scale;
 
     let rows = vec![
@@ -63,7 +66,11 @@ fn main() {
             fmt_s(cri_s),
             "14.00".into(),
         ],
-        vec!["Our Multiprefix-based Sort".into(), fmt_s(mp_s), "13.66".into()],
+        vec![
+            "Our Multiprefix-based Sort".into(),
+            fmt_s(mp_s),
+            "13.66".into(),
+        ],
     ];
     println!(
         "{}",
@@ -112,8 +119,14 @@ fn main() {
 
     let host_rows = vec![
         vec!["bucket_ranks (baseline)".into(), format!("{bucket_host:?}")],
-        vec!["radix_sort 8-bit (vendor stand-in)".into(), format!("{radix_host:?}")],
-        vec!["multiprefix rank_keys (Blocked)".into(), format!("{mp_host:?}")],
+        vec![
+            "radix_sort 8-bit (vendor stand-in)".into(),
+            format!("{radix_host:?}"),
+        ],
+        vec![
+            "multiprefix rank_keys (Blocked)".into(),
+            format!("{mp_host:?}"),
+        ],
     ];
     println!("{}", render_table(&["Implementation", "Time"], &host_rows));
 }

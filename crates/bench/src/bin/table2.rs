@@ -25,7 +25,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Order", "rho", "Compressed-Row", "Jagged-Diag", "Multiprefix"],
+            &[
+                "Order",
+                "rho",
+                "Compressed-Row",
+                "Jagged-Diag",
+                "Multiprefix"
+            ],
             &rows
         )
     );

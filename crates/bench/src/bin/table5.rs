@@ -45,8 +45,8 @@ fn main() {
         "{}",
         render_table(
             &[
-                "Matrix", "Order", "rho", "Setup JD", "Setup MP", "Eval CSR", "Eval JD",
-                "Eval MP", "Tot CSR", "Tot JD", "Tot MP",
+                "Matrix", "Order", "rho", "Setup JD", "Setup MP", "Eval CSR", "Eval JD", "Eval MP",
+                "Tot CSR", "Tot JD", "Tot MP",
             ],
             &rows
         )

@@ -66,7 +66,9 @@ pub fn lcg_labels(n: usize, m: usize, seed: u64) -> Vec<usize> {
     let mut state = seed | 1;
     (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as usize) % m
         })
         .collect()

@@ -39,12 +39,25 @@ pub fn evaluate_matrix(label: &str, coo: &CooMatrix) -> SpmvRow {
     let csr = csr_clocks(&mut machine, &book, &csr_m.row_lengths());
 
     let mut machine = VectorMachine::ymp();
-    let jd = jd_clocks(&mut machine, &book, coo.nnz(), coo.order, &jd_m.diag_lengths());
+    let jd = jd_clocks(
+        &mut machine,
+        &book,
+        coo.nnz(),
+        coo.order,
+        &jd_m.diag_lengths(),
+    );
 
     let mut machine = VectorMachine::ymp();
     // The MP timing depends on the structure (row labels), not the values.
     let products = vec![1i64; coo.nnz()];
-    let (mp, _) = mp_clocks(&mut machine, &book, &products, &coo.rows, &coo.cols, coo.order);
+    let (mp, _) = mp_clocks(
+        &mut machine,
+        &book,
+        &products,
+        &coo.rows,
+        &coo.cols,
+        coo.order,
+    );
 
     SpmvRow {
         label: label.to_string(),
@@ -93,7 +106,10 @@ mod tests {
             clk_to_ms(row.jd.total()),
             clk_to_ms(row.mp.total()),
         );
-        assert!(m < j && j < c, "expected MP < JD < CSR, got {m:.2} / {j:.2} / {c:.2}");
+        assert!(
+            m < j && j < c,
+            "expected MP < JD < CSR, got {m:.2} / {j:.2} / {c:.2}"
+        );
     }
 
     #[test]
@@ -106,6 +122,9 @@ mod tests {
             clk_to_ms(row.jd.total()),
             clk_to_ms(row.mp.total()),
         );
-        assert!(c < j && j < m, "expected CSR < JD < MP, got {c:.2} / {j:.2} / {m:.2}");
+        assert!(
+            c < j && j < m,
+            "expected CSR < JD < MP, got {c:.2} / {j:.2} / {m:.2}"
+        );
     }
 }

@@ -1,12 +1,21 @@
 //! The public front door: validated multiprefix / multireduce with engine
 //! selection.
 
-use crate::blocked::{multiprefix_blocked, multireduce_blocked};
+use crate::blocked::{
+    multiprefix_blocked, multireduce_blocked, try_multiprefix_blocked, try_multireduce_blocked,
+};
 use crate::error::MpError;
-use crate::op::CombineOp;
+use crate::exec::{estimate_engine_mem, ExecConfig};
+use crate::op::{CombineOp, TryCombineOp};
+use crate::oracle::verify_output;
 use crate::problem::{validate_slices, Element, MultiprefixOutput};
-use crate::serial::{multiprefix_serial, multireduce_serial};
-use crate::spinetree::{multiprefix_spinetree, multireduce_spinetree};
+use crate::serial::{
+    multiprefix_serial, multireduce_serial, try_multiprefix_serial, try_multireduce_serial,
+};
+use crate::spinetree::{
+    multiprefix_spinetree, multireduce_spinetree, try_multiprefix_spinetree,
+    try_multireduce_spinetree,
+};
 
 /// Which implementation executes the operation.
 ///
@@ -90,6 +99,126 @@ fn resolve(engine: Engine, n: usize) -> Engine {
     }
 }
 
+/// Hardened multiprefix: [`multiprefix`] under an explicit [`ExecConfig`].
+///
+/// On top of the plain API's validation this enforces the config's resource
+/// budgets *before any allocation*, allocates the large engine blocks
+/// fallibly, contains operator panics in the blocked engine, and applies
+/// the configured [`OverflowPolicy`]. See [`crate::exec`] for the full
+/// contract; the essentials:
+///
+/// * all engines return **bit-identical results** — and, under
+///   [`crate::exec::OverflowPolicy::Checked`], the **same**
+///   [`MpError::ArithmeticOverflow`] with the same serial-order index —
+///   for the same input;
+/// * `Checked`/`Saturating` semantics are defined by serial (Figure 2)
+///   evaluation order. A parallel engine whose checked run trips re-derives
+///   the canonical answer with one serial replay; untripped runs are
+///   returned directly (the engines compute every serial intermediate, so
+///   an untripped run certifies the serial order is overflow-free).
+///
+/// ```
+/// use multiprefix::{try_multiprefix, op::Plus, Engine};
+/// use multiprefix::exec::{ExecConfig, OverflowPolicy};
+/// use multiprefix::MpError;
+///
+/// let cfg = ExecConfig::default().overflow(OverflowPolicy::Checked);
+/// let err = try_multiprefix(&[i64::MAX, 1], &[0, 0], 1, Plus, Engine::Auto, cfg)
+///     .unwrap_err();
+/// assert_eq!(err, MpError::ArithmeticOverflow { index: 1 });
+/// ```
+pub fn try_multiprefix<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    engine: Engine,
+    config: ExecConfig,
+) -> Result<MultiprefixOutput<T>, MpError> {
+    validate_slices(values, labels, m)?;
+    config.check_buckets(m)?;
+    config.check_mem(estimate_engine_mem(
+        values.len(),
+        m,
+        std::mem::size_of::<T>(),
+    ))?;
+    let tripped = match resolve(engine, values.len()) {
+        Engine::Serial => return try_multiprefix_serial(values, labels, m, op, config.overflow),
+        Engine::Spinetree => try_multiprefix_spinetree(values, labels, m, op, config.overflow)?,
+        Engine::Blocked => try_multiprefix_blocked(values, labels, m, op, config.overflow)?,
+        Engine::Auto => unreachable!("resolve() never returns Auto"),
+    };
+    match tripped {
+        Some(out) => Ok(out),
+        // A checked combine tripped: the engine's grouping overflowed
+        // somewhere, so the canonical (serial-order) answer — a result or
+        // the first-overflow index — comes from one serial replay.
+        None => try_multiprefix_serial(values, labels, m, op, config.overflow),
+    }
+}
+
+/// Hardened multireduce: [`multireduce`] under an [`ExecConfig`].
+///
+/// Under a checking policy this always evaluates serially: a reduce-only
+/// engine combines row/chunk *subtotals*, never the per-element serial
+/// steps, so even an overflow-free engine run cannot certify that the
+/// serial order (which defines `Checked`/`Saturating` semantics) is
+/// overflow-free — e.g. chunks `[MAX]` and `[1, −1]` combine cleanly while
+/// the serial prefix trips at `MAX + 1`. Under `Wrap` (the default) the
+/// parallel engines run as usual with budgets, fallible allocation and (for
+/// the blocked engine) panic containment.
+pub fn try_multireduce<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    engine: Engine,
+    config: ExecConfig,
+) -> Result<Vec<T>, MpError> {
+    validate_slices(values, labels, m)?;
+    config.check_buckets(m)?;
+    config.check_mem(estimate_engine_mem(
+        values.len(),
+        m,
+        std::mem::size_of::<T>(),
+    ))?;
+    if config.overflow.needs_checking() {
+        return try_multireduce_serial(values, labels, m, op, config.overflow);
+    }
+    let clean = match resolve(engine, values.len()) {
+        Engine::Serial => return try_multireduce_serial(values, labels, m, op, config.overflow),
+        Engine::Spinetree => try_multireduce_spinetree(values, labels, m, op, config.overflow)?,
+        Engine::Blocked => try_multireduce_blocked(values, labels, m, op, config.overflow)?,
+        Engine::Auto => unreachable!("resolve() never returns Auto"),
+    };
+    match clean {
+        Some(red) => Ok(red),
+        None => try_multireduce_serial(values, labels, m, op, config.overflow),
+    }
+}
+
+/// Self-checking multiprefix: run the chosen engine, then cross-validate
+/// the full output cell-by-cell against an independent serial (Figure 2)
+/// evaluation. Any disagreement — an engine bug, a corrupted arbitration
+/// write (see the `pram` crate's fault-injection harness), a soft memory
+/// error — surfaces as [`MpError::VerificationFailed`] instead of silently
+/// wrong data. Costs one extra `O(n + m)` serial pass.
+///
+/// When the selected engine resolves to `Serial` the check still runs (two
+/// independent serial evaluations): this mode's contract is "the returned
+/// output was reproduced twice", not "the engine was parallel".
+pub fn multiprefix_verified<T: Element + PartialEq, O: CombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    engine: Engine,
+) -> Result<MultiprefixOutput<T>, MpError> {
+    let out = multiprefix(values, labels, m, op, engine)?;
+    verify_output(values, labels, m, op, &out)?;
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,7 +240,12 @@ mod tests {
 
     #[test]
     fn validation_happens_before_dispatch() {
-        for engine in [Engine::Serial, Engine::Spinetree, Engine::Blocked, Engine::Auto] {
+        for engine in [
+            Engine::Serial,
+            Engine::Spinetree,
+            Engine::Blocked,
+            Engine::Auto,
+        ] {
             let err = multiprefix(&[1i64], &[3], 2, Plus, engine).unwrap_err();
             assert!(matches!(err, MpError::LabelOutOfRange { .. }), "{engine:?}");
             let err = multiprefix(&[1i64, 2], &[0], 2, Plus, engine).unwrap_err();

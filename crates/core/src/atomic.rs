@@ -23,7 +23,9 @@
 //! (`Plus`, `Max`, `Min`, `And`, `Or`) — the price of lock-free child
 //! accumulation.
 
-use crate::op::{And, CombineOp, Max, Min, Or, Plus};
+use crate::error::MpError;
+use crate::exec::{CheckGuard, OverflowPolicy, TryEngineResult};
+use crate::op::{And, CombineOp, Max, Min, Or, Plus, TryCombineOp};
 use crate::problem::MultiprefixOutput;
 use crate::spinetree::layout::Layout;
 use rayon::prelude::*;
@@ -33,12 +35,43 @@ use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering::Relaxed};
 pub trait AtomicCombine: CombineOp<i64> {
     /// Atomically `cell ← cell ⊕ v`.
     fn fetch_combine(&self, cell: &AtomicI64, v: i64);
+
+    /// [`AtomicCombine::fetch_combine`] for the hardened path: latch
+    /// `tripped` if the combine is unrepresentable, then commit the
+    /// wrapping result so the phase completes (the tripped output is
+    /// discarded by the caller). The default is the plain RMW — correct
+    /// for every total operator (`Max`, `Min`, `And`, `Or`); only
+    /// operators that can overflow (`Plus`) need an override.
+    #[inline(always)]
+    fn fetch_combine_checked(&self, cell: &AtomicI64, v: i64, _tripped: &AtomicBool) {
+        self.fetch_combine(cell, v);
+    }
 }
 
 impl AtomicCombine for Plus {
     #[inline(always)]
     fn fetch_combine(&self, cell: &AtomicI64, v: i64) {
         cell.fetch_add(v, Relaxed);
+    }
+
+    #[inline(always)]
+    fn fetch_combine_checked(&self, cell: &AtomicI64, v: i64, tripped: &AtomicBool) {
+        // CAS loop: detect overflow on the actual committed pair, which a
+        // post-hoc inspection of a wrapped `fetch_add` result cannot do.
+        let mut cur = cell.load(Relaxed);
+        loop {
+            let next = match cur.checked_add(v) {
+                Some(next) => next,
+                None => {
+                    tripped.store(true, Relaxed);
+                    cur.wrapping_add(v)
+                }
+            };
+            match cell.compare_exchange_weak(cur, next, Relaxed, Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
     }
 }
 
@@ -103,11 +136,18 @@ pub fn multiprefix_atomic_with<O: AtomicCombine>(
         .into_par_iter()
         .map(|s| AtomicUsize::new(if s < m { s } else { labels[s - m] }))
         .collect();
-    let rowsum: Vec<AtomicI64> = (0..slots).into_par_iter().map(|_| AtomicI64::new(id)).collect();
-    let spinesum: Vec<AtomicI64> =
-        (0..slots).into_par_iter().map(|_| AtomicI64::new(id)).collect();
-    let has_child: Vec<AtomicBool> =
-        (0..slots).into_par_iter().map(|_| AtomicBool::new(false)).collect();
+    let rowsum: Vec<AtomicI64> = (0..slots)
+        .into_par_iter()
+        .map(|_| AtomicI64::new(id))
+        .collect();
+    let spinesum: Vec<AtomicI64> = (0..slots)
+        .into_par_iter()
+        .map(|_| AtomicI64::new(id))
+        .collect();
+    let has_child: Vec<AtomicBool> = (0..slots)
+        .into_par_iter()
+        .map(|_| AtomicBool::new(false))
+        .collect();
 
     // Phase 1 — SPINETREE, rows top to bottom; gather then racing scatter.
     for r in layout.rows_top_down() {
@@ -171,6 +211,166 @@ pub fn multiprefix_atomic_with<O: AtomicCombine>(
 
     let sums = multi.into_iter().map(AtomicI64::into_inner).collect();
     MultiprefixOutput { sums, reductions }
+}
+
+/// Fallibly allocate a `len`-vector of non-`Clone` cells (atomics), built
+/// per index. Sequential init; the capacity is what can actually fail.
+fn try_cell_vec<C>(len: usize, make: impl Fn(usize) -> C) -> Result<Vec<C>, MpError> {
+    let mut v: Vec<C> = Vec::new();
+    v.try_reserve_exact(len)
+        .map_err(|_| MpError::AllocationFailed {
+            bytes: len.saturating_mul(std::mem::size_of::<C>()),
+        })?;
+    v.extend((0..len).map(make));
+    Ok(v)
+}
+
+/// Hardened concurrent spinetree multiprefix (see [`crate::exec`] for the
+/// `Ok(None)` trip contract): the atomic cell blocks are allocated
+/// fallibly, ROWSUMS uses [`AtomicCombine::fetch_combine_checked`], and the
+/// sweep-ordered phases route ⊕ through a trip guard. MULTISUMS commits the
+/// literal serial step `prefix_i ⊕ value_i` for every element, so an
+/// untripped run certifies the serial evaluation is overflow-free.
+pub fn try_multiprefix_atomic<O: AtomicCombine + TryCombineOp<i64>>(
+    values: &[i64],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+) -> TryEngineResult<MultiprefixOutput<i64>> {
+    debug_assert_eq!(values.len(), labels.len());
+    let layout = Layout::square(values.len(), m);
+    let n = layout.n;
+    let slots = layout.slots();
+    let id = op.identity();
+    let tripped = AtomicBool::new(false);
+    let guard = CheckGuard::new(op, policy, &tripped);
+    let checking = policy.needs_checking();
+
+    let spine = try_cell_vec(slots, |s| {
+        AtomicUsize::new(if s < m { s } else { labels[s - m] })
+    })?;
+    let rowsum = try_cell_vec(slots, |_| AtomicI64::new(id))?;
+    let spinesum = try_cell_vec(slots, |_| AtomicI64::new(id))?;
+    let has_child = try_cell_vec(slots, |_| AtomicBool::new(false))?;
+    let multi = try_cell_vec(n, |_| AtomicI64::new(id))?;
+
+    // Phase 1 — SPINETREE (identical to the plain engine: pointer writes
+    // only, nothing to check).
+    for r in layout.rows_top_down() {
+        let range = layout.row_elements(r);
+        range.clone().into_par_iter().for_each(|i| {
+            let parent = spine[labels[i]].load(Relaxed);
+            spine[m + i].store(parent, Relaxed);
+        });
+        range.into_par_iter().for_each(|i| {
+            spine[labels[i]].store(m + i, Relaxed);
+        });
+    }
+
+    // Phase 2 — ROWSUMS with checked RMWs when a checking policy is active.
+    (0..n).into_par_iter().for_each(|i| {
+        let parent = spine[m + i].load(Relaxed);
+        if checking {
+            op.fetch_combine_checked(&rowsum[parent], values[i], &tripped);
+        } else {
+            op.fetch_combine(&rowsum[parent], values[i]);
+        }
+        has_child[parent].store(true, Relaxed);
+    });
+
+    // Phase 3 — SPINESUMS.
+    for r in layout.rows_bottom_up() {
+        layout.row_elements(r).into_par_iter().for_each(|i| {
+            let slot = m + i;
+            if has_child[slot].load(Relaxed) {
+                let parent = spine[slot].load(Relaxed);
+                let v = guard.combine(spinesum[slot].load(Relaxed), rowsum[slot].load(Relaxed));
+                spinesum[parent].store(v, Relaxed);
+            }
+        });
+    }
+
+    let mut reductions: Vec<i64> = Vec::new();
+    reductions
+        .try_reserve_exact(m)
+        .map_err(|_| MpError::AllocationFailed {
+            bytes: m.saturating_mul(std::mem::size_of::<i64>()),
+        })?;
+    reductions
+        .extend((0..m).map(|b| guard.combine(spinesum[b].load(Relaxed), rowsum[b].load(Relaxed))));
+
+    // Phase 4 — MULTISUMS.
+    for c in layout.cols_left_right() {
+        let col: Vec<usize> = layout.col_elements(c).collect();
+        col.into_par_iter().for_each(|i| {
+            let parent = spine[m + i].load(Relaxed);
+            let prefix = spinesum[parent].load(Relaxed);
+            multi[i].store(prefix, Relaxed);
+            spinesum[parent].store(guard.combine(prefix, values[i]), Relaxed);
+        });
+    }
+
+    if tripped.load(Relaxed) {
+        return Ok(None);
+    }
+    let sums = multi.into_iter().map(AtomicI64::into_inner).collect();
+    Ok(Some(MultiprefixOutput { sums, reductions }))
+}
+
+/// [`try_multiprefix_atomic`] with the canonical serial-order semantics of
+/// [`crate::try_multiprefix`] applied: validates inputs, and when a checked
+/// combine trips, replays the serial engine under `policy` so the result —
+/// `Ok`, or [`MpError::ArithmeticOverflow`] with the serial-order index —
+/// is identical to every other engine's. The atomic engine sits outside
+/// [`crate::Engine`] (it constrains the element type to `i64`), so it gets
+/// its own canonical entry point instead of a dispatch arm.
+pub fn multiprefix_atomic_hardened<O: AtomicCombine + TryCombineOp<i64>>(
+    values: &[i64],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+) -> Result<MultiprefixOutput<i64>, MpError> {
+    crate::problem::validate_slices(values, labels, m)?;
+    match try_multiprefix_atomic(values, labels, m, op, policy)? {
+        Some(out) => Ok(out),
+        None => crate::serial::try_multiprefix_serial(values, labels, m, op, policy),
+    }
+}
+
+/// Hardened concurrent multireduce: fallible bucket allocation plus checked
+/// RMWs. Note that even an untripped checked run certifies only "no
+/// overflow under *this* combining order" — reduce-only engines never
+/// observe the per-element serial steps, so [`crate::try_multireduce`]
+/// canonicalizes checking policies through the serial engine instead.
+pub fn try_multireduce_atomic<O: AtomicCombine + TryCombineOp<i64>>(
+    values: &[i64],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+) -> TryEngineResult<Vec<i64>> {
+    debug_assert_eq!(values.len(), labels.len());
+    let tripped = AtomicBool::new(false);
+    let checking = policy.needs_checking();
+    let buckets = try_cell_vec(m, |_| AtomicI64::new(op.identity()))?;
+    values
+        .par_iter()
+        .zip(labels.par_iter())
+        .for_each(|(&v, &l)| {
+            if checking {
+                op.fetch_combine_checked(&buckets[l], v, &tripped);
+            } else {
+                op.fetch_combine(&buckets[l], v);
+            }
+        });
+    if tripped.load(Relaxed) {
+        return Ok(None);
+    }
+    Ok(Some(
+        buckets.into_iter().map(AtomicI64::into_inner).collect(),
+    ))
 }
 
 #[cfg(test)]
@@ -277,11 +477,13 @@ pub fn multireduce_atomic<O: AtomicCombine>(
     op: O,
 ) -> Vec<i64> {
     debug_assert_eq!(values.len(), labels.len());
-    let buckets: Vec<AtomicI64> =
-        (0..m).map(|_| AtomicI64::new(op.identity())).collect();
-    values.par_iter().zip(labels.par_iter()).for_each(|(&v, &l)| {
-        op.fetch_combine(&buckets[l], v);
-    });
+    let buckets: Vec<AtomicI64> = (0..m).map(|_| AtomicI64::new(op.identity())).collect();
+    values
+        .par_iter()
+        .zip(labels.par_iter())
+        .for_each(|(&v, &l)| {
+            op.fetch_combine(&buckets[l], v);
+        });
     buckets.into_iter().map(AtomicI64::into_inner).collect()
 }
 

@@ -25,10 +25,14 @@
 //! labels actually present) otherwise, so a call with `m ≈ n` labels does
 //! not explode to `O(C·n)` memory.
 
-use crate::op::CombineOp;
+use crate::error::MpError;
+use crate::exec::{try_filled_vec, CheckGuard, OverflowPolicy, TryEngineResult};
+use crate::op::{CombineOp, TryCombineOp};
 use crate::problem::{Element, MultiprefixOutput};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Minimum chunk length before we stop splitting further; below this the
 /// scheduling overhead outweighs the parallelism.
@@ -78,7 +82,10 @@ pub fn multiprefix_blocked_with_chunk<T: Element, O: CombineOp<T>>(
     assert!(chunk_len > 0, "chunk length must be positive");
     let n = values.len();
     if n == 0 {
-        return MultiprefixOutput { sums: Vec::new(), reductions: vec![op.identity(); m] };
+        return MultiprefixOutput {
+            sums: Vec::new(),
+            reductions: vec![op.identity(); m],
+        };
     }
     let chunks = n.div_ceil(chunk_len).max(1);
     let dense = chunks.saturating_mul(m) <= 8 * n.max(1) + 1024;
@@ -99,7 +106,9 @@ pub fn multiprefix_blocked_with_chunk<T: Element, O: CombineOp<T>>(
         true => {
             let mut running = vec![op.identity(); m];
             for table in &mut tables {
-                let Table::Dense(t) = table else { unreachable!() };
+                let Table::Dense(t) = table else {
+                    unreachable!()
+                };
                 for (label, total) in t.iter_mut().enumerate() {
                     let offset = running[label];
                     running[label] = op.combine(running[label], *total);
@@ -111,7 +120,9 @@ pub fn multiprefix_blocked_with_chunk<T: Element, O: CombineOp<T>>(
         false => {
             let mut running: HashMap<usize, T> = HashMap::new();
             for table in &mut tables {
-                let Table::Sparse(t) = table else { unreachable!() };
+                let Table::Sparse(t) = table else {
+                    unreachable!()
+                };
                 for (&label, total) in t.iter_mut() {
                     let entry = running.entry(label).or_insert_with(|| op.identity());
                     let offset = *entry;
@@ -228,6 +239,228 @@ pub fn multireduce_blocked<T: Element, O: CombineOp<T>>(
         }
     }
     reductions
+}
+
+/// Hardened blocked multiprefix (see [`crate::exec`] for the contract).
+///
+/// Differences from [`multiprefix_blocked`]:
+///
+/// * the output vector and every dense per-chunk table are allocated
+///   fallibly (`try_reserve_exact`), so allocator refusal surfaces as
+///   [`MpError::AllocationFailed`];
+/// * under a checking [`OverflowPolicy`] every combine is checked; a trip
+///   yields `Ok(None)` and the caller replays the serial engine;
+/// * the whole engine body — including the rayon passes, whose worker
+///   panics rayon rethrows on this thread — runs under
+///   [`catch_unwind`], so a panicking [`CombineOp`] becomes
+///   [`MpError::EnginePanicked`] instead of unwinding through (or, with
+///   `panic=abort` workers, killing) the caller.
+pub fn try_multiprefix_blocked<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+) -> TryEngineResult<MultiprefixOutput<T>> {
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        try_multiprefix_blocked_inner(values, labels, m, op, policy)
+    }));
+    // AssertUnwindSafe is sound here: on panic every partially-built local
+    // (sums, tables) is dropped inside the closure and nothing the caller
+    // can observe was mutated — the inputs are shared references.
+    caught.unwrap_or(Err(MpError::EnginePanicked))
+}
+
+fn try_multiprefix_blocked_inner<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+) -> TryEngineResult<MultiprefixOutput<T>> {
+    debug_assert_eq!(values.len(), labels.len());
+    let n = values.len();
+    if n == 0 {
+        return Ok(Some(MultiprefixOutput {
+            sums: Vec::new(),
+            reductions: try_filled_vec(op.identity(), m)?,
+        }));
+    }
+    let (chunk_len, _) = choose_chunk_len(n, m);
+    let chunks = n.div_ceil(chunk_len).max(1);
+    let dense = chunks.saturating_mul(m) <= 8 * n.max(1) + 1024;
+    let tripped = AtomicBool::new(false);
+    let guard = CheckGuard::new(op, policy, &tripped);
+    let mut sums = try_filled_vec(op.identity(), n)?;
+
+    // Pass 1 — local multiprefix per chunk, fallible table allocation.
+    let mut tables: Vec<Table<T>> = sums
+        .par_chunks_mut(chunk_len)
+        .zip(values.par_chunks(chunk_len))
+        .zip(labels.par_chunks(chunk_len))
+        .map(|((s, v), l)| try_local_pass(s, v, l, m, guard, dense))
+        .collect::<Result<_, _>>()?;
+
+    // Pass 2 — exclusive scan of the tables per label (identical structure
+    // to the plain engine, with guarded combines).
+    let reductions = match dense {
+        true => {
+            let mut running = try_filled_vec(op.identity(), m)?;
+            for table in &mut tables {
+                let Table::Dense(t) = table else {
+                    unreachable!()
+                };
+                for (label, total) in t.iter_mut().enumerate() {
+                    let offset = running[label];
+                    running[label] = guard.combine(running[label], *total);
+                    *total = offset;
+                }
+            }
+            running
+        }
+        false => {
+            let mut running: HashMap<usize, T> = HashMap::new();
+            for table in &mut tables {
+                let Table::Sparse(t) = table else {
+                    unreachable!()
+                };
+                for (&label, total) in t.iter_mut() {
+                    let entry = running.entry(label).or_insert_with(|| op.identity());
+                    let offset = *entry;
+                    *entry = guard.combine(*entry, *total);
+                    *total = offset;
+                }
+            }
+            let mut reductions = try_filled_vec(op.identity(), m)?;
+            for (label, total) in running {
+                reductions[label] = total;
+            }
+            reductions
+        }
+    };
+
+    // Pass 3 — prepend each chunk's per-label offset.
+    sums.par_chunks_mut(chunk_len)
+        .zip(labels.par_chunks(chunk_len))
+        .zip(tables.par_iter())
+        .for_each(|((s, l), table)| match table {
+            Table::Dense(t) => {
+                for (si, &label) in s.iter_mut().zip(l) {
+                    *si = guard.combine(t[label], *si);
+                }
+            }
+            Table::Sparse(t) => {
+                for (si, &label) in s.iter_mut().zip(l) {
+                    *si = guard.combine(t[&label], *si);
+                }
+            }
+        });
+
+    if tripped.load(Ordering::Relaxed) {
+        Ok(None)
+    } else {
+        Ok(Some(MultiprefixOutput { sums, reductions }))
+    }
+}
+
+/// [`local_pass`] with guarded combines and fallible dense allocation.
+fn try_local_pass<T: Element, O: TryCombineOp<T>>(
+    sums: &mut [T],
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    guard: CheckGuard<'_, O>,
+    dense: bool,
+) -> Result<Table<T>, MpError> {
+    if dense {
+        let mut buckets = try_filled_vec(guard.identity(), m)?;
+        for ((si, &v), &l) in sums.iter_mut().zip(values).zip(labels) {
+            *si = buckets[l];
+            buckets[l] = guard.combine(buckets[l], v);
+        }
+        Ok(Table::Dense(buckets))
+    } else {
+        let mut buckets: HashMap<usize, T> = HashMap::new();
+        for ((si, &v), &l) in sums.iter_mut().zip(values).zip(labels) {
+            let entry = buckets.entry(l).or_insert_with(|| guard.identity());
+            *si = *entry;
+            *entry = guard.combine(*entry, v);
+        }
+        Ok(Table::Sparse(buckets))
+    }
+}
+
+/// Hardened blocked multireduce. Same contract as
+/// [`try_multiprefix_blocked`].
+pub fn try_multireduce_blocked<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+) -> TryEngineResult<Vec<T>> {
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        try_multireduce_blocked_inner(values, labels, m, op, policy)
+    }));
+    caught.unwrap_or(Err(MpError::EnginePanicked))
+}
+
+fn try_multireduce_blocked_inner<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+) -> TryEngineResult<Vec<T>> {
+    debug_assert_eq!(values.len(), labels.len());
+    let n = values.len();
+    if n == 0 {
+        return Ok(Some(try_filled_vec(op.identity(), m)?));
+    }
+    let (chunk_len, dense) = choose_chunk_len(n, m);
+    let tripped = AtomicBool::new(false);
+    let guard = CheckGuard::new(op, policy, &tripped);
+    let tables: Vec<Table<T>> = values
+        .par_chunks(chunk_len)
+        .zip(labels.par_chunks(chunk_len))
+        .map(|(v, l)| {
+            if dense {
+                let mut buckets = try_filled_vec(op.identity(), m)?;
+                for (&vi, &li) in v.iter().zip(l) {
+                    buckets[li] = guard.combine(buckets[li], vi);
+                }
+                Ok(Table::Dense(buckets))
+            } else {
+                let mut buckets: HashMap<usize, T> = HashMap::new();
+                for (&vi, &li) in v.iter().zip(l) {
+                    let entry = buckets.entry(li).or_insert_with(|| op.identity());
+                    *entry = guard.combine(*entry, vi);
+                }
+                Ok(Table::Sparse(buckets))
+            }
+        })
+        .collect::<Result<_, MpError>>()?;
+
+    let mut reductions = try_filled_vec(op.identity(), m)?;
+    for table in &tables {
+        match table {
+            Table::Dense(t) => {
+                for (label, &total) in t.iter().enumerate() {
+                    reductions[label] = guard.combine(reductions[label], total);
+                }
+            }
+            Table::Sparse(t) => {
+                for (&label, &total) in t {
+                    reductions[label] = guard.combine(reductions[label], total);
+                }
+            }
+        }
+    }
+    if tripped.load(Ordering::Relaxed) {
+        Ok(None)
+    } else {
+        Ok(Some(reductions))
+    }
 }
 
 #[cfg(test)]

@@ -2,13 +2,20 @@
 
 use std::fmt;
 
-/// Errors reported when the inputs to a multiprefix operation are malformed.
+/// Errors reported when the inputs to a multiprefix operation are malformed
+/// or when a hardened ([`crate::try_multiprefix`]) execution fails.
 ///
 /// The paper assumes labels lie in `[1, m]` and that `values` and `labels`
 /// have the same length; this crate checks both (with 0-based labels in
 /// `[0, m)`) and reports precise diagnostics instead of panicking deep
-/// inside an engine.
+/// inside an engine. The hardened execution layer adds overflow, resource
+/// and panic-containment failures.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard
+/// arm, so future hardening work can add variants without a breaking
+/// release.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum MpError {
     /// `values` and `labels` differ in length.
     LengthMismatch {
@@ -26,6 +33,42 @@ pub enum MpError {
         /// The declared number of buckets.
         m: usize,
     },
+    /// A combine overflowed the element type under
+    /// [`crate::exec::OverflowPolicy::Checked`]. `index` is the position of
+    /// the element whose combination first overflows **in serial (Figure 2)
+    /// order** — every engine reports the same index for the same input.
+    ArithmeticOverflow {
+        /// Vector index of the element whose serial-order combine overflows.
+        index: usize,
+    },
+    /// A requested size exceeds a configured resource budget
+    /// ([`crate::exec::ExecConfig::max_buckets`] /
+    /// [`crate::exec::ExecConfig::max_mem_bytes`]). Returned *before* any
+    /// allocation is attempted.
+    CapacityOverflow {
+        /// What was being sized (e.g. `"buckets"`, `"engine memory"`).
+        what: &'static str,
+        /// The size the input demanded.
+        requested: usize,
+        /// The configured limit it exceeded.
+        limit: usize,
+    },
+    /// The allocator refused a fallible (`try_reserve`) allocation.
+    AllocationFailed {
+        /// Bytes requested from the allocator.
+        bytes: usize,
+    },
+    /// A user-supplied [`crate::op::CombineOp`] panicked inside a parallel
+    /// engine; the panic was contained instead of aborting the host.
+    EnginePanicked,
+    /// Self-checking mode ([`crate::multiprefix_verified`]) found an output
+    /// cell that disagrees with the serial oracle.
+    VerificationFailed {
+        /// Which vector disagreed: `"sum"` or `"reduction"`.
+        what: &'static str,
+        /// Index of the first disagreeing cell.
+        index: usize,
+    },
 }
 
 impl fmt::Display for MpError {
@@ -39,6 +82,28 @@ impl fmt::Display for MpError {
                 f,
                 "label {label} at index {index} is out of range for m = {m} buckets"
             ),
+            MpError::ArithmeticOverflow { index } => write!(
+                f,
+                "combining element {index} overflows the element type (serial order)"
+            ),
+            MpError::CapacityOverflow {
+                what,
+                requested,
+                limit,
+            } => write!(
+                f,
+                "{what} of {requested} exceeds the configured budget of {limit}"
+            ),
+            MpError::AllocationFailed { bytes } => {
+                write!(f, "allocation of {bytes} bytes failed")
+            }
+            MpError::EnginePanicked => {
+                write!(f, "a combine operator panicked inside a parallel engine")
+            }
+            MpError::VerificationFailed { what, index } => write!(
+                f,
+                "self-check failed: {what} {index} disagrees with the serial oracle"
+            ),
         }
     }
 }
@@ -51,7 +116,10 @@ mod tests {
 
     #[test]
     fn display_length_mismatch() {
-        let e = MpError::LengthMismatch { values: 3, labels: 4 };
+        let e = MpError::LengthMismatch {
+            values: 3,
+            labels: 4,
+        };
         assert_eq!(
             e.to_string(),
             "values (3) and labels (4) have different lengths"
@@ -60,7 +128,11 @@ mod tests {
 
     #[test]
     fn display_label_out_of_range() {
-        let e = MpError::LabelOutOfRange { index: 7, label: 9, m: 8 };
+        let e = MpError::LabelOutOfRange {
+            index: 7,
+            label: 9,
+            m: 8,
+        };
         assert_eq!(
             e.to_string(),
             "label 9 at index 7 is out of range for m = 8 buckets"
@@ -69,8 +141,40 @@ mod tests {
 
     #[test]
     fn error_trait_object() {
-        let e: Box<dyn std::error::Error> =
-            Box::new(MpError::LengthMismatch { values: 1, labels: 2 });
+        let e: Box<dyn std::error::Error> = Box::new(MpError::LengthMismatch {
+            values: 1,
+            labels: 2,
+        });
         assert!(e.to_string().contains("different lengths"));
+    }
+
+    #[test]
+    fn display_hardened_variants() {
+        assert_eq!(
+            MpError::ArithmeticOverflow { index: 3 }.to_string(),
+            "combining element 3 overflows the element type (serial order)"
+        );
+        assert_eq!(
+            MpError::CapacityOverflow {
+                what: "buckets",
+                requested: 100,
+                limit: 10
+            }
+            .to_string(),
+            "buckets of 100 exceeds the configured budget of 10"
+        );
+        assert_eq!(
+            MpError::AllocationFailed { bytes: 1 << 40 }.to_string(),
+            format!("allocation of {} bytes failed", 1u64 << 40)
+        );
+        assert!(MpError::EnginePanicked.to_string().contains("panicked"));
+        assert_eq!(
+            MpError::VerificationFailed {
+                what: "sum",
+                index: 7
+            }
+            .to_string(),
+            "self-check failed: sum 7 disagrees with the serial oracle"
+        );
     }
 }

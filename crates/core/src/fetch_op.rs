@@ -57,7 +57,10 @@ pub fn fetch_and_op<T: Element, O: CombineOp<T>>(
         .zip(out.reductions.iter())
         .map(|(&base, &delta)| op.combine(base, delta))
         .collect();
-    Ok(FetchOpResult { fetched, memory: new_memory })
+    Ok(FetchOpResult {
+        fetched,
+        memory: new_memory,
+    })
 }
 
 /// Serial oracle for [`fetch_and_op`] (the loop above, literally).
@@ -73,7 +76,10 @@ pub fn fetch_and_op_serial<T: Element, O: CombineOp<T>>(
         fetched.push(mem[a]);
         mem[a] = op.combine(mem[a], inc);
     }
-    FetchOpResult { fetched, memory: mem }
+    FetchOpResult {
+        fetched,
+        memory: mem,
+    }
 }
 
 #[cfg(test)]
@@ -97,8 +103,7 @@ mod tests {
     fn fetch_values_are_vector_ordered() {
         // Three increments to the same cell fetch 0, 1, 3 — strictly the
         // vector-order story, never a permuted one.
-        let got =
-            fetch_and_op(&[0i64], &[0, 0, 0], &[1, 2, 4], Plus, Engine::Serial).unwrap();
+        let got = fetch_and_op(&[0i64], &[0, 0, 0], &[1, 2, 4], Plus, Engine::Serial).unwrap();
         assert_eq!(got.fetched, vec![0, 1, 3]);
         assert_eq!(got.memory, vec![7]);
     }
@@ -119,7 +124,10 @@ mod tests {
     #[test]
     fn bad_address_is_reported() {
         let err = fetch_and_op(&[0i64], &[1], &[1], Plus, Engine::Serial).unwrap_err();
-        assert!(matches!(err, MpError::LabelOutOfRange { label: 1, m: 1, .. }));
+        assert!(matches!(
+            err,
+            MpError::LabelOutOfRange { label: 1, m: 1, .. }
+        ));
     }
 
     #[test]

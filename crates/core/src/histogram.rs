@@ -56,7 +56,12 @@ mod tests {
     fn counts_match_reference() {
         let keys: Vec<usize> = (0..10_000).map(|i| (i * i) % 31).collect();
         let expect = histogram_serial(&keys, 31);
-        for engine in [Engine::Serial, Engine::Spinetree, Engine::Blocked, Engine::Auto] {
+        for engine in [
+            Engine::Serial,
+            Engine::Spinetree,
+            Engine::Blocked,
+            Engine::Auto,
+        ] {
             assert_eq!(histogram(&keys, 31, engine).unwrap(), expect, "{engine:?}");
         }
     }
@@ -77,6 +82,9 @@ mod tests {
     #[test]
     fn out_of_range_key_errors() {
         let err = histogram(&[5], 3, Engine::Serial).unwrap_err();
-        assert!(matches!(err, MpError::LabelOutOfRange { label: 5, m: 3, .. }));
+        assert!(matches!(
+            err,
+            MpError::LabelOutOfRange { label: 5, m: 3, .. }
+        ));
     }
 }

@@ -82,11 +82,18 @@ pub fn multiprefix_by_key<K: Eq + Hash + Clone, T: Element, O: CombineOp<T>>(
     engine: Engine,
 ) -> Result<KeyedOutput<K, T>, MpError> {
     if values.len() != keys.len() {
-        return Err(MpError::LengthMismatch { values: values.len(), labels: keys.len() });
+        return Err(MpError::LengthMismatch {
+            values: values.len(),
+            labels: keys.len(),
+        });
     }
     let (labels, distinct) = compress_keys(keys);
     let out = multiprefix(values, &labels, distinct.len(), op, engine)?;
-    Ok(KeyedOutput { sums: out.sums, keys: distinct, reductions: out.reductions })
+    Ok(KeyedOutput {
+        sums: out.sums,
+        keys: distinct,
+        reductions: out.reductions,
+    })
 }
 
 /// Multireduce keyed by arbitrary hashable keys ("group-by ⊕").
@@ -97,7 +104,10 @@ pub fn multireduce_by_key<K: Eq + Hash + Clone, T: Element, O: CombineOp<T>>(
     engine: Engine,
 ) -> Result<(Vec<K>, Vec<T>), MpError> {
     if values.len() != keys.len() {
-        return Err(MpError::LengthMismatch { values: values.len(), labels: keys.len() });
+        return Err(MpError::LengthMismatch {
+            values: values.len(),
+            labels: keys.len(),
+        });
     }
     let (labels, distinct) = compress_keys(keys);
     let red = crate::api::multireduce(values, &labels, distinct.len(), op, engine)?;
@@ -141,7 +151,9 @@ mod tests {
     fn sparse_u64_ids_via_blocked_engine() {
         let n = 50_000usize;
         let values: Vec<i64> = (0..n as i64).collect();
-        let keys: Vec<u64> = (0..n).map(|i| ((i * 2654435761) as u64) << 13 | (i % 7) as u64).collect();
+        let keys: Vec<u64> = (0..n)
+            .map(|i| ((i * 2654435761) as u64) << 13 | (i % 7) as u64)
+            .collect();
         let out = multiprefix_by_key(&values, &keys, Plus, Engine::Blocked).unwrap();
         // Cross-check a few positions against a serial map.
         let mut seen: HashMap<u64, i64> = HashMap::new();
@@ -171,7 +183,13 @@ mod tests {
     #[test]
     fn length_mismatch_reported() {
         let err = multiprefix_by_key(&[1i64], &["a", "b"], Plus, Engine::Serial).unwrap_err();
-        assert!(matches!(err, MpError::LengthMismatch { values: 1, labels: 2 }));
+        assert!(matches!(
+            err,
+            MpError::LengthMismatch {
+                values: 1,
+                labels: 2
+            }
+        ));
     }
 
     #[test]

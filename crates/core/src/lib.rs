@@ -43,6 +43,16 @@
 //! assert_eq!(out.reductions, vec![0, 8, 6, 0]);
 //! ```
 //!
+//! ## Hardened execution
+//!
+//! [`try_multiprefix`] / [`try_multireduce`] run the same engines under an
+//! [`exec::ExecConfig`]: overflow policies (wrap / checked / saturating,
+//! with serial-order semantics shared by every engine), bucket and memory
+//! budgets enforced before allocation, fallible allocation for the large
+//! engine blocks, and panic containment in the blocked engine.
+//! [`multiprefix_verified`] cross-validates any engine's output against an
+//! independent serial evaluation. See [`exec`] for the contract.
+//!
 //! ## Derived primitives
 //!
 //! The paper argues multiprefix subsumes many parallel primitives; the
@@ -55,6 +65,7 @@ pub mod api;
 pub mod atomic;
 pub mod blocked;
 pub mod error;
+pub mod exec;
 pub mod fetch_op;
 pub mod histogram;
 pub mod keyed;
@@ -64,10 +75,15 @@ pub mod problem;
 pub mod scan;
 pub mod segmented;
 pub mod serial;
+pub mod spinetree;
 pub mod split;
 pub mod stream;
-pub mod spinetree;
 
-pub use api::{multiprefix, multiprefix_inclusive, multireduce, Engine};
+pub use api::{
+    multiprefix, multiprefix_inclusive, multiprefix_verified, multireduce, try_multiprefix,
+    try_multireduce, Engine,
+};
 pub use error::MpError;
+pub use exec::{ExecConfig, OverflowPolicy};
+pub use op::TryCombineOp;
 pub use problem::{validate, Element, MultiprefixOutput};

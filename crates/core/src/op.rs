@@ -37,6 +37,36 @@ pub trait CombineOp<T: Element>: Copy + Send + Sync + 'static {
     fn combine(&self, a: T, b: T) -> T;
 }
 
+/// A [`CombineOp`] that can also combine under an overflow discipline —
+/// the operator-level half of the hardened execution layer
+/// ([`crate::try_multiprefix`]).
+///
+/// Two extra contracts, mirroring `checked_add` / `saturating_add`:
+///
+/// * `checked_combine(a, b)` is `Some(combine(a, b))` exactly when the
+///   mathematical result is representable in `T`, `None` otherwise;
+/// * `saturating_combine(a, b)` clamps an unrepresentable result to the
+///   nearest representable value (and equals `combine` otherwise).
+///
+/// Operators that can never overflow (`Max`, `Min`, `And`, `Or`, floats —
+/// IEEE arithmetic saturates to ±∞ on its own) implement both as plain
+/// `combine`.
+///
+/// **Non-associativity warning**: checked and saturating arithmetic are
+/// *not* associative — `(a ⊕ b) ⊕ c` may saturate or trip where
+/// `a ⊕ (b ⊕ c)` does not. The engines therefore define the semantics of
+/// `Checked` / `Saturating` by **serial (Figure 2) evaluation order**;
+/// parallel engines detect a possible divergence and canonicalize through
+/// the serial engine (see `crate::exec`).
+pub trait TryCombineOp<T: Element>: CombineOp<T> {
+    /// `combine`, or `None` if the result is not representable in `T`.
+    fn checked_combine(&self, a: T, b: T) -> Option<T>;
+
+    /// `combine` with an unrepresentable result clamped to the nearest
+    /// representable value.
+    fn saturating_combine(&self, a: T, b: T) -> T;
+}
+
 /// Addition (`PLUS`). Identity: `0` / `0.0`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Plus;
@@ -112,6 +142,51 @@ macro_rules! impl_int_ops {
 
 impl_int_ops!(i8, i16, i32, i64, i128, u8, u16, u32, u64, u128, usize, isize);
 
+macro_rules! impl_int_try_ops {
+    ($($t:ty),*) => {$(
+        impl TryCombineOp<$t> for Plus {
+            #[inline(always)]
+            fn checked_combine(&self, a: $t, b: $t) -> Option<$t> { a.checked_add(b) }
+            #[inline(always)]
+            fn saturating_combine(&self, a: $t, b: $t) -> $t { a.saturating_add(b) }
+        }
+        impl TryCombineOp<$t> for Mult {
+            #[inline(always)]
+            fn checked_combine(&self, a: $t, b: $t) -> Option<$t> { a.checked_mul(b) }
+            #[inline(always)]
+            fn saturating_combine(&self, a: $t, b: $t) -> $t { a.saturating_mul(b) }
+        }
+        // MAX / MIN / AND / OR select or mask bits — they can never leave
+        // the representable range.
+        impl TryCombineOp<$t> for Max {
+            #[inline(always)]
+            fn checked_combine(&self, a: $t, b: $t) -> Option<$t> { Some(self.combine(a, b)) }
+            #[inline(always)]
+            fn saturating_combine(&self, a: $t, b: $t) -> $t { self.combine(a, b) }
+        }
+        impl TryCombineOp<$t> for Min {
+            #[inline(always)]
+            fn checked_combine(&self, a: $t, b: $t) -> Option<$t> { Some(self.combine(a, b)) }
+            #[inline(always)]
+            fn saturating_combine(&self, a: $t, b: $t) -> $t { self.combine(a, b) }
+        }
+        impl TryCombineOp<$t> for And {
+            #[inline(always)]
+            fn checked_combine(&self, a: $t, b: $t) -> Option<$t> { Some(self.combine(a, b)) }
+            #[inline(always)]
+            fn saturating_combine(&self, a: $t, b: $t) -> $t { self.combine(a, b) }
+        }
+        impl TryCombineOp<$t> for Or {
+            #[inline(always)]
+            fn checked_combine(&self, a: $t, b: $t) -> Option<$t> { Some(self.combine(a, b)) }
+            #[inline(always)]
+            fn saturating_combine(&self, a: $t, b: $t) -> $t { self.combine(a, b) }
+        }
+    )*};
+}
+
+impl_int_try_ops!(i8, i16, i32, i64, i128, u8, u16, u32, u64, u128, usize, isize);
+
 macro_rules! impl_float_ops {
     ($($t:ty),*) => {$(
         impl CombineOp<$t> for Plus {
@@ -147,6 +222,27 @@ macro_rules! impl_float_ops {
 
 impl_float_ops!(f32, f64);
 
+// IEEE float arithmetic never traps: overflow saturates to ±∞ by the
+// standard itself, so checked and saturating collapse to plain combine.
+macro_rules! impl_float_try_ops {
+    ($($op:ty),*) => {$(
+        impl TryCombineOp<f32> for $op {
+            #[inline(always)]
+            fn checked_combine(&self, a: f32, b: f32) -> Option<f32> { Some(self.combine(a, b)) }
+            #[inline(always)]
+            fn saturating_combine(&self, a: f32, b: f32) -> f32 { self.combine(a, b) }
+        }
+        impl TryCombineOp<f64> for $op {
+            #[inline(always)]
+            fn checked_combine(&self, a: f64, b: f64) -> Option<f64> { Some(self.combine(a, b)) }
+            #[inline(always)]
+            fn saturating_combine(&self, a: f64, b: f64) -> f64 { self.combine(a, b) }
+        }
+    )*};
+}
+
+impl_float_try_ops!(Plus, Mult, Max, Min);
+
 impl CombineOp<bool> for And {
     const COMMUTATIVE: bool = true;
     #[inline(always)]
@@ -168,6 +264,28 @@ impl CombineOp<bool> for Or {
     #[inline(always)]
     fn combine(&self, a: bool, b: bool) -> bool {
         a || b
+    }
+}
+
+impl TryCombineOp<bool> for And {
+    #[inline(always)]
+    fn checked_combine(&self, a: bool, b: bool) -> Option<bool> {
+        Some(self.combine(a, b))
+    }
+    #[inline(always)]
+    fn saturating_combine(&self, a: bool, b: bool) -> bool {
+        self.combine(a, b)
+    }
+}
+
+impl TryCombineOp<bool> for Or {
+    #[inline(always)]
+    fn checked_combine(&self, a: bool, b: bool) -> Option<bool> {
+        Some(self.combine(a, b))
+    }
+    #[inline(always)]
+    fn saturating_combine(&self, a: bool, b: bool) -> bool {
+        self.combine(a, b)
     }
 }
 
@@ -273,10 +391,76 @@ impl CombineOp<[i64; 4]> for Mat2Mul {
     #[inline(always)]
     fn combine(&self, a: [i64; 4], b: [i64; 4]) -> [i64; 4] {
         [
-            a[0].wrapping_mul(b[0]).wrapping_add(a[1].wrapping_mul(b[2])),
-            a[0].wrapping_mul(b[1]).wrapping_add(a[1].wrapping_mul(b[3])),
-            a[2].wrapping_mul(b[0]).wrapping_add(a[3].wrapping_mul(b[2])),
-            a[2].wrapping_mul(b[1]).wrapping_add(a[3].wrapping_mul(b[3])),
+            a[0].wrapping_mul(b[0])
+                .wrapping_add(a[1].wrapping_mul(b[2])),
+            a[0].wrapping_mul(b[1])
+                .wrapping_add(a[1].wrapping_mul(b[3])),
+            a[2].wrapping_mul(b[0])
+                .wrapping_add(a[3].wrapping_mul(b[2])),
+            a[2].wrapping_mul(b[1])
+                .wrapping_add(a[3].wrapping_mul(b[3])),
+        ]
+    }
+}
+
+// FirstLast and the arg-selectors only ever *select* one of their
+// arguments' components, so they are total.
+impl TryCombineOp<(i32, i32)> for FirstLast {
+    #[inline(always)]
+    fn checked_combine(&self, a: (i32, i32), b: (i32, i32)) -> Option<(i32, i32)> {
+        Some(self.combine(a, b))
+    }
+    #[inline(always)]
+    fn saturating_combine(&self, a: (i32, i32), b: (i32, i32)) -> (i32, i32) {
+        self.combine(a, b)
+    }
+}
+
+impl TryCombineOp<(i64, i64)> for ArgMax {
+    #[inline(always)]
+    fn checked_combine(&self, a: (i64, i64), b: (i64, i64)) -> Option<(i64, i64)> {
+        Some(self.combine(a, b))
+    }
+    #[inline(always)]
+    fn saturating_combine(&self, a: (i64, i64), b: (i64, i64)) -> (i64, i64) {
+        self.combine(a, b)
+    }
+}
+
+impl TryCombineOp<(i64, i64)> for ArgMin {
+    #[inline(always)]
+    fn checked_combine(&self, a: (i64, i64), b: (i64, i64)) -> Option<(i64, i64)> {
+        Some(self.combine(a, b))
+    }
+    #[inline(always)]
+    fn saturating_combine(&self, a: (i64, i64), b: (i64, i64)) -> (i64, i64) {
+        self.combine(a, b)
+    }
+}
+
+impl TryCombineOp<[i64; 4]> for Mat2Mul {
+    #[inline(always)]
+    fn checked_combine(&self, a: [i64; 4], b: [i64; 4]) -> Option<[i64; 4]> {
+        let cell = |x: i64, y: i64, z: i64, w: i64| -> Option<i64> {
+            x.checked_mul(y)?.checked_add(z.checked_mul(w)?)
+        };
+        Some([
+            cell(a[0], b[0], a[1], b[2])?,
+            cell(a[0], b[1], a[1], b[3])?,
+            cell(a[2], b[0], a[3], b[2])?,
+            cell(a[2], b[1], a[3], b[3])?,
+        ])
+    }
+    #[inline(always)]
+    fn saturating_combine(&self, a: [i64; 4], b: [i64; 4]) -> [i64; 4] {
+        let cell = |x: i64, y: i64, z: i64, w: i64| -> i64 {
+            x.saturating_mul(y).saturating_add(z.saturating_mul(w))
+        };
+        [
+            cell(a[0], b[0], a[1], b[2]),
+            cell(a[0], b[1], a[1], b[3]),
+            cell(a[2], b[0], a[3], b[2]),
+            cell(a[2], b[1], a[3], b[3]),
         ]
     }
 }
@@ -423,5 +607,47 @@ mod tests {
         let a = [1, 1, 0, 1];
         let b = [1, 0, 1, 1];
         assert_ne!(Mat2Mul.combine(a, b), Mat2Mul.combine(b, a));
+    }
+
+    #[test]
+    fn checked_combine_agrees_with_combine_when_representable() {
+        for (a, b) in [(3i64, 4), (-7, 7), (i64::MAX, 0), (i64::MIN, 0)] {
+            assert_eq!(Plus.checked_combine(a, b), Some(Plus.combine(a, b)));
+            assert_eq!(Plus.saturating_combine(a, b), Plus.combine(a, b));
+        }
+        assert_eq!(Mult.checked_combine(1i64 << 32, 1 << 31), None);
+        assert_eq!(Mult.saturating_combine(1i64 << 32, 1 << 31), i64::MAX);
+    }
+
+    #[test]
+    fn checked_combine_detects_overflow() {
+        assert_eq!(Plus.checked_combine(i64::MAX, 1), None);
+        assert_eq!(Plus.checked_combine(i64::MIN, -1), None);
+        assert_eq!(Plus.saturating_combine(i64::MAX, 1), i64::MAX);
+        assert_eq!(Plus.saturating_combine(i64::MIN, -1), i64::MIN);
+        // Selection operators are total.
+        assert_eq!(Max.checked_combine(i64::MAX, i64::MIN), Some(i64::MAX));
+        assert_eq!(Min.checked_combine(i64::MAX, i64::MIN), Some(i64::MIN));
+        assert_eq!(And.checked_combine(!0u64, 5), Some(5));
+        assert_eq!(Or.checked_combine(0u64, 5), Some(5));
+    }
+
+    #[test]
+    fn float_checked_is_total() {
+        assert_eq!(
+            Plus.checked_combine(f64::MAX, f64::MAX),
+            Some(f64::INFINITY)
+        );
+        assert_eq!(Mult.saturating_combine(f64::MAX, 2.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn mat2_checked_overflow() {
+        let big = [i64::MAX / 2, 0, 0, i64::MAX / 2];
+        assert_eq!(Mat2Mul.checked_combine(big, big), None);
+        let sat = Mat2Mul.saturating_combine(big, big);
+        assert_eq!(sat[0], (i64::MAX / 2).saturating_mul(i64::MAX / 2));
+        let id = Mat2Mul.identity();
+        assert_eq!(Mat2Mul.checked_combine(big, id), Some(big));
     }
 }

@@ -56,9 +56,64 @@ pub fn check_output<T: Element + PartialEq, O: CombineOp<T>>(
     if claimed.reductions.len() != expect.reductions.len() {
         return Err(("reduction", usize::MAX));
     }
-    for (k, (a, b)) in claimed.reductions.iter().zip(&expect.reductions).enumerate() {
+    for (k, (a, b)) in claimed
+        .reductions
+        .iter()
+        .zip(&expect.reductions)
+        .enumerate()
+    {
         if a != b {
             return Err(("reduction", k));
+        }
+    }
+    Ok(())
+}
+
+/// Check a claimed output against the **serial** engine — `O(n + m)` where
+/// [`check_output`] is `O(n²)`, cheap enough for production self-checking.
+/// This is the comparator behind [`crate::multiprefix_verified`] and the
+/// PRAM fault-injection harness; the first discrepancy is reported as
+/// [`crate::MpError::VerificationFailed`].
+pub fn verify_output<T: Element + PartialEq, O: CombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    claimed: &MultiprefixOutput<T>,
+) -> Result<(), crate::MpError> {
+    use crate::MpError::VerificationFailed;
+    let expect = crate::serial::multiprefix_serial(values, labels, m, op);
+    if claimed.sums.len() != expect.sums.len() {
+        return Err(VerificationFailed {
+            what: "sum",
+            index: usize::MAX,
+        });
+    }
+    for (i, (a, b)) in claimed.sums.iter().zip(&expect.sums).enumerate() {
+        if a != b {
+            return Err(VerificationFailed {
+                what: "sum",
+                index: i,
+            });
+        }
+    }
+    if claimed.reductions.len() != expect.reductions.len() {
+        return Err(VerificationFailed {
+            what: "reduction",
+            index: usize::MAX,
+        });
+    }
+    for (k, (a, b)) in claimed
+        .reductions
+        .iter()
+        .zip(&expect.reductions)
+        .enumerate()
+    {
+        if a != b {
+            return Err(VerificationFailed {
+                what: "reduction",
+                index: k,
+            });
         }
     }
     Ok(())
@@ -87,6 +142,32 @@ mod tests {
             let out = multiprefix(&values, &labels, 9, Plus, engine).unwrap();
             assert_eq!(check_output(&values, &labels, 9, Plus, &out), Ok(()));
         }
+    }
+
+    #[test]
+    fn verify_output_agrees_with_quadratic_checker() {
+        let values: Vec<i64> = (0..120).map(|i| i % 19 - 9).collect();
+        let labels: Vec<usize> = (0..120).map(|i| (i * 5) % 7).collect();
+        let good = multiprefix_definitional(&values, &labels, 7, Plus);
+        assert_eq!(verify_output(&values, &labels, 7, Plus, &good), Ok(()));
+        let mut bad = good.clone();
+        bad.sums[17] += 1;
+        assert_eq!(
+            verify_output(&values, &labels, 7, Plus, &bad),
+            Err(crate::MpError::VerificationFailed {
+                what: "sum",
+                index: 17
+            })
+        );
+        let mut bad = good;
+        bad.reductions[3] -= 1;
+        assert_eq!(
+            verify_output(&values, &labels, 7, Plus, &bad),
+            Err(crate::MpError::VerificationFailed {
+                what: "reduction",
+                index: 3
+            })
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ mod tests {
     fn rejects_length_mismatch() {
         assert_eq!(
             validate_slices(&[1, 2, 3], &[0, 1], 3),
-            Err(MpError::LengthMismatch { values: 3, labels: 2 })
+            Err(MpError::LengthMismatch {
+                values: 3,
+                labels: 2
+            })
         );
     }
 
@@ -81,7 +84,11 @@ mod tests {
     fn rejects_label_out_of_range() {
         assert_eq!(
             validate_slices(&[1, 2, 3], &[0, 3, 1], 3),
-            Err(MpError::LabelOutOfRange { index: 1, label: 3, m: 3 })
+            Err(MpError::LabelOutOfRange {
+                index: 1,
+                label: 3,
+                m: 3
+            })
         );
     }
 
@@ -89,7 +96,11 @@ mod tests {
     fn rejects_any_label_when_m_is_zero() {
         assert_eq!(
             validate_slices(&[9], &[0], 0),
-            Err(MpError::LabelOutOfRange { index: 0, label: 0, m: 0 })
+            Err(MpError::LabelOutOfRange {
+                index: 0,
+                label: 0,
+                m: 0
+            })
         );
     }
 
@@ -97,7 +108,11 @@ mod tests {
     fn reports_first_offending_index() {
         assert_eq!(
             validate_slices(&[0; 4], &[1, 7, 9, 7], 5),
-            Err(MpError::LabelOutOfRange { index: 1, label: 7, m: 5 })
+            Err(MpError::LabelOutOfRange {
+                index: 1,
+                label: 7,
+                m: 5
+            })
         );
     }
 }

@@ -45,10 +45,7 @@ pub fn inclusive_scan_serial<T: Element, O: CombineOp<T>>(values: &[T], op: O) -
 /// offset; (3) each partition re-scans serially from its offset, in
 /// parallel. Two parallel sweeps + `O(P)` serial work — the classic
 /// vector-machine recurrence solver. Deterministic for non-commutative ⊕.
-pub fn exclusive_scan_partition<T: Element, O: CombineOp<T>>(
-    values: &[T],
-    op: O,
-) -> (Vec<T>, T) {
+pub fn exclusive_scan_partition<T: Element, O: CombineOp<T>>(values: &[T], op: O) -> (Vec<T>, T) {
     let n = values.len();
     if n == 0 {
         return (Vec::new(), op.identity());
@@ -107,7 +104,10 @@ mod tests {
 
     #[test]
     fn serial_inclusive_basics() {
-        assert_eq!(inclusive_scan_serial(&[1i64, 2, 3, 4], Plus), vec![1, 3, 6, 10]);
+        assert_eq!(
+            inclusive_scan_serial(&[1i64, 2, 3, 4], Plus),
+            vec![1, 3, 6, 10]
+        );
     }
 
     #[test]
@@ -131,7 +131,9 @@ mod tests {
 
     #[test]
     fn partition_matches_serial_max() {
-        let values: Vec<i64> = (0..65_537).map(|i| (i as i64 * 911) % 5000 - 2500).collect();
+        let values: Vec<i64> = (0..65_537)
+            .map(|i| (i as i64 * 911) % 5000 - 2500)
+            .collect();
         assert_eq!(
             inclusive_scan_partition(&values, Max),
             inclusive_scan_serial(&values, Max)
@@ -172,10 +174,7 @@ mod tests {
 /// included alongside the serial loop and the partition method. Exclusive;
 /// returns `(scan, total)`. `O(n)` work (the up-sweep stores each split's
 /// left-half total so the down-sweep never recomputes), `O(log n)` span.
-pub fn exclusive_scan_blelloch<T: Element, O: CombineOp<T>>(
-    values: &[T],
-    op: O,
-) -> (Vec<T>, T) {
+pub fn exclusive_scan_blelloch<T: Element, O: CombineOp<T>>(values: &[T], op: O) -> (Vec<T>, T) {
     let n = values.len();
     if n == 0 {
         return (Vec::new(), op.identity());
@@ -193,14 +192,20 @@ const SCAN_CUTOFF: usize = 8 * 1024;
 /// structure, storing each internal node's left-half total.
 enum SweepTree<T> {
     Leaf,
-    Node { left_total: T, left: Box<SweepTree<T>>, right: Box<SweepTree<T>> },
+    Node {
+        left_total: T,
+        left: Box<SweepTree<T>>,
+        right: Box<SweepTree<T>>,
+    },
 }
 
 /// Up-sweep: build the totals tree and return the slice's ⊕-total.
 fn up_sweep<T: Element, O: CombineOp<T>>(slice: &[T], op: O) -> (SweepTree<T>, T) {
     let n = slice.len();
     if n <= SCAN_CUTOFF {
-        let total = slice.iter().fold(op.identity(), |acc, &v| op.combine(acc, v));
+        let total = slice
+            .iter()
+            .fold(op.identity(), |acc, &v| op.combine(acc, v));
         return (SweepTree::Leaf, total);
     }
     let mid = n / 2;
@@ -209,7 +214,11 @@ fn up_sweep<T: Element, O: CombineOp<T>>(slice: &[T], op: O) -> (SweepTree<T>, T
         rayon::join(|| up_sweep(left_half, op), || up_sweep(right_half, op));
     let total = op.combine(left_total, right_total);
     (
-        SweepTree::Node { left_total, left: Box::new(left), right: Box::new(right) },
+        SweepTree::Node {
+            left_total,
+            left: Box::new(left),
+            right: Box::new(right),
+        },
         total,
     )
 }
@@ -226,7 +235,11 @@ fn down_sweep<T: Element, O: CombineOp<T>>(slice: &mut [T], tree: &SweepTree<T>,
                 acc = op.combine(acc, old);
             }
         }
-        SweepTree::Node { left_total, left, right } => {
+        SweepTree::Node {
+            left_total,
+            left,
+            right,
+        } => {
             let mid = slice.len() / 2;
             let (left_half, right_half) = slice.split_at_mut(mid);
             let right_carry = op.combine(carry, *left_total);
@@ -256,7 +269,9 @@ mod blelloch_tests {
 
     #[test]
     fn max_and_noncommutative() {
-        let values: Vec<i64> = (0..50_000).map(|i| (i as i64 * 7919) % 1000 - 500).collect();
+        let values: Vec<i64> = (0..50_000)
+            .map(|i| (i as i64 * 7919) % 1000 - 500)
+            .collect();
         assert_eq!(
             exclusive_scan_blelloch(&values, Max),
             exclusive_scan_serial(&values, Max)

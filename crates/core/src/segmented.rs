@@ -93,7 +93,10 @@ pub fn flags_from_lengths(lengths: &[usize]) -> Vec<bool> {
     let mut flags = vec![false; total];
     let mut at = 0usize;
     for &len in lengths {
-        assert!(len > 0, "zero-length segments are not representable as flags");
+        assert!(
+            len > 0,
+            "zero-length segments are not representable as flags"
+        );
         flags[at] = true;
         at += len;
     }
@@ -103,7 +106,9 @@ pub fn flags_from_lengths(lengths: &[usize]) -> Vec<bool> {
 /// Recover segment lengths from per-element segment ids (the inverse of
 /// [`segment_ids`] composed with [`flags_from_lengths`]).
 pub fn lengths_from_ids(ids: &[usize]) -> Vec<usize> {
-    let Some(&last) = ids.last() else { return Vec::new() };
+    let Some(&last) = ids.last() else {
+        return Vec::new();
+    };
     let mut lengths = vec![0usize; last + 1];
     for &id in ids {
         lengths[id] += 1;

@@ -15,7 +15,9 @@
 //! This module is the semantic oracle for the whole crate: every parallel
 //! engine's output is tested for equality against it.
 
-use crate::op::CombineOp;
+use crate::error::MpError;
+use crate::exec::{try_filled_vec, OverflowPolicy};
+use crate::op::{CombineOp, TryCombineOp};
 use crate::problem::{Element, MultiprefixOutput};
 
 /// Compute the multiprefix of `values` under `labels` serially.
@@ -45,7 +47,10 @@ pub fn multiprefix_serial<T: Element, O: CombineOp<T>>(
         sums.push(buckets[label]);
         buckets[label] = op.combine(buckets[label], value);
     }
-    MultiprefixOutput { sums, reductions: buckets }
+    MultiprefixOutput {
+        sums,
+        reductions: buckets,
+    }
 }
 
 /// Serial multireduce: only the per-label reductions (§4.2 of the paper).
@@ -65,6 +70,69 @@ pub fn multireduce_serial<T: Element, O: CombineOp<T>>(
         buckets[label] = op.combine(buckets[label], value);
     }
     buckets
+}
+
+/// The hardened serial multiprefix: Figure 2 under an explicit
+/// [`OverflowPolicy`], with fallible allocation.
+///
+/// This function *defines* the `Checked`/`Saturating` semantics for the
+/// whole crate (see [`crate::exec`]): under `Checked`, the reported
+/// [`MpError::ArithmeticOverflow::index`] is the position of the first
+/// element whose left-to-right bucket combine overflows, and every parallel
+/// engine canonicalizes to this result.
+pub fn try_multiprefix_serial<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+) -> Result<MultiprefixOutput<T>, MpError> {
+    debug_assert_eq!(values.len(), labels.len());
+    let mut buckets = try_filled_vec(op.identity(), m)?;
+    let mut sums: Vec<T> = Vec::new();
+    sums.try_reserve_exact(values.len())
+        .map_err(|_| MpError::AllocationFailed {
+            bytes: values.len().saturating_mul(std::mem::size_of::<T>()),
+        })?;
+    for (i, (&value, &label)) in values.iter().zip(labels).enumerate() {
+        debug_assert!(label < m);
+        sums.push(buckets[label]);
+        buckets[label] = match policy {
+            OverflowPolicy::Wrap => op.combine(buckets[label], value),
+            OverflowPolicy::Checked => op
+                .checked_combine(buckets[label], value)
+                .ok_or(MpError::ArithmeticOverflow { index: i })?,
+            OverflowPolicy::Saturating => op.saturating_combine(buckets[label], value),
+        };
+    }
+    Ok(MultiprefixOutput {
+        sums,
+        reductions: buckets,
+    })
+}
+
+/// Hardened serial multireduce — the reductions of
+/// [`try_multiprefix_serial`] without the `O(n)` sums vector.
+pub fn try_multireduce_serial<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+) -> Result<Vec<T>, MpError> {
+    debug_assert_eq!(values.len(), labels.len());
+    let mut buckets = try_filled_vec(op.identity(), m)?;
+    for (i, (&value, &label)) in values.iter().zip(labels).enumerate() {
+        debug_assert!(label < m);
+        buckets[label] = match policy {
+            OverflowPolicy::Wrap => op.combine(buckets[label], value),
+            OverflowPolicy::Checked => op
+                .checked_combine(buckets[label], value)
+                .ok_or(MpError::ArithmeticOverflow { index: i })?,
+            OverflowPolicy::Saturating => op.saturating_combine(buckets[label], value),
+        };
+    }
+    Ok(buckets)
 }
 
 #[cfg(test)]
@@ -162,10 +230,7 @@ mod tests {
         let values = [(0, 0), (1, 1), (2, 2), (3, 3)];
         let labels = [0usize, 0, 0, 0];
         let out = multiprefix_serial(&values, &labels, 1, FirstLast);
-        assert_eq!(
-            out.sums,
-            vec![FIRST_LAST_IDENTITY, (0, 0), (0, 1), (0, 2)]
-        );
+        assert_eq!(out.sums, vec![FIRST_LAST_IDENTITY, (0, 0), (0, 1), (0, 2)]);
         assert_eq!(out.reductions, vec![(0, 3)]);
     }
 
@@ -185,6 +250,41 @@ mod tests {
         let full = multiprefix_serial(&values, &labels, 4, Plus);
         let red = multireduce_serial(&values, &labels, 4, Plus);
         assert_eq!(full.reductions, red);
+    }
+
+    #[test]
+    fn try_serial_wrap_matches_plain() {
+        let values = [i64::MAX, 1, 5];
+        let labels = [0usize, 0, 1];
+        let plain = multiprefix_serial(&values, &labels, 2, Plus);
+        let hardened =
+            try_multiprefix_serial(&values, &labels, 2, Plus, OverflowPolicy::Wrap).unwrap();
+        assert_eq!(plain.sums, hardened.sums);
+        assert_eq!(plain.reductions, hardened.reductions);
+    }
+
+    #[test]
+    fn try_serial_checked_reports_first_serial_overflow() {
+        // Element 0 seeds bucket 0 with i64::MAX (identity + MAX is fine);
+        // element 2 is the first combine that overflows.
+        let values = [i64::MAX, 3, 1, 1];
+        let labels = [0usize, 1, 0, 0];
+        let err =
+            try_multiprefix_serial(&values, &labels, 2, Plus, OverflowPolicy::Checked).unwrap_err();
+        assert_eq!(err, MpError::ArithmeticOverflow { index: 2 });
+        let err =
+            try_multireduce_serial(&values, &labels, 2, Plus, OverflowPolicy::Checked).unwrap_err();
+        assert_eq!(err, MpError::ArithmeticOverflow { index: 2 });
+    }
+
+    #[test]
+    fn try_serial_saturating_clamps() {
+        let values = [i64::MAX, 1, i64::MIN, -1];
+        let labels = [0usize, 0, 1, 1];
+        let out =
+            try_multiprefix_serial(&values, &labels, 2, Plus, OverflowPolicy::Saturating).unwrap();
+        assert_eq!(out.sums, vec![0, i64::MAX, 0, i64::MIN]);
+        assert_eq!(out.reductions, vec![i64::MAX, i64::MIN]);
     }
 
     #[test]

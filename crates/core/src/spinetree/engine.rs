@@ -2,9 +2,14 @@
 
 use super::build::{build_spinetree, ArbPolicy};
 use super::layout::Layout;
-use super::phases::{bucket_reductions, multisums, rowsums, spinesums};
-use crate::op::CombineOp;
+use super::phases::{
+    bucket_reductions, bucket_reductions_guarded, multisums, multisums_guarded, rowsums,
+    rowsums_guarded, spinesums, spinesums_guarded,
+};
+use crate::exec::{try_filled_vec, CheckGuard, OverflowPolicy, TryEngineResult};
+use crate::op::{CombineOp, TryCombineOp};
 use crate::problem::{Element, MultiprefixOutput};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Parallel-step and work accounting for one phase, in the paper's §3
 /// measures: `steps` is the number of `pardo` issues (parallel steps), and
@@ -65,19 +70,31 @@ pub fn multiprefix_spinetree_instrumented<T: Element, O: CombineOp<T>>(
     let mut rowsum = vec![op.identity(); slots];
     let mut spinesum = vec![op.identity(); slots];
     let mut has_child = vec![false; slots];
-    let init = PhaseStats { steps: 1, work: slots };
+    let init = PhaseStats {
+        steps: 1,
+        work: slots,
+    };
 
     // Phase 1: SPINETREE (rows, top to bottom).
     let spine = build_spinetree(labels, &layout, policy);
-    let spinetree = PhaseStats { steps: layout.n_rows, work: n };
+    let spinetree = PhaseStats {
+        steps: layout.n_rows,
+        work: n,
+    };
 
     // Phase 2: ROWSUMS (columns, left to right).
     rowsums(values, &spine, &layout, op, &mut rowsum, &mut has_child);
-    let rowsums_stats = PhaseStats { steps: layout.cols_left_right().len(), work: n };
+    let rowsums_stats = PhaseStats {
+        steps: layout.cols_left_right().len(),
+        work: n,
+    };
 
     // Phase 3: SPINESUMS (rows, bottom to top).
     spinesums(&spine, &layout, op, &rowsum, &has_child, &mut spinesum);
-    let spinesums_stats = PhaseStats { steps: layout.n_rows, work: n };
+    let spinesums_stats = PhaseStats {
+        steps: layout.n_rows,
+        work: n,
+    };
 
     // The reductions are already available here — §4.2's multireduce exit.
     let reductions = bucket_reductions(&layout, op, &rowsum, &spinesum);
@@ -85,12 +102,21 @@ pub fn multiprefix_spinetree_instrumented<T: Element, O: CombineOp<T>>(
     // Phase 4: MULTISUMS (columns, left to right).
     let mut sums = vec![op.identity(); n];
     multisums(values, &spine, &layout, op, &mut spinesum, &mut sums);
-    let multisums_stats = PhaseStats { steps: layout.cols_left_right().len(), work: n };
+    let multisums_stats = PhaseStats {
+        steps: layout.cols_left_right().len(),
+        work: n,
+    };
 
     SpinetreeRun {
         output: MultiprefixOutput { sums, reductions },
         layout,
-        phases: [init, spinetree, rowsums_stats, spinesums_stats, multisums_stats],
+        phases: [
+            init,
+            spinetree,
+            rowsums_stats,
+            spinesums_stats,
+            multisums_stats,
+        ],
     }
 }
 
@@ -124,6 +150,72 @@ pub fn multireduce_spinetree<T: Element, O: CombineOp<T>>(
     rowsums(values, &spine, &layout, op, &mut rowsum, &mut has_child);
     spinesums(&spine, &layout, op, &rowsum, &has_child, &mut spinesum);
     bucket_reductions(&layout, op, &rowsum, &spinesum)
+}
+
+/// Hardened spinetree multiprefix (see [`crate::exec`] for the contract):
+/// the four `n + m` pivot-block temporaries are allocated fallibly via
+/// [`Layout::try_pivot_block`], and under a checking [`OverflowPolicy`]
+/// every ⊕ runs through a trip guard. MULTISUMS performs the literal serial
+/// combine `prefix_i ⊕ value_i` for every element, so a clean (untripped)
+/// run certifies that the serial evaluation cannot overflow either.
+pub fn try_multiprefix_spinetree<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+) -> TryEngineResult<MultiprefixOutput<T>> {
+    debug_assert_eq!(values.len(), labels.len());
+    let layout = Layout::square(values.len(), m);
+    let tripped = AtomicBool::new(false);
+    let guard = CheckGuard::new(op, policy, &tripped);
+
+    let mut rowsum = layout.try_pivot_block(op.identity())?;
+    let mut spinesum = layout.try_pivot_block(op.identity())?;
+    let mut has_child = layout.try_pivot_block(false)?;
+    let mut sums = try_filled_vec(op.identity(), layout.n)?;
+
+    let spine = build_spinetree(labels, &layout, ArbPolicy::LastWins);
+    rowsums_guarded(values, &spine, &layout, guard, &mut rowsum, &mut has_child);
+    spinesums_guarded(&spine, &layout, guard, &rowsum, &has_child, &mut spinesum);
+    let reductions = bucket_reductions_guarded(&layout, guard, &rowsum, &spinesum)?;
+    multisums_guarded(values, &spine, &layout, guard, &mut spinesum, &mut sums);
+
+    if tripped.load(Ordering::Relaxed) {
+        Ok(None)
+    } else {
+        Ok(Some(MultiprefixOutput { sums, reductions }))
+    }
+}
+
+/// Hardened spinetree multireduce. Same contract as
+/// [`try_multiprefix_spinetree`].
+pub fn try_multireduce_spinetree<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+) -> TryEngineResult<Vec<T>> {
+    debug_assert_eq!(values.len(), labels.len());
+    let layout = Layout::square(values.len(), m);
+    let tripped = AtomicBool::new(false);
+    let guard = CheckGuard::new(op, policy, &tripped);
+
+    let mut rowsum = layout.try_pivot_block(op.identity())?;
+    let mut spinesum = layout.try_pivot_block(op.identity())?;
+    let mut has_child = layout.try_pivot_block(false)?;
+
+    let spine = build_spinetree(labels, &layout, ArbPolicy::LastWins);
+    rowsums_guarded(values, &spine, &layout, guard, &mut rowsum, &mut has_child);
+    spinesums_guarded(&spine, &layout, guard, &rowsum, &has_child, &mut spinesum);
+    let reductions = bucket_reductions_guarded(&layout, guard, &rowsum, &spinesum)?;
+
+    if tripped.load(Ordering::Relaxed) {
+        Ok(None)
+    } else {
+        Ok(Some(reductions))
+    }
 }
 
 #[cfg(test)]
@@ -167,8 +259,7 @@ mod tests {
             ArbPolicy::Seeded(1),
             ArbPolicy::Seeded(0xDEADBEEF),
         ] {
-            let run =
-                multiprefix_spinetree_instrumented(&values, &labels, Plus, layout, policy);
+            let run = multiprefix_spinetree_instrumented(&values, &labels, Plus, layout, policy);
             assert_eq!(run.output.sums, reference.sums, "{policy:?}");
             assert_eq!(run.output.reductions, reference.reductions, "{policy:?}");
         }

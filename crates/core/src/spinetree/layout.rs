@@ -33,7 +33,12 @@ impl Layout {
     pub fn with_row_len(n: usize, m: usize, row_len: usize) -> Self {
         assert!(row_len > 0 || n == 0, "row_len must be positive");
         let n_rows = if n == 0 { 0 } else { n.div_ceil(row_len) };
-        Layout { n, m, row_len: row_len.max(1), n_rows }
+        Layout {
+            n,
+            m,
+            row_len: row_len.max(1),
+            n_rows,
+        }
     }
 
     /// Build a layout with the default near-`√n` row length of
@@ -46,6 +51,18 @@ impl Layout {
     #[inline(always)]
     pub fn slots(&self) -> usize {
         self.m + self.n
+    }
+
+    /// Allocate one `slots()`-sized pivot-block temporary **fallibly**: the
+    /// spinetree engine holds several `n + m` blocks (`rowsum`, `spinesum`,
+    /// `spine`, `has_child`), and the hardened path must report
+    /// [`crate::MpError::AllocationFailed`] instead of aborting when the
+    /// allocator refuses one.
+    pub fn try_pivot_block<T: crate::problem::Element>(
+        &self,
+        fill: T,
+    ) -> Result<Vec<T>, crate::error::MpError> {
+        crate::exec::try_filled_vec(fill, self.slots())
     }
 
     /// Slot of bucket `b`.
@@ -123,7 +140,11 @@ impl Layout {
     /// Columns left to right — the ROWSUMS / MULTISUMS sweep order.
     #[inline]
     pub fn cols_left_right(&self) -> std::ops::Range<usize> {
-        0..if self.n == 0 { 0 } else { self.row_len.min(self.n) }
+        0..if self.n == 0 {
+            0
+        } else {
+            self.row_len.min(self.n)
+        }
     }
 }
 
@@ -149,7 +170,7 @@ pub fn choose_row_len(n: usize) -> usize {
         return 1;
     }
     let mut w = (n as f64).sqrt().ceil() as usize;
-    if w % 2 == 0 {
+    if w.is_multiple_of(2) {
         w += 1;
     }
     w
@@ -163,7 +184,7 @@ pub fn choose_row_len_skewed(n: usize, factor: f64) -> usize {
         return 1;
     }
     let mut w = ((n as f64).sqrt() * factor).round().max(1.0) as usize;
-    if w % 2 == 0 {
+    if w.is_multiple_of(2) {
         w += 1;
     }
     w
@@ -238,7 +259,10 @@ mod tests {
             assert_eq!(w % 2, 1, "row length must be odd for n={n}");
             let s = (n as f64).sqrt();
             assert!((w as f64) >= s, "row len below sqrt for n={n}");
-            assert!((w as f64) <= s + 2.0, "row len too far above sqrt for n={n}");
+            assert!(
+                (w as f64) <= s + 2.0,
+                "row len too far above sqrt for n={n}"
+            );
             // odd => not a multiple of any power-of-two bank count or of 4
             assert_ne!(w % BANK_CYCLE, 0);
             assert_ne!(w % DEFAULT_BANKS, 0);

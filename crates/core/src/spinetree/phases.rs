@@ -9,7 +9,8 @@
 //! exclusive reads and writes.
 
 use super::layout::Layout;
-use crate::op::CombineOp;
+use crate::exec::CheckGuard;
+use crate::op::{CombineOp, TryCombineOp};
 use crate::problem::Element;
 
 /// ROWSUMS (§2.2, Figure 4): sweep the **columns** left to right; every
@@ -129,6 +130,87 @@ pub fn bucket_reductions<T: Element, O: CombineOp<T>>(
     (0..layout.m)
         .map(|b| op.combine(spinesum[b], rowsum[b]))
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Guarded variants for the hardened engine ([`crate::exec`]): identical
+// sweeps with every ⊕ routed through a [`CheckGuard`], which latches a trip
+// flag on overflow under a checking policy. Kept as separate functions so
+// the plain engine's hot loops stay monomorphized without the guard branch.
+
+/// [`rowsums`] with guarded combines.
+pub(crate) fn rowsums_guarded<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    spine: &[usize],
+    layout: &Layout,
+    guard: CheckGuard<'_, O>,
+    rowsum: &mut [T],
+    has_child: &mut [bool],
+) {
+    debug_assert_eq!(values.len(), layout.n);
+    let m = layout.m;
+    for c in layout.cols_left_right() {
+        for i in layout.col_elements(c) {
+            let parent = spine[m + i];
+            rowsum[parent] = guard.combine(rowsum[parent], values[i]);
+            has_child[parent] = true;
+        }
+    }
+}
+
+/// [`spinesums`] with guarded combines.
+pub(crate) fn spinesums_guarded<T: Element, O: TryCombineOp<T>>(
+    spine: &[usize],
+    layout: &Layout,
+    guard: CheckGuard<'_, O>,
+    rowsum: &[T],
+    has_child: &[bool],
+    spinesum: &mut [T],
+) {
+    let m = layout.m;
+    for r in layout.rows_bottom_up() {
+        for i in layout.row_elements(r) {
+            let slot = m + i;
+            if has_child[slot] {
+                let parent = spine[slot];
+                spinesum[parent] = guard.combine(spinesum[slot], rowsum[slot]);
+            }
+        }
+    }
+}
+
+/// [`multisums`] with guarded combines.
+pub(crate) fn multisums_guarded<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    spine: &[usize],
+    layout: &Layout,
+    guard: CheckGuard<'_, O>,
+    spinesum: &mut [T],
+    multi: &mut [T],
+) {
+    debug_assert_eq!(multi.len(), layout.n);
+    let m = layout.m;
+    for c in layout.cols_left_right() {
+        for i in layout.col_elements(c) {
+            let parent = spine[m + i];
+            multi[i] = spinesum[parent];
+            spinesum[parent] = guard.combine(spinesum[parent], values[i]);
+        }
+    }
+}
+
+/// [`bucket_reductions`] with guarded combines.
+pub(crate) fn bucket_reductions_guarded<T: Element, O: TryCombineOp<T>>(
+    layout: &Layout,
+    guard: CheckGuard<'_, O>,
+    rowsum: &[T],
+    spinesum: &[T],
+) -> Result<Vec<T>, crate::error::MpError> {
+    let mut out = crate::exec::try_filled_vec(guard.identity(), layout.m)?;
+    for (b, slot) in out.iter_mut().enumerate() {
+        *slot = guard.combine(spinesum[b], rowsum[b]);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

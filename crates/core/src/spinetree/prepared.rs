@@ -62,30 +62,108 @@ impl PreparedMultiprefix {
 
     /// Run a full multiprefix over `values` (must match [`Self::len`]).
     /// Only the three EREW phases execute — the spinetree is reused.
+    ///
+    /// # Panics
+    /// Panics on `values.len() != self.len()`. This is the unchecked fast
+    /// path for callers that construct the value vector from the same
+    /// source as the labels (e.g. the SpMV kernel, where both derive from
+    /// one matrix); use [`Self::try_run`] when the length is
+    /// caller-supplied data.
     pub fn run<T: Element, O: CombineOp<T>>(&self, values: &[T], op: O) -> MultiprefixOutput<T> {
         assert_eq!(values.len(), self.layout.n, "value vector length mismatch");
         let slots = self.layout.slots();
         let mut rowsum = vec![op.identity(); slots];
         let mut spinesum = vec![op.identity(); slots];
         let mut has_child = vec![false; slots];
-        rowsums(values, &self.spine, &self.layout, op, &mut rowsum, &mut has_child);
-        spinesums(&self.spine, &self.layout, op, &rowsum, &has_child, &mut spinesum);
+        rowsums(
+            values,
+            &self.spine,
+            &self.layout,
+            op,
+            &mut rowsum,
+            &mut has_child,
+        );
+        spinesums(
+            &self.spine,
+            &self.layout,
+            op,
+            &rowsum,
+            &has_child,
+            &mut spinesum,
+        );
         let reductions = bucket_reductions(&self.layout, op, &rowsum, &spinesum);
         let mut sums = vec![op.identity(); self.layout.n];
-        multisums(values, &self.spine, &self.layout, op, &mut spinesum, &mut sums);
+        multisums(
+            values,
+            &self.spine,
+            &self.layout,
+            op,
+            &mut spinesum,
+            &mut sums,
+        );
         MultiprefixOutput { sums, reductions }
     }
 
     /// Run a multireduce over `values` (§4.2: skip MULTISUMS).
+    ///
+    /// # Panics
+    /// Panics on `values.len() != self.len()`; see [`Self::run`] and use
+    /// [`Self::try_run_reduce`] for untrusted lengths.
     pub fn run_reduce<T: Element, O: CombineOp<T>>(&self, values: &[T], op: O) -> Vec<T> {
         assert_eq!(values.len(), self.layout.n, "value vector length mismatch");
         let slots = self.layout.slots();
         let mut rowsum = vec![op.identity(); slots];
         let mut spinesum = vec![op.identity(); slots];
         let mut has_child = vec![false; slots];
-        rowsums(values, &self.spine, &self.layout, op, &mut rowsum, &mut has_child);
-        spinesums(&self.spine, &self.layout, op, &rowsum, &has_child, &mut spinesum);
+        rowsums(
+            values,
+            &self.spine,
+            &self.layout,
+            op,
+            &mut rowsum,
+            &mut has_child,
+        );
+        spinesums(
+            &self.spine,
+            &self.layout,
+            op,
+            &rowsum,
+            &has_child,
+            &mut spinesum,
+        );
         bucket_reductions(&self.layout, op, &rowsum, &spinesum)
+    }
+
+    /// [`Self::run`] for caller-supplied lengths: reports
+    /// [`MpError::LengthMismatch`] instead of panicking.
+    pub fn try_run<T: Element, O: CombineOp<T>>(
+        &self,
+        values: &[T],
+        op: O,
+    ) -> Result<MultiprefixOutput<T>, MpError> {
+        if values.len() != self.layout.n {
+            return Err(MpError::LengthMismatch {
+                values: values.len(),
+                labels: self.layout.n,
+            });
+        }
+        Ok(self.run(values, op))
+    }
+
+    /// [`Self::run_reduce`] for caller-supplied lengths: reports
+    /// [`MpError::LengthMismatch`] instead of panicking.
+    pub fn try_run_reduce<T: Element, O: CombineOp<T>>(
+        &self,
+        values: &[T],
+        op: O,
+    ) -> Result<Vec<T>, MpError> {
+        if values.len() != self.layout.n {
+            return Err(MpError::LengthMismatch {
+                values: values.len(),
+                labels: self.layout.n,
+            });
+        }
+        Ok(self.run_reduce(values, op))
     }
 }
 
@@ -151,6 +229,31 @@ mod tests {
     fn wrong_value_length_panics() {
         let prepared = PreparedMultiprefix::new(&[0, 1], 2).unwrap();
         let _ = prepared.run(&[1i64], Plus);
+    }
+
+    #[test]
+    fn try_run_reports_length_mismatch() {
+        let prepared = PreparedMultiprefix::new(&[0, 1], 2).unwrap();
+        assert_eq!(
+            prepared.try_run(&[1i64], Plus).unwrap_err(),
+            MpError::LengthMismatch {
+                values: 1,
+                labels: 2
+            }
+        );
+        assert_eq!(
+            prepared.try_run_reduce(&[1i64, 2, 3], Plus).unwrap_err(),
+            MpError::LengthMismatch {
+                values: 3,
+                labels: 2
+            }
+        );
+        let ok = prepared.try_run(&[4i64, 5], Plus).unwrap();
+        assert_eq!(ok.reductions, vec![4, 5]);
+        assert_eq!(
+            prepared.try_run_reduce(&[4i64, 5], Plus).unwrap(),
+            vec![4, 5]
+        );
     }
 
     #[test]

@@ -12,8 +12,8 @@ pub fn render_spine(layout: &Layout, spine: &[usize]) -> String {
     let m = layout.m;
     let mut out = String::new();
     let _ = write!(out, "buckets:");
-    for b in 0..m {
-        let _ = write!(out, " {b}→{}", spine[b]);
+    for (b, &parent) in spine.iter().enumerate().take(m) {
+        let _ = write!(out, " {b}→{parent}");
     }
     let _ = writeln!(out, "  ‖ pivot at {m}");
     for r in (0..layout.n_rows).rev() {
@@ -104,7 +104,10 @@ mod tests {
         let layout = Layout::with_row_len(9, 5, 3);
         let spine = super::super::build::build_spinetree(&labels, &layout, ArbPolicy::LastWins);
         // LastWins: bucket <- e8 <- e5 (e2 has no children).
-        assert_eq!(spine_path(&layout, &spine, &labels, 2), "bucket 2 <- e8 <- e5");
+        assert_eq!(
+            spine_path(&layout, &spine, &labels, 2),
+            "bucket 2 <- e8 <- e5"
+        );
     }
 
     #[test]

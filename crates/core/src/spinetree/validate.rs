@@ -27,7 +27,12 @@ pub enum SpinetreeViolation {
     /// Two children of one parent share a column (Corollary 1).
     SiblingsShareColumn { a: usize, b: usize, parent: usize },
     /// Two spine elements of one class in one row (Theorem 2).
-    TwoSpinePerClassRow { a: usize, b: usize, label: usize, row: usize },
+    TwoSpinePerClassRow {
+        a: usize,
+        b: usize,
+        label: usize,
+        row: usize,
+    },
     /// A spine element with two spine children (Corollary 2).
     TwoSpineChildren { parent: usize, a: usize, b: usize },
     /// A parent that is neither the element's bucket nor a same-label
@@ -96,10 +101,7 @@ pub fn check_spinetree(
             }
             Some(&j) => {
                 if spine[m + i] != spine[m + j] {
-                    violations.push(SpinetreeViolation::SameRowLabelDifferentParent {
-                        a: j,
-                        b: i,
-                    });
+                    violations.push(SpinetreeViolation::SameRowLabelDifferentParent { a: j, b: i });
                 }
             }
         }
@@ -110,14 +112,14 @@ pub fn check_spinetree(
 
     // Theorem 2: ≤ 1 spine element per (class, row).
     let mut spine_seen: HashMap<(usize, usize), usize> = HashMap::new();
-    for i in 0..n {
+    for (i, &label) in labels.iter().enumerate().take(n) {
         if is_spine(i) {
-            let key = (labels[i], layout.row_of(i));
+            let key = (label, layout.row_of(i));
             if let Some(&j) = spine_seen.get(&key) {
                 violations.push(SpinetreeViolation::TwoSpinePerClassRow {
                     a: j,
                     b: i,
-                    label: labels[i],
+                    label,
                     row: layout.row_of(i),
                 });
             } else {
@@ -150,7 +152,11 @@ mod tests {
     fn sound_for_uniform_labels() {
         let labels = vec![0usize; 100];
         let layout = Layout::square(100, 1);
-        for policy in [ArbPolicy::LastWins, ArbPolicy::FirstWins, ArbPolicy::Seeded(5)] {
+        for policy in [
+            ArbPolicy::LastWins,
+            ArbPolicy::FirstWins,
+            ArbPolicy::Seeded(5),
+        ] {
             let spine = build_spinetree(&labels, &layout, policy);
             assert_eq!(check_spinetree(&labels, &layout, &spine), vec![]);
         }
@@ -187,6 +193,7 @@ mod tests {
         let mut spine = build_spinetree(&labels, &layout, ArbPolicy::LastWins);
         // Elements 0..3 are the bottom row with a common parent in row 1.
         // Reroute element 1 to a *different* row-1 element.
+        #[allow(clippy::identity_op)]
         let parent = spine[1 + 0];
         let other = if parent == 1 + 4 { 1 + 5 } else { 1 + 4 };
         spine[1 + 1] = other;

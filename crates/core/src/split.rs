@@ -62,11 +62,7 @@ pub fn split_by_flag<T: Element>(
 
 /// Pack: keep only the flagged elements, in order. (The scan-based
 /// "stream compaction".)
-pub fn pack<T: Element>(
-    items: &[T],
-    flags: &[bool],
-    engine: Engine,
-) -> Result<Vec<T>, MpError> {
+pub fn pack<T: Element>(items: &[T], flags: &[bool], engine: Engine) -> Result<Vec<T>, MpError> {
     let (split, boundary) = split_by_flag(items, flags, engine)?;
     Ok(split[boundary..].to_vec())
 }
@@ -107,7 +103,10 @@ mod tests {
     fn pack_keeps_flagged_in_order() {
         let items = ['a', 'b', 'c', 'd'];
         let flags = [true, false, false, true];
-        assert_eq!(pack(&items, &flags, Engine::Serial).unwrap(), vec!['a', 'd']);
+        assert_eq!(
+            pack(&items, &flags, Engine::Serial).unwrap(),
+            vec!['a', 'd']
+        );
     }
 
     #[test]

@@ -30,7 +30,12 @@ pub struct MultiprefixStream<T, O> {
 impl<T: Element, O: CombineOp<T>> MultiprefixStream<T, O> {
     /// Start a stream over `m` labels.
     pub fn new(m: usize, op: O, engine: Engine) -> Self {
-        MultiprefixStream { buckets: vec![op.identity(); m], op, engine, consumed: 0 }
+        MultiprefixStream {
+            buckets: vec![op.identity(); m],
+            op,
+            engine,
+            consumed: 0,
+        }
     }
 
     /// Number of labels.

@@ -27,7 +27,9 @@ fn lcg_labels(n: usize, m: usize, seed: u64) -> Vec<usize> {
     let mut state = seed | 1;
     (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as usize) % m
         })
         .collect()
@@ -85,7 +87,11 @@ pub fn characterize_phases(book: &CostBook) -> Vec<PhaseCharacterization> {
                 .map(|(&n, r)| r[k] / n as f64)
                 .collect();
             let (te, slope) = linfit(&xs, &ys);
-            PhaseCharacterization { phase, te, n_half: (slope / te).max(0.0) }
+            PhaseCharacterization {
+                phase,
+                te,
+                n_half: (slope / te).max(0.0),
+            }
         })
         .collect()
 }
@@ -137,6 +143,10 @@ mod tests {
             );
         }
         let rowsum = rows.iter().find(|r| r.phase == "ROWSUM").unwrap();
-        assert!((rowsum.n_half - 40.0).abs() < 15.0, "ROWSUM n_1/2 = {:.1}", rowsum.n_half);
+        assert!(
+            (rowsum.n_half - 40.0).abs() < 15.0,
+            "ROWSUM n_1/2 = {:.1}",
+            rowsum.n_half
+        );
     }
 }

@@ -131,7 +131,12 @@ mod tests {
 
     #[test]
     fn classification() {
-        assert!(Inst::VGather { dst: 0, base: 0, idx: 1 }.is_memory());
+        assert!(Inst::VGather {
+            dst: 0,
+            base: 0,
+            idx: 1
+        }
+        .is_memory());
         assert!(!Inst::VAddV { dst: 0, a: 1, b: 2 }.is_memory());
         assert!(Inst::VIota { dst: 0 }.is_vector());
         assert!(!Inst::SetVl { len: 64 }.is_vector());

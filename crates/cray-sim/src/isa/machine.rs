@@ -28,7 +28,10 @@ impl std::fmt::Display for IsaError {
         match *self {
             IsaError::BadRegister { inst } => write!(f, "bad register at instruction {inst}"),
             IsaError::MemOutOfBounds { inst, addr } => {
-                write!(f, "memory access {addr} out of bounds at instruction {inst}")
+                write!(
+                    f,
+                    "memory access {addr} out of bounds at instruction {inst}"
+                )
             }
             IsaError::BadVectorLength { inst, len } => {
                 write!(f, "illegal vector length {len} at instruction {inst}")
@@ -136,7 +139,10 @@ impl IsaMachine {
     #[inline]
     fn addr(&self, inst_idx: usize, a: i64) -> Result<usize, IsaError> {
         if a < 0 || a as usize >= self.mem.len() {
-            Err(IsaError::MemOutOfBounds { inst: inst_idx, addr: a })
+            Err(IsaError::MemOutOfBounds {
+                inst: inst_idx,
+                addr: a,
+            })
         } else {
             Ok(a as usize)
         }
@@ -147,10 +153,18 @@ impl IsaMachine {
         let t = self.timings;
         let vl = self.vl;
         let check_v = |r: u8| {
-            if (r as usize) < NV { Ok(r as usize) } else { Err(IsaError::BadRegister { inst: inst_idx }) }
+            if (r as usize) < NV {
+                Ok(r as usize)
+            } else {
+                Err(IsaError::BadRegister { inst: inst_idx })
+            }
         };
         let check_s = |r: u8| {
-            if (r as usize) < NS { Ok(r as usize) } else { Err(IsaError::BadRegister { inst: inst_idx }) }
+            if (r as usize) < NS {
+                Ok(r as usize)
+            } else {
+                Err(IsaError::BadRegister { inst: inst_idx })
+            }
         };
 
         // Timing first (data-independent parts).
@@ -184,7 +198,10 @@ impl IsaMachine {
             Inst::SetVl { len } => {
                 let len = len as usize;
                 if len == 0 || len > VLEN {
-                    return Err(IsaError::BadVectorLength { inst: inst_idx, len });
+                    return Err(IsaError::BadVectorLength {
+                        inst: inst_idx,
+                        len,
+                    });
                 }
                 self.vl = len;
             }
@@ -208,8 +225,7 @@ impl IsaMachine {
                     self.v[dst][k] = self.mem[a];
                 }
                 if stride != 1 {
-                    self.clocks +=
-                        self.bank_surcharge((0..vl).map(|k| base + k as i64 * stride));
+                    self.clocks += self.bank_surcharge((0..vl).map(|k| base + k as i64 * stride));
                 }
             }
             Inst::VStore { src, base, stride } => {
@@ -221,8 +237,7 @@ impl IsaMachine {
                     self.mem[a] = self.v[src][k];
                 }
                 if stride != 1 {
-                    self.clocks +=
-                        self.bank_surcharge((0..vl).map(|k| base + k as i64 * stride));
+                    self.clocks += self.bank_surcharge((0..vl).map(|k| base + k as i64 * stride));
                 }
             }
             Inst::VGather { dst, base, idx } => {
@@ -255,7 +270,11 @@ impl IsaMachine {
                 // a single shared address, creating the hot spot.
                 let dummy = base; // any fixed cell models the contention
                 self.clocks += self.bank_surcharge((0..vl).map(|k| {
-                    if self.vmask & (1 << k) != 0 { base + self.v[idx][k] } else { dummy }
+                    if self.vmask & (1 << k) != 0 {
+                        base + self.v[idx][k]
+                    } else {
+                        dummy
+                    }
                 }));
                 for k in 0..vl {
                     if self.vmask & (1 << k) != 0 {
@@ -351,12 +370,23 @@ mod tests {
             SLoadImm { dst: 0, imm: 0 },  // base
             SLoadImm { dst: 1, imm: 1 },  // stride
             SLoadImm { dst: 2, imm: 16 }, // out base
-            VLoad { dst: 0, base: 0, stride: 1 },
+            VLoad {
+                dst: 0,
+                base: 0,
+                stride: 1,
+            },
             VAddV { dst: 1, a: 0, b: 0 },
-            VStore { src: 1, base: 2, stride: 1 },
+            VStore {
+                src: 1,
+                base: 2,
+                stride: 1,
+            },
         ])
         .unwrap();
-        assert_eq!(&m.mem[16..32], (0..16).map(|i| 2 * i).collect::<Vec<i64>>().as_slice());
+        assert_eq!(
+            &m.mem[16..32],
+            (0..16).map(|i| 2 * i).collect::<Vec<i64>>().as_slice()
+        );
     }
 
     #[test]
@@ -369,7 +399,11 @@ mod tests {
             SetVl { len: 8 },
             SLoadImm { dst: 0, imm: 3 }, // base 3
             SLoadImm { dst: 1, imm: 7 }, // stride 7
-            VLoad { dst: 0, base: 0, stride: 1 },
+            VLoad {
+                dst: 0,
+                base: 0,
+                stride: 1,
+            },
         ])
         .unwrap();
         assert_eq!(m.v_reg(0), &[3, 10, 17, 24, 31, 38, 45, 52]);
@@ -405,11 +439,23 @@ mod tests {
             SetVl { len: 8 },
             SLoadImm { dst: 0, imm: 8 },
             SLoadImm { dst: 1, imm: 1 },
-            VLoad { dst: 1, base: 0, stride: 1 }, // V1 = indices
+            VLoad {
+                dst: 1,
+                base: 0,
+                stride: 1,
+            }, // V1 = indices
             SLoadImm { dst: 2, imm: 0 },
-            VGather { dst: 0, base: 2, idx: 1 }, // V0 = data reversed
+            VGather {
+                dst: 0,
+                base: 2,
+                idx: 1,
+            }, // V0 = data reversed
             SLoadImm { dst: 3, imm: 16 },
-            VScatter { src: 0, base: 3, idx: 1 }, // undo the reversal
+            VScatter {
+                src: 0,
+                base: 3,
+                idx: 1,
+            }, // undo the reversal
         ])
         .unwrap();
         assert_eq!(m.v_reg(0), &[107, 106, 105, 104, 103, 102, 101, 100]);
@@ -427,11 +473,23 @@ mod tests {
             SetVl { len: 4 },
             SLoadImm { dst: 0, imm: 0 },
             SLoadImm { dst: 1, imm: 1 },
-            VLoad { dst: 0, base: 0, stride: 1 },
+            VLoad {
+                dst: 0,
+                base: 0,
+                stride: 1,
+            },
             SLoadImm { dst: 2, imm: 4 },
-            VLoad { dst: 1, base: 2, stride: 1 },
+            VLoad {
+                dst: 1,
+                base: 2,
+                stride: 1,
+            },
             SLoadImm { dst: 3, imm: 0 },
-            VScatter { src: 0, base: 3, idx: 1 },
+            VScatter {
+                src: 0,
+                base: 3,
+                idx: 1,
+            },
         ])
         .unwrap();
         assert_eq!(m.mem[9], 13, "the last lane's store must survive");
@@ -449,12 +507,24 @@ mod tests {
             SetVl { len: 4 },
             SLoadImm { dst: 0, imm: 0 },
             SLoadImm { dst: 1, imm: 1 },
-            VLoad { dst: 0, base: 0, stride: 1 },
+            VLoad {
+                dst: 0,
+                base: 0,
+                stride: 1,
+            },
             SLoadImm { dst: 2, imm: 8 },
-            VLoad { dst: 1, base: 2, stride: 1 },
+            VLoad {
+                dst: 1,
+                base: 2,
+                stride: 1,
+            },
             SLoadImm { dst: 3, imm: 0 }, // compare against 0
             VCmpNeS { a: 0, s: 3 },
-            VScatterMasked { src: 0, base: 3, idx: 1 },
+            VScatterMasked {
+                src: 0,
+                base: 3,
+                idx: 1,
+            },
         ])
         .unwrap();
         assert_eq!(&m.mem[20..24], &[5, 0, 7, 0]);
@@ -468,7 +538,11 @@ mod tests {
             SetVl { len: 4 },
             SLoadImm { dst: 0, imm: 2 },
             SLoadImm { dst: 1, imm: 1 },
-            VLoad { dst: 0, base: 0, stride: 1 },
+            VLoad {
+                dst: 0,
+                base: 0,
+                stride: 1,
+            },
         ]);
         assert!(matches!(err, Err(IsaError::MemOutOfBounds { .. })));
     }
@@ -492,10 +566,18 @@ mod tests {
             m.run(&[
                 SLoadImm { dst: 0, imm: 64 },
                 SLoadImm { dst: 1, imm: 1 },
-                VLoad { dst: 1, base: 0, stride: 1 },
+                VLoad {
+                    dst: 1,
+                    base: 0,
+                    stride: 1,
+                },
                 VIota { dst: 0 },
                 SLoadImm { dst: 2, imm: 0 },
-                VScatter { src: 0, base: 2, idx: 1 },
+                VScatter {
+                    src: 0,
+                    base: 2,
+                    idx: 1,
+                },
             ])
             .unwrap();
             m.clocks()

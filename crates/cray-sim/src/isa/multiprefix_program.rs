@@ -83,7 +83,9 @@ const S_OFF: u8 = 4; // iota offset
 /// Strips of at most [`VLEN`] covering `start..end` (contiguous index
 /// space). Yields `(strip_start, strip_len)`.
 fn strips(start: usize, end: usize) -> impl Iterator<Item = (usize, usize)> {
-    (start..end).step_by(VLEN).map(move |s| (s, (end - s).min(VLEN)))
+    (start..end)
+        .step_by(VLEN)
+        .map(move |s| (s, (end - s).min(VLEN)))
 }
 
 /// Strips over a strided column: element indices `c, c+w, c+2w, …< n`,
@@ -97,7 +99,7 @@ fn col_strips(c: usize, w: usize, n: usize) -> Vec<(usize, usize)> {
 }
 
 fn set_vl(p: &mut Vec<Inst>, len: usize) {
-    debug_assert!(len >= 1 && len <= VLEN);
+    debug_assert!((1..=VLEN).contains(&len));
     p.push(Inst::SetVl { len: len as u8 });
 }
 
@@ -121,7 +123,10 @@ pub fn emit_multiprefix_variant(layout: &Layout, reduce_only: bool) -> (Vec<Inst
     let slots = layout.slots();
     let mut p: Vec<Inst> = Vec::new();
 
-    p.push(SLoadImm { dst: S_ZERO, imm: 0 });
+    p.push(SLoadImm {
+        dst: S_ZERO,
+        imm: 0,
+    });
 
     // ---- INIT: clear the three temp blocks; point buckets at themselves
     // and elements at their buckets. ---------------------------------------
@@ -130,29 +135,73 @@ pub fn emit_multiprefix_variant(layout: &Layout, reduce_only: bool) -> (Vec<Inst
         for (s0, len) in strips(0, slots) {
             set_vl(&mut p, len);
             p.push(VBroadcast { dst: 3, s: S_ZERO });
-            p.push(SLoadImm { dst: S_BASE, imm: region + s0 as i64 });
-            p.push(SLoadImm { dst: S_STRIDE, imm: 1 });
-            p.push(VStore { src: 3, base: S_BASE, stride: S_STRIDE });
+            p.push(SLoadImm {
+                dst: S_BASE,
+                imm: region + s0 as i64,
+            });
+            p.push(SLoadImm {
+                dst: S_STRIDE,
+                imm: 1,
+            });
+            p.push(VStore {
+                src: 3,
+                base: S_BASE,
+                stride: S_STRIDE,
+            });
         }
     }
     // Buckets: spine[b] = b.
     for (s0, len) in strips(0, m) {
         set_vl(&mut p, len);
         p.push(VIota { dst: 0 });
-        p.push(SLoadImm { dst: S_OFF, imm: s0 as i64 });
-        p.push(VAddS { dst: 0, a: 0, s: S_OFF });
-        p.push(SLoadImm { dst: S_BASE, imm: map.a_spine + s0 as i64 });
-        p.push(SLoadImm { dst: S_STRIDE, imm: 1 });
-        p.push(VStore { src: 0, base: S_BASE, stride: S_STRIDE });
+        p.push(SLoadImm {
+            dst: S_OFF,
+            imm: s0 as i64,
+        });
+        p.push(VAddS {
+            dst: 0,
+            a: 0,
+            s: S_OFF,
+        });
+        p.push(SLoadImm {
+            dst: S_BASE,
+            imm: map.a_spine + s0 as i64,
+        });
+        p.push(SLoadImm {
+            dst: S_STRIDE,
+            imm: 1,
+        });
+        p.push(VStore {
+            src: 0,
+            base: S_BASE,
+            stride: S_STRIDE,
+        });
     }
     // Elements: spine[m+i] = label[i].
     for (s0, len) in strips(0, n) {
         set_vl(&mut p, len);
-        p.push(SLoadImm { dst: S_BASE, imm: map.a_label + s0 as i64 });
-        p.push(SLoadImm { dst: S_STRIDE, imm: 1 });
-        p.push(VLoad { dst: 0, base: S_BASE, stride: S_STRIDE });
-        p.push(SLoadImm { dst: S_BASE, imm: map.a_spine + (m + s0) as i64 });
-        p.push(VStore { src: 0, base: S_BASE, stride: S_STRIDE });
+        p.push(SLoadImm {
+            dst: S_BASE,
+            imm: map.a_label + s0 as i64,
+        });
+        p.push(SLoadImm {
+            dst: S_STRIDE,
+            imm: 1,
+        });
+        p.push(VLoad {
+            dst: 0,
+            base: S_BASE,
+            stride: S_STRIDE,
+        });
+        p.push(SLoadImm {
+            dst: S_BASE,
+            imm: map.a_spine + (m + s0) as i64,
+        });
+        p.push(VStore {
+            src: 0,
+            base: S_BASE,
+            stride: S_STRIDE,
+        });
     }
 
     // ---- Phase 1: SPINETREE, rows top to bottom. -------------------------
@@ -161,25 +210,73 @@ pub fn emit_multiprefix_variant(layout: &Layout, reduce_only: bool) -> (Vec<Inst
         // Fission pass A (whole row): temp[i].spine = bucket[label[i]].spine
         for (s0, len) in strips(row.start, row.end) {
             set_vl(&mut p, len);
-            p.push(SLoadImm { dst: S_BASE, imm: map.a_label + s0 as i64 });
-            p.push(SLoadImm { dst: S_STRIDE, imm: 1 });
-            p.push(VLoad { dst: 0, base: S_BASE, stride: S_STRIDE }); // labels
-            p.push(SLoadImm { dst: S_REGION, imm: map.a_spine });
-            p.push(VGather { dst: 1, base: S_REGION, idx: 0 }); // bucket ptr
-            p.push(SLoadImm { dst: S_BASE, imm: map.a_spine + (m + s0) as i64 });
-            p.push(VStore { src: 1, base: S_BASE, stride: S_STRIDE });
+            p.push(SLoadImm {
+                dst: S_BASE,
+                imm: map.a_label + s0 as i64,
+            });
+            p.push(SLoadImm {
+                dst: S_STRIDE,
+                imm: 1,
+            });
+            p.push(VLoad {
+                dst: 0,
+                base: S_BASE,
+                stride: S_STRIDE,
+            }); // labels
+            p.push(SLoadImm {
+                dst: S_REGION,
+                imm: map.a_spine,
+            });
+            p.push(VGather {
+                dst: 1,
+                base: S_REGION,
+                idx: 0,
+            }); // bucket ptr
+            p.push(SLoadImm {
+                dst: S_BASE,
+                imm: map.a_spine + (m + s0) as i64,
+            });
+            p.push(VStore {
+                src: 1,
+                base: S_BASE,
+                stride: S_STRIDE,
+            });
         }
         // Fission pass B (whole row): bucket[label[i]].spine = &temp[i]
         for (s0, len) in strips(row.start, row.end) {
             set_vl(&mut p, len);
-            p.push(SLoadImm { dst: S_BASE, imm: map.a_label + s0 as i64 });
-            p.push(SLoadImm { dst: S_STRIDE, imm: 1 });
-            p.push(VLoad { dst: 0, base: S_BASE, stride: S_STRIDE }); // labels
+            p.push(SLoadImm {
+                dst: S_BASE,
+                imm: map.a_label + s0 as i64,
+            });
+            p.push(SLoadImm {
+                dst: S_STRIDE,
+                imm: 1,
+            });
+            p.push(VLoad {
+                dst: 0,
+                base: S_BASE,
+                stride: S_STRIDE,
+            }); // labels
             p.push(VIota { dst: 2 });
-            p.push(SLoadImm { dst: S_OFF, imm: (m + s0) as i64 });
-            p.push(VAddS { dst: 2, a: 2, s: S_OFF }); // slot addresses m+i
-            p.push(SLoadImm { dst: S_REGION, imm: map.a_spine });
-            p.push(VScatter { src: 2, base: S_REGION, idx: 0 }); // ARB race
+            p.push(SLoadImm {
+                dst: S_OFF,
+                imm: (m + s0) as i64,
+            });
+            p.push(VAddS {
+                dst: 2,
+                a: 2,
+                s: S_OFF,
+            }); // slot addresses m+i
+            p.push(SLoadImm {
+                dst: S_REGION,
+                imm: map.a_spine,
+            });
+            p.push(VScatter {
+                src: 2,
+                base: S_REGION,
+                idx: 0,
+            }); // ARB race
         }
     }
 
@@ -187,20 +284,55 @@ pub fn emit_multiprefix_variant(layout: &Layout, reduce_only: bool) -> (Vec<Inst
     for c in layout.cols_left_right() {
         for (first, lanes) in col_strips(c, w, n) {
             set_vl(&mut p, lanes);
-            p.push(SLoadImm { dst: S_STRIDE, imm: w as i64 });
-            p.push(SLoadImm { dst: S_BASE, imm: map.a_spine + (m + first) as i64 });
-            p.push(VLoad { dst: 0, base: S_BASE, stride: S_STRIDE }); // parents
-            p.push(SLoadImm { dst: S_REGION, imm: map.a_rowsum });
-            p.push(VGather { dst: 1, base: S_REGION, idx: 0 }); // rowsum[p]
-            p.push(SLoadImm { dst: S_BASE, imm: map.a_value + first as i64 });
-            p.push(VLoad { dst: 2, base: S_BASE, stride: S_STRIDE }); // values
+            p.push(SLoadImm {
+                dst: S_STRIDE,
+                imm: w as i64,
+            });
+            p.push(SLoadImm {
+                dst: S_BASE,
+                imm: map.a_spine + (m + first) as i64,
+            });
+            p.push(VLoad {
+                dst: 0,
+                base: S_BASE,
+                stride: S_STRIDE,
+            }); // parents
+            p.push(SLoadImm {
+                dst: S_REGION,
+                imm: map.a_rowsum,
+            });
+            p.push(VGather {
+                dst: 1,
+                base: S_REGION,
+                idx: 0,
+            }); // rowsum[p]
+            p.push(SLoadImm {
+                dst: S_BASE,
+                imm: map.a_value + first as i64,
+            });
+            p.push(VLoad {
+                dst: 2,
+                base: S_BASE,
+                stride: S_STRIDE,
+            }); // values
             p.push(VAddV { dst: 1, a: 1, b: 2 });
-            p.push(VScatter { src: 1, base: S_REGION, idx: 0 }); // exclusive by Thm 1
-            // has_child[p] = 1
+            p.push(VScatter {
+                src: 1,
+                base: S_REGION,
+                idx: 0,
+            }); // exclusive by Thm 1
+                // has_child[p] = 1
             p.push(SLoadImm { dst: S_OFF, imm: 1 });
             p.push(VBroadcast { dst: 3, s: S_OFF });
-            p.push(SLoadImm { dst: S_REGION, imm: map.a_haschild });
-            p.push(VScatter { src: 3, base: S_REGION, idx: 0 });
+            p.push(SLoadImm {
+                dst: S_REGION,
+                imm: map.a_haschild,
+            });
+            p.push(VScatter {
+                src: 3,
+                base: S_REGION,
+                idx: 0,
+            });
         }
     }
 
@@ -209,33 +341,95 @@ pub fn emit_multiprefix_variant(layout: &Layout, reduce_only: bool) -> (Vec<Inst
         let row = layout.row_elements(r);
         for (s0, len) in strips(row.start, row.end) {
             set_vl(&mut p, len);
-            p.push(SLoadImm { dst: S_STRIDE, imm: 1 });
-            p.push(SLoadImm { dst: S_BASE, imm: map.a_haschild + (m + s0) as i64 });
-            p.push(VLoad { dst: 0, base: S_BASE, stride: S_STRIDE }); // flags
+            p.push(SLoadImm {
+                dst: S_STRIDE,
+                imm: 1,
+            });
+            p.push(SLoadImm {
+                dst: S_BASE,
+                imm: map.a_haschild + (m + s0) as i64,
+            });
+            p.push(VLoad {
+                dst: 0,
+                base: S_BASE,
+                stride: S_STRIDE,
+            }); // flags
             p.push(VCmpNeS { a: 0, s: S_ZERO }); // mask = spine elements
-            p.push(SLoadImm { dst: S_BASE, imm: map.a_spinesum + (m + s0) as i64 });
-            p.push(VLoad { dst: 1, base: S_BASE, stride: S_STRIDE });
-            p.push(SLoadImm { dst: S_BASE, imm: map.a_rowsum + (m + s0) as i64 });
-            p.push(VLoad { dst: 2, base: S_BASE, stride: S_STRIDE });
+            p.push(SLoadImm {
+                dst: S_BASE,
+                imm: map.a_spinesum + (m + s0) as i64,
+            });
+            p.push(VLoad {
+                dst: 1,
+                base: S_BASE,
+                stride: S_STRIDE,
+            });
+            p.push(SLoadImm {
+                dst: S_BASE,
+                imm: map.a_rowsum + (m + s0) as i64,
+            });
+            p.push(VLoad {
+                dst: 2,
+                base: S_BASE,
+                stride: S_STRIDE,
+            });
             p.push(VAddV { dst: 1, a: 1, b: 2 }); // spinesum + rowsum
-            p.push(SLoadImm { dst: S_BASE, imm: map.a_spine + (m + s0) as i64 });
-            p.push(VLoad { dst: 3, base: S_BASE, stride: S_STRIDE }); // parents
-            p.push(SLoadImm { dst: S_REGION, imm: map.a_spinesum });
-            p.push(VScatterMasked { src: 1, base: S_REGION, idx: 3 });
+            p.push(SLoadImm {
+                dst: S_BASE,
+                imm: map.a_spine + (m + s0) as i64,
+            });
+            p.push(VLoad {
+                dst: 3,
+                base: S_BASE,
+                stride: S_STRIDE,
+            }); // parents
+            p.push(SLoadImm {
+                dst: S_REGION,
+                imm: map.a_spinesum,
+            });
+            p.push(VScatterMasked {
+                src: 1,
+                base: S_REGION,
+                idx: 3,
+            });
         }
     }
 
     // Reductions: red[b] = spinesum[b] + rowsum[b] (§4.2's vector add).
     for (s0, len) in strips(0, m) {
         set_vl(&mut p, len);
-        p.push(SLoadImm { dst: S_STRIDE, imm: 1 });
-        p.push(SLoadImm { dst: S_BASE, imm: map.a_spinesum + s0 as i64 });
-        p.push(VLoad { dst: 0, base: S_BASE, stride: S_STRIDE });
-        p.push(SLoadImm { dst: S_BASE, imm: map.a_rowsum + s0 as i64 });
-        p.push(VLoad { dst: 1, base: S_BASE, stride: S_STRIDE });
+        p.push(SLoadImm {
+            dst: S_STRIDE,
+            imm: 1,
+        });
+        p.push(SLoadImm {
+            dst: S_BASE,
+            imm: map.a_spinesum + s0 as i64,
+        });
+        p.push(VLoad {
+            dst: 0,
+            base: S_BASE,
+            stride: S_STRIDE,
+        });
+        p.push(SLoadImm {
+            dst: S_BASE,
+            imm: map.a_rowsum + s0 as i64,
+        });
+        p.push(VLoad {
+            dst: 1,
+            base: S_BASE,
+            stride: S_STRIDE,
+        });
         p.push(VAddV { dst: 0, a: 0, b: 1 });
-        p.push(SLoadImm { dst: S_BASE, imm: map.a_red + s0 as i64 });
-        p.push(VStore { src: 0, base: S_BASE, stride: S_STRIDE });
+        p.push(SLoadImm {
+            dst: S_BASE,
+            imm: map.a_red + s0 as i64,
+        });
+        p.push(VStore {
+            src: 0,
+            base: S_BASE,
+            stride: S_STRIDE,
+        });
     }
 
     // ---- Phase 4: PREFIXSUM (MULTISUMS), columns left to right. ----------
@@ -245,17 +439,52 @@ pub fn emit_multiprefix_variant(layout: &Layout, reduce_only: bool) -> (Vec<Inst
     for c in layout.cols_left_right() {
         for (first, lanes) in col_strips(c, w, n) {
             set_vl(&mut p, lanes);
-            p.push(SLoadImm { dst: S_STRIDE, imm: w as i64 });
-            p.push(SLoadImm { dst: S_BASE, imm: map.a_spine + (m + first) as i64 });
-            p.push(VLoad { dst: 0, base: S_BASE, stride: S_STRIDE }); // parents
-            p.push(SLoadImm { dst: S_REGION, imm: map.a_spinesum });
-            p.push(VGather { dst: 1, base: S_REGION, idx: 0 }); // prefix
-            p.push(SLoadImm { dst: S_BASE, imm: map.a_multi + first as i64 });
-            p.push(VStore { src: 1, base: S_BASE, stride: S_STRIDE });
-            p.push(SLoadImm { dst: S_BASE, imm: map.a_value + first as i64 });
-            p.push(VLoad { dst: 2, base: S_BASE, stride: S_STRIDE });
+            p.push(SLoadImm {
+                dst: S_STRIDE,
+                imm: w as i64,
+            });
+            p.push(SLoadImm {
+                dst: S_BASE,
+                imm: map.a_spine + (m + first) as i64,
+            });
+            p.push(VLoad {
+                dst: 0,
+                base: S_BASE,
+                stride: S_STRIDE,
+            }); // parents
+            p.push(SLoadImm {
+                dst: S_REGION,
+                imm: map.a_spinesum,
+            });
+            p.push(VGather {
+                dst: 1,
+                base: S_REGION,
+                idx: 0,
+            }); // prefix
+            p.push(SLoadImm {
+                dst: S_BASE,
+                imm: map.a_multi + first as i64,
+            });
+            p.push(VStore {
+                src: 1,
+                base: S_BASE,
+                stride: S_STRIDE,
+            });
+            p.push(SLoadImm {
+                dst: S_BASE,
+                imm: map.a_value + first as i64,
+            });
+            p.push(VLoad {
+                dst: 2,
+                base: S_BASE,
+                stride: S_STRIDE,
+            });
             p.push(VAddV { dst: 1, a: 1, b: 2 });
-            p.push(VScatter { src: 1, base: S_REGION, idx: 0 });
+            p.push(VScatter {
+                src: 1,
+                base: S_REGION,
+                idx: 0,
+            });
         }
     }
 
@@ -312,7 +541,9 @@ mod tests {
         let mut state = seed | 1;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as usize) % m
             })
             .collect()
@@ -378,7 +609,10 @@ mod tests {
             let layout = Layout::with_row_len(n, m, row_len);
             let run = run_multiprefix_isa(&values, &labels, m, layout).unwrap();
             assert_eq!(run.output.sums, expect.sums, "row_len {row_len}");
-            assert_eq!(run.output.reductions, expect.reductions, "row_len {row_len}");
+            assert_eq!(
+                run.output.reductions, expect.reductions,
+                "row_len {row_len}"
+            );
         }
     }
 
@@ -444,21 +678,10 @@ mod stride_hygiene_tests {
         let expect = multiprefix_serial(&values, &labels, m, Plus);
 
         // 64 = the bank count: worst possible column stride.
-        let aligned = run_multiprefix_isa(
-            &values,
-            &labels,
-            m,
-            Layout::with_row_len(n, m, 64),
-        )
-        .unwrap();
+        let aligned =
+            run_multiprefix_isa(&values, &labels, m, Layout::with_row_len(n, m, 64)).unwrap();
         // 65: odd, coprime with the banks — the hygiene the paper applies.
-        let odd = run_multiprefix_isa(
-            &values,
-            &labels,
-            m,
-            Layout::with_row_len(n, m, 65),
-        )
-        .unwrap();
+        let odd = run_multiprefix_isa(&values, &labels, m, Layout::with_row_len(n, m, 65)).unwrap();
 
         assert_eq!(aligned.output.sums, expect.sums);
         assert_eq!(odd.output.sums, expect.sums);

@@ -46,13 +46,21 @@ pub fn emit_rank_sort(layout: &Layout) -> (Vec<Inst>, SortMap) {
     let (mut p, mp) = emit_multiprefix(layout);
     let a_cum = mp.cells as i64;
     let a_rank = a_cum + m as i64;
-    let map = SortMap { mp, a_cum, a_rank, cells: (a_rank + n as i64) as usize };
+    let map = SortMap {
+        mp,
+        a_cum,
+        a_rank,
+        cells: (a_rank + n as i64) as usize,
+    };
 
     // ---- Section 2: scalar exclusive scan of the bucket counts ----------
     // s0 = running total, s1 = read cursor (a_red), s2 = write cursor
     // (a_cum), s5 = constant 1, s6 = scratch.
     p.push(SLoadImm { dst: 0, imm: 0 });
-    p.push(SLoadImm { dst: 1, imm: mp.a_red });
+    p.push(SLoadImm {
+        dst: 1,
+        imm: mp.a_red,
+    });
     p.push(SLoadImm { dst: 2, imm: a_cum });
     p.push(SLoadImm { dst: 5, imm: 1 });
     for _ in 0..m {
@@ -69,15 +77,40 @@ pub fn emit_rank_sort(layout: &Layout) -> (Vec<Inst>, SortMap) {
         let len = (n - s0).min(VLEN);
         p.push(SetVl { len: len as u8 });
         p.push(SLoadImm { dst: 1, imm: 1 });
-        p.push(SLoadImm { dst: 0, imm: mp.a_label + s0 as i64 });
-        p.push(VLoad { dst: 0, base: 0, stride: 1 }); // keys
+        p.push(SLoadImm {
+            dst: 0,
+            imm: mp.a_label + s0 as i64,
+        });
+        p.push(VLoad {
+            dst: 0,
+            base: 0,
+            stride: 1,
+        }); // keys
         p.push(SLoadImm { dst: 2, imm: a_cum });
-        p.push(VGather { dst: 1, base: 2, idx: 0 }); // cum[key]
-        p.push(SLoadImm { dst: 0, imm: mp.a_multi + s0 as i64 });
-        p.push(VLoad { dst: 2, base: 0, stride: 1 }); // preceding-equal
+        p.push(VGather {
+            dst: 1,
+            base: 2,
+            idx: 0,
+        }); // cum[key]
+        p.push(SLoadImm {
+            dst: 0,
+            imm: mp.a_multi + s0 as i64,
+        });
+        p.push(VLoad {
+            dst: 2,
+            base: 0,
+            stride: 1,
+        }); // preceding-equal
         p.push(VAddV { dst: 1, a: 1, b: 2 });
-        p.push(SLoadImm { dst: 0, imm: a_rank + s0 as i64 });
-        p.push(VStore { src: 1, base: 0, stride: 1 });
+        p.push(SLoadImm {
+            dst: 0,
+            imm: a_rank + s0 as i64,
+        });
+        p.push(VStore {
+            src: 1,
+            base: 0,
+            stride: 1,
+        });
     }
 
     (p, map)
@@ -143,7 +176,9 @@ mod tests {
         let mut state = seed | 1;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as usize) % m
             })
             .collect()

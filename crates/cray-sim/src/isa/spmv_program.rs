@@ -47,7 +47,13 @@ pub fn emit_spmv(layout: &Layout) -> (Vec<Inst>, SpmvMap) {
     let a_x = mp.cells as i64;
     let a_vals = a_x + order as i64;
     let a_cols = a_vals + nnz as i64;
-    let map = SpmvMap { mp, a_x, a_vals, a_cols, cells: (a_cols + nnz as i64) as usize };
+    let map = SpmvMap {
+        mp,
+        a_x,
+        a_vals,
+        a_cols,
+        cells: (a_cols + nnz as i64) as usize,
+    };
 
     let mut p: Vec<Inst> = Vec::new();
     // ---- Product pardo: product[i] = vals[i] * x[cols[i]] ---------------
@@ -55,15 +61,43 @@ pub fn emit_spmv(layout: &Layout) -> (Vec<Inst>, SpmvMap) {
         let len = (nnz - s0).min(VLEN);
         p.push(SetVl { len: len as u8 });
         p.push(SLoadImm { dst: 1, imm: 1 });
-        p.push(SLoadImm { dst: 0, imm: map.a_cols + s0 as i64 });
-        p.push(VLoad { dst: 0, base: 0, stride: 1 }); // cols
-        p.push(SLoadImm { dst: 2, imm: map.a_x });
-        p.push(VGather { dst: 1, base: 2, idx: 0 }); // x[col]
-        p.push(SLoadImm { dst: 0, imm: map.a_vals + s0 as i64 });
-        p.push(VLoad { dst: 2, base: 0, stride: 1 }); // vals
+        p.push(SLoadImm {
+            dst: 0,
+            imm: map.a_cols + s0 as i64,
+        });
+        p.push(VLoad {
+            dst: 0,
+            base: 0,
+            stride: 1,
+        }); // cols
+        p.push(SLoadImm {
+            dst: 2,
+            imm: map.a_x,
+        });
+        p.push(VGather {
+            dst: 1,
+            base: 2,
+            idx: 0,
+        }); // x[col]
+        p.push(SLoadImm {
+            dst: 0,
+            imm: map.a_vals + s0 as i64,
+        });
+        p.push(VLoad {
+            dst: 2,
+            base: 0,
+            stride: 1,
+        }); // vals
         p.push(VMulV { dst: 1, a: 1, b: 2 });
-        p.push(SLoadImm { dst: 0, imm: mp.a_value + s0 as i64 });
-        p.push(VStore { src: 1, base: 0, stride: 1 }); // products
+        p.push(SLoadImm {
+            dst: 0,
+            imm: mp.a_value + s0 as i64,
+        });
+        p.push(VStore {
+            src: 1,
+            base: 0,
+            stride: 1,
+        }); // products
     }
     // ---- Multireduce keyed by row index ----------------------------------
     p.extend(mp_program);
@@ -105,14 +139,24 @@ pub fn run_spmv_isa(
     }
     machine.run(&program)?;
     let y = machine.mem[map.mp.a_red as usize..map.mp.a_red as usize + order].to_vec();
-    Ok(IsaSpmv { y, clocks: machine.clocks(), instructions: machine.instructions_retired() })
+    Ok(IsaSpmv {
+        y,
+        clocks: machine.clocks(),
+        instructions: machine.instructions_retired(),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn dense_oracle(order: usize, rows: &[usize], cols: &[usize], vals: &[i64], x: &[i64]) -> Vec<i64> {
+    fn dense_oracle(
+        order: usize,
+        rows: &[usize],
+        cols: &[usize],
+        vals: &[i64],
+        x: &[i64],
+    ) -> Vec<i64> {
         let mut y = vec![0i64; order];
         for k in 0..rows.len() {
             y[rows[k]] += vals[k] * x[cols[k]];
@@ -139,7 +183,9 @@ mod tests {
         let nnz = 700;
         let mut state = 77u64;
         let mut step = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         let rows: Vec<usize> = (0..nnz).map(|_| step() % order).collect();
@@ -162,6 +208,9 @@ mod tests {
         let layout = Layout::square(1000, 100);
         let (full, _) = emit_multiprefix_variant(&layout, false);
         let (reduce, _) = emit_multiprefix_variant(&layout, true);
-        assert!(reduce.len() < full.len(), "§4.2: multireduce must skip a phase");
+        assert!(
+            reduce.len() < full.len(),
+            "§4.2: multireduce must skip a phase"
+        );
     }
 }

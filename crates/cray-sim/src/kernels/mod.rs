@@ -5,4 +5,6 @@ pub mod multiprefix;
 pub mod sort;
 pub mod spmv;
 
-pub use multiprefix::{multiprefix_timed, multiprefix_timed_with_layout, MpVariant, PhaseClocks, TimedMultiprefix};
+pub use multiprefix::{
+    multiprefix_timed, multiprefix_timed_with_layout, MpVariant, PhaseClocks, TimedMultiprefix,
+};

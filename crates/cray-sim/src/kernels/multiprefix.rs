@@ -29,11 +29,20 @@ pub struct MpVariant {
 
 impl MpVariant {
     /// The full multiprefix with data-dependent values.
-    pub const FULL: MpVariant = MpVariant { const_one_values: false, reduce_only: false };
+    pub const FULL: MpVariant = MpVariant {
+        const_one_values: false,
+        reduce_only: false,
+    };
     /// Multireduce with data-dependent values.
-    pub const REDUCE: MpVariant = MpVariant { const_one_values: false, reduce_only: true };
+    pub const REDUCE: MpVariant = MpVariant {
+        const_one_values: false,
+        reduce_only: true,
+    };
     /// Full multiprefix over constant-1 values (sorting's first call).
-    pub const FULL_CONST1: MpVariant = MpVariant { const_one_values: true, reduce_only: false };
+    pub const FULL_CONST1: MpVariant = MpVariant {
+        const_one_values: true,
+        reduce_only: false,
+    };
 }
 
 /// Per-phase simulated clocks.
@@ -147,7 +156,11 @@ pub fn multiprefix_timed_op<T: Element, O: CombineOp<T>>(
 
     // ---- ROWSUM ----------------------------------------------------------
     let t0 = machine.clocks();
-    let rowsum_params = if variant.const_one_values { book.rowsum_const1 } else { book.rowsum };
+    let rowsum_params = if variant.const_one_values {
+        book.rowsum_const1
+    } else {
+        book.rowsum
+    };
     for c in layout.cols_left_right() {
         let col: Vec<usize> = layout.col_elements(c).collect();
         machine.charge_loop(rowsum_params.te, rowsum_params.n_half, col.len());
@@ -180,7 +193,11 @@ pub fn multiprefix_timed_op<T: Element, O: CombineOp<T>>(
         clocks.extract = machine.clocks() - t0;
     } else {
         let t0 = machine.clocks();
-        let pf = if variant.const_one_values { book.prefixsum_const1 } else { book.prefixsum };
+        let pf = if variant.const_one_values {
+            book.prefixsum_const1
+        } else {
+            book.prefixsum
+        };
         for c in layout.cols_left_right() {
             let col: Vec<usize> = layout.col_elements(c).collect();
             machine.charge_loop(pf.te, pf.n_half, col.len());
@@ -206,7 +223,9 @@ mod tests {
         let mut state = seed | 1;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as usize) % m
             })
             .collect()
@@ -219,7 +238,14 @@ mod tests {
         let values: Vec<i64> = (0..n as i64).map(|i| i % 97 - 48).collect();
         let labels = lcg_labels(n, m, 7);
         let mut machine = VectorMachine::ymp();
-        let run = multiprefix_timed(&mut machine, &CostBook::default(), &values, &labels, m, MpVariant::FULL);
+        let run = multiprefix_timed(
+            &mut machine,
+            &CostBook::default(),
+            &values,
+            &labels,
+            m,
+            MpVariant::FULL,
+        );
         let expect = multiprefix_serial(&values, &labels, m, Plus);
         assert_eq!(run.output.sums, expect.sums);
         assert_eq!(run.output.reductions, expect.reductions);
@@ -237,7 +263,14 @@ mod tests {
         let values = vec![3i64; n];
         let labels = lcg_labels(n, m, 11);
         let mut machine = VectorMachine::ymp();
-        let run = multiprefix_timed(&mut machine, &CostBook::default(), &values, &labels, m, MpVariant::FULL);
+        let run = multiprefix_timed(
+            &mut machine,
+            &CostBook::default(),
+            &values,
+            &labels,
+            m,
+            MpVariant::FULL,
+        );
         let per_elt = run.clocks.per_element(n);
         assert!(
             (18.0..32.0).contains(&per_elt),
@@ -253,11 +286,24 @@ mod tests {
         let values = vec![1i64; n];
         let labels = vec![0usize; n];
         let mut machine = VectorMachine::ymp();
-        let run = multiprefix_timed(&mut machine, &CostBook::default(), &values, &labels, 1, MpVariant::FULL);
+        let run = multiprefix_timed(
+            &mut machine,
+            &CostBook::default(),
+            &values,
+            &labels,
+            1,
+            MpVariant::FULL,
+        );
         let st = run.clocks.spinetree / n as f64;
         let ss = run.clocks.spinesum / n as f64;
-        assert!((10.0..15.0).contains(&st), "heavy-load SPINETREE = {st:.1} clk/elt");
-        assert!(ss < 3.5, "heavy-load SPINESUM = {ss:.1} clk/elt should be tiny");
+        assert!(
+            (10.0..15.0).contains(&st),
+            "heavy-load SPINETREE = {st:.1} clk/elt"
+        );
+        assert!(
+            ss < 3.5,
+            "heavy-load SPINESUM = {ss:.1} clk/elt should be tiny"
+        );
     }
 
     #[test]
@@ -268,7 +314,14 @@ mod tests {
         let values = vec![1i64; n];
         let labels = lcg_labels(n, n, 13); // ~one element per bucket
         let mut machine = VectorMachine::ymp();
-        let run = multiprefix_timed(&mut machine, &CostBook::default(), &values, &labels, n, MpVariant::FULL);
+        let run = multiprefix_timed(
+            &mut machine,
+            &CostBook::default(),
+            &values,
+            &labels,
+            n,
+            MpVariant::FULL,
+        );
         let ss = run.clocks.spinesum / n as f64;
         assert!(
             (7.5..11.0).contains(&ss),
@@ -286,10 +339,20 @@ mod tests {
         let values = vec![1i64; n];
         let mut per_elt = Vec::new();
         for m in [1usize, n / 256, n / 16, n] {
-            let labels = if m == 1 { vec![0usize; n] } else { lcg_labels(n, m, 3) };
+            let labels = if m == 1 {
+                vec![0usize; n]
+            } else {
+                lcg_labels(n, m, 3)
+            };
             let mut machine = VectorMachine::ymp();
-            let run =
-                multiprefix_timed(&mut machine, &CostBook::default(), &values, &labels, m, MpVariant::FULL);
+            let run = multiprefix_timed(
+                &mut machine,
+                &CostBook::default(),
+                &values,
+                &labels,
+                m,
+                MpVariant::FULL,
+            );
             per_elt.push(run.clocks.per_element(n));
         }
         let min = per_elt.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -350,10 +413,26 @@ mod generic_op_tests {
         let layout = Layout::square(n, m);
         let book = CostBook::default();
         let mut machine = VectorMachine::ymp();
-        let mx = multiprefix_timed_op(&mut machine, &book, &values, &labels, layout, MpVariant::FULL, Max);
+        let mx = multiprefix_timed_op(
+            &mut machine,
+            &book,
+            &values,
+            &labels,
+            layout,
+            MpVariant::FULL,
+            Max,
+        );
         assert_eq!(mx.output, multiprefix_serial(&values, &labels, m, Max));
         let mut machine = VectorMachine::ymp();
-        let mn = multiprefix_timed_op(&mut machine, &book, &values, &labels, layout, MpVariant::FULL, Min);
+        let mn = multiprefix_timed_op(
+            &mut machine,
+            &book,
+            &values,
+            &labels,
+            layout,
+            MpVariant::FULL,
+            Min,
+        );
         assert_eq!(mn.output, multiprefix_serial(&values, &labels, m, Min));
     }
 
@@ -367,13 +446,35 @@ mod generic_op_tests {
 
         let pairs: Vec<(i32, i32)> = (0..n as i32).map(|i| (i, i)).collect();
         let mut machine = VectorMachine::ymp();
-        let run = multiprefix_timed_op(&mut machine, &book, &pairs, &labels, layout, MpVariant::FULL, FirstLast);
-        assert_eq!(run.output, multiprefix_serial(&pairs, &labels, m, FirstLast));
+        let run = multiprefix_timed_op(
+            &mut machine,
+            &book,
+            &pairs,
+            &labels,
+            layout,
+            MpVariant::FULL,
+            FirstLast,
+        );
+        assert_eq!(
+            run.output,
+            multiprefix_serial(&pairs, &labels, m, FirstLast)
+        );
 
         let floats: Vec<f64> = (0..n).map(|i| i as f64 * 0.25).collect();
         let mut machine = VectorMachine::ymp();
-        let run = multiprefix_timed_op(&mut machine, &book, &floats, &labels, layout, MpVariant::FULL, Plus);
-        assert_eq!(run.output.sums, multiprefix_serial(&floats, &labels, m, Plus).sums);
+        let run = multiprefix_timed_op(
+            &mut machine,
+            &book,
+            &floats,
+            &labels,
+            layout,
+            MpVariant::FULL,
+            Plus,
+        );
+        assert_eq!(
+            run.output.sums,
+            multiprefix_serial(&floats, &labels, m, Plus).sums
+        );
     }
 
     #[test]
@@ -385,9 +486,29 @@ mod generic_op_tests {
         let layout = Layout::square(n, m);
         let book = CostBook::default();
         let mut m1 = VectorMachine::ymp();
-        multiprefix_timed_op(&mut m1, &book, &values, &labels, layout, MpVariant::FULL, Plus);
+        multiprefix_timed_op(
+            &mut m1,
+            &book,
+            &values,
+            &labels,
+            layout,
+            MpVariant::FULL,
+            Plus,
+        );
         let mut m2 = VectorMachine::ymp();
-        multiprefix_timed_op(&mut m2, &book, &values, &labels, layout, MpVariant::FULL, Max);
-        assert_eq!(m1.clocks(), m2.clocks(), "timing must not depend on the operator");
+        multiprefix_timed_op(
+            &mut m2,
+            &book,
+            &values,
+            &labels,
+            layout,
+            MpVariant::FULL,
+            Max,
+        );
+        assert_eq!(
+            m1.clocks(),
+            m2.clocks(),
+            "timing must not depend on the operator"
+        );
     }
 }

@@ -70,7 +70,10 @@ pub fn mp_rank_sort_timed(
         .map(|(&pre, &k)| (pre + cumulative[k]) as usize)
         .collect();
 
-    TimedRankSort { ranks, clocks: machine.clocks() - start }
+    TimedRankSort {
+        ranks,
+        clocks: machine.clocks() - start,
+    }
 }
 
 /// Clock cost of the "Partially Vectorized FORTRAN Bucket Sort" baseline
@@ -98,7 +101,9 @@ mod tests {
         let mut state = seed | 1;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as usize) % m
             })
             .collect()
@@ -148,7 +153,10 @@ mod tests {
         let mut mc = VectorMachine::ymp();
         let cri = cri_sort_clocks(&mut mc, &book, n);
         assert!(mp < cri, "MP ({mp:.0}) should edge out CRI ({cri:.0})");
-        assert!(cri < bucket, "CRI ({cri:.0}) should beat bucket ({bucket:.0})");
+        assert!(
+            cri < bucket,
+            "CRI ({cri:.0}) should beat bucket ({bucket:.0})"
+        );
     }
 
     #[test]

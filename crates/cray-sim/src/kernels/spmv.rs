@@ -38,7 +38,11 @@ impl SpmvClocks {
 
 /// CSR evaluation: one reduction loop per row. `row_lengths[r]` is the
 /// nonzero count of row `r`; empty rows still pay the loop prologue.
-pub fn csr_clocks(machine: &mut VectorMachine, book: &CostBook, row_lengths: &[usize]) -> SpmvClocks {
+pub fn csr_clocks(
+    machine: &mut VectorMachine,
+    book: &CostBook,
+    row_lengths: &[usize],
+) -> SpmvClocks {
     let start = machine.clocks();
     for &len in row_lengths {
         if len == 0 {
@@ -47,7 +51,10 @@ pub fn csr_clocks(machine: &mut VectorMachine, book: &CostBook, row_lengths: &[u
             machine.charge_loop(book.csr_row.te, book.csr_row.n_half, len);
         }
     }
-    SpmvClocks { setup: 0.0, evaluation: machine.clocks() - start }
+    SpmvClocks {
+        setup: 0.0,
+        evaluation: machine.clocks() - start,
+    }
 }
 
 /// JD setup + evaluation. `diag_lengths[j]` is the population of jagged
@@ -68,7 +75,10 @@ pub fn jd_clocks(
     for &len in diag_lengths {
         machine.charge_loop(book.jd_diag.te, book.jd_diag.n_half, len);
     }
-    SpmvClocks { setup, evaluation: machine.clocks() - start }
+    SpmvClocks {
+        setup,
+        evaluation: machine.clocks() - start,
+    }
 }
 
 /// MP route (Figure 12): gather-multiply product loop, then multireduce by
@@ -102,8 +112,7 @@ pub fn mp_clocks(
     // phase of the multiprefix algorithm building the spinetree" (we fold
     // the temporary-clearing INIT in with it; both are per-structure).
     let setup = run.clocks.init + run.clocks.spinetree;
-    let evaluation =
-        product_clocks + run.clocks.rowsum + run.clocks.spinesum + run.clocks.extract;
+    let evaluation = product_clocks + run.clocks.rowsum + run.clocks.spinesum + run.clocks.extract;
     (SpmvClocks { setup, evaluation }, run.output.reductions)
 }
 
@@ -129,10 +138,13 @@ mod tests {
         let book = CostBook::default();
         // Same 500-nonzero matrix as 100 rows of 5 → 5 diagonals of 100.
         let mut mc = VectorMachine::ymp();
-        let csr = csr_clocks(&mut mc, &book, &vec![5; 100]);
+        let csr = csr_clocks(&mut mc, &book, &[5; 100]);
         let mut mj = VectorMachine::ymp();
-        let jd = jd_clocks(&mut mj, &book, 500, 100, &vec![100; 5]);
-        assert!(jd.evaluation < csr.evaluation, "JD eval must beat CSR on short rows");
+        let jd = jd_clocks(&mut mj, &book, 500, 100, &[100; 5]);
+        assert!(
+            jd.evaluation < csr.evaluation,
+            "JD eval must beat CSR on short rows"
+        );
         assert!(jd.setup > jd.evaluation, "JD setup dominates its own eval");
     }
 
@@ -146,7 +158,7 @@ mod tests {
         diags[0] = 500;
         let bad = jd_clocks(&mut m, &book, 1500, 200, &diags);
         let mut m2 = VectorMachine::ymp();
-        let good = jd_clocks(&mut m2, &book, 1500, 200, &vec![150; 10]);
+        let good = jd_clocks(&mut m2, &book, 1500, 200, &[150; 10]);
         assert!(
             bad.evaluation > 5.0 * good.evaluation,
             "degenerate diagonals should wreck JD eval: {} vs {}",

@@ -55,7 +55,11 @@ impl VectorMachine {
 
     /// A machine with an explicit configuration.
     pub fn with_config(cfg: MachineConfig) -> Self {
-        VectorMachine { cfg, clocks: 0.0, loops_issued: 0 }
+        VectorMachine {
+            cfg,
+            clocks: 0.0,
+            loops_issued: 0,
+        }
     }
 
     /// The configuration.
@@ -207,18 +211,22 @@ mod tests {
     fn spread_addresses_pay_no_surcharge() {
         let mut m = VectorMachine::ymp();
         m.charge_indexed((0..256).map(|i| i * 7 + 3), 2.0);
-        assert_eq!(m.clocks(), 0.0, "stride-7 across 64 banks conflicts mildly at most");
+        assert_eq!(
+            m.clocks(),
+            0.0,
+            "stride-7 across 64 banks conflicts mildly at most"
+        );
     }
 
     #[test]
     fn hot_spot_pays_bank_serialization() {
         let mut m = VectorMachine::ymp();
         // 64 accesses to one cell: 64*4 - 64 = 192 surcharge per stream.
-        m.charge_indexed(std::iter::repeat(5).take(64), 1.0);
+        m.charge_indexed(std::iter::repeat_n(5, 64), 1.0);
         assert_eq!(m.clocks(), 192.0);
         // Two streams' weight doubles it.
         m.reset();
-        m.charge_indexed(std::iter::repeat(5).take(64), 2.0);
+        m.charge_indexed(std::iter::repeat_n(5, 64), 2.0);
         assert_eq!(m.clocks(), 384.0);
     }
 
@@ -226,7 +234,7 @@ mod tests {
     fn partial_strip_hot_spot() {
         let mut m = VectorMachine::ymp();
         // 10 accesses to one cell: max(0, 40 - 10) = 30.
-        m.charge_indexed(std::iter::repeat(9).take(10), 1.0);
+        m.charge_indexed(std::iter::repeat_n(9, 10), 1.0);
         assert_eq!(m.clocks(), 30.0);
     }
 
@@ -245,7 +253,11 @@ mod tests {
         mask[0] = true; // 63 false lanes scatter to the dummy cell
         m.charge_masked_loop(7.4, 20.0, &mask);
         let expected = 7.4 * 64.0 + (63.0 * 4.0 - 64.0) * 0.6 + 7.4 * 20.0;
-        assert!((m.clocks() - expected).abs() < 1e-9, "{} vs {expected}", m.clocks());
+        assert!(
+            (m.clocks() - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            m.clocks()
+        );
     }
 
     #[test]

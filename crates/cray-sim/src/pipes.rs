@@ -42,8 +42,7 @@ impl StreamMix {
     /// The port-occupancy lower bound on `t_e`, in clocks per element:
     /// the busier of the read side and the write side.
     pub fn te_lower_bound(&self) -> f64 {
-        let read_clocks =
-            (self.sequential_reads + self.gathers * GATHER_OCCUPANCY) / READ_PORTS;
+        let read_clocks = (self.sequential_reads + self.gathers * GATHER_OCCUPANCY) / READ_PORTS;
         let write_clocks =
             (self.sequential_writes + self.scatters * GATHER_OCCUPANCY) / WRITE_PORTS;
         read_clocks.max(write_clocks)
@@ -57,24 +56,44 @@ pub fn phase_mixes() -> [(&'static str, StreamMix); 4] {
             // gather of bucket.spine via label + scatter back, plus the
             // label loads and the temp store (both fissioned halves).
             "SPINETREE",
-            StreamMix { sequential_reads: 2.0, gathers: 1.0, sequential_writes: 1.0, scatters: 1.0 },
+            StreamMix {
+                sequential_reads: 2.0,
+                gathers: 1.0,
+                sequential_writes: 1.0,
+                scatters: 1.0,
+            },
         ),
         (
             // "3 read operations and 1 write": spine (strided), rowsum
             // (gather), value (strided); rowsum scatter.
             "ROWSUM",
-            StreamMix { sequential_reads: 2.0, gathers: 1.0, sequential_writes: 0.0, scatters: 1.0 },
+            StreamMix {
+                sequential_reads: 2.0,
+                gathers: 1.0,
+                sequential_writes: 0.0,
+                scatters: 1.0,
+            },
         ),
         (
             // rowsum, spinesum, spine loads (strided) + masked scatter.
             "SPINESUM",
-            StreamMix { sequential_reads: 3.0, gathers: 0.0, sequential_writes: 0.0, scatters: 1.0 },
+            StreamMix {
+                sequential_reads: 3.0,
+                gathers: 0.0,
+                sequential_writes: 0.0,
+                scatters: 1.0,
+            },
         ),
         (
             // ROWSUM's mix plus the extra multi store through the single
             // write pipe — the §4.1 "additional gather" remark.
             "PREFIXSUM",
-            StreamMix { sequential_reads: 2.0, gathers: 1.0, sequential_writes: 1.0, scatters: 1.0 },
+            StreamMix {
+                sequential_reads: 2.0,
+                gathers: 1.0,
+                sequential_writes: 1.0,
+                scatters: 1.0,
+            },
         ),
     ]
 }
@@ -87,7 +106,12 @@ mod tests {
     #[test]
     fn measured_te_dominates_port_bounds() {
         let book = CostBook::default();
-        let measured = [book.spinetree.te, book.rowsum.te, book.spinesum.te, book.prefixsum.te];
+        let measured = [
+            book.spinetree.te,
+            book.rowsum.te,
+            book.spinesum.te,
+            book.prefixsum.te,
+        ];
         for ((name, mix), te) in phase_mixes().into_iter().zip(measured) {
             let bound = mix.te_lower_bound();
             assert!(
@@ -112,18 +136,36 @@ mod tests {
         assert!(gap > 0.0, "the extra store must raise the bound");
         // Measured gap: 6.9 − 4.1 = 2.8 clk; the bound gap must not
         // exceed it (bounds are conservative).
-        assert!(gap <= 2.8 + 1e-9, "bound gap {gap} exceeds the measured gap");
+        assert!(
+            gap <= 2.8 + 1e-9,
+            "bound gap {gap} exceeds the measured gap"
+        );
     }
 
     #[test]
     fn read_and_write_sides_both_bind() {
         // A pure-read mix binds on the read side, a pure-write one on the
         // write side.
-        let reads = StreamMix { sequential_reads: 4.0, gathers: 0.0, sequential_writes: 0.0, scatters: 0.0 };
+        let reads = StreamMix {
+            sequential_reads: 4.0,
+            gathers: 0.0,
+            sequential_writes: 0.0,
+            scatters: 0.0,
+        };
         assert_eq!(reads.te_lower_bound(), 2.0);
-        let writes = StreamMix { sequential_reads: 0.0, gathers: 0.0, sequential_writes: 2.0, scatters: 0.0 };
+        let writes = StreamMix {
+            sequential_reads: 0.0,
+            gathers: 0.0,
+            sequential_writes: 2.0,
+            scatters: 0.0,
+        };
         assert_eq!(writes.te_lower_bound(), 2.0);
-        let scatter = StreamMix { sequential_reads: 0.0, gathers: 0.0, sequential_writes: 0.0, scatters: 1.0 };
+        let scatter = StreamMix {
+            sequential_reads: 0.0,
+            gathers: 0.0,
+            sequential_writes: 0.0,
+            scatters: 1.0,
+        };
         assert_eq!(scatter.te_lower_bound(), GATHER_OCCUPANCY);
     }
 }

@@ -62,11 +62,7 @@ impl BenchmarkReport {
 }
 
 /// Run the full NAS IS protocol at size `n` with key range `max_key`.
-pub fn run_benchmark(
-    n: usize,
-    max_key: usize,
-    ranker: Ranker,
-) -> Result<BenchmarkReport, MpError> {
+pub fn run_benchmark(n: usize, max_key: usize, ranker: Ranker) -> Result<BenchmarkReport, MpError> {
     let mut rng = NasRng::standard();
     let mut keys = generate_keys(n, max_key, &mut rng);
     let mut iteration_times = Vec::with_capacity(ITERATIONS);
@@ -85,7 +81,14 @@ pub fn run_benchmark(
     }
     let total = start.elapsed();
     let verified = full_verify(&keys, &last_ranks);
-    Ok(BenchmarkReport { n, max_key, ranker, iteration_times, total, verified })
+    Ok(BenchmarkReport {
+        n,
+        max_key,
+        ranker,
+        iteration_times,
+        total,
+        verified,
+    })
 }
 
 #[cfg(test)]
@@ -136,6 +139,9 @@ mod tests {
         let report = run_benchmark(2_000, 256, Ranker::CountingSort).unwrap();
         let mean = report.mean_iteration();
         assert!(mean <= report.total);
-        assert!(report.keys_per_second() > 1000.0, "counting sort should not be that slow");
+        assert!(
+            report.keys_per_second() > 1000.0,
+            "counting sort should not be that slow"
+        );
     }
 }

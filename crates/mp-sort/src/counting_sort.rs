@@ -7,7 +7,10 @@
 
 /// Stable counting sort of keys in `[0, m)`. Returns the sorted keys.
 pub fn counting_sort(keys: &[usize], m: usize) -> Vec<usize> {
-    counting_sort_pairs(keys, keys, m).into_iter().map(|(k, _)| k).collect()
+    counting_sort_pairs(keys, keys, m)
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect()
 }
 
 /// Stable counting sort of `(key, payload)` pairs by key.
@@ -29,7 +32,9 @@ pub fn counting_sort_pairs<T: Clone>(keys: &[usize], payloads: &[T], m: usize) -
         counts[k] -= 1;
         out[counts[k]] = Some((k, payloads[i].clone()));
     }
-    out.into_iter().map(|x| x.expect("placement covers all slots")).collect()
+    out.into_iter()
+        .map(|x| x.expect("placement covers all slots"))
+        .collect()
 }
 
 /// The 0-based rank each key would take — the counting-sort view of the

@@ -40,7 +40,10 @@ pub fn ordered_u64_to_f64(k: u64) -> f64 {
 /// first).
 pub fn radix_sort_f64(keys: &[f64], bits: u32) -> Vec<f64> {
     let mapped = map_checked(keys);
-    radix_sort(&mapped, bits).into_iter().map(ordered_u64_to_f64).collect()
+    radix_sort(&mapped, bits)
+        .into_iter()
+        .map(ordered_u64_to_f64)
+        .collect()
 }
 
 /// Sort non-NaN doubles with the multiprefix-per-digit radix sort.
@@ -94,8 +97,19 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        for &x in &[-2.5f64, 0.0, -0.0, 3.75, f64::INFINITY, f64::NEG_INFINITY, 1e-300] {
-            assert_eq!(ordered_u64_to_f64(f64_to_ordered_u64(x)).to_bits(), x.to_bits());
+        for &x in &[
+            -2.5f64,
+            0.0,
+            -0.0,
+            3.75,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1e-300,
+        ] {
+            assert_eq!(
+                ordered_u64_to_f64(f64_to_ordered_u64(x)).to_bits(),
+                x.to_bits()
+            );
         }
     }
 

@@ -40,7 +40,9 @@ impl NasRng {
 
     /// A custom seed (must be odd and < 2^46 for full period).
     pub fn with_seed(seed: u64) -> Self {
-        NasRng { x: (seed | 1) & MOD_MASK }
+        NasRng {
+            x: (seed | 1) & MOD_MASK,
+        }
     }
 
     /// Next deviate in `[0, 1)`.
@@ -126,15 +128,17 @@ mod tests {
         );
         let mean = keys.iter().sum::<usize>() as f64 / keys.len() as f64;
         let half = MAX_KEY as f64 / 2.0;
-        assert!((mean - half).abs() < half * 0.02, "mean {mean} far from {half}");
+        assert!(
+            (mean - half).abs() < half * 0.02,
+            "mean {mean} far from {half}"
+        );
     }
 
     #[test]
     fn full_verify_accepts_correct_ranking() {
         let mut rng = NasRng::standard();
         let keys = generate_keys(5000, 1 << 10, &mut rng);
-        let ranks =
-            crate::rank_sort::rank_keys(&keys, 1 << 10, multiprefix::Engine::Auto).unwrap();
+        let ranks = crate::rank_sort::rank_keys(&keys, 1 << 10, multiprefix::Engine::Auto).unwrap();
         assert!(full_verify(&keys, &ranks));
     }
 

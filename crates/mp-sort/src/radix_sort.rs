@@ -75,7 +75,9 @@ mod tests {
         let mut s = seed | 1;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 s >> 20
             })
             .collect()
@@ -140,19 +142,23 @@ pub fn mp_radix_sort_pairs<T: Clone>(
     let radix = 1usize << bits;
     let mask = (radix - 1) as u64;
     let max = keys.iter().copied().max().unwrap_or(0);
-    let mut pairs: Vec<(u64, T)> =
-        keys.iter().copied().zip(payloads.iter().cloned()).collect();
+    let mut pairs: Vec<(u64, T)> = keys.iter().copied().zip(payloads.iter().cloned()).collect();
     let mut shift = 0u32;
     while shift == 0 || (max >> shift) != 0 {
-        let digits: Vec<usize> =
-            pairs.iter().map(|&(k, _)| ((k >> shift) & mask) as usize).collect();
+        let digits: Vec<usize> = pairs
+            .iter()
+            .map(|&(k, _)| ((k >> shift) & mask) as usize)
+            .collect();
         let ranks = crate::rank_sort::rank_keys(&digits, radix, engine)
             .expect("digits in range by construction");
         let mut next: Vec<Option<(u64, T)>> = vec![None; pairs.len()];
         for (pair, &r) in pairs.into_iter().zip(&ranks) {
             next[r] = Some(pair);
         }
-        pairs = next.into_iter().map(|p| p.expect("ranks are a permutation")).collect();
+        pairs = next
+            .into_iter()
+            .map(|p| p.expect("ranks are a permutation"))
+            .collect();
         shift += bits;
         if shift >= 64 {
             break;
@@ -172,7 +178,14 @@ mod pair_tests {
         let sorted = mp_radix_sort_pairs(&keys, &payloads, 4, Engine::Serial);
         assert_eq!(
             sorted,
-            vec![(1, "d"), (5, "b"), (5, "e"), (300, "a"), (300, "c"), (300, "f")]
+            vec![
+                (1, "d"),
+                (5, "b"),
+                (5, "e"),
+                (300, "a"),
+                (300, "c"),
+                (300, "f")
+            ]
         );
     }
 
@@ -180,7 +193,9 @@ mod pair_tests {
     fn matches_std_stable_sort() {
         let mut state = 99u64;
         let mut step = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 40
         };
         let keys: Vec<u64> = (0..2000).map(|_| step()).collect();

@@ -44,7 +44,9 @@ pub fn sort_by_ranks<T: Clone>(items: &[T], ranks: &[usize]) -> Vec<T> {
         debug_assert!(out[r].is_none(), "ranks must be a permutation");
         out[r] = Some(item.clone());
     }
-    out.into_iter().map(|x| x.expect("ranks must be a permutation")).collect()
+    out.into_iter()
+        .map(|x| x.expect("ranks must be a permutation"))
+        .collect()
 }
 
 /// Sort integer keys in `[0, m)` by multiprefix ranking; returns the
@@ -64,8 +66,7 @@ pub fn mp_sort_pairs<T: Clone>(
 ) -> Result<Vec<(usize, T)>, MpError> {
     assert_eq!(keys.len(), payloads.len());
     let ranks = rank_keys(keys, m, engine)?;
-    let pairs: Vec<(usize, T)> =
-        keys.iter().copied().zip(payloads.iter().cloned()).collect();
+    let pairs: Vec<(usize, T)> = keys.iter().copied().zip(payloads.iter().cloned()).collect();
     Ok(sort_by_ranks(&pairs, &ranks))
 }
 
@@ -77,7 +78,9 @@ mod tests {
         let mut state = seed | 1;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as usize) % m
             })
             .collect()
@@ -128,19 +131,29 @@ mod tests {
         let ascending: Vec<usize> = (0..500).collect();
         assert_eq!(mp_sort(&ascending, 500, Engine::Serial).unwrap(), ascending);
         let descending: Vec<usize> = (0..500).rev().collect();
-        assert_eq!(mp_sort(&descending, 500, Engine::Serial).unwrap(), ascending);
+        assert_eq!(
+            mp_sort(&descending, 500, Engine::Serial).unwrap(),
+            ascending
+        );
     }
 
     #[test]
     fn all_equal_keys() {
         let keys = vec![3usize; 100];
         let ranks = rank_keys(&keys, 5, Engine::Spinetree).unwrap();
-        assert_eq!(ranks, (0..100).collect::<Vec<_>>(), "equal keys rank by position");
+        assert_eq!(
+            ranks,
+            (0..100).collect::<Vec<_>>(),
+            "equal keys rank by position"
+        );
     }
 
     #[test]
     fn empty_input() {
-        assert_eq!(mp_sort(&[], 10, Engine::Serial).unwrap(), Vec::<usize>::new());
+        assert_eq!(
+            mp_sort(&[], 10, Engine::Serial).unwrap(),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]

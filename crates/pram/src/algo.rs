@@ -25,7 +25,7 @@
 //! SPINESUMS and MULTISUMS phases run with zero concurrent reads and zero
 //! concurrent writes (EREW), on the honest machine, for arbitrary inputs.
 
-use crate::machine::{Pram, PramError, WritePolicy, Word};
+use crate::machine::{Pram, PramError, Word, WritePolicy};
 use crate::metrics::Metrics;
 use multiprefix::problem::MultiprefixOutput;
 use multiprefix::spinetree::Layout;
@@ -44,6 +44,13 @@ pub struct PramRun {
     pub total: Metrics,
 }
 
+/// Memory footprint (in words) of [`multiprefix_on_machine`] for `layout` —
+/// the size a host-built [`Pram`] must have.
+pub fn required_cells(layout: &Layout) -> usize {
+    let slots = layout.m + layout.n;
+    2 * layout.n + 4 * slots + layout.m + layout.n
+}
+
 /// Run multiprefix-PLUS on a CRCW-ARB PRAM with `p ≈ √n` processors.
 ///
 /// `seed` drives the machine's write arbitration; the returned sums and
@@ -54,6 +61,22 @@ pub fn multiprefix_on_pram(
     m: usize,
     layout: Layout,
     seed: u64,
+) -> Result<PramRun, PramError> {
+    let mut pram = Pram::new(required_cells(&layout), WritePolicy::CrcwArb, seed);
+    multiprefix_on_machine(&mut pram, values, labels, m, layout)
+}
+
+/// [`multiprefix_on_pram`] against a **caller-supplied machine** — the seam
+/// the fault-injection harness ([`crate::fault`]) uses to run the identical
+/// algorithm on a machine whose arbiter has been armed with a
+/// [`crate::machine::FaultPlan`]. The machine must have at least
+/// [`required_cells`] words of memory and use a CRCW policy.
+pub fn multiprefix_on_machine(
+    pram: &mut Pram,
+    values: &[i64],
+    labels: &[usize],
+    m: usize,
+    layout: Layout,
 ) -> Result<PramRun, PramError> {
     assert_eq!(values.len(), labels.len());
     assert_eq!(values.len(), layout.n);
@@ -72,8 +95,11 @@ pub fn multiprefix_on_pram(
     let a_red = v + 4 * slots;
     let a_multi = a_red + m;
     let total_cells = a_multi + n;
-
-    let mut pram = Pram::new(total_cells, WritePolicy::CrcwArb, seed);
+    assert!(
+        pram.mem().len() >= total_cells,
+        "machine too small: {} cells, need {total_cells}",
+        pram.mem().len()
+    );
     for i in 0..n {
         pram.mem_mut()[a_value + i] = values[i];
         pram.mem_mut()[a_label + i] = labels[i] as Word;
@@ -253,7 +279,10 @@ mod tests {
             let s = run.total.steps as f64;
             // 2·rows (spinetree halves) + cols + rows + cols + 2 ≈ 5√n.
             assert!(s <= 6.0 * sqrt_n + 8.0, "S = {s}, √n = {sqrt_n}, n = {n}");
-            assert!(s >= 3.0 * sqrt_n - 8.0, "S suspiciously small: {s} for n = {n}");
+            assert!(
+                s >= 3.0 * sqrt_n - 8.0,
+                "S suspiciously small: {s} for n = {n}"
+            );
             // Work efficiency: W = O(n).
             let w = run.total.work as f64;
             assert!(w <= 6.0 * n as f64 + 64.0, "W = {w} not O(n) for n = {n}");

@@ -9,7 +9,7 @@
 //! `W = O(n + m)` at `S = O(√n + √m)`, the paper's §5.1 bound.
 
 use crate::algo::multiprefix_on_pram;
-use crate::machine::{Pram, PramError, WritePolicy, Word};
+use crate::machine::{Pram, PramError, Word, WritePolicy};
 use crate::metrics::Metrics;
 use multiprefix::spinetree::Layout;
 
@@ -30,11 +30,7 @@ pub struct PramSortRun {
 /// MP(bucket, 1, total, cumulative);     // all labels equal: plain scan
 /// pardo (i): rank[i] += cumulative[key[i]];
 /// ```
-pub fn integer_sort_on_pram(
-    keys: &[usize],
-    m: usize,
-    seed: u64,
-) -> Result<PramSortRun, PramError> {
+pub fn integer_sort_on_pram(keys: &[usize], m: usize, seed: u64) -> Result<PramSortRun, PramError> {
     let n = keys.len();
 
     // First multiprefix: constant-1 values keyed by the integers.
@@ -55,9 +51,9 @@ pub fn integer_sort_on_pram(
     let a_rank = n;
     let a_cum = 2 * n;
     let mut pram = Pram::new(2 * n + m, WritePolicy::CrcwArb, seed);
-    for i in 0..n {
-        pram.mem_mut()[a_key + i] = keys[i] as Word;
-        pram.mem_mut()[a_rank + i] = run1.output.sums[i];
+    for (i, (&key, &rank)) in keys.iter().zip(&run1.output.sums).enumerate() {
+        pram.mem_mut()[a_key + i] = key as Word;
+        pram.mem_mut()[a_rank + i] = rank;
     }
     for (b, &c) in run2.output.sums.iter().enumerate() {
         pram.mem_mut()[a_cum + b] = c;
@@ -114,7 +110,10 @@ pub fn scan_doubling_on_pram(values: &[i64]) -> Result<(Vec<i64>, Metrics), Pram
         })?;
         d *= 2;
     }
-    Ok((pram.mem()[a_pub..a_pub + n].to_vec(), pram.metrics_snapshot()))
+    Ok((
+        pram.mem()[a_pub..a_pub + n].to_vec(),
+        pram.metrics_snapshot(),
+    ))
 }
 
 #[cfg(test)]
@@ -190,7 +189,10 @@ mod tests {
         assert_eq!(metrics.steps, 9, "log2(512) rounds");
         // …but Θ(n log n) work — NOT work efficient.
         assert!(metrics.work >= 512 * 9);
-        assert!(metrics.is_erew(), "doubling scan must be EREW under snapshots");
+        assert!(
+            metrics.is_erew(),
+            "doubling scan must be EREW under snapshots"
+        );
     }
 
     #[test]
@@ -210,8 +212,14 @@ mod tests {
         };
         let mp_growth = mp_work(n2) / mp_work(n1);
         let scan_growth = scan_work(n2) / scan_work(n1);
-        assert!(mp_growth < 1.3, "multiprefix work/elt must stay flat: x{mp_growth:.2}");
-        assert!(scan_growth > 1.3, "doubling work/elt must grow: x{scan_growth:.2}");
+        assert!(
+            mp_growth < 1.3,
+            "multiprefix work/elt must stay flat: x{mp_growth:.2}"
+        );
+        assert!(
+            scan_growth > 1.3,
+            "doubling work/elt must grow: x{scan_growth:.2}"
+        );
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Fault injection for the arbitration network, and detection by
+//! self-checking.
+//!
+//! The overwrite-and-test races of the SPINETREE phase are the only place
+//! the paper's algorithm relies on concurrent-write arbitration — the one
+//! component a real machine would implement with a combining/arbitrating
+//! network rather than ordinary RAM. This module asks the robustness
+//! question: *if that arbiter silently commits a wrong word, does anything
+//! notice?*
+//!
+//! [`multiprefix_with_faults`] runs the unmodified PRAM multiprefix
+//! ([`crate::algo::multiprefix_on_machine`]) on a machine whose arbiter is
+//! armed with a [`FaultPlan`]: a deterministic fraction of **multi-writer
+//! ARB commits** commit a corrupted (in-range, but un-asked-for) spine
+//! pointer. The result is a structurally plausible but wrong spinetree —
+//! exactly the failure mode a flaky arbitration network produces, and one
+//! that no bounds check or panic can catch.
+//!
+//! Detection is the job of the serial cross-check
+//! ([`multiprefix::oracle::verify_output`], the same comparator behind
+//! [`multiprefix::multiprefix_verified`]): one `O(n + m)` reference pass
+//! flags the first output cell that disagrees. The harness returns both the
+//! injection count and the verification verdict so tests can assert the
+//! contract end to end: faults injected ⇒ verification fails; no faults ⇒
+//! verification passes.
+
+use crate::algo::{multiprefix_on_machine, required_cells, PramRun};
+use crate::machine::{FaultPlan, Pram, PramError, WritePolicy};
+use multiprefix::op::Plus;
+use multiprefix::oracle::verify_output;
+use multiprefix::spinetree::Layout;
+use multiprefix::MpError;
+
+/// Outcome of one faulted run: what happened, and whether the self-check
+/// caught it.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// The (possibly corrupted) run, with its output and metrics.
+    pub run: PramRun,
+    /// Number of arbitration commits the plan actually corrupted.
+    pub faults_injected: usize,
+    /// Verdict of the serial cross-check on the run's output: `Ok(())` if
+    /// the output is correct despite any faults, or the first disagreeing
+    /// cell as [`MpError::VerificationFailed`].
+    pub detection: Result<(), MpError>,
+}
+
+impl FaultReport {
+    /// True when at least one fault was injected *and* the self-check
+    /// reported the output wrong — the detection contract held.
+    pub fn faults_detected(&self) -> bool {
+        self.faults_injected > 0 && self.detection.is_err()
+    }
+}
+
+/// Run multiprefix-PLUS on a CRCW-ARB machine with `plan`-driven
+/// arbitration faults, then cross-check the output against the serial
+/// oracle.
+///
+/// `seed` drives the (correct) arbitration choices; `plan.seed` drives the
+/// independent fault stream. Everything is deterministic in
+/// `(seed, plan)`, so a failing case replays exactly.
+pub fn multiprefix_with_faults(
+    values: &[i64],
+    labels: &[usize],
+    m: usize,
+    layout: Layout,
+    seed: u64,
+    plan: FaultPlan,
+) -> Result<FaultReport, PramError> {
+    let mut pram = Pram::new(required_cells(&layout), WritePolicy::CrcwArb, seed);
+    pram.set_fault_plan(Some(plan));
+    let run = multiprefix_on_machine(&mut pram, values, labels, m, layout)?;
+    let detection = verify_output(values, labels, m, Plus, &run.output);
+    Ok(FaultReport {
+        run,
+        faults_injected: pram.faults_injected(),
+        detection,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One class, distinct values: every spine pointer matters, so a wrong
+    /// arbitration commit shifts at least one element's prefix.
+    fn contended(n: usize) -> (Vec<i64>, Vec<usize>) {
+        ((1..=n as i64).collect(), vec![0usize; n])
+    }
+
+    #[test]
+    fn zero_rate_plan_is_the_identity() {
+        let (values, labels) = contended(400);
+        let layout = Layout::square(400, 1);
+        let plan = FaultPlan {
+            seed: 9,
+            rate_ppm: 0,
+        };
+        let report = multiprefix_with_faults(&values, &labels, 1, layout, 7, plan).unwrap();
+        assert_eq!(report.faults_injected, 0);
+        assert_eq!(report.detection, Ok(()));
+        assert!(!report.faults_detected());
+    }
+
+    #[test]
+    fn injected_faults_are_detected() {
+        // Corrupt every contested arbitration commit: the spinetree is
+        // thoroughly wrong and the serial cross-check must say so.
+        let (values, labels) = contended(400);
+        let layout = Layout::square(400, 1);
+        let plan = FaultPlan {
+            seed: 1,
+            rate_ppm: 1_000_000,
+        };
+        let report = multiprefix_with_faults(&values, &labels, 1, layout, 7, plan).unwrap();
+        assert!(report.faults_injected > 0, "contended input must fault");
+        assert!(
+            matches!(report.detection, Err(MpError::VerificationFailed { .. })),
+            "corrupted run must fail verification: {:?}",
+            report.detection
+        );
+        assert!(report.faults_detected());
+    }
+
+    #[test]
+    fn sparse_faults_detected_across_seeds() {
+        // A low fault rate across several fault streams: whenever anything
+        // was injected, detection must trigger; injection counts are
+        // deterministic per seed.
+        let (values, labels) = contended(900);
+        let layout = Layout::square(900, 1);
+        let mut detected = 0;
+        for fault_seed in 0..8u64 {
+            let plan = FaultPlan {
+                seed: fault_seed,
+                rate_ppm: 200_000,
+            };
+            let a = multiprefix_with_faults(&values, &labels, 1, layout, 3, plan).unwrap();
+            let b = multiprefix_with_faults(&values, &labels, 1, layout, 3, plan).unwrap();
+            assert_eq!(a.faults_injected, b.faults_injected, "replay must match");
+            assert_eq!(a.detection, b.detection, "replay must match");
+            if a.faults_detected() {
+                detected += 1;
+            }
+        }
+        assert!(detected >= 4, "only {detected}/8 fault streams detected");
+    }
+
+    #[test]
+    fn uncontended_input_has_no_eligible_commits() {
+        // All-distinct labels: the spinetree phase never has two writers on
+        // one bucket, so even a corrupt-everything plan finds nothing to
+        // corrupt — the fault model really is scoped to arbitration.
+        let n = 169;
+        let values: Vec<i64> = (1..=n as i64).collect();
+        let labels: Vec<usize> = (0..n).collect();
+        let layout = Layout::square(n, n);
+        let plan = FaultPlan {
+            seed: 5,
+            rate_ppm: 1_000_000,
+        };
+        let report = multiprefix_with_faults(&values, &labels, n, layout, 11, plan).unwrap();
+        assert_eq!(report.faults_injected, 0);
+        assert_eq!(report.detection, Ok(()));
+    }
+}

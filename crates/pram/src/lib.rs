@@ -20,7 +20,10 @@
 //!   step is EREW** (zero concurrent reads or writes), for random labelings;
 //! * [`sim_plus`] demonstrates §1.2: a CRCW-PLUS combining write simulated
 //!   on the ARB machine via multiprefix, with measured (constant, for
-//!   `n ≥ p²`) slowdown.
+//!   `n ≥ p²`) slowdown;
+//! * [`fault`] injects deterministic faults into the machine's arbitration
+//!   commits ([`machine::FaultPlan`]) and shows the serial cross-check of
+//!   `multiprefix::multiprefix_verified` detects the corrupted runs.
 
 //! ## Example
 //!
@@ -37,10 +40,12 @@
 
 pub mod algo;
 pub mod algorithms;
+pub mod fault;
 pub mod machine;
 pub mod metrics;
 pub mod sim_plus;
 pub mod spmv_pram;
 
-pub use machine::{Pram, PramError, ProcCtx, WritePolicy, Word};
+pub use fault::{multiprefix_with_faults, FaultReport};
+pub use machine::{FaultPlan, Pram, PramError, ProcCtx, Word, WritePolicy};
 pub use metrics::Metrics;

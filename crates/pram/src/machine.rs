@@ -44,9 +44,17 @@ pub enum WritePolicy {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PramError {
     /// ≥ 2 processors read `addr` in step `step` under EREW.
-    ReadConflict { step: usize, addr: usize, processors: usize },
+    ReadConflict {
+        step: usize,
+        addr: usize,
+        processors: usize,
+    },
     /// ≥ 2 processors wrote `addr` in step `step` under EREW/CREW.
-    WriteConflict { step: usize, addr: usize, processors: usize },
+    WriteConflict {
+        step: usize,
+        addr: usize,
+        processors: usize,
+    },
 }
 
 impl std::fmt::Display for PramError {
@@ -88,12 +96,40 @@ impl ProcCtx<'_> {
     }
 }
 
+/// A deterministic plan for corrupting CRCW-ARB arbitration commits — the
+/// fault model of the `fault` module's harness.
+///
+/// Only **multi-writer** ARB commits (the overwrite-and-test races of the
+/// SPINETREE phase) are eligible: those are exactly the writes whose
+/// hardware realization is a combining/arbitrating network, the component
+/// the paper's §5 positions as the exotic part of a multiprefix machine.
+/// Whether an eligible commit is corrupted is a pure function of
+/// `(fault_seed, step, addr)`, so a run is exactly reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of the fault stream (independent of the arbitration seed).
+    pub seed: u64,
+    /// Corruption probability per eligible commit, in parts per million
+    /// (`1_000_000` = corrupt every eligible commit).
+    pub rate_ppm: u32,
+}
+
+impl FaultPlan {
+    /// Does this plan corrupt the multi-writer commit at `(step, addr)`?
+    #[inline]
+    fn fires(&self, step: usize, addr: usize) -> bool {
+        mix(self.seed, step as u64, addr as u64) % 1_000_000 < self.rate_ppm as u64
+    }
+}
+
 /// The machine.
 pub struct Pram {
     mem: Vec<Word>,
     policy: WritePolicy,
     seed: u64,
     metrics: Metrics,
+    fault: Option<FaultPlan>,
+    faults_injected: usize,
 }
 
 #[inline]
@@ -110,7 +146,25 @@ impl Pram {
     /// different winners; algorithms claiming ARB-correctness must produce
     /// identical results for every seed).
     pub fn new(cells: usize, policy: WritePolicy, seed: u64) -> Self {
-        Pram { mem: vec![0; cells], policy, seed, metrics: Metrics::default() }
+        Pram {
+            mem: vec![0; cells],
+            policy,
+            seed,
+            metrics: Metrics::default(),
+            fault: None,
+            faults_injected: 0,
+        }
+    }
+
+    /// Arm a [`FaultPlan`]: from now on, eligible (multi-writer CRCW-ARB)
+    /// commits may be corrupted. Pass `None` to disarm.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// How many arbitration commits have been corrupted so far.
+    pub fn faults_injected(&self) -> usize {
+        self.faults_injected
     }
 
     /// Direct (host-side) access to memory — for loading inputs and reading
@@ -172,7 +226,11 @@ impl Pram {
         for (&addr, &procs) in &readers {
             if procs > 1 {
                 if self.policy == WritePolicy::Erew {
-                    return Err(PramError::ReadConflict { step: step_index, addr, processors: procs });
+                    return Err(PramError::ReadConflict {
+                        step: step_index,
+                        addr,
+                        processors: procs,
+                    });
                 }
                 self.metrics.concurrent_read_cells += 1;
             }
@@ -222,9 +280,29 @@ impl Pram {
                     // winner by seeded hash — "an arbitrary one succeeds."
                     let winner = entries
                         .iter()
-                        .max_by_key(|&&(p, _)| mix(self.seed, step_index as u64, (p as u64) << 20 | addr as u64))
+                        .max_by_key(|&&(p, _)| {
+                            mix(self.seed, step_index as u64, (p as u64) << 20 | addr as u64)
+                        })
                         .expect("non-empty");
-                    self.mem[addr] = winner.1;
+                    let mut committed = winner.1;
+                    // Fault injection: corrupt the arbitrated value of a
+                    // contested commit. The corrupted word must differ from
+                    // EVERY contending write — electing a different writer
+                    // is a legal ARB outcome the algorithm is proof against
+                    // (arbitration independence), not a fault. `min − 1`
+                    // (or `max + 1` when min is 0) stays adjacent to the
+                    // written range, so spinetree pointers remain in-range
+                    // for the pivot block instead of indexing out of
+                    // bounds, yet names a parent no arbiter could elect.
+                    if let Some(plan) = self.fault {
+                        if entries.len() > 1 && plan.fires(step_index, addr) {
+                            let lo = entries.iter().map(|&(_, v)| v).min().expect("non-empty");
+                            let hi = entries.iter().map(|&(_, v)| v).max().expect("non-empty");
+                            committed = if lo > 0 { lo - 1 } else { hi + 1 };
+                            self.faults_injected += 1;
+                        }
+                    }
+                    self.mem[addr] = committed;
                 }
             }
         }
@@ -263,7 +341,14 @@ mod tests {
         let err = pram.step(2, |_, ctx| {
             ctx.read(0);
         });
-        assert!(matches!(err, Err(PramError::ReadConflict { addr: 0, processors: 2, .. })));
+        assert!(matches!(
+            err,
+            Err(PramError::ReadConflict {
+                addr: 0,
+                processors: 2,
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -284,7 +369,14 @@ mod tests {
         })
         .unwrap();
         let err = pram.step(2, |p, ctx| ctx.write(0, p as Word));
-        assert!(matches!(err, Err(PramError::WriteConflict { addr: 0, processors: 2, .. })));
+        assert!(matches!(
+            err,
+            Err(PramError::WriteConflict {
+                addr: 0,
+                processors: 2,
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -297,9 +389,13 @@ mod tests {
     #[test]
     fn arb_elects_exactly_one_writer() {
         let mut pram = Pram::new(1, WritePolicy::CrcwArb, 42);
-        pram.step(8, |p, ctx| ctx.write(0, 100 + p as Word)).unwrap();
+        pram.step(8, |p, ctx| ctx.write(0, 100 + p as Word))
+            .unwrap();
         let v = pram.mem()[0];
-        assert!((100..108).contains(&v), "winner must be one of the written values, got {v}");
+        assert!(
+            (100..108).contains(&v),
+            "winner must be one of the written values, got {v}"
+        );
         assert_eq!(pram.metrics().concurrent_write_cells, 1);
     }
 
@@ -311,7 +407,10 @@ mod tests {
             pram.mem()[0]
         };
         let w: Vec<Word> = (0..16).map(winner).collect();
-        assert!(w.iter().any(|&x| x != w[0]), "arbitration should vary across seeds: {w:?}");
+        assert!(
+            w.iter().any(|&x| x != w[0]),
+            "arbitration should vary across seeds: {w:?}"
+        );
     }
 
     #[test]
@@ -327,7 +426,8 @@ mod tests {
     #[test]
     fn max_combines_concurrent_writes() {
         let mut pram = Pram::new(1, WritePolicy::CrcwMax, 1);
-        pram.step(5, |p, ctx| ctx.write(0, (p as Word) * 3 - 5)).unwrap();
+        pram.step(5, |p, ctx| ctx.write(0, (p as Word) * 3 - 5))
+            .unwrap();
         assert_eq!(pram.mem()[0], 7, "max of {{-5,-2,1,4,7}}");
     }
 

@@ -49,8 +49,18 @@ mod tests {
 
     #[test]
     fn interval_subtraction() {
-        let before = Metrics { steps: 2, work: 10, concurrent_read_cells: 1, concurrent_write_cells: 0 };
-        let after = Metrics { steps: 5, work: 25, concurrent_read_cells: 1, concurrent_write_cells: 2 };
+        let before = Metrics {
+            steps: 2,
+            work: 10,
+            concurrent_read_cells: 1,
+            concurrent_write_cells: 0,
+        };
+        let after = Metrics {
+            steps: 5,
+            work: 25,
+            concurrent_read_cells: 1,
+            concurrent_write_cells: 2,
+        };
         let d = after - before;
         assert_eq!(d.steps, 3);
         assert_eq!(d.work, 15);

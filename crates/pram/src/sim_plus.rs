@@ -19,7 +19,7 @@
 //! step count itself dominates and the slowdown grows as `p²/n`.
 
 use crate::algo::multiprefix_on_pram;
-use crate::machine::{Pram, PramError, WritePolicy, Word};
+use crate::machine::{Pram, PramError, Word, WritePolicy};
 use multiprefix::spinetree::Layout;
 
 /// One combining-write request of a virtual processor.
@@ -75,8 +75,9 @@ pub fn combining_write_on_arb(
     for &l in &labels {
         touched[l] = true;
     }
-    for (cell, (&red, &was_written)) in
-        out.iter_mut().zip(run.output.reductions.iter().zip(&touched))
+    for (cell, (&red, &was_written)) in out
+        .iter_mut()
+        .zip(run.output.reductions.iter().zip(&touched))
     {
         if was_written {
             // CLR's combining write REPLACES the cell with the combination
@@ -140,7 +141,10 @@ mod tests {
 
     fn requests(n: usize, m: usize) -> Vec<WriteRequest> {
         (0..n)
-            .map(|i| WriteRequest { addr: (i * 31 + i / 5) % m, value: (i as i64 * 13) % 50 - 25 })
+            .map(|i| WriteRequest {
+                addr: (i * 31 + i / 5) % m,
+                value: (i as i64 * 13) % 50 - 25,
+            })
             .collect()
     }
 
@@ -158,7 +162,10 @@ mod tests {
     #[test]
     fn untouched_cells_keep_old_values() {
         let memory = vec![11, 22, 33, 44];
-        let reqs = vec![WriteRequest { addr: 1, value: 5 }, WriteRequest { addr: 1, value: 6 }];
+        let reqs = vec![
+            WriteRequest { addr: 1, value: 5 },
+            WriteRequest { addr: 1, value: 6 },
+        ];
         let direct = combining_write_direct(&memory, &reqs).unwrap();
         assert_eq!(direct, vec![11, 11, 33, 44]);
         let sim = combining_write_on_arb(&memory, &reqs, 9).unwrap();
@@ -205,6 +212,9 @@ mod tests {
         let a = plus_slowdown(1024, 4, 1).unwrap();
         let b = plus_slowdown(4096, 4, 1).unwrap();
         let ratio = b.virtual_steps as f64 / a.virtual_steps as f64;
-        assert!((1.5..=2.6).contains(&ratio), "S(4n)/S(n) = {ratio}, expected ≈ 2");
+        assert!(
+            (1.5..=2.6).contains(&ratio),
+            "S(4n)/S(n) = {ratio}, expected ≈ 2"
+        );
     }
 }

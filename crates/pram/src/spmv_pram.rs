@@ -13,7 +13,7 @@
 //! multiprefix program of [`crate::algo`] with row labels.
 
 use crate::algo::multiprefix_on_pram;
-use crate::machine::{Pram, PramError, WritePolicy, Word};
+use crate::machine::{Pram, PramError, Word, WritePolicy};
 use crate::metrics::Metrics;
 use multiprefix::spinetree::Layout;
 
@@ -70,14 +70,24 @@ pub fn spmv_on_pram(
     let layout = Layout::square(nnz, order);
     let run = multiprefix_on_pram(&products, rows, order, layout, seed)?;
 
-    Ok(PramSpmvRun { y: run.output.reductions, product_step, reduce: run.total })
+    Ok(PramSpmvRun {
+        y: run.output.reductions,
+        product_step,
+        reduce: run.total,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn dense_oracle(order: usize, rows: &[usize], cols: &[usize], vals: &[i64], x: &[i64]) -> Vec<i64> {
+    fn dense_oracle(
+        order: usize,
+        rows: &[usize],
+        cols: &[usize],
+        vals: &[i64],
+        x: &[i64],
+    ) -> Vec<i64> {
         let mut y = vec![0i64; order];
         for k in 0..rows.len() {
             y[rows[k]] += vals[k] * x[cols[k]];
@@ -106,7 +116,9 @@ mod tests {
         let nnz = 150;
         let mut state = 5u64;
         let mut step = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         let rows: Vec<usize> = (0..nnz).map(|_| step() % order).collect();
@@ -123,10 +135,23 @@ mod tests {
     #[test]
     fn product_step_shows_concurrent_reads_when_columns_shared() {
         // Every nonzero in column 0: the x[0] read is maximally concurrent.
-        let run = spmv_on_pram(4, &[0, 1, 2, 3], &[0, 0, 0, 0], &[1, 1, 1, 1], &[9, 0, 0, 0], 2)
-            .unwrap();
+        let run = spmv_on_pram(
+            4,
+            &[0, 1, 2, 3],
+            &[0, 0, 0, 0],
+            &[1, 1, 1, 1],
+            &[9, 0, 0, 0],
+            2,
+        )
+        .unwrap();
         assert_eq!(run.y, vec![9, 9, 9, 9]);
-        assert!(run.product_step.concurrent_read_cells > 0, "shared column ⇒ CR");
-        assert_eq!(run.product_step.concurrent_write_cells, 0, "products are exclusive");
+        assert!(
+            run.product_step.concurrent_read_cells > 0,
+            "shared column ⇒ CR"
+        );
+        assert_eq!(
+            run.product_step.concurrent_write_cells, 0,
+            "products are exclusive"
+        );
     }
 }

@@ -24,7 +24,12 @@ impl CooMatrix {
     pub fn new(order: usize, rows: Vec<usize>, cols: Vec<usize>, vals: Vec<f64>) -> Self {
         assert_eq!(rows.len(), cols.len());
         assert_eq!(rows.len(), vals.len());
-        CooMatrix { order, rows, cols, vals }
+        CooMatrix {
+            order,
+            rows,
+            cols,
+            vals,
+        }
     }
 
     /// Number of stored nonzeros.
@@ -57,7 +62,10 @@ impl CooMatrix {
         for k in 0..self.nnz() {
             let (r, c) = (self.rows[k], self.cols[k]);
             if r >= self.order || c >= self.order {
-                return Err(format!("entry {k} at ({r},{c}) outside order {}", self.order));
+                return Err(format!(
+                    "entry {k} at ({r},{c}) outside order {}",
+                    self.order
+                ));
             }
             if !seen.insert((r, c)) {
                 return Err(format!("duplicate entry at ({r},{c})"));
@@ -82,7 +90,12 @@ mod tests {
     use super::*;
 
     fn sample() -> CooMatrix {
-        CooMatrix::new(3, vec![2, 0, 1, 0], vec![1, 2, 0, 0], vec![4.0, 3.0, 2.0, 1.0])
+        CooMatrix::new(
+            3,
+            vec![2, 0, 1, 0],
+            vec![1, 2, 0, 0],
+            vec![4.0, 3.0, 2.0, 1.0],
+        )
     }
 
     #[test]

@@ -44,7 +44,12 @@ impl CsrMatrix {
             vals[at] = coo.vals[k];
             cursor[r] += 1;
         }
-        CsrMatrix { order: coo.order, row_ptr, col_idx, vals }
+        CsrMatrix {
+            order: coo.order,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 
     /// Number of nonzeros.
@@ -184,7 +189,12 @@ impl CsrMatrix {
                 cursor[c] += 1;
             }
         }
-        CsrMatrix { order: n, row_ptr, col_idx, vals }
+        CsrMatrix {
+            order: n,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 }
 

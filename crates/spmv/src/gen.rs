@@ -51,8 +51,9 @@ pub fn circuit_matrix(order: usize, avg_row: f64, full_rows: usize, seed: u64) -
     let mut vals = Vec::new();
 
     // The rails: spread them through the index space like real netlists.
-    let rail_rows: Vec<usize> =
-        (0..full_rows).map(|k| k * order / full_rows.max(1)).collect();
+    let rail_rows: Vec<usize> = (0..full_rows)
+        .map(|k| k * order / full_rows.max(1))
+        .collect();
     let rail_set: HashSet<usize> = rail_rows.iter().copied().collect();
 
     for r in 0..order {

@@ -69,7 +69,13 @@ impl JaggedDiagonal {
             }
             start.push(vals.len());
         }
-        JaggedDiagonal { order, perm, start, col_idx, vals }
+        JaggedDiagonal {
+            order,
+            perm,
+            start,
+            col_idx,
+            vals,
+        }
     }
 
     /// Number of jagged diagonals (the length of the longest row).

@@ -77,9 +77,15 @@ mod tests {
     #[test]
     fn circuit_matrix_row_pathology_is_harmless() {
         let coo = crate::gen::circuit_matrix(300, 7.5, 2, 5);
-        let x: Vec<f64> = (0..300).map(|i| ((i * 3) % 11) as f64 * 0.5 - 2.0).collect();
+        let x: Vec<f64> = (0..300)
+            .map(|i| ((i * 3) % 11) as f64 * 0.5 - 2.0)
+            .collect();
         let expect = dense_reference(&coo, &x);
-        assert!(approx_eq(&mp_spmv(&coo, &x, Engine::Spinetree), &expect, 1e-9));
+        assert!(approx_eq(
+            &mp_spmv(&coo, &x, Engine::Spinetree),
+            &expect,
+            1e-9
+        ));
     }
 
     #[test]
@@ -112,9 +118,8 @@ pub struct PreparedMpSpmv {
 impl PreparedMpSpmv {
     /// Build the reusable structure (the setup phase).
     pub fn new(matrix: &CooMatrix) -> Self {
-        let prepared =
-            multiprefix::spinetree::PreparedMultiprefix::new(&matrix.rows, matrix.order)
-                .expect("CooMatrix row indices are within the order");
+        let prepared = multiprefix::spinetree::PreparedMultiprefix::new(&matrix.rows, matrix.order)
+            .expect("CooMatrix row indices are within the order");
         PreparedMpSpmv {
             prepared,
             cols: matrix.cols.clone(),
@@ -167,9 +172,14 @@ mod prepared_tests {
         let coo = crate::gen::uniform_random(300, 0.02, 5);
         let prepared = PreparedMpSpmv::new(&coo);
         for seed in 0..4 {
-            let x: Vec<f64> = (0..300).map(|i| ((i + seed) % 13) as f64 * 0.3 - 1.5).collect();
+            let x: Vec<f64> = (0..300)
+                .map(|i| ((i + seed) % 13) as f64 * 0.3 - 1.5)
+                .collect();
             let expect = dense_reference(&coo, &x);
-            assert!(approx_eq(&prepared.multiply(&x), &expect, 1e-9), "seed {seed}");
+            assert!(
+                approx_eq(&prepared.multiply(&x), &expect, 1e-9),
+                "seed {seed}"
+            );
         }
     }
 

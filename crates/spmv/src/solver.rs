@@ -121,7 +121,10 @@ pub fn jacobi(
     let n = route.order();
     assert_eq!(diag.len(), n);
     assert_eq!(b.len(), n);
-    assert!(diag.iter().all(|&d| d != 0.0), "Jacobi needs a nonzero diagonal");
+    assert!(
+        diag.iter().all(|&d| d != 0.0),
+        "Jacobi needs a nonzero diagonal"
+    );
     let mut x = vec![0.0f64; n];
     let mut residual = f64::INFINITY;
     let mut iterations = 0;
@@ -142,18 +145,18 @@ pub fn jacobi(
         x = next;
         iterations += 1;
     }
-    IterationResult { x, iterations, residual }
+    IterationResult {
+        x,
+        iterations,
+        residual,
+    }
 }
 
 /// Power iteration: estimate the dominant eigenpair by repeated
 /// multiplication. Returns the iteration state (whose `residual` is the
 /// last normalized change of the eigenvector estimate) together with the
 /// Rayleigh-quotient eigenvalue estimate.
-pub fn power_iteration(
-    route: &dyn SpmvRoute,
-    tol: f64,
-    max_iter: usize,
-) -> (IterationResult, f64) {
+pub fn power_iteration(route: &dyn SpmvRoute, tol: f64, max_iter: usize) -> (IterationResult, f64) {
     let n = route.order();
     let mut x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64 * 0.1).collect();
     normalize(&mut x);
@@ -185,7 +188,14 @@ pub fn power_iteration(
         x = y;
         iterations += 1;
     }
-    (IterationResult { x, iterations, residual }, lambda)
+    (
+        IterationResult {
+            x,
+            iterations,
+            residual,
+        },
+        lambda,
+    )
 }
 
 fn normalize(v: &mut [f64]) -> f64 {
@@ -244,12 +254,19 @@ mod tests {
         let (a, diag, b) = test_system(200, 1);
         let x_expected = {
             let r = jacobi(&CsrRoute(CsrMatrix::from_coo(&a)), &diag, &b, 1e-12, 500);
-            assert!(r.residual < 1e-10, "CSR Jacobi did not converge: {}", r.residual);
+            assert!(
+                r.residual < 1e-10,
+                "CSR Jacobi did not converge: {}",
+                r.residual
+            );
             r.x
         };
         let routes: Vec<Box<dyn SpmvRoute>> = vec![
             Box::new(JdRoute(JaggedDiagonal::from_coo(&a))),
-            Box::new(MpRoute { coo: a.clone(), engine: Engine::Blocked }),
+            Box::new(MpRoute {
+                coo: a.clone(),
+                engine: Engine::Blocked,
+            }),
         ];
         for route in routes {
             let r = jacobi(route.as_ref(), &diag, &b, 1e-12, 500);
@@ -285,7 +302,10 @@ mod tests {
             .zip(&r.x)
             .map(|(&y, &v)| (y - lambda * v).abs())
             .fold(0.0f64, f64::max);
-        assert!(err < 1e-6 * lambda.abs().max(1.0), "eigen-residual {err}, λ = {lambda}");
+        assert!(
+            err < 1e-6 * lambda.abs().max(1.0),
+            "eigen-residual {err}, λ = {lambda}"
+        );
     }
 
     #[test]
@@ -294,7 +314,10 @@ mod tests {
         let (_, l_csr) = power_iteration(&CsrRoute(CsrMatrix::from_coo(&a)), 1e-10, 2000);
         let (_, l_jd) = power_iteration(&JdRoute(JaggedDiagonal::from_coo(&a)), 1e-10, 2000);
         let (_, l_mp) = power_iteration(
-            &MpRoute { coo: a.clone(), engine: Engine::Serial },
+            &MpRoute {
+                coo: a.clone(),
+                engine: Engine::Serial,
+            },
             1e-10,
             2000,
         );
@@ -324,8 +347,8 @@ mod tests {
 mod prepared_route_tests {
     use super::*;
     use crate::gen::uniform_random;
-    use crate::{approx_eq, dense_reference};
     use crate::mp_spmv::PreparedMpSpmv;
+    use crate::{approx_eq, dense_reference};
 
     #[test]
     fn prepared_route_converges_like_the_rest() {
@@ -334,10 +357,19 @@ mod prepared_route_tests {
         let x_true: Vec<f64> = (0..180).map(|i| (i % 5) as f64 - 2.0).collect();
         let b = dense_reference(&a, &x_true);
         let csr = jacobi(&CsrRoute(CsrMatrix::from_coo(&a)), &diag, &b, 1e-12, 500);
-        let prepared = jacobi(&PreparedMpRoute(PreparedMpSpmv::new(&a)), &diag, &b, 1e-12, 500);
+        let prepared = jacobi(
+            &PreparedMpRoute(PreparedMpSpmv::new(&a)),
+            &diag,
+            &b,
+            1e-12,
+            500,
+        );
         assert!(prepared.residual < 1e-10);
         assert!(approx_eq(&prepared.x, &csr.x, 1e-6));
-        assert_eq!(prepared.iterations, csr.iterations, "same trajectory, same count");
+        assert_eq!(
+            prepared.iterations, csr.iterations,
+            "same trajectory, same count"
+        );
     }
 
     #[test]
@@ -406,7 +438,11 @@ pub fn conjugate_gradient(
         rs_old = rs_new;
         iterations += 1;
     }
-    IterationResult { x, iterations, residual: rs_old.sqrt() }
+    IterationResult {
+        x,
+        iterations,
+        residual: rs_old.sqrt(),
+    }
 }
 
 /// Build a random symmetric positive-definite matrix from a sparse
@@ -468,7 +504,12 @@ mod cg_tests {
         ];
         for route in routes {
             let r = conjugate_gradient(route.as_ref(), &b, 1e-10, 1000);
-            assert!(r.residual < 1e-9, "{}: residual {}", route.name(), r.residual);
+            assert!(
+                r.residual < 1e-9,
+                "{}: residual {}",
+                route.name(),
+                r.residual
+            );
             assert!(
                 approx_eq(&r.x, &x_true, 1e-6),
                 "{}: wrong solution",

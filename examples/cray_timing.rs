@@ -17,7 +17,9 @@ fn labels_for_load(n: usize, load: usize, seed: u64) -> (Vec<usize>, usize) {
     let mut state = seed | 1;
     let labels = (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as usize) % m
         })
         .collect();
@@ -25,13 +27,18 @@ fn labels_for_load(n: usize, load: usize, seed: u64) -> (Vec<usize>, usize) {
 }
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(262_144);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(262_144);
     let book = CostBook::default();
     let values = vec![1i64; n];
 
     println!("simulated CRAY Y-MP, n = {n} (6 ns clocks per element)\n");
-    println!("{:<10} {:>6} {:>10} {:>8} {:>9} {:>10} {:>8} {:>9}",
-        "load", "INIT", "SPINETREE", "ROWSUM", "SPINESUM", "PREFIXSUM", "TOTAL", "ms");
+    println!(
+        "{:<10} {:>6} {:>10} {:>8} {:>9} {:>10} {:>8} {:>9}",
+        "load", "INIT", "SPINETREE", "ROWSUM", "SPINESUM", "PREFIXSUM", "TOTAL", "ms"
+    );
     for load in [1usize, 16, 256, n] {
         let (labels, m) = labels_for_load(n, load, 11);
         let mut machine = VectorMachine::ymp();
@@ -40,7 +47,11 @@ fn main() {
         let f = n as f64;
         println!(
             "{:<10} {:>6.1} {:>10.1} {:>8.1} {:>9.1} {:>10.1} {:>8.1} {:>9.2}",
-            if load == n { "n (heavy)".to_string() } else { format!("{load}") },
+            if load == n {
+                "n (heavy)".to_string()
+            } else {
+                format!("{load}")
+            },
             c.init / f,
             c.spinetree / f,
             c.rowsum / f,

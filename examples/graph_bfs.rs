@@ -50,7 +50,11 @@ fn build_graph(n: usize, edges: &[(usize, usize)]) -> Graph {
     }
     let mut offsets = offsets;
     offsets.push(edges.len());
-    Graph { offsets, targets, n }
+    Graph {
+        offsets,
+        targets,
+        n,
+    }
 }
 
 /// Data-parallel BFS: per level, expand the frontier through the CSR
@@ -103,12 +107,17 @@ fn bfs_reference(g: &Graph, root: usize) -> Vec<i64> {
 }
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
     // A random sparse digraph (avg out-degree 8) plus a ring so it is
     // connected from vertex 0.
     let mut state = 0xABCDEFu64;
     let mut step = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as usize
     };
     let mut edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();

@@ -13,7 +13,10 @@ use multiprefix::Engine;
 use std::time::Instant;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1 << 20);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 20);
     println!("NAS IS-style workload: {n} keys in [0, 2^19), sum-of-4-uniforms distribution\n");
 
     let mut rng = NasRng::standard();
@@ -28,7 +31,10 @@ fn main() {
         last_ranks = rank_keys(&keys, MAX_KEY, Engine::Blocked).unwrap();
     }
     let elapsed = t.elapsed();
-    assert!(full_verify(&keys, &last_ranks), "NAS full verification failed");
+    assert!(
+        full_verify(&keys, &last_ranks),
+        "NAS full verification failed"
+    );
     println!("{ITERATIONS} ranking iterations (Engine::Blocked): {elapsed:?} — full_verify OK");
 
     // Agreement across the independent implementations.

@@ -10,14 +10,17 @@ use multiprefix::Engine;
 use spmv::gen::uniform_random;
 use spmv::mp_spmv::PreparedMpSpmv;
 use spmv::solver::{
-    jacobi, make_diagonally_dominant, power_iteration, CsrRoute, JdRoute, MpRoute,
-    PreparedMpRoute, SpmvRoute,
+    jacobi, make_diagonally_dominant, power_iteration, CsrRoute, JdRoute, MpRoute, PreparedMpRoute,
+    SpmvRoute,
 };
 use spmv::{dense_reference, CsrMatrix, JaggedDiagonal};
 use std::time::Instant;
 
 fn main() {
-    let order: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let order: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
     let pattern = uniform_random(order, 0.005, 11);
     let (a, diag) = make_diagonally_dominant(&pattern);
     let x_true: Vec<f64> = (0..order).map(|i| ((i % 13) as f64 - 6.0) * 0.25).collect();
@@ -30,18 +33,20 @@ fn main() {
     let routes: Vec<Box<dyn SpmvRoute>> = vec![
         Box::new(CsrRoute(CsrMatrix::from_coo(&a))),
         Box::new(JdRoute(JaggedDiagonal::from_coo(&a))),
-        Box::new(MpRoute { coo: a.clone(), engine: Engine::Blocked }),
+        Box::new(MpRoute {
+            coo: a.clone(),
+            engine: Engine::Blocked,
+        }),
         Box::new(PreparedMpRoute(PreparedMpSpmv::new(&a))),
     ];
     for route in &routes {
         let t = Instant::now();
         let r = jacobi(route.as_ref(), &diag, &b, 1e-12, 300);
-        let err = r
-            .x
-            .iter()
-            .zip(&x_true)
-            .map(|(&got, &want)| (got - want).abs())
-            .fold(0.0f64, f64::max);
+        let err =
+            r.x.iter()
+                .zip(&x_true)
+                .map(|(&got, &want)| (got - want).abs())
+                .fold(0.0f64, f64::max);
         println!(
             "{:<24} {:>3} iterations, residual {:.2e}, max error {:.2e}, {:?}",
             route.name(),

@@ -52,7 +52,10 @@ fn main() {
     // §1.2: a combining write simulated on the ARB machine.
     let memory: Vec<i64> = (0..8).map(|i| i * 100).collect();
     let requests: Vec<WriteRequest> = (0..64)
-        .map(|i| WriteRequest { addr: (i * 5) % 8, value: i as i64 })
+        .map(|i| WriteRequest {
+            addr: (i * 5) % 8,
+            value: i as i64,
+        })
         .collect();
     let direct = combining_write_direct(&memory, &requests).unwrap();
     let sim = combining_write_on_arb(&memory, &requests, 9).unwrap();

@@ -27,7 +27,10 @@ fn main() {
     // -- Histogram (the "Vector Update Loop" / combining-send of the CM).
     let keys = [2usize, 0, 2, 2, 1, 0, 2];
     println!("keys:               {keys:?}");
-    println!("histogram:          {:?}", histogram(&keys, 4, Engine::Auto).unwrap());
+    println!(
+        "histogram:          {:?}",
+        histogram(&keys, 4, Engine::Auto).unwrap()
+    );
     let weights = [10i64, 5, 20, 30, 7, 2, 40];
     println!(
         "max weight per key: {:?}\n",
@@ -41,7 +44,10 @@ fn main() {
     let increments = [1i64, 2, 50, 4];
     let r = fetch_and_op(&memory, &addresses, &increments, Plus, Engine::Auto).unwrap();
     println!("fetch-and-add on memory {memory:?}:");
-    println!("  requests (addr, inc): {:?}", addresses.iter().zip(&increments).collect::<Vec<_>>());
+    println!(
+        "  requests (addr, inc): {:?}",
+        addresses.iter().zip(&increments).collect::<Vec<_>>()
+    );
     println!("  fetched (vector order, deterministic): {:?}", r.fetched);
     println!("  final memory: {:?}", r.memory);
     assert_eq!(r.fetched, vec![100, 101, 200, 103]);

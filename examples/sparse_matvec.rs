@@ -32,7 +32,11 @@ fn main() {
     let setup = t.elapsed();
     let t = Instant::now();
     let y_jd = jd.spmv(&x);
-    println!("JD    setup {setup:?}, eval {:?}, {} jagged diagonals", t.elapsed(), jd.n_diags());
+    println!(
+        "JD    setup {setup:?}, eval {:?}, {} jagged diagonals",
+        t.elapsed(),
+        jd.n_diags()
+    );
 
     let t = Instant::now();
     let y_mp = mp_spmv(&coo, &x, Engine::Blocked);
@@ -61,7 +65,9 @@ fn main() {
         jd.n_diags(),
         circuit.order
     );
-    let x: Vec<f64> = (0..circuit.order).map(|i| (i as f64 * 0.001).cos()).collect();
+    let x: Vec<f64> = (0..circuit.order)
+        .map(|i| (i as f64 * 0.001).cos())
+        .collect();
     let y = mp_spmv(&circuit, &x, Engine::Blocked);
     assert!(approx_eq(&y, &dense_reference(&circuit, &x), 1e-9));
     println!("multiprefix route is indifferent to the row-length pathology — results verified");

@@ -31,16 +31,23 @@ fn main() {
         println!("{snap}");
     }
 
-    println!("The spine of class 2 (root first): {}", spine_path(&layout, &spine, &labels, 2));
+    println!(
+        "The spine of class 2 (root first): {}",
+        spine_path(&layout, &spine, &labels, 2)
+    );
     println!("(the paper's run elected elements 3 and 6; arbitration is free");
     println!("to pick others — the sums never change)\n");
 
     let violations = check_spinetree(&labels, &layout, &spine);
-    println!("Theorem 1/2 + corollaries mechanically checked: {} violations\n", violations.len());
+    println!(
+        "Theorem 1/2 + corollaries mechanically checked: {} violations\n",
+        violations.len()
+    );
     assert!(violations.is_empty());
 
     println!("== Running all four phases (Figure 7) ==");
-    let run = multiprefix_spinetree_instrumented(&values, &labels, Plus, layout, ArbPolicy::LastWins);
+    let run =
+        multiprefix_spinetree_instrumented(&values, &labels, Plus, layout, ArbPolicy::LastWins);
     println!("multiprefix sums: {:?}", run.output.sums);
     println!("reductions:       {:?}", run.output.reductions);
     println!("(a multiprefix of ones enumerates the class: 0,1,2,...,8 and");
@@ -49,12 +56,20 @@ fn main() {
     println!("step/work accounting (S = O(sqrt n), W = O(n)):");
     let names = ["INIT", "SPINETREE", "ROWSUMS", "SPINESUMS", "MULTISUMS"];
     for (name, ph) in names.iter().zip(&run.phases) {
-        println!("  {name:<10} steps = {:>2}  work = {:>2}", ph.steps, ph.work);
+        println!(
+            "  {name:<10} steps = {:>2}  work = {:>2}",
+            ph.steps, ph.work
+        );
     }
-    println!("  total      steps = {:>2}  work = {:>2}", run.total_steps(), run.total_work());
+    println!(
+        "  total      steps = {:>2}  work = {:>2}",
+        run.total_steps(),
+        run.total_work()
+    );
 
     // And with a different arbitration, the tree differs but not the sums.
-    let alt = multiprefix_spinetree_instrumented(&values, &labels, Plus, layout, ArbPolicy::Seeded(7));
+    let alt =
+        multiprefix_spinetree_instrumented(&values, &labels, Plus, layout, ArbPolicy::Seeded(7));
     assert_eq!(alt.output.sums, run.output.sums);
     println!("\nSeeded arbitration produces the same sums from a different tree. QED.");
 }

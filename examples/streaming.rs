@@ -20,20 +20,32 @@ fn main() {
 
     let mut state = 0xC0FFEEu64;
     let mut step = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as usize
     };
-    let event_tenants: Vec<&str> = (0..n_events).map(|_| tenants[step() % tenants.len()]).collect();
+    let event_tenants: Vec<&str> = (0..n_events)
+        .map(|_| tenants[step() % tenants.len()])
+        .collect();
     let event_bytes: Vec<i64> = (0..n_events).map(|_| (step() % 1500) as i64).collect();
 
     // Tenant names → dense labels (first-occurrence order).
     let (labels, distinct) = compress_keys(&event_tenants);
-    println!("{} events over {} tenants, chunks of {}\n", n_events, distinct.len(), chunk_size);
+    println!(
+        "{} events over {} tenants, chunks of {}\n",
+        n_events,
+        distinct.len(),
+        chunk_size
+    );
 
     let mut stream = MultiprefixStream::new(distinct.len(), Plus, Engine::Blocked);
     let mut checkpoints = Vec::new();
     let t = std::time::Instant::now();
-    for (vals, labs) in event_bytes.chunks(chunk_size).zip(labels.chunks(chunk_size)) {
+    for (vals, labs) in event_bytes
+        .chunks(chunk_size)
+        .zip(labels.chunks(chunk_size))
+    {
         let prefixes = stream.feed(vals, labs).unwrap();
         // `prefixes[i]` = bytes this tenant had sent *before* this event —
         // e.g. usable for per-tenant rate limiting as the log streams by.
@@ -41,14 +53,20 @@ fn main() {
     }
     let elapsed = t.elapsed();
 
-    println!("processed in {elapsed:?}; checkpoint samples (events seen, last event's prior bytes):");
+    println!(
+        "processed in {elapsed:?}; checkpoint samples (events seen, last event's prior bytes):"
+    );
     for (seen, prior) in checkpoints.iter().step_by(4) {
         println!("  after {seen:>8} events: {prior:>12}");
     }
 
     let totals = stream.finish();
     println!("\nfinal per-tenant byte totals:");
-    let mut rows: Vec<(&str, i64)> = distinct.iter().copied().zip(totals.iter().copied()).collect();
+    let mut rows: Vec<(&str, i64)> = distinct
+        .iter()
+        .copied()
+        .zip(totals.iter().copied())
+        .collect();
     rows.sort_by_key(|&(_, b)| std::cmp::Reverse(b));
     for (tenant, bytes) in &rows {
         println!("  {tenant:<10} {bytes:>14}");

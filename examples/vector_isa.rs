@@ -12,12 +12,17 @@ use multiprefix::serial::multiprefix_serial;
 use multiprefix::spinetree::Layout;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4096);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
     let m = (n / 16).max(1);
     let mut state = 0x1234_5678u64;
     let labels: Vec<usize> = (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as usize) % m
         })
         .collect();
@@ -25,9 +30,19 @@ fn main() {
     let layout = Layout::square(n, m);
 
     let (program, map) = emit_multiprefix(&layout);
-    println!("compiled multiprefix for n = {n}, m = {m} (grid {} x {}):", layout.n_rows, layout.row_len);
-    println!("  {} static instructions, {} memory cells", program.len(), map.cells);
-    let gathers = program.iter().filter(|i| matches!(i, cray_sim::isa::Inst::VGather { .. })).count();
+    println!(
+        "compiled multiprefix for n = {n}, m = {m} (grid {} x {}):",
+        layout.n_rows, layout.row_len
+    );
+    println!(
+        "  {} static instructions, {} memory cells",
+        program.len(),
+        map.cells
+    );
+    let gathers = program
+        .iter()
+        .filter(|i| matches!(i, cray_sim::isa::Inst::VGather { .. }))
+        .count();
     let scatters = program
         .iter()
         .filter(|i| {
@@ -40,7 +55,8 @@ fn main() {
     println!("  {gathers} gathers, {scatters} scatters (incl. masked)\n");
 
     let run = run_multiprefix_isa(&values, &labels, m, layout).expect("program is well formed");
-    println!("executed: {} instructions, {:.0} clocks ({:.2} clk/elt, {:.3} ms at 6 ns)",
+    println!(
+        "executed: {} instructions, {:.0} clocks ({:.2} clk/elt, {:.3} ms at 6 ns)",
         run.instructions,
         run.clocks,
         run.clocks / n as f64,
@@ -53,9 +69,7 @@ fn main() {
     println!("results bit-identical to the host library\n");
 
     println!("first 8 sums: {:?}", &run.output.sums[..8.min(n)]);
-    println!(
-        "\"A vector computer with scatter/gather capability may simulate a"
-    );
+    println!("\"A vector computer with scatter/gather capability may simulate a");
     println!("synchronous PRAM algorithm by issuing one vector operation for");
     println!("each parallel step.\" — §1.1, now literally executed.");
 }

@@ -77,8 +77,18 @@ fn table5_jd_collapse_holds_in_the_model() {
     let mut mc = VectorMachine::ymp();
     let csr = csr_clocks(&mut mc, &book, &csr_m.row_lengths());
     // MP best total; JD total even behind CSR (the paper's Table 5 shape).
-    assert!(mp.total() < csr.total(), "MP {:.0} vs CSR {:.0}", mp.total(), csr.total());
-    assert!(mp.total() < jd.total(), "MP {:.0} vs JD {:.0}", mp.total(), jd.total());
+    assert!(
+        mp.total() < csr.total(),
+        "MP {:.0} vs CSR {:.0}",
+        mp.total(),
+        csr.total()
+    );
+    assert!(
+        mp.total() < jd.total(),
+        "MP {:.0} vs JD {:.0}",
+        mp.total(),
+        jd.total()
+    );
     assert!(
         jd.total() > csr.total(),
         "the rails should drag JD ({:.0}) behind even CSR ({:.0})",

@@ -38,8 +38,11 @@ fn running_argmax_window_analysis() {
     // index of the largest earlier value in the same session.
     let values: Vec<i64> = vec![3, 9, 2, 9, 1, 7, 8, 9];
     let sessions: Vec<usize> = vec![0, 1, 0, 0, 1, 1, 0, 1];
-    let pairs: Vec<(i64, i64)> =
-        values.iter().enumerate().map(|(i, &v)| (v, i as i64)).collect();
+    let pairs: Vec<(i64, i64)> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as i64))
+        .collect();
     let out = multiprefix(&pairs, &sessions, 2, ArgMax, Engine::Serial).unwrap();
     // Event 6 (session 0): preceding session-0 values are 3@0, 2@2, 9@3.
     assert_eq!(out.sums[6], (9, 3));

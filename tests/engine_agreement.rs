@@ -13,11 +13,12 @@ use proptest::prelude::*;
 /// Random (values, labels, m) triples with m ≥ 1 and labels < m.
 fn problem() -> impl Strategy<Value = (Vec<i64>, Vec<usize>, usize)> {
     (1usize..40).prop_flat_map(|m| {
-        proptest::collection::vec((any::<i32>().prop_map(|v| v as i64), 0..m), 0..300)
-            .prop_map(move |pairs| {
+        proptest::collection::vec((any::<i32>().prop_map(|v| v as i64), 0..m), 0..300).prop_map(
+            move |pairs| {
                 let (values, labels): (Vec<i64>, Vec<usize>) = pairs.into_iter().unzip();
                 (values, labels, m)
-            })
+            },
+        )
     })
 }
 

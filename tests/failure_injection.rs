@@ -6,16 +6,26 @@ use multiprefix::fetch_op::fetch_and_op;
 use multiprefix::histogram::histogram;
 use multiprefix::keyed::multiprefix_by_key;
 use multiprefix::op::Plus;
+use multiprefix::spinetree::Layout;
 use multiprefix::{multiprefix, multireduce, Engine, MpError};
-use pram::{Pram, PramError, WritePolicy};
+use pram::{multiprefix_with_faults, FaultPlan, Pram, PramError, WritePolicy};
 
 #[test]
 fn every_engine_rejects_out_of_range_labels() {
-    for engine in [Engine::Serial, Engine::Spinetree, Engine::Blocked, Engine::Auto] {
+    for engine in [
+        Engine::Serial,
+        Engine::Spinetree,
+        Engine::Blocked,
+        Engine::Auto,
+    ] {
         let err = multiprefix(&[1i64, 2, 3], &[0, 5, 1], 3, Plus, engine).unwrap_err();
         assert_eq!(
             err,
-            MpError::LabelOutOfRange { index: 1, label: 5, m: 3 },
+            MpError::LabelOutOfRange {
+                index: 1,
+                label: 5,
+                m: 3
+            },
             "{engine:?}"
         );
     }
@@ -23,9 +33,21 @@ fn every_engine_rejects_out_of_range_labels() {
 
 #[test]
 fn every_engine_rejects_length_mismatch() {
-    for engine in [Engine::Serial, Engine::Spinetree, Engine::Blocked, Engine::Auto] {
+    for engine in [
+        Engine::Serial,
+        Engine::Spinetree,
+        Engine::Blocked,
+        Engine::Auto,
+    ] {
         let err = multireduce(&[1i64, 2], &[0], 1, Plus, engine).unwrap_err();
-        assert_eq!(err, MpError::LengthMismatch { values: 2, labels: 1 }, "{engine:?}");
+        assert_eq!(
+            err,
+            MpError::LengthMismatch {
+                values: 2,
+                labels: 1
+            },
+            "{engine:?}"
+        );
     }
 }
 
@@ -67,6 +89,74 @@ fn wrapping_overflow_is_defined_behavior() {
 }
 
 #[test]
+fn arbitration_faults_are_injected_and_detected() {
+    // The fault harness corrupts a fraction of multi-writer ARB commits —
+    // the one component of the paper's machine a bounds check cannot
+    // protect — and the serial cross-check must flag the corrupted output.
+    let n = 625;
+    let values: Vec<i64> = (1..=n as i64).collect();
+    let labels = vec![0usize; n];
+    let layout = Layout::square(n, 1);
+
+    // A clean machine passes the same cross-check.
+    let clean = multiprefix_with_faults(
+        &values,
+        &labels,
+        1,
+        layout,
+        17,
+        FaultPlan {
+            seed: 0,
+            rate_ppm: 0,
+        },
+    )
+    .unwrap();
+    assert_eq!(clean.faults_injected, 0);
+    assert_eq!(clean.detection, Ok(()));
+
+    // A hostile arbiter does not.
+    let faulty = multiprefix_with_faults(
+        &values,
+        &labels,
+        1,
+        layout,
+        17,
+        FaultPlan {
+            seed: 0,
+            rate_ppm: 1_000_000,
+        },
+    )
+    .unwrap();
+    assert!(
+        faulty.faults_injected > 0,
+        "single-class input must contend"
+    );
+    assert!(
+        matches!(faulty.detection, Err(MpError::VerificationFailed { .. })),
+        "corruption must be detected, got {:?}",
+        faulty.detection
+    );
+    assert!(faulty.faults_detected());
+}
+
+#[test]
+fn fault_reports_replay_deterministically() {
+    let n = 400;
+    let values: Vec<i64> = (0..n as i64).map(|i| i * 3 + 1).collect();
+    let labels = vec![0usize; n];
+    let layout = Layout::square(n, 1);
+    let plan = FaultPlan {
+        seed: 33,
+        rate_ppm: 150_000,
+    };
+    let a = multiprefix_with_faults(&values, &labels, 1, layout, 5, plan).unwrap();
+    let b = multiprefix_with_faults(&values, &labels, 1, layout, 5, plan).unwrap();
+    assert_eq!(a.faults_injected, b.faults_injected);
+    assert_eq!(a.detection, b.detection);
+    assert_eq!(a.run.output, b.run.output);
+}
+
+#[test]
 fn pram_policy_violations_are_reported_and_harmless() {
     // A CREW machine must reject a concurrent write and leave memory
     // untouched; the same program is then legal under ARB.
@@ -74,7 +164,14 @@ fn pram_policy_violations_are_reported_and_harmless() {
 
     let mut crew = Pram::new(1, WritePolicy::Crew, 0);
     let err = program(&mut crew).unwrap_err();
-    assert!(matches!(err, PramError::WriteConflict { addr: 0, processors: 4, .. }));
+    assert!(matches!(
+        err,
+        PramError::WriteConflict {
+            addr: 0,
+            processors: 4,
+            ..
+        }
+    ));
     assert_eq!(crew.mem()[0], 0, "failed step must not commit");
     assert_eq!(crew.metrics().steps, 0, "failed step must not count");
 
@@ -91,7 +188,14 @@ fn pram_erew_rejects_concurrent_read_with_location() {
             ctx.read(5);
         })
         .unwrap_err();
-    assert_eq!(err, PramError::ReadConflict { step: 0, addr: 5, processors: 3 });
+    assert_eq!(
+        err,
+        PramError::ReadConflict {
+            step: 0,
+            addr: 5,
+            processors: 3
+        }
+    );
     assert!(err.to_string().contains("cell 5"));
 }
 
@@ -103,7 +207,11 @@ fn isa_rejects_out_of_bounds_and_bad_vl() {
         Inst::SetVl { len: 8 },
         Inst::SLoadImm { dst: 0, imm: 4 },
         Inst::SLoadImm { dst: 1, imm: 1 },
-        Inst::VLoad { dst: 0, base: 0, stride: 1 },
+        Inst::VLoad {
+            dst: 0,
+            base: 0,
+            stride: 1,
+        },
     ]);
     assert!(matches!(err, Err(IsaError::MemOutOfBounds { .. })));
 

@@ -48,16 +48,27 @@ fn isa_and_coarse_model_agree_on_cost_trends() {
     // grows roughly linearly in n.
     let run_isa = |n: usize, m: usize| {
         let values = vec![1i64; n];
-        let labels: Vec<usize> =
-            (0..n).map(|i| if m == 1 { 0 } else { (i * 2654435761) % m }).collect();
-        run_multiprefix_isa(&values, &labels, m, Layout::square(n, m)).unwrap().clocks
+        let labels: Vec<usize> = (0..n)
+            .map(|i| if m == 1 { 0 } else { (i * 2654435761) % m })
+            .collect();
+        run_multiprefix_isa(&values, &labels, m, Layout::square(n, m))
+            .unwrap()
+            .clocks
     };
     let run_coarse = |n: usize, m: usize| {
         let values = vec![1i64; n];
-        let labels: Vec<usize> =
-            (0..n).map(|i| if m == 1 { 0 } else { (i * 2654435761) % m }).collect();
+        let labels: Vec<usize> = (0..n)
+            .map(|i| if m == 1 { 0 } else { (i * 2654435761) % m })
+            .collect();
         let mut machine = VectorMachine::ymp();
-        multiprefix_timed(&mut machine, &CostBook::default(), &values, &labels, m, MpVariant::FULL);
+        multiprefix_timed(
+            &mut machine,
+            &CostBook::default(),
+            &values,
+            &labels,
+            m,
+            MpVariant::FULL,
+        );
         machine.clocks()
     };
 
@@ -68,7 +79,10 @@ fn isa_and_coarse_model_agree_on_cost_trends() {
         let small = run(4096, 256);
         let large = run(16384, 1024);
         let growth = large / small;
-        assert!((2.0..8.0).contains(&growth), "4x data should cost ~4x: {growth}");
+        assert!(
+            (2.0..8.0).contains(&growth),
+            "4x data should cost ~4x: {growth}"
+        );
     }
 }
 
@@ -80,16 +94,27 @@ fn pram_work_and_isa_instructions_are_both_linear() {
         let values = vec![1i64; n];
         let labels: Vec<usize> = (0..n).map(|i| i % 7).collect();
         let layout = Layout::square(n, 7);
-        let pram_work =
-            multiprefix_on_pram(&values, &labels, 7, layout, 1).unwrap().total.work as f64;
-        let isa_instr =
-            run_multiprefix_isa(&values, &labels, 7, layout).unwrap().instructions as f64;
+        let pram_work = multiprefix_on_pram(&values, &labels, 7, layout, 1)
+            .unwrap()
+            .total
+            .work as f64;
+        let isa_instr = run_multiprefix_isa(&values, &labels, 7, layout)
+            .unwrap()
+            .instructions as f64;
         (pram_work, isa_instr)
     };
     let (w1, i1) = measure(2048);
     let (w2, i2) = measure(8192);
-    assert!((3.0..5.5).contains(&(w2 / w1)), "PRAM work growth {}", w2 / w1);
+    assert!(
+        (3.0..5.5).contains(&(w2 / w1)),
+        "PRAM work growth {}",
+        w2 / w1
+    );
     // ISA instruction count is ~linear but has per-strip constants; allow
     // a wider band.
-    assert!((2.0..6.0).contains(&(i2 / i1)), "ISA instruction growth {}", i2 / i1);
+    assert!(
+        (2.0..6.0).contains(&(i2 / i1)),
+        "ISA instruction growth {}",
+        i2 / i1
+    );
 }

@@ -74,6 +74,12 @@ fn pram_sort_cost_measures_are_consistent_with_theory() {
     let large = run(4096);
     let step_ratio = large.steps as f64 / small.steps as f64;
     let work_ratio = large.work as f64 / small.work as f64;
-    assert!((1.4..2.8).contains(&step_ratio), "S(4n)/S(n) = {step_ratio}");
-    assert!((2.8..5.0).contains(&work_ratio), "W(4n)/W(n) = {work_ratio}");
+    assert!(
+        (1.4..2.8).contains(&step_ratio),
+        "S(4n)/S(n) = {step_ratio}"
+    );
+    assert!(
+        (2.8..5.0).contains(&work_ratio),
+        "W(4n)/W(n) = {work_ratio}"
+    );
 }

@@ -61,9 +61,16 @@ fn step_count_grows_as_sqrt() {
         let values = vec![1i64; n];
         let labels: Vec<usize> = (0..n).map(|i| i % 5).collect();
         let layout = Layout::square(n, 5);
-        multiprefix_on_pram(&values, &labels, 5, layout, 1).unwrap().total.steps as f64
+        multiprefix_on_pram(&values, &labels, 5, layout, 1)
+            .unwrap()
+            .total
+            .steps as f64
     };
     let (s1, s4, s16) = (steps(1024), steps(4096), steps(16384));
     assert!((1.6..2.5).contains(&(s4 / s1)), "S(4n)/S(n) = {}", s4 / s1);
-    assert!((1.6..2.5).contains(&(s16 / s4)), "S(16n)/S(4n) = {}", s16 / s4);
+    assert!(
+        (1.6..2.5).contains(&(s16 / s4)),
+        "S(16n)/S(4n) = {}",
+        s16 / s4
+    );
 }

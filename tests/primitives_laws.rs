@@ -6,7 +6,7 @@ use multiprefix::histogram::{histogram, histogram_serial};
 use multiprefix::op::{Max, Plus};
 use multiprefix::scan::{exclusive_scan_partition, exclusive_scan_serial};
 use multiprefix::segmented::{
-    segmented_exclusive_scan, segmented_exclusive_scan_serial, segment_count, segment_ids,
+    segment_count, segment_ids, segmented_exclusive_scan, segmented_exclusive_scan_serial,
 };
 use multiprefix::Engine;
 use proptest::prelude::*;

@@ -30,8 +30,10 @@ fn sorted_keys_agree_across_all_sorts() {
     let via_mp = mp_sort(&keys, 1 << 12, Engine::Blocked).unwrap();
     let via_bucket = bucket_sort(&keys, 1 << 12);
     let via_radix: Vec<usize> = radix_sort(&keys64, 8).iter().map(|&k| k as usize).collect();
-    let via_mp_radix: Vec<usize> =
-        mp_radix_sort(&keys64, 6, Engine::Blocked).iter().map(|&k| k as usize).collect();
+    let via_mp_radix: Vec<usize> = mp_radix_sort(&keys64, 6, Engine::Blocked)
+        .iter()
+        .map(|&k| k as usize)
+        .collect();
     let mut via_std = keys.clone();
     via_std.sort_unstable();
 
@@ -48,7 +50,10 @@ fn pair_sorts_are_stable_and_identical() {
     let payloads: Vec<usize> = (0..keys.len()).collect();
     let a = mp_sort_pairs(&keys, &payloads, 64, Engine::Blocked).unwrap();
     let b = counting_sort_pairs(&keys, &payloads, 64);
-    assert_eq!(a, b, "two independent stable sorts must place payloads identically");
+    assert_eq!(
+        a, b,
+        "two independent stable sorts must place payloads identically"
+    );
     // Within equal keys, payload (input position) must ascend.
     for w in a.windows(2) {
         if w[0].0 == w[1].0 {

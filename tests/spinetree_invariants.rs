@@ -9,8 +9,7 @@ use proptest::prelude::*;
 
 fn labeled_grid() -> impl Strategy<Value = (Vec<usize>, usize, usize)> {
     (1usize..20, 1usize..25).prop_flat_map(|(m, row_len)| {
-        proptest::collection::vec(0..m, 0..400)
-            .prop_map(move |labels| (labels, m, row_len))
+        proptest::collection::vec(0..m, 0..400).prop_map(move |labels| (labels, m, row_len))
     })
 }
 

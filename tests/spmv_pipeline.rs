@@ -11,17 +11,27 @@ fn check_all_routes(coo: &CooMatrix, x: &[f64]) {
     let reference = dense_reference(coo, x);
     let csr = CsrMatrix::from_coo(coo);
     assert!(approx_eq(&csr.spmv(x), &reference, 1e-9), "CSR");
-    assert!(approx_eq(&csr.spmv_parallel(x), &reference, 1e-9), "CSR par");
+    assert!(
+        approx_eq(&csr.spmv_parallel(x), &reference, 1e-9),
+        "CSR par"
+    );
     let jd = JaggedDiagonal::from_coo(coo);
     assert!(approx_eq(&jd.spmv(x), &reference, 1e-9), "JD");
     for engine in [Engine::Serial, Engine::Spinetree, Engine::Blocked] {
-        assert!(approx_eq(&mp_spmv(coo, x, engine), &reference, 1e-9), "MP {engine:?}");
+        assert!(
+            approx_eq(&mp_spmv(coo, x, engine), &reference, 1e-9),
+            "MP {engine:?}"
+        );
     }
 }
 
 #[test]
 fn table2_style_matrices() {
-    for (order, rho, seed) in [(1000usize, 0.01f64, 1u64), (2000, 0.005, 2), (500, 0.001, 3)] {
+    for (order, rho, seed) in [
+        (1000usize, 0.01f64, 1u64),
+        (2000, 0.005, 2),
+        (500, 0.001, 3),
+    ] {
         let coo = uniform_random(order, rho, seed);
         coo.validate().unwrap();
         let x: Vec<f64> = (0..order).map(|i| 0.5 + (i % 9) as f64 * 0.125).collect();
@@ -36,8 +46,13 @@ fn table5_style_circuit_matrices() {
         coo.validate().unwrap();
         // Structure: JD diagonal count explodes to ~order.
         let jd = JaggedDiagonal::from_coo(&coo);
-        assert!(jd.n_diags() as f64 > order as f64 * 0.6, "rails must stretch JD");
-        let x: Vec<f64> = (0..order).map(|i| ((i * 13) % 29) as f64 * 0.1 - 1.0).collect();
+        assert!(
+            jd.n_diags() as f64 > order as f64 * 0.6,
+            "rails must stretch JD"
+        );
+        let x: Vec<f64> = (0..order)
+            .map(|i| ((i * 13) % 29) as f64 * 0.1 - 1.0)
+            .collect();
         check_all_routes(&coo, &x);
     }
 }
