@@ -2,19 +2,21 @@
 //! selection.
 
 use crate::blocked::{
-    multiprefix_blocked, multireduce_blocked, try_multiprefix_blocked, try_multireduce_blocked,
+    multiprefix_blocked, multireduce_blocked, try_multiprefix_blocked_ctx,
+    try_multireduce_blocked_ctx,
 };
 use crate::error::MpError;
 use crate::exec::{estimate_engine_mem, ExecConfig};
 use crate::op::{CombineOp, TryCombineOp};
 use crate::oracle::verify_output;
 use crate::problem::{validate_slices, Element, MultiprefixOutput};
+use crate::resilience::RunContext;
 use crate::serial::{
-    multiprefix_serial, multireduce_serial, try_multiprefix_serial, try_multireduce_serial,
+    multiprefix_serial, multireduce_serial, try_multiprefix_serial_ctx, try_multireduce_serial_ctx,
 };
 use crate::spinetree::{
-    multiprefix_spinetree, multireduce_spinetree, try_multiprefix_spinetree,
-    try_multireduce_spinetree,
+    multiprefix_spinetree, multireduce_spinetree, try_multiprefix_spinetree_ctx,
+    try_multireduce_spinetree_ctx,
 };
 
 /// Which implementation executes the operation.
@@ -135,6 +137,37 @@ pub fn try_multiprefix<T: Element, O: TryCombineOp<T>>(
     engine: Engine,
     config: ExecConfig,
 ) -> Result<MultiprefixOutput<T>, MpError> {
+    try_multiprefix_ctx(values, labels, m, op, engine, config, &RunContext::new())
+}
+
+/// [`try_multiprefix`] under a [`RunContext`]: the run — including any
+/// canonicalizing serial replay — honors the context's deadline and
+/// [`crate::CancelToken`], returning [`MpError::DeadlineExceeded`] /
+/// [`MpError::Cancelled`] from the next checkpoint (phase boundaries and
+/// every [`crate::resilience::CHECK_STRIDE`] loop iterations). Also
+/// rejects configs no request can satisfy via
+/// [`ExecConfig::validate_for`].
+///
+/// ```
+/// use multiprefix::{try_multiprefix_ctx, op::Plus, Engine, ExecConfig, MpError, RunContext};
+///
+/// let cancel = multiprefix::CancelToken::new();
+/// cancel.cancel();
+/// let ctx = RunContext::new().with_cancel(&cancel);
+/// let err = try_multiprefix_ctx(&[1i64], &[0], 1, Plus, Engine::Auto,
+///                               ExecConfig::default(), &ctx).unwrap_err();
+/// assert_eq!(err, MpError::Cancelled);
+/// ```
+pub fn try_multiprefix_ctx<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    engine: Engine,
+    config: ExecConfig,
+    ctx: &RunContext,
+) -> Result<MultiprefixOutput<T>, MpError> {
+    config.validate_for(std::mem::size_of::<T>())?;
     validate_slices(values, labels, m)?;
     config.check_buckets(m)?;
     config.check_mem(estimate_engine_mem(
@@ -143,9 +176,15 @@ pub fn try_multiprefix<T: Element, O: TryCombineOp<T>>(
         std::mem::size_of::<T>(),
     ))?;
     let tripped = match resolve(engine, values.len()) {
-        Engine::Serial => return try_multiprefix_serial(values, labels, m, op, config.overflow),
-        Engine::Spinetree => try_multiprefix_spinetree(values, labels, m, op, config.overflow)?,
-        Engine::Blocked => try_multiprefix_blocked(values, labels, m, op, config.overflow)?,
+        Engine::Serial => {
+            return try_multiprefix_serial_ctx(values, labels, m, op, config.overflow, ctx)
+        }
+        Engine::Spinetree => {
+            try_multiprefix_spinetree_ctx(values, labels, m, op, config.overflow, ctx)?
+        }
+        Engine::Blocked => {
+            try_multiprefix_blocked_ctx(values, labels, m, op, config.overflow, ctx)?
+        }
         Engine::Auto => unreachable!("resolve() never returns Auto"),
     };
     match tripped {
@@ -153,7 +192,7 @@ pub fn try_multiprefix<T: Element, O: TryCombineOp<T>>(
         // A checked combine tripped: the engine's grouping overflowed
         // somewhere, so the canonical (serial-order) answer — a result or
         // the first-overflow index — comes from one serial replay.
-        None => try_multiprefix_serial(values, labels, m, op, config.overflow),
+        None => try_multiprefix_serial_ctx(values, labels, m, op, config.overflow, ctx),
     }
 }
 
@@ -175,6 +214,21 @@ pub fn try_multireduce<T: Element, O: TryCombineOp<T>>(
     engine: Engine,
     config: ExecConfig,
 ) -> Result<Vec<T>, MpError> {
+    try_multireduce_ctx(values, labels, m, op, engine, config, &RunContext::new())
+}
+
+/// [`try_multireduce`] under a [`RunContext`]; see [`try_multiprefix_ctx`]
+/// for the deadline/cancellation contract.
+pub fn try_multireduce_ctx<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    engine: Engine,
+    config: ExecConfig,
+    ctx: &RunContext,
+) -> Result<Vec<T>, MpError> {
+    config.validate_for(std::mem::size_of::<T>())?;
     validate_slices(values, labels, m)?;
     config.check_buckets(m)?;
     config.check_mem(estimate_engine_mem(
@@ -183,17 +237,23 @@ pub fn try_multireduce<T: Element, O: TryCombineOp<T>>(
         std::mem::size_of::<T>(),
     ))?;
     if config.overflow.needs_checking() {
-        return try_multireduce_serial(values, labels, m, op, config.overflow);
+        return try_multireduce_serial_ctx(values, labels, m, op, config.overflow, ctx);
     }
     let clean = match resolve(engine, values.len()) {
-        Engine::Serial => return try_multireduce_serial(values, labels, m, op, config.overflow),
-        Engine::Spinetree => try_multireduce_spinetree(values, labels, m, op, config.overflow)?,
-        Engine::Blocked => try_multireduce_blocked(values, labels, m, op, config.overflow)?,
+        Engine::Serial => {
+            return try_multireduce_serial_ctx(values, labels, m, op, config.overflow, ctx)
+        }
+        Engine::Spinetree => {
+            try_multireduce_spinetree_ctx(values, labels, m, op, config.overflow, ctx)?
+        }
+        Engine::Blocked => {
+            try_multireduce_blocked_ctx(values, labels, m, op, config.overflow, ctx)?
+        }
         Engine::Auto => unreachable!("resolve() never returns Auto"),
     };
     match clean {
         Some(red) => Ok(red),
-        None => try_multireduce_serial(values, labels, m, op, config.overflow),
+        None => try_multireduce_serial_ctx(values, labels, m, op, config.overflow, ctx),
     }
 }
 

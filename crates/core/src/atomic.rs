@@ -27,6 +27,7 @@ use crate::error::MpError;
 use crate::exec::{CheckGuard, OverflowPolicy, TryEngineResult};
 use crate::op::{And, CombineOp, Max, Min, Or, Plus, TryCombineOp};
 use crate::problem::MultiprefixOutput;
+use crate::resilience::RunContext;
 use crate::spinetree::layout::Layout;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering::Relaxed};
@@ -238,7 +239,23 @@ pub fn try_multiprefix_atomic<O: AtomicCombine + TryCombineOp<i64>>(
     op: O,
     policy: OverflowPolicy,
 ) -> TryEngineResult<MultiprefixOutput<i64>> {
+    try_multiprefix_atomic_ctx(values, labels, m, op, policy, &RunContext::new())
+}
+
+/// [`try_multiprefix_atomic`] under a [`RunContext`]: the context is polled
+/// at every phase boundary and between the `O(√n)` row/column steps of the
+/// swept phases — never inside a racing parallel closure, so a cancelled
+/// run stops at a step barrier and simply drops its private cell blocks.
+pub fn try_multiprefix_atomic_ctx<O: AtomicCombine + TryCombineOp<i64>>(
+    values: &[i64],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+    ctx: &RunContext,
+) -> TryEngineResult<MultiprefixOutput<i64>> {
     debug_assert_eq!(values.len(), labels.len());
+    ctx.checkpoint()?;
     let layout = Layout::square(values.len(), m);
     let n = layout.n;
     let slots = layout.slots();
@@ -258,6 +275,7 @@ pub fn try_multiprefix_atomic<O: AtomicCombine + TryCombineOp<i64>>(
     // Phase 1 — SPINETREE (identical to the plain engine: pointer writes
     // only, nothing to check).
     for r in layout.rows_top_down() {
+        ctx.checkpoint()?;
         let range = layout.row_elements(r);
         range.clone().into_par_iter().for_each(|i| {
             let parent = spine[labels[i]].load(Relaxed);
@@ -269,6 +287,7 @@ pub fn try_multiprefix_atomic<O: AtomicCombine + TryCombineOp<i64>>(
     }
 
     // Phase 2 — ROWSUMS with checked RMWs when a checking policy is active.
+    ctx.checkpoint()?;
     (0..n).into_par_iter().for_each(|i| {
         let parent = spine[m + i].load(Relaxed);
         if checking {
@@ -281,6 +300,7 @@ pub fn try_multiprefix_atomic<O: AtomicCombine + TryCombineOp<i64>>(
 
     // Phase 3 — SPINESUMS.
     for r in layout.rows_bottom_up() {
+        ctx.checkpoint()?;
         layout.row_elements(r).into_par_iter().for_each(|i| {
             let slot = m + i;
             if has_child[slot].load(Relaxed) {
@@ -291,6 +311,7 @@ pub fn try_multiprefix_atomic<O: AtomicCombine + TryCombineOp<i64>>(
         });
     }
 
+    ctx.checkpoint()?;
     let mut reductions: Vec<i64> = Vec::new();
     reductions
         .try_reserve_exact(m)
@@ -302,6 +323,7 @@ pub fn try_multiprefix_atomic<O: AtomicCombine + TryCombineOp<i64>>(
 
     // Phase 4 — MULTISUMS.
     for c in layout.cols_left_right() {
+        ctx.checkpoint()?;
         let col: Vec<usize> = layout.col_elements(c).collect();
         col.into_par_iter().for_each(|i| {
             let parent = spine[m + i].load(Relaxed);
@@ -332,10 +354,24 @@ pub fn multiprefix_atomic_hardened<O: AtomicCombine + TryCombineOp<i64>>(
     op: O,
     policy: OverflowPolicy,
 ) -> Result<MultiprefixOutput<i64>, MpError> {
+    multiprefix_atomic_hardened_ctx(values, labels, m, op, policy, &RunContext::new())
+}
+
+/// [`multiprefix_atomic_hardened`] under a [`RunContext`]; the serial
+/// replay after a trip runs under the same context, so a deadline covers
+/// the whole canonicalized request.
+pub fn multiprefix_atomic_hardened_ctx<O: AtomicCombine + TryCombineOp<i64>>(
+    values: &[i64],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+    ctx: &RunContext,
+) -> Result<MultiprefixOutput<i64>, MpError> {
     crate::problem::validate_slices(values, labels, m)?;
-    match try_multiprefix_atomic(values, labels, m, op, policy)? {
+    match try_multiprefix_atomic_ctx(values, labels, m, op, policy, ctx)? {
         Some(out) => Ok(out),
-        None => crate::serial::try_multiprefix_serial(values, labels, m, op, policy),
+        None => crate::serial::try_multiprefix_serial_ctx(values, labels, m, op, policy, ctx),
     }
 }
 
@@ -351,7 +387,22 @@ pub fn try_multireduce_atomic<O: AtomicCombine + TryCombineOp<i64>>(
     op: O,
     policy: OverflowPolicy,
 ) -> TryEngineResult<Vec<i64>> {
+    try_multireduce_atomic_ctx(values, labels, m, op, policy, &RunContext::new())
+}
+
+/// [`try_multireduce_atomic`] under a [`RunContext`], polled before and
+/// after the single combining sweep (the sweep itself is one lock-free
+/// parallel step and is not interruptible mid-flight).
+pub fn try_multireduce_atomic_ctx<O: AtomicCombine + TryCombineOp<i64>>(
+    values: &[i64],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+    ctx: &RunContext,
+) -> TryEngineResult<Vec<i64>> {
     debug_assert_eq!(values.len(), labels.len());
+    ctx.checkpoint()?;
     let tripped = AtomicBool::new(false);
     let checking = policy.needs_checking();
     let buckets = try_cell_vec(m, |_| AtomicI64::new(op.identity()))?;
@@ -365,6 +416,7 @@ pub fn try_multireduce_atomic<O: AtomicCombine + TryCombineOp<i64>>(
                 op.fetch_combine(&buckets[l], v);
             }
         });
+    ctx.checkpoint()?;
     if tripped.load(Relaxed) {
         return Ok(None);
     }

@@ -29,6 +29,7 @@ use crate::error::MpError;
 use crate::exec::{try_filled_vec, CheckGuard, OverflowPolicy, TryEngineResult};
 use crate::op::{CombineOp, TryCombineOp};
 use crate::problem::{Element, MultiprefixOutput};
+use crate::resilience::RunContext;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -107,7 +108,7 @@ pub fn multiprefix_blocked_with_chunk<T: Element, O: CombineOp<T>>(
             let mut running = vec![op.identity(); m];
             for table in &mut tables {
                 let Table::Dense(t) = table else {
-                    unreachable!()
+                    unreachable!("invariant: dense mode fills `tables` with Table::Dense only")
                 };
                 for (label, total) in t.iter_mut().enumerate() {
                     let offset = running[label];
@@ -121,7 +122,7 @@ pub fn multiprefix_blocked_with_chunk<T: Element, O: CombineOp<T>>(
             let mut running: HashMap<usize, T> = HashMap::new();
             for table in &mut tables {
                 let Table::Sparse(t) = table else {
-                    unreachable!()
+                    unreachable!("invariant: sparse mode fills `tables` with Table::Sparse only")
                 };
                 for (&label, total) in t.iter_mut() {
                     let entry = running.entry(label).or_insert_with(|| op.identity());
@@ -262,8 +263,25 @@ pub fn try_multiprefix_blocked<T: Element, O: TryCombineOp<T>>(
     op: O,
     policy: OverflowPolicy,
 ) -> TryEngineResult<MultiprefixOutput<T>> {
+    try_multiprefix_blocked_ctx(values, labels, m, op, policy, &RunContext::new())
+}
+
+/// [`try_multiprefix_blocked`] under a [`RunContext`]: the context is polled
+/// at every pass boundary and every [`crate::resilience::CHECK_STRIDE`]
+/// elements within each pass (chunk-locally in the parallel passes), so
+/// deadlines and cancellation interrupt the run promptly. On any error the
+/// partially-built output is dropped inside the engine — no partial result
+/// can escape.
+pub fn try_multiprefix_blocked_ctx<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+    ctx: &RunContext,
+) -> TryEngineResult<MultiprefixOutput<T>> {
     let caught = catch_unwind(AssertUnwindSafe(|| {
-        try_multiprefix_blocked_inner(values, labels, m, op, policy)
+        try_multiprefix_blocked_inner(values, labels, m, op, policy, ctx)
     }));
     // AssertUnwindSafe is sound here: on panic every partially-built local
     // (sums, tables) is dropped inside the closure and nothing the caller
@@ -277,8 +295,10 @@ fn try_multiprefix_blocked_inner<T: Element, O: TryCombineOp<T>>(
     m: usize,
     op: O,
     policy: OverflowPolicy,
+    ctx: &RunContext,
 ) -> TryEngineResult<MultiprefixOutput<T>> {
     debug_assert_eq!(values.len(), labels.len());
+    ctx.checkpoint()?;
     let n = values.len();
     if n == 0 {
         return Ok(Some(MultiprefixOutput {
@@ -294,23 +314,29 @@ fn try_multiprefix_blocked_inner<T: Element, O: TryCombineOp<T>>(
     let mut sums = try_filled_vec(op.identity(), n)?;
 
     // Pass 1 — local multiprefix per chunk, fallible table allocation.
+    // Each worker polls the context chunk-locally (the chunk length is at
+    // least the checkpoint stride, so every chunk polls at least once).
     let mut tables: Vec<Table<T>> = sums
         .par_chunks_mut(chunk_len)
         .zip(values.par_chunks(chunk_len))
         .zip(labels.par_chunks(chunk_len))
-        .map(|((s, v), l)| try_local_pass(s, v, l, m, guard, dense))
+        .map(|((s, v), l)| try_local_pass(s, v, l, m, guard, dense, ctx))
         .collect::<Result<_, _>>()?;
 
     // Pass 2 — exclusive scan of the tables per label (identical structure
     // to the plain engine, with guarded combines).
+    ctx.checkpoint()?;
+    let mut scanned: usize = 0;
     let reductions = match dense {
         true => {
             let mut running = try_filled_vec(op.identity(), m)?;
             for table in &mut tables {
                 let Table::Dense(t) = table else {
-                    unreachable!()
+                    unreachable!("invariant: dense mode fills `tables` with Table::Dense only")
                 };
                 for (label, total) in t.iter_mut().enumerate() {
+                    ctx.checkpoint_every(scanned)?;
+                    scanned += 1;
                     let offset = running[label];
                     running[label] = guard.combine(running[label], *total);
                     *total = offset;
@@ -322,9 +348,11 @@ fn try_multiprefix_blocked_inner<T: Element, O: TryCombineOp<T>>(
             let mut running: HashMap<usize, T> = HashMap::new();
             for table in &mut tables {
                 let Table::Sparse(t) = table else {
-                    unreachable!()
+                    unreachable!("invariant: sparse mode fills `tables` with Table::Sparse only")
                 };
                 for (&label, total) in t.iter_mut() {
+                    ctx.checkpoint_every(scanned)?;
+                    scanned += 1;
                     let entry = running.entry(label).or_insert_with(|| op.identity());
                     let offset = *entry;
                     *entry = guard.combine(*entry, *total);
@@ -340,21 +368,26 @@ fn try_multiprefix_blocked_inner<T: Element, O: TryCombineOp<T>>(
     };
 
     // Pass 3 — prepend each chunk's per-label offset.
+    ctx.checkpoint()?;
     sums.par_chunks_mut(chunk_len)
         .zip(labels.par_chunks(chunk_len))
         .zip(tables.par_iter())
-        .for_each(|((s, l), table)| match table {
-            Table::Dense(t) => {
-                for (si, &label) in s.iter_mut().zip(l) {
-                    *si = guard.combine(t[label], *si);
+        .try_for_each(|((s, l), table)| -> Result<(), MpError> {
+            ctx.checkpoint()?;
+            match table {
+                Table::Dense(t) => {
+                    for (si, &label) in s.iter_mut().zip(l) {
+                        *si = guard.combine(t[label], *si);
+                    }
+                }
+                Table::Sparse(t) => {
+                    for (si, &label) in s.iter_mut().zip(l) {
+                        *si = guard.combine(t[&label], *si);
+                    }
                 }
             }
-            Table::Sparse(t) => {
-                for (si, &label) in s.iter_mut().zip(l) {
-                    *si = guard.combine(t[&label], *si);
-                }
-            }
-        });
+            Ok(())
+        })?;
 
     if tripped.load(Ordering::Relaxed) {
         Ok(None)
@@ -363,7 +396,9 @@ fn try_multiprefix_blocked_inner<T: Element, O: TryCombineOp<T>>(
     }
 }
 
-/// [`local_pass`] with guarded combines and fallible dense allocation.
+/// [`local_pass`] with guarded combines, fallible dense allocation, and a
+/// chunk-local [`RunContext`] poll every stride elements.
+#[allow(clippy::too_many_arguments)]
 fn try_local_pass<T: Element, O: TryCombineOp<T>>(
     sums: &mut [T],
     values: &[T],
@@ -371,17 +406,20 @@ fn try_local_pass<T: Element, O: TryCombineOp<T>>(
     m: usize,
     guard: CheckGuard<'_, O>,
     dense: bool,
+    ctx: &RunContext,
 ) -> Result<Table<T>, MpError> {
     if dense {
         let mut buckets = try_filled_vec(guard.identity(), m)?;
-        for ((si, &v), &l) in sums.iter_mut().zip(values).zip(labels) {
+        for (i, ((si, &v), &l)) in sums.iter_mut().zip(values).zip(labels).enumerate() {
+            ctx.checkpoint_every(i)?;
             *si = buckets[l];
             buckets[l] = guard.combine(buckets[l], v);
         }
         Ok(Table::Dense(buckets))
     } else {
         let mut buckets: HashMap<usize, T> = HashMap::new();
-        for ((si, &v), &l) in sums.iter_mut().zip(values).zip(labels) {
+        for (i, ((si, &v), &l)) in sums.iter_mut().zip(values).zip(labels).enumerate() {
+            ctx.checkpoint_every(i)?;
             let entry = buckets.entry(l).or_insert_with(|| guard.identity());
             *si = *entry;
             *entry = guard.combine(*entry, v);
@@ -399,8 +437,21 @@ pub fn try_multireduce_blocked<T: Element, O: TryCombineOp<T>>(
     op: O,
     policy: OverflowPolicy,
 ) -> TryEngineResult<Vec<T>> {
+    try_multireduce_blocked_ctx(values, labels, m, op, policy, &RunContext::new())
+}
+
+/// [`try_multireduce_blocked`] under a [`RunContext`] (see
+/// [`try_multiprefix_blocked_ctx`] for the checkpoint contract).
+pub fn try_multireduce_blocked_ctx<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+    ctx: &RunContext,
+) -> TryEngineResult<Vec<T>> {
     let caught = catch_unwind(AssertUnwindSafe(|| {
-        try_multireduce_blocked_inner(values, labels, m, op, policy)
+        try_multireduce_blocked_inner(values, labels, m, op, policy, ctx)
     }));
     caught.unwrap_or(Err(MpError::EnginePanicked))
 }
@@ -411,8 +462,10 @@ fn try_multireduce_blocked_inner<T: Element, O: TryCombineOp<T>>(
     m: usize,
     op: O,
     policy: OverflowPolicy,
+    ctx: &RunContext,
 ) -> TryEngineResult<Vec<T>> {
     debug_assert_eq!(values.len(), labels.len());
+    ctx.checkpoint()?;
     let n = values.len();
     if n == 0 {
         return Ok(Some(try_filled_vec(op.identity(), m)?));
@@ -426,13 +479,15 @@ fn try_multireduce_blocked_inner<T: Element, O: TryCombineOp<T>>(
         .map(|(v, l)| {
             if dense {
                 let mut buckets = try_filled_vec(op.identity(), m)?;
-                for (&vi, &li) in v.iter().zip(l) {
+                for (i, (&vi, &li)) in v.iter().zip(l).enumerate() {
+                    ctx.checkpoint_every(i)?;
                     buckets[li] = guard.combine(buckets[li], vi);
                 }
                 Ok(Table::Dense(buckets))
             } else {
                 let mut buckets: HashMap<usize, T> = HashMap::new();
-                for (&vi, &li) in v.iter().zip(l) {
+                for (i, (&vi, &li)) in v.iter().zip(l).enumerate() {
+                    ctx.checkpoint_every(i)?;
                     let entry = buckets.entry(li).or_insert_with(|| op.identity());
                     *entry = guard.combine(*entry, vi);
                 }
@@ -441,16 +496,22 @@ fn try_multireduce_blocked_inner<T: Element, O: TryCombineOp<T>>(
         })
         .collect::<Result<_, MpError>>()?;
 
+    ctx.checkpoint()?;
     let mut reductions = try_filled_vec(op.identity(), m)?;
+    let mut folded: usize = 0;
     for table in &tables {
         match table {
             Table::Dense(t) => {
                 for (label, &total) in t.iter().enumerate() {
+                    ctx.checkpoint_every(folded)?;
+                    folded += 1;
                     reductions[label] = guard.combine(reductions[label], total);
                 }
             }
             Table::Sparse(t) => {
                 for (&label, &total) in t {
+                    ctx.checkpoint_every(folded)?;
+                    folded += 1;
                     reductions[label] = guard.combine(reductions[label], total);
                 }
             }

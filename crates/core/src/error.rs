@@ -69,6 +69,26 @@ pub enum MpError {
         /// Index of the first disagreeing cell.
         index: usize,
     },
+    /// The run outlived its [`crate::resilience::Deadline`]. The engine
+    /// stopped at the next checkpoint (a phase boundary or an in-loop
+    /// stride check) and no partial output was returned.
+    DeadlineExceeded,
+    /// The run's [`crate::resilience::CancelToken`] was cancelled. As with
+    /// [`MpError::DeadlineExceeded`], the engine unwound cleanly at the
+    /// next checkpoint and no partial output escaped.
+    Cancelled,
+    /// An [`crate::exec::ExecConfig`] is self-contradictory — it could
+    /// never admit any non-trivial request (e.g. `max_buckets == 0`, or
+    /// `max_mem_bytes` smaller than a single element). Reported at use
+    /// instead of letting the request "succeed" vacuously.
+    InvalidConfig {
+        /// What is wrong with the configuration.
+        what: &'static str,
+    },
+    /// Every engine in a [`crate::resilience::Dispatcher`] fallback chain
+    /// was skipped (circuit open, or unsupported for the element type) —
+    /// nothing even attempted the request.
+    Unavailable,
 }
 
 impl fmt::Display for MpError {
@@ -103,6 +123,17 @@ impl fmt::Display for MpError {
             MpError::VerificationFailed { what, index } => write!(
                 f,
                 "self-check failed: {what} {index} disagrees with the serial oracle"
+            ),
+            MpError::DeadlineExceeded => {
+                write!(f, "the run exceeded its deadline and was stopped")
+            }
+            MpError::Cancelled => write!(f, "the run was cancelled"),
+            MpError::InvalidConfig { what } => {
+                write!(f, "invalid execution config: {what}")
+            }
+            MpError::Unavailable => write!(
+                f,
+                "no engine in the fallback chain was available for the request"
             ),
         }
     }
@@ -168,6 +199,16 @@ mod tests {
             format!("allocation of {} bytes failed", 1u64 << 40)
         );
         assert!(MpError::EnginePanicked.to_string().contains("panicked"));
+        assert!(MpError::DeadlineExceeded.to_string().contains("deadline"));
+        assert!(MpError::Cancelled.to_string().contains("cancelled"));
+        assert_eq!(
+            MpError::InvalidConfig {
+                what: "max_buckets is zero"
+            }
+            .to_string(),
+            "invalid execution config: max_buckets is zero"
+        );
+        assert!(MpError::Unavailable.to_string().contains("fallback chain"));
         assert_eq!(
             MpError::VerificationFailed {
                 what: "sum",

@@ -118,6 +118,32 @@ impl ExecConfig {
         self
     }
 
+    /// Reject configurations that can never admit a request: a bucket
+    /// budget of zero (every multiprefix needs `m ≥ 1`... and even `m = 0`
+    /// requests pass `check_buckets(0)` only to produce empty outputs — a
+    /// zero budget is always a misconfiguration, not a policy) or a memory
+    /// budget smaller than a single element of the requested type.
+    ///
+    /// Called by [`crate::resilience::Dispatcher::new`] at construction and
+    /// by the `ctx` entry points per request, so a nonsensical config
+    /// surfaces as [`MpError::InvalidConfig`] instead of rejecting every
+    /// request with a confusing capacity error.
+    pub fn validate_for(&self, elem_size: usize) -> Result<(), MpError> {
+        if self.max_buckets == Some(0) {
+            return Err(MpError::InvalidConfig {
+                what: "max_buckets is zero; no request can be admitted",
+            });
+        }
+        if let Some(limit) = self.max_mem_bytes {
+            if limit < elem_size.max(1) {
+                return Err(MpError::InvalidConfig {
+                    what: "max_mem_bytes is smaller than one element; no request can be admitted",
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Enforce the bucket budget.
     pub(crate) fn check_buckets(&self, m: usize) -> Result<(), MpError> {
         match self.max_buckets {
@@ -276,6 +302,29 @@ mod tests {
                 what: "engine memory",
                 ..
             })
+        ));
+    }
+
+    #[test]
+    fn validate_for_rejects_degenerate_budgets() {
+        assert!(ExecConfig::default().validate_for(8).is_ok());
+        assert!(ExecConfig::default()
+            .max_buckets(1)
+            .max_mem_bytes(8)
+            .validate_for(8)
+            .is_ok());
+        assert!(matches!(
+            ExecConfig::default().max_buckets(0).validate_for(8),
+            Err(MpError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            ExecConfig::default().max_mem_bytes(7).validate_for(8),
+            Err(MpError::InvalidConfig { .. })
+        ));
+        // Zero-sized elements still need a nonzero budget to be meaningful.
+        assert!(matches!(
+            ExecConfig::default().max_mem_bytes(0).validate_for(0),
+            Err(MpError::InvalidConfig { .. })
         ));
     }
 

@@ -53,6 +53,18 @@
 //! [`multiprefix_verified`] cross-validates any engine's output against an
 //! independent serial evaluation. See [`exec`] for the contract.
 //!
+//! ## Resilient dispatch
+//!
+//! [`resilience`] turns the engine ladder into a runtime: a [`Dispatcher`]
+//! runs requests through a fallback chain (e.g. blocked → spinetree →
+//! serial) with deadlines, cooperative cancellation ([`CancelToken`],
+//! polled at engine phase boundaries and every few thousand loop
+//! iterations), retry with jittered backoff for transient failures, and a
+//! per-engine circuit breaker. A seeded chaos harness
+//! ([`resilience::ChaosPlan`]) injects panics, allocation failures and
+//! stalls to prove the guarantee: every request returns the serial-oracle
+//! answer or a typed error — never a hang, wrong answer, or abort.
+//!
 //! ## Derived primitives
 //!
 //! The paper argues multiprefix subsumes many parallel primitives; the
@@ -72,6 +84,7 @@ pub mod keyed;
 pub mod op;
 pub mod oracle;
 pub mod problem;
+pub mod resilience;
 pub mod scan;
 pub mod segmented;
 pub mod serial;
@@ -81,9 +94,13 @@ pub mod stream;
 
 pub use api::{
     multiprefix, multiprefix_inclusive, multiprefix_verified, multireduce, try_multiprefix,
-    try_multireduce, Engine,
+    try_multiprefix_ctx, try_multireduce, try_multireduce_ctx, Engine,
 };
 pub use error::MpError;
 pub use exec::{ExecConfig, OverflowPolicy};
 pub use op::TryCombineOp;
 pub use problem::{validate, Element, MultiprefixOutput};
+pub use resilience::{
+    CancelToken, Deadline, DispatchOpts, DispatchOutcome, Dispatcher, DispatcherConfig, EngineKind,
+    RunContext,
+};

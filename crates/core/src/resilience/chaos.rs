@@ -1,0 +1,280 @@
+//! The chaos harness: seeded, deterministic fault injection at engine
+//! checkpoints.
+//!
+//! PR 1's PRAM fault layer (`pram::fault`) corrupts arbitration commits in
+//! the *simulated* machine; this module generalizes the idea to the
+//! production engines. A [`ChaosPlan`] describes a fault mix — engine
+//! panics, allocation failures, and artificial stalls — as parts-per-
+//! million probabilities over a seeded stream. Arm it ([`ChaosPlan::arm`])
+//! and hang the resulting [`ChaosState`] on a
+//! [`crate::resilience::RunContext`]: every engine checkpoint then draws
+//! from the stream and may
+//!
+//! * **panic** (`panic_ppm`) — a real `panic!`, exercising the panic
+//!   containment of the blocked engine and of the dispatcher;
+//! * **fail an allocation** (`alloc_fail_ppm`) — returns
+//!   [`MpError::AllocationFailed`] (with `bytes = 0`, marking it injected),
+//!   exercising the retry path;
+//! * **stall** (`stall_ppm`) — sleeps for [`ChaosPlan::stall`], exercising
+//!   deadlines (the checkpoint *after* a stall observes the expired
+//!   deadline).
+//!
+//! The draw stream is a single atomic xorshift state, so a fixed seed gives
+//! a reproducible fault *sequence* under sequential execution and a
+//! reproducible fault *mix* under parallel execution (threads interleave
+//! draws, but every draw comes from the same deterministic stream — no OS
+//! entropy anywhere).
+
+use crate::error::MpError;
+use crate::resilience::dispatcher::EngineKind;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A seeded fault mix for the chaos harness. Probabilities are per
+/// checkpoint, in parts per million; `1_000_000` fires on every draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Seed of the fault stream.
+    pub seed: u64,
+    /// Probability an armed checkpoint panics.
+    pub panic_ppm: u32,
+    /// Probability an armed checkpoint reports an (injected) allocation
+    /// failure.
+    pub alloc_fail_ppm: u32,
+    /// Probability an armed checkpoint stalls for [`ChaosPlan::stall`].
+    pub stall_ppm: u32,
+    /// Length of one injected stall.
+    pub stall: Duration,
+    /// Restrict injection to one engine (`None` faults every engine). Lets
+    /// a test wedge the primary of a fallback chain while its fallbacks
+    /// stay healthy.
+    pub only: Option<EngineKind>,
+}
+
+impl Default for ChaosPlan {
+    fn default() -> Self {
+        ChaosPlan {
+            seed: 0,
+            panic_ppm: 0,
+            alloc_fail_ppm: 0,
+            stall_ppm: 0,
+            stall: Duration::from_millis(1),
+            only: None,
+        }
+    }
+}
+
+impl ChaosPlan {
+    /// A plan with `seed` and no faults; set the mix with the builders.
+    pub fn seeded(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Set the panic probability (ppm per checkpoint).
+    pub fn panic_ppm(mut self, ppm: u32) -> Self {
+        self.panic_ppm = ppm;
+        self
+    }
+
+    /// Set the injected-allocation-failure probability (ppm per checkpoint).
+    pub fn alloc_fail_ppm(mut self, ppm: u32) -> Self {
+        self.alloc_fail_ppm = ppm;
+        self
+    }
+
+    /// Set the stall probability (ppm per checkpoint) and stall length.
+    pub fn stall(mut self, ppm: u32, length: Duration) -> Self {
+        self.stall_ppm = ppm;
+        self.stall = length;
+        self
+    }
+
+    /// Restrict injection to `engine`.
+    pub fn only(mut self, engine: EngineKind) -> Self {
+        self.only = Some(engine);
+        self
+    }
+
+    /// Arm the plan: the returned state carries the live draw stream and
+    /// injection counters, and is what a
+    /// [`crate::resilience::RunContext::with_chaos`] takes. One armed state
+    /// can serve many runs; the stream continues across them.
+    pub fn arm(self) -> Arc<ChaosState> {
+        Arc::new(ChaosState {
+            plan: self,
+            rng: AtomicU64::new(self.seed | 1),
+            panics: AtomicUsize::new(0),
+            alloc_fails: AtomicUsize::new(0),
+            stalls: AtomicUsize::new(0),
+        })
+    }
+}
+
+/// An armed [`ChaosPlan`]: the live draw stream plus injection counters.
+#[derive(Debug)]
+pub struct ChaosState {
+    plan: ChaosPlan,
+    rng: AtomicU64,
+    panics: AtomicUsize,
+    alloc_fails: AtomicUsize,
+    stalls: AtomicUsize,
+}
+
+impl ChaosState {
+    /// The plan this state was armed from.
+    pub fn plan(&self) -> ChaosPlan {
+        self.plan
+    }
+
+    /// Panics injected so far.
+    pub fn panics_injected(&self) -> usize {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Allocation failures injected so far.
+    pub fn alloc_fails_injected(&self) -> usize {
+        self.alloc_fails.load(Ordering::Relaxed)
+    }
+
+    /// Stalls injected so far.
+    pub fn stalls_injected(&self) -> usize {
+        self.stalls.load(Ordering::Relaxed)
+    }
+
+    /// Total faults injected so far.
+    pub fn faults_injected(&self) -> usize {
+        self.panics_injected() + self.alloc_fails_injected() + self.stalls_injected()
+    }
+
+    /// One checkpoint draw on behalf of `engine`. May panic, err, stall, or
+    /// (usually) do nothing.
+    pub(crate) fn inject(&self, engine: Option<EngineKind>) -> Result<(), MpError> {
+        if let Some(only) = self.plan.only {
+            if engine != Some(only) {
+                return Ok(());
+            }
+        }
+        let draw = self.next_draw() % 1_000_000;
+        let panic_edge = self.plan.panic_ppm as u64;
+        let alloc_edge = panic_edge + self.plan.alloc_fail_ppm as u64;
+        let stall_edge = alloc_edge + self.plan.stall_ppm as u64;
+        if draw < panic_edge {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+            panic!("chaos: injected engine panic");
+        } else if draw < alloc_edge {
+            self.alloc_fails.fetch_add(1, Ordering::Relaxed);
+            // bytes = 0 marks the failure as injected rather than a real
+            // allocator refusal.
+            Err(MpError::AllocationFailed { bytes: 0 })
+        } else if draw < stall_edge {
+            self.stalls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(self.plan.stall);
+            Ok(())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Advance the shared xorshift64* stream by one draw.
+    fn next_draw(&self) -> u64 {
+        let mut prev = self.rng.load(Ordering::Relaxed);
+        loop {
+            let mut x = prev;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            match self
+                .rng
+                .compare_exchange_weak(prev, x, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return x.wrapping_mul(0x2545_F491_4F6C_DD1D),
+                Err(seen) => prev = seen,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_never_fires() {
+        let state = ChaosPlan::seeded(42).arm();
+        for _ in 0..10_000 {
+            assert!(state.inject(None).is_ok());
+        }
+        assert_eq!(state.faults_injected(), 0);
+    }
+
+    #[test]
+    fn certain_alloc_failure_fires_every_draw() {
+        let state = ChaosPlan::seeded(7).alloc_fail_ppm(1_000_000).arm();
+        for _ in 0..100 {
+            assert_eq!(
+                state.inject(None),
+                Err(MpError::AllocationFailed { bytes: 0 })
+            );
+        }
+        assert_eq!(state.alloc_fails_injected(), 100);
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let state = ChaosPlan::seeded(3).alloc_fail_ppm(250_000).arm();
+        let mut fails = 0;
+        for _ in 0..10_000 {
+            if state.inject(None).is_err() {
+                fails += 1;
+            }
+        }
+        // 25% ± a generous band.
+        assert!((1_500..3_500).contains(&fails), "got {fails}");
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let a = ChaosPlan::seeded(99).alloc_fail_ppm(500_000).arm();
+        let b = ChaosPlan::seeded(99).alloc_fail_ppm(500_000).arm();
+        for i in 0..1000 {
+            assert_eq!(a.inject(None), b.inject(None), "draw {i}");
+        }
+    }
+
+    #[test]
+    fn targeted_plan_spares_other_engines() {
+        let state = ChaosPlan::seeded(5)
+            .alloc_fail_ppm(1_000_000)
+            .only(EngineKind::Blocked)
+            .arm();
+        assert!(state.inject(Some(EngineKind::Serial)).is_ok());
+        assert!(state.inject(None).is_ok());
+        assert!(state.inject(Some(EngineKind::Blocked)).is_err());
+        assert_eq!(state.faults_injected(), 1);
+    }
+
+    #[test]
+    fn injected_panic_is_a_real_panic() {
+        let state = ChaosPlan::seeded(1).panic_ppm(1_000_000).arm();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = state.inject(None);
+        }));
+        assert!(caught.is_err());
+        assert_eq!(state.panics_injected(), 1);
+    }
+
+    #[test]
+    fn stall_actually_sleeps() {
+        let state = ChaosPlan::seeded(2)
+            .stall(1_000_000, Duration::from_millis(5))
+            .arm();
+        let start = std::time::Instant::now();
+        assert!(state.inject(None).is_ok());
+        assert!(start.elapsed() >= Duration::from_millis(4));
+        assert_eq!(state.stalls_injected(), 1);
+    }
+}

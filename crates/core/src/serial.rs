@@ -19,6 +19,7 @@ use crate::error::MpError;
 use crate::exec::{try_filled_vec, OverflowPolicy};
 use crate::op::{CombineOp, TryCombineOp};
 use crate::problem::{Element, MultiprefixOutput};
+use crate::resilience::RunContext;
 
 /// Compute the multiprefix of `values` under `labels` serially.
 ///
@@ -87,7 +88,24 @@ pub fn try_multiprefix_serial<T: Element, O: TryCombineOp<T>>(
     op: O,
     policy: OverflowPolicy,
 ) -> Result<MultiprefixOutput<T>, MpError> {
+    try_multiprefix_serial_ctx(values, labels, m, op, policy, &RunContext::new())
+}
+
+/// [`try_multiprefix_serial`] under a [`RunContext`]: the Figure 2 loop
+/// additionally polls the context's deadline/cancellation (and, in tests,
+/// chaos injection) at entry and every
+/// [`crate::resilience::CHECK_STRIDE`] elements. An interrupted run returns
+/// the typed error with no partial output escaping.
+pub fn try_multiprefix_serial_ctx<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+    ctx: &RunContext,
+) -> Result<MultiprefixOutput<T>, MpError> {
     debug_assert_eq!(values.len(), labels.len());
+    ctx.checkpoint()?;
     let mut buckets = try_filled_vec(op.identity(), m)?;
     let mut sums: Vec<T> = Vec::new();
     sums.try_reserve_exact(values.len())
@@ -96,6 +114,7 @@ pub fn try_multiprefix_serial<T: Element, O: TryCombineOp<T>>(
         })?;
     for (i, (&value, &label)) in values.iter().zip(labels).enumerate() {
         debug_assert!(label < m);
+        ctx.checkpoint_every(i)?;
         sums.push(buckets[label]);
         buckets[label] = match policy {
             OverflowPolicy::Wrap => op.combine(buckets[label], value),
@@ -120,10 +139,25 @@ pub fn try_multireduce_serial<T: Element, O: TryCombineOp<T>>(
     op: O,
     policy: OverflowPolicy,
 ) -> Result<Vec<T>, MpError> {
+    try_multireduce_serial_ctx(values, labels, m, op, policy, &RunContext::new())
+}
+
+/// [`try_multireduce_serial`] under a [`RunContext`] (see
+/// [`try_multiprefix_serial_ctx`] for the checkpoint contract).
+pub fn try_multireduce_serial_ctx<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+    ctx: &RunContext,
+) -> Result<Vec<T>, MpError> {
     debug_assert_eq!(values.len(), labels.len());
+    ctx.checkpoint()?;
     let mut buckets = try_filled_vec(op.identity(), m)?;
     for (i, (&value, &label)) in values.iter().zip(labels).enumerate() {
         debug_assert!(label < m);
+        ctx.checkpoint_every(i)?;
         buckets[label] = match policy {
             OverflowPolicy::Wrap => op.combine(buckets[label], value),
             OverflowPolicy::Checked => op

@@ -24,6 +24,8 @@
 //! the arbitration choice (the property the ARB model demands).
 
 use super::layout::Layout;
+use crate::error::MpError;
+use crate::resilience::RunContext;
 
 /// Which concurrent writer wins the bucket-pointer scatter within a row.
 ///
@@ -71,9 +73,50 @@ pub fn build_spinetree_traced(
     policy: ArbPolicy,
     mut on_row: impl FnMut(usize, &[usize]),
 ) -> Vec<usize> {
+    let mut spine: Vec<usize> = Vec::with_capacity(layout.slots());
+    let built = build_rows(&mut spine, labels, layout, policy, |r, s| {
+        on_row(r, s);
+        Ok(())
+    });
+    match built {
+        Ok(()) => spine,
+        Err(_) => unreachable!("invariant: the infallible on_row callback never errors"),
+    }
+}
+
+/// [`build_spinetree`] for the hardened engines: the `slots()` pointer
+/// vector is allocated fallibly and the [`RunContext`] is polled after
+/// every row of the SPINETREE sweep, so a deadline or cancellation
+/// interrupts the build within one row (`O(√n)` elements) of work.
+pub(crate) fn build_spinetree_ctx(
+    labels: &[usize],
+    layout: &Layout,
+    policy: ArbPolicy,
+    ctx: &RunContext,
+) -> Result<Vec<usize>, MpError> {
+    ctx.checkpoint()?;
+    let mut spine: Vec<usize> = Vec::new();
+    spine
+        .try_reserve_exact(layout.slots())
+        .map_err(|_| MpError::AllocationFailed {
+            bytes: layout.slots().saturating_mul(std::mem::size_of::<usize>()),
+        })?;
+    build_rows(&mut spine, labels, layout, policy, |_, _| ctx.checkpoint())?;
+    Ok(spine)
+}
+
+/// The SPINETREE row loop shared by the plain, traced and hardened builds:
+/// initializes `spine` in place, then gathers/scatters row by row, calling
+/// `per_row(row, spine)` after each row and aborting on its error.
+fn build_rows(
+    spine: &mut Vec<usize>,
+    labels: &[usize],
+    layout: &Layout,
+    policy: ArbPolicy,
+    mut per_row: impl FnMut(usize, &[usize]) -> Result<(), MpError>,
+) -> Result<(), MpError> {
     debug_assert_eq!(labels.len(), layout.n);
     let m = layout.m;
-    let mut spine: Vec<usize> = Vec::with_capacity(layout.slots());
     // INITIALIZATION (Figure 3): each bucket points at itself...
     spine.extend(0..m);
     // ...and each element points at its bucket.
@@ -127,9 +170,9 @@ pub fn build_spinetree_traced(
             }
         }
 
-        on_row(r, &spine);
+        per_row(r, spine)?;
     }
-    spine
+    Ok(())
 }
 
 #[cfg(test)]

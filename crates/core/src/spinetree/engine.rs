@@ -1,6 +1,6 @@
 //! The assembled four-phase spinetree engine, with step/work instrumentation.
 
-use super::build::{build_spinetree, ArbPolicy};
+use super::build::{build_spinetree, build_spinetree_ctx, ArbPolicy};
 use super::layout::Layout;
 use super::phases::{
     bucket_reductions, bucket_reductions_guarded, multisums, multisums_guarded, rowsums,
@@ -9,6 +9,7 @@ use super::phases::{
 use crate::exec::{try_filled_vec, CheckGuard, OverflowPolicy, TryEngineResult};
 use crate::op::{CombineOp, TryCombineOp};
 use crate::problem::{Element, MultiprefixOutput};
+use crate::resilience::RunContext;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Parallel-step and work accounting for one phase, in the paper's §3
@@ -165,7 +166,24 @@ pub fn try_multiprefix_spinetree<T: Element, O: TryCombineOp<T>>(
     op: O,
     policy: OverflowPolicy,
 ) -> TryEngineResult<MultiprefixOutput<T>> {
+    try_multiprefix_spinetree_ctx(values, labels, m, op, policy, &RunContext::new())
+}
+
+/// [`try_multiprefix_spinetree`] under a [`RunContext`]: the context is
+/// polled at every phase boundary, after every SPINETREE row, and every
+/// [`crate::resilience::CHECK_STRIDE`] elements inside the
+/// ROWSUMS/SPINESUMS/MULTISUMS sweeps, so deadlines and cancellation
+/// interrupt the run promptly and no partial output escapes.
+pub fn try_multiprefix_spinetree_ctx<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+    ctx: &RunContext,
+) -> TryEngineResult<MultiprefixOutput<T>> {
     debug_assert_eq!(values.len(), labels.len());
+    ctx.checkpoint()?;
     let layout = Layout::square(values.len(), m);
     let tripped = AtomicBool::new(false);
     let guard = CheckGuard::new(op, policy, &tripped);
@@ -175,11 +193,35 @@ pub fn try_multiprefix_spinetree<T: Element, O: TryCombineOp<T>>(
     let mut has_child = layout.try_pivot_block(false)?;
     let mut sums = try_filled_vec(op.identity(), layout.n)?;
 
-    let spine = build_spinetree(labels, &layout, ArbPolicy::LastWins);
-    rowsums_guarded(values, &spine, &layout, guard, &mut rowsum, &mut has_child);
-    spinesums_guarded(&spine, &layout, guard, &rowsum, &has_child, &mut spinesum);
-    let reductions = bucket_reductions_guarded(&layout, guard, &rowsum, &spinesum)?;
-    multisums_guarded(values, &spine, &layout, guard, &mut spinesum, &mut sums);
+    let spine = build_spinetree_ctx(labels, &layout, ArbPolicy::LastWins, ctx)?;
+    rowsums_guarded(
+        values,
+        &spine,
+        &layout,
+        guard,
+        &mut rowsum,
+        &mut has_child,
+        ctx,
+    )?;
+    spinesums_guarded(
+        &spine,
+        &layout,
+        guard,
+        &rowsum,
+        &has_child,
+        &mut spinesum,
+        ctx,
+    )?;
+    let reductions = bucket_reductions_guarded(&layout, guard, &rowsum, &spinesum, ctx)?;
+    multisums_guarded(
+        values,
+        &spine,
+        &layout,
+        guard,
+        &mut spinesum,
+        &mut sums,
+        ctx,
+    )?;
 
     if tripped.load(Ordering::Relaxed) {
         Ok(None)
@@ -197,7 +239,21 @@ pub fn try_multireduce_spinetree<T: Element, O: TryCombineOp<T>>(
     op: O,
     policy: OverflowPolicy,
 ) -> TryEngineResult<Vec<T>> {
+    try_multireduce_spinetree_ctx(values, labels, m, op, policy, &RunContext::new())
+}
+
+/// [`try_multireduce_spinetree`] under a [`RunContext`] (see
+/// [`try_multiprefix_spinetree_ctx`] for the checkpoint contract).
+pub fn try_multireduce_spinetree_ctx<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+    ctx: &RunContext,
+) -> TryEngineResult<Vec<T>> {
     debug_assert_eq!(values.len(), labels.len());
+    ctx.checkpoint()?;
     let layout = Layout::square(values.len(), m);
     let tripped = AtomicBool::new(false);
     let guard = CheckGuard::new(op, policy, &tripped);
@@ -206,10 +262,26 @@ pub fn try_multireduce_spinetree<T: Element, O: TryCombineOp<T>>(
     let mut spinesum = layout.try_pivot_block(op.identity())?;
     let mut has_child = layout.try_pivot_block(false)?;
 
-    let spine = build_spinetree(labels, &layout, ArbPolicy::LastWins);
-    rowsums_guarded(values, &spine, &layout, guard, &mut rowsum, &mut has_child);
-    spinesums_guarded(&spine, &layout, guard, &rowsum, &has_child, &mut spinesum);
-    let reductions = bucket_reductions_guarded(&layout, guard, &rowsum, &spinesum)?;
+    let spine = build_spinetree_ctx(labels, &layout, ArbPolicy::LastWins, ctx)?;
+    rowsums_guarded(
+        values,
+        &spine,
+        &layout,
+        guard,
+        &mut rowsum,
+        &mut has_child,
+        ctx,
+    )?;
+    spinesums_guarded(
+        &spine,
+        &layout,
+        guard,
+        &rowsum,
+        &has_child,
+        &mut spinesum,
+        ctx,
+    )?;
+    let reductions = bucket_reductions_guarded(&layout, guard, &rowsum, &spinesum, ctx)?;
 
     if tripped.load(Ordering::Relaxed) {
         Ok(None)

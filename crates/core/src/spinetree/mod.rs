@@ -58,7 +58,8 @@ pub mod validate;
 pub use build::{build_spinetree, ArbPolicy};
 pub use engine::{
     multiprefix_spinetree, multiprefix_spinetree_instrumented, multireduce_spinetree,
-    try_multiprefix_spinetree, try_multireduce_spinetree, PhaseStats, SpinetreeRun,
+    try_multiprefix_spinetree, try_multiprefix_spinetree_ctx, try_multireduce_spinetree,
+    try_multireduce_spinetree_ctx, PhaseStats, SpinetreeRun,
 };
 pub use layout::Layout;
 pub use prepared::PreparedMultiprefix;

@@ -9,9 +9,11 @@
 //! exclusive reads and writes.
 
 use super::layout::Layout;
+use crate::error::MpError;
 use crate::exec::CheckGuard;
 use crate::op::{CombineOp, TryCombineOp};
 use crate::problem::Element;
+use crate::resilience::RunContext;
 
 /// ROWSUMS (§2.2, Figure 4): sweep the **columns** left to right; every
 /// element combines its value into its parent's `rowsum`.
@@ -135,10 +137,13 @@ pub fn bucket_reductions<T: Element, O: CombineOp<T>>(
 // ---------------------------------------------------------------------------
 // Guarded variants for the hardened engine ([`crate::exec`]): identical
 // sweeps with every ⊕ routed through a [`CheckGuard`], which latches a trip
-// flag on overflow under a checking policy. Kept as separate functions so
-// the plain engine's hot loops stay monomorphized without the guard branch.
+// flag on overflow under a checking policy, and with the run's
+// [`RunContext`] polled at phase entry and every
+// [`crate::resilience::CHECK_STRIDE`] elements so deadlines/cancellation
+// interrupt even a single long sweep. Kept as separate functions so the
+// plain engine's hot loops stay monomorphized without the guard branch.
 
-/// [`rowsums`] with guarded combines.
+/// [`rowsums`] with guarded combines and context checkpoints.
 pub(crate) fn rowsums_guarded<T: Element, O: TryCombineOp<T>>(
     values: &[T],
     spine: &[usize],
@@ -146,19 +151,25 @@ pub(crate) fn rowsums_guarded<T: Element, O: TryCombineOp<T>>(
     guard: CheckGuard<'_, O>,
     rowsum: &mut [T],
     has_child: &mut [bool],
-) {
+    ctx: &RunContext,
+) -> Result<(), MpError> {
     debug_assert_eq!(values.len(), layout.n);
+    ctx.checkpoint()?;
     let m = layout.m;
+    let mut done = 0usize;
     for c in layout.cols_left_right() {
         for i in layout.col_elements(c) {
+            ctx.checkpoint_every(done)?;
+            done += 1;
             let parent = spine[m + i];
             rowsum[parent] = guard.combine(rowsum[parent], values[i]);
             has_child[parent] = true;
         }
     }
+    Ok(())
 }
 
-/// [`spinesums`] with guarded combines.
+/// [`spinesums`] with guarded combines and context checkpoints.
 pub(crate) fn spinesums_guarded<T: Element, O: TryCombineOp<T>>(
     spine: &[usize],
     layout: &Layout,
@@ -166,10 +177,15 @@ pub(crate) fn spinesums_guarded<T: Element, O: TryCombineOp<T>>(
     rowsum: &[T],
     has_child: &[bool],
     spinesum: &mut [T],
-) {
+    ctx: &RunContext,
+) -> Result<(), MpError> {
+    ctx.checkpoint()?;
     let m = layout.m;
+    let mut done = 0usize;
     for r in layout.rows_bottom_up() {
         for i in layout.row_elements(r) {
+            ctx.checkpoint_every(done)?;
+            done += 1;
             let slot = m + i;
             if has_child[slot] {
                 let parent = spine[slot];
@@ -177,9 +193,10 @@ pub(crate) fn spinesums_guarded<T: Element, O: TryCombineOp<T>>(
             }
         }
     }
+    Ok(())
 }
 
-/// [`multisums`] with guarded combines.
+/// [`multisums`] with guarded combines and context checkpoints.
 pub(crate) fn multisums_guarded<T: Element, O: TryCombineOp<T>>(
     values: &[T],
     spine: &[usize],
@@ -187,27 +204,36 @@ pub(crate) fn multisums_guarded<T: Element, O: TryCombineOp<T>>(
     guard: CheckGuard<'_, O>,
     spinesum: &mut [T],
     multi: &mut [T],
-) {
+    ctx: &RunContext,
+) -> Result<(), MpError> {
     debug_assert_eq!(multi.len(), layout.n);
+    ctx.checkpoint()?;
     let m = layout.m;
+    let mut done = 0usize;
     for c in layout.cols_left_right() {
         for i in layout.col_elements(c) {
+            ctx.checkpoint_every(done)?;
+            done += 1;
             let parent = spine[m + i];
             multi[i] = spinesum[parent];
             spinesum[parent] = guard.combine(spinesum[parent], values[i]);
         }
     }
+    Ok(())
 }
 
-/// [`bucket_reductions`] with guarded combines.
+/// [`bucket_reductions`] with guarded combines and context checkpoints.
 pub(crate) fn bucket_reductions_guarded<T: Element, O: TryCombineOp<T>>(
     layout: &Layout,
     guard: CheckGuard<'_, O>,
     rowsum: &[T],
     spinesum: &[T],
-) -> Result<Vec<T>, crate::error::MpError> {
+    ctx: &RunContext,
+) -> Result<Vec<T>, MpError> {
+    ctx.checkpoint()?;
     let mut out = crate::exec::try_filled_vec(guard.identity(), layout.m)?;
     for (b, slot) in out.iter_mut().enumerate() {
+        ctx.checkpoint_every(b)?;
         *slot = guard.combine(spinesum[b], rowsum[b]);
     }
     Ok(out)

@@ -13,10 +13,16 @@
 
 use super::build::{build_spinetree, ArbPolicy};
 use super::layout::Layout;
-use super::phases::{bucket_reductions, multisums, rowsums, spinesums};
+use super::phases::{
+    bucket_reductions, bucket_reductions_guarded, multisums, multisums_guarded, rowsums,
+    rowsums_guarded, spinesums, spinesums_guarded,
+};
 use crate::error::MpError;
-use crate::op::CombineOp;
+use crate::exec::{try_filled_vec, CheckGuard, OverflowPolicy};
+use crate::op::{CombineOp, TryCombineOp};
 use crate::problem::{validate, Element, MultiprefixOutput};
+use crate::resilience::RunContext;
+use std::sync::atomic::AtomicBool;
 
 /// A spinetree built for one labeling, reusable across value vectors.
 #[derive(Debug, Clone)]
@@ -164,6 +170,104 @@ impl PreparedMultiprefix {
             });
         }
         Ok(self.run_reduce(values, op))
+    }
+
+    /// [`Self::try_run`] under a [`RunContext`]: the phase temporaries are
+    /// allocated fallibly and the context is polled at every phase boundary
+    /// and every [`crate::resilience::CHECK_STRIDE`] elements within the
+    /// sweeps, so a replayed structure honors deadlines and cancellation
+    /// like the one-shot engines. Results are identical to [`Self::run`].
+    pub fn try_run_ctx<T: Element, O: TryCombineOp<T>>(
+        &self,
+        values: &[T],
+        op: O,
+        ctx: &RunContext,
+    ) -> Result<MultiprefixOutput<T>, MpError> {
+        if values.len() != self.layout.n {
+            return Err(MpError::LengthMismatch {
+                values: values.len(),
+                labels: self.layout.n,
+            });
+        }
+        ctx.checkpoint()?;
+        // Wrap never trips the guard, so the guarded phases compute exactly
+        // what the plain phases do — the guard is only the ctx plumbing.
+        let tripped = AtomicBool::new(false);
+        let guard = CheckGuard::new(op, OverflowPolicy::Wrap, &tripped);
+        let mut rowsum = self.layout.try_pivot_block(op.identity())?;
+        let mut spinesum = self.layout.try_pivot_block(op.identity())?;
+        let mut has_child = self.layout.try_pivot_block(false)?;
+        let mut sums = try_filled_vec(op.identity(), self.layout.n)?;
+        rowsums_guarded(
+            values,
+            &self.spine,
+            &self.layout,
+            guard,
+            &mut rowsum,
+            &mut has_child,
+            ctx,
+        )?;
+        spinesums_guarded(
+            &self.spine,
+            &self.layout,
+            guard,
+            &rowsum,
+            &has_child,
+            &mut spinesum,
+            ctx,
+        )?;
+        let reductions = bucket_reductions_guarded(&self.layout, guard, &rowsum, &spinesum, ctx)?;
+        multisums_guarded(
+            values,
+            &self.spine,
+            &self.layout,
+            guard,
+            &mut spinesum,
+            &mut sums,
+            ctx,
+        )?;
+        Ok(MultiprefixOutput { sums, reductions })
+    }
+
+    /// [`Self::try_run_reduce`] under a [`RunContext`]; see
+    /// [`Self::try_run_ctx`].
+    pub fn try_run_reduce_ctx<T: Element, O: TryCombineOp<T>>(
+        &self,
+        values: &[T],
+        op: O,
+        ctx: &RunContext,
+    ) -> Result<Vec<T>, MpError> {
+        if values.len() != self.layout.n {
+            return Err(MpError::LengthMismatch {
+                values: values.len(),
+                labels: self.layout.n,
+            });
+        }
+        ctx.checkpoint()?;
+        let tripped = AtomicBool::new(false);
+        let guard = CheckGuard::new(op, OverflowPolicy::Wrap, &tripped);
+        let mut rowsum = self.layout.try_pivot_block(op.identity())?;
+        let mut spinesum = self.layout.try_pivot_block(op.identity())?;
+        let mut has_child = self.layout.try_pivot_block(false)?;
+        rowsums_guarded(
+            values,
+            &self.spine,
+            &self.layout,
+            guard,
+            &mut rowsum,
+            &mut has_child,
+            ctx,
+        )?;
+        spinesums_guarded(
+            &self.spine,
+            &self.layout,
+            guard,
+            &rowsum,
+            &has_child,
+            &mut spinesum,
+            ctx,
+        )?;
+        bucket_reductions_guarded(&self.layout, guard, &rowsum, &spinesum, ctx)
     }
 }
 

@@ -93,10 +93,7 @@ mod tests {
     fn zero_rate_plan_is_the_identity() {
         let (values, labels) = contended(400);
         let layout = Layout::square(400, 1);
-        let plan = FaultPlan {
-            seed: 9,
-            rate_ppm: 0,
-        };
+        let plan = FaultPlan::arb(9, 0);
         let report = multiprefix_with_faults(&values, &labels, 1, layout, 7, plan).unwrap();
         assert_eq!(report.faults_injected, 0);
         assert_eq!(report.detection, Ok(()));
@@ -109,10 +106,7 @@ mod tests {
         // thoroughly wrong and the serial cross-check must say so.
         let (values, labels) = contended(400);
         let layout = Layout::square(400, 1);
-        let plan = FaultPlan {
-            seed: 1,
-            rate_ppm: 1_000_000,
-        };
+        let plan = FaultPlan::arb(1, 1_000_000);
         let report = multiprefix_with_faults(&values, &labels, 1, layout, 7, plan).unwrap();
         assert!(report.faults_injected > 0, "contended input must fault");
         assert!(
@@ -132,10 +126,7 @@ mod tests {
         let layout = Layout::square(900, 1);
         let mut detected = 0;
         for fault_seed in 0..8u64 {
-            let plan = FaultPlan {
-                seed: fault_seed,
-                rate_ppm: 200_000,
-            };
+            let plan = FaultPlan::arb(fault_seed, 200_000);
             let a = multiprefix_with_faults(&values, &labels, 1, layout, 3, plan).unwrap();
             let b = multiprefix_with_faults(&values, &labels, 1, layout, 3, plan).unwrap();
             assert_eq!(a.faults_injected, b.faults_injected, "replay must match");
@@ -148,6 +139,39 @@ mod tests {
     }
 
     #[test]
+    fn injected_panic_unwinds_deterministically() {
+        // A panic-everything plan crashes the contended arbiter; the panic
+        // is deterministic, so both runs agree, and a bare `arb` plan with
+        // the same seed stays panic-free.
+        let (values, labels) = contended(400);
+        let layout = Layout::square(400, 1);
+        let plan = FaultPlan::arb(3, 0).panic_ppm(1_000_000);
+        for _ in 0..2 {
+            let caught = std::panic::catch_unwind(|| {
+                multiprefix_with_faults(&values, &labels, 1, layout, 7, plan)
+            });
+            assert!(caught.is_err(), "panic-everything plan must unwind");
+        }
+        let clean =
+            multiprefix_with_faults(&values, &labels, 1, layout, 7, FaultPlan::arb(3, 0)).unwrap();
+        assert_eq!(clean.faults_injected, 0);
+        assert_eq!(clean.detection, Ok(()));
+    }
+
+    #[test]
+    fn stall_plan_counts_but_does_not_corrupt() {
+        // Stalls burn time (zero here, to keep the test fast) and are
+        // counted as injected faults, but never change the output.
+        let (values, labels) = contended(400);
+        let layout = Layout::square(400, 1);
+        let plan = FaultPlan::arb(4, 0).stall(1_000_000, std::time::Duration::ZERO);
+        let report = multiprefix_with_faults(&values, &labels, 1, layout, 7, plan).unwrap();
+        assert!(report.faults_injected > 0, "contended input must stall");
+        assert_eq!(report.detection, Ok(()), "stalls must not corrupt data");
+        assert!(!report.faults_detected());
+    }
+
+    #[test]
     fn uncontended_input_has_no_eligible_commits() {
         // All-distinct labels: the spinetree phase never has two writers on
         // one bucket, so even a corrupt-everything plan finds nothing to
@@ -156,10 +180,7 @@ mod tests {
         let values: Vec<i64> = (1..=n as i64).collect();
         let labels: Vec<usize> = (0..n).collect();
         let layout = Layout::square(n, n);
-        let plan = FaultPlan {
-            seed: 5,
-            rate_ppm: 1_000_000,
-        };
+        let plan = FaultPlan::arb(5, 1_000_000);
         let report = multiprefix_with_faults(&values, &labels, n, layout, 11, plan).unwrap();
         assert_eq!(report.faults_injected, 0);
         assert_eq!(report.detection, Ok(()));

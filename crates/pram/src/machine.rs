@@ -105,6 +105,19 @@ impl ProcCtx<'_> {
 /// the paper's §5 positions as the exotic part of a multiprefix machine.
 /// Whether an eligible commit is corrupted is a pure function of
 /// `(fault_seed, step, addr)`, so a run is exactly reproducible.
+///
+/// Beyond silent corruption (`rate_ppm`), a plan can model two further
+/// arbiter failure modes for chaos testing:
+///
+/// * `panic_ppm` — the arbiter *crashes*: an eligible commit panics with
+///   `"chaos: injected arbiter panic"` instead of committing. Harnesses
+///   that catch unwinds (the core crate's dispatcher, the soak tests) see
+///   it as an engine panic; bare callers see a deterministic panic.
+/// * `stall_ppm` / `stall` — the arbiter *hangs* for `stall` per firing
+///   commit, modeling a degraded network; used to exercise deadlines.
+///
+/// `FaultPlan::default()` injects nothing; [`FaultPlan::arb`] gives the
+/// original corrupt-only plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Seed of the fault stream (independent of the arbitration seed).
@@ -112,13 +125,73 @@ pub struct FaultPlan {
     /// Corruption probability per eligible commit, in parts per million
     /// (`1_000_000` = corrupt every eligible commit).
     pub rate_ppm: u32,
+    /// Injected-panic probability per eligible commit, in parts per
+    /// million. Drawn from an independent stream, after corruption.
+    pub panic_ppm: u32,
+    /// Stall probability per eligible commit, in parts per million.
+    pub stall_ppm: u32,
+    /// How long a firing stall blocks the step.
+    pub stall: std::time::Duration,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            rate_ppm: 0,
+            panic_ppm: 0,
+            stall_ppm: 0,
+            stall: std::time::Duration::ZERO,
+        }
+    }
 }
 
 impl FaultPlan {
+    /// A corruption-only plan (the PR-1 fault model): corrupt eligible
+    /// arbitration commits at `rate_ppm`, never panic or stall.
+    pub fn arb(seed: u64, rate_ppm: u32) -> Self {
+        FaultPlan {
+            seed,
+            rate_ppm,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Set the injected-panic rate.
+    pub fn panic_ppm(mut self, ppm: u32) -> Self {
+        self.panic_ppm = ppm;
+        self
+    }
+
+    /// Set the stall rate and duration.
+    pub fn stall(mut self, ppm: u32, stall: std::time::Duration) -> Self {
+        self.stall_ppm = ppm;
+        self.stall = stall;
+        self
+    }
+
     /// Does this plan corrupt the multi-writer commit at `(step, addr)`?
     #[inline]
     fn fires(&self, step: usize, addr: usize) -> bool {
         mix(self.seed, step as u64, addr as u64) % 1_000_000 < self.rate_ppm as u64
+    }
+
+    /// Does this plan panic on the multi-writer commit at `(step, addr)`?
+    /// (Independent stream: the seed is offset so the panic draw is not
+    /// correlated with the corruption draw.)
+    #[inline]
+    fn fires_panic(&self, step: usize, addr: usize) -> bool {
+        self.panic_ppm > 0
+            && mix(self.seed ^ 0xA11C_E5CA_FE00_0001, step as u64, addr as u64) % 1_000_000
+                < self.panic_ppm as u64
+    }
+
+    /// Does this plan stall on the multi-writer commit at `(step, addr)`?
+    #[inline]
+    fn fires_stall(&self, step: usize, addr: usize) -> bool {
+        self.stall_ppm > 0
+            && mix(self.seed ^ 0x57A1_1ED0_0000_0002, step as u64, addr as u64) % 1_000_000
+                < self.stall_ppm as u64
     }
 }
 
@@ -295,11 +368,21 @@ impl Pram {
                     // for the pivot block instead of indexing out of
                     // bounds, yet names a parent no arbiter could elect.
                     if let Some(plan) = self.fault {
-                        if entries.len() > 1 && plan.fires(step_index, addr) {
-                            let lo = entries.iter().map(|&(_, v)| v).min().expect("non-empty");
-                            let hi = entries.iter().map(|&(_, v)| v).max().expect("non-empty");
-                            committed = if lo > 0 { lo - 1 } else { hi + 1 };
-                            self.faults_injected += 1;
+                        if entries.len() > 1 {
+                            if plan.fires(step_index, addr) {
+                                let lo = entries.iter().map(|&(_, v)| v).min().expect("non-empty");
+                                let hi = entries.iter().map(|&(_, v)| v).max().expect("non-empty");
+                                committed = if lo > 0 { lo - 1 } else { hi + 1 };
+                                self.faults_injected += 1;
+                            }
+                            if plan.fires_stall(step_index, addr) {
+                                self.faults_injected += 1;
+                                std::thread::sleep(plan.stall);
+                            }
+                            if plan.fires_panic(step_index, addr) {
+                                self.faults_injected += 1;
+                                panic!("chaos: injected arbiter panic");
+                            }
                         }
                     }
                     self.mem[addr] = committed;

@@ -79,7 +79,7 @@ fn main() {
             1,
             layout,
             7,
-            FaultPlan { seed: 1, rate_ppm },
+            FaultPlan::arb(1, rate_ppm),
         )
         .unwrap();
         println!(

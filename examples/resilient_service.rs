@@ -1,0 +1,119 @@
+//! Tour of the resilient dispatch runtime: a service-shaped loop that keeps
+//! answering multiprefix requests while its primary engine is wedged, its
+//! deadlines expire, and its callers hang up.
+//!
+//! ```sh
+//! cargo run --example resilient_service
+//! ```
+
+use multiprefix::op::Plus;
+use multiprefix::resilience::{
+    BreakerConfig, CancelToken, ChaosPlan, DispatchOpts, Dispatcher, DispatcherConfig, EngineKind,
+    RetryPolicy,
+};
+use multiprefix::{multiprefix, Engine};
+use std::time::Duration;
+
+fn main() {
+    let n = 2_000usize;
+    let m = 17usize;
+    let values: Vec<i64> = (0..n as i64).map(|i| (i * 7) % 23 - 11).collect();
+    let labels: Vec<usize> = (0..n).map(|i| (i * i + 3 * i) % m).collect();
+    let expect = multiprefix(&values, &labels, m, Plus, Engine::Serial).unwrap();
+
+    // A dispatcher with the default chain (blocked → spinetree → serial),
+    // fast retries and a touchy breaker so the demo stays snappy.
+    let dispatcher = Dispatcher::new(DispatcherConfig {
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_micros(100),
+            ..RetryPolicy::default()
+        },
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(50),
+        },
+        ..DispatcherConfig::default()
+    })
+    .unwrap();
+
+    // Healthy service: the primary engine answers on the first attempt.
+    let out = dispatcher
+        .dispatch(&values, &labels, m, Plus, &DispatchOpts::default())
+        .unwrap();
+    assert_eq!(out.output, expect);
+    println!(
+        "healthy:     engine={:<9} attempts={} fallbacks={}",
+        out.engine.to_string(),
+        out.attempts,
+        out.fallbacks
+    );
+
+    // Wedge the primary: a chaos plan that panics every checkpoint inside
+    // the blocked engine. The service degrades to the spinetree engine and
+    // keeps returning the canonical answer. The dispatcher contains each
+    // injected panic with `catch_unwind`; silencing the default panic hook
+    // here only keeps the demo's stderr readable.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let chaos = ChaosPlan::seeded(42)
+        .panic_ppm(1_000_000)
+        .only(EngineKind::Blocked)
+        .arm();
+    let wedged = DispatchOpts {
+        chaos: Some(chaos.clone()),
+        ..DispatchOpts::default()
+    };
+    for i in 0..3 {
+        let out = dispatcher
+            .dispatch(&values, &labels, m, Plus, &wedged)
+            .unwrap();
+        assert_eq!(out.output, expect, "degraded answers must stay canonical");
+        println!(
+            "wedged #{i}:   engine={:<9} attempts={} fallbacks={} breaker(blocked)={:?}",
+            out.engine.to_string(),
+            out.attempts,
+            out.fallbacks,
+            dispatcher.circuit_state(EngineKind::Blocked),
+        );
+    }
+    std::panic::set_hook(default_hook);
+    println!(
+        "chaos:       injected {} panics into the blocked engine",
+        chaos.panics_injected()
+    );
+
+    // After the cooldown, a fault-free request is admitted as the breaker's
+    // half-open probe; its success puts the primary back in rotation.
+    std::thread::sleep(Duration::from_millis(60));
+    let out = dispatcher
+        .dispatch(&values, &labels, m, Plus, &DispatchOpts::default())
+        .unwrap();
+    assert_eq!(out.output, expect);
+    println!(
+        "recovered:   engine={:<9} breaker(blocked)={:?}",
+        out.engine.to_string(),
+        dispatcher.circuit_state(EngineKind::Blocked),
+    );
+
+    // Deadlines and cancellation come back as typed errors, not hangs.
+    let strict = Dispatcher::new(DispatcherConfig {
+        request_timeout: Some(Duration::ZERO),
+        ..DispatcherConfig::default()
+    })
+    .unwrap();
+    let err = strict
+        .dispatch(&values, &labels, m, Plus, &DispatchOpts::default())
+        .unwrap_err();
+    println!("deadline:    {err}");
+
+    let cancel = CancelToken::cancel_after(5); // caller hangs up mid-request
+    let opts = DispatchOpts {
+        cancel: Some(cancel),
+        ..DispatchOpts::default()
+    };
+    let err = dispatcher
+        .dispatch(&values, &labels, m, Plus, &opts)
+        .unwrap_err();
+    println!("cancelled:   {err}");
+}

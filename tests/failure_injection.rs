@@ -99,18 +99,8 @@ fn arbitration_faults_are_injected_and_detected() {
     let layout = Layout::square(n, 1);
 
     // A clean machine passes the same cross-check.
-    let clean = multiprefix_with_faults(
-        &values,
-        &labels,
-        1,
-        layout,
-        17,
-        FaultPlan {
-            seed: 0,
-            rate_ppm: 0,
-        },
-    )
-    .unwrap();
+    let clean =
+        multiprefix_with_faults(&values, &labels, 1, layout, 17, FaultPlan::arb(0, 0)).unwrap();
     assert_eq!(clean.faults_injected, 0);
     assert_eq!(clean.detection, Ok(()));
 
@@ -121,10 +111,7 @@ fn arbitration_faults_are_injected_and_detected() {
         1,
         layout,
         17,
-        FaultPlan {
-            seed: 0,
-            rate_ppm: 1_000_000,
-        },
+        FaultPlan::arb(0, 1_000_000),
     )
     .unwrap();
     assert!(
@@ -145,10 +132,7 @@ fn fault_reports_replay_deterministically() {
     let values: Vec<i64> = (0..n as i64).map(|i| i * 3 + 1).collect();
     let labels = vec![0usize; n];
     let layout = Layout::square(n, 1);
-    let plan = FaultPlan {
-        seed: 33,
-        rate_ppm: 150_000,
-    };
+    let plan = FaultPlan::arb(33, 150_000);
     let a = multiprefix_with_faults(&values, &labels, 1, layout, 5, plan).unwrap();
     let b = multiprefix_with_faults(&values, &labels, 1, layout, 5, plan).unwrap();
     assert_eq!(a.faults_injected, b.faults_injected);
