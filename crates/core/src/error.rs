@@ -89,6 +89,56 @@ pub enum MpError {
     /// was skipped (circuit open, or unsupported for the element type) —
     /// nothing even attempted the request.
     Unavailable,
+    /// A [`crate::service::Service`] refused or shed a request because its
+    /// bounded submission queue was full. Reported both to a submitter that
+    /// could not be admitted ([`crate::service::Service::try_submit`]) and
+    /// to an already-admitted request that was evicted by the load shedder
+    /// to make room for higher-priority work — in the latter case the
+    /// request's ticket resolves with this error (no silent drops).
+    Overloaded {
+        /// Queue depth observed when the request was refused or shed.
+        queue_depth: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The [`crate::service::Service`] worker executing the request died
+    /// (panicked) mid-flight. The supervisor respawns the worker and no
+    /// queued request is lost, but the in-flight request cannot be
+    /// transparently replayed — its ticket resolves with this error and the
+    /// caller decides whether to resubmit.
+    WorkerLost {
+        /// Index of the worker that died.
+        worker: usize,
+    },
+}
+
+impl MpError {
+    /// Is this failure **transient** — a property of the moment (resource
+    /// pressure, a wedged engine, a dead worker) that a retry at a later
+    /// time or on another engine could plausibly clear?
+    ///
+    /// The [`crate::resilience::Dispatcher`] retries transient failures
+    /// (with backoff) and falls down its engine chain; permanent failures —
+    /// properties of the *request* (validation, overflow, budgets,
+    /// configuration) — are returned immediately. [`MpError::Cancelled`] is
+    /// classified permanent: it is explicit caller intent, not a fault.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            MpError::AllocationFailed { .. }
+                | MpError::EnginePanicked
+                | MpError::DeadlineExceeded
+                | MpError::Unavailable
+                | MpError::Overloaded { .. }
+                | MpError::WorkerLost { .. }
+        )
+    }
+
+    /// The complement of [`MpError::is_transient`]: the request itself can
+    /// never succeed as posed, so retrying is futile.
+    pub fn is_permanent(&self) -> bool {
+        !self.is_transient()
+    }
 }
 
 impl fmt::Display for MpError {
@@ -135,6 +185,19 @@ impl fmt::Display for MpError {
                 f,
                 "no engine in the fallback chain was available for the request"
             ),
+            MpError::Overloaded {
+                queue_depth,
+                capacity,
+            } => write!(
+                f,
+                "service overloaded: queue depth {queue_depth} at capacity {capacity}"
+            ),
+            MpError::WorkerLost { worker } => {
+                write!(
+                    f,
+                    "service worker {worker} died while executing the request"
+                )
+            }
         }
     }
 }
@@ -217,5 +280,81 @@ mod tests {
             .to_string(),
             "self-check failed: sum 7 disagrees with the serial oracle"
         );
+    }
+
+    #[test]
+    fn display_service_variants() {
+        assert_eq!(
+            MpError::Overloaded {
+                queue_depth: 64,
+                capacity: 64
+            }
+            .to_string(),
+            "service overloaded: queue depth 64 at capacity 64"
+        );
+        assert_eq!(
+            MpError::WorkerLost { worker: 3 }.to_string(),
+            "service worker 3 died while executing the request"
+        );
+    }
+
+    /// Every variant is classified, deliberately: a new variant added
+    /// without updating this table (and [`MpError::is_transient`]) fails
+    /// here, not silently in the dispatcher's retry loop.
+    #[test]
+    fn classification_covers_every_variant() {
+        let table: [(MpError, bool); 12] = [
+            (
+                MpError::LengthMismatch {
+                    values: 1,
+                    labels: 2,
+                },
+                false,
+            ),
+            (
+                MpError::LabelOutOfRange {
+                    index: 0,
+                    label: 5,
+                    m: 3,
+                },
+                false,
+            ),
+            (MpError::ArithmeticOverflow { index: 0 }, false),
+            (
+                MpError::CapacityOverflow {
+                    what: "buckets",
+                    requested: 9,
+                    limit: 3,
+                },
+                false,
+            ),
+            (MpError::AllocationFailed { bytes: 64 }, true),
+            (MpError::EnginePanicked, true),
+            (
+                MpError::VerificationFailed {
+                    what: "sum",
+                    index: 0,
+                },
+                false,
+            ),
+            (MpError::DeadlineExceeded, true),
+            // Cancellation is explicit caller intent — never retried.
+            (MpError::Cancelled, false),
+            (MpError::InvalidConfig { what: "x" }, false),
+            (MpError::Unavailable, true),
+            (
+                MpError::Overloaded {
+                    queue_depth: 1,
+                    capacity: 1,
+                },
+                true,
+            ),
+        ];
+        for (err, transient) in table {
+            assert_eq!(err.is_transient(), transient, "{err}");
+            assert_eq!(err.is_permanent(), !transient, "{err}");
+        }
+        // WorkerLost closes the set (13 variants total).
+        assert!(MpError::WorkerLost { worker: 0 }.is_transient());
     }
 }

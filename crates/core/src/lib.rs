@@ -65,6 +65,21 @@
 //! stalls to prove the guarantee: every request returns the serial-oracle
 //! answer or a typed error — never a hang, wrong answer, or abort.
 //!
+//! ## Service layer
+//!
+//! [`service`] lifts the dispatcher into a concurrent, overload-safe
+//! [`service::Service`]: a supervised worker pool behind a bounded
+//! two-priority submission queue. Submissions return a [`service::Ticket`];
+//! overload is met with backpressure ([`service::Service::submit`]),
+//! fail-fast refusal ([`service::Service::try_submit`] →
+//! [`MpError::Overloaded`]), or load shedding of lower-priority work.
+//! Workers that panic resolve their in-flight tickets
+//! ([`MpError::WorkerLost`]) and are respawned; small requests can be
+//! coalesced into one fused multiprefix call (the paper's §4.4 fixed-cost
+//! amortization) with exact, bit-for-bit splitting. The accounting
+//! invariant — every admitted request resolves to a reply or a typed
+//! error — is tracked by [`service::ServiceMetrics`].
+//!
 //! ## Derived primitives
 //!
 //! The paper argues multiprefix subsumes many parallel primitives; the
@@ -88,6 +103,7 @@ pub mod resilience;
 pub mod scan;
 pub mod segmented;
 pub mod serial;
+pub mod service;
 pub mod spinetree;
 pub mod split;
 pub mod stream;

@@ -19,6 +19,14 @@
 //!   deadlines (the checkpoint *after* a stall observes the expired
 //!   deadline).
 //!
+//! A second, independent fault surface targets the **service pool**
+//! ([`crate::service`]): `worker_panic_ppm` / `worker_stall_ppm` fire at
+//! *worker* checkpoints (between dequeuing a batch and executing it), and
+//! `only_worker` scopes them to one worker index. A worker panic kills the
+//! worker thread itself — upstream of the dispatcher's `catch_unwind` — so
+//! it exercises supervision (respawn, `MpError::WorkerLost` resolution of
+//! the in-flight tickets) rather than engine-level containment.
+//!
 //! The draw stream is a single atomic xorshift state, so a fixed seed gives
 //! a reproducible fault *sequence* under sequential execution and a
 //! reproducible fault *mix* under parallel execution (threads interleave
@@ -50,6 +58,20 @@ pub struct ChaosPlan {
     /// a test wedge the primary of a fallback chain while its fallbacks
     /// stay healthy.
     pub only: Option<EngineKind>,
+    /// Probability a **worker checkpoint** (drawn by a
+    /// [`crate::service::Service`] pool worker between dequeuing a batch
+    /// and executing it) panics, killing the worker thread itself — the
+    /// injection point for supervision/respawn testing. Engine checkpoints
+    /// never draw from this.
+    pub worker_panic_ppm: u32,
+    /// Probability a worker checkpoint stalls for [`ChaosPlan::stall`]
+    /// (e.g. to let a test deterministically build up queue depth behind a
+    /// slow worker).
+    pub worker_stall_ppm: u32,
+    /// Restrict **worker** injection to one worker index (`None` faults
+    /// every worker). Lets a test kill one worker of a pool while the rest
+    /// stay healthy.
+    pub only_worker: Option<usize>,
 }
 
 impl Default for ChaosPlan {
@@ -61,6 +83,9 @@ impl Default for ChaosPlan {
             stall_ppm: 0,
             stall: Duration::from_millis(1),
             only: None,
+            worker_panic_ppm: 0,
+            worker_stall_ppm: 0,
+            only_worker: None,
         }
     }
 }
@@ -99,6 +124,25 @@ impl ChaosPlan {
         self
     }
 
+    /// Set the worker-checkpoint panic probability (ppm per batch).
+    pub fn worker_panic_ppm(mut self, ppm: u32) -> Self {
+        self.worker_panic_ppm = ppm;
+        self
+    }
+
+    /// Set the worker-checkpoint stall probability (ppm per batch; stall
+    /// length is [`ChaosPlan::stall`], shared with engine stalls).
+    pub fn worker_stall_ppm(mut self, ppm: u32) -> Self {
+        self.worker_stall_ppm = ppm;
+        self
+    }
+
+    /// Restrict worker injection to the worker with index `worker`.
+    pub fn only_worker(mut self, worker: usize) -> Self {
+        self.only_worker = Some(worker);
+        self
+    }
+
     /// Arm the plan: the returned state carries the live draw stream and
     /// injection counters, and is what a
     /// [`crate::resilience::RunContext::with_chaos`] takes. One armed state
@@ -110,6 +154,8 @@ impl ChaosPlan {
             panics: AtomicUsize::new(0),
             alloc_fails: AtomicUsize::new(0),
             stalls: AtomicUsize::new(0),
+            worker_panics: AtomicUsize::new(0),
+            worker_stalls: AtomicUsize::new(0),
         })
     }
 }
@@ -122,6 +168,8 @@ pub struct ChaosState {
     panics: AtomicUsize,
     alloc_fails: AtomicUsize,
     stalls: AtomicUsize,
+    worker_panics: AtomicUsize,
+    worker_stalls: AtomicUsize,
 }
 
 impl ChaosState {
@@ -145,9 +193,23 @@ impl ChaosState {
         self.stalls.load(Ordering::Relaxed)
     }
 
+    /// Worker-thread panics injected so far (service pool supervision).
+    pub fn worker_panics_injected(&self) -> usize {
+        self.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// Worker-thread stalls injected so far.
+    pub fn worker_stalls_injected(&self) -> usize {
+        self.worker_stalls.load(Ordering::Relaxed)
+    }
+
     /// Total faults injected so far.
     pub fn faults_injected(&self) -> usize {
-        self.panics_injected() + self.alloc_fails_injected() + self.stalls_injected()
+        self.panics_injected()
+            + self.alloc_fails_injected()
+            + self.stalls_injected()
+            + self.worker_panics_injected()
+            + self.worker_stalls_injected()
     }
 
     /// One checkpoint draw on behalf of `engine`. May panic, err, stall, or
@@ -176,6 +238,36 @@ impl ChaosState {
             Ok(())
         } else {
             Ok(())
+        }
+    }
+
+    /// One **worker** checkpoint draw on behalf of pool worker `worker`
+    /// ([`crate::service::Service`] calls this between dequeuing a batch
+    /// and executing it). May panic — killing the worker thread and
+    /// exercising the pool's supervision — or stall; never returns an
+    /// error (a worker has no per-request error channel of its own; the
+    /// in-flight tickets are resolved by the pool's teardown guard).
+    ///
+    /// A plan with no worker faults burns no draw, so arming worker faults
+    /// off leaves the engine-fault sequence of a given seed untouched.
+    pub(crate) fn inject_worker(&self, worker: usize) {
+        if self.plan.worker_panic_ppm == 0 && self.plan.worker_stall_ppm == 0 {
+            return;
+        }
+        if let Some(only) = self.plan.only_worker {
+            if worker != only {
+                return;
+            }
+        }
+        let draw = self.next_draw() % 1_000_000;
+        let panic_edge = self.plan.worker_panic_ppm as u64;
+        let stall_edge = panic_edge + self.plan.worker_stall_ppm as u64;
+        if draw < panic_edge {
+            self.worker_panics.fetch_add(1, Ordering::Relaxed);
+            panic!("chaos: injected worker panic (worker {worker})");
+        } else if draw < stall_edge {
+            self.worker_stalls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(self.plan.stall);
         }
     }
 
@@ -265,6 +357,52 @@ mod tests {
         }));
         assert!(caught.is_err());
         assert_eq!(state.panics_injected(), 1);
+    }
+
+    #[test]
+    fn worker_scoped_plan_spares_other_workers() {
+        let state = ChaosPlan::seeded(9)
+            .worker_panic_ppm(1_000_000)
+            .only_worker(2)
+            .arm();
+        // Untargeted workers never draw, let alone panic.
+        state.inject_worker(0);
+        state.inject_worker(1);
+        assert_eq!(state.worker_panics_injected(), 0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            state.inject_worker(2);
+        }));
+        assert!(caught.is_err());
+        assert_eq!(state.worker_panics_injected(), 1);
+    }
+
+    #[test]
+    fn worker_faults_do_not_perturb_engine_stream() {
+        // Same seed, one plan with worker faults armed (but only polled by
+        // untargeted workers): the engine-fault sequences must match.
+        let plain = ChaosPlan::seeded(77).alloc_fail_ppm(400_000).arm();
+        let with_worker = ChaosPlan::seeded(77)
+            .alloc_fail_ppm(400_000)
+            .worker_panic_ppm(1_000_000)
+            .only_worker(5)
+            .arm();
+        for i in 0..500 {
+            with_worker.inject_worker(0); // scoped away: burns no draw
+            assert_eq!(plain.inject(None), with_worker.inject(None), "draw {i}");
+        }
+    }
+
+    #[test]
+    fn worker_stall_sleeps_and_counts() {
+        let state = ChaosPlan::seeded(4)
+            .worker_stall_ppm(1_000_000)
+            .stall(0, Duration::from_millis(5))
+            .arm();
+        let start = std::time::Instant::now();
+        state.inject_worker(7);
+        assert!(start.elapsed() >= Duration::from_millis(4));
+        assert_eq!(state.worker_stalls_injected(), 1);
+        assert_eq!(state.faults_injected(), 1);
     }
 
     #[test]

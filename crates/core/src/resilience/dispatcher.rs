@@ -155,11 +155,19 @@ impl Default for DispatcherConfig {
     }
 }
 
-/// Per-call options: cancellation and (in tests) chaos injection.
+/// Per-call options: cancellation, a per-request deadline, and (in tests)
+/// chaos injection.
 #[derive(Debug, Clone, Default)]
 pub struct DispatchOpts {
     /// Cooperative cancellation handle for this request.
     pub cancel: Option<CancelToken>,
+    /// A deadline for **this request** (combined, earliest-wins, with the
+    /// dispatcher-wide [`DispatcherConfig::request_timeout`]). This is how
+    /// a [`crate::service::Service`] propagates a caller's deadline through
+    /// queueing: a request that spent its budget waiting is rejected at the
+    /// first pre-attempt check — before any engine runs — rather than after
+    /// a wasted execution.
+    pub deadline: Option<Deadline>,
     /// Armed chaos plan faulting this request's engine checkpoints.
     pub chaos: Option<Arc<ChaosState>>,
 }
@@ -195,13 +203,6 @@ impl JitterRng {
         self.0 = x;
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
-}
-
-fn is_transient(err: &MpError) -> bool {
-    matches!(
-        err,
-        MpError::AllocationFailed { .. } | MpError::EnginePanicked | MpError::DeadlineExceeded
-    )
 }
 
 /// The resilient dispatch runtime. See the module docs for the model.
@@ -452,7 +453,13 @@ impl Dispatcher {
         supports: impl Fn(EngineKind) -> bool,
         run: impl Fn(EngineKind, &RunContext) -> Result<R, MpError>,
     ) -> Result<DispatchOutcome<R>, MpError> {
-        let request_deadline = self.cfg.request_timeout.map(Deadline::after);
+        let mut request_deadline = self.cfg.request_timeout.map(Deadline::after);
+        if let Some(d) = opts.deadline {
+            request_deadline = Some(match request_deadline {
+                Some(r) => r.min(d),
+                None => d,
+            });
+        }
         let mut jitter = JitterRng::new(self.cfg.retry.jitter_seed);
         let mut attempts = 0u32;
         let mut fallbacks = 0u32;
@@ -491,7 +498,7 @@ impl Dispatcher {
                     // Explicit user intent: stop the whole dispatch, no
                     // fallback, no breaker bookkeeping.
                     Err(MpError::Cancelled) => return Err(MpError::Cancelled),
-                    Err(err) if is_transient(&err) => {
+                    Err(err) if err.is_transient() => {
                         self.health_of(kind).on_failure();
                         let blew_deadline = matches!(err, MpError::DeadlineExceeded);
                         last_transient = Some(err);
@@ -706,6 +713,50 @@ mod tests {
         assert_eq!(
             d.dispatch(&values, &labels, 5, Plus, &opts).unwrap_err(),
             MpError::Cancelled
+        );
+    }
+
+    #[test]
+    fn expired_request_deadline_rejected_before_any_engine_runs() {
+        let (values, labels) = problem(2000, 5);
+        let d = Dispatcher::new(DispatcherConfig::default()).unwrap();
+        let opts = DispatchOpts {
+            deadline: Some(Deadline::at(std::time::Instant::now())),
+            ..Default::default()
+        };
+        let outcome = d.dispatch(&values, &labels, 5, Plus, &opts);
+        assert_eq!(outcome.unwrap_err(), MpError::DeadlineExceeded);
+        // No attempt was charged to any engine's breaker.
+        assert_eq!(d.circuit_state(EngineKind::Blocked), CircuitState::Closed);
+    }
+
+    #[test]
+    fn per_request_deadline_tightens_config_timeout() {
+        let (values, labels) = problem(500, 3);
+        // Generous config timeout, already-expired per-request deadline:
+        // the earlier of the two governs.
+        let cfg = DispatcherConfig {
+            request_timeout: Some(Duration::from_secs(3600)),
+            ..Default::default()
+        };
+        let d = Dispatcher::new(cfg).unwrap();
+        let opts = DispatchOpts {
+            deadline: Some(Deadline::at(std::time::Instant::now())),
+            ..Default::default()
+        };
+        assert_eq!(
+            d.dispatch(&values, &labels, 3, Plus, &opts).unwrap_err(),
+            MpError::DeadlineExceeded
+        );
+        // A generous per-request deadline does not loosen anything.
+        let opts = DispatchOpts {
+            deadline: Some(Deadline::after(Duration::from_secs(3600))),
+            ..Default::default()
+        };
+        let outcome = d.dispatch(&values, &labels, 3, Plus, &opts).unwrap();
+        assert_eq!(
+            outcome.output,
+            multiprefix_serial(&values, &labels, 3, Plus)
         );
     }
 

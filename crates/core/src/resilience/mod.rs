@@ -24,6 +24,12 @@
 //! The semantic guarantee throughout: *which* engine serves a request never
 //! changes *what* it answers. Fallback and retry are invisible in the
 //! output — only in [`DispatchOutcome`]'s bookkeeping.
+//!
+//! [`crate::service`] builds the concurrent front door on top of this
+//! module: a supervised worker pool feeds submissions through a
+//! [`Dispatcher`], with a bounded two-priority queue, load shedding, and
+//! worker respawn driven by the same chaos checkpoints
+//! ([`ChaosPlan::worker_panic_ppm`]).
 
 pub mod chaos;
 pub mod ctx;

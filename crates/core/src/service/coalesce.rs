@@ -1,0 +1,213 @@
+//! Micro-batch coalescing: pack many small same-op requests into one fused
+//! multiprefix call, then split the fused output back per request.
+//!
+//! This is the paper's §4.4 row-length economics applied to a service: the
+//! engines' fixed costs (phase startup, spinetree build, chunk scheduling)
+//! dominate at small `n`, so `k` requests of `n` elements each cost nearly
+//! `k` full startups when run separately but only one when fused. Fusion is
+//! exact, not approximate: member `i`'s labels are offset by the cumulative
+//! bucket count of the members before it, so label spaces are disjoint and
+//! the fused result *restricted to member `i`'s ranges* is bit-identical to
+//! running member `i` alone —
+//!
+//! * `fused.sums[elem_range_i] == member_i.sums` (no cross-member element
+//!   shares a label, so no cross-member prefix contaminates another), and
+//! * `fused.reductions[label_range_i] == member_i.reductions`.
+//!
+//! The tests in this module and the service-level property tests hold that
+//! equality against the serial (Figure 2) oracle bit-for-bit.
+
+use crate::problem::MultiprefixOutput;
+use crate::service::queue::{JobKind, Reply, Request};
+use std::ops::Range;
+
+/// Tuning for the opt-in micro-batching coalescer
+/// ([`super::ServiceConfig::coalesce`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalesceConfig {
+    /// Most requests fused into one call.
+    pub max_requests: usize,
+    /// Ceiling on the fused element count (`Σ nᵢ`).
+    pub max_fused_elements: usize,
+    /// Only requests with at most this many elements coalesce — larger
+    /// requests already amortize the engines' fixed costs on their own.
+    pub max_request_elements: usize,
+}
+
+impl Default for CoalesceConfig {
+    fn default() -> Self {
+        CoalesceConfig {
+            max_requests: 16,
+            // Past a few thousand elements the fixed costs are amortized
+            // (§4.4: the vector loops approach their asymptotic clk/elt
+            // rates); fusing bigger batches buys little and delays results.
+            max_fused_elements: 4096,
+            max_request_elements: 512,
+        }
+    }
+}
+
+impl CoalesceConfig {
+    /// May `request` participate in a fused batch at all?
+    pub(crate) fn admits<T>(&self, request: &Request<T>) -> bool {
+        request.values.len() <= self.max_request_elements
+    }
+}
+
+/// Where each member landed inside the fused problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct FusedLayout {
+    /// Member `i`'s slice of the fused value/label vectors.
+    pub(crate) elem_ranges: Vec<Range<usize>>,
+    /// Member `i`'s slice of the fused label space (its `m` buckets).
+    pub(crate) label_ranges: Vec<Range<usize>>,
+    /// Total fused bucket count (`Σ mᵢ`).
+    pub(crate) m: usize,
+}
+
+/// Pack `requests` into one fused problem: concatenated values, labels
+/// offset into disjoint per-member bucket ranges.
+pub(crate) fn fuse<T: Copy>(requests: &[&Request<T>]) -> (Vec<T>, Vec<usize>, FusedLayout) {
+    let total_elems: usize = requests.iter().map(|r| r.values.len()).sum();
+    let mut values = Vec::with_capacity(total_elems);
+    let mut labels = Vec::with_capacity(total_elems);
+    let mut elem_ranges = Vec::with_capacity(requests.len());
+    let mut label_ranges = Vec::with_capacity(requests.len());
+    let mut m_off = 0usize;
+    for request in requests {
+        let elem_start = values.len();
+        values.extend_from_slice(&request.values);
+        labels.extend(request.labels.iter().map(|&l| l + m_off));
+        elem_ranges.push(elem_start..values.len());
+        label_ranges.push(m_off..m_off + request.m);
+        m_off += request.m;
+    }
+    (
+        values,
+        labels,
+        FusedLayout {
+            elem_ranges,
+            label_ranges,
+            m: m_off,
+        },
+    )
+}
+
+/// Split a fused output back into per-member replies, honoring each
+/// member's [`JobKind`].
+pub(crate) fn split<T: Copy>(
+    requests: &[&Request<T>],
+    fused: &MultiprefixOutput<T>,
+    layout: &FusedLayout,
+) -> Vec<Reply<T>> {
+    debug_assert_eq!(requests.len(), layout.elem_ranges.len());
+    requests
+        .iter()
+        .zip(&layout.elem_ranges)
+        .zip(&layout.label_ranges)
+        .map(|((request, elems), buckets)| {
+            let reductions = fused.reductions[buckets.clone()].to_vec();
+            match request.kind {
+                JobKind::Reduce => Reply::Reduce(reductions),
+                JobKind::Prefix => Reply::Prefix(MultiprefixOutput {
+                    sums: fused.sums[elems.clone()].to_vec(),
+                    reductions,
+                }),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Plus;
+    use crate::serial::{multiprefix_serial, multireduce_serial};
+
+    fn request(n: usize, m: usize, salt: u64, kind: usize) -> Request<i64> {
+        let values = (0..n as u64)
+            .map(|i| (i.wrapping_mul(salt | 1) % 97) as i64 - 48)
+            .collect();
+        let labels = (0..n as u64)
+            .map(|i| (i.wrapping_mul(salt.wrapping_add(3)) % m.max(1) as u64) as usize)
+            .collect();
+        if kind.is_multiple_of(2) {
+            Request::multiprefix(values, labels, m)
+        } else {
+            Request::multireduce(values, labels, m)
+        }
+    }
+
+    #[test]
+    fn fused_layout_is_disjoint_and_exhaustive() {
+        let reqs: Vec<Request<i64>> = (0..5)
+            .map(|i| request(10 + i, 3 + i, i as u64, i))
+            .collect();
+        let refs: Vec<&Request<i64>> = reqs.iter().collect();
+        let (values, labels, layout) = fuse(&refs);
+        assert_eq!(values.len(), reqs.iter().map(|r| r.len()).sum::<usize>());
+        assert_eq!(labels.len(), values.len());
+        assert_eq!(layout.m, reqs.iter().map(|r| r.m).sum::<usize>());
+        // Every fused label lies inside its member's bucket range.
+        for (i, elems) in layout.elem_ranges.iter().enumerate() {
+            let buckets = &layout.label_ranges[i];
+            assert_eq!(elems.len(), reqs[i].len());
+            assert!(labels[elems.clone()].iter().all(|l| buckets.contains(l)));
+        }
+    }
+
+    #[test]
+    fn split_results_match_per_request_serial_oracle_bit_for_bit() {
+        let reqs: Vec<Request<i64>> = (0..7)
+            .map(|i| request(1 + 13 * i, 1 + (i * 2) % 5, 41 * i as u64 + 1, i))
+            .collect();
+        let refs: Vec<&Request<i64>> = reqs.iter().collect();
+        let (values, labels, layout) = fuse(&refs);
+        let fused = multiprefix_serial(&values, &labels, layout.m, Plus);
+        let replies = split(&refs, &fused, &layout);
+        for (req, reply) in reqs.iter().zip(replies) {
+            match reply {
+                Reply::Prefix(out) => {
+                    assert_eq!(
+                        out,
+                        multiprefix_serial(&req.values, &req.labels, req.m, Plus)
+                    );
+                }
+                Reply::Reduce(red) => {
+                    assert_eq!(
+                        red,
+                        multireduce_serial(&req.values, &req.labels, req.m, Plus)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_bucket_members_fuse_cleanly() {
+        let reqs = [
+            Request::<i64>::multiprefix(vec![], vec![], 0),
+            request(6, 2, 9, 0),
+            Request::<i64>::multireduce(vec![], vec![], 3),
+        ];
+        let refs: Vec<&Request<i64>> = reqs.iter().collect();
+        let (values, labels, layout) = fuse(&refs);
+        let fused = multiprefix_serial(&values, &labels, layout.m, Plus);
+        let replies = split(&refs, &fused, &layout);
+        assert_eq!(
+            replies[0],
+            Reply::Prefix(multiprefix_serial::<i64, Plus>(&[], &[], 0, Plus))
+        );
+        assert_eq!(replies[2], Reply::Reduce(vec![0, 0, 0]));
+    }
+
+    #[test]
+    fn admits_respects_the_size_gate() {
+        let cfg = CoalesceConfig {
+            max_request_elements: 4,
+            ..CoalesceConfig::default()
+        };
+        assert!(cfg.admits(&request(4, 2, 1, 0)));
+        assert!(!cfg.admits(&request(5, 2, 1, 0)));
+    }
+}

@@ -1,0 +1,779 @@
+//! An overload-safe concurrent service layer over the resilient
+//! [`Dispatcher`]: supervised worker pool,
+//! admission control, backpressure, and opt-in micro-batching.
+//!
+//! A [`Service`] accepts concurrent multiprefix/multireduce submissions
+//! from any number of threads and executes them on a pool of supervised
+//! workers, each request flowing through the dispatcher's fallback chain,
+//! retry policy and circuit breakers. The layer adds the *service-level*
+//! guarantees the dispatcher alone cannot give:
+//!
+//! * **Bounded queue + backpressure** — the submission queue holds at most
+//!   [`ServiceConfig`]`::queue_capacity` requests. [`Service::try_submit`]
+//!   fails fast with [`MpError::Overloaded`]; [`Service::submit`] blocks for
+//!   space; [`Service::submit_within`] blocks with a deadline.
+//! * **Admission control + load shedding** — two priority classes
+//!   ([`Priority::Interactive`] is served before [`Priority::Batch`]). When
+//!   the queue is full, an arriving interactive request sheds the batch
+//!   entry with the earliest deadline (oldest first among deadline-less
+//!   entries); the victim's ticket resolves [`MpError::Overloaded`], so
+//!   nothing is silently dropped.
+//! * **Worker supervision** — a worker that panics (including injected
+//!   [`ChaosPlan`](crate::resilience::ChaosPlan) worker faults) resolves
+//!   its in-flight tickets [`MpError::WorkerLost`] and is respawned;
+//!   queued requests survive the death untouched.
+//! * **Deadline propagation** — a request's deadline covers queue wait and
+//!   execution: expired requests are failed cheaply before any engine runs,
+//!   and the residue is enforced inside the engines via
+//!   [`RunContext`](crate::resilience::RunContext) checkpoints.
+//! * **Micro-batching** — with [`ServiceConfig::coalesce`] set, small
+//!   same-op requests are fused into one multiprefix call with disjoint
+//!   label ranges and split exactly afterwards (see [`CoalesceConfig`] for
+//!   why the split is bit-for-bit equal to per-request execution).
+//!
+//! The accounting invariant that ties it together: **every admitted request
+//! resolves** — to a [`Reply`] or a typed [`MpError`] — through exactly one
+//! code path, so `admitted == completed + errored` once the queue drains.
+//! [`Service::metrics`] exposes the counters; the service tests and the
+//! property harness assert the invariant under submit/cancel/chaos storms.
+
+pub(crate) mod coalesce;
+pub(crate) mod pool;
+pub(crate) mod queue;
+pub(crate) mod shed;
+
+pub use coalesce::CoalesceConfig;
+pub use queue::{Priority, Reply, Request, Ticket};
+
+use crate::error::MpError;
+use crate::op::TryCombineOp;
+use crate::problem::{validate_slices, Element};
+use crate::resilience::chaos::ChaosState;
+use crate::resilience::ctx::{CancelToken, Deadline};
+use crate::resilience::dispatcher::{Dispatcher, DispatcherConfig};
+use pool::{lock_queue, run_batch, spawn_worker, Shared};
+use queue::{Entry, QueuePhase, QueueState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Configuration for a [`Service`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// Worker threads executing requests. Default 4.
+    pub workers: Option<usize>,
+    /// Bound on queued (admitted but not yet executing) requests. Default
+    /// 64. Submissions beyond it shed lower-priority work or exert
+    /// backpressure.
+    pub queue_capacity: Option<usize>,
+    /// The dispatcher every worker executes through (fallback chain, retry,
+    /// breakers, timeouts).
+    pub dispatcher: DispatcherConfig,
+    /// Enable micro-batch coalescing of small requests. Off by default.
+    pub coalesce: Option<CoalesceConfig>,
+    /// Seeded fault injection, shared with the dispatcher layer. Worker
+    /// faults ([`ChaosPlan::worker_panic_ppm`]) fire at the worker
+    /// checkpoint; engine faults fire inside engines as before.
+    ///
+    /// [`ChaosPlan::worker_panic_ppm`]: crate::resilience::ChaosPlan::worker_panic_ppm
+    pub chaos: Option<Arc<ChaosState>>,
+}
+
+impl ServiceConfig {
+    fn workers(&self) -> usize {
+        self.workers.unwrap_or(4)
+    }
+
+    fn queue_capacity(&self) -> usize {
+        self.queue_capacity.unwrap_or(64)
+    }
+}
+
+/// Monotonic service counters. Interior-mutable so workers and submitters
+/// update them lock-free; snapshot with [`ServiceStats::metrics`].
+#[derive(Debug, Default)]
+pub(crate) struct ServiceStats {
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    errored: AtomicU64,
+    shed: AtomicU64,
+    cancelled: AtomicU64,
+    expired: AtomicU64,
+    worker_lost: AtomicU64,
+    coalesced_batches: AtomicU64,
+    coalesced_requests: AtomicU64,
+    worker_panics: AtomicU64,
+    respawns: AtomicU64,
+}
+
+impl ServiceStats {
+    /// Count one resolution. Called from exactly one place
+    /// ([`queue::Resolver::resolve`]) so the accounting invariant is
+    /// enforced structurally, not by discipline at call sites.
+    pub(crate) fn record_resolution<T>(&self, outcome: &Result<Reply<T>, MpError>) {
+        match outcome {
+            Ok(_) => {
+                self.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(err) => {
+                self.errored.fetch_add(1, Ordering::Relaxed);
+                match err {
+                    MpError::Overloaded { .. } => {
+                        self.shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    MpError::Cancelled => {
+                        self.cancelled.fetch_add(1, Ordering::Relaxed);
+                    }
+                    MpError::DeadlineExceeded => {
+                        self.expired.fetch_add(1, Ordering::Relaxed);
+                    }
+                    MpError::WorkerLost { .. } => {
+                        self.worker_lost.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    pub(crate) fn bump_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_worker_panics(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_respawns(&self) {
+        self.respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_coalesced(&self, members: usize) {
+        self.coalesced_batches.fetch_add(1, Ordering::Relaxed);
+        self.coalesced_requests
+            .fetch_add(members as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn metrics(&self) -> ServiceMetrics {
+        ServiceMetrics {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            errored: self.errored.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            worker_lost: self.worker_lost.load(Ordering::Relaxed),
+            coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
+            coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the service counters
+/// ([`Service::metrics`]).
+///
+/// Once the service has quiesced (queue drained, no request in flight),
+/// `admitted == completed + errored` — the no-leaked-tickets invariant —
+/// and `errored == `(dispatch errors)` + shed + cancelled + expired +
+/// worker_lost` where the four named counters break out the service-level
+/// error causes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServiceMetrics {
+    /// Requests accepted into the queue (each owns exactly one ticket).
+    pub admitted: u64,
+    /// Submissions refused at the door (fail-fast overload, stopped
+    /// service); these never got a ticket and are *not* part of the
+    /// accounting invariant.
+    pub rejected: u64,
+    /// Tickets resolved with a [`Reply`].
+    pub completed: u64,
+    /// Tickets resolved with any [`MpError`].
+    pub errored: u64,
+    /// Errored with [`MpError::Overloaded`]: admitted, then evicted by the
+    /// load shedder.
+    pub shed: u64,
+    /// Errored with [`MpError::Cancelled`].
+    pub cancelled: u64,
+    /// Errored with [`MpError::DeadlineExceeded`].
+    pub expired: u64,
+    /// Errored with [`MpError::WorkerLost`]: in flight on a worker that
+    /// died.
+    pub worker_lost: u64,
+    /// Fused multi-request batches executed.
+    pub coalesced_batches: u64,
+    /// Requests served through a fused batch (≥ 2 per batch).
+    pub coalesced_requests: u64,
+    /// Worker threads that died by panic.
+    pub worker_panics: u64,
+    /// Replacement workers spawned by supervision.
+    pub respawns: u64,
+}
+
+impl ServiceMetrics {
+    /// Total tickets resolved so far (`completed + errored`).
+    pub fn resolved(&self) -> u64 {
+        self.completed + self.errored
+    }
+}
+
+/// How long an admission attempt may wait for queue space.
+enum AdmissionWait {
+    FailFast,
+    Block,
+    Until(Deadline),
+}
+
+/// A concurrent multiprefix/multireduce service: supervised workers over a
+/// shared [`Dispatcher`], behind a bounded
+/// two-priority queue.
+///
+/// ```
+/// use multiprefix::op::Plus;
+/// use multiprefix::service::{Request, Service, ServiceConfig};
+///
+/// let service = Service::new(Plus, ServiceConfig::default()).unwrap();
+/// let ticket = service
+///     .submit(Request::multiprefix(vec![1i64, 2, 3, 4], vec![0, 1, 0, 1], 2))
+///     .unwrap();
+/// let reply = ticket.wait().unwrap();
+/// assert_eq!(reply.reductions(), &[4, 6]);
+/// service.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct Service<T: Element, O: TryCombineOp<T>> {
+    shared: Arc<Shared<T, O>>,
+}
+
+impl<T: Element, O: TryCombineOp<T>> Service<T, O> {
+    /// Start the service: validate the configuration, build the dispatcher,
+    /// spawn the workers.
+    pub fn new(op: O, cfg: ServiceConfig) -> Result<Self, MpError> {
+        if cfg.workers() == 0 {
+            return Err(MpError::InvalidConfig {
+                what: "service worker count is zero",
+            });
+        }
+        if cfg.queue_capacity() == 0 {
+            return Err(MpError::InvalidConfig {
+                what: "service queue capacity is zero",
+            });
+        }
+        if let Some(cc) = cfg.coalesce {
+            if cc.max_requests == 0 || cc.max_fused_elements == 0 {
+                return Err(MpError::InvalidConfig {
+                    what: "coalesce limits must be nonzero",
+                });
+            }
+        }
+        let dispatcher = Dispatcher::new(cfg.dispatcher.clone())?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState::new()),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+            dispatcher,
+            op,
+            cfg,
+            stats: ServiceStats::default(),
+        });
+        for idx in 0..shared.cfg.workers() {
+            spawn_worker(&shared, idx);
+        }
+        Ok(Service { shared })
+    }
+
+    /// Submit without waiting: admitted immediately (possibly by shedding
+    /// lower-priority work), or refused with [`MpError::Overloaded`].
+    pub fn try_submit(&self, request: Request<T>) -> Result<Ticket<T>, MpError> {
+        self.admit(request, AdmissionWait::FailFast)
+    }
+
+    /// Submit, blocking until the queue has room (backpressure).
+    pub fn submit(&self, request: Request<T>) -> Result<Ticket<T>, MpError> {
+        self.admit(request, AdmissionWait::Block)
+    }
+
+    /// Submit, blocking at most `wait` for room; refused with
+    /// [`MpError::Overloaded`] if the queue is still full at the deadline.
+    pub fn submit_within(&self, request: Request<T>, wait: Duration) -> Result<Ticket<T>, MpError> {
+        self.admit(request, AdmissionWait::Until(Deadline::after(wait)))
+    }
+
+    fn admit(&self, request: Request<T>, mut wait: AdmissionWait) -> Result<Ticket<T>, MpError> {
+        // Malformed requests fail at the submission site, not on a worker.
+        validate_slices(&request.values, &request.labels, request.m)?;
+        let capacity = self.shared.cfg.queue_capacity();
+        let cancel = CancelToken::new();
+        let (ticket, resolver) = queue::ticket::<T>(cancel.clone());
+        let mut q = lock_queue(&self.shared);
+        loop {
+            if q.phase != QueuePhase::Accepting {
+                self.shared.stats.bump_rejected();
+                return Err(MpError::Unavailable);
+            }
+            let depth = q.depth();
+            if depth < capacity {
+                let seq = q.next_seq;
+                q.next_seq += 1;
+                self.shared.stats.bump_admitted();
+                q.push(Entry {
+                    request,
+                    cancel,
+                    resolver,
+                    seq,
+                });
+                drop(q);
+                self.shared.work.notify_one();
+                return Ok(ticket);
+            }
+            if let Some(victim) = shed::pick_victim(&q, request.priority) {
+                let evicted = q
+                    .batch
+                    .remove(victim)
+                    .expect("invariant: shed victim index is in range");
+                // Resolving under the queue lock is safe: ticket waiters
+                // never take the queue lock (queue → ticket is the only
+                // lock order in the service).
+                evicted.resolver.resolve(
+                    &self.shared.stats,
+                    Err(MpError::Overloaded {
+                        queue_depth: depth,
+                        capacity,
+                    }),
+                );
+                continue; // the freed slot admits us on the next pass
+            }
+            match wait {
+                AdmissionWait::FailFast => {
+                    self.shared.stats.bump_rejected();
+                    return Err(MpError::Overloaded {
+                        queue_depth: depth,
+                        capacity,
+                    });
+                }
+                AdmissionWait::Block => {
+                    q = self
+                        .shared
+                        .space
+                        .wait(q)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                AdmissionWait::Until(deadline) => {
+                    let left = deadline.remaining();
+                    if left.is_zero() {
+                        self.shared.stats.bump_rejected();
+                        return Err(MpError::Overloaded {
+                            queue_depth: depth,
+                            capacity,
+                        });
+                    }
+                    q = self
+                        .shared
+                        .space
+                        .wait_timeout(q, left)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                    wait = AdmissionWait::Until(deadline);
+                }
+            }
+        }
+    }
+
+    /// Snapshot the service counters.
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.shared.stats.metrics()
+    }
+
+    /// Requests currently queued (admitted, not yet taken by a worker).
+    pub fn queue_depth(&self) -> usize {
+        lock_queue(&self.shared).depth()
+    }
+
+    /// Graceful shutdown: refuse new submissions, finish every queued
+    /// request, join the workers. Returns the final metrics snapshot.
+    pub fn shutdown(&self) -> ServiceMetrics {
+        self.stop(true)
+    }
+
+    /// Immediate shutdown: refuse new submissions, resolve every queued
+    /// request [`MpError::Cancelled`] without executing it, join the
+    /// workers. In-flight requests still finish (workers are never killed
+    /// mid-request). Returns the final metrics snapshot.
+    pub fn abort(&self) -> ServiceMetrics {
+        self.stop(false)
+    }
+
+    fn stop(&self, graceful: bool) -> ServiceMetrics {
+        {
+            let mut q = lock_queue(&self.shared);
+            match (q.phase, graceful) {
+                (QueuePhase::Accepting, true) => q.phase = QueuePhase::Draining,
+                (QueuePhase::Accepting, false) | (QueuePhase::Draining, false) => {
+                    q.phase = QueuePhase::Aborting;
+                }
+                _ => {} // already stopping at least as strongly
+            }
+            if q.phase == QueuePhase::Aborting {
+                for entry in q.drain_all() {
+                    entry
+                        .resolver
+                        .resolve(&self.shared.stats, Err(MpError::Cancelled));
+                }
+            }
+        }
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        // Join the whole worker lineage. A replacement pushes its handle
+        // before its predecessor's thread exits, so looping until the vec
+        // is empty catches every respawn generation.
+        loop {
+            let handle = self
+                .shared
+                .handles
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join(); // panics already handled by supervision
+                }
+                None => break,
+            }
+        }
+        // Defensive sweep: if the last worker died and its respawn failed
+        // (spawn refusal under resource exhaustion), queued entries could
+        // outlive the pool. Resolve them inline rather than leak tickets.
+        let leftovers = lock_queue(&self.shared).drain_all();
+        if !leftovers.is_empty() {
+            run_batch(&self.shared, None, leftovers);
+        }
+        self.shared.stats.metrics()
+    }
+}
+
+impl<T: Element, O: TryCombineOp<T>> Drop for Service<T, O> {
+    fn drop(&mut self) {
+        // Idempotent: a no-op beyond joining if shutdown()/abort() already
+        // ran. Default drop policy is abort — don't hold the caller hostage
+        // to a deep backlog.
+        self.stop(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Plus;
+    use crate::resilience::chaos::ChaosPlan;
+    use crate::serial::{multiprefix_serial, multireduce_serial};
+
+    fn small_cfg(workers: usize, capacity: usize) -> ServiceConfig {
+        ServiceConfig {
+            workers: Some(workers),
+            queue_capacity: Some(capacity),
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        assert!(matches!(
+            Service::<i64, Plus>::new(Plus, small_cfg(0, 8)),
+            Err(MpError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            Service::<i64, Plus>::new(Plus, small_cfg(2, 0)),
+            Err(MpError::InvalidConfig { .. })
+        ));
+        let bad_coalesce = ServiceConfig {
+            coalesce: Some(CoalesceConfig {
+                max_requests: 0,
+                ..CoalesceConfig::default()
+            }),
+            ..ServiceConfig::default()
+        };
+        assert!(matches!(
+            Service::<i64, Plus>::new(Plus, bad_coalesce),
+            Err(MpError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn submissions_resolve_with_oracle_results() {
+        let service = Service::new(Plus, small_cfg(2, 8)).unwrap();
+        let values = vec![1i64, 3, 2, 1, 1, 2, 3, 1];
+        let labels = vec![1usize, 2, 1, 1, 2, 2, 1, 1];
+        let prefix = service
+            .submit(Request::multiprefix(values.clone(), labels.clone(), 4))
+            .unwrap();
+        let reduce = service
+            .submit(Request::multireduce(values.clone(), labels.clone(), 4))
+            .unwrap();
+        assert_eq!(
+            prefix.wait().unwrap().into_prefix().unwrap(),
+            multiprefix_serial(&values, &labels, 4, Plus)
+        );
+        assert_eq!(
+            reduce.wait().unwrap(),
+            Reply::Reduce(multireduce_serial(&values, &labels, 4, Plus))
+        );
+        let m = service.shutdown();
+        assert_eq!(m.admitted, 2);
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.errored, 0);
+    }
+
+    #[test]
+    fn invalid_requests_fail_at_the_submission_site() {
+        let service = Service::new(Plus, small_cfg(1, 4)).unwrap();
+        // Label out of range.
+        let err = service
+            .submit(Request::multiprefix(vec![1i64], vec![5], 2))
+            .unwrap_err();
+        assert!(matches!(err, MpError::LabelOutOfRange { .. }));
+        let m = service.shutdown();
+        assert_eq!(m.admitted, 0);
+    }
+
+    #[test]
+    fn cancelled_before_execution_resolves_cancelled() {
+        // One worker wedged on a stall keeps the queue backed up long
+        // enough to cancel a queued request deterministically.
+        let chaos = ChaosPlan::seeded(7)
+            .worker_stall_ppm(1_000_000)
+            .stall(0, Duration::from_millis(30))
+            .arm();
+        let cfg = ServiceConfig {
+            workers: Some(1),
+            queue_capacity: Some(8),
+            chaos: Some(chaos),
+            ..ServiceConfig::default()
+        };
+        let service = Service::new(Plus, cfg).unwrap();
+        let first = service
+            .submit(Request::multiprefix(vec![1i64, 2], vec![0, 1], 2))
+            .unwrap();
+        let victim = service
+            .submit(Request::multiprefix(vec![3i64, 4], vec![0, 1], 2))
+            .unwrap();
+        victim.cancel();
+        assert_eq!(victim.wait(), Err(MpError::Cancelled));
+        assert!(first.wait().is_ok());
+        let m = service.shutdown();
+        assert_eq!(m.admitted, m.completed + m.errored);
+        assert_eq!(m.cancelled, 1);
+    }
+
+    #[test]
+    fn try_submit_sheds_batch_work_for_interactive_arrivals() {
+        // No workers draining: wedge the single worker with a long stall so
+        // the queue state is fully under test control.
+        let chaos = ChaosPlan::seeded(3)
+            .worker_stall_ppm(1_000_000)
+            .stall(0, Duration::from_millis(50))
+            .arm();
+        let cfg = ServiceConfig {
+            workers: Some(1),
+            queue_capacity: Some(2),
+            chaos: Some(chaos),
+            ..ServiceConfig::default()
+        };
+        let service = Service::new(Plus, cfg).unwrap();
+        // First submission is grabbed by the (stalling) worker; the next
+        // two fill the queue.
+        let mut batch = Vec::new();
+        for _ in 0..3 {
+            batch.push(
+                service
+                    .submit(Request::multireduce(vec![1i64], vec![0], 1))
+                    .unwrap(),
+            );
+        }
+        // Queue full with batch work: a batch arrival is refused...
+        let refused = service
+            .try_submit(Request::multireduce(vec![1i64], vec![0], 1))
+            .unwrap_err();
+        assert!(matches!(refused, MpError::Overloaded { capacity: 2, .. }));
+        // ...but an interactive arrival sheds a queued batch entry.
+        let vip = service
+            .try_submit(
+                Request::multireduce(vec![2i64], vec![0], 1).priority(Priority::Interactive),
+            )
+            .unwrap();
+        assert!(vip.wait().is_ok());
+        let shed_count = batch
+            .iter()
+            .filter(|t| matches!(t.wait(), Err(MpError::Overloaded { .. })))
+            .count();
+        assert_eq!(shed_count, 1);
+        let m = service.shutdown();
+        assert_eq!(m.shed, 1);
+        assert_eq!(m.rejected, 1);
+        assert_eq!(m.admitted, m.completed + m.errored);
+    }
+
+    #[test]
+    fn worker_death_resolves_inflight_and_respawns() {
+        // Worker 0 panics on every batch it picks up; the respawned
+        // replacements keep panicking (same index), so every request
+        // submitted resolves WorkerLost — and the service stays alive.
+        let chaos = ChaosPlan::seeded(11)
+            .worker_panic_ppm(1_000_000)
+            .only_worker(0)
+            .arm();
+        let cfg = ServiceConfig {
+            workers: Some(1),
+            queue_capacity: Some(8),
+            chaos: Some(chaos.clone()),
+            ..ServiceConfig::default()
+        };
+        let service = Service::new(Plus, cfg).unwrap();
+        let t = service
+            .submit(Request::multiprefix(vec![1i64, 2], vec![0, 0], 1))
+            .unwrap();
+        assert_eq!(t.wait(), Err(MpError::WorkerLost { worker: 0 }));
+        // A second request can only be picked up by the *replacement*
+        // worker, so its resolution proves the first death's supervision
+        // (panic count, respawn) fully ran.
+        let t2 = service
+            .submit(Request::multiprefix(vec![3i64], vec![0], 1))
+            .unwrap();
+        assert_eq!(t2.wait(), Err(MpError::WorkerLost { worker: 0 }));
+        let m = service.metrics();
+        assert_eq!(m.worker_lost, 2);
+        assert!(m.worker_panics >= 1);
+        assert!(m.respawns >= 1);
+        // After shutdown every worker thread is joined, so the chaos-side
+        // and service-side panic counters must agree exactly.
+        let final_m = service.shutdown();
+        assert_eq!(final_m.admitted, final_m.completed + final_m.errored);
+        assert_eq!(chaos.worker_panics_injected() as u64, final_m.worker_panics);
+    }
+
+    #[test]
+    fn expired_queued_requests_fail_cheaply() {
+        let chaos = ChaosPlan::seeded(5)
+            .worker_stall_ppm(1_000_000)
+            .stall(0, Duration::from_millis(25))
+            .arm();
+        let cfg = ServiceConfig {
+            workers: Some(1),
+            queue_capacity: Some(8),
+            chaos: Some(chaos),
+            ..ServiceConfig::default()
+        };
+        let service = Service::new(Plus, cfg).unwrap();
+        let _wedge = service
+            .submit(Request::multireduce(vec![1i64], vec![0], 1))
+            .unwrap();
+        let doomed = service
+            .submit(Request::multireduce(vec![1i64], vec![0], 1).timeout(Duration::ZERO))
+            .unwrap();
+        assert_eq!(doomed.wait(), Err(MpError::DeadlineExceeded));
+        let m = service.shutdown();
+        assert_eq!(m.expired, 1);
+        assert_eq!(m.admitted, m.completed + m.errored);
+    }
+
+    #[test]
+    fn coalescing_preserves_oracle_results() {
+        // Wedge the single worker briefly so several small requests queue
+        // up and get fused by the next dequeue.
+        let chaos = ChaosPlan::seeded(13)
+            .worker_stall_ppm(1_000_000)
+            .stall(0, Duration::from_millis(20))
+            .arm();
+        let cfg = ServiceConfig {
+            workers: Some(1),
+            queue_capacity: Some(32),
+            coalesce: Some(CoalesceConfig::default()),
+            chaos: Some(chaos),
+            ..ServiceConfig::default()
+        };
+        let service = Service::new(Plus, cfg).unwrap();
+        let mut expected = Vec::new();
+        let mut tickets = Vec::new();
+        for i in 0..12i64 {
+            let values = vec![i, i + 1, i + 2];
+            let labels = vec![0usize, 1, (i as usize) % 2];
+            let m = 2;
+            expected.push(multiprefix_serial(&values, &labels, m, Plus));
+            tickets.push(
+                service
+                    .submit(Request::multiprefix(values, labels, m))
+                    .unwrap(),
+            );
+        }
+        for (t, want) in tickets.into_iter().zip(expected) {
+            assert_eq!(t.wait().unwrap().into_prefix().unwrap(), want);
+        }
+        let m = service.shutdown();
+        assert_eq!(m.completed, 12);
+        // The stall guarantees at least one dequeue saw a multi-entry
+        // backlog to fuse.
+        assert!(m.coalesced_batches >= 1, "metrics: {m:?}");
+        assert!(m.coalesced_requests >= 2);
+    }
+
+    #[test]
+    fn abort_cancels_backlog_and_submissions_after_stop_are_refused() {
+        let chaos = ChaosPlan::seeded(17)
+            .worker_stall_ppm(1_000_000)
+            .stall(0, Duration::from_millis(25))
+            .arm();
+        let cfg = ServiceConfig {
+            workers: Some(1),
+            queue_capacity: Some(8),
+            chaos: Some(chaos),
+            ..ServiceConfig::default()
+        };
+        let service = Service::new(Plus, cfg).unwrap();
+        let mut tickets = Vec::new();
+        for _ in 0..4 {
+            tickets.push(
+                service
+                    .submit(Request::multireduce(vec![1i64], vec![0], 1))
+                    .unwrap(),
+            );
+        }
+        let m = service.abort();
+        assert_eq!(m.admitted, 4);
+        assert_eq!(m.admitted, m.completed + m.errored);
+        for t in &tickets {
+            assert!(t.is_resolved());
+        }
+        assert!(matches!(
+            service.submit(Request::multireduce(vec![1i64], vec![0], 1)),
+            Err(MpError::Unavailable)
+        ));
+    }
+
+    #[test]
+    fn graceful_shutdown_completes_the_backlog() {
+        let service = Service::new(Plus, small_cfg(2, 16)).unwrap();
+        let tickets: Vec<_> = (0..10i64)
+            .map(|i| {
+                service
+                    .submit(Request::multireduce(vec![i, i], vec![0, 0], 1))
+                    .unwrap()
+            })
+            .collect();
+        let m = service.shutdown();
+        assert_eq!(m.completed, 10);
+        for (i, t) in tickets.iter().enumerate() {
+            assert_eq!(
+                t.try_result().unwrap().unwrap().reductions(),
+                &[2 * i as i64]
+            );
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! The supervised worker pool: dequeue, coalesce, execute, resolve — and
+//! survive worker death.
+//!
+//! Supervision is structured around two drop guards rather than a separate
+//! monitor thread, so there is no window where a dead worker goes
+//! unnoticed:
+//!
+//! * [`InFlight`] owns the batch a worker is executing. Every entry it
+//!   still holds when it drops *during a panic unwind* is resolved
+//!   [`MpError::WorkerLost`] — a dying worker pays out its tickets on the
+//!   way down, so no admitted request can leak no matter where the panic
+//!   fired.
+//! * [`DeathNotice`] is thread-level. When the worker thread unwinds, it
+//!   spawns a replacement with the same index (unless the service is
+//!   aborting) and wakes all sleepers so nobody waits on a corpse. Queued
+//!   requests are untouched by the death — they simply get served by the
+//!   replacement.
+//!
+//! The worker checkpoint ([`ChaosState::inject_worker`]) sits between
+//! dequeue and execution, *after* [`InFlight`] takes ownership: an injected
+//! worker panic therefore exercises exactly the teardown path above.
+
+use crate::error::MpError;
+use crate::op::TryCombineOp;
+use crate::problem::Element;
+use crate::resilience::dispatcher::{DispatchOpts, Dispatcher};
+use crate::service::coalesce::{fuse, split};
+use crate::service::queue::{Entry, JobKind, QueuePhase, QueueState, Reply, Request};
+use crate::service::{ServiceConfig, ServiceStats};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// Worker index used by the shutdown path's inline drain (which runs on the
+/// caller's thread, skips worker-level chaos, and can't meaningfully "die").
+pub(crate) const INLINE_WORKER: usize = usize::MAX;
+
+/// Everything the pool's threads share.
+#[derive(Debug)]
+pub(crate) struct Shared<T: Element, O> {
+    pub(crate) queue: Mutex<QueueState<T>>,
+    /// Workers sleep here for work.
+    pub(crate) work: Condvar,
+    /// Blocking submitters sleep here for a free slot.
+    pub(crate) space: Condvar,
+    /// Join handles of every worker ever spawned (replacements included).
+    pub(crate) handles: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) dispatcher: Dispatcher,
+    pub(crate) op: O,
+    pub(crate) cfg: ServiceConfig,
+    pub(crate) stats: ServiceStats,
+}
+
+pub(crate) fn lock_queue<'a, T: Element, O>(
+    shared: &'a Shared<T, O>,
+) -> MutexGuard<'a, QueueState<T>> {
+    // Workers never panic while holding the queue lock (the chaos worker
+    // checkpoint fires after it is released), but stay robust anyway.
+    shared.queue.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Spawn the worker with index `idx` (initial spawn and respawn share this).
+pub(crate) fn spawn_worker<T, O>(shared: &Arc<Shared<T, O>>, idx: usize)
+where
+    T: Element,
+    O: TryCombineOp<T>,
+{
+    let for_thread = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name(format!("mp-service-{idx}"))
+        .spawn(move || {
+            let _notice = DeathNotice {
+                shared: Arc::clone(&for_thread),
+                idx,
+            };
+            worker_loop(&for_thread, idx);
+        });
+    // A spawn refusal (resource exhaustion) shrinks the pool instead of
+    // panicking — the remaining workers and the shutdown-time inline drain
+    // still guarantee every ticket resolves.
+    if let Ok(handle) = spawned {
+        shared
+            .handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(handle);
+    }
+}
+
+/// Thread-level supervision guard: respawns the worker if its thread dies
+/// by panic.
+struct DeathNotice<T: Element, O: TryCombineOp<T>> {
+    shared: Arc<Shared<T, O>>,
+    idx: usize,
+}
+
+impl<T: Element, O: TryCombineOp<T>> Drop for DeathNotice<T, O> {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return; // normal exit (drain/abort): the pool is winding down
+        }
+        self.shared.stats.bump_worker_panics();
+        let respawn = lock_queue(&self.shared).phase != QueuePhase::Aborting;
+        if respawn {
+            self.shared.stats.bump_respawns();
+            spawn_worker(&self.shared, self.idx);
+        }
+        // Wake sleepers unconditionally: if this was the last worker, a
+        // blocked submitter or drainer must re-evaluate rather than wait on
+        // a corpse.
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+    }
+}
+
+/// The batch a worker currently owns. Dropping it mid-unwind resolves every
+/// unresolved entry with [`MpError::WorkerLost`].
+struct InFlight<'a, T> {
+    slots: Vec<Option<Entry<T>>>,
+    worker: usize,
+    stats: &'a ServiceStats,
+}
+
+impl<T> InFlight<'_, T> {
+    fn resolve(&mut self, i: usize, outcome: Result<Reply<T>, MpError>) {
+        if let Some(entry) = self.slots[i].take() {
+            entry.resolver.resolve(self.stats, outcome);
+        }
+    }
+
+    fn live(&self) -> Vec<usize> {
+        (0..self.slots.len())
+            .filter(|&i| self.slots[i].is_some())
+            .collect()
+    }
+}
+
+impl<T> Drop for InFlight<'_, T> {
+    fn drop(&mut self) {
+        let worker = self.worker;
+        for slot in self.slots.iter_mut() {
+            if let Some(entry) = slot.take() {
+                entry
+                    .resolver
+                    .resolve(self.stats, Err(MpError::WorkerLost { worker }));
+            }
+        }
+    }
+}
+
+fn worker_loop<T, O>(shared: &Arc<Shared<T, O>>, idx: usize)
+where
+    T: Element,
+    O: TryCombineOp<T>,
+{
+    while let Some(batch) = take_batch(shared) {
+        // The dequeue freed queue slots; let blocked submitters at them.
+        shared.space.notify_all();
+        run_batch(shared, Some(idx), batch);
+    }
+}
+
+/// Block for the next unit of work: one entry, or — when coalescing is on
+/// and the head of the queue is small — a run of small entries fused into
+/// one batch. `None` means the service is stopping and the worker should
+/// exit.
+fn take_batch<T: Element, O>(shared: &Shared<T, O>) -> Option<Vec<Entry<T>>> {
+    let mut q = lock_queue(shared);
+    loop {
+        match q.phase {
+            QueuePhase::Aborting => return None,
+            QueuePhase::Draining if q.depth() == 0 => return None,
+            _ => {}
+        }
+        if q.depth() > 0 {
+            break;
+        }
+        q = shared.work.wait(q).unwrap_or_else(PoisonError::into_inner);
+    }
+    let first = q.pop().expect("invariant: depth > 0 under the queue lock");
+    let mut batch = vec![first];
+    if let Some(cc) = shared.cfg.coalesce {
+        if cc.admits(&batch[0].request) {
+            let mut fused_elems = batch[0].request.len();
+            while batch.len() < cc.max_requests {
+                let Some(next) = q.peek() else { break };
+                if !cc.admits(&next.request)
+                    || fused_elems + next.request.len() > cc.max_fused_elements
+                {
+                    break;
+                }
+                fused_elems += next.request.len();
+                batch.push(q.pop().expect("invariant: peeked entry exists"));
+            }
+        }
+    }
+    Some(batch)
+}
+
+/// Execute one dequeued batch and resolve every ticket in it. `worker` is
+/// `None` on the shutdown path's inline drain (no worker chaos checkpoint).
+pub(crate) fn run_batch<T, O>(shared: &Shared<T, O>, worker: Option<usize>, batch: Vec<Entry<T>>)
+where
+    T: Element,
+    O: TryCombineOp<T>,
+{
+    let mut inflight = InFlight {
+        slots: batch.into_iter().map(Some).collect(),
+        worker: worker.unwrap_or(INLINE_WORKER),
+        stats: &shared.stats,
+    };
+    // The worker checkpoint: fires *after* InFlight owns the tickets, so an
+    // injected panic here unwinds through the guard and every ticket in the
+    // batch resolves WorkerLost — the supervised-teardown scenario.
+    if let (Some(idx), Some(chaos)) = (worker, &shared.cfg.chaos) {
+        chaos.inject_worker(idx);
+    }
+    // Pre-execution triage: requests that no longer need an engine are
+    // settled for the cost of a flag/clock read.
+    for i in 0..inflight.slots.len() {
+        let entry = inflight.slots[i].as_ref().expect("untouched slot");
+        if entry.cancel.is_cancelled() {
+            inflight.resolve(i, Err(MpError::Cancelled));
+        } else if entry.request.deadline.is_some_and(|d| d.expired()) {
+            inflight.resolve(i, Err(MpError::DeadlineExceeded));
+        }
+    }
+    let live = inflight.live();
+    match live.as_slice() {
+        [] => {}
+        [only] => run_single(shared, &mut inflight, *only),
+        _ => run_fused(shared, &mut inflight, &live),
+    }
+}
+
+/// Run one request through the dispatcher with its own cancel token and
+/// deadline, and resolve its ticket.
+fn run_single<T, O>(shared: &Shared<T, O>, inflight: &mut InFlight<'_, T>, i: usize)
+where
+    T: Element,
+    O: TryCombineOp<T>,
+{
+    let outcome = {
+        let entry = inflight.slots[i].as_ref().expect("live slot");
+        let opts = DispatchOpts {
+            cancel: Some(entry.cancel.clone()),
+            deadline: entry.request.deadline,
+            chaos: shared.cfg.chaos.clone(),
+        };
+        let r = &entry.request;
+        match r.kind {
+            JobKind::Prefix => shared
+                .dispatcher
+                .dispatch(&r.values, &r.labels, r.m, shared.op, &opts)
+                .map(|o| Reply::Prefix(o.output)),
+            JobKind::Reduce => shared
+                .dispatcher
+                .dispatch_reduce(&r.values, &r.labels, r.m, shared.op, &opts)
+                .map(|o| Reply::Reduce(o.output)),
+        }
+    };
+    inflight.resolve(i, outcome);
+}
+
+/// Run `live` members as one fused multiprefix call. A fused failure (the
+/// most urgent member's deadline, an exhausted chain, a fused-size budget)
+/// must not take innocent members down with it, so on any error the members
+/// fall back to individual execution.
+fn run_fused<T, O>(shared: &Shared<T, O>, inflight: &mut InFlight<'_, T>, live: &[usize])
+where
+    T: Element,
+    O: TryCombineOp<T>,
+{
+    let replies = {
+        let members: Vec<&Request<T>> = live
+            .iter()
+            .map(|&i| &inflight.slots[i].as_ref().expect("live slot").request)
+            .collect();
+        let (values, labels, layout) = fuse(&members);
+        let opts = DispatchOpts {
+            cancel: None,
+            // The batch runs under its most urgent member's deadline; a
+            // blown fused deadline falls back to individual runs below,
+            // where each member is judged by its own clock.
+            deadline: members.iter().filter_map(|r| r.deadline).min(),
+            chaos: shared.cfg.chaos.clone(),
+        };
+        shared
+            .dispatcher
+            .dispatch(&values, &labels, layout.m, shared.op, &opts)
+            .map(|o| split(&members, &o.output, &layout))
+    };
+    match replies {
+        Ok(replies) => {
+            shared.stats.bump_coalesced(live.len());
+            for (&i, reply) in live.iter().zip(replies) {
+                inflight.resolve(i, Ok(reply));
+            }
+        }
+        Err(_) => {
+            for &i in live {
+                // Re-triage: the fused attempt took time; a member may have
+                // expired or been cancelled during it.
+                let settled = {
+                    let entry = inflight.slots[i].as_ref().expect("live slot");
+                    if entry.cancel.is_cancelled() {
+                        Some(Err(MpError::Cancelled))
+                    } else if entry.request.deadline.is_some_and(|d| d.expired()) {
+                        Some(Err(MpError::DeadlineExceeded))
+                    } else {
+                        None
+                    }
+                };
+                match settled {
+                    Some(outcome) => inflight.resolve(i, outcome),
+                    None => run_single(shared, inflight, i),
+                }
+            }
+        }
+    }
+}

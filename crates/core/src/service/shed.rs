@@ -1,0 +1,114 @@
+//! Load shedding: who gets evicted when the queue is full and
+//! higher-priority work arrives.
+//!
+//! The policy is deliberate and narrow:
+//!
+//! * a victim must be of **strictly lower priority** than the incoming
+//!   request — the shedder never churns work to admit a peer (an incoming
+//!   batch request against a full queue is simply refused);
+//! * among candidates, the one with the **earliest deadline** goes first —
+//!   under sustained overload it is the request most likely to miss its
+//!   deadline anyway, so evicting it destroys the least expected value;
+//!   deadline-less requests are "infinitely patient" and are only shed
+//!   after every deadline-bearing candidate, oldest admission first;
+//! * a shed request is **resolved**, not dropped: its ticket gets
+//!   [`crate::MpError::Overloaded`] with the queue depth and capacity that
+//!   condemned it, so the submitter can observe the shed and resubmit.
+
+use crate::service::queue::{Priority, QueueState};
+
+/// Index (into the batch lane) of the entry to evict so that an `incoming`
+/// request can be admitted, or `None` if nothing may be shed for it.
+pub(crate) fn pick_victim<T>(queue: &QueueState<T>, incoming: Priority) -> Option<usize> {
+    // Only interactive arrivals may shed, and only from the batch lane.
+    if incoming != Priority::Interactive {
+        return None;
+    }
+    let mut best: Option<(usize, (u128, u64))> = None;
+    for (i, entry) in queue.batch.iter().enumerate() {
+        // Sort key: deadline (as nanos-remaining; none = +inf), then
+        // admission order. Smallest key is shed first.
+        let key = (
+            entry
+                .request
+                .deadline
+                .map_or(u128::MAX, |d| d.remaining().as_nanos()),
+            entry.seq,
+        );
+        if best.as_ref().is_none_or(|(_, k)| key < *k) {
+            best = Some((i, key));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilience::ctx::{CancelToken, Deadline};
+    use crate::service::queue::{ticket, Entry, Request, Ticket};
+    use std::time::Duration;
+
+    fn push(
+        q: &mut QueueState<i64>,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Ticket<i64> {
+        let cancel = CancelToken::new();
+        let (t, resolver) = ticket::<i64>(cancel.clone());
+        let mut request = Request::multiprefix(vec![1], vec![0], 1).priority(priority);
+        if let Some(budget) = deadline {
+            request = request.deadline(Deadline::after(budget));
+        }
+        let seq = q.next_seq;
+        q.next_seq += 1;
+        q.push(Entry {
+            request,
+            cancel,
+            resolver,
+            seq,
+        });
+        t
+    }
+
+    #[test]
+    fn batch_arrivals_never_shed() {
+        let mut q = QueueState::<i64>::new();
+        let _a = push(&mut q, Priority::Batch, Some(Duration::from_millis(1)));
+        assert_eq!(pick_victim(&q, Priority::Batch), None);
+    }
+
+    #[test]
+    fn interactive_work_is_never_a_victim() {
+        let mut q = QueueState::<i64>::new();
+        let _a = push(&mut q, Priority::Interactive, Some(Duration::ZERO));
+        let _b = push(&mut q, Priority::Interactive, None);
+        assert_eq!(pick_victim(&q, Priority::Interactive), None);
+    }
+
+    #[test]
+    fn earliest_deadline_goes_first() {
+        let mut q = QueueState::<i64>::new();
+        let _far = push(&mut q, Priority::Batch, Some(Duration::from_secs(500)));
+        let _near = push(&mut q, Priority::Batch, Some(Duration::from_millis(1)));
+        let _none = push(&mut q, Priority::Batch, None);
+        assert_eq!(pick_victim(&q, Priority::Interactive), Some(1));
+    }
+
+    #[test]
+    fn deadline_less_work_is_shed_last_oldest_first() {
+        let mut q = QueueState::<i64>::new();
+        let _old = push(&mut q, Priority::Batch, None);
+        let _new = push(&mut q, Priority::Batch, None);
+        assert_eq!(pick_victim(&q, Priority::Interactive), Some(0));
+        let _dated = push(&mut q, Priority::Batch, Some(Duration::from_secs(900)));
+        // Any deadline at all outranks "infinitely patient".
+        assert_eq!(pick_victim(&q, Priority::Interactive), Some(2));
+    }
+
+    #[test]
+    fn empty_batch_lane_means_no_victim() {
+        let q = QueueState::<i64>::new();
+        assert_eq!(pick_victim(&q, Priority::Interactive), None);
+    }
+}

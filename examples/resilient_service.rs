@@ -1,17 +1,16 @@
-//! Tour of the resilient dispatch runtime: a service-shaped loop that keeps
-//! answering multiprefix requests while its primary engine is wedged, its
-//! deadlines expire, and its callers hang up.
+//! Tour of the overload-safe service layer: concurrent submitters against a
+//! supervised worker pool that keeps answering while workers are killed,
+//! deadlines expire, and the queue overflows.
 //!
 //! ```sh
 //! cargo run --example resilient_service
 //! ```
 
 use multiprefix::op::Plus;
-use multiprefix::resilience::{
-    BreakerConfig, CancelToken, ChaosPlan, DispatchOpts, Dispatcher, DispatcherConfig, EngineKind,
-    RetryPolicy,
-};
-use multiprefix::{multiprefix, Engine};
+use multiprefix::resilience::ChaosPlan;
+use multiprefix::service::{Priority, Request, Service, ServiceConfig};
+use multiprefix::{multiprefix, Engine, MpError};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
@@ -21,99 +20,187 @@ fn main() {
     let labels: Vec<usize> = (0..n).map(|i| (i * i + 3 * i) % m).collect();
     let expect = multiprefix(&values, &labels, m, Plus, Engine::Serial).unwrap();
 
-    // A dispatcher with the default chain (blocked → spinetree → serial),
-    // fast retries and a touchy breaker so the demo stays snappy.
-    let dispatcher = Dispatcher::new(DispatcherConfig {
-        retry: RetryPolicy {
-            max_attempts: 2,
-            base_backoff: Duration::from_micros(100),
-            ..RetryPolicy::default()
-        },
-        breaker: BreakerConfig {
-            failure_threshold: 2,
-            cooldown: Duration::from_millis(50),
-        },
-        ..DispatcherConfig::default()
-    })
-    .unwrap();
-
-    // Healthy service: the primary engine answers on the first attempt.
-    let out = dispatcher
-        .dispatch(&values, &labels, m, Plus, &DispatchOpts::default())
-        .unwrap();
-    assert_eq!(out.output, expect);
+    // --- Healthy service: concurrent submitters, every ticket completes.
+    let service = Arc::new(
+        Service::new(
+            Plus,
+            ServiceConfig {
+                workers: Some(3),
+                queue_capacity: Some(32),
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let submitters: Vec<_> = (0..4)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let (values, labels) = (values.clone(), labels.clone());
+            std::thread::spawn(move || {
+                let t = service
+                    .submit(Request::multiprefix(values, labels, m))
+                    .unwrap();
+                t.wait().unwrap().into_prefix().unwrap()
+            })
+        })
+        .collect();
+    for s in submitters {
+        assert_eq!(s.join().unwrap(), expect, "service answers stay canonical");
+    }
+    let metrics = service.shutdown();
     println!(
-        "healthy:     engine={:<9} attempts={} fallbacks={}",
-        out.engine.to_string(),
-        out.attempts,
-        out.fallbacks
+        "healthy:     admitted={} completed={} errored={}",
+        metrics.admitted, metrics.completed, metrics.errored
     );
 
-    // Wedge the primary: a chaos plan that panics every checkpoint inside
-    // the blocked engine. The service degrades to the spinetree engine and
-    // keeps returning the canonical answer. The dispatcher contains each
-    // injected panic with `catch_unwind`; silencing the default panic hook
-    // here only keeps the demo's stderr readable.
+    // --- Supervision: chaos kills worker 0 on every batch it picks up. The
+    // victim tickets resolve WorkerLost (typed, retryable), the pool
+    // respawns the worker, and the other workers keep serving. The panic
+    // hook is silenced only to keep the demo's stderr readable.
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
     let chaos = ChaosPlan::seeded(42)
-        .panic_ppm(1_000_000)
-        .only(EngineKind::Blocked)
+        .worker_panic_ppm(250_000) // a quarter of worker 0's batches die
+        .only_worker(0)
         .arm();
-    let wedged = DispatchOpts {
-        chaos: Some(chaos.clone()),
-        ..DispatchOpts::default()
-    };
-    for i in 0..3 {
-        let out = dispatcher
-            .dispatch(&values, &labels, m, Plus, &wedged)
-            .unwrap();
-        assert_eq!(out.output, expect, "degraded answers must stay canonical");
-        println!(
-            "wedged #{i}:   engine={:<9} attempts={} fallbacks={} breaker(blocked)={:?}",
-            out.engine.to_string(),
-            out.attempts,
-            out.fallbacks,
-            dispatcher.circuit_state(EngineKind::Blocked),
-        );
+    let service = Service::new(
+        Plus,
+        ServiceConfig {
+            workers: Some(2),
+            queue_capacity: Some(32),
+            chaos: Some(chaos.clone()),
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let tickets: Vec<_> = (0..24)
+        .map(|_| {
+            service
+                .submit(Request::multiprefix(values.clone(), labels.clone(), m))
+                .unwrap()
+        })
+        .collect();
+    let mut lost = 0usize;
+    for t in tickets {
+        match t.wait() {
+            Ok(reply) => assert_eq!(reply.into_prefix().unwrap(), expect),
+            Err(MpError::WorkerLost { .. }) => lost += 1, // resubmittable
+            Err(other) => panic!("unexpected error: {other}"),
+        }
     }
+    let metrics = service.shutdown();
     std::panic::set_hook(default_hook);
     println!(
-        "chaos:       injected {} panics into the blocked engine",
-        chaos.panics_injected()
+        "supervised:  admitted={} completed={} worker_lost={lost} panics={} respawns={}",
+        metrics.admitted, metrics.completed, metrics.worker_panics, metrics.respawns
     );
+    assert_eq!(metrics.admitted, metrics.completed + metrics.errored);
 
-    // After the cooldown, a fault-free request is admitted as the breaker's
-    // half-open probe; its success puts the primary back in rotation.
-    std::thread::sleep(Duration::from_millis(60));
-    let out = dispatcher
-        .dispatch(&values, &labels, m, Plus, &DispatchOpts::default())
-        .unwrap();
-    assert_eq!(out.output, expect);
-    println!(
-        "recovered:   engine={:<9} breaker(blocked)={:?}",
-        out.engine.to_string(),
-        dispatcher.circuit_state(EngineKind::Blocked),
-    );
-
-    // Deadlines and cancellation come back as typed errors, not hangs.
-    let strict = Dispatcher::new(DispatcherConfig {
-        request_timeout: Some(Duration::ZERO),
-        ..DispatcherConfig::default()
-    })
+    // --- Overload: one deliberately wedged worker, a tiny queue. Blocking
+    // submitters feel backpressure; try_submit fails fast with Overloaded;
+    // an interactive arrival sheds queued batch work instead of waiting.
+    let chaos = ChaosPlan::seeded(7)
+        .worker_stall_ppm(1_000_000)
+        .stall(0, Duration::from_millis(10))
+        .arm();
+    let service = Service::new(
+        Plus,
+        ServiceConfig {
+            workers: Some(1),
+            queue_capacity: Some(4),
+            chaos: Some(chaos),
+            ..ServiceConfig::default()
+        },
+    )
     .unwrap();
-    let err = strict
-        .dispatch(&values, &labels, m, Plus, &DispatchOpts::default())
-        .unwrap_err();
-    println!("deadline:    {err}");
+    let mut batch_tickets = Vec::new();
+    let mut refused = 0usize;
+    for _ in 0..12 {
+        match service.try_submit(
+            Request::multiprefix(values.clone(), labels.clone(), m)
+                .timeout(Duration::from_secs(30)),
+        ) {
+            Ok(t) => batch_tickets.push(t),
+            Err(MpError::Overloaded {
+                queue_depth,
+                capacity,
+            }) => {
+                refused += 1;
+                let _ = (queue_depth, capacity);
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    // The queue is full of batch work; an interactive request still gets in
+    // by shedding the queued batch entry with the earliest deadline.
+    let vip = service
+        .try_submit(
+            Request::multiprefix(values.clone(), labels.clone(), m).priority(Priority::Interactive),
+        )
+        .unwrap();
+    assert_eq!(vip.wait().unwrap().into_prefix().unwrap(), expect);
+    let mut shed = 0usize;
+    for t in batch_tickets {
+        match t.wait() {
+            Ok(reply) => assert_eq!(reply.into_prefix().unwrap(), expect),
+            Err(MpError::Overloaded { .. }) => shed += 1,
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    let metrics = service.shutdown();
+    println!(
+        "overloaded:  admitted={} refused_fast={refused} shed={shed} completed={}",
+        metrics.admitted, metrics.completed
+    );
+    assert_eq!(metrics.admitted, metrics.completed + metrics.errored);
+    assert_eq!(metrics.shed as usize, shed);
 
-    let cancel = CancelToken::cancel_after(5); // caller hangs up mid-request
-    let opts = DispatchOpts {
-        cancel: Some(cancel),
-        ..DispatchOpts::default()
-    };
-    let err = dispatcher
-        .dispatch(&values, &labels, m, Plus, &opts)
-        .unwrap_err();
-    println!("cancelled:   {err}");
+    // --- Deadlines: a request whose budget covers queue wait + execution.
+    // With a wedged worker ahead of it, a zero-budget request fails cheaply
+    // (DeadlineExceeded before any engine runs) instead of hanging.
+    let chaos = ChaosPlan::seeded(9)
+        .worker_stall_ppm(1_000_000)
+        .stall(0, Duration::from_millis(10))
+        .arm();
+    let service = Service::new(
+        Plus,
+        ServiceConfig {
+            workers: Some(1),
+            queue_capacity: Some(8),
+            chaos: Some(chaos),
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let _wedge = service
+        .submit(Request::multiprefix(values.clone(), labels.clone(), m))
+        .unwrap();
+    let doomed = service
+        .submit(Request::multiprefix(values.clone(), labels.clone(), m).timeout(Duration::ZERO))
+        .unwrap();
+    println!("deadline:    {}", doomed.wait().unwrap_err());
+
+    // Cancellation is cooperative and typed, never a hang.
+    let hungup = service
+        .submit(Request::multiprefix(values, labels, m))
+        .unwrap();
+    hungup.cancel();
+    match hungup.wait() {
+        Err(err) => println!("cancelled:   {err}"),
+        // A cancel can lose the race with execution; the result is still
+        // canonical.
+        Ok(reply) => assert_eq!(reply.into_prefix().unwrap(), expect),
+    }
+    let metrics = service.shutdown();
+    println!(
+        "final:       admitted={} completed={} expired={} cancelled={} (invariant: {}=={}+{})",
+        metrics.admitted,
+        metrics.completed,
+        metrics.expired,
+        metrics.cancelled,
+        metrics.admitted,
+        metrics.completed,
+        metrics.errored
+    );
+    assert_eq!(metrics.admitted, metrics.completed + metrics.errored);
 }

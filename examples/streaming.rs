@@ -1,6 +1,7 @@
-//! Streaming multiprefix over a synthetic event log: per-tenant running
-//! totals computed chunk by chunk — out-of-core scan-by-key with the
-//! bucket vector as the only carried state.
+//! Streaming aggregation through the service layer: concurrent producers
+//! feed chunks of a synthetic event log as batch-priority multireduce
+//! requests; the service coalesces the small chunks into fused multiprefix
+//! calls and the per-tenant totals come out equal to a one-shot oracle.
 //!
 //! ```sh
 //! cargo run --release --example streaming
@@ -8,15 +9,17 @@
 
 use multiprefix::keyed::compress_keys;
 use multiprefix::op::Plus;
-use multiprefix::stream::MultiprefixStream;
-use multiprefix::Engine;
+use multiprefix::service::{CoalesceConfig, Request, Service, ServiceConfig};
+use multiprefix::{Engine, MpError};
+use std::sync::Arc;
 
 fn main() {
     // A synthetic "request log": (tenant, bytes) events arriving in time
     // order, processed in chunks as if read from disk.
     let tenants = ["acme", "globex", "initech", "acme", "hooli"];
-    let n_events = 1_000_000usize;
-    let chunk_size = 64 * 1024;
+    let n_events = 200_000usize;
+    let chunk_size = 256usize; // small enough to coalesce
+    let producers = 4usize;
 
     let mut state = 0xC0FFEEu64;
     let mut step = || {
@@ -32,36 +35,86 @@ fn main() {
 
     // Tenant names → dense labels (first-occurrence order).
     let (labels, distinct) = compress_keys(&event_tenants);
-    println!(
-        "{} events over {} tenants, chunks of {}\n",
-        n_events,
-        distinct.len(),
-        chunk_size
-    );
-
-    let mut stream = MultiprefixStream::new(distinct.len(), Plus, Engine::Blocked);
-    let mut checkpoints = Vec::new();
-    let t = std::time::Instant::now();
-    for (vals, labs) in event_bytes
+    let m = distinct.len();
+    let chunks: Vec<(Vec<i64>, Vec<usize>)> = event_bytes
         .chunks(chunk_size)
         .zip(labels.chunks(chunk_size))
-    {
-        let prefixes = stream.feed(vals, labs).unwrap();
-        // `prefixes[i]` = bytes this tenant had sent *before* this event —
-        // e.g. usable for per-tenant rate limiting as the log streams by.
-        checkpoints.push((stream.consumed(), prefixes[prefixes.len() - 1]));
+        .map(|(v, l)| (v.to_vec(), l.to_vec()))
+        .collect();
+    println!(
+        "{} events over {} tenants: {} chunks of ≤{}, {} concurrent producers\n",
+        n_events,
+        m,
+        chunks.len(),
+        chunk_size,
+        producers
+    );
+
+    // A service with micro-batching on: chunk requests are small, so the
+    // engines' fixed costs dominate — fusing them into one multiprefix call
+    // (§4.4 economics) amortizes those costs across the batch.
+    let service = Arc::new(
+        Service::new(
+            Plus,
+            ServiceConfig {
+                workers: Some(3),
+                queue_capacity: Some(64),
+                coalesce: Some(CoalesceConfig::default()),
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+
+    let t = std::time::Instant::now();
+    let handles: Vec<_> = (0..producers)
+        .map(|p| {
+            let service = Arc::clone(&service);
+            let my_chunks: Vec<(Vec<i64>, Vec<usize>)> =
+                chunks.iter().skip(p).step_by(producers).cloned().collect();
+            std::thread::spawn(move || {
+                // Submit the shard's chunks (fail-fast first, falling back
+                // to blocking backpressure when the queue is full), then
+                // drain the tickets into a per-producer total.
+                let mut backpressured = 0usize;
+                let mut tickets = Vec::with_capacity(my_chunks.len());
+                for (vals, labs) in my_chunks {
+                    let request = Request::multireduce(vals, labs, m);
+                    let ticket = match service.try_submit(request.clone()) {
+                        Ok(t) => t,
+                        Err(MpError::Overloaded { .. }) => {
+                            backpressured += 1;
+                            service.submit(request).unwrap()
+                        }
+                        Err(other) => panic!("unexpected submit error: {other}"),
+                    };
+                    tickets.push(ticket);
+                }
+                let mut totals = vec![0i64; m];
+                for ticket in tickets {
+                    let reply = ticket.wait().unwrap();
+                    for (acc, r) in totals.iter_mut().zip(reply.reductions()) {
+                        *acc += r;
+                    }
+                }
+                (totals, backpressured)
+            })
+        })
+        .collect();
+
+    let mut totals = vec![0i64; m];
+    let mut backpressured = 0usize;
+    for handle in handles {
+        let (part, blocked) = handle.join().unwrap();
+        for (acc, p) in totals.iter_mut().zip(part) {
+            *acc += p;
+        }
+        backpressured += blocked;
     }
     let elapsed = t.elapsed();
+    let metrics = service.shutdown();
 
-    println!(
-        "processed in {elapsed:?}; checkpoint samples (events seen, last event's prior bytes):"
-    );
-    for (seen, prior) in checkpoints.iter().step_by(4) {
-        println!("  after {seen:>8} events: {prior:>12}");
-    }
-
-    let totals = stream.finish();
-    println!("\nfinal per-tenant byte totals:");
+    println!("processed in {elapsed:?}\n\nfinal per-tenant byte totals:");
     let mut rows: Vec<(&str, i64)> = distinct
         .iter()
         .copied()
@@ -72,15 +125,24 @@ fn main() {
         println!("  {tenant:<10} {bytes:>14}");
     }
 
-    // Verify against a one-shot run.
-    let oracle =
-        multiprefix::multireduce(&event_bytes, &labels, distinct.len(), Plus, Engine::Blocked)
-            .unwrap();
-    let mut by_label = vec![0i64; distinct.len()];
-    for (tenant, bytes) in rows {
-        let idx = distinct.iter().position(|&d| d == tenant).unwrap();
-        by_label[idx] = bytes;
-    }
-    assert_eq!(by_label, oracle);
-    println!("\nstreaming totals match the one-shot multireduce");
+    println!(
+        "\naccounting:  admitted={} completed={} errored={} (invariant: {}=={}+{})",
+        metrics.admitted,
+        metrics.completed,
+        metrics.errored,
+        metrics.admitted,
+        metrics.completed,
+        metrics.errored
+    );
+    println!(
+        "coalescing:  {} requests served through {} fused calls; {} submits backpressured",
+        metrics.coalesced_requests, metrics.coalesced_batches, backpressured
+    );
+    assert_eq!(metrics.admitted, metrics.completed + metrics.errored);
+    assert_eq!(metrics.completed as usize, chunks.len());
+
+    // Verify against a one-shot run over the whole log.
+    let oracle = multiprefix::multireduce(&event_bytes, &labels, m, Plus, Engine::Blocked).unwrap();
+    assert_eq!(totals, oracle);
+    println!("\nchunked service totals match the one-shot multireduce");
 }

@@ -1,0 +1,288 @@
+//! Property tests of the service layer's accounting contract: for **any**
+//! interleaving of submissions, cancellations, deadlines, and chaos worker
+//! panics, every admitted request resolves — to the serial-oracle answer or
+//! a typed error — and the counters balance exactly
+//! (`admitted == completed + errored`). Plus a deterministic fusion case
+//! proving coalesced outputs are bit-identical to per-request serial runs.
+
+use multiprefix::op::Plus;
+use multiprefix::resilience::{BreakerConfig, ChaosPlan, DispatcherConfig, RetryPolicy};
+use multiprefix::service::{
+    CoalesceConfig, Priority, Reply, Request, Service, ServiceConfig, Ticket,
+};
+use multiprefix::{multiprefix, multireduce, Engine, MpError};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One submission, encoded with stub-friendly scalars:
+/// `((n, m, reduce), (interactive, deadline_code, cancel))` where
+/// `deadline_code` is 0 = none, 1 = already expired, 2 = 500µs, 3 = 10ms.
+type RawSpec = ((usize, usize, bool), (bool, u64, bool));
+
+fn specs() -> impl Strategy<Value = Vec<RawSpec>> {
+    proptest::collection::vec(
+        (
+            (0usize..48, 1usize..6, any::<bool>()),
+            (any::<bool>(), 0u64..4, any::<bool>()),
+        ),
+        1..40,
+    )
+}
+
+fn problem(n: usize, m: usize, salt: u64) -> (Vec<i64>, Vec<usize>) {
+    let values = (0..n as u64)
+        .map(|i| ((i.wrapping_mul(salt | 1) >> 3) % 201) as i64 - 100)
+        .collect();
+    let labels = (0..n as u64)
+        .map(|i| (i.wrapping_mul(salt.wrapping_mul(2).wrapping_add(7)) % m.max(1) as u64) as usize)
+        .collect();
+    (values, labels)
+}
+
+/// The errors the service vocabulary allows a storm to surface. Anything
+/// else — or a hang, or a wrong answer — fails the property.
+fn is_typed_service_error(err: &MpError) -> bool {
+    matches!(
+        err,
+        MpError::Overloaded { .. }
+            | MpError::Cancelled
+            | MpError::DeadlineExceeded
+            | MpError::WorkerLost { .. }
+            | MpError::EnginePanicked
+            | MpError::AllocationFailed { .. }
+            | MpError::Unavailable
+    )
+}
+
+/// A submitted ticket plus everything needed to judge its outcome.
+struct Submitted {
+    ticket: Ticket<i64>,
+    values: Vec<i64>,
+    labels: Vec<usize>,
+    m: usize,
+    reduce: bool,
+}
+
+fn run_case(raw: &[RawSpec], seed: u64, worker_chaos: bool) {
+    let chaos = ChaosPlan::seeded(seed)
+        .worker_panic_ppm(if worker_chaos { 120_000 } else { 0 })
+        .arm();
+    let service = Arc::new(
+        Service::new(
+            Plus,
+            ServiceConfig {
+                workers: Some(2),
+                queue_capacity: Some(8),
+                coalesce: Some(CoalesceConfig::default()),
+                dispatcher: DispatcherConfig {
+                    retry: RetryPolicy {
+                        base_backoff: Duration::ZERO,
+                        max_backoff: Duration::ZERO,
+                        ..RetryPolicy::default()
+                    },
+                    breaker: BreakerConfig {
+                        failure_threshold: u32::MAX,
+                        cooldown: Duration::ZERO,
+                    },
+                    ..DispatcherConfig::default()
+                },
+                chaos: Some(chaos),
+            },
+        )
+        .unwrap(),
+    );
+
+    // Three submitter shards give real interleavings of admission, shedding,
+    // cancellation and worker death.
+    let shards: Vec<Vec<(usize, RawSpec)>> = (0..3)
+        .map(|s| {
+            raw.iter()
+                .cloned()
+                .enumerate()
+                .filter(|(i, _)| i % 3 == s)
+                .collect()
+        })
+        .collect();
+    let handles: Vec<_> = shards
+        .into_iter()
+        .map(|shard| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let mut submitted = Vec::new();
+                for (i, ((n, m, reduce), (interactive, deadline_code, cancel))) in shard {
+                    let (values, labels) = problem(n, m, seed.wrapping_add(i as u64));
+                    let mut request = if reduce {
+                        Request::multireduce(values.clone(), labels.clone(), m)
+                    } else {
+                        Request::multiprefix(values.clone(), labels.clone(), m)
+                    };
+                    if interactive {
+                        request = request.priority(Priority::Interactive);
+                    }
+                    request = match deadline_code {
+                        1 => request.timeout(Duration::ZERO),
+                        2 => request.timeout(Duration::from_micros(500)),
+                        3 => request.timeout(Duration::from_millis(10)),
+                        _ => request,
+                    };
+                    let ticket = service.submit(request).unwrap();
+                    if cancel {
+                        ticket.cancel();
+                    }
+                    submitted.push(Submitted {
+                        ticket,
+                        values,
+                        labels,
+                        m,
+                        reduce,
+                    });
+                }
+                submitted
+            })
+        })
+        .collect();
+
+    let mut all = Vec::new();
+    for handle in handles {
+        all.extend(handle.join().unwrap());
+    }
+    let total = all.len() as u64;
+    for s in &all {
+        let outcome = s
+            .ticket
+            .wait_for(Duration::from_secs(30))
+            .expect("ticket must resolve: admitted requests never hang");
+        match outcome {
+            Ok(reply) => match reply {
+                Reply::Prefix(out) => {
+                    assert!(!s.reduce);
+                    let want =
+                        multiprefix(&s.values, &s.labels, s.m, Plus, Engine::Serial).unwrap();
+                    assert_eq!(out, want, "service answer diverged from the serial oracle");
+                }
+                Reply::Reduce(red) => {
+                    assert!(s.reduce);
+                    let want =
+                        multireduce(&s.values, &s.labels, s.m, Plus, Engine::Serial).unwrap();
+                    assert_eq!(
+                        red, want,
+                        "service reduction diverged from the serial oracle"
+                    );
+                }
+            },
+            Err(err) => assert!(
+                is_typed_service_error(&err),
+                "untyped service error: {err:?}"
+            ),
+        }
+    }
+
+    let metrics = service.shutdown();
+    assert_eq!(metrics.admitted, total, "every submit() must admit");
+    assert_eq!(
+        metrics.admitted,
+        metrics.completed + metrics.errored,
+        "accounting must balance once drained: {metrics:?}"
+    );
+    assert_eq!(
+        metrics.errored,
+        // The service-level breakdown plus dispatch-level errors; with only
+        // worker chaos armed, dispatch errors are impossible, so the four
+        // named counters must cover everything.
+        metrics.shed + metrics.cancelled + metrics.expired + metrics.worker_lost,
+        "error breakdown must cover every errored ticket: {metrics:?}"
+    );
+}
+
+/// Deterministic smoke of the property harness: a fixed spec mix covering
+/// both kinds, both priorities, every deadline code and cancellation, run
+/// with and without worker chaos.
+#[test]
+fn fixed_interleaving_smoke() {
+    let raw: Vec<RawSpec> = (0..24u64)
+        .map(|i| {
+            (
+                ((i as usize * 5) % 48, 1 + (i as usize) % 5, i % 2 == 0),
+                (i % 3 == 0, i % 4, i % 5 == 0),
+            )
+        })
+        .collect();
+    run_case(&raw, 0xDECAF, false);
+    run_case(&raw, 0xDECAF, true);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_admitted_request_resolves_and_counters_balance(
+        raw in specs(),
+        seed in any::<u64>(),
+        worker_chaos in any::<bool>(),
+    ) {
+        run_case(&raw, seed, worker_chaos);
+    }
+}
+
+/// Deterministic fusion case: wedge the lone worker with a stall so a
+/// backlog builds, then prove (a) at least one dequeue actually fused, and
+/// (b) every coalesced output is bit-identical to its per-request serial
+/// oracle.
+#[test]
+fn coalesced_outputs_match_the_serial_oracle_bit_for_bit() {
+    let chaos = ChaosPlan::seeded(29)
+        .worker_stall_ppm(1_000_000)
+        .stall(0, Duration::from_millis(15))
+        .arm();
+    let service = Service::new(
+        Plus,
+        ServiceConfig {
+            workers: Some(1),
+            queue_capacity: Some(64),
+            coalesce: Some(CoalesceConfig::default()),
+            chaos: Some(chaos),
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let mut submitted = Vec::new();
+    for i in 0..24u64 {
+        let n = 1 + (i as usize * 7) % 40;
+        let m = 1 + (i as usize) % 5;
+        let (values, labels) = problem(n, m, i.wrapping_mul(0x9E37_79B9));
+        let reduce = i % 3 == 0;
+        let request = if reduce {
+            Request::multireduce(values.clone(), labels.clone(), m)
+        } else {
+            Request::multiprefix(values.clone(), labels.clone(), m)
+        };
+        let ticket = service.submit(request).unwrap();
+        submitted.push((ticket, values, labels, m, reduce));
+    }
+    for (ticket, values, labels, m, reduce) in submitted {
+        match ticket.wait().unwrap() {
+            Reply::Prefix(out) => {
+                assert!(!reduce);
+                assert_eq!(
+                    out,
+                    multiprefix(&values, &labels, m, Plus, Engine::Serial).unwrap()
+                );
+            }
+            Reply::Reduce(red) => {
+                assert!(reduce);
+                assert_eq!(
+                    red,
+                    multireduce(&values, &labels, m, Plus, Engine::Serial).unwrap()
+                );
+            }
+        }
+    }
+    let metrics = service.shutdown();
+    assert_eq!(metrics.completed, 24);
+    assert!(
+        metrics.coalesced_batches >= 1,
+        "the stalled worker must have seen a fusable backlog: {metrics:?}"
+    );
+    assert!(metrics.coalesced_requests >= 2);
+}
