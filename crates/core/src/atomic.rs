@@ -25,6 +25,7 @@
 
 use crate::error::MpError;
 use crate::exec::{CheckGuard, OverflowPolicy, TryEngineResult};
+use crate::obs::Phase;
 use crate::op::{And, CombineOp, Max, Min, Or, Plus, TryCombineOp};
 use crate::problem::MultiprefixOutput;
 use crate::resilience::RunContext;
@@ -264,6 +265,7 @@ pub fn try_multiprefix_atomic_ctx<O: AtomicCombine + TryCombineOp<i64>>(
     let guard = CheckGuard::new(op, policy, &tripped);
     let checking = policy.needs_checking();
 
+    let init_span = ctx.phase_span(Phase::Init);
     let spine = try_cell_vec(slots, |s| {
         AtomicUsize::new(if s < m { s } else { labels[s - m] })
     })?;
@@ -271,9 +273,11 @@ pub fn try_multiprefix_atomic_ctx<O: AtomicCombine + TryCombineOp<i64>>(
     let spinesum = try_cell_vec(slots, |_| AtomicI64::new(id))?;
     let has_child = try_cell_vec(slots, |_| AtomicBool::new(false))?;
     let multi = try_cell_vec(n, |_| AtomicI64::new(id))?;
+    drop(init_span);
 
     // Phase 1 — SPINETREE (identical to the plain engine: pointer writes
     // only, nothing to check).
+    let spinetree_span = ctx.phase_span(Phase::Spinetree);
     for r in layout.rows_top_down() {
         ctx.checkpoint()?;
         let range = layout.row_elements(r);
@@ -286,8 +290,11 @@ pub fn try_multiprefix_atomic_ctx<O: AtomicCombine + TryCombineOp<i64>>(
         });
     }
 
+    drop(spinetree_span);
+
     // Phase 2 — ROWSUMS with checked RMWs when a checking policy is active.
     ctx.checkpoint()?;
+    let rowsums_span = ctx.phase_span(Phase::Rowsums);
     (0..n).into_par_iter().for_each(|i| {
         let parent = spine[m + i].load(Relaxed);
         if checking {
@@ -298,7 +305,10 @@ pub fn try_multiprefix_atomic_ctx<O: AtomicCombine + TryCombineOp<i64>>(
         has_child[parent].store(true, Relaxed);
     });
 
+    drop(rowsums_span);
+
     // Phase 3 — SPINESUMS.
+    let spinesums_span = ctx.phase_span(Phase::Spinesums);
     for r in layout.rows_bottom_up() {
         ctx.checkpoint()?;
         layout.row_elements(r).into_par_iter().for_each(|i| {
@@ -320,8 +330,10 @@ pub fn try_multiprefix_atomic_ctx<O: AtomicCombine + TryCombineOp<i64>>(
         })?;
     reductions
         .extend((0..m).map(|b| guard.combine(spinesum[b].load(Relaxed), rowsum[b].load(Relaxed))));
+    drop(spinesums_span);
 
     // Phase 4 — MULTISUMS.
+    let _multisums_span = ctx.phase_span(Phase::Multisums);
     for c in layout.cols_left_right() {
         ctx.checkpoint()?;
         let col: Vec<usize> = layout.col_elements(c).collect();

@@ -27,6 +27,7 @@
 
 use crate::error::MpError;
 use crate::exec::{try_filled_vec, CheckGuard, OverflowPolicy, TryEngineResult};
+use crate::obs::Phase;
 use crate::op::{CombineOp, TryCombineOp};
 use crate::problem::{Element, MultiprefixOutput};
 use crate::resilience::RunContext;
@@ -316,16 +317,19 @@ fn try_multiprefix_blocked_inner<T: Element, O: TryCombineOp<T>>(
     // Pass 1 — local multiprefix per chunk, fallible table allocation.
     // Each worker polls the context chunk-locally (the chunk length is at
     // least the checkpoint stride, so every chunk polls at least once).
+    let local_span = ctx.phase_span(Phase::Local);
     let mut tables: Vec<Table<T>> = sums
         .par_chunks_mut(chunk_len)
         .zip(values.par_chunks(chunk_len))
         .zip(labels.par_chunks(chunk_len))
         .map(|((s, v), l)| try_local_pass(s, v, l, m, guard, dense, ctx))
         .collect::<Result<_, _>>()?;
+    drop(local_span);
 
     // Pass 2 — exclusive scan of the tables per label (identical structure
     // to the plain engine, with guarded combines).
     ctx.checkpoint()?;
+    let combine_span = ctx.phase_span(Phase::Combine);
     let mut scanned: usize = 0;
     let reductions = match dense {
         true => {
@@ -367,8 +371,11 @@ fn try_multiprefix_blocked_inner<T: Element, O: TryCombineOp<T>>(
         }
     };
 
+    drop(combine_span);
+
     // Pass 3 — prepend each chunk's per-label offset.
     ctx.checkpoint()?;
+    let _span = ctx.phase_span(Phase::Apply);
     sums.par_chunks_mut(chunk_len)
         .zip(labels.par_chunks(chunk_len))
         .zip(tables.par_iter())

@@ -80,6 +80,18 @@
 //! invariant — every admitted request resolves to a reply or a typed
 //! error — is tracked by [`service::ServiceMetrics`].
 //!
+//! ## Observability
+//!
+//! [`obs`] is a zero-dependency metrics layer: a [`obs::Recorder`] trait
+//! (counters, gauges, lock-free latency histograms with p50/p95/p99
+//! snapshots, discrete events) threaded through the engines (per-phase
+//! timings matching the paper's SPINETREE/ROWSUMS/SPINESUMS/MULTISUMS
+//! breakdown), the [`Dispatcher`] (attempt latency, retry and breaker
+//! activity) and the [`service::Service`] (queue depth, queue-wait vs.
+//! execution split). Install a [`obs::MemoryRecorder`] and export the
+//! snapshot as JSON or text; with no recorder installed, instrumentation
+//! reduces to one branch per site and reads no clocks.
+//!
 //! ## Derived primitives
 //!
 //! The paper argues multiprefix subsumes many parallel primitives; the
@@ -96,6 +108,7 @@ pub mod exec;
 pub mod fetch_op;
 pub mod histogram;
 pub mod keyed;
+pub mod obs;
 pub mod op;
 pub mod oracle;
 pub mod problem;
@@ -114,6 +127,7 @@ pub use api::{
 };
 pub use error::MpError;
 pub use exec::{ExecConfig, OverflowPolicy};
+pub use obs::{MemoryRecorder, ObsSnapshot, Recorder};
 pub use op::TryCombineOp;
 pub use problem::{validate, Element, MultiprefixOutput};
 pub use resilience::{

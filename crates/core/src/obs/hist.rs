@@ -1,0 +1,329 @@
+//! Lock-free fixed-bucket latency histograms.
+//!
+//! The bucket layout is a base-2 geometric grid with four sub-buckets per
+//! octave (the top two mantissa bits), the classic HDR-style compromise:
+//! recording is a handful of integer instructions and one relaxed atomic
+//! increment — no locks, no floating point, no allocation — while quantile
+//! estimates stay within ~12 % of the true value everywhere on the grid.
+//!
+//! The grid spans `[2^8, 2^39)` nanoseconds (256 ns to ≈ 9.2 minutes),
+//! which covers everything from a single checkpointed stride to a soak-test
+//! stall. Samples outside the grid land in dedicated **underflow** and
+//! **overflow** buckets so they are never silently dropped and a snapshot
+//! can report that the grid was exceeded.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lowest exponent on the grid: bucket 0 starts at `2^MIN_EXP` ns.
+const MIN_EXP: u32 = 8;
+/// Highest exponent on the grid: the last regular bucket ends at
+/// `2^(MAX_EXP + 1)` ns.
+const MAX_EXP: u32 = 38;
+/// Sub-buckets per octave (quarter-octave resolution).
+const SUBDIV: usize = 4;
+/// Regular (on-grid) bucket count.
+pub const GRID_BUCKETS: usize = (MAX_EXP - MIN_EXP + 1) as usize * SUBDIV;
+/// Total bucket count: the grid plus underflow and overflow.
+pub const NUM_BUCKETS: usize = GRID_BUCKETS + 2;
+
+/// Index of the underflow bucket (samples `< 2^MIN_EXP` ns).
+pub const UNDERFLOW: usize = GRID_BUCKETS;
+/// Index of the overflow bucket (samples `>= 2^(MAX_EXP+1)` ns).
+pub const OVERFLOW: usize = GRID_BUCKETS + 1;
+
+/// The bucket a sample of `nanos` falls into.
+#[inline]
+pub fn bucket_index(nanos: u64) -> usize {
+    if nanos < (1u64 << MIN_EXP) {
+        return UNDERFLOW;
+    }
+    let exp = 63 - nanos.leading_zeros();
+    if exp > MAX_EXP {
+        return OVERFLOW;
+    }
+    // Top two mantissa bits below the leading bit select the sub-bucket.
+    let frac = ((nanos >> (exp - 2)) & 0b11) as usize;
+    (exp - MIN_EXP) as usize * SUBDIV + frac
+}
+
+/// The half-open range `[lo, hi)` of nanoseconds covered by grid bucket
+/// `index`. Panics if `index` is the underflow or overflow bucket (their
+/// ranges are unbounded on one side).
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < GRID_BUCKETS, "bucket {index} is not on the grid");
+    let exp = MIN_EXP + (index / SUBDIV) as u32;
+    let frac = (index % SUBDIV) as u64;
+    let lo = (1u64 << exp) + (frac << (exp - 2));
+    let hi = if frac + 1 == SUBDIV as u64 {
+        1u64 << (exp + 1)
+    } else {
+        (1u64 << exp) + ((frac + 1) << (exp - 2))
+    };
+    (lo, hi)
+}
+
+/// A lock-free fixed-bucket latency histogram.
+///
+/// All mutation is relaxed atomic increments; `snapshot` reads the buckets
+/// without stopping writers, so a snapshot taken concurrently with
+/// recording is a coherent *approximation* (each bucket individually
+/// up-to-date at its read instant) — exactly the semantics metric scrapes
+/// expect.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample of `nanos`.
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the bucket counts and aggregates.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // Derive count/sum from the aggregate cells; under concurrent
+        // writers they may disagree with the bucket total by in-flight
+        // samples, so clamp count to what the buckets actually hold.
+        let bucket_total: u64 = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed).min(bucket_total),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`LatencyHistogram`]'s state, with quantile
+/// estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts ([`NUM_BUCKETS`] entries; the last two are
+    /// underflow and overflow).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples in nanoseconds (for the mean).
+    pub sum: u64,
+    /// Largest single sample seen.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) in nanoseconds: the
+    /// midpoint of the bucket holding the `ceil(q·count)`-th sample.
+    /// `None` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_midpoint(i));
+            }
+        }
+        // Unreachable when count <= sum of buckets; be safe anyway.
+        Some(self.max)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Mean sample in nanoseconds (`None` on empty).
+    pub fn mean(&self) -> Option<u64> {
+        (self.count > 0).then(|| self.sum / self.count)
+    }
+
+    /// Samples below the grid (`< 256` ns).
+    pub fn underflow(&self) -> u64 {
+        self.buckets[UNDERFLOW]
+    }
+
+    /// Samples beyond the grid (`>= 2^39` ns).
+    pub fn overflow(&self) -> u64 {
+        self.buckets[OVERFLOW]
+    }
+}
+
+/// Representative value for quantile estimates from bucket `i`.
+fn bucket_midpoint(i: usize) -> u64 {
+    if i == UNDERFLOW {
+        // The underflow bucket spans [0, 2^MIN_EXP); report its midpoint.
+        return 1u64 << (MIN_EXP - 1);
+    }
+    if i == OVERFLOW {
+        // Unbounded above; report the grid's end as a floor estimate.
+        return 1u64 << (MAX_EXP + 1);
+    }
+    let (lo, hi) = bucket_bounds(i);
+    lo + (hi - lo) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        // Below the grid: underflow.
+        assert_eq!(bucket_index(0), UNDERFLOW);
+        assert_eq!(bucket_index(255), UNDERFLOW);
+        // First grid bucket starts exactly at 256 ns.
+        assert_eq!(bucket_index(256), 0);
+        let (lo, hi) = bucket_bounds(0);
+        assert_eq!((lo, hi), (256, 320));
+        // Last value of bucket 0 / first of bucket 1.
+        assert_eq!(bucket_index(319), 0);
+        assert_eq!(bucket_index(320), 1);
+        // Octave boundary: 511 is the last sub-bucket of exp 8, 512 opens
+        // exp 9.
+        assert_eq!(bucket_index(511), 3);
+        assert_eq!(bucket_index(512), 4);
+        // Top of the grid: 2^39 - 1 is the last regular bucket, 2^39
+        // overflows.
+        assert_eq!(bucket_index((1u64 << 39) - 1), GRID_BUCKETS - 1);
+        assert_eq!(bucket_index(1u64 << 39), OVERFLOW);
+        assert_eq!(bucket_index(u64::MAX), OVERFLOW);
+    }
+
+    #[test]
+    fn bounds_tile_the_grid_exactly() {
+        // Every bucket's hi equals the next bucket's lo: no gaps, no
+        // overlaps — and every lo maps back to its own index.
+        for i in 0..GRID_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo < hi, "bucket {i}");
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_index(hi - 1), i, "hi-1 of bucket {i}");
+            if i + 1 < GRID_BUCKETS {
+                assert_eq!(hi, bucket_bounds(i + 1).0, "tiling at bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_on_empty_and_single_sample() {
+        let h = LatencyHistogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50(), None);
+        assert_eq!(s.p99(), None);
+        assert_eq!(s.mean(), None);
+
+        h.record(1_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        // Every quantile of a single-sample histogram is that sample's
+        // bucket midpoint.
+        let mid = s.p50().unwrap();
+        assert_eq!(s.p99(), Some(mid));
+        assert_eq!(s.quantile(0.0), Some(mid));
+        assert_eq!(s.quantile(1.0), Some(mid));
+        let (lo, hi) = bucket_bounds(bucket_index(1_000));
+        assert!((lo..hi).contains(&mid), "{lo} <= {mid} < {hi}");
+        assert_eq!(s.mean(), Some(1_000));
+        assert_eq!(s.max, 1_000);
+    }
+
+    #[test]
+    fn under_and_overflow_are_counted_not_dropped() {
+        let h = LatencyHistogram::new();
+        h.record(10); // below the grid
+        h.record(u64::MAX); // far beyond the grid
+        let s = h.snapshot();
+        assert_eq!(s.underflow(), 1);
+        assert_eq!(s.overflow(), 1);
+        assert_eq!(s.count, 2);
+        // p50 lands in the underflow bucket, p99 in overflow; both report
+        // usable (clamped) estimates rather than panicking.
+        assert_eq!(s.p50(), Some(128));
+        assert_eq!(s.p99(), Some(1u64 << 39));
+    }
+
+    #[test]
+    fn quantile_estimate_within_bucket_resolution() {
+        let h = LatencyHistogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v * 1_000); // 1µs .. 1ms uniform
+        }
+        let s = h.snapshot();
+        let p50 = s.p50().unwrap() as f64;
+        let p99 = s.p99().unwrap() as f64;
+        // Quarter-octave buckets: estimates within ~13% of truth.
+        assert!((p50 / 500_000.0 - 1.0).abs() < 0.15, "p50 = {p50}");
+        assert!((p99 / 990_000.0 - 1.0).abs() < 0.15, "p99 = {p99}");
+        assert_eq!(s.count, 1_000);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(LatencyHistogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(300 + t * 1_000 + i % 7);
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 40_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 40_000);
+    }
+}

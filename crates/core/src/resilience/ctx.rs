@@ -19,6 +19,7 @@
 //! (non-`try`) engines never checkpoint at all.
 
 use crate::error::MpError;
+use crate::obs::{phase_key, Phase, Recorder, Span};
 use crate::resilience::chaos::ChaosState;
 use crate::resilience::dispatcher::EngineKind;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -186,6 +187,7 @@ pub struct RunContext {
     cancel: Option<CancelToken>,
     chaos: Option<Arc<ChaosState>>,
     engine: Option<EngineKind>,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl RunContext {
@@ -223,6 +225,31 @@ impl RunContext {
     pub fn for_engine(mut self, engine: EngineKind) -> Self {
         self.engine = Some(engine);
         self
+    }
+
+    /// Attach an observability [`Recorder`]: engines time their phases
+    /// into it (see [`crate::obs`]). With none attached — the default —
+    /// every instrumentation site reduces to one `None` test and **no
+    /// clock is read**, so uninstrumented runs carry no overhead.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&dyn Recorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Start a [`Span`] timing `phase` of the context's engine (tagged via
+    /// [`Self::for_engine`]). Inert — returns `None` without reading a
+    /// clock — when no recorder is attached or the engine tag is unset.
+    #[inline]
+    pub fn phase_span(&self, phase: Phase) -> Option<Span<'_>> {
+        match (self.recorder.as_deref(), self.engine) {
+            (Some(rec), Some(engine)) => Span::begin(Some(rec), phase_key(engine, phase)),
+            _ => None,
+        }
     }
 
     /// The deadline, if any.

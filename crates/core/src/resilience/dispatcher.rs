@@ -31,6 +31,7 @@ use crate::atomic::{try_multiprefix_atomic_ctx, try_multireduce_atomic_ctx, Atom
 use crate::blocked::{try_multiprefix_blocked_ctx, try_multireduce_blocked_ctx};
 use crate::error::MpError;
 use crate::exec::{estimate_engine_mem, ExecConfig, TryEngineResult};
+use crate::obs::Recorder;
 use crate::op::TryCombineOp;
 use crate::problem::{validate_slices, Element, MultiprefixOutput};
 use crate::resilience::chaos::ChaosState;
@@ -40,7 +41,7 @@ use crate::serial::{try_multiprefix_serial_ctx, try_multireduce_serial_ctx};
 use crate::spinetree::{try_multiprefix_spinetree_ctx, try_multireduce_spinetree_ctx};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The engines a [`Dispatcher`] chain can name.
 ///
@@ -77,6 +78,28 @@ impl EngineKind {
             EngineKind::Blocked => 1,
             EngineKind::Spinetree => 2,
             EngineKind::Serial => 3,
+        }
+    }
+
+    /// Static (allocation-free) instrument keys for this engine:
+    /// `(attempt latency histogram, attempts counter, retries counter,
+    /// breaker event stream)`.
+    fn obs_keys(self) -> (&'static str, &'static str, &'static str, &'static str) {
+        macro_rules! keys {
+            ($name:literal) => {
+                (
+                    concat!("dispatch.", $name, ".attempt_ns"),
+                    concat!("dispatch.", $name, ".attempts"),
+                    concat!("dispatch.", $name, ".retries"),
+                    concat!("dispatch.breaker.", $name),
+                )
+            };
+        }
+        match self {
+            EngineKind::Atomic => keys!("atomic"),
+            EngineKind::Blocked => keys!("blocked"),
+            EngineKind::Spinetree => keys!("spinetree"),
+            EngineKind::Serial => keys!("serial"),
         }
     }
 }
@@ -186,6 +209,21 @@ pub struct DispatchOutcome<R> {
     pub fallbacks: u32,
 }
 
+/// The `before->after` label of a circuit-breaker transition, as recorded
+/// in `dispatch.breaker.<kind>` event streams.
+fn transition_name(before: CircuitState, after: CircuitState) -> &'static str {
+    use CircuitState::{Closed, HalfOpen, Open};
+    match (before, after) {
+        (Closed, Open) => "closed->open",
+        (Closed, HalfOpen) => "closed->half_open",
+        (Open, Closed) => "open->closed",
+        (Open, HalfOpen) => "open->half_open",
+        (HalfOpen, Closed) => "half_open->closed",
+        (HalfOpen, Open) => "half_open->open",
+        (Closed, Closed) | (Open, Open) | (HalfOpen, HalfOpen) => "no-op",
+    }
+}
+
 /// Deterministic xorshift64* stream for backoff jitter — no OS entropy, so
 /// a fixed [`RetryPolicy::jitter_seed`] reproduces the schedule exactly.
 struct JitterRng(u64);
@@ -222,6 +260,7 @@ impl JitterRng {
 pub struct Dispatcher {
     cfg: DispatcherConfig,
     health: [EngineHealth; 4],
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl Dispatcher {
@@ -247,7 +286,30 @@ impl Dispatcher {
             EngineHealth::new(cfg.breaker),
             EngineHealth::new(cfg.breaker),
         ];
-        Ok(Dispatcher { cfg, health })
+        Ok(Dispatcher {
+            cfg,
+            health,
+            recorder: None,
+        })
+    }
+
+    /// Install an observability [`Recorder`] (see [`crate::obs`]). Per
+    /// engine, the dispatcher records an attempt-latency histogram
+    /// (`dispatch.<kind>.attempt_ns`), attempt and retry counters, and
+    /// circuit-breaker state transitions as events
+    /// (`dispatch.breaker.<kind>`: `closed->open` etc.); per request, the
+    /// `dispatch.requests` / `dispatch.fallbacks` counters. The recorder is
+    /// also threaded into each attempt's [`RunContext`], so engines time
+    /// their phases into it. With no recorder — the default — none of this
+    /// costs anything.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The installed recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<dyn Recorder>> {
+        self.recorder.as_ref()
     }
 
     /// The configuration in use.
@@ -460,34 +522,80 @@ impl Dispatcher {
                 None => d,
             });
         }
+        let rec = self.recorder.as_deref();
+        if let Some(rec) = rec {
+            rec.counter("dispatch.requests", 1);
+        }
         let mut jitter = JitterRng::new(self.cfg.retry.jitter_seed);
         let mut attempts = 0u32;
         let mut fallbacks = 0u32;
         let mut last_transient: Option<MpError> = None;
 
         'chain: for &kind in &self.cfg.chain {
+            let (attempt_ns_key, attempts_key, retries_key, breaker_key) = kind.obs_keys();
+            // Breaker transitions (closed->open, open->half_open, ...) are
+            // reported as events by diffing the state around each breaker
+            // interaction — the breaker itself stays recorder-free.
+            let breaker_event = |before: CircuitState| {
+                if let Some(rec) = rec {
+                    let after = self.health_of(kind).state();
+                    if after != before {
+                        rec.event(breaker_key, transition_name(before, after));
+                    }
+                }
+            };
+            let pre_admit = match rec {
+                Some(_) => self.health_of(kind).state(),
+                None => CircuitState::Closed,
+            };
             if !supports(kind) || !self.health_of(kind).admit() {
+                breaker_event(pre_admit);
                 fallbacks += 1;
+                if let Some(rec) = rec {
+                    rec.counter("dispatch.fallbacks", 1);
+                }
                 continue;
             }
+            breaker_event(pre_admit);
             let mut backoff = self.cfg.retry.base_backoff;
             for attempt in 0..self.cfg.retry.max_attempts {
                 if let Some(d) = request_deadline {
                     if d.expired() {
-                        return Err(last_transient.unwrap_or(MpError::DeadlineExceeded));
+                        // The *request* deadline has passed: whatever
+                        // transient error preceded it, the caller's budget
+                        // is what actually ended the dispatch — report it
+                        // as such (and let the service count it as
+                        // `expired`, not as the last engine's failure).
+                        return Err(MpError::DeadlineExceeded);
                     }
                 }
                 attempts += 1;
+                if let Some(rec) = rec {
+                    rec.counter(attempts_key, 1);
+                    if attempt > 0 {
+                        rec.counter(retries_key, 1);
+                    }
+                }
                 let ctx = self.attempt_ctx(kind, request_deadline, opts);
                 // Contain panics from *any* engine (and from chaos
                 // injection): AssertUnwindSafe is sound because `run`
                 // captures only shared references to the inputs and every
                 // partially built output dies inside the closure.
+                let started = rec.map(|_| Instant::now());
                 let result = catch_unwind(AssertUnwindSafe(|| run(kind, &ctx)))
                     .unwrap_or(Err(MpError::EnginePanicked));
+                if let (Some(rec), Some(started)) = (rec, started) {
+                    let nanos = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                    rec.duration_ns(attempt_ns_key, nanos);
+                }
                 match result {
                     Ok(output) => {
+                        let before = match rec {
+                            Some(_) => self.health_of(kind).state(),
+                            None => CircuitState::Closed,
+                        };
                         self.health_of(kind).on_success();
+                        breaker_event(before);
                         return Ok(DispatchOutcome {
                             output,
                             engine: kind,
@@ -499,18 +607,32 @@ impl Dispatcher {
                     // fallback, no breaker bookkeeping.
                     Err(MpError::Cancelled) => return Err(MpError::Cancelled),
                     Err(err) if err.is_transient() => {
+                        let before = match rec {
+                            Some(_) => self.health_of(kind).state(),
+                            None => CircuitState::Closed,
+                        };
                         self.health_of(kind).on_failure();
+                        breaker_event(before);
                         let blew_deadline = matches!(err, MpError::DeadlineExceeded);
                         last_transient = Some(err);
                         if blew_deadline {
                             // The same engine under the same budget would
                             // likely blow it again — move down the chain.
                             fallbacks += 1;
+                            if let Some(rec) = rec {
+                                rec.counter("dispatch.fallbacks", 1);
+                            }
                             continue 'chain;
                         }
                         if attempt + 1 < self.cfg.retry.max_attempts {
                             self.backoff_sleep(backoff, &mut jitter, request_deadline);
-                            backoff = (backoff * 2).min(self.cfg.retry.max_backoff);
+                            if let Some(rec) = rec {
+                                rec.counter("dispatch.backoff_sleeps", 1);
+                            }
+                            // Saturating: a huge `base_backoff` (or enough
+                            // doublings) must clamp to `max_backoff`, not
+                            // panic in `Duration` multiplication.
+                            backoff = backoff.saturating_mul(2).min(self.cfg.retry.max_backoff);
                         }
                     }
                     // Permanent: validation, overflow, budget, verification
@@ -520,6 +642,9 @@ impl Dispatcher {
                 }
             }
             fallbacks += 1;
+            if let Some(rec) = rec {
+                rec.counter("dispatch.fallbacks", 1);
+            }
         }
         Err(last_transient.unwrap_or(MpError::Unavailable))
     }
@@ -531,6 +656,9 @@ impl Dispatcher {
         opts: &DispatchOpts,
     ) -> RunContext {
         let mut ctx = RunContext::new().for_engine(kind);
+        if let Some(rec) = &self.recorder {
+            ctx = ctx.with_recorder(Arc::clone(rec));
+        }
         let mut deadline = request_deadline;
         if let Some(budget) = self.cfg.attempt_timeout {
             let attempt_deadline = Deadline::after(budget);
@@ -791,6 +919,119 @@ mod tests {
             .dispatch(&[1.0f64, 2.0], &[0, 1], 2, Plus, &DispatchOpts::default())
             .unwrap_err();
         assert_eq!(err, MpError::Unavailable);
+    }
+
+    #[test]
+    fn huge_base_backoff_saturates_instead_of_panicking() {
+        // Regression: `backoff * 2` overflows `Duration` for extreme
+        // `base_backoff`; the doubling must saturate (and the clamped
+        // sleep must respect the request deadline, not block for years).
+        let (values, labels) = problem(400, 3);
+        let cfg = DispatcherConfig {
+            chain: vec![EngineKind::Serial],
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::MAX,
+                max_backoff: Duration::MAX,
+                jitter_seed: 7,
+            },
+            request_timeout: Some(Duration::from_millis(50)),
+            ..Default::default()
+        };
+        let d = Dispatcher::new(cfg).unwrap();
+        let chaos = ChaosPlan::seeded(3).alloc_fail_ppm(1_000_000).arm();
+        let opts = DispatchOpts {
+            chaos: Some(chaos),
+            ..Default::default()
+        };
+        let started = Instant::now();
+        let err = d.dispatch(&values, &labels, 3, Plus, &opts).unwrap_err();
+        assert_eq!(err, MpError::DeadlineExceeded);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "backoff sleep must be clamped to the deadline budget"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_reported_as_deadline_not_last_transient() {
+        // Regression: a request whose deadline expires after a transient
+        // failure must settle `DeadlineExceeded` — the caller's budget ended
+        // the dispatch — not the incidental error that preceded it.
+        let (values, labels) = problem(400, 3);
+        let cfg = DispatcherConfig {
+            chain: vec![EngineKind::Blocked],
+            retry: RetryPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::from_millis(20),
+                max_backoff: Duration::from_millis(20),
+                jitter_seed: 9,
+            },
+            ..Default::default()
+        };
+        let d = Dispatcher::new(cfg).unwrap();
+        let chaos = ChaosPlan::seeded(5).alloc_fail_ppm(1_000_000).arm();
+        let opts = DispatchOpts {
+            chaos: Some(chaos),
+            deadline: Some(Deadline::after(Duration::from_millis(10))),
+            ..Default::default()
+        };
+        let err = d.dispatch(&values, &labels, 3, Plus, &opts).unwrap_err();
+        assert_eq!(err, MpError::DeadlineExceeded);
+    }
+
+    #[test]
+    fn recorder_sees_attempts_retries_and_breaker_transitions() {
+        let (values, labels) = problem(1500, 5);
+        let rec = crate::obs::MemoryRecorder::shared();
+        let cfg = DispatcherConfig {
+            chain: vec![EngineKind::Blocked, EngineKind::Serial],
+            ..Default::default()
+        };
+        let d = Dispatcher::new(cfg)
+            .unwrap()
+            .with_recorder(rec.clone() as Arc<dyn Recorder>);
+        let chaos = ChaosPlan::seeded(11)
+            .alloc_fail_ppm(1_000_000)
+            .only(EngineKind::Blocked)
+            .arm();
+        let opts = DispatchOpts {
+            chaos: Some(chaos),
+            ..Default::default()
+        };
+        let outcome = d.dispatch(&values, &labels, 5, Plus, &opts).unwrap();
+        assert_eq!(outcome.engine, EngineKind::Serial);
+
+        assert_eq!(rec.counter_value("dispatch.requests"), 1);
+        assert_eq!(rec.counter_value("dispatch.blocked.attempts"), 3);
+        assert_eq!(rec.counter_value("dispatch.blocked.retries"), 2);
+        assert_eq!(rec.counter_value("dispatch.backoff_sleeps"), 2);
+        assert_eq!(rec.counter_value("dispatch.serial.attempts"), 1);
+        assert_eq!(rec.counter_value("dispatch.fallbacks"), 1);
+        // Attempt latency was histogrammed for both engines.
+        assert_eq!(
+            rec.histogram("dispatch.blocked.attempt_ns").unwrap().count,
+            3
+        );
+        assert_eq!(
+            rec.histogram("dispatch.serial.attempt_ns").unwrap().count,
+            1
+        );
+        // The serial engine ran under a recorder-carrying context, so its
+        // Figure 2 phase span landed too.
+        assert_eq!(
+            rec.histogram("engine.serial.phase.figure2").unwrap().count,
+            1
+        );
+        // Three consecutive blocked failures → breaker closed->open event.
+        let snap = rec.snapshot();
+        assert!(
+            snap.events
+                .iter()
+                .any(|e| e.name == "dispatch.breaker.blocked" && e.detail == "closed->open"),
+            "events: {:?}",
+            snap.events
+        );
     }
 
     #[test]

@@ -106,6 +106,7 @@ pub fn try_multiprefix_serial_ctx<T: Element, O: TryCombineOp<T>>(
 ) -> Result<MultiprefixOutput<T>, MpError> {
     debug_assert_eq!(values.len(), labels.len());
     ctx.checkpoint()?;
+    let _span = ctx.phase_span(crate::obs::Phase::Figure2);
     let mut buckets = try_filled_vec(op.identity(), m)?;
     let mut sums: Vec<T> = Vec::new();
     sums.try_reserve_exact(values.len())

@@ -46,6 +46,7 @@ pub use coalesce::CoalesceConfig;
 pub use queue::{Priority, Reply, Request, Ticket};
 
 use crate::error::MpError;
+use crate::obs::Recorder;
 use crate::op::TryCombineOp;
 use crate::problem::{validate_slices, Element};
 use crate::resilience::chaos::ChaosState;
@@ -55,7 +56,7 @@ use pool::{lock_queue, run_batch, spawn_worker, Shared};
 use queue::{Entry, QueuePhase, QueueState};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration for a [`Service`].
 #[derive(Debug, Clone, Default)]
@@ -77,6 +78,12 @@ pub struct ServiceConfig {
     ///
     /// [`ChaosPlan::worker_panic_ppm`]: crate::resilience::ChaosPlan::worker_panic_ppm
     pub chaos: Option<Arc<ChaosState>>,
+    /// Metrics/tracing sink, threaded through every layer: the service
+    /// mirrors its counters under `service.*` and times queue wait vs
+    /// execution, the dispatcher reports attempts/retries/breaker events,
+    /// and the engines report per-phase timings. `None` (the default) is
+    /// the zero-overhead path — no clock reads, no instrument lookups.
+    pub recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl ServiceConfig {
@@ -91,6 +98,12 @@ impl ServiceConfig {
 
 /// Monotonic service counters. Interior-mutable so workers and submitters
 /// update them lock-free; snapshot with [`ServiceStats::metrics`].
+///
+/// The invariant-bearing counters (`admitted`, `completed`, `errored` and
+/// the per-cause breakdown) move with `Release` and are read with
+/// `Acquire`, in an order chosen so a concurrent snapshot can never
+/// *overstate* a derived quantity — see [`ServiceStats::metrics`] for the
+/// argument.
 #[derive(Debug, Default)]
 pub(crate) struct ServiceStats {
     admitted: AtomicU64,
@@ -105,31 +118,55 @@ pub(crate) struct ServiceStats {
     coalesced_requests: AtomicU64,
     worker_panics: AtomicU64,
     respawns: AtomicU64,
+    /// Mirror sink: every counter movement is also forwarded here under
+    /// `service.*` names, so an external observer sees the same accounting
+    /// a [`ServiceMetrics`] snapshot reports.
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl ServiceStats {
+    pub(crate) fn recorder(&self) -> Option<&dyn Recorder> {
+        self.recorder.as_deref()
+    }
+
+    fn mirror(&self, name: &str) {
+        if let Some(rec) = &self.recorder {
+            rec.counter(name, 1);
+        }
+    }
+
     /// Count one resolution. Called from exactly one place
     /// ([`queue::Resolver::resolve`]) so the accounting invariant is
     /// enforced structurally, not by discipline at call sites.
+    ///
+    /// Write order matters: `errored` moves *before* its cause counter,
+    /// and [`ServiceStats::metrics`] reads the causes first, so no
+    /// snapshot can show the causes summing past `errored`.
     pub(crate) fn record_resolution<T>(&self, outcome: &Result<Reply<T>, MpError>) {
         match outcome {
             Ok(_) => {
-                self.completed.fetch_add(1, Ordering::Relaxed);
+                self.completed.fetch_add(1, Ordering::Release);
+                self.mirror("service.completed");
             }
             Err(err) => {
-                self.errored.fetch_add(1, Ordering::Relaxed);
+                self.errored.fetch_add(1, Ordering::Release);
+                self.mirror("service.errored");
                 match err {
                     MpError::Overloaded { .. } => {
-                        self.shed.fetch_add(1, Ordering::Relaxed);
+                        self.shed.fetch_add(1, Ordering::Release);
+                        self.mirror("service.shed");
                     }
                     MpError::Cancelled => {
-                        self.cancelled.fetch_add(1, Ordering::Relaxed);
+                        self.cancelled.fetch_add(1, Ordering::Release);
+                        self.mirror("service.cancelled");
                     }
                     MpError::DeadlineExceeded => {
-                        self.expired.fetch_add(1, Ordering::Relaxed);
+                        self.expired.fetch_add(1, Ordering::Release);
+                        self.mirror("service.expired");
                     }
                     MpError::WorkerLost { .. } => {
-                        self.worker_lost.fetch_add(1, Ordering::Relaxed);
+                        self.worker_lost.fetch_add(1, Ordering::Release);
+                        self.mirror("service.worker_lost");
                     }
                     _ => {}
                 }
@@ -138,37 +175,71 @@ impl ServiceStats {
     }
 
     pub(crate) fn bump_admitted(&self) {
-        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.admitted.fetch_add(1, Ordering::Release);
+        self.mirror("service.admitted");
     }
 
     pub(crate) fn bump_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.mirror("service.rejected");
     }
 
     pub(crate) fn bump_worker_panics(&self) {
         self.worker_panics.fetch_add(1, Ordering::Relaxed);
+        self.mirror("service.worker_panics");
     }
 
     pub(crate) fn bump_respawns(&self) {
         self.respawns.fetch_add(1, Ordering::Relaxed);
+        self.mirror("service.respawns");
     }
 
     pub(crate) fn bump_coalesced(&self, members: usize) {
         self.coalesced_batches.fetch_add(1, Ordering::Relaxed);
         self.coalesced_requests
             .fetch_add(members as u64, Ordering::Relaxed);
+        if let Some(rec) = &self.recorder {
+            rec.counter("service.coalesced.batches", 1);
+            rec.counter("service.coalesced.requests", members as u64);
+        }
     }
 
+    /// Snapshot the counters under a consistent partial order.
+    ///
+    /// The snapshot is not one atomic cut, but the load order guarantees
+    /// the documented invariants can only be *under*-counted by a racing
+    /// read, never violated:
+    ///
+    /// * the cause counters (`shed`, `cancelled`, `expired`,
+    ///   `worker_lost`) are read before `errored` — paired with the writer
+    ///   moving `errored` first in [`ServiceStats::record_resolution`] —
+    ///   so `errored` ≥ their sum in every snapshot;
+    /// * `admitted` is read last — paired with admission
+    ///   happening-before resolution (the ticket travels through the queue
+    ///   mutex) — so `admitted` ≥ `completed + errored` in every snapshot.
+    ///
+    /// The `Acquire` loads pair with the `Release` increments: observing a
+    /// resolution makes the admission that preceded it (and the `errored`
+    /// move that preceded a cause move) visible to the later loads. With
+    /// all-`Relaxed` loads the compiler or a weakly-ordered machine could
+    /// hoist the `admitted` load above the others and tear the invariant.
     pub(crate) fn metrics(&self) -> ServiceMetrics {
+        let shed = self.shed.load(Ordering::Acquire);
+        let cancelled = self.cancelled.load(Ordering::Acquire);
+        let expired = self.expired.load(Ordering::Acquire);
+        let worker_lost = self.worker_lost.load(Ordering::Acquire);
+        let completed = self.completed.load(Ordering::Acquire);
+        let errored = self.errored.load(Ordering::Acquire);
+        let admitted = self.admitted.load(Ordering::Acquire);
         ServiceMetrics {
-            admitted: self.admitted.load(Ordering::Relaxed),
+            admitted,
             rejected: self.rejected.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            errored: self.errored.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            cancelled: self.cancelled.load(Ordering::Relaxed),
-            expired: self.expired.load(Ordering::Relaxed),
-            worker_lost: self.worker_lost.load(Ordering::Relaxed),
+            completed,
+            errored,
+            shed,
+            cancelled,
+            expired,
+            worker_lost,
             coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
             coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
@@ -274,7 +345,14 @@ impl<T: Element, O: TryCombineOp<T>> Service<T, O> {
                 });
             }
         }
-        let dispatcher = Dispatcher::new(cfg.dispatcher.clone())?;
+        let mut dispatcher = Dispatcher::new(cfg.dispatcher.clone())?;
+        if let Some(rec) = &cfg.recorder {
+            dispatcher = dispatcher.with_recorder(Arc::clone(rec));
+        }
+        let stats = ServiceStats {
+            recorder: cfg.recorder.clone(),
+            ..ServiceStats::default()
+        };
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState::new()),
             work: Condvar::new(),
@@ -283,7 +361,7 @@ impl<T: Element, O: TryCombineOp<T>> Service<T, O> {
             dispatcher,
             op,
             cfg,
-            stats: ServiceStats::default(),
+            stats,
         });
         for idx in 0..shared.cfg.workers() {
             spawn_worker(&shared, idx);
@@ -330,7 +408,11 @@ impl<T: Element, O: TryCombineOp<T>> Service<T, O> {
                     cancel,
                     resolver,
                     seq,
+                    admitted_at: self.shared.stats.recorder().map(|_| Instant::now()),
                 });
+                if let Some(rec) = self.shared.stats.recorder() {
+                    rec.gauge("service.queue.depth", q.depth() as i64);
+                }
                 drop(q);
                 self.shared.work.notify_one();
                 return Ok(ticket);
@@ -427,6 +509,9 @@ impl<T: Element, O: TryCombineOp<T>> Service<T, O> {
                     entry
                         .resolver
                         .resolve(&self.shared.stats, Err(MpError::Cancelled));
+                }
+                if let Some(rec) = self.shared.stats.recorder() {
+                    rec.gauge("service.queue.depth", 0);
                 }
             }
         }
@@ -755,6 +840,119 @@ mod tests {
             service.submit(Request::multireduce(vec![1i64], vec![0], 1)),
             Err(MpError::Unavailable)
         ));
+    }
+
+    #[test]
+    fn expiry_between_dequeue_and_checkpoint_settles_exactly_once() {
+        // The stall fires at the worker checkpoint — after dequeue, before
+        // triage — so the deadline expires while a worker already owns the
+        // ticket. It must settle DeadlineExceeded exactly once, be counted
+        // in `expired`, and leave the accounting invariant intact.
+        let chaos = ChaosPlan::seeded(23)
+            .worker_stall_ppm(1_000_000)
+            .stall(0, Duration::from_millis(30))
+            .arm();
+        let cfg = ServiceConfig {
+            workers: Some(1),
+            queue_capacity: Some(4),
+            chaos: Some(chaos),
+            ..ServiceConfig::default()
+        };
+        let service = Service::new(Plus, cfg).unwrap();
+        let doomed = service
+            .submit(Request::multireduce(vec![1i64], vec![0], 1).timeout(Duration::from_millis(5)))
+            .unwrap();
+        assert_eq!(doomed.wait(), Err(MpError::DeadlineExceeded));
+        let m = service.shutdown();
+        assert_eq!(m.expired, 1);
+        assert_eq!(m.errored, 1);
+        assert_eq!(m.admitted, m.completed + m.errored);
+    }
+
+    #[test]
+    fn metrics_snapshot_never_overstates_resolutions() {
+        // A dedicated observer hammers `metrics()` while submitters and
+        // workers race; no snapshot may show completed + errored > admitted
+        // or the cause breakdown summing past errored (the torn reads the
+        // Acquire/Release ordering in ServiceStats rules out).
+        use std::sync::atomic::AtomicBool;
+        let service = Arc::new(Service::new(Plus, small_cfg(4, 16)).unwrap());
+        let stop = Arc::new(AtomicBool::new(false));
+        let observer = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut torn = 0u32;
+                while !stop.load(Ordering::Acquire) {
+                    let m = service.metrics();
+                    if m.completed + m.errored > m.admitted {
+                        torn += 1;
+                    }
+                    if m.shed + m.cancelled + m.expired + m.worker_lost > m.errored {
+                        torn += 1;
+                    }
+                }
+                torn
+            })
+        };
+        let submitters: Vec<_> = (0..4i64)
+            .map(|s| {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        let t = service
+                            .submit(Request::multireduce(vec![s, i], vec![0, 0], 1))
+                            .unwrap();
+                        let _ = t.wait();
+                    }
+                })
+            })
+            .collect();
+        for h in submitters {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        assert_eq!(observer.join().unwrap(), 0, "torn metrics snapshots seen");
+        let m = service.shutdown();
+        assert_eq!(m.admitted, 400);
+        assert_eq!(m.admitted, m.completed + m.errored);
+    }
+
+    #[test]
+    fn recorder_mirrors_service_metrics_and_times_the_pipeline() {
+        let rec = crate::obs::MemoryRecorder::shared();
+        let cfg = ServiceConfig {
+            workers: Some(2),
+            queue_capacity: Some(8),
+            recorder: Some(rec.clone() as Arc<dyn Recorder>),
+            ..ServiceConfig::default()
+        };
+        let service = Service::new(Plus, cfg).unwrap();
+        for i in 0..6i64 {
+            let t = service
+                .submit(Request::multiprefix(vec![i, i + 1], vec![0, 1], 2))
+                .unwrap();
+            assert!(t.wait().is_ok());
+        }
+        let m = service.shutdown();
+        assert_eq!(m.completed, 6);
+        // The recorder's counters and the ServiceMetrics snapshot are two
+        // views of the same accounting.
+        assert_eq!(rec.counter_value("service.admitted"), m.admitted);
+        assert_eq!(rec.counter_value("service.completed"), m.completed);
+        assert_eq!(rec.counter_value("service.errored"), m.errored);
+        // Every request flowed through the (instrumented) dispatcher.
+        assert_eq!(rec.counter_value("dispatch.requests"), m.admitted);
+        // Queue-wait was timed for every admitted request; execution for
+        // at least one dequeue.
+        let wait = rec
+            .histogram("service.queue.wait_ns")
+            .expect("queue-wait histogram");
+        assert_eq!(wait.count, m.admitted);
+        let exec = rec.histogram("service.exec_ns").expect("exec histogram");
+        assert!(exec.count >= 1 && exec.count <= m.admitted);
+        // The depth gauge was maintained and ended at zero (queue drained).
+        assert_eq!(rec.gauge_value("service.queue.depth"), Some(0));
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::service::queue::{Entry, JobKind, QueuePhase, QueueState, Reply, Reque
 use crate::service::{ServiceConfig, ServiceStats};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Worker index used by the shutdown path's inline drain (which runs on the
 /// caller's thread, skips worker-level chaos, and can't meaningfully "die").
@@ -193,6 +194,9 @@ fn take_batch<T: Element, O>(shared: &Shared<T, O>) -> Option<Vec<Entry<T>>> {
             }
         }
     }
+    if let Some(rec) = shared.stats.recorder() {
+        rec.gauge("service.queue.depth", q.depth() as i64);
+    }
     Some(batch)
 }
 
@@ -203,6 +207,20 @@ where
     T: Element,
     O: TryCombineOp<T>,
 {
+    // Queue-wait split: admitted→dequeued, measured before any chaos or
+    // execution time is charged. `admitted_at` is `Some` exactly when a
+    // recorder is installed.
+    if let Some(rec) = shared.stats.recorder() {
+        let now = Instant::now();
+        for entry in &batch {
+            if let Some(at) = entry.admitted_at {
+                rec.duration_ns(
+                    "service.queue.wait_ns",
+                    now.saturating_duration_since(at).as_nanos() as u64,
+                );
+            }
+        }
+    }
     let mut inflight = InFlight {
         slots: batch.into_iter().map(Some).collect(),
         worker: worker.unwrap_or(INLINE_WORKER),
@@ -215,7 +233,10 @@ where
         chaos.inject_worker(idx);
     }
     // Pre-execution triage: requests that no longer need an engine are
-    // settled for the cost of a flag/clock read.
+    // settled for the cost of a flag/clock read. A deadline that expired
+    // between dequeue and this point (e.g. across the worker checkpoint)
+    // settles here, exactly once: `resolve` takes the entry out of its
+    // slot, so no later path can touch the ticket again.
     for i in 0..inflight.slots.len() {
         let entry = inflight.slots[i].as_ref().expect("untouched slot");
         if entry.cancel.is_cancelled() {
@@ -225,10 +246,16 @@ where
         }
     }
     let live = inflight.live();
+    if live.is_empty() {
+        return;
+    }
+    let exec_started = shared.stats.recorder().map(|_| Instant::now());
     match live.as_slice() {
-        [] => {}
         [only] => run_single(shared, &mut inflight, *only),
         _ => run_fused(shared, &mut inflight, &live),
+    }
+    if let (Some(rec), Some(started)) = (shared.stats.recorder(), exec_started) {
+        rec.duration_ns("service.exec_ns", started.elapsed().as_nanos() as u64);
     }
 }
 

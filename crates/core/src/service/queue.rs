@@ -14,7 +14,7 @@ use crate::resilience::ctx::{CancelToken, Deadline};
 use crate::service::ServiceStats;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Priority class of a submission. The queue serves all queued
 /// [`Priority::Interactive`] work before any [`Priority::Batch`] work, and
@@ -274,6 +274,10 @@ pub(crate) struct Entry<T> {
     pub(crate) resolver: Resolver<T>,
     /// Admission order, for oldest-first tie-breaking in the shed policy.
     pub(crate) seq: u64,
+    /// Admission instant, feeding the `service.queue.wait_ns` histogram.
+    /// Captured only when a recorder is installed so the uninstrumented
+    /// path stays clock-free.
+    pub(crate) admitted_at: Option<Instant>,
 }
 
 /// Lifecycle phase of the queue (and so of the whole service).
@@ -362,6 +366,7 @@ mod tests {
             cancel,
             resolver,
             seq,
+            admitted_at: None,
         });
         t
     }

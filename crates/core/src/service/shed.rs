@@ -67,6 +67,7 @@ mod tests {
             cancel,
             resolver,
             seq,
+            admitted_at: None,
         });
         t
     }

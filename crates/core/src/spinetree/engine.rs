@@ -7,6 +7,7 @@ use super::phases::{
     rowsums_guarded, spinesums, spinesums_guarded,
 };
 use crate::exec::{try_filled_vec, CheckGuard, OverflowPolicy, TryEngineResult};
+use crate::obs::Phase;
 use crate::op::{CombineOp, TryCombineOp};
 use crate::problem::{Element, MultiprefixOutput};
 use crate::resilience::RunContext;
@@ -188,40 +189,57 @@ pub fn try_multiprefix_spinetree_ctx<T: Element, O: TryCombineOp<T>>(
     let tripped = AtomicBool::new(false);
     let guard = CheckGuard::new(op, policy, &tripped);
 
-    let mut rowsum = layout.try_pivot_block(op.identity())?;
-    let mut spinesum = layout.try_pivot_block(op.identity())?;
-    let mut has_child = layout.try_pivot_block(false)?;
-    let mut sums = try_filled_vec(op.identity(), layout.n)?;
+    let (mut rowsum, mut spinesum, mut has_child, mut sums) = {
+        let _span = ctx.phase_span(Phase::Init);
+        (
+            layout.try_pivot_block(op.identity())?,
+            layout.try_pivot_block(op.identity())?,
+            layout.try_pivot_block(false)?,
+            try_filled_vec(op.identity(), layout.n)?,
+        )
+    };
 
-    let spine = build_spinetree_ctx(labels, &layout, ArbPolicy::LastWins, ctx)?;
-    rowsums_guarded(
-        values,
-        &spine,
-        &layout,
-        guard,
-        &mut rowsum,
-        &mut has_child,
-        ctx,
-    )?;
-    spinesums_guarded(
-        &spine,
-        &layout,
-        guard,
-        &rowsum,
-        &has_child,
-        &mut spinesum,
-        ctx,
-    )?;
-    let reductions = bucket_reductions_guarded(&layout, guard, &rowsum, &spinesum, ctx)?;
-    multisums_guarded(
-        values,
-        &spine,
-        &layout,
-        guard,
-        &mut spinesum,
-        &mut sums,
-        ctx,
-    )?;
+    let spine = {
+        let _span = ctx.phase_span(Phase::Spinetree);
+        build_spinetree_ctx(labels, &layout, ArbPolicy::LastWins, ctx)?
+    };
+    {
+        let _span = ctx.phase_span(Phase::Rowsums);
+        rowsums_guarded(
+            values,
+            &spine,
+            &layout,
+            guard,
+            &mut rowsum,
+            &mut has_child,
+            ctx,
+        )?;
+    }
+    let reductions = {
+        let _span = ctx.phase_span(Phase::Spinesums);
+        spinesums_guarded(
+            &spine,
+            &layout,
+            guard,
+            &rowsum,
+            &has_child,
+            &mut spinesum,
+            ctx,
+        )?;
+        bucket_reductions_guarded(&layout, guard, &rowsum, &spinesum, ctx)?
+    };
+    {
+        let _span = ctx.phase_span(Phase::Multisums);
+        multisums_guarded(
+            values,
+            &spine,
+            &layout,
+            guard,
+            &mut spinesum,
+            &mut sums,
+            ctx,
+        )?;
+    }
 
     if tripped.load(Ordering::Relaxed) {
         Ok(None)

@@ -1,0 +1,245 @@
+//! Machine-readable bench baseline: per-engine, per-phase timings plus the
+//! §4.4 row-length sweep, written to `BENCH_multiprefix.json`.
+//!
+//! Every engine runs under a [`MemoryRecorder`], so the per-phase numbers
+//! come from exactly the instrumentation a production embedding would see
+//! (`engine.<kind>.phase.<phase>` histograms) rather than ad-hoc stopwatch
+//! code. The row-length sweep reruns the spinetree engine across row-length
+//! factors bracketing the paper's `p ≈ 0.749·√n` optimum.
+//!
+//! ```text
+//! cargo run --release --example bench_report            # full sweep
+//! cargo run --release --example bench_report -- --smoke # CI smoke mode
+//! cargo run --release --example bench_report -- --out my_report.json
+//! ```
+
+use multiprefix::obs::{phase_key, MemoryRecorder, Phase};
+use multiprefix::op::Plus;
+use multiprefix::resilience::RunContext;
+use multiprefix::spinetree::build::ArbPolicy;
+use multiprefix::spinetree::engine::multiprefix_spinetree_instrumented;
+use multiprefix::spinetree::layout::{choose_row_len_skewed, Layout};
+use multiprefix::{EngineKind, OverflowPolicy};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Deterministic pseudo-random labels over `[0, m)` — the §4.3 workload.
+fn lcg_labels(n: usize, m: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m
+        })
+        .collect()
+}
+
+struct SweepConfig {
+    sizes: &'static [usize],
+    iters: u32,
+    row_sweep_n: usize,
+    row_sweep_iters: u32,
+    mode: &'static str,
+}
+
+const FULL: SweepConfig = SweepConfig {
+    sizes: &[10_000, 100_000, 1_000_000],
+    iters: 5,
+    row_sweep_n: 250_000,
+    row_sweep_iters: 3,
+    mode: "full",
+};
+
+const SMOKE: SweepConfig = SweepConfig {
+    sizes: &[4_096],
+    iters: 2,
+    row_sweep_n: 4_096,
+    row_sweep_iters: 1,
+    mode: "smoke",
+};
+
+const ROW_FACTORS: [f64; 5] = [0.25, 0.5, 0.749, 1.0, 2.0];
+
+/// One engine iteration under `ctx`; returns the reduction checksum so the
+/// work cannot be optimized away.
+fn run_engine(
+    kind: EngineKind,
+    values: &[i64],
+    labels: &[usize],
+    m: usize,
+    ctx: &RunContext,
+) -> i64 {
+    let policy = OverflowPolicy::Wrap;
+    let out = match kind {
+        EngineKind::Serial => {
+            multiprefix::serial::try_multiprefix_serial_ctx(values, labels, m, Plus, policy, ctx)
+                .map(Some)
+        }
+        EngineKind::Spinetree => multiprefix::spinetree::engine::try_multiprefix_spinetree_ctx(
+            values, labels, m, Plus, policy, ctx,
+        ),
+        EngineKind::Blocked => {
+            multiprefix::blocked::try_multiprefix_blocked_ctx(values, labels, m, Plus, policy, ctx)
+        }
+        EngineKind::Atomic => {
+            multiprefix::atomic::try_multiprefix_atomic_ctx(values, labels, m, Plus, policy, ctx)
+        }
+    };
+    let out = out
+        .expect("bench workload must not fail")
+        .expect("Wrap policy never trips");
+    out.reductions.iter().copied().fold(0i64, i64::wrapping_add)
+}
+
+fn engine_name(kind: EngineKind) -> &'static str {
+    match kind {
+        EngineKind::Atomic => "atomic",
+        EngineKind::Blocked => "blocked",
+        EngineKind::Spinetree => "spinetree",
+        EngineKind::Serial => "serial",
+    }
+}
+
+fn json_num(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = if args.iter().any(|a| a == "--smoke") {
+        SMOKE
+    } else {
+        FULL
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_multiprefix.json")
+        .to_string();
+
+    let engines = [
+        EngineKind::Serial,
+        EngineKind::Spinetree,
+        EngineKind::Blocked,
+        EngineKind::Atomic,
+    ];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"multiprefix-bench/1\",");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", cfg.mode);
+    let _ = writeln!(json, "  \"iters\": {},", cfg.iters);
+    json.push_str("  \"engines\": [\n");
+
+    let mut checksum = 0i64;
+    for (ei, &kind) in engines.iter().enumerate() {
+        eprintln!("engine {} ...", engine_name(kind));
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"engine\": \"{}\",", engine_name(kind));
+        json.push_str("      \"sizes\": [\n");
+        for (si, &n) in cfg.sizes.iter().enumerate() {
+            let m = (n / 16).max(1);
+            let values = vec![1i64; n];
+            let labels = lcg_labels(n, m, 42);
+            let rec = MemoryRecorder::shared();
+            let ctx = RunContext::new()
+                .for_engine(kind)
+                .with_recorder(Arc::clone(&rec) as Arc<dyn multiprefix::Recorder>);
+            let started = Instant::now();
+            for _ in 0..cfg.iters {
+                checksum = checksum.wrapping_add(run_engine(kind, &values, &labels, m, &ctx));
+            }
+            let total_ns = started.elapsed().as_nanos() as u64;
+            let _ = writeln!(json, "        {{");
+            let _ = writeln!(json, "          \"n\": {n},");
+            let _ = writeln!(json, "          \"m\": {m},");
+            let _ = writeln!(
+                json,
+                "          \"total_ns_mean\": {},",
+                total_ns / u64::from(cfg.iters)
+            );
+            json.push_str("          \"phases\": [\n");
+            let phases = Phase::for_engine(kind);
+            for (pi, &phase) in phases.iter().enumerate() {
+                let snap = rec
+                    .histogram(phase_key(kind, phase))
+                    .expect("instrumented phase must have samples");
+                let _ = write!(
+                    json,
+                    "            {{\"phase\": \"{}\", \"count\": {}, \"mean_ns\": {}, \
+                     \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+                    phase.name(),
+                    snap.count,
+                    json_num(snap.mean()),
+                    json_num(snap.p50()),
+                    json_num(snap.p95()),
+                    json_num(snap.p99()),
+                );
+                json.push_str(if pi + 1 < phases.len() { ",\n" } else { "\n" });
+            }
+            json.push_str("          ]\n");
+            json.push_str("        }");
+            json.push_str(if si + 1 < cfg.sizes.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        json.push_str("      ]\n");
+        json.push_str("    }");
+        json.push_str(if ei + 1 < engines.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+
+    // §4.4 row-length ablation: factors around the paper's 0.749·√n optimum.
+    eprintln!("row-length sweep ...");
+    let n = cfg.row_sweep_n;
+    let m = (n / 16).max(1);
+    let values = vec![1i64; n];
+    let labels = lcg_labels(n, m, 7);
+    json.push_str("  \"row_length_sweep\": {\n");
+    let _ = writeln!(json, "    \"n\": {n},");
+    let _ = writeln!(json, "    \"m\": {m},");
+    let _ = writeln!(json, "    \"iters\": {},", cfg.row_sweep_iters);
+    json.push_str("    \"points\": [\n");
+    for (fi, &factor) in ROW_FACTORS.iter().enumerate() {
+        let row_len = choose_row_len_skewed(n, factor);
+        let layout = Layout::with_row_len(n, m, row_len);
+        let started = Instant::now();
+        for _ in 0..cfg.row_sweep_iters {
+            let run = multiprefix_spinetree_instrumented(
+                &values,
+                &labels,
+                Plus,
+                layout,
+                ArbPolicy::LastWins,
+            );
+            checksum = checksum.wrapping_add(run.output.sums[n - 1]);
+        }
+        let mean_ns = started.elapsed().as_nanos() as u64 / u64::from(cfg.row_sweep_iters);
+        let _ = write!(
+            json,
+            "      {{\"factor\": {factor}, \"row_len\": {row_len}, \"mean_ns\": {mean_ns}}}"
+        );
+        json.push_str(if fi + 1 < ROW_FACTORS.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"checksum\": {checksum}");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench report");
+    eprintln!("wrote {out_path} ({} bytes)", json.len());
+}

@@ -88,6 +88,7 @@ fn run_case(raw: &[RawSpec], seed: u64, worker_chaos: bool) {
                     ..DispatcherConfig::default()
                 },
                 chaos: Some(chaos),
+                recorder: None,
             },
         )
         .unwrap(),

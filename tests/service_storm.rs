@@ -205,6 +205,7 @@ fn storm_service(chaos: Arc<ChaosState>, coalesce: bool) -> Arc<Service<i64, Plu
                 dispatcher: storm_dispatcher(),
                 coalesce: coalesce.then(CoalesceConfig::default),
                 chaos: Some(chaos),
+                recorder: None,
             },
         )
         .unwrap(),
