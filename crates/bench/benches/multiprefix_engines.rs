@@ -1,8 +1,9 @@
-//! Host wall-clock comparison of the four engines over input size.
+//! Host wall-clock comparison of the five engines over input size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mp_bench::lcg_labels;
 use multiprefix::atomic::multiprefix_atomic;
+use multiprefix::chunked::multiprefix_chunked_with_threads;
 use multiprefix::op::Plus;
 use multiprefix::{multiprefix, Engine};
 use std::time::Duration;
@@ -18,11 +19,21 @@ fn bench_engines(c: &mut Criterion) {
         let values: Vec<i64> = (0..n as i64).collect();
         let labels = lcg_labels(n, m, 1);
         group.throughput(Throughput::Elements(n as u64));
-        for engine in [Engine::Serial, Engine::Spinetree, Engine::Blocked] {
+        for engine in [
+            Engine::Serial,
+            Engine::Spinetree,
+            Engine::Blocked,
+            Engine::Chunked,
+        ] {
             group.bench_with_input(BenchmarkId::new(format!("{engine:?}"), n), &n, |b, _| {
                 b.iter(|| multiprefix(&values, &labels, m, Plus, engine).unwrap());
             });
         }
+        // The ≥2×-atomic acceptance comparison runs on a pinned worker
+        // count so host core count does not skew the ratio.
+        group.bench_with_input(BenchmarkId::new("Chunked4", n), &n, |b, _| {
+            b.iter(|| multiprefix_chunked_with_threads(&values, &labels, m, Plus, 4));
+        });
         group.bench_with_input(BenchmarkId::new("AtomicSpinetree", n), &n, |b, _| {
             b.iter(|| multiprefix_atomic(&values, &labels, m, Plus));
         });

@@ -5,6 +5,10 @@ use crate::blocked::{
     multiprefix_blocked, multireduce_blocked, try_multiprefix_blocked_ctx,
     try_multireduce_blocked_ctx,
 };
+use crate::chunked::{
+    multiprefix_chunked, multireduce_chunked, try_multiprefix_chunked_cfg_ctx,
+    try_multireduce_chunked_cfg_ctx,
+};
 use crate::error::MpError;
 use crate::exec::{estimate_engine_mem, ExecConfig};
 use crate::op::{CombineOp, TryCombineOp};
@@ -28,7 +32,7 @@ use crate::spinetree::{
 /// because it constrains the element type.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
-    /// Pick automatically: serial below a size threshold, blocked above.
+    /// Pick automatically: serial below a size threshold, chunked above.
     #[default]
     Auto,
     /// The paper's Figure 2 reference loop.
@@ -36,8 +40,13 @@ pub enum Engine {
     /// The paper's `O(√n)`-step spinetree algorithm (vector-simulation
     /// execution: one loop per parallel step).
     Spinetree,
-    /// The chunked rayon engine — the fastest on multicore hosts.
+    /// The chunked rayon engine (dense-or-sparse chunk tables over the
+    /// global rayon pool).
     Blocked,
+    /// The two-level local/combine/apply engine with compact touched-label
+    /// tables and reusable workspaces ([`crate::chunked`]) — the fastest on
+    /// multicore hosts.
+    Chunked,
 }
 
 /// Below this element count `Engine::Auto` stays serial: the parallel
@@ -67,6 +76,7 @@ pub fn multiprefix<T: Element, O: CombineOp<T>>(
         Engine::Serial => multiprefix_serial(values, labels, m, op),
         Engine::Spinetree => multiprefix_spinetree(values, labels, m, op),
         Engine::Blocked => multiprefix_blocked(values, labels, m, op),
+        Engine::Chunked => multiprefix_chunked(values, labels, m, op),
         Engine::Auto => unreachable!("resolve() never returns Auto"),
     })
 }
@@ -84,6 +94,7 @@ pub fn multireduce<T: Element, O: CombineOp<T>>(
         Engine::Serial => multireduce_serial(values, labels, m, op),
         Engine::Spinetree => multireduce_spinetree(values, labels, m, op),
         Engine::Blocked => multireduce_blocked(values, labels, m, op),
+        Engine::Chunked => multireduce_chunked(values, labels, m, op),
         Engine::Auto => unreachable!("resolve() never returns Auto"),
     })
 }
@@ -94,7 +105,7 @@ fn resolve(engine: Engine, n: usize) -> Engine {
             if n < AUTO_SERIAL_THRESHOLD {
                 Engine::Serial
             } else {
-                Engine::Blocked
+                Engine::Chunked
             }
         }
         other => other,
@@ -185,6 +196,7 @@ pub fn try_multiprefix_ctx<T: Element, O: TryCombineOp<T>>(
         Engine::Blocked => {
             try_multiprefix_blocked_ctx(values, labels, m, op, config.overflow, ctx)?
         }
+        Engine::Chunked => try_multiprefix_chunked_cfg_ctx(values, labels, m, op, config, ctx)?,
         Engine::Auto => unreachable!("resolve() never returns Auto"),
     };
     match tripped {
@@ -249,6 +261,7 @@ pub fn try_multireduce_ctx<T: Element, O: TryCombineOp<T>>(
         Engine::Blocked => {
             try_multireduce_blocked_ctx(values, labels, m, op, config.overflow, ctx)?
         }
+        Engine::Chunked => try_multireduce_chunked_cfg_ctx(values, labels, m, op, config, ctx)?,
         Engine::Auto => unreachable!("resolve() never returns Auto"),
     };
     match clean {
@@ -289,7 +302,12 @@ mod tests {
         let values: Vec<i64> = (0..2500).map(|i| (i % 17) as i64 - 8).collect();
         let labels: Vec<usize> = (0..2500).map(|i| (i * 3 + 1) % 11).collect();
         let reference = multiprefix(&values, &labels, 11, Plus, Engine::Serial).unwrap();
-        for engine in [Engine::Spinetree, Engine::Blocked, Engine::Auto] {
+        for engine in [
+            Engine::Spinetree,
+            Engine::Blocked,
+            Engine::Chunked,
+            Engine::Auto,
+        ] {
             assert_eq!(
                 multiprefix(&values, &labels, 11, Plus, engine).unwrap(),
                 reference,
@@ -304,6 +322,7 @@ mod tests {
             Engine::Serial,
             Engine::Spinetree,
             Engine::Blocked,
+            Engine::Chunked,
             Engine::Auto,
         ] {
             let err = multiprefix(&[1i64], &[3], 2, Plus, engine).unwrap_err();
@@ -333,7 +352,12 @@ mod tests {
         let values: Vec<i64> = (0..4000).map(|i| i as i64).collect();
         let labels: Vec<usize> = (0..4000).map(|i| i % 7).collect();
         let reference = multireduce(&values, &labels, 7, Plus, Engine::Serial).unwrap();
-        for engine in [Engine::Spinetree, Engine::Blocked, Engine::Auto] {
+        for engine in [
+            Engine::Spinetree,
+            Engine::Blocked,
+            Engine::Chunked,
+            Engine::Auto,
+        ] {
             assert_eq!(
                 multireduce(&values, &labels, 7, Plus, engine).unwrap(),
                 reference,

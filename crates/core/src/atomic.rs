@@ -24,7 +24,7 @@
 //! accumulation.
 
 use crate::error::MpError;
-use crate::exec::{CheckGuard, OverflowPolicy, TryEngineResult};
+use crate::exec::{CheckGuard, ExecConfig, OverflowPolicy, TryEngineResult};
 use crate::obs::Phase;
 use crate::op::{And, CombineOp, Max, Min, Or, Plus, TryCombineOp};
 use crate::problem::MultiprefixOutput;
@@ -400,6 +400,60 @@ pub fn try_multireduce_atomic<O: AtomicCombine + TryCombineOp<i64>>(
     policy: OverflowPolicy,
 ) -> TryEngineResult<Vec<i64>> {
     try_multireduce_atomic_ctx(values, labels, m, op, policy, &RunContext::new())
+}
+
+/// Run `f` on a scoped rayon pool of `cfg.threads` workers when that field
+/// is set; on the global pool otherwise. A pool-construction failure (the
+/// OS refusing threads) is transient [`MpError::Unavailable`] — the
+/// dispatcher retries or falls back.
+fn with_thread_scope<R>(
+    cfg: ExecConfig,
+    f: impl FnOnce() -> TryEngineResult<R> + Send,
+) -> TryEngineResult<R>
+where
+    R: Send,
+{
+    match cfg.threads {
+        None => f(),
+        Some(t) => rayon::ThreadPoolBuilder::new()
+            .num_threads(t.max(1))
+            .build()
+            .map_err(|_| MpError::Unavailable)?
+            .install(f),
+    }
+}
+
+/// [`try_multiprefix_atomic_ctx`] with the overflow policy *and* thread
+/// count taken from an [`ExecConfig`]: when [`ExecConfig::threads`] is set
+/// the engine's parallel sweeps run on a scoped rayon pool of that size
+/// instead of the global pool, so embeddings can cap per-request
+/// parallelism.
+pub fn try_multiprefix_atomic_cfg_ctx<O: AtomicCombine + TryCombineOp<i64>>(
+    values: &[i64],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    cfg: ExecConfig,
+    ctx: &RunContext,
+) -> TryEngineResult<MultiprefixOutput<i64>> {
+    with_thread_scope(cfg, || {
+        try_multiprefix_atomic_ctx(values, labels, m, op, cfg.overflow, ctx)
+    })
+}
+
+/// [`try_multireduce_atomic_ctx`] with policy and threads from an
+/// [`ExecConfig`] (see [`try_multiprefix_atomic_cfg_ctx`]).
+pub fn try_multireduce_atomic_cfg_ctx<O: AtomicCombine + TryCombineOp<i64>>(
+    values: &[i64],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    cfg: ExecConfig,
+    ctx: &RunContext,
+) -> TryEngineResult<Vec<i64>> {
+    with_thread_scope(cfg, || {
+        try_multireduce_atomic_ctx(values, labels, m, op, cfg.overflow, ctx)
+    })
 }
 
 /// [`try_multireduce_atomic`] under a [`RunContext`], polled before and

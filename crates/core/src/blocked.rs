@@ -41,8 +41,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 const MIN_CHUNK: usize = 4 * 1024;
 
 /// Per-chunk label-total table.
+///
+/// Dense tables carry a `touched` list — the labels this chunk actually
+/// saw, in first-touch order — so the sequential combine pass costs
+/// `O(distinct)` per chunk rather than `O(m)`. With `m ≫ n` workloads the
+/// old full-`m` sweep dominated the whole call (pinned by the
+/// `combine_touched_*` cases in the `chunking` bench).
 enum Table<T> {
-    Dense(Vec<T>),
+    Dense { vals: Vec<T>, touched: Vec<usize> },
     Sparse(HashMap<usize, T>),
 }
 
@@ -108,13 +114,13 @@ pub fn multiprefix_blocked_with_chunk<T: Element, O: CombineOp<T>>(
         true => {
             let mut running = vec![op.identity(); m];
             for table in &mut tables {
-                let Table::Dense(t) = table else {
+                let Table::Dense { vals, touched } = table else {
                     unreachable!("invariant: dense mode fills `tables` with Table::Dense only")
                 };
-                for (label, total) in t.iter_mut().enumerate() {
+                for &label in touched.iter() {
                     let offset = running[label];
-                    running[label] = op.combine(running[label], *total);
-                    *total = offset;
+                    running[label] = op.combine(running[label], vals[label]);
+                    vals[label] = offset;
                 }
             }
             running
@@ -145,9 +151,9 @@ pub fn multiprefix_blocked_with_chunk<T: Element, O: CombineOp<T>>(
         .zip(labels.par_chunks(chunk_len))
         .zip(tables.par_iter())
         .for_each(|((s, l), table)| match table {
-            Table::Dense(t) => {
+            Table::Dense { vals, .. } => {
                 for (si, &label) in s.iter_mut().zip(l) {
-                    *si = op.combine(t[label], *si);
+                    *si = op.combine(vals[label], *si);
                 }
             }
             Table::Sparse(t) => {
@@ -172,11 +178,20 @@ fn local_pass<T: Element, O: CombineOp<T>>(
 ) -> Table<T> {
     if dense {
         let mut buckets = vec![op.identity(); m];
+        let mut seen = vec![false; m];
+        let mut touched = Vec::new();
         for ((si, &v), &l) in sums.iter_mut().zip(values).zip(labels) {
+            if !seen[l] {
+                seen[l] = true;
+                touched.push(l);
+            }
             *si = buckets[l];
             buckets[l] = op.combine(buckets[l], v);
         }
-        Table::Dense(buckets)
+        Table::Dense {
+            vals: buckets,
+            touched,
+        }
     } else {
         let mut buckets: HashMap<usize, T> = HashMap::new();
         for ((si, &v), &l) in sums.iter_mut().zip(values).zip(labels) {
@@ -208,10 +223,19 @@ pub fn multireduce_blocked<T: Element, O: CombineOp<T>>(
         .map(|(v, l)| {
             if dense {
                 let mut buckets = vec![op.identity(); m];
+                let mut seen = vec![false; m];
+                let mut touched = Vec::new();
                 for (&vi, &li) in v.iter().zip(l) {
+                    if !seen[li] {
+                        seen[li] = true;
+                        touched.push(li);
+                    }
                     buckets[li] = op.combine(buckets[li], vi);
                 }
-                Table::Dense(buckets)
+                Table::Dense {
+                    vals: buckets,
+                    touched,
+                }
             } else {
                 let mut buckets: HashMap<usize, T> = HashMap::new();
                 for (&vi, &li) in v.iter().zip(l) {
@@ -226,9 +250,9 @@ pub fn multireduce_blocked<T: Element, O: CombineOp<T>>(
     let mut reductions = vec![op.identity(); m];
     for table in &tables {
         match table {
-            Table::Dense(t) => {
-                for (label, &total) in t.iter().enumerate() {
-                    reductions[label] = op.combine(reductions[label], total);
+            Table::Dense { vals, touched } => {
+                for &label in touched {
+                    reductions[label] = op.combine(reductions[label], vals[label]);
                 }
             }
             Table::Sparse(t) => {
@@ -335,15 +359,15 @@ fn try_multiprefix_blocked_inner<T: Element, O: TryCombineOp<T>>(
         true => {
             let mut running = try_filled_vec(op.identity(), m)?;
             for table in &mut tables {
-                let Table::Dense(t) = table else {
+                let Table::Dense { vals, touched } = table else {
                     unreachable!("invariant: dense mode fills `tables` with Table::Dense only")
                 };
-                for (label, total) in t.iter_mut().enumerate() {
+                for &label in touched.iter() {
                     ctx.checkpoint_every(scanned)?;
                     scanned += 1;
                     let offset = running[label];
-                    running[label] = guard.combine(running[label], *total);
-                    *total = offset;
+                    running[label] = guard.combine(running[label], vals[label]);
+                    vals[label] = offset;
                 }
             }
             running
@@ -382,9 +406,9 @@ fn try_multiprefix_blocked_inner<T: Element, O: TryCombineOp<T>>(
         .try_for_each(|((s, l), table)| -> Result<(), MpError> {
             ctx.checkpoint()?;
             match table {
-                Table::Dense(t) => {
+                Table::Dense { vals, .. } => {
                     for (si, &label) in s.iter_mut().zip(l) {
-                        *si = guard.combine(t[label], *si);
+                        *si = guard.combine(vals[label], *si);
                     }
                 }
                 Table::Sparse(t) => {
@@ -417,12 +441,21 @@ fn try_local_pass<T: Element, O: TryCombineOp<T>>(
 ) -> Result<Table<T>, MpError> {
     if dense {
         let mut buckets = try_filled_vec(guard.identity(), m)?;
+        let mut seen = try_filled_vec(false, m)?;
+        let mut touched = Vec::new();
         for (i, ((si, &v), &l)) in sums.iter_mut().zip(values).zip(labels).enumerate() {
             ctx.checkpoint_every(i)?;
+            if !seen[l] {
+                seen[l] = true;
+                touched.push(l);
+            }
             *si = buckets[l];
             buckets[l] = guard.combine(buckets[l], v);
         }
-        Ok(Table::Dense(buckets))
+        Ok(Table::Dense {
+            vals: buckets,
+            touched,
+        })
     } else {
         let mut buckets: HashMap<usize, T> = HashMap::new();
         for (i, ((si, &v), &l)) in sums.iter_mut().zip(values).zip(labels).enumerate() {
@@ -486,11 +519,20 @@ fn try_multireduce_blocked_inner<T: Element, O: TryCombineOp<T>>(
         .map(|(v, l)| {
             if dense {
                 let mut buckets = try_filled_vec(op.identity(), m)?;
+                let mut seen = try_filled_vec(false, m)?;
+                let mut touched = Vec::new();
                 for (i, (&vi, &li)) in v.iter().zip(l).enumerate() {
                     ctx.checkpoint_every(i)?;
+                    if !seen[li] {
+                        seen[li] = true;
+                        touched.push(li);
+                    }
                     buckets[li] = guard.combine(buckets[li], vi);
                 }
-                Ok(Table::Dense(buckets))
+                Ok(Table::Dense {
+                    vals: buckets,
+                    touched,
+                })
             } else {
                 let mut buckets: HashMap<usize, T> = HashMap::new();
                 for (i, (&vi, &li)) in v.iter().zip(l).enumerate() {
@@ -508,11 +550,11 @@ fn try_multireduce_blocked_inner<T: Element, O: TryCombineOp<T>>(
     let mut folded: usize = 0;
     for table in &tables {
         match table {
-            Table::Dense(t) => {
-                for (label, &total) in t.iter().enumerate() {
+            Table::Dense { vals, touched } => {
+                for &label in touched {
                     ctx.checkpoint_every(folded)?;
                     folded += 1;
-                    reductions[label] = guard.combine(reductions[label], total);
+                    reductions[label] = guard.combine(reductions[label], vals[label]);
                 }
             }
             Table::Sparse(t) => {

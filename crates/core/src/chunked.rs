@@ -1,0 +1,1400 @@
+//! The two-level chunked engine: work-efficient parallel multiprefix with
+//! compact per-chunk bucket tables and reusable workspaces.
+//!
+//! This is the multicore instance of the paper's §4 two-level decomposition.
+//! There, the element vector is laid out as rows of length `p ≈ 0.749√n`;
+//! each row computes its contribution independently and a spine pass
+//! combines the row summaries. Here the "rows" are `p` contiguous chunks —
+//! one per worker thread — and the operation runs in three phases:
+//!
+//! 1. **local** (parallel over chunks): each worker runs the serial
+//!    (Figure 2) multiprefix over its chunk into a *compact* bucket table:
+//!    labels map to dense slots on first touch, and a touched-label list
+//!    records which of the `m` buckets this chunk actually saw. Per-chunk
+//!    cost is `O(chunk_len + distinct_labels)` — **not** `O(m)` — so
+//!    `m ≫ n` workloads pay for the labels present, never the label space;
+//! 2. **combine** (sequential over chunks, `O(Σ distinct)` total): an
+//!    exclusive scan per touched label across the chunk summaries, in chunk
+//!    order. Associativity plus preserved order makes this correct for
+//!    non-commutative operators; the running totals end as the global
+//!    reductions;
+//! 3. **apply** (parallel over chunks): one linear pass prepends each
+//!    chunk's per-label offset: `sums[i] = offset(chunk, lᵢ) ⊕ local[i]`.
+//!
+//! Unlike the [`crate::atomic`] engine there is no cross-thread `fetch_add`
+//! traffic at all — every cache line is written by exactly one worker until
+//! the (tiny) combine phase — and unlike [`crate::blocked`] the tables are
+//! compact and **reusable**: a [`ChunkedWorkspace`] carries the epoch-marked
+//! label maps, touched lists and chunk summaries across calls, and a
+//! [`WorkspacePool`] lets a [`crate::service::Service`] hand each request a
+//! warm workspace so steady-state traffic does zero large allocations.
+//!
+//! The hardened entry points (`try_*`) thread the full execution contract
+//! through all three phases: [`crate::exec::OverflowPolicy`] trip-and-replay
+//! via [`CheckGuard`], [`RunContext`] cancellation/deadline checkpoints at
+//! phase boundaries and every [`crate::resilience::CHECK_STRIDE`] elements,
+//! obs phase spans (`engine.chunked.phase.{local,combine,apply}`), and
+//! chaos worker faults in the local phase. [`ChunkedPlan`] amortizes the
+//! label-structure discovery across repeated runs over the same labels.
+
+use crate::error::MpError;
+use crate::exec::{try_filled_vec, CheckGuard, ExecConfig, OverflowPolicy, TryEngineResult};
+use crate::obs::Phase;
+use crate::op::{CombineOp, TryCombineOp};
+use crate::problem::{validate, Element, MultiprefixOutput};
+use crate::resilience::RunContext;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Minimum chunk length before the engine stops splitting: below this the
+/// per-thread spawn cost outweighs the parallelism and the chunk count
+/// collapses toward one (which runs inline on the caller's thread).
+pub const MIN_CHUNK_LEN: usize = 4096;
+
+/// The number of chunks (= workers) for an `n`-element run on `threads`
+/// threads: one chunk per thread, but never chunks shorter than
+/// [`MIN_CHUNK_LEN`].
+fn chunk_count(n: usize, threads: usize) -> usize {
+    threads.max(1).min(n.div_ceil(MIN_CHUNK_LEN)).max(1)
+}
+
+/// The combine abstraction the engine core is generic over: the plain
+/// operator on the infallible path, a [`CheckGuard`] on the hardened path.
+/// Keeping the core monomorphic over this avoids duplicating the three
+/// phases for the plain/try split.
+trait Comb<T: Element>: Copy + Send + Sync {
+    fn identity(&self) -> T;
+    fn combine(&self, a: T, b: T) -> T;
+}
+
+/// Plain (unchecked) combine for the infallible entry points.
+#[derive(Clone, Copy)]
+struct PlainComb<O>(O);
+
+impl<T: Element, O: CombineOp<T>> Comb<T> for PlainComb<O> {
+    #[inline(always)]
+    fn identity(&self) -> T {
+        self.0.identity()
+    }
+    #[inline(always)]
+    fn combine(&self, a: T, b: T) -> T {
+        self.0.combine(a, b)
+    }
+}
+
+impl<T: Element, O: TryCombineOp<T>> Comb<T> for CheckGuard<'_, O> {
+    #[inline(always)]
+    fn identity(&self) -> T {
+        CheckGuard::identity(self)
+    }
+    #[inline(always)]
+    fn combine(&self, a: T, b: T) -> T {
+        CheckGuard::combine(self, a, b)
+    }
+}
+
+/// Fallibly grow `v` to at least `len`, filling new space with `fill`.
+fn try_grow<U: Element>(v: &mut Vec<U>, len: usize, fill: U) -> Result<(), MpError> {
+    if v.len() < len {
+        let additional = len - v.len();
+        v.try_reserve(additional)
+            .map_err(|_| MpError::AllocationFailed {
+                bytes: additional.saturating_mul(std::mem::size_of::<U>()),
+            })?;
+        v.resize(len, fill);
+    }
+    Ok(())
+}
+
+/// Fibonacci hash of a label into the probed map's power-of-two table.
+#[inline(always)]
+fn hash_label(l: usize) -> usize {
+    ((l as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize
+}
+
+/// One chunk's (or the combine phase's) compact label table: a label → slot
+/// map plus slot-indexed values and a touched-label list in first-touch
+/// order.
+///
+/// Two map modes, chosen per run:
+///
+/// * **direct** — `m`-sized `mark`/`slot_of` arrays, validated by an epoch
+///   stamp so *reuse costs nothing*: bumping the epoch invalidates every
+///   stale entry without touching memory (the `m`-sized arrays are written
+///   once, on first use at a given `m`, not zeroed per call);
+/// * **probed** — an open-addressed, linear-probe table sized to twice the
+///   chunk's maximum distinct-label count (`≤ 50%` load, so probes are
+///   short and insertion cannot fail). Used when `m` is large relative to
+///   `n` and the direct arrays would dwarf the data.
+///
+/// Either way the per-call work is `O(elements + distinct)`, never `O(m)`.
+pub struct ChunkSpace<T> {
+    // Direct mode: label -> slot, valid iff mark[label] == epoch.
+    mark: Vec<u32>,
+    slot_of: Vec<u32>,
+    epoch: u32,
+    // Probed mode: open-addressed keys (usize::MAX = empty) -> slot.
+    keys: Vec<usize>,
+    slots: Vec<u32>,
+    mask: usize,
+    direct: bool,
+    // Both modes.
+    touched: Vec<usize>,
+    vals: Vec<T>,
+}
+
+impl<T> Default for ChunkSpace<T> {
+    fn default() -> Self {
+        ChunkSpace {
+            mark: Vec::new(),
+            slot_of: Vec::new(),
+            epoch: 0,
+            keys: Vec::new(),
+            slots: Vec::new(),
+            mask: 0,
+            direct: true,
+            touched: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for ChunkSpace<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkSpace")
+            .field("direct", &self.direct)
+            .field("touched", &self.touched.len())
+            .field("map_capacity", &self.mark.len().max(self.keys.len()))
+            .finish()
+    }
+}
+
+impl<T: Element> ChunkSpace<T> {
+    /// Prepare the space for one run: clear the touched list and values and
+    /// (re)validate the label map. `distinct_cap` bounds the number of
+    /// distinct labels this use can see (chunk length, or `m`, whichever is
+    /// smaller). Self-healing: a space abandoned mid-run by a panic is
+    /// fully reset here.
+    fn begin_use(&mut self, m: usize, distinct_cap: usize, direct: bool) -> Result<(), MpError> {
+        self.touched.clear();
+        self.vals.clear();
+        self.direct = direct;
+        if direct {
+            try_grow(&mut self.mark, m, 0)?;
+            try_grow(&mut self.slot_of, m, 0)?;
+            self.epoch = self.epoch.wrapping_add(1);
+            if self.epoch == 0 {
+                // Epoch wrapped: stale stamps could collide. Reset once per
+                // 2³² uses.
+                self.mark.fill(0);
+                self.epoch = 1;
+            }
+        } else {
+            let cap = distinct_cap
+                .max(1)
+                .saturating_mul(2)
+                .next_power_of_two()
+                .max(16);
+            try_grow(&mut self.keys, cap, usize::MAX)?;
+            try_grow(&mut self.slots, cap, 0)?;
+            // Memset (not epoch) clearing keeps the probed map panic-safe:
+            // no state from an abandoned run can alias a live label.
+            self.keys[..cap].fill(usize::MAX);
+            self.mask = cap - 1;
+        }
+        Ok(())
+    }
+
+    /// The slot for `label`, inserting it (touched list + identity value)
+    /// on first sight.
+    #[inline]
+    fn slot_or_insert(&mut self, label: usize, identity: T) -> usize {
+        if self.direct {
+            if self.mark[label] == self.epoch {
+                return self.slot_of[label] as usize;
+            }
+            let slot = self.vals.len();
+            self.mark[label] = self.epoch;
+            self.slot_of[label] = slot as u32;
+            self.touched.push(label);
+            self.vals.push(identity);
+            slot
+        } else {
+            let mut j = hash_label(label) & self.mask;
+            loop {
+                let k = self.keys[j];
+                if k == label {
+                    return self.slots[j] as usize;
+                }
+                if k == usize::MAX {
+                    let slot = self.vals.len();
+                    self.keys[j] = label;
+                    self.slots[j] = slot as u32;
+                    self.touched.push(label);
+                    self.vals.push(identity);
+                    return slot;
+                }
+                j = (j + 1) & self.mask;
+            }
+        }
+    }
+
+    /// The slot of a label known to be present (apply phase: every label in
+    /// the chunk was inserted during the local phase).
+    #[inline]
+    fn slot(&self, label: usize) -> usize {
+        if self.direct {
+            debug_assert_eq!(self.mark[label], self.epoch, "label not in chunk table");
+            self.slot_of[label] as usize
+        } else {
+            let mut j = hash_label(label) & self.mask;
+            loop {
+                if self.keys[j] == label {
+                    return self.slots[j] as usize;
+                }
+                debug_assert_ne!(self.keys[j], usize::MAX, "label not in chunk table");
+                j = (j + 1) & self.mask;
+            }
+        }
+    }
+}
+
+/// Reusable scratch state for the chunked engine: per-chunk label tables
+/// plus the combine phase's global table. A fresh (default) workspace works
+/// for any call; reusing one across calls retains the grown buffers, so a
+/// warm workspace performs **zero large allocations** per run (the output
+/// vectors themselves are the only O(n)/O(m) allocations left).
+///
+/// Not thread-safe by itself — one workspace serves one call at a time; use
+/// a [`WorkspacePool`] to share warm workspaces across service workers.
+pub struct ChunkedWorkspace<T> {
+    spaces: Vec<ChunkSpace<T>>,
+    global: ChunkSpace<T>,
+}
+
+impl<T> Default for ChunkedWorkspace<T> {
+    fn default() -> Self {
+        ChunkedWorkspace {
+            spaces: Vec::new(),
+            global: ChunkSpace::default(),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for ChunkedWorkspace<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkedWorkspace")
+            .field("chunks", &self.spaces.len())
+            .finish()
+    }
+}
+
+impl<T: Element> ChunkedWorkspace<T> {
+    /// A fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_chunks(&mut self, chunks: usize) {
+        if self.spaces.len() < chunks {
+            self.spaces.resize_with(chunks, ChunkSpace::default);
+        }
+    }
+}
+
+/// A bounded pool of warm [`ChunkedWorkspace`]s.
+///
+/// [`WorkspacePool::checkout`] pops a warm workspace (or creates a cold one
+/// when the pool is empty — checkout never blocks); dropping the returned
+/// [`PooledWorkspace`] puts it back, up to `max_idle` retained workspaces.
+/// The [`crate::service::Service`] keeps one pool sized to its worker
+/// count, so steady-state traffic recycles the same scratch buffers
+/// forever.
+pub struct WorkspacePool<T> {
+    free: Mutex<Vec<ChunkedWorkspace<T>>>,
+    max_idle: usize,
+}
+
+impl<T> std::fmt::Debug for WorkspacePool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let idle = self.free.lock().map(|v| v.len()).unwrap_or(0);
+        f.debug_struct("WorkspacePool")
+            .field("idle", &idle)
+            .field("max_idle", &self.max_idle)
+            .finish()
+    }
+}
+
+impl<T: Element> WorkspacePool<T> {
+    /// A pool retaining at most `max_idle` idle workspaces.
+    pub fn new(max_idle: usize) -> Self {
+        WorkspacePool {
+            free: Mutex::new(Vec::new()),
+            max_idle,
+        }
+    }
+
+    /// Check out a workspace (warm if one is idle, cold otherwise). The
+    /// guard returns it on drop.
+    pub fn checkout(&self) -> PooledWorkspace<'_, T> {
+        let ws = self
+            .free
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default();
+        PooledWorkspace {
+            pool: self,
+            ws: Some(ws),
+        }
+    }
+
+    /// Idle workspaces currently retained.
+    pub fn idle(&self) -> usize {
+        self.free.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+/// A checked-out workspace; derefs to [`ChunkedWorkspace`] and returns to
+/// its [`WorkspacePool`] on drop (discarded if the pool is already at its
+/// idle cap).
+pub struct PooledWorkspace<'a, T: Element> {
+    pool: &'a WorkspacePool<T>,
+    ws: Option<ChunkedWorkspace<T>>,
+}
+
+impl<T: Element> std::ops::Deref for PooledWorkspace<'_, T> {
+    type Target = ChunkedWorkspace<T>;
+    fn deref(&self) -> &ChunkedWorkspace<T> {
+        self.ws.as_ref().expect("workspace present until drop")
+    }
+}
+
+impl<T: Element> std::ops::DerefMut for PooledWorkspace<'_, T> {
+    fn deref_mut(&mut self) -> &mut ChunkedWorkspace<T> {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl<T: Element> Drop for PooledWorkspace<'_, T> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            let mut free = self.pool.free.lock().unwrap_or_else(|e| e.into_inner());
+            if free.len() < self.pool.max_idle {
+                free.push(ws);
+            }
+        }
+    }
+}
+
+/// Dense tables are admitted while the per-chunk map arrays stay within a
+/// small multiple of the data we already hold (same criterion as
+/// [`crate::blocked`]).
+fn use_direct(chunks: usize, n: usize, m: usize) -> bool {
+    chunks.saturating_mul(m) <= 8 * n.max(1) + 1024
+}
+
+/// The local phase over one chunk: a serial (Figure 2) multiprefix into the
+/// chunk's compact table. `worker` indexes the chunk for chaos injection.
+fn local_pass<T: Element, C: Comb<T>>(
+    space: &mut ChunkSpace<T>,
+    sums: &mut [T],
+    values: &[T],
+    labels: &[usize],
+    comb: C,
+    ctx: &RunContext,
+    worker: usize,
+) -> Result<(), MpError> {
+    // The chunk-worker chaos checkpoint: a targeted plan can panic or stall
+    // this worker, exercising the engine's containment (the panic unwinds
+    // through the scope join into the engine's catch_unwind).
+    if let Some(chaos) = ctx.chaos() {
+        chaos.inject_chunk_worker(worker);
+    }
+    for (i, ((si, &v), &l)) in sums.iter_mut().zip(values).zip(labels).enumerate() {
+        ctx.checkpoint_every(i)?;
+        let s = space.slot_or_insert(l, comb.identity());
+        *si = space.vals[s];
+        space.vals[s] = comb.combine(space.vals[s], v);
+    }
+    Ok(())
+}
+
+/// The local phase of a reduce-only run: totals, no element output.
+fn local_reduce_pass<T: Element, C: Comb<T>>(
+    space: &mut ChunkSpace<T>,
+    values: &[T],
+    labels: &[usize],
+    comb: C,
+    ctx: &RunContext,
+    worker: usize,
+) -> Result<(), MpError> {
+    if let Some(chaos) = ctx.chaos() {
+        chaos.inject_chunk_worker(worker);
+    }
+    for (i, (&v, &l)) in values.iter().zip(labels).enumerate() {
+        ctx.checkpoint_every(i)?;
+        let s = space.slot_or_insert(l, comb.identity());
+        space.vals[s] = comb.combine(space.vals[s], v);
+    }
+    Ok(())
+}
+
+/// The apply phase over one chunk: prepend the chunk's per-label offsets.
+fn apply_pass<T: Element, C: Comb<T>>(
+    space: &ChunkSpace<T>,
+    sums: &mut [T],
+    labels: &[usize],
+    comb: C,
+    ctx: &RunContext,
+) -> Result<(), MpError> {
+    for (i, (si, &l)) in sums.iter_mut().zip(labels).enumerate() {
+        ctx.checkpoint_every(i)?;
+        *si = comb.combine(space.vals[space.slot(l)], *si);
+    }
+    Ok(())
+}
+
+/// Run `f` over every chunk, on scoped threads when there is more than one
+/// chunk (inline otherwise). Worker panics are re-raised on the caller's
+/// thread (the hardened entry points contain them); worker errors surface
+/// as the first `Err` in chunk order.
+fn run_chunks<'env, I, F>(items: Vec<I>, f: F) -> Result<(), MpError>
+where
+    I: Send + 'env,
+    F: Fn(usize, I) -> Result<(), MpError> + Sync + Send,
+{
+    let mut items = items;
+    if items.len() == 1 {
+        return f(0, items.pop().expect("one item"));
+    }
+    let f = &f;
+    let results: Vec<Result<(), MpError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .into_iter()
+            .enumerate()
+            .map(|(idx, item)| scope.spawn(move || f(idx, item)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+/// The engine core: all three phases, generic over the combine wrapper.
+fn run_prefix<T: Element, C: Comb<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    comb: C,
+    parts: usize,
+    ws: &mut ChunkedWorkspace<T>,
+    ctx: &RunContext,
+) -> Result<MultiprefixOutput<T>, MpError> {
+    ctx.checkpoint()?;
+    let n = values.len();
+    if n == 0 {
+        return Ok(MultiprefixOutput {
+            sums: Vec::new(),
+            reductions: try_filled_vec(comb.identity(), m)?,
+        });
+    }
+    let chunk_len = n.div_ceil(parts.clamp(1, n));
+    let chunks = n.div_ceil(chunk_len);
+    let direct = use_direct(chunks, n, m);
+    let mut sums = try_filled_vec(comb.identity(), n)?;
+    ws.ensure_chunks(chunks);
+    let ChunkedWorkspace { spaces, global } = ws;
+    let spaces = &mut spaces[..chunks];
+
+    // Phase 1 — local. Tables are prepared serially (fallible allocation
+    // surfaces before any thread spawns), then each chunk runs its serial
+    // multiprefix on its own thread.
+    {
+        let _span = ctx.phase_span(Phase::Local);
+        let distinct_cap = chunk_len.min(m);
+        for space in spaces.iter_mut() {
+            space.begin_use(m, distinct_cap, direct)?;
+        }
+        let items: Vec<_> = spaces
+            .iter_mut()
+            .zip(sums.chunks_mut(chunk_len))
+            .zip(values.chunks(chunk_len).zip(labels.chunks(chunk_len)))
+            .collect();
+        run_chunks(items, |idx, ((space, s), (v, l))| {
+            local_pass(space, s, v, l, comb, ctx, idx)
+        })?;
+    }
+
+    // Phase 2 — combine: exclusive scan per touched label across the chunk
+    // summaries, in chunk order; the running totals become the reductions.
+    ctx.checkpoint()?;
+    let reductions = {
+        let _span = ctx.phase_span(Phase::Combine);
+        let total_touched: usize = spaces.iter().map(|s| s.touched.len()).sum();
+        let gdirect = use_direct(1, n, m);
+        global.begin_use(m, total_touched.min(m), gdirect)?;
+        let mut step = 0usize;
+        for space in spaces.iter_mut() {
+            for ti in 0..space.touched.len() {
+                ctx.checkpoint_every(step)?;
+                step += 1;
+                let label = space.touched[ti];
+                let gs = global.slot_or_insert(label, comb.identity());
+                let offset = global.vals[gs];
+                global.vals[gs] = comb.combine(offset, space.vals[ti]);
+                space.vals[ti] = offset;
+            }
+        }
+        let mut reductions = try_filled_vec(comb.identity(), m)?;
+        for (gs, &label) in global.touched.iter().enumerate() {
+            reductions[label] = global.vals[gs];
+        }
+        reductions
+    };
+
+    // Phase 3 — apply: prepend each chunk's offsets in one linear pass.
+    ctx.checkpoint()?;
+    {
+        let _span = ctx.phase_span(Phase::Apply);
+        let items: Vec<_> = spaces
+            .iter()
+            .zip(sums.chunks_mut(chunk_len))
+            .zip(labels.chunks(chunk_len))
+            .collect();
+        run_chunks(items, |_, ((space, s), l)| {
+            apply_pass(space, s, l, comb, ctx)
+        })?;
+    }
+    Ok(MultiprefixOutput { sums, reductions })
+}
+
+/// The reduce-only core: local totals, then a fold across chunk summaries
+/// straight into the `m`-sized output (no global map, no apply phase).
+fn run_reduce<T: Element, C: Comb<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    comb: C,
+    parts: usize,
+    ws: &mut ChunkedWorkspace<T>,
+    ctx: &RunContext,
+) -> Result<Vec<T>, MpError> {
+    ctx.checkpoint()?;
+    let n = values.len();
+    if n == 0 {
+        return try_filled_vec(comb.identity(), m);
+    }
+    let chunk_len = n.div_ceil(parts.clamp(1, n));
+    let chunks = n.div_ceil(chunk_len);
+    let direct = use_direct(chunks, n, m);
+    ws.ensure_chunks(chunks);
+    let spaces = &mut ws.spaces[..chunks];
+    {
+        let _span = ctx.phase_span(Phase::Local);
+        let distinct_cap = chunk_len.min(m);
+        for space in spaces.iter_mut() {
+            space.begin_use(m, distinct_cap, direct)?;
+        }
+        let items: Vec<_> = spaces
+            .iter_mut()
+            .zip(values.chunks(chunk_len).zip(labels.chunks(chunk_len)))
+            .collect();
+        run_chunks(items, |idx, (space, (v, l))| {
+            local_reduce_pass(space, v, l, comb, ctx, idx)
+        })?;
+    }
+    ctx.checkpoint()?;
+    let _span = ctx.phase_span(Phase::Combine);
+    let mut reductions = try_filled_vec(comb.identity(), m)?;
+    let mut step = 0usize;
+    for space in spaces.iter() {
+        for (ti, &label) in space.touched.iter().enumerate() {
+            ctx.checkpoint_every(step)?;
+            step += 1;
+            reductions[label] = comb.combine(reductions[label], space.vals[ti]);
+        }
+    }
+    Ok(reductions)
+}
+
+/// The default worker count: [`ExecConfig::threads`] when set, otherwise
+/// the machine's available parallelism.
+fn default_parts(n: usize, cfg: ExecConfig) -> usize {
+    chunk_count(n, cfg.effective_threads())
+}
+
+/// Chunked multiprefix with the default thread count (available
+/// parallelism). Preconditions as elsewhere (validated by
+/// [`crate::api::multiprefix`]): equal lengths, labels `< m`.
+pub fn multiprefix_chunked<T: Element, O: CombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+) -> MultiprefixOutput<T> {
+    multiprefix_chunked_with_threads(
+        values,
+        labels,
+        m,
+        op,
+        ExecConfig::default().effective_threads(),
+    )
+}
+
+/// [`multiprefix_chunked`] on exactly `threads` workers (still subject to
+/// [`MIN_CHUNK_LEN`]: tiny inputs collapse to one inline chunk).
+pub fn multiprefix_chunked_with_threads<T: Element, O: CombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    threads: usize,
+) -> MultiprefixOutput<T> {
+    multiprefix_chunked_with_parts(values, labels, m, op, chunk_count(values.len(), threads))
+}
+
+/// [`multiprefix_chunked`] split into exactly `parts` chunks (clamped to
+/// `[1, n]`), bypassing [`MIN_CHUNK_LEN`] — the tuning knob the
+/// chunks-per-thread bench sweep turns, and the way tests force multi-chunk
+/// execution on small inputs.
+pub fn multiprefix_chunked_with_parts<T: Element, O: CombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    parts: usize,
+) -> MultiprefixOutput<T> {
+    let mut ws = ChunkedWorkspace::new();
+    run_prefix(
+        values,
+        labels,
+        m,
+        PlainComb(op),
+        parts,
+        &mut ws,
+        &RunContext::new(),
+    )
+    .expect("chunked engine failed on the plain (infallible) path")
+}
+
+/// Chunked multireduce: per-label reductions only.
+pub fn multireduce_chunked<T: Element, O: CombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+) -> Vec<T> {
+    let mut ws = ChunkedWorkspace::new();
+    run_reduce(
+        values,
+        labels,
+        m,
+        PlainComb(op),
+        default_parts(values.len(), ExecConfig::default()),
+        &mut ws,
+        &RunContext::new(),
+    )
+    .expect("chunked engine failed on the plain (infallible) path")
+}
+
+/// Hardened chunked multiprefix (see [`crate::exec`] for the contract):
+/// fallible allocation, guarded combines under a checking
+/// [`OverflowPolicy`] (a trip yields `Ok(None)` and the caller replays the
+/// serial engine), and panic containment for the whole engine body
+/// including its scoped workers.
+pub fn try_multiprefix_chunked<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+) -> TryEngineResult<MultiprefixOutput<T>> {
+    try_multiprefix_chunked_ctx(values, labels, m, op, policy, &RunContext::new())
+}
+
+/// [`try_multiprefix_chunked`] under a [`RunContext`]: the context is
+/// polled at phase boundaries and every
+/// [`crate::resilience::CHECK_STRIDE`] elements (chunk-locally in the
+/// parallel phases), and its chaos stream's worker faults fire at each
+/// local-phase worker's entry.
+pub fn try_multiprefix_chunked_ctx<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+    ctx: &RunContext,
+) -> TryEngineResult<MultiprefixOutput<T>> {
+    try_multiprefix_chunked_cfg_ctx(
+        values,
+        labels,
+        m,
+        op,
+        ExecConfig::default().overflow(policy),
+        ctx,
+    )
+}
+
+/// [`try_multiprefix_chunked_ctx`] taking the policy *and* thread count
+/// from an [`ExecConfig`] — the form the dispatcher and [`crate::api`]
+/// call.
+pub fn try_multiprefix_chunked_cfg_ctx<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    cfg: ExecConfig,
+    ctx: &RunContext,
+) -> TryEngineResult<MultiprefixOutput<T>> {
+    let mut ws = ChunkedWorkspace::new();
+    try_multiprefix_chunked_ws_ctx(values, labels, m, op, cfg, &mut ws, ctx)
+}
+
+/// [`try_multiprefix_chunked_cfg_ctx`] running in a caller-supplied
+/// [`ChunkedWorkspace`] — the zero-allocation steady-state entry the
+/// [`crate::service::Service`] uses via its [`WorkspacePool`]. The
+/// workspace may be cold, warm, or abandoned by a previous panicked run;
+/// every run re-validates it.
+pub fn try_multiprefix_chunked_ws_ctx<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    cfg: ExecConfig,
+    ws: &mut ChunkedWorkspace<T>,
+    ctx: &RunContext,
+) -> TryEngineResult<MultiprefixOutput<T>> {
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let tripped = AtomicBool::new(false);
+        let guard = CheckGuard::new(op, cfg.overflow, &tripped);
+        let out = run_prefix(
+            values,
+            labels,
+            m,
+            guard,
+            default_parts(values.len(), cfg),
+            ws,
+            ctx,
+        )?;
+        if tripped.load(Ordering::Relaxed) {
+            Ok(None)
+        } else {
+            Ok(Some(out))
+        }
+    }));
+    // AssertUnwindSafe is sound: on panic the partially-built output dies
+    // inside the closure, and the workspace (which the caller can observe)
+    // is re-validated wholesale by the next run's `begin_use`.
+    caught.unwrap_or(Err(MpError::EnginePanicked))
+}
+
+/// Hardened chunked multireduce. Same contract as
+/// [`try_multiprefix_chunked`]; as with every parallel engine, a checking
+/// policy is canonicalized by the *caller* (dispatcher / API) replaying
+/// serially.
+pub fn try_multireduce_chunked<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+) -> TryEngineResult<Vec<T>> {
+    try_multireduce_chunked_ctx(values, labels, m, op, policy, &RunContext::new())
+}
+
+/// [`try_multireduce_chunked`] under a [`RunContext`].
+pub fn try_multireduce_chunked_ctx<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    policy: OverflowPolicy,
+    ctx: &RunContext,
+) -> TryEngineResult<Vec<T>> {
+    try_multireduce_chunked_cfg_ctx(
+        values,
+        labels,
+        m,
+        op,
+        ExecConfig::default().overflow(policy),
+        ctx,
+    )
+}
+
+/// [`try_multireduce_chunked_ctx`] with policy and threads from an
+/// [`ExecConfig`].
+pub fn try_multireduce_chunked_cfg_ctx<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    cfg: ExecConfig,
+    ctx: &RunContext,
+) -> TryEngineResult<Vec<T>> {
+    let mut ws = ChunkedWorkspace::new();
+    try_multireduce_chunked_ws_ctx(values, labels, m, op, cfg, &mut ws, ctx)
+}
+
+/// [`try_multireduce_chunked_cfg_ctx`] in a caller-supplied workspace.
+pub fn try_multireduce_chunked_ws_ctx<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    cfg: ExecConfig,
+    ws: &mut ChunkedWorkspace<T>,
+    ctx: &RunContext,
+) -> TryEngineResult<Vec<T>> {
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let tripped = AtomicBool::new(false);
+        let guard = CheckGuard::new(op, cfg.overflow, &tripped);
+        let red = run_reduce(
+            values,
+            labels,
+            m,
+            guard,
+            default_parts(values.len(), cfg),
+            ws,
+            ctx,
+        )?;
+        if tripped.load(Ordering::Relaxed) {
+            Ok(None)
+        } else {
+            Ok(Some(red))
+        }
+    }));
+    caught.unwrap_or(Err(MpError::EnginePanicked))
+}
+
+/// A prepared chunked plan: the label structure — chunk boundaries, each
+/// element's compact slot, each chunk's touched-label list — discovered
+/// once and reused across runs over different value vectors (the paper's
+/// "many multiprefixes over one index pattern" amortization, cf.
+/// [`crate::spinetree::PreparedMultiprefix`]).
+///
+/// A planned run skips all label hashing in the local and apply phases:
+/// both become pure array passes over precomputed slots.
+#[derive(Debug, Clone)]
+pub struct ChunkedPlan {
+    n: usize,
+    m: usize,
+    chunk_len: usize,
+    chunks: usize,
+    /// Per-element slot in its chunk's compact table.
+    elem_slot: Vec<u32>,
+    /// Concatenated per-chunk touched-label lists, first-touch order.
+    touched: Vec<usize>,
+    /// `touched[touched_off[c]..touched_off[c + 1]]` is chunk `c`'s list.
+    touched_off: Vec<usize>,
+}
+
+impl ChunkedPlan {
+    /// Build a plan for `labels` over `m` buckets with the default thread
+    /// count. Validates every label (`< m`).
+    pub fn new(labels: &[usize], m: usize) -> Result<Self, MpError> {
+        Self::with_threads(labels, m, ExecConfig::default().effective_threads())
+    }
+
+    /// [`ChunkedPlan::new`] for an explicit worker count.
+    pub fn with_threads(labels: &[usize], m: usize, threads: usize) -> Result<Self, MpError> {
+        validate(&labels.len(), labels, m)?;
+        let n = labels.len();
+        let chunks = chunk_count(n, threads);
+        let chunk_len = if n == 0 { 1 } else { n.div_ceil(chunks) };
+        let chunks = if n == 0 { 0 } else { n.div_ceil(chunk_len) };
+        let mut elem_slot = Vec::new();
+        elem_slot
+            .try_reserve_exact(n)
+            .map_err(|_| MpError::AllocationFailed {
+                bytes: n.saturating_mul(4),
+            })?;
+        let mut touched = Vec::new();
+        let mut touched_off = Vec::with_capacity(chunks + 1);
+        touched_off.push(0);
+        // () values: the ChunkSpace machinery reused purely as a label map.
+        let mut space = ChunkSpace::<()>::default();
+        let direct = use_direct(chunks, n.max(1), m);
+        for chunk in labels.chunks(chunk_len.max(1)) {
+            space.begin_use(m, chunk.len().min(m), direct)?;
+            for &l in chunk {
+                elem_slot.push(space.slot_or_insert(l, ()) as u32);
+            }
+            touched.extend_from_slice(&space.touched);
+            touched_off.push(touched.len());
+        }
+        Ok(ChunkedPlan {
+            n,
+            m,
+            chunk_len: chunk_len.max(1),
+            chunks,
+            elem_slot,
+            touched,
+            touched_off,
+        })
+    }
+
+    /// Elements the plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the plan covers zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The bucket count `m`.
+    pub fn buckets(&self) -> usize {
+        self.m
+    }
+
+    /// The number of chunks the plan splits the vector into.
+    pub fn chunks(&self) -> usize {
+        self.chunks
+    }
+
+    /// Total distinct labels summed over chunks (the combine-phase work).
+    pub fn total_touched(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Run the plan over `values` (`values.len()` must equal
+    /// [`ChunkedPlan::len`]).
+    pub fn run<T: Element, O: CombineOp<T>>(&self, values: &[T], op: O) -> MultiprefixOutput<T> {
+        self.run_core(values, PlainComb(op), &RunContext::new())
+            .expect("chunked plan failed on the plain (infallible) path")
+    }
+
+    /// Hardened planned run (policy trip → `Ok(None)`, caller replays
+    /// serially).
+    pub fn try_run<T: Element, O: TryCombineOp<T>>(
+        &self,
+        values: &[T],
+        op: O,
+        policy: OverflowPolicy,
+    ) -> TryEngineResult<MultiprefixOutput<T>> {
+        self.try_run_ctx(values, op, policy, &RunContext::new())
+    }
+
+    /// [`ChunkedPlan::try_run`] under a [`RunContext`].
+    pub fn try_run_ctx<T: Element, O: TryCombineOp<T>>(
+        &self,
+        values: &[T],
+        op: O,
+        policy: OverflowPolicy,
+        ctx: &RunContext,
+    ) -> TryEngineResult<MultiprefixOutput<T>> {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let tripped = AtomicBool::new(false);
+            let guard = CheckGuard::new(op, policy, &tripped);
+            let out = self.run_core(values, guard, ctx)?;
+            if tripped.load(Ordering::Relaxed) {
+                Ok(None)
+            } else {
+                Ok(Some(out))
+            }
+        }));
+        caught.unwrap_or(Err(MpError::EnginePanicked))
+    }
+
+    fn run_core<T: Element, C: Comb<T>>(
+        &self,
+        values: &[T],
+        comb: C,
+        ctx: &RunContext,
+    ) -> Result<MultiprefixOutput<T>, MpError> {
+        assert_eq!(
+            values.len(),
+            self.n,
+            "plan built for {} elements, run over {}",
+            self.n,
+            values.len()
+        );
+        ctx.checkpoint()?;
+        if self.n == 0 {
+            return Ok(MultiprefixOutput {
+                sums: Vec::new(),
+                reductions: try_filled_vec(comb.identity(), self.m)?,
+            });
+        }
+        let mut sums = try_filled_vec(comb.identity(), self.n)?;
+        // Per-chunk summaries, sized to each chunk's distinct-label count.
+        let mut chunk_vals: Vec<Vec<T>> = Vec::with_capacity(self.chunks);
+        for c in 0..self.chunks {
+            chunk_vals.push(try_filled_vec(
+                comb.identity(),
+                self.touched_off[c + 1] - self.touched_off[c],
+            )?);
+        }
+
+        // Local: pure slot-indexed passes, no hashing.
+        {
+            let _span = ctx.phase_span(Phase::Local);
+            let items: Vec<_> = chunk_vals
+                .iter_mut()
+                .zip(sums.chunks_mut(self.chunk_len))
+                .zip(
+                    values
+                        .chunks(self.chunk_len)
+                        .zip(self.elem_slot.chunks(self.chunk_len)),
+                )
+                .collect();
+            run_chunks(items, |idx, ((vals, s), (v, slots))| {
+                if let Some(chaos) = ctx.chaos() {
+                    chaos.inject_chunk_worker(idx);
+                }
+                for (i, ((si, &vi), &slot)) in s.iter_mut().zip(v).zip(slots).enumerate() {
+                    ctx.checkpoint_every(i)?;
+                    let slot = slot as usize;
+                    *si = vals[slot];
+                    vals[slot] = comb.combine(vals[slot], vi);
+                }
+                Ok(())
+            })?;
+        }
+
+        // Combine: exclusive scan per label across chunk summaries.
+        ctx.checkpoint()?;
+        let reductions = {
+            let _span = ctx.phase_span(Phase::Combine);
+            let mut global = ChunkSpace::<T>::default();
+            global.begin_use(
+                self.m,
+                self.touched.len().min(self.m),
+                use_direct(1, self.n, self.m),
+            )?;
+            let mut step = 0usize;
+            for (c, vals) in chunk_vals.iter_mut().enumerate() {
+                let list = &self.touched[self.touched_off[c]..self.touched_off[c + 1]];
+                for (ti, &label) in list.iter().enumerate() {
+                    ctx.checkpoint_every(step)?;
+                    step += 1;
+                    let gs = global.slot_or_insert(label, comb.identity());
+                    let offset = global.vals[gs];
+                    global.vals[gs] = comb.combine(offset, vals[ti]);
+                    vals[ti] = offset;
+                }
+            }
+            let mut reductions = try_filled_vec(comb.identity(), self.m)?;
+            for (gs, &label) in global.touched.iter().enumerate() {
+                reductions[label] = global.vals[gs];
+            }
+            reductions
+        };
+
+        // Apply.
+        ctx.checkpoint()?;
+        {
+            let _span = ctx.phase_span(Phase::Apply);
+            let items: Vec<_> = chunk_vals
+                .iter()
+                .zip(sums.chunks_mut(self.chunk_len))
+                .zip(self.elem_slot.chunks(self.chunk_len))
+                .collect();
+            run_chunks(items, |_, ((vals, s), slots)| {
+                for (i, (si, &slot)) in s.iter_mut().zip(slots).enumerate() {
+                    ctx.checkpoint_every(i)?;
+                    *si = comb.combine(vals[slot as usize], *si);
+                }
+                Ok(())
+            })?;
+        }
+        Ok(MultiprefixOutput { sums, reductions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{FirstLast, Max, Plus};
+    use crate::serial::{multiprefix_serial, multireduce_serial};
+
+    fn mixed_input(n: usize, m: usize) -> (Vec<i64>, Vec<usize>) {
+        let values = (0..n).map(|i| (i as i64 * 37 % 101) - 50).collect();
+        let labels = (0..n).map(|i| (i * 7 + i / 13) % m.max(1)).collect();
+        (values, labels)
+    }
+
+    #[test]
+    fn matches_serial_small() {
+        let (values, labels) = mixed_input(100, 7);
+        assert_eq!(
+            multiprefix_chunked(&values, &labels, 7, Plus),
+            multiprefix_serial(&values, &labels, 7, Plus)
+        );
+    }
+
+    #[test]
+    fn matches_serial_multi_chunk() {
+        let (values, labels) = mixed_input(50_000, 97);
+        assert_eq!(
+            multiprefix_chunked_with_threads(&values, &labels, 97, Plus, 7),
+            multiprefix_serial(&values, &labels, 97, Plus)
+        );
+    }
+
+    #[test]
+    fn every_part_count_is_correct() {
+        let (values, labels) = mixed_input(10_000, 23);
+        let expect = multiprefix_serial(&values, &labels, 23, Plus);
+        for parts in [1usize, 2, 3, 5, 16, 100, 9_999, 10_000, 20_000] {
+            assert_eq!(
+                multiprefix_chunked_with_parts(&values, &labels, 23, Plus, parts),
+                expect,
+                "parts {parts}"
+            );
+        }
+    }
+
+    #[test]
+    fn probed_tables_when_m_dwarfs_n() {
+        // m >> n forces the probed (open-addressed) label maps.
+        let n = 5_000;
+        let m = 1_000_000;
+        let values: Vec<i64> = (0..n as i64).collect();
+        let labels: Vec<usize> = (0..n).map(|i| (i * 104_729) % m).collect();
+        assert_eq!(
+            multiprefix_chunked_with_parts(&values, &labels, m, Plus, 4),
+            multiprefix_serial(&values, &labels, m, Plus)
+        );
+    }
+
+    #[test]
+    fn noncommutative_across_chunk_boundaries() {
+        let n = 30_000;
+        let values: Vec<(i32, i32)> = (0..n as i32).map(|i| (i, i)).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 5).collect();
+        assert_eq!(
+            multiprefix_chunked_with_threads(&values, &labels, 5, FirstLast, 6),
+            multiprefix_serial(&values, &labels, 5, FirstLast)
+        );
+    }
+
+    #[test]
+    fn max_identity_for_absent_labels() {
+        let (values, labels) = mixed_input(10_000, 3);
+        let out = multiprefix_chunked(&values, &labels, 10, Max);
+        assert_eq!(out, multiprefix_serial(&values, &labels, 10, Max));
+        assert_eq!(out.reductions[9], i64::MIN);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let out = multiprefix_chunked::<i64, _>(&[], &[], 4, Plus);
+        assert!(out.sums.is_empty());
+        assert_eq!(out.reductions, vec![0; 4]);
+        let out = multiprefix_chunked(&[9i64], &[2], 4, Plus);
+        assert_eq!(out.sums, vec![0]);
+        assert_eq!(out.reductions, vec![0, 0, 9, 0]);
+    }
+
+    #[test]
+    fn multireduce_agrees() {
+        let (values, labels) = mixed_input(40_000, 1000);
+        assert_eq!(
+            multireduce_chunked(&values, &labels, 1000, Plus),
+            multireduce_serial(&values, &labels, 1000, Plus)
+        );
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        // One workspace across shapes that flip direct/probed modes and
+        // chunk counts: results must match a fresh run every time.
+        let mut ws = ChunkedWorkspace::new();
+        for &(n, m) in &[(10_000usize, 16usize), (257, 100_000), (20_000, 3), (0, 5)] {
+            let (values, labels) = mixed_input(n, m);
+            let got = try_multiprefix_chunked_ws_ctx(
+                &values,
+                &labels,
+                m,
+                Plus,
+                ExecConfig::default().threads(4),
+                &mut ws,
+                &RunContext::new(),
+            )
+            .unwrap()
+            .unwrap();
+            assert_eq!(
+                got,
+                multiprefix_serial(&values, &labels, m, Plus),
+                "n={n} m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn checked_policy_trips_to_none() {
+        // Overflow at a chunk boundary region: the engine reports the trip
+        // (Ok(None)); canonicalization is the caller's serial replay.
+        let mut values = vec![1i64; 10_000];
+        values[5_000] = i64::MAX;
+        let labels = vec![0usize; 10_000];
+        let got = try_multiprefix_chunked_ctx(
+            &values,
+            &labels,
+            1,
+            Plus,
+            OverflowPolicy::Checked,
+            &RunContext::new(),
+        )
+        .unwrap();
+        assert!(got.is_none(), "checked overflow must trip");
+        // Wrap never trips.
+        let got = try_multiprefix_chunked(&values, &labels, 1, Plus, OverflowPolicy::Wrap)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, multiprefix_serial(&values, &labels, 1, Plus));
+    }
+
+    #[test]
+    fn cancellation_at_any_checkpoint_is_clean() {
+        use crate::resilience::CancelToken;
+        let (values, labels) = mixed_input(20_000, 31);
+        for k in [0u64, 1, 2, 3, 5, 8, 13] {
+            let ctx = RunContext::new().with_cancel(&CancelToken::cancel_after(k));
+            let got =
+                try_multiprefix_chunked_ctx(&values, &labels, 31, Plus, OverflowPolicy::Wrap, &ctx);
+            match got {
+                Err(MpError::Cancelled) => {}
+                Ok(Some(out)) => {
+                    assert_eq!(out, multiprefix_serial(&values, &labels, 31, Plus), "k={k}")
+                }
+                other => panic!("unexpected outcome at k={k}: {other:?}"),
+            }
+        }
+    }
+
+    /// Miri target (name-matched by the CI `miri` filter): a genuinely
+    /// multi-chunk run — scoped threads, combine scan, probed maps — on an
+    /// input small enough for the interpreter.
+    #[test]
+    fn combine_phase_small_multichunk_for_miri() {
+        let n = 120;
+        let values: Vec<i64> = (0..n as i64).map(|i| i % 9 - 4).collect();
+        let labels: Vec<usize> = (0..n).map(|i| (i * 11) % 7).collect();
+        let expect = multiprefix_serial(&values, &labels, 7, Plus);
+        assert_eq!(
+            multiprefix_chunked_with_parts(&values, &labels, 7, Plus, 5),
+            expect
+        );
+        // Probed-map flavor of the same shape (m >> n).
+        let m = 100_000;
+        let labels: Vec<usize> = (0..n).map(|i| (i * 31_337) % m).collect();
+        assert_eq!(
+            multiprefix_chunked_with_parts(&values, &labels, m, Plus, 5),
+            multiprefix_serial(&values, &labels, m, Plus)
+        );
+    }
+
+    #[test]
+    fn plan_matches_adhoc_and_reruns() {
+        let (values, labels) = mixed_input(25_000, 53);
+        let plan = ChunkedPlan::with_threads(&labels, 53, 4).unwrap();
+        assert_eq!(plan.len(), 25_000);
+        assert!(plan.chunks() >= 1);
+        let expect = multiprefix_serial(&values, &labels, 53, Plus);
+        assert_eq!(plan.run(&values, Plus), expect);
+        // Rerun over different values, same labels.
+        let values2: Vec<i64> = values.iter().map(|v| v * 3 - 1).collect();
+        assert_eq!(
+            plan.run(&values2, Plus),
+            multiprefix_serial(&values2, &labels, 53, Plus)
+        );
+        // Hardened planned run agrees too.
+        let got = plan
+            .try_run(&values, Plus, OverflowPolicy::Wrap)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn plan_rejects_bad_labels_and_wrong_len() {
+        assert!(matches!(
+            ChunkedPlan::new(&[0, 5], 3),
+            Err(MpError::LabelOutOfRange { .. })
+        ));
+        let plan = ChunkedPlan::new(&[0, 1], 2).unwrap();
+        let caught = catch_unwind(AssertUnwindSafe(|| plan.run(&[1i64], Plus)));
+        assert!(caught.is_err(), "length mismatch must be rejected");
+    }
+
+    #[test]
+    fn pool_recycles_up_to_cap() {
+        let pool: WorkspacePool<i64> = WorkspacePool::new(1);
+        assert_eq!(pool.idle(), 0);
+        {
+            let _a = pool.checkout();
+            let _b = pool.checkout();
+            // Both out: pool empty.
+            assert_eq!(pool.idle(), 0);
+        }
+        // Cap is 1: one returned, one discarded.
+        assert_eq!(pool.idle(), 1);
+        {
+            let _a = pool.checkout();
+            assert_eq!(pool.idle(), 0);
+        }
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn panicked_workspace_is_healed_on_reuse() {
+        #[derive(Clone, Copy)]
+        struct PanicAfter(i64);
+        impl CombineOp<i64> for PanicAfter {
+            const COMMUTATIVE: bool = true;
+            fn identity(&self) -> i64 {
+                0
+            }
+            fn combine(&self, a: i64, b: i64) -> i64 {
+                assert!(a < self.0, "boom");
+                a.wrapping_add(b)
+            }
+        }
+        impl TryCombineOp<i64> for PanicAfter {
+            fn checked_combine(&self, a: i64, b: i64) -> Option<i64> {
+                Some(self.combine(a, b))
+            }
+            fn saturating_combine(&self, a: i64, b: i64) -> i64 {
+                self.combine(a, b)
+            }
+        }
+        let values = vec![1i64; 9_000];
+        let labels: Vec<usize> = (0..9_000).map(|i| i % 13).collect();
+        let mut ws = ChunkedWorkspace::new();
+        let cfg = ExecConfig::default().threads(3);
+        let err = try_multiprefix_chunked_ws_ctx(
+            &values,
+            &labels,
+            13,
+            PanicAfter(10),
+            cfg,
+            &mut ws,
+            &RunContext::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err, MpError::EnginePanicked);
+        // Same workspace, sane operator: correct output.
+        let got = try_multiprefix_chunked_ws_ctx(
+            &values,
+            &labels,
+            13,
+            Plus,
+            cfg,
+            &mut ws,
+            &RunContext::new(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(got, multiprefix_serial(&values, &labels, 13, Plus));
+    }
+}

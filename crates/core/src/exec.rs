@@ -97,6 +97,13 @@ pub struct ExecConfig {
     /// unlimited), checked against [`estimate_engine_mem`] before any
     /// allocation happens.
     pub max_mem_bytes: Option<usize>,
+    /// Worker-thread count for the parallel engines (`None` = the machine's
+    /// available parallelism). The `chunked` engine spawns exactly this
+    /// many scoped workers; the `atomic` engine runs inside a scoped rayon
+    /// pool of this size instead of the global pool — so embeddings (like
+    /// the [`crate::service::Service`] worker pool) can cap per-request
+    /// parallelism and avoid oversubscribing the machine.
+    pub threads: Option<usize>,
 }
 
 impl ExecConfig {
@@ -116,6 +123,25 @@ impl ExecConfig {
     pub fn max_mem_bytes(mut self, bytes: usize) -> Self {
         self.max_mem_bytes = Some(bytes);
         self
+    }
+
+    /// Set the worker-thread count for the parallel engines (clamped to at
+    /// least 1 at use).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The worker-thread count to run with: [`ExecConfig::threads`] when
+    /// set, otherwise the machine's available parallelism; never zero.
+    pub fn effective_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .max(1)
     }
 
     /// Reject configurations that can never admit a request: a bucket

@@ -25,6 +25,7 @@
 //! | [`Engine::Serial`] | [`serial`] | the paper's Figure 2 bucket loop — the reference semantics |
 //! | [`Engine::Spinetree`] | [`spinetree`] | the paper's `O(√n)`-step CRCW-ARB algorithm, executed as the paper did on the CRAY Y-MP: one vector loop per parallel step |
 //! | [`Engine::Blocked`] | [`blocked`] | a production `rayon` engine (chunk-local buckets → per-label scan across chunks → replay); deterministic and work-efficient |
+//! | [`Engine::Chunked`] | [`chunked`] | the two-level local/combine/apply engine: compact touched-label tables (O(distinct), never O(m)), scoped worker threads, reusable pooled workspaces — the default primary on multicore hosts |
 //! | [`Engine::AtomicSpinetree`] | [`atomic`] | a genuinely concurrent spinetree build for `i64`/`Plus`: the overwrite-and-test races are resolved by relaxed atomic stores, a faithful CRCW-ARB realization |
 //!
 //! All engines produce results identical to [`serial::multiprefix_serial`]
@@ -103,6 +104,7 @@
 pub mod api;
 pub mod atomic;
 pub mod blocked;
+pub mod chunked;
 pub mod error;
 pub mod exec;
 pub mod fetch_op;
@@ -125,6 +127,7 @@ pub use api::{
     multiprefix, multiprefix_inclusive, multiprefix_verified, multireduce, try_multiprefix,
     try_multiprefix_ctx, try_multireduce, try_multireduce_ctx, Engine,
 };
+pub use chunked::{ChunkedPlan, ChunkedWorkspace, WorkspacePool};
 pub use error::MpError;
 pub use exec::{ExecConfig, OverflowPolicy};
 pub use obs::{MemoryRecorder, ObsSnapshot, Recorder};

@@ -50,8 +50,8 @@ use std::time::Instant;
 ///
 /// The spinetree engines ([`EngineKind::Spinetree`], [`EngineKind::Atomic`])
 /// run `Init → Spinetree → Rowsums → Spinesums → Multisums`; the blocked
-/// engine's three passes are `Local → Combine → Apply`; the serial engine
-/// is the single `Figure2` bucket loop.
+/// and chunked engines' three passes are `Local → Combine → Apply`; the
+/// serial engine is the single `Figure2` bucket loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Workspace allocation / layout choice before the first parallel step.
@@ -100,7 +100,9 @@ impl Phase {
                 Phase::Spinesums,
                 Phase::Multisums,
             ],
-            EngineKind::Blocked => &[Phase::Local, Phase::Combine, Phase::Apply],
+            EngineKind::Blocked | EngineKind::Chunked => {
+                &[Phase::Local, Phase::Combine, Phase::Apply]
+            }
             EngineKind::Serial => &[Phase::Figure2],
         }
     }
@@ -123,6 +125,11 @@ pub fn phase_key(engine: EngineKind, phase: Phase) -> &'static str {
     }
     keys! {
         Atomic / "atomic" => [
+            Init / "init", Spinetree / "spinetree", Rowsums / "rowsums",
+            Spinesums / "spinesums", Multisums / "multisums",
+            Local / "local", Combine / "combine", Apply / "apply", Figure2 / "figure2",
+        ],
+        Chunked / "chunked" => [
             Init / "init", Spinetree / "spinetree", Rowsums / "rowsums",
             Spinesums / "spinesums", Multisums / "multisums",
             Local / "local", Combine / "combine", Apply / "apply", Figure2 / "figure2",

@@ -156,6 +156,8 @@ impl ChaosPlan {
             stalls: AtomicUsize::new(0),
             worker_panics: AtomicUsize::new(0),
             worker_stalls: AtomicUsize::new(0),
+            chunk_panics: AtomicUsize::new(0),
+            chunk_stalls: AtomicUsize::new(0),
         })
     }
 }
@@ -170,6 +172,8 @@ pub struct ChaosState {
     stalls: AtomicUsize,
     worker_panics: AtomicUsize,
     worker_stalls: AtomicUsize,
+    chunk_panics: AtomicUsize,
+    chunk_stalls: AtomicUsize,
 }
 
 impl ChaosState {
@@ -203,6 +207,16 @@ impl ChaosState {
         self.worker_stalls.load(Ordering::Relaxed)
     }
 
+    /// Chunk-worker panics injected so far (chunked engine local phase).
+    pub fn chunk_panics_injected(&self) -> usize {
+        self.chunk_panics.load(Ordering::Relaxed)
+    }
+
+    /// Chunk-worker stalls injected so far.
+    pub fn chunk_stalls_injected(&self) -> usize {
+        self.chunk_stalls.load(Ordering::Relaxed)
+    }
+
     /// Total faults injected so far.
     pub fn faults_injected(&self) -> usize {
         self.panics_injected()
@@ -210,6 +224,8 @@ impl ChaosState {
             + self.stalls_injected()
             + self.worker_panics_injected()
             + self.worker_stalls_injected()
+            + self.chunk_panics_injected()
+            + self.chunk_stalls_injected()
     }
 
     /// One checkpoint draw on behalf of `engine`. May panic, err, stall, or
@@ -267,6 +283,38 @@ impl ChaosState {
             panic!("chaos: injected worker panic (worker {worker})");
         } else if draw < stall_edge {
             self.worker_stalls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(self.plan.stall);
+        }
+    }
+
+    /// One **chunk-worker** draw on behalf of the chunked engine's local
+    /// worker `worker`. Fires only for a plan explicitly scoped to the
+    /// chunked engine (`only(EngineKind::Chunked)`); every other plan burns
+    /// **no draw**, keeping the engine-checkpoint sequence and the service
+    /// pool's worker-panic accounting (which equates its own panics with
+    /// `worker_panics_injected()`) untouched. A fired panic unwinds through
+    /// the scope join into the engine's `catch_unwind` and surfaces as
+    /// [`MpError::EnginePanicked`] — the dispatcher's retry/fallback path.
+    pub(crate) fn inject_chunk_worker(&self, worker: usize) {
+        if self.plan.only != Some(EngineKind::Chunked) {
+            return;
+        }
+        if self.plan.worker_panic_ppm == 0 && self.plan.worker_stall_ppm == 0 {
+            return;
+        }
+        if let Some(only) = self.plan.only_worker {
+            if worker != only {
+                return;
+            }
+        }
+        let draw = self.next_draw() % 1_000_000;
+        let panic_edge = self.plan.worker_panic_ppm as u64;
+        let stall_edge = panic_edge + self.plan.worker_stall_ppm as u64;
+        if draw < panic_edge {
+            self.chunk_panics.fetch_add(1, Ordering::Relaxed);
+            panic!("chaos: injected chunk-worker panic (chunk {worker})");
+        } else if draw < stall_edge {
+            self.chunk_stalls.fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(self.plan.stall);
         }
     }

@@ -257,6 +257,12 @@ impl RunContext {
         self.deadline
     }
 
+    /// The attached chaos stream, if any — used by the chunked engine's
+    /// local phase to fire per-chunk worker faults.
+    pub(crate) fn chaos(&self) -> Option<&ChaosState> {
+        self.chaos.as_deref()
+    }
+
     /// True when every checkpoint is a no-op (no deadline, cancel or chaos).
     pub fn is_unbounded(&self) -> bool {
         self.deadline.is_none() && self.cancel.is_none() && self.chaos.is_none()

@@ -8,7 +8,7 @@
 //! [`Dispatcher`] packages that:
 //!
 //! * a configurable **fallback chain** of [`EngineKind`]s, tried in order
-//!   (default `Blocked → Spinetree → Serial`);
+//!   (default `Chunked → Blocked → Spinetree → Serial`);
 //! * per-attempt and per-request **deadlines** and a caller-supplied
 //!   [`crate::resilience::CancelToken`], threaded into every engine via
 //!   [`crate::resilience::RunContext`] checkpoints;
@@ -27,8 +27,14 @@
 //! not in the outcome space: engines are checkpoint-bounded and the
 //! dispatcher contains their panics.
 
-use crate::atomic::{try_multiprefix_atomic_ctx, try_multireduce_atomic_ctx, AtomicCombine};
+use crate::atomic::{
+    try_multiprefix_atomic_cfg_ctx, try_multireduce_atomic_cfg_ctx, AtomicCombine,
+};
 use crate::blocked::{try_multiprefix_blocked_ctx, try_multireduce_blocked_ctx};
+use crate::chunked::{
+    try_multiprefix_chunked_cfg_ctx, try_multiprefix_chunked_ws_ctx,
+    try_multireduce_chunked_cfg_ctx, try_multireduce_chunked_ws_ctx, ChunkedWorkspace,
+};
 use crate::error::MpError;
 use crate::exec::{estimate_engine_mem, ExecConfig, TryEngineResult};
 use crate::obs::Recorder;
@@ -54,6 +60,9 @@ pub enum EngineKind {
     /// The genuinely concurrent CRCW-ARB engine ([`crate::atomic`];
     /// `i64` + commutative operators only).
     Atomic,
+    /// The two-level local/combine/apply engine with compact reusable
+    /// bucket tables ([`crate::chunked`]) — the default primary.
+    Chunked,
     /// The chunked rayon engine ([`crate::blocked`]).
     Blocked,
     /// The paper's `O(√n)`-step spinetree engine ([`crate::spinetree`]).
@@ -65,8 +74,9 @@ pub enum EngineKind {
 
 impl EngineKind {
     /// All engine kinds, in default-chain preference order.
-    pub const ALL: [EngineKind; 4] = [
+    pub const ALL: [EngineKind; 5] = [
         EngineKind::Atomic,
+        EngineKind::Chunked,
         EngineKind::Blocked,
         EngineKind::Spinetree,
         EngineKind::Serial,
@@ -75,9 +85,10 @@ impl EngineKind {
     fn index(self) -> usize {
         match self {
             EngineKind::Atomic => 0,
-            EngineKind::Blocked => 1,
-            EngineKind::Spinetree => 2,
-            EngineKind::Serial => 3,
+            EngineKind::Chunked => 1,
+            EngineKind::Blocked => 2,
+            EngineKind::Spinetree => 3,
+            EngineKind::Serial => 4,
         }
     }
 
@@ -97,6 +108,7 @@ impl EngineKind {
         }
         match self {
             EngineKind::Atomic => keys!("atomic"),
+            EngineKind::Chunked => keys!("chunked"),
             EngineKind::Blocked => keys!("blocked"),
             EngineKind::Spinetree => keys!("spinetree"),
             EngineKind::Serial => keys!("serial"),
@@ -108,6 +120,7 @@ impl std::fmt::Display for EngineKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let name = match self {
             EngineKind::Atomic => "atomic",
+            EngineKind::Chunked => "chunked",
             EngineKind::Blocked => "blocked",
             EngineKind::Spinetree => "spinetree",
             EngineKind::Serial => "serial",
@@ -165,6 +178,7 @@ impl Default for DispatcherConfig {
     fn default() -> Self {
         DispatcherConfig {
             chain: vec![
+                EngineKind::Chunked,
                 EngineKind::Blocked,
                 EngineKind::Spinetree,
                 EngineKind::Serial,
@@ -259,7 +273,7 @@ impl JitterRng {
 #[derive(Debug)]
 pub struct Dispatcher {
     cfg: DispatcherConfig,
-    health: [EngineHealth; 4],
+    health: [EngineHealth; 5],
     recorder: Option<Arc<dyn Recorder>>,
 }
 
@@ -281,6 +295,7 @@ impl Dispatcher {
         // re-runs with the real element size.
         cfg.exec.validate_for(1)?;
         let health = [
+            EngineHealth::new(cfg.breaker),
             EngineHealth::new(cfg.breaker),
             EngineHealth::new(cfg.breaker),
             EngineHealth::new(cfg.breaker),
@@ -337,8 +352,41 @@ impl Dispatcher {
         op: O,
         opts: &DispatchOpts,
     ) -> Result<DispatchOutcome<MultiprefixOutput<T>>, MpError> {
+        self.dispatch_inner(values, labels, m, op, opts, None)
+    }
+
+    /// [`Self::dispatch`] running any [`EngineKind::Chunked`] attempt in
+    /// the caller's [`ChunkedWorkspace`] instead of fresh scratch — the
+    /// zero-steady-state-allocation path a [`crate::service::Service`] uses
+    /// with its workspace pool. Other engines in the chain are unaffected.
+    pub fn dispatch_pooled<T: Element, O: TryCombineOp<T>>(
+        &self,
+        values: &[T],
+        labels: &[usize],
+        m: usize,
+        op: O,
+        opts: &DispatchOpts,
+        ws: &mut ChunkedWorkspace<T>,
+    ) -> Result<DispatchOutcome<MultiprefixOutput<T>>, MpError> {
+        self.dispatch_inner(values, labels, m, op, opts, Some(ws))
+    }
+
+    fn dispatch_inner<T: Element, O: TryCombineOp<T>>(
+        &self,
+        values: &[T],
+        labels: &[usize],
+        m: usize,
+        op: O,
+        opts: &DispatchOpts,
+        ws: Option<&mut ChunkedWorkspace<T>>,
+    ) -> Result<DispatchOutcome<MultiprefixOutput<T>>, MpError> {
         self.validate_request::<T>(values, labels, m)?;
         let policy = self.cfg.exec.overflow;
+        let exec = self.cfg.exec;
+        // RefCell, not &mut, because `drive` takes a Fn it may call once per
+        // attempt; a retried attempt re-borrows after the previous borrow
+        // (even one dropped mid-unwind) has ended.
+        let ws_cell = ws.map(std::cell::RefCell::new);
         self.drive(
             opts,
             |kind| kind != EngineKind::Atomic,
@@ -353,6 +401,15 @@ impl Dispatcher {
                     EngineKind::Blocked => {
                         try_multiprefix_blocked_ctx(values, labels, m, op, policy, ctx)
                     }
+                    EngineKind::Chunked => match &ws_cell {
+                        Some(cell) => {
+                            let mut ws = cell.borrow_mut();
+                            try_multiprefix_chunked_ws_ctx(
+                                values, labels, m, op, exec, &mut ws, ctx,
+                            )
+                        }
+                        None => try_multiprefix_chunked_cfg_ctx(values, labels, m, op, exec, ctx),
+                    },
                     EngineKind::Atomic => unreachable!(
                         "invariant: Atomic is filtered out of generic dispatch by `supports`"
                     ),
@@ -380,6 +437,7 @@ impl Dispatcher {
     ) -> Result<DispatchOutcome<MultiprefixOutput<i64>>, MpError> {
         self.validate_request::<i64>(values, labels, m)?;
         let policy = self.cfg.exec.overflow;
+        let exec = self.cfg.exec;
         self.drive(
             opts,
             |_| true,
@@ -394,8 +452,11 @@ impl Dispatcher {
                     EngineKind::Blocked => {
                         try_multiprefix_blocked_ctx(values, labels, m, op, policy, ctx)
                     }
+                    EngineKind::Chunked => {
+                        try_multiprefix_chunked_cfg_ctx(values, labels, m, op, exec, ctx)
+                    }
                     EngineKind::Atomic => {
-                        try_multiprefix_atomic_ctx(values, labels, m, op, policy, ctx)
+                        try_multiprefix_atomic_cfg_ctx(values, labels, m, op, exec, ctx)
                     }
                 };
                 match tried? {
@@ -418,9 +479,37 @@ impl Dispatcher {
         op: O,
         opts: &DispatchOpts,
     ) -> Result<DispatchOutcome<Vec<T>>, MpError> {
+        self.dispatch_reduce_inner(values, labels, m, op, opts, None)
+    }
+
+    /// [`Self::dispatch_reduce`] running [`EngineKind::Chunked`] attempts
+    /// in the caller's [`ChunkedWorkspace`] (see [`Self::dispatch_pooled`]).
+    pub fn dispatch_reduce_pooled<T: Element, O: TryCombineOp<T>>(
+        &self,
+        values: &[T],
+        labels: &[usize],
+        m: usize,
+        op: O,
+        opts: &DispatchOpts,
+        ws: &mut ChunkedWorkspace<T>,
+    ) -> Result<DispatchOutcome<Vec<T>>, MpError> {
+        self.dispatch_reduce_inner(values, labels, m, op, opts, Some(ws))
+    }
+
+    fn dispatch_reduce_inner<T: Element, O: TryCombineOp<T>>(
+        &self,
+        values: &[T],
+        labels: &[usize],
+        m: usize,
+        op: O,
+        opts: &DispatchOpts,
+        ws: Option<&mut ChunkedWorkspace<T>>,
+    ) -> Result<DispatchOutcome<Vec<T>>, MpError> {
         self.validate_request::<T>(values, labels, m)?;
         let policy = self.cfg.exec.overflow;
+        let exec = self.cfg.exec;
         let checking = policy.needs_checking();
+        let ws_cell = ws.map(std::cell::RefCell::new);
         self.drive(
             opts,
             |kind| kind != EngineKind::Atomic,
@@ -438,6 +527,15 @@ impl Dispatcher {
                     EngineKind::Blocked => {
                         try_multireduce_blocked_ctx(values, labels, m, op, policy, ctx)
                     }
+                    EngineKind::Chunked => match &ws_cell {
+                        Some(cell) => {
+                            let mut ws = cell.borrow_mut();
+                            try_multireduce_chunked_ws_ctx(
+                                values, labels, m, op, exec, &mut ws, ctx,
+                            )
+                        }
+                        None => try_multireduce_chunked_cfg_ctx(values, labels, m, op, exec, ctx),
+                    },
                     EngineKind::Atomic => unreachable!(
                         "invariant: Atomic is filtered out of generic dispatch by `supports`"
                     ),
@@ -462,6 +560,7 @@ impl Dispatcher {
     ) -> Result<DispatchOutcome<Vec<i64>>, MpError> {
         self.validate_request::<i64>(values, labels, m)?;
         let policy = self.cfg.exec.overflow;
+        let exec = self.cfg.exec;
         let checking = policy.needs_checking();
         self.drive(
             opts,
@@ -480,8 +579,11 @@ impl Dispatcher {
                     EngineKind::Blocked => {
                         try_multireduce_blocked_ctx(values, labels, m, op, policy, ctx)
                     }
+                    EngineKind::Chunked => {
+                        try_multireduce_chunked_cfg_ctx(values, labels, m, op, exec, ctx)
+                    }
                     EngineKind::Atomic => {
-                        try_multireduce_atomic_ctx(values, labels, m, op, policy, ctx)
+                        try_multireduce_atomic_cfg_ctx(values, labels, m, op, exec, ctx)
                     }
                 };
                 match tried? {
@@ -724,9 +826,46 @@ mod tests {
             outcome.output,
             multiprefix_serial(&values, &labels, 11, Plus)
         );
-        assert_eq!(outcome.engine, EngineKind::Blocked);
+        assert_eq!(outcome.engine, EngineKind::Chunked);
         assert_eq!(outcome.attempts, 1);
         assert_eq!(outcome.fallbacks, 0);
+    }
+
+    #[test]
+    fn pooled_dispatch_reuses_workspace_and_matches_oracle() {
+        let (values, labels) = problem(3000, 11);
+        let expect = multiprefix_serial(&values, &labels, 11, Plus);
+        let d = Dispatcher::new(DispatcherConfig::default()).unwrap();
+        let mut ws = ChunkedWorkspace::new();
+        for _ in 0..3 {
+            let outcome = d
+                .dispatch_pooled(
+                    &values,
+                    &labels,
+                    11,
+                    Plus,
+                    &DispatchOpts::default(),
+                    &mut ws,
+                )
+                .unwrap();
+            assert_eq!(outcome.engine, EngineKind::Chunked);
+            assert_eq!(outcome.output, expect);
+        }
+        let reduce = d
+            .dispatch_reduce_pooled(
+                &values,
+                &labels,
+                11,
+                Plus,
+                &DispatchOpts::default(),
+                &mut ws,
+            )
+            .unwrap();
+        assert_eq!(reduce.engine, EngineKind::Chunked);
+        assert_eq!(
+            reduce.output,
+            crate::serial::multireduce_serial(&values, &labels, 11, Plus)
+        );
     }
 
     #[test]

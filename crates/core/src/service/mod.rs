@@ -45,6 +45,7 @@ pub(crate) mod shed;
 pub use coalesce::CoalesceConfig;
 pub use queue::{Priority, Reply, Request, Ticket};
 
+use crate::chunked::WorkspacePool;
 use crate::error::MpError;
 use crate::obs::Recorder;
 use crate::op::TryCombineOp;
@@ -353,12 +354,14 @@ impl<T: Element, O: TryCombineOp<T>> Service<T, O> {
             recorder: cfg.recorder.clone(),
             ..ServiceStats::default()
         };
+        let workers = cfg.workers();
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState::new()),
             work: Condvar::new(),
             space: Condvar::new(),
             handles: Mutex::new(Vec::new()),
             dispatcher,
+            workspaces: WorkspacePool::new(workers),
             op,
             cfg,
             stats,

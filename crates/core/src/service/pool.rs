@@ -20,6 +20,7 @@
 //! dequeue and execution, *after* [`InFlight`] takes ownership: an injected
 //! worker panic therefore exercises exactly the teardown path above.
 
+use crate::chunked::WorkspacePool;
 use crate::error::MpError;
 use crate::op::TryCombineOp;
 use crate::problem::Element;
@@ -46,6 +47,10 @@ pub(crate) struct Shared<T: Element, O> {
     /// Join handles of every worker ever spawned (replacements included).
     pub(crate) handles: Mutex<Vec<JoinHandle<()>>>,
     pub(crate) dispatcher: Dispatcher,
+    /// Reusable chunked-engine workspaces, one per worker in steady state:
+    /// a request served by the chunked primary allocates nothing large
+    /// after warm-up (pinned by the `service_workspace_alloc` test).
+    pub(crate) workspaces: WorkspacePool<T>,
     pub(crate) op: O,
     pub(crate) cfg: ServiceConfig,
     pub(crate) stats: ServiceStats,
@@ -274,14 +279,15 @@ where
             chaos: shared.cfg.chaos.clone(),
         };
         let r = &entry.request;
+        let mut ws = shared.workspaces.checkout();
         match r.kind {
             JobKind::Prefix => shared
                 .dispatcher
-                .dispatch(&r.values, &r.labels, r.m, shared.op, &opts)
+                .dispatch_pooled(&r.values, &r.labels, r.m, shared.op, &opts, &mut ws)
                 .map(|o| Reply::Prefix(o.output)),
             JobKind::Reduce => shared
                 .dispatcher
-                .dispatch_reduce(&r.values, &r.labels, r.m, shared.op, &opts)
+                .dispatch_reduce_pooled(&r.values, &r.labels, r.m, shared.op, &opts, &mut ws)
                 .map(|o| Reply::Reduce(o.output)),
         }
     };
@@ -311,9 +317,10 @@ where
             deadline: members.iter().filter_map(|r| r.deadline).min(),
             chaos: shared.cfg.chaos.clone(),
         };
+        let mut ws = shared.workspaces.checkout();
         shared
             .dispatcher
-            .dispatch(&values, &labels, layout.m, shared.op, &opts)
+            .dispatch_pooled(&values, &labels, layout.m, shared.op, &opts, &mut ws)
             .map(|o| split(&members, &o.output, &layout))
     };
     match replies {

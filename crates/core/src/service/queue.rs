@@ -215,6 +215,29 @@ impl<T: Clone> Ticket<T> {
 }
 
 impl<T> Ticket<T> {
+    /// Block until the request resolves and move the outcome out,
+    /// consuming the ticket.
+    ///
+    /// Unlike [`Ticket::wait`] this clones nothing: the reply's buffers
+    /// are handed over as-is, so a steady-state caller pays zero
+    /// allocations for retrieval (pinned by the `service_workspace_alloc`
+    /// test). Requires neither `T: Clone` nor a resolved slot afterwards —
+    /// the outcome can only be taken once, which consuming `self`
+    /// guarantees statically.
+    pub fn take(self) -> Result<Reply<T>, MpError> {
+        let mut slot = lock_outcome(&self.shared);
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self
+                .shared
+                .cond
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
     /// Has the request resolved yet?
     pub fn is_resolved(&self) -> bool {
         lock_outcome(&self.shared).is_some()

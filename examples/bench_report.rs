@@ -1,25 +1,36 @@
 //! Machine-readable bench baseline: per-engine, per-phase timings plus the
-//! §4.4 row-length sweep, written to `BENCH_multiprefix.json`.
+//! §4.4 row-length sweep and a chunks-per-thread sweep for the chunked
+//! engine, written to `BENCH_multiprefix.json`.
 //!
 //! Every engine runs under a [`MemoryRecorder`], so the per-phase numbers
 //! come from exactly the instrumentation a production embedding would see
 //! (`engine.<kind>.phase.<phase>` histograms) rather than ad-hoc stopwatch
 //! code. The row-length sweep reruns the spinetree engine across row-length
-//! factors bracketing the paper's `p ≈ 0.749·√n` optimum.
+//! factors bracketing the paper's `p ≈ 0.749·√n` optimum; the chunk sweep
+//! reruns the chunked engine across chunks-per-thread oversubscription
+//! factors.
 //!
 //! ```text
 //! cargo run --release --example bench_report            # full sweep
 //! cargo run --release --example bench_report -- --smoke # CI smoke mode
 //! cargo run --release --example bench_report -- --out my_report.json
+//! cargo run --release --example bench_report -- --gate BENCH_multiprefix.json
 //! ```
+//!
+//! `--gate` is the regression gate: it re-measures every engine at the
+//! baseline's sizes and compares *serial-normalized* ratios (engine time /
+//! serial time on the same host), so the check is immune to absolute machine
+//! speed. Any engine whose ratio regresses by more than 25% versus the
+//! committed baseline fails the process with a non-zero exit.
 
+use multiprefix::chunked::multiprefix_chunked_with_parts;
 use multiprefix::obs::{phase_key, MemoryRecorder, Phase};
 use multiprefix::op::Plus;
 use multiprefix::resilience::RunContext;
 use multiprefix::spinetree::build::ArbPolicy;
 use multiprefix::spinetree::engine::multiprefix_spinetree_instrumented;
 use multiprefix::spinetree::layout::{choose_row_len_skewed, Layout};
-use multiprefix::{EngineKind, OverflowPolicy};
+use multiprefix::{EngineKind, ExecConfig, OverflowPolicy};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -63,6 +74,30 @@ const SMOKE: SweepConfig = SweepConfig {
 
 const ROW_FACTORS: [f64; 5] = [0.25, 0.5, 0.749, 1.0, 2.0];
 
+/// Worker count pinned for the parallel engines so baseline and gate runs
+/// compare like against like regardless of host core count.
+const BENCH_THREADS: usize = 4;
+
+/// Chunks-per-thread oversubscription factors for the chunked-engine sweep.
+const CHUNK_FACTORS: [usize; 4] = [1, 2, 4, 8];
+
+/// Regression tolerance for `--gate`: fail when an engine's
+/// serial-normalized ratio grows past `baseline * (1 + 25%)`.
+const GATE_TOLERANCE: f64 = 0.25;
+
+/// Paired trials per engine/size point at `n = 1e6`; smaller sizes get
+/// proportionally more trials (capped) so every point receives comparable
+/// total measurement time — sub-millisecond runs need many more samples
+/// before their median ratio stabilizes.
+const GATE_TRIALS: usize = 9;
+
+/// Trials for a point of size `n`: scale [`GATE_TRIALS`] up as `n` shrinks
+/// below 1e6, clamped to an odd count in `[GATE_TRIALS, 61]`.
+fn gate_trials(n: usize) -> usize {
+    let scaled = GATE_TRIALS.saturating_mul(1_000_000) / n.max(1);
+    scaled.clamp(GATE_TRIALS, 61) | 1
+}
+
 /// One engine iteration under `ctx`; returns the reduction checksum so the
 /// work cannot be optimized away.
 fn run_engine(
@@ -73,6 +108,7 @@ fn run_engine(
     ctx: &RunContext,
 ) -> i64 {
     let policy = OverflowPolicy::Wrap;
+    let cfg = ExecConfig::default().threads(BENCH_THREADS);
     let out = match kind {
         EngineKind::Serial => {
             multiprefix::serial::try_multiprefix_serial_ctx(values, labels, m, Plus, policy, ctx)
@@ -84,8 +120,11 @@ fn run_engine(
         EngineKind::Blocked => {
             multiprefix::blocked::try_multiprefix_blocked_ctx(values, labels, m, Plus, policy, ctx)
         }
+        EngineKind::Chunked => {
+            multiprefix::chunked::try_multiprefix_chunked_cfg_ctx(values, labels, m, Plus, cfg, ctx)
+        }
         EngineKind::Atomic => {
-            multiprefix::atomic::try_multiprefix_atomic_ctx(values, labels, m, Plus, policy, ctx)
+            multiprefix::atomic::try_multiprefix_atomic_cfg_ctx(values, labels, m, Plus, cfg, ctx)
         }
     };
     let out = out
@@ -97,10 +136,17 @@ fn run_engine(
 fn engine_name(kind: EngineKind) -> &'static str {
     match kind {
         EngineKind::Atomic => "atomic",
+        EngineKind::Chunked => "chunked",
         EngineKind::Blocked => "blocked",
         EngineKind::Spinetree => "spinetree",
         EngineKind::Serial => "serial",
     }
+}
+
+fn engine_from_name(name: &str) -> Option<EngineKind> {
+    EngineKind::ALL
+        .into_iter()
+        .find(|&k| engine_name(k) == name)
 }
 
 fn json_num(v: Option<u64>) -> String {
@@ -110,8 +156,176 @@ fn json_num(v: Option<u64>) -> String {
     }
 }
 
+/// One engine/size measurement recovered from a committed report.
+struct BaselineRow {
+    engine: String,
+    n: usize,
+    /// `total_ns_min` when present, else `total_ns_mean`.
+    ns: u64,
+    /// Load-cancelling paired ratio (`serial_ratio_min`), when present.
+    ratio: Option<f64>,
+}
+
+/// Line-scan the report's own output format for engine/size rows. The
+/// schema is ours (`multiprefix-bench/1`), written by `main` below with
+/// one key per line, so a full JSON parser is unnecessary.
+fn parse_engine_times(text: &str) -> Vec<BaselineRow> {
+    let mut out: Vec<BaselineRow> = Vec::new();
+    let mut engine = String::new();
+    let mut n = 0usize;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with("\"row_length_sweep\"") {
+            break;
+        }
+        if let Some(rest) = t.strip_prefix("\"engine\": \"") {
+            engine = rest.trim_end_matches("\",").to_string();
+        } else if let Some(rest) = t.strip_prefix("\"n\": ") {
+            n = rest.trim_end_matches(',').parse().unwrap_or(0);
+        } else if let Some(rest) = t.strip_prefix("\"total_ns_mean\": ") {
+            let mean = rest.trim_end_matches(',').parse().unwrap_or(0);
+            out.push(BaselineRow {
+                engine: engine.clone(),
+                n,
+                ns: mean,
+                ratio: None,
+            });
+        } else if let Some(rest) = t.strip_prefix("\"total_ns_min\": ") {
+            let min = rest.trim_end_matches(',').parse().unwrap_or(0);
+            if let Some(last) = out.last_mut() {
+                if last.engine == engine && last.n == n {
+                    last.ns = min;
+                }
+            }
+        } else if let Some(rest) = t.strip_prefix("\"serial_ratio_min\": ") {
+            let ratio = rest.trim_end_matches(',').parse().ok();
+            if let Some(last) = out.last_mut() {
+                if last.engine == engine && last.n == n {
+                    last.ratio = ratio;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Measure the serial-normalized ratio of `kind` on the standard workload
+/// at size `n`. Each trial times the serial reference and the engine
+/// back-to-back and forms their ratio, so a sustained slowdown of the host
+/// (another tenant, thermal throttling) inflates numerator and denominator
+/// together and cancels out. The **median** ratio over [`GATE_TRIALS`]
+/// trials is returned — pairing cancels sustained load, the median
+/// discards the per-trial outliers pairing can't (a context switch landing
+/// inside exactly one of the two timed runs).
+fn measure_paired_ratio(kind: EngineKind, n: usize, checksum: &mut i64) -> f64 {
+    let m = (n / 16).max(1);
+    let values = vec![1i64; n];
+    let labels = lcg_labels(n, m, 42);
+    let ctx = RunContext::new();
+    // Warm up both sides (first-touch faults, thread spawn-up).
+    *checksum = checksum.wrapping_add(run_engine(EngineKind::Serial, &values, &labels, m, &ctx));
+    *checksum = checksum.wrapping_add(run_engine(kind, &values, &labels, m, &ctx));
+    let trials = gate_trials(n);
+    let mut ratios = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let started = Instant::now();
+        *checksum =
+            checksum.wrapping_add(run_engine(EngineKind::Serial, &values, &labels, m, &ctx));
+        let serial_ns = started.elapsed().as_nanos().max(1) as f64;
+        let started = Instant::now();
+        *checksum = checksum.wrapping_add(run_engine(kind, &values, &labels, m, &ctx));
+        let engine_ns = started.elapsed().as_nanos().max(1) as f64;
+        ratios.push(engine_ns / serial_ns);
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    ratios[ratios.len() / 2]
+}
+
+/// The `--gate` mode: compare fresh serial-normalized ratios against the
+/// committed baseline and exit non-zero on a >25% regression.
+fn run_gate(baseline_path: &str) -> ! {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let base = parse_engine_times(&text);
+    assert!(
+        !base.is_empty(),
+        "baseline {baseline_path} has no engine measurements"
+    );
+    let base_ns = |name: &str, n: usize| -> Option<u64> {
+        base.iter()
+            .find(|r| r.engine == name && r.n == n)
+            .map(|r| r.ns)
+    };
+    let mut sizes: Vec<usize> = base
+        .iter()
+        .filter(|r| r.engine == "serial")
+        .map(|r| r.n)
+        .collect();
+    sizes.dedup();
+    assert!(!sizes.is_empty(), "baseline lacks serial reference rows");
+
+    let mut checksum = 0i64;
+    // Warm the process the way the baseline generator does: its sweep
+    // touches the largest size early, which (among other things) raises
+    // the allocator's dynamic mmap threshold so mid-size engine buffers
+    // are recycled from the heap instead of being mapped — and
+    // page-faulted — afresh on every run. Without this, sub-millisecond
+    // points measure page-fault overhead the baseline never saw.
+    if let Some(&max_n) = sizes.iter().max() {
+        let ctx = RunContext::new();
+        let m = (max_n / 16).max(1);
+        let values = vec![1i64; max_n];
+        let labels = lcg_labels(max_n, m, 42);
+        for kind in EngineKind::ALL {
+            checksum = checksum.wrapping_add(run_engine(kind, &values, &labels, m, &ctx));
+        }
+    }
+    let mut failures = 0usize;
+    for &n in &sizes {
+        let serial_base = base_ns("serial", n).expect("serial baseline row") as f64;
+        for row in &base {
+            if row.n != n || row.engine == "serial" {
+                continue;
+            }
+            let name = row.engine.as_str();
+            let Some(kind) = engine_from_name(name) else {
+                eprintln!("gate: skipping unknown engine {name:?} in baseline");
+                continue;
+            };
+            // Prefer the committed paired ratio: both its sides were
+            // measured back-to-back, so it is immune to load shifts during
+            // baseline generation. Fall back to min-ns division for
+            // baselines written before the field existed.
+            let base_ratio = row.ratio.unwrap_or(row.ns as f64 / serial_base);
+            let cur_ratio = measure_paired_ratio(kind, n, &mut checksum);
+            let regressed = cur_ratio > base_ratio * (1.0 + GATE_TOLERANCE);
+            eprintln!(
+                "gate: n={n:>8} {name:<9} ratio {cur_ratio:>7.3} vs baseline {base_ratio:>7.3} {}",
+                if regressed { "REGRESSED" } else { "ok" }
+            );
+            if regressed {
+                failures += 1;
+            }
+        }
+    }
+    eprintln!("gate: checksum {checksum}");
+    if failures > 0 {
+        eprintln!("gate: FAILED — {failures} engine/size point(s) regressed >25%");
+        std::process::exit(1);
+    }
+    eprintln!("gate: passed");
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--gate") {
+        let baseline = args
+            .get(i + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_multiprefix.json");
+        run_gate(baseline);
+    }
     let cfg = if args.iter().any(|a| a == "--smoke") {
         SMOKE
     } else {
@@ -129,6 +343,7 @@ fn main() {
         EngineKind::Serial,
         EngineKind::Spinetree,
         EngineKind::Blocked,
+        EngineKind::Chunked,
         EngineKind::Atomic,
     ];
 
@@ -137,6 +352,7 @@ fn main() {
     let _ = writeln!(json, "  \"schema\": \"multiprefix-bench/1\",");
     let _ = writeln!(json, "  \"mode\": \"{}\",", cfg.mode);
     let _ = writeln!(json, "  \"iters\": {},", cfg.iters);
+    let _ = writeln!(json, "  \"threads\": {BENCH_THREADS},");
     json.push_str("  \"engines\": [\n");
 
     let mut checksum = 0i64;
@@ -153,11 +369,18 @@ fn main() {
             let ctx = RunContext::new()
                 .for_engine(kind)
                 .with_recorder(Arc::clone(&rec) as Arc<dyn multiprefix::Recorder>);
-            let started = Instant::now();
+            // One untimed warm-up so cold-start effects (first-touch page
+            // faults, thread spawn-up) don't skew the committed numbers.
+            checksum = checksum.wrapping_add(run_engine(kind, &values, &labels, m, &ctx));
+            let mut total_ns = 0u64;
+            let mut min_ns = u64::MAX;
             for _ in 0..cfg.iters {
+                let started = Instant::now();
                 checksum = checksum.wrapping_add(run_engine(kind, &values, &labels, m, &ctx));
+                let iter_ns = started.elapsed().as_nanos() as u64;
+                total_ns += iter_ns;
+                min_ns = min_ns.min(iter_ns);
             }
-            let total_ns = started.elapsed().as_nanos() as u64;
             let _ = writeln!(json, "        {{");
             let _ = writeln!(json, "          \"n\": {n},");
             let _ = writeln!(json, "          \"m\": {m},");
@@ -166,6 +389,17 @@ fn main() {
                 "          \"total_ns_mean\": {},",
                 total_ns / u64::from(cfg.iters)
             );
+            // The gate compares minimums: background load on a shared
+            // runner can only inflate a timing, so the fastest run is the
+            // statistic that reproduces across hosts.
+            let _ = writeln!(json, "          \"total_ns_min\": {},", min_ns.max(1));
+            // Paired serial-normalized ratio for the regression gate:
+            // measured with the engine and the serial reference timed
+            // back-to-back so host load cancels out of the quotient.
+            if kind != EngineKind::Serial {
+                let ratio = measure_paired_ratio(kind, n, &mut checksum);
+                let _ = writeln!(json, "          \"serial_ratio_min\": {ratio:.4},");
+            }
             json.push_str("          \"phases\": [\n");
             let phases = Phase::for_engine(kind);
             for (pi, &phase) in phases.iter().enumerate() {
@@ -230,6 +464,37 @@ fn main() {
             "      {{\"factor\": {factor}, \"row_len\": {row_len}, \"mean_ns\": {mean_ns}}}"
         );
         json.push_str(if fi + 1 < ROW_FACTORS.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
+
+    // Chunked-engine ablation: how many chunks per worker thread? One chunk
+    // per thread minimizes combine-phase work; oversubscription smooths load
+    // imbalance at the cost of a longer cross-chunk scan.
+    eprintln!("chunks-per-thread sweep ...");
+    json.push_str("  \"chunk_sweep\": {\n");
+    let _ = writeln!(json, "    \"n\": {n},");
+    let _ = writeln!(json, "    \"m\": {m},");
+    let _ = writeln!(json, "    \"threads\": {BENCH_THREADS},");
+    let _ = writeln!(json, "    \"iters\": {},", cfg.row_sweep_iters);
+    json.push_str("    \"points\": [\n");
+    for (fi, &factor) in CHUNK_FACTORS.iter().enumerate() {
+        let parts = BENCH_THREADS * factor;
+        let started = Instant::now();
+        for _ in 0..cfg.row_sweep_iters {
+            let out = multiprefix_chunked_with_parts(&values, &labels, m, Plus, parts);
+            checksum = checksum.wrapping_add(out.sums[n - 1]);
+        }
+        let mean_ns = started.elapsed().as_nanos() as u64 / u64::from(cfg.row_sweep_iters);
+        let _ = write!(
+            json,
+            "      {{\"chunks_per_thread\": {factor}, \"parts\": {parts}, \"mean_ns\": {mean_ns}}}"
+        );
+        json.push_str(if fi + 1 < CHUNK_FACTORS.len() {
             ",\n"
         } else {
             "\n"

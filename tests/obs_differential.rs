@@ -44,6 +44,7 @@ fn every_engine_is_bit_identical_with_and_without_recorder() {
             EngineKind::Serial,
             EngineKind::Spinetree,
             EngineKind::Blocked,
+            EngineKind::Chunked,
             EngineKind::Atomic,
         ] {
             let run = |ctx: &RunContext| match kind {
@@ -67,6 +68,14 @@ fn every_engine_is_bit_identical_with_and_without_recorder() {
                     )
                 }
                 EngineKind::Blocked => multiprefix::blocked::try_multiprefix_blocked_ctx(
+                    &values,
+                    &labels,
+                    m,
+                    Plus,
+                    OverflowPolicy::Wrap,
+                    ctx,
+                ),
+                EngineKind::Chunked => multiprefix::chunked::try_multiprefix_chunked_ctx(
                     &values,
                     &labels,
                     m,

@@ -42,7 +42,7 @@ fn default_dispatcher_matches_the_serial_oracle() {
             .dispatch(&values, &labels, m, Plus, &DispatchOpts::default())
             .unwrap();
         assert_eq!(out.output, expect, "n={n} m={m}");
-        assert_eq!(out.engine, EngineKind::Blocked);
+        assert_eq!(out.engine, EngineKind::Chunked);
         assert_eq!(out.attempts, 1);
         assert_eq!(out.fallbacks, 0);
 
@@ -55,7 +55,7 @@ fn default_dispatcher_matches_the_serial_oracle() {
 
 #[test]
 fn wedged_primary_engine_still_serves_via_fallback() {
-    // Panic every chaos checkpoint inside the blocked engine only: the
+    // Panic every chaos checkpoint inside the chunked engine only: the
     // primary is completely wedged, yet the dispatcher must answer — from
     // the next engine in the chain, with the canonical result.
     let cfg = DispatcherConfig {
@@ -68,7 +68,7 @@ fn wedged_primary_engine_still_serves_via_fallback() {
 
     let chaos = ChaosPlan::seeded(42)
         .panic_ppm(1_000_000)
-        .only(EngineKind::Blocked)
+        .only(EngineKind::Chunked)
         .arm();
     let opts = DispatchOpts {
         chaos: Some(chaos.clone()),
@@ -79,16 +79,16 @@ fn wedged_primary_engine_still_serves_via_fallback() {
         .dispatch(&values, &labels, 11, Plus, &opts)
         .unwrap();
     assert_eq!(out.output, expect);
-    assert_eq!(out.engine, EngineKind::Spinetree, "must degrade, not die");
+    assert_eq!(out.engine, EngineKind::Blocked, "must degrade, not die");
     assert!(out.fallbacks >= 1);
     assert!(chaos.panics_injected() > 0, "the fault must actually fire");
 }
 
 #[test]
 fn transient_alloc_failures_retry_then_fall_back() {
-    // Injected allocation failures are transient: the blocked engine is
+    // Injected allocation failures are transient: the chunked engine is
     // retried up to max_attempts, then the chain falls through to the
-    // spinetree engine, which serves the canonical answer.
+    // blocked engine, which serves the canonical answer.
     let cfg = DispatcherConfig {
         retry: fast_retry(),
         ..DispatcherConfig::default()
@@ -99,7 +99,7 @@ fn transient_alloc_failures_retry_then_fall_back() {
 
     let chaos = ChaosPlan::seeded(7)
         .alloc_fail_ppm(1_000_000)
-        .only(EngineKind::Blocked)
+        .only(EngineKind::Chunked)
         .arm();
     let opts = DispatchOpts {
         chaos: Some(chaos.clone()),
@@ -110,11 +110,11 @@ fn transient_alloc_failures_retry_then_fall_back() {
         .dispatch(&values, &labels, 7, Plus, &opts)
         .unwrap();
     assert_eq!(out.output, expect);
-    assert_eq!(out.engine, EngineKind::Spinetree);
+    assert_eq!(out.engine, EngineKind::Blocked);
     let max = dispatcher.config().retry.max_attempts;
     assert!(
         out.attempts > max,
-        "expected {max} exhausted blocked attempts plus a spinetree success, got {}",
+        "expected {max} exhausted chunked attempts plus a blocked success, got {}",
         out.attempts
     );
     assert!(chaos.alloc_fails_injected() >= max as usize);
@@ -368,6 +368,88 @@ fn atomic_chain_entry_is_skipped_for_unsupported_element_types() {
         .unwrap();
     assert_eq!(red.output, expect.reductions);
     assert_eq!(red.engine, EngineKind::Atomic);
+}
+
+#[test]
+fn chunk_worker_panic_falls_back_to_the_next_engine() {
+    // Worker-fault chaos scoped to the chunked engine kills its local-pass
+    // workers; the panic must be contained (resume_unwind → catch_unwind →
+    // EnginePanicked) and the chain must keep serving the oracle answer.
+    let cfg = DispatcherConfig {
+        retry: fast_retry(),
+        ..DispatcherConfig::default()
+    };
+    let dispatcher = Dispatcher::new(cfg).unwrap();
+    let (values, labels) = problem(20_000, 31);
+    let expect = oracle(&values, &labels, 31);
+
+    let chaos = ChaosPlan::seeded(13)
+        .worker_panic_ppm(1_000_000)
+        .only(EngineKind::Chunked)
+        .arm();
+    let opts = DispatchOpts {
+        chaos: Some(chaos.clone()),
+        ..DispatchOpts::default()
+    };
+    let out = dispatcher
+        .dispatch(&values, &labels, 31, Plus, &opts)
+        .unwrap();
+    assert_eq!(out.output, expect);
+    assert_eq!(out.engine, EngineKind::Blocked, "must degrade, not die");
+    assert!(
+        chaos.chunk_panics_injected() > 0,
+        "the chunk-worker fault must actually fire"
+    );
+}
+
+#[test]
+fn chunk_worker_stalls_delay_but_do_not_corrupt() {
+    // Stall faults slow the local pass down without failing it: the
+    // chunked engine must still win the dispatch with the exact answer.
+    let dispatcher = Dispatcher::new(DispatcherConfig::default()).unwrap();
+    let (values, labels) = problem(20_000, 31);
+    let expect = oracle(&values, &labels, 31);
+
+    let chaos = ChaosPlan::seeded(17)
+        .worker_stall_ppm(1_000_000)
+        .only(EngineKind::Chunked)
+        .arm();
+    let opts = DispatchOpts {
+        chaos: Some(chaos.clone()),
+        ..DispatchOpts::default()
+    };
+    let out = dispatcher
+        .dispatch(&values, &labels, 31, Plus, &opts)
+        .unwrap();
+    assert_eq!(out.output, expect);
+    assert_eq!(out.engine, EngineKind::Chunked);
+    assert!(chaos.chunk_stalls_injected() > 0);
+}
+
+#[test]
+fn chunk_worker_faults_stay_scoped_to_the_chunked_engine() {
+    // The same worker-fault plan scoped to another engine must never draw
+    // inside chunk workers — otherwise chaos plans aimed at the service
+    // pool would non-deterministically leak into engine internals.
+    let dispatcher = Dispatcher::new(DispatcherConfig::default()).unwrap();
+    let (values, labels) = problem(20_000, 31);
+    let expect = oracle(&values, &labels, 31);
+
+    let chaos = ChaosPlan::seeded(19)
+        .worker_panic_ppm(1_000_000)
+        .only(EngineKind::Blocked)
+        .arm();
+    let opts = DispatchOpts {
+        chaos: Some(chaos.clone()),
+        ..DispatchOpts::default()
+    };
+    let out = dispatcher
+        .dispatch(&values, &labels, 31, Plus, &opts)
+        .unwrap();
+    assert_eq!(out.output, expect);
+    assert_eq!(out.engine, EngineKind::Chunked);
+    assert_eq!(chaos.chunk_panics_injected(), 0);
+    assert_eq!(chaos.chunk_stalls_injected(), 0);
 }
 
 #[test]
