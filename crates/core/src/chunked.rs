@@ -63,14 +63,14 @@ fn chunk_count(n: usize, threads: usize) -> usize {
 /// operator on the infallible path, a [`CheckGuard`] on the hardened path.
 /// Keeping the core monomorphic over this avoids duplicating the three
 /// phases for the plain/try split.
-trait Comb<T: Element>: Copy + Send + Sync {
+pub(crate) trait Comb<T: Element>: Copy + Send + Sync {
     fn identity(&self) -> T;
     fn combine(&self, a: T, b: T) -> T;
 }
 
 /// Plain (unchecked) combine for the infallible entry points.
 #[derive(Clone, Copy)]
-struct PlainComb<O>(O);
+pub(crate) struct PlainComb<O>(pub(crate) O);
 
 impl<T: Element, O: CombineOp<T>> Comb<T> for PlainComb<O> {
     #[inline(always)]
@@ -140,8 +140,8 @@ pub struct ChunkSpace<T> {
     mask: usize,
     direct: bool,
     // Both modes.
-    touched: Vec<usize>,
-    vals: Vec<T>,
+    pub(crate) touched: Vec<usize>,
+    pub(crate) vals: Vec<T>,
 }
 
 impl<T> Default for ChunkSpace<T> {
@@ -176,7 +176,12 @@ impl<T: Element> ChunkSpace<T> {
     /// distinct labels this use can see (chunk length, or `m`, whichever is
     /// smaller). Self-healing: a space abandoned mid-run by a panic is
     /// fully reset here.
-    fn begin_use(&mut self, m: usize, distinct_cap: usize, direct: bool) -> Result<(), MpError> {
+    pub(crate) fn begin_use(
+        &mut self,
+        m: usize,
+        distinct_cap: usize,
+        direct: bool,
+    ) -> Result<(), MpError> {
         self.touched.clear();
         self.vals.clear();
         self.direct = direct;
@@ -209,7 +214,7 @@ impl<T: Element> ChunkSpace<T> {
     /// The slot for `label`, inserting it (touched list + identity value)
     /// on first sight.
     #[inline]
-    fn slot_or_insert(&mut self, label: usize, identity: T) -> usize {
+    pub(crate) fn slot_or_insert(&mut self, label: usize, identity: T) -> usize {
         if self.direct {
             if self.mark[label] == self.epoch {
                 return self.slot_of[label] as usize;
@@ -240,10 +245,21 @@ impl<T: Element> ChunkSpace<T> {
         }
     }
 
+    /// Bytes retained by the grown map/value buffers (capacity, not
+    /// length): the quantity the pool's high-water check budgets.
+    fn retained_bytes(&self) -> usize {
+        self.mark.capacity() * std::mem::size_of::<u32>()
+            + self.slot_of.capacity() * std::mem::size_of::<u32>()
+            + self.keys.capacity() * std::mem::size_of::<usize>()
+            + self.slots.capacity() * std::mem::size_of::<u32>()
+            + self.touched.capacity() * std::mem::size_of::<usize>()
+            + self.vals.capacity() * std::mem::size_of::<T>()
+    }
+
     /// The slot of a label known to be present (apply phase: every label in
     /// the chunk was inserted during the local phase).
     #[inline]
-    fn slot(&self, label: usize) -> usize {
+    pub(crate) fn slot(&self, label: usize) -> usize {
         if self.direct {
             debug_assert_eq!(self.mark[label], self.epoch, "label not in chunk table");
             self.slot_of[label] as usize
@@ -301,7 +317,22 @@ impl<T: Element> ChunkedWorkspace<T> {
             self.spaces.resize_with(chunks, ChunkSpace::default);
         }
     }
+
+    /// Bytes retained across all grown scratch buffers.
+    pub fn retained_bytes(&self) -> usize {
+        self.spaces
+            .iter()
+            .map(ChunkSpace::retained_bytes)
+            .sum::<usize>()
+            + self.global.retained_bytes()
+    }
 }
+
+/// Default per-workspace retention budget for a [`WorkspacePool`]
+/// (bytes). A workspace returning with more grown scratch than this is
+/// discarded instead of retained, so one huge request cannot pin its
+/// oversized buffers in the pool forever.
+pub const DEFAULT_HIGH_WATER_BYTES: usize = 64 << 20;
 
 /// A bounded pool of warm [`ChunkedWorkspace`]s.
 ///
@@ -311,9 +342,15 @@ impl<T: Element> ChunkedWorkspace<T> {
 /// The [`crate::service::Service`] keeps one pool sized to its worker
 /// count, so steady-state traffic recycles the same scratch buffers
 /// forever.
+///
+/// Retention is budgeted: a workspace whose grown buffers exceed the
+/// pool's high-water mark ([`DEFAULT_HIGH_WATER_BYTES`] unless set via
+/// [`WorkspacePool::with_high_water`]) is dropped on return rather than
+/// pooled, releasing its memory.
 pub struct WorkspacePool<T> {
     free: Mutex<Vec<ChunkedWorkspace<T>>>,
     max_idle: usize,
+    high_water_bytes: usize,
 }
 
 impl<T> std::fmt::Debug for WorkspacePool<T> {
@@ -322,16 +359,25 @@ impl<T> std::fmt::Debug for WorkspacePool<T> {
         f.debug_struct("WorkspacePool")
             .field("idle", &idle)
             .field("max_idle", &self.max_idle)
+            .field("high_water_bytes", &self.high_water_bytes)
             .finish()
     }
 }
 
 impl<T: Element> WorkspacePool<T> {
-    /// A pool retaining at most `max_idle` idle workspaces.
+    /// A pool retaining at most `max_idle` idle workspaces, each within the
+    /// default high-water budget.
     pub fn new(max_idle: usize) -> Self {
+        Self::with_high_water(max_idle, DEFAULT_HIGH_WATER_BYTES)
+    }
+
+    /// [`WorkspacePool::new`] with an explicit per-workspace retention
+    /// budget in bytes (`usize::MAX` disables the cap).
+    pub fn with_high_water(max_idle: usize, high_water_bytes: usize) -> Self {
         WorkspacePool {
             free: Mutex::new(Vec::new()),
             max_idle,
+            high_water_bytes,
         }
     }
 
@@ -380,6 +426,11 @@ impl<T: Element> std::ops::DerefMut for PooledWorkspace<'_, T> {
 impl<T: Element> Drop for PooledWorkspace<'_, T> {
     fn drop(&mut self) {
         if let Some(ws) = self.ws.take() {
+            // Shrink-on-return: a workspace grown past the high-water mark
+            // (one huge request) is released, not pinned in the pool.
+            if ws.retained_bytes() > self.pool.high_water_bytes {
+                return;
+            }
             let mut free = self.pool.free.lock().unwrap_or_else(|e| e.into_inner());
             if free.len() < self.pool.max_idle {
                 free.push(ws);
@@ -391,7 +442,7 @@ impl<T: Element> Drop for PooledWorkspace<'_, T> {
 /// Dense tables are admitted while the per-chunk map arrays stay within a
 /// small multiple of the data we already hold (same criterion as
 /// [`crate::blocked`]).
-fn use_direct(chunks: usize, n: usize, m: usize) -> bool {
+pub(crate) fn use_direct(chunks: usize, n: usize, m: usize) -> bool {
     chunks.saturating_mul(m) <= 8 * n.max(1) + 1024
 }
 
@@ -410,7 +461,7 @@ fn local_pass<T: Element, C: Comb<T>>(
     // this worker, exercising the engine's containment (the panic unwinds
     // through the scope join into the engine's catch_unwind).
     if let Some(chaos) = ctx.chaos() {
-        chaos.inject_chunk_worker(worker);
+        chaos.inject_chunk_worker(worker, ctx.deadline());
     }
     for (i, ((si, &v), &l)) in sums.iter_mut().zip(values).zip(labels).enumerate() {
         ctx.checkpoint_every(i)?;
@@ -431,7 +482,7 @@ fn local_reduce_pass<T: Element, C: Comb<T>>(
     worker: usize,
 ) -> Result<(), MpError> {
     if let Some(chaos) = ctx.chaos() {
-        chaos.inject_chunk_worker(worker);
+        chaos.inject_chunk_worker(worker, ctx.deadline());
     }
     for (i, (&v, &l)) in values.iter().zip(labels).enumerate() {
         ctx.checkpoint_every(i)?;
@@ -488,7 +539,9 @@ where
 }
 
 /// The engine core: all three phases, generic over the combine wrapper.
-fn run_prefix<T: Element, C: Comb<T>>(
+/// `pub(crate)` so the sharded supervisor can degrade to single-node
+/// chunked execution without re-wrapping the public API.
+pub(crate) fn run_prefix<T: Element, C: Comb<T>>(
     values: &[T],
     labels: &[usize],
     m: usize,
@@ -532,31 +585,14 @@ fn run_prefix<T: Element, C: Comb<T>>(
         })?;
     }
 
-    // Phase 2 — combine: exclusive scan per touched label across the chunk
-    // summaries, in chunk order; the running totals become the reductions.
+    // Phase 2 — combine: the shared exscan-over-summaries primitive
+    // ([`crate::shard::exscan`]): an exclusive scan per touched label
+    // across the chunk summaries, in chunk order; the running totals
+    // become the reductions.
     ctx.checkpoint()?;
     let reductions = {
         let _span = ctx.phase_span(Phase::Combine);
-        let total_touched: usize = spaces.iter().map(|s| s.touched.len()).sum();
-        let gdirect = use_direct(1, n, m);
-        global.begin_use(m, total_touched.min(m), gdirect)?;
-        let mut step = 0usize;
-        for space in spaces.iter_mut() {
-            for ti in 0..space.touched.len() {
-                ctx.checkpoint_every(step)?;
-                step += 1;
-                let label = space.touched[ti];
-                let gs = global.slot_or_insert(label, comb.identity());
-                let offset = global.vals[gs];
-                global.vals[gs] = comb.combine(offset, space.vals[ti]);
-                space.vals[ti] = offset;
-            }
-        }
-        let mut reductions = try_filled_vec(comb.identity(), m)?;
-        for (gs, &label) in global.touched.iter().enumerate() {
-            reductions[label] = global.vals[gs];
-        }
-        reductions
+        crate::shard::exscan::exscan_parts(spaces, m, n, global, comb, ctx)?
     };
 
     // Phase 3 — apply: prepend each chunk's offsets in one linear pass.
@@ -1048,7 +1084,7 @@ impl ChunkedPlan {
                 .collect();
             run_chunks(items, |idx, ((vals, s), (v, slots))| {
                 if let Some(chaos) = ctx.chaos() {
-                    chaos.inject_chunk_worker(idx);
+                    chaos.inject_chunk_worker(idx, ctx.deadline());
                 }
                 for (i, ((si, &vi), &slot)) in s.iter_mut().zip(v).zip(slots).enumerate() {
                     ctx.checkpoint_every(i)?;
@@ -1060,33 +1096,21 @@ impl ChunkedPlan {
             })?;
         }
 
-        // Combine: exclusive scan per label across chunk summaries.
+        // Combine: the shared exscan primitive over (touched-slice, value)
+        // part views of the plan's precomputed label lists.
         ctx.checkpoint()?;
         let reductions = {
             let _span = ctx.phase_span(Phase::Combine);
             let mut global = ChunkSpace::<T>::default();
-            global.begin_use(
-                self.m,
-                self.touched.len().min(self.m),
-                use_direct(1, self.n, self.m),
-            )?;
-            let mut step = 0usize;
-            for (c, vals) in chunk_vals.iter_mut().enumerate() {
-                let list = &self.touched[self.touched_off[c]..self.touched_off[c + 1]];
-                for (ti, &label) in list.iter().enumerate() {
-                    ctx.checkpoint_every(step)?;
-                    step += 1;
-                    let gs = global.slot_or_insert(label, comb.identity());
-                    let offset = global.vals[gs];
-                    global.vals[gs] = comb.combine(offset, vals[ti]);
-                    vals[ti] = offset;
-                }
-            }
-            let mut reductions = try_filled_vec(comb.identity(), self.m)?;
-            for (gs, &label) in global.touched.iter().enumerate() {
-                reductions[label] = global.vals[gs];
-            }
-            reductions
+            let mut parts: Vec<crate::shard::exscan::SlicePart<'_, T>> = chunk_vals
+                .iter_mut()
+                .enumerate()
+                .map(|(c, vals)| crate::shard::exscan::SlicePart {
+                    touched: &self.touched[self.touched_off[c]..self.touched_off[c + 1]],
+                    vals,
+                })
+                .collect();
+            crate::shard::exscan::exscan_parts(&mut parts, self.m, self.n, &mut global, comb, ctx)?
         };
 
         // Apply.

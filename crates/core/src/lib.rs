@@ -119,6 +119,7 @@ pub mod scan;
 pub mod segmented;
 pub mod serial;
 pub mod service;
+pub mod shard;
 pub mod spinetree;
 pub mod split;
 pub mod stream;
@@ -136,4 +137,7 @@ pub use problem::{validate, Element, MultiprefixOutput};
 pub use resilience::{
     CancelToken, Deadline, DispatchOpts, DispatchOutcome, Dispatcher, DispatcherConfig, EngineKind,
     RunContext,
+};
+pub use shard::{
+    exscan_over_summaries, multiprefix_sharded, ShardConfig, ShardSummary, ShardSupervisor,
 };

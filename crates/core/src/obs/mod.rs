@@ -51,7 +51,10 @@ use std::time::Instant;
 /// The spinetree engines ([`EngineKind::Spinetree`], [`EngineKind::Atomic`])
 /// run `Init → Spinetree → Rowsums → Spinesums → Multisums`; the blocked
 /// and chunked engines' three passes are `Local → Combine → Apply`; the
-/// serial engine is the single `Figure2` bucket loop.
+/// serial engine is the single `Figure2` bucket loop. The sharded engine
+/// distributes the same three passes across shard workers as
+/// `Local → Exscan → Apply`, with `Recover` timing any shard-loss
+/// requeue/degradation work in between.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Workspace allocation / layout choice before the first parallel step.
@@ -72,6 +75,12 @@ pub enum Phase {
     Apply,
     /// The serial engine's Figure 2 loop (one undivided phase).
     Figure2,
+    /// Sharded engine: exclusive scan over shard summaries (the distributed
+    /// form of [`Phase::Combine`]).
+    Exscan,
+    /// Sharded engine: shard-loss recovery work — requeues and the
+    /// single-node degradation fallback.
+    Recover,
 }
 
 impl Phase {
@@ -87,10 +96,16 @@ impl Phase {
             Phase::Combine => "combine",
             Phase::Apply => "apply",
             Phase::Figure2 => "figure2",
+            Phase::Exscan => "exscan",
+            Phase::Recover => "recover",
         }
     }
 
     /// The phases an engine reports, in execution order.
+    ///
+    /// `Recover` appears in the sharded taxonomy but only records samples
+    /// when shard loss actually occurs; report consumers must tolerate a
+    /// zero-sample phase.
     pub fn for_engine(engine: EngineKind) -> &'static [Phase] {
         match engine {
             EngineKind::Spinetree | EngineKind::Atomic => &[
@@ -103,6 +118,7 @@ impl Phase {
             EngineKind::Blocked | EngineKind::Chunked => {
                 &[Phase::Local, Phase::Combine, Phase::Apply]
             }
+            EngineKind::Sharded => &[Phase::Local, Phase::Exscan, Phase::Recover, Phase::Apply],
             EngineKind::Serial => &[Phase::Figure2],
         }
     }
@@ -128,26 +144,37 @@ pub fn phase_key(engine: EngineKind, phase: Phase) -> &'static str {
             Init / "init", Spinetree / "spinetree", Rowsums / "rowsums",
             Spinesums / "spinesums", Multisums / "multisums",
             Local / "local", Combine / "combine", Apply / "apply", Figure2 / "figure2",
+            Exscan / "exscan", Recover / "recover",
+        ],
+        Sharded / "shard" => [
+            Init / "init", Spinetree / "spinetree", Rowsums / "rowsums",
+            Spinesums / "spinesums", Multisums / "multisums",
+            Local / "local", Combine / "combine", Apply / "apply", Figure2 / "figure2",
+            Exscan / "exscan", Recover / "recover",
         ],
         Chunked / "chunked" => [
             Init / "init", Spinetree / "spinetree", Rowsums / "rowsums",
             Spinesums / "spinesums", Multisums / "multisums",
             Local / "local", Combine / "combine", Apply / "apply", Figure2 / "figure2",
+            Exscan / "exscan", Recover / "recover",
         ],
         Blocked / "blocked" => [
             Init / "init", Spinetree / "spinetree", Rowsums / "rowsums",
             Spinesums / "spinesums", Multisums / "multisums",
             Local / "local", Combine / "combine", Apply / "apply", Figure2 / "figure2",
+            Exscan / "exscan", Recover / "recover",
         ],
         Spinetree / "spinetree" => [
             Init / "init", Spinetree / "spinetree", Rowsums / "rowsums",
             Spinesums / "spinesums", Multisums / "multisums",
             Local / "local", Combine / "combine", Apply / "apply", Figure2 / "figure2",
+            Exscan / "exscan", Recover / "recover",
         ],
         Serial / "serial" => [
             Init / "init", Spinetree / "spinetree", Rowsums / "rowsums",
             Spinesums / "spinesums", Multisums / "multisums",
             Local / "local", Combine / "combine", Apply / "apply", Figure2 / "figure2",
+            Exscan / "exscan", Recover / "recover",
         ],
     }
 }

@@ -34,6 +34,7 @@
 //! entropy anywhere).
 
 use crate::error::MpError;
+use crate::resilience::ctx::Deadline;
 use crate::resilience::dispatcher::EngineKind;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -72,6 +73,24 @@ pub struct ChaosPlan {
     /// every worker). Lets a test kill one worker of a pool while the rest
     /// stay healthy.
     pub only_worker: Option<usize>,
+    /// Probability a **shard-worker checkpoint** (drawn by a
+    /// [`crate::shard::ShardSupervisor`] worker at task entry) panics,
+    /// killing that shard — the injection point for shard-loss recovery
+    /// testing. Engine and pool-worker checkpoints never draw from this.
+    pub shard_panic_ppm: u32,
+    /// Probability a shard-worker checkpoint stalls for
+    /// [`ChaosPlan::stall`] (clamped to the active deadline), exercising
+    /// the supervisor's task-deadline requeue path.
+    pub shard_stall_ppm: u32,
+    /// Probability a shard-transport **data** message is dropped at send
+    /// time (protocol-critical `Shutdown`/`Crashed` messages are exempt).
+    pub shard_drop_ppm: u32,
+    /// Probability a shard-transport data message is duplicated at send
+    /// time.
+    pub shard_dup_ppm: u32,
+    /// Restrict **shard** panic/stall injection to one shard index
+    /// (`None` faults every shard).
+    pub only_shard: Option<usize>,
 }
 
 impl Default for ChaosPlan {
@@ -86,6 +105,11 @@ impl Default for ChaosPlan {
             worker_panic_ppm: 0,
             worker_stall_ppm: 0,
             only_worker: None,
+            shard_panic_ppm: 0,
+            shard_stall_ppm: 0,
+            shard_drop_ppm: 0,
+            shard_dup_ppm: 0,
+            only_shard: None,
         }
     }
 }
@@ -143,6 +167,40 @@ impl ChaosPlan {
         self
     }
 
+    /// Set the shard-worker panic probability (ppm per task entry).
+    pub fn shard_panic_ppm(mut self, ppm: u32) -> Self {
+        self.shard_panic_ppm = ppm;
+        self
+    }
+
+    /// Set the shard-worker stall probability (ppm per task entry; stall
+    /// length is [`ChaosPlan::stall`], shared with engine stalls).
+    pub fn shard_stall_ppm(mut self, ppm: u32) -> Self {
+        self.shard_stall_ppm = ppm;
+        self
+    }
+
+    /// Set the shard-transport message-drop probability (ppm per data
+    /// message sent).
+    pub fn shard_drop_ppm(mut self, ppm: u32) -> Self {
+        self.shard_drop_ppm = ppm;
+        self
+    }
+
+    /// Set the shard-transport message-duplication probability (ppm per
+    /// data message sent).
+    pub fn shard_dup_ppm(mut self, ppm: u32) -> Self {
+        self.shard_dup_ppm = ppm;
+        self
+    }
+
+    /// Restrict shard panic/stall injection to the shard with index
+    /// `shard`.
+    pub fn only_shard(mut self, shard: usize) -> Self {
+        self.only_shard = Some(shard);
+        self
+    }
+
     /// Arm the plan: the returned state carries the live draw stream and
     /// injection counters, and is what a
     /// [`crate::resilience::RunContext::with_chaos`] takes. One armed state
@@ -158,8 +216,23 @@ impl ChaosPlan {
             worker_stalls: AtomicUsize::new(0),
             chunk_panics: AtomicUsize::new(0),
             chunk_stalls: AtomicUsize::new(0),
+            shard_panics: AtomicUsize::new(0),
+            shard_stalls: AtomicUsize::new(0),
+            msg_drops: AtomicUsize::new(0),
+            msg_dups: AtomicUsize::new(0),
         })
     }
+}
+
+/// The fate of one shard-transport data message, drawn at send time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MessageFault {
+    /// Deliver normally.
+    Deliver,
+    /// Silently lose the message.
+    Drop,
+    /// Deliver the message twice.
+    Duplicate,
 }
 
 /// An armed [`ChaosPlan`]: the live draw stream plus injection counters.
@@ -174,6 +247,10 @@ pub struct ChaosState {
     worker_stalls: AtomicUsize,
     chunk_panics: AtomicUsize,
     chunk_stalls: AtomicUsize,
+    shard_panics: AtomicUsize,
+    shard_stalls: AtomicUsize,
+    msg_drops: AtomicUsize,
+    msg_dups: AtomicUsize,
 }
 
 impl ChaosState {
@@ -217,6 +294,26 @@ impl ChaosState {
         self.chunk_stalls.load(Ordering::Relaxed)
     }
 
+    /// Shard-worker panics injected so far (shard supervisor recovery).
+    pub fn shard_panics_injected(&self) -> usize {
+        self.shard_panics.load(Ordering::Relaxed)
+    }
+
+    /// Shard-worker stalls injected so far.
+    pub fn shard_stalls_injected(&self) -> usize {
+        self.shard_stalls.load(Ordering::Relaxed)
+    }
+
+    /// Shard-transport messages dropped so far.
+    pub fn msg_drops_injected(&self) -> usize {
+        self.msg_drops.load(Ordering::Relaxed)
+    }
+
+    /// Shard-transport messages duplicated so far.
+    pub fn msg_dups_injected(&self) -> usize {
+        self.msg_dups.load(Ordering::Relaxed)
+    }
+
     /// Total faults injected so far.
     pub fn faults_injected(&self) -> usize {
         self.panics_injected()
@@ -226,11 +323,34 @@ impl ChaosState {
             + self.worker_stalls_injected()
             + self.chunk_panics_injected()
             + self.chunk_stalls_injected()
+            + self.shard_panics_injected()
+            + self.shard_stalls_injected()
+            + self.msg_drops_injected()
+            + self.msg_dups_injected()
     }
 
-    /// One checkpoint draw on behalf of `engine`. May panic, err, stall, or
-    /// (usually) do nothing.
-    pub(crate) fn inject(&self, engine: Option<EngineKind>) -> Result<(), MpError> {
+    /// Sleep for the plan's stall length, clamped to the remaining budget
+    /// of the active deadline: an injected stall may push a run *to* its
+    /// deadline (the next checkpoint observes the expiry) but never burns
+    /// wall-clock past it, so a chaos soak's total runtime stays bounded by
+    /// the deadlines it configures.
+    fn stall_sleep(&self, deadline: Option<Deadline>) {
+        let length = match deadline {
+            Some(d) => self.plan.stall.min(d.remaining()),
+            None => self.plan.stall,
+        };
+        if !length.is_zero() {
+            std::thread::sleep(length);
+        }
+    }
+
+    /// One checkpoint draw on behalf of `engine`. May panic, err, stall
+    /// (clamped to `deadline`), or (usually) do nothing.
+    pub(crate) fn inject(
+        &self,
+        engine: Option<EngineKind>,
+        deadline: Option<Deadline>,
+    ) -> Result<(), MpError> {
         if let Some(only) = self.plan.only {
             if engine != Some(only) {
                 return Ok(());
@@ -250,7 +370,7 @@ impl ChaosState {
             Err(MpError::AllocationFailed { bytes: 0 })
         } else if draw < stall_edge {
             self.stalls.fetch_add(1, Ordering::Relaxed);
-            std::thread::sleep(self.plan.stall);
+            self.stall_sleep(deadline);
             Ok(())
         } else {
             Ok(())
@@ -266,7 +386,7 @@ impl ChaosState {
     ///
     /// A plan with no worker faults burns no draw, so arming worker faults
     /// off leaves the engine-fault sequence of a given seed untouched.
-    pub(crate) fn inject_worker(&self, worker: usize) {
+    pub(crate) fn inject_worker(&self, worker: usize, deadline: Option<Deadline>) {
         if self.plan.worker_panic_ppm == 0 && self.plan.worker_stall_ppm == 0 {
             return;
         }
@@ -283,7 +403,7 @@ impl ChaosState {
             panic!("chaos: injected worker panic (worker {worker})");
         } else if draw < stall_edge {
             self.worker_stalls.fetch_add(1, Ordering::Relaxed);
-            std::thread::sleep(self.plan.stall);
+            self.stall_sleep(deadline);
         }
     }
 
@@ -295,7 +415,7 @@ impl ChaosState {
     /// `worker_panics_injected()`) untouched. A fired panic unwinds through
     /// the scope join into the engine's `catch_unwind` and surfaces as
     /// [`MpError::EnginePanicked`] — the dispatcher's retry/fallback path.
-    pub(crate) fn inject_chunk_worker(&self, worker: usize) {
+    pub(crate) fn inject_chunk_worker(&self, worker: usize, deadline: Option<Deadline>) {
         if self.plan.only != Some(EngineKind::Chunked) {
             return;
         }
@@ -315,7 +435,57 @@ impl ChaosState {
             panic!("chaos: injected chunk-worker panic (chunk {worker})");
         } else if draw < stall_edge {
             self.chunk_stalls.fetch_add(1, Ordering::Relaxed);
-            std::thread::sleep(self.plan.stall);
+            self.stall_sleep(deadline);
+        }
+    }
+
+    /// One **shard-worker** draw on behalf of shard `shard`, fired by a
+    /// [`crate::shard::ShardSupervisor`] worker at task entry. A panic
+    /// kills the shard (its worker loop catches the unwind, reports
+    /// `Crashed`, and exits — the supervisor requeues the task); a stall
+    /// (clamped to `deadline`) overruns the task's attempt deadline and
+    /// exercises the timeout-requeue path.
+    ///
+    /// A plan with no shard faults burns **no draw**, keeping the engine-
+    /// and worker-fault sequences of a given seed untouched.
+    pub(crate) fn inject_shard_worker(&self, shard: usize, deadline: Option<Deadline>) {
+        if self.plan.shard_panic_ppm == 0 && self.plan.shard_stall_ppm == 0 {
+            return;
+        }
+        if let Some(only) = self.plan.only_shard {
+            if shard != only {
+                return;
+            }
+        }
+        let draw = self.next_draw() % 1_000_000;
+        let panic_edge = self.plan.shard_panic_ppm as u64;
+        let stall_edge = panic_edge + self.plan.shard_stall_ppm as u64;
+        if draw < panic_edge {
+            self.shard_panics.fetch_add(1, Ordering::Relaxed);
+            panic!("chaos: injected shard-worker panic (shard {shard})");
+        } else if draw < stall_edge {
+            self.shard_stalls.fetch_add(1, Ordering::Relaxed);
+            self.stall_sleep(deadline);
+        }
+    }
+
+    /// One **shard-transport** draw for a data message about to be sent.
+    /// A plan with neither drop nor duplication armed burns **no draw**.
+    pub(crate) fn transport_fault(&self) -> MessageFault {
+        if self.plan.shard_drop_ppm == 0 && self.plan.shard_dup_ppm == 0 {
+            return MessageFault::Deliver;
+        }
+        let draw = self.next_draw() % 1_000_000;
+        let drop_edge = self.plan.shard_drop_ppm as u64;
+        let dup_edge = drop_edge + self.plan.shard_dup_ppm as u64;
+        if draw < drop_edge {
+            self.msg_drops.fetch_add(1, Ordering::Relaxed);
+            MessageFault::Drop
+        } else if draw < dup_edge {
+            self.msg_dups.fetch_add(1, Ordering::Relaxed);
+            MessageFault::Duplicate
+        } else {
+            MessageFault::Deliver
         }
     }
 
@@ -346,7 +516,7 @@ mod tests {
     fn quiet_plan_never_fires() {
         let state = ChaosPlan::seeded(42).arm();
         for _ in 0..10_000 {
-            assert!(state.inject(None).is_ok());
+            assert!(state.inject(None, None).is_ok());
         }
         assert_eq!(state.faults_injected(), 0);
     }
@@ -356,7 +526,7 @@ mod tests {
         let state = ChaosPlan::seeded(7).alloc_fail_ppm(1_000_000).arm();
         for _ in 0..100 {
             assert_eq!(
-                state.inject(None),
+                state.inject(None, None),
                 Err(MpError::AllocationFailed { bytes: 0 })
             );
         }
@@ -368,7 +538,7 @@ mod tests {
         let state = ChaosPlan::seeded(3).alloc_fail_ppm(250_000).arm();
         let mut fails = 0;
         for _ in 0..10_000 {
-            if state.inject(None).is_err() {
+            if state.inject(None, None).is_err() {
                 fails += 1;
             }
         }
@@ -381,7 +551,7 @@ mod tests {
         let a = ChaosPlan::seeded(99).alloc_fail_ppm(500_000).arm();
         let b = ChaosPlan::seeded(99).alloc_fail_ppm(500_000).arm();
         for i in 0..1000 {
-            assert_eq!(a.inject(None), b.inject(None), "draw {i}");
+            assert_eq!(a.inject(None, None), b.inject(None, None), "draw {i}");
         }
     }
 
@@ -391,9 +561,9 @@ mod tests {
             .alloc_fail_ppm(1_000_000)
             .only(EngineKind::Blocked)
             .arm();
-        assert!(state.inject(Some(EngineKind::Serial)).is_ok());
-        assert!(state.inject(None).is_ok());
-        assert!(state.inject(Some(EngineKind::Blocked)).is_err());
+        assert!(state.inject(Some(EngineKind::Serial), None).is_ok());
+        assert!(state.inject(None, None).is_ok());
+        assert!(state.inject(Some(EngineKind::Blocked), None).is_err());
         assert_eq!(state.faults_injected(), 1);
     }
 
@@ -401,7 +571,7 @@ mod tests {
     fn injected_panic_is_a_real_panic() {
         let state = ChaosPlan::seeded(1).panic_ppm(1_000_000).arm();
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = state.inject(None);
+            let _ = state.inject(None, None);
         }));
         assert!(caught.is_err());
         assert_eq!(state.panics_injected(), 1);
@@ -414,11 +584,11 @@ mod tests {
             .only_worker(2)
             .arm();
         // Untargeted workers never draw, let alone panic.
-        state.inject_worker(0);
-        state.inject_worker(1);
+        state.inject_worker(0, None);
+        state.inject_worker(1, None);
         assert_eq!(state.worker_panics_injected(), 0);
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            state.inject_worker(2);
+            state.inject_worker(2, None);
         }));
         assert!(caught.is_err());
         assert_eq!(state.worker_panics_injected(), 1);
@@ -435,8 +605,12 @@ mod tests {
             .only_worker(5)
             .arm();
         for i in 0..500 {
-            with_worker.inject_worker(0); // scoped away: burns no draw
-            assert_eq!(plain.inject(None), with_worker.inject(None), "draw {i}");
+            with_worker.inject_worker(0, None); // scoped away: burns no draw
+            assert_eq!(
+                plain.inject(None, None),
+                with_worker.inject(None, None),
+                "draw {i}"
+            );
         }
     }
 
@@ -447,7 +621,7 @@ mod tests {
             .stall(0, Duration::from_millis(5))
             .arm();
         let start = std::time::Instant::now();
-        state.inject_worker(7);
+        state.inject_worker(7, None);
         assert!(start.elapsed() >= Duration::from_millis(4));
         assert_eq!(state.worker_stalls_injected(), 1);
         assert_eq!(state.faults_injected(), 1);
@@ -459,8 +633,86 @@ mod tests {
             .stall(1_000_000, Duration::from_millis(5))
             .arm();
         let start = std::time::Instant::now();
-        assert!(state.inject(None).is_ok());
+        assert!(state.inject(None, None).is_ok());
         assert!(start.elapsed() >= Duration::from_millis(4));
         assert_eq!(state.stalls_injected(), 1);
+    }
+
+    #[test]
+    fn stall_is_clamped_to_the_active_deadline() {
+        // Regression: a stall far longer than the attempt deadline must
+        // sleep only the deadline's remaining budget, not the full stall —
+        // otherwise a chaos soak's wall-clock is unbounded by its deadlines.
+        let state = ChaosPlan::seeded(2)
+            .stall(1_000_000, Duration::from_secs(3600))
+            .arm();
+        let deadline = Deadline::after(Duration::from_millis(20));
+        let start = std::time::Instant::now();
+        assert!(state.inject(None, Some(deadline)).is_ok());
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "stall overshot the deadline budget"
+        );
+        assert_eq!(state.stalls_injected(), 1);
+        // An already-expired deadline skips the sleep entirely.
+        let start = std::time::Instant::now();
+        state.inject_worker(0, Some(Deadline::at(std::time::Instant::now())));
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn shard_faults_do_not_perturb_engine_stream() {
+        // Arming shard faults that never fire (no shard draws happen) must
+        // leave the engine-fault sequence of a seed untouched, and
+        // transport draws burn nothing when drop/dup are unarmed.
+        let plain = ChaosPlan::seeded(31).alloc_fail_ppm(400_000).arm();
+        let with_shard = ChaosPlan::seeded(31)
+            .alloc_fail_ppm(400_000)
+            .shard_panic_ppm(1_000_000)
+            .only_shard(9)
+            .arm();
+        for i in 0..500 {
+            with_shard.inject_shard_worker(0, None); // scoped away: no draw
+            assert_eq!(with_shard.transport_fault(), MessageFault::Deliver);
+            assert_eq!(
+                plain.inject(None, None),
+                with_shard.inject(None, None),
+                "draw {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_panic_and_stall_fire_and_count() {
+        let state = ChaosPlan::seeded(8).shard_panic_ppm(1_000_000).arm();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            state.inject_shard_worker(3, None);
+        }));
+        assert!(caught.is_err());
+        assert_eq!(state.shard_panics_injected(), 1);
+
+        let state = ChaosPlan::seeded(8)
+            .shard_stall_ppm(1_000_000)
+            .stall(0, Duration::from_millis(5))
+            .arm();
+        let start = std::time::Instant::now();
+        state.inject_shard_worker(3, None);
+        assert!(start.elapsed() >= Duration::from_millis(4));
+        assert_eq!(state.shard_stalls_injected(), 1);
+        assert_eq!(state.faults_injected(), 1);
+    }
+
+    #[test]
+    fn transport_faults_split_between_drop_and_dup() {
+        let state = ChaosPlan::seeded(6)
+            .shard_drop_ppm(500_000)
+            .shard_dup_ppm(500_000)
+            .arm();
+        for _ in 0..200 {
+            assert_ne!(state.transport_fault(), MessageFault::Deliver);
+        }
+        assert_eq!(state.msg_drops_injected() + state.msg_dups_injected(), 200);
+        assert!(state.msg_drops_injected() > 0);
+        assert!(state.msg_dups_injected() > 0);
     }
 }

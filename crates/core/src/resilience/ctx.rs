@@ -263,6 +263,12 @@ impl RunContext {
         self.chaos.as_deref()
     }
 
+    /// A shared handle to the chaos stream, for components (the shard
+    /// transport) that outlive a single borrow of the context.
+    pub(crate) fn chaos_arc(&self) -> Option<Arc<ChaosState>> {
+        self.chaos.clone()
+    }
+
     /// True when every checkpoint is a no-op (no deadline, cancel or chaos).
     pub fn is_unbounded(&self) -> bool {
         self.deadline.is_none() && self.cancel.is_none() && self.chaos.is_none()
@@ -287,7 +293,9 @@ impl RunContext {
             }
         }
         if let Some(chaos) = &self.chaos {
-            chaos.inject(self.engine)?;
+            // The deadline rides along so an injected stall is clamped to
+            // the attempt's remaining budget.
+            chaos.inject(self.engine, self.deadline)?;
         }
         Ok(())
     }

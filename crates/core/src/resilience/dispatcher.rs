@@ -44,6 +44,7 @@ use crate::resilience::chaos::ChaosState;
 use crate::resilience::ctx::{CancelToken, Deadline, RunContext};
 use crate::resilience::health::{BreakerConfig, CircuitState, EngineHealth};
 use crate::serial::{try_multiprefix_serial_ctx, try_multireduce_serial_ctx};
+use crate::shard::{ShardConfig, ShardSupervisor};
 use crate::spinetree::{try_multiprefix_spinetree_ctx, try_multireduce_spinetree_ctx};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -60,6 +61,10 @@ pub enum EngineKind {
     /// The genuinely concurrent CRCW-ARB engine ([`crate::atomic`];
     /// `i64` + commutative operators only).
     Atomic,
+    /// The fault-tolerant sharded engine ([`crate::shard`]): chunked phases
+    /// distributed across supervised shard workers with shard-loss
+    /// recovery. Opt-in: skipped unless [`DispatcherConfig::shard`] is set.
+    Sharded,
     /// The two-level local/combine/apply engine with compact reusable
     /// bucket tables ([`crate::chunked`]) — the default primary.
     Chunked,
@@ -74,8 +79,9 @@ pub enum EngineKind {
 
 impl EngineKind {
     /// All engine kinds, in default-chain preference order.
-    pub const ALL: [EngineKind; 5] = [
+    pub const ALL: [EngineKind; 6] = [
         EngineKind::Atomic,
+        EngineKind::Sharded,
         EngineKind::Chunked,
         EngineKind::Blocked,
         EngineKind::Spinetree,
@@ -85,10 +91,11 @@ impl EngineKind {
     fn index(self) -> usize {
         match self {
             EngineKind::Atomic => 0,
-            EngineKind::Chunked => 1,
-            EngineKind::Blocked => 2,
-            EngineKind::Spinetree => 3,
-            EngineKind::Serial => 4,
+            EngineKind::Sharded => 1,
+            EngineKind::Chunked => 2,
+            EngineKind::Blocked => 3,
+            EngineKind::Spinetree => 4,
+            EngineKind::Serial => 5,
         }
     }
 
@@ -108,6 +115,7 @@ impl EngineKind {
         }
         match self {
             EngineKind::Atomic => keys!("atomic"),
+            EngineKind::Sharded => keys!("shard"),
             EngineKind::Chunked => keys!("chunked"),
             EngineKind::Blocked => keys!("blocked"),
             EngineKind::Spinetree => keys!("spinetree"),
@@ -120,6 +128,7 @@ impl std::fmt::Display for EngineKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let name = match self {
             EngineKind::Atomic => "atomic",
+            EngineKind::Sharded => "shard",
             EngineKind::Chunked => "chunked",
             EngineKind::Blocked => "blocked",
             EngineKind::Spinetree => "spinetree",
@@ -172,6 +181,13 @@ pub struct DispatcherConfig {
     pub retry: RetryPolicy,
     /// Circuit-breaker tuning, shared by all engines in the chain.
     pub breaker: BreakerConfig,
+    /// Opt-in sharded execution: when set, the dispatcher owns a
+    /// [`ShardSupervisor`] (so per-shard breaker state persists across
+    /// requests) and [`EngineKind::Sharded`] chain entries participate.
+    /// When `None` (the default) sharded entries are skipped as
+    /// unsupported, exactly like [`EngineKind::Atomic`] for non-`i64`
+    /// dispatches.
+    pub shard: Option<ShardConfig>,
 }
 
 impl Default for DispatcherConfig {
@@ -188,6 +204,7 @@ impl Default for DispatcherConfig {
             request_timeout: None,
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
+            shard: None,
         }
     }
 }
@@ -273,8 +290,12 @@ impl JitterRng {
 #[derive(Debug)]
 pub struct Dispatcher {
     cfg: DispatcherConfig,
-    health: [EngineHealth; 5],
+    health: [EngineHealth; 6],
     recorder: Option<Arc<dyn Recorder>>,
+    /// The sharded engine's orchestrator, present iff
+    /// [`DispatcherConfig::shard`] is set. Owned here so shard breaker
+    /// state and loss counters persist across requests.
+    shard: Option<ShardSupervisor>,
 }
 
 impl Dispatcher {
@@ -300,11 +321,14 @@ impl Dispatcher {
             EngineHealth::new(cfg.breaker),
             EngineHealth::new(cfg.breaker),
             EngineHealth::new(cfg.breaker),
+            EngineHealth::new(cfg.breaker),
         ];
+        let shard = cfg.shard.map(ShardSupervisor::new);
         Ok(Dispatcher {
             cfg,
             health,
             recorder: None,
+            shard,
         })
     }
 
@@ -335,6 +359,13 @@ impl Dispatcher {
     /// The circuit-breaker state of one engine.
     pub fn circuit_state(&self, kind: EngineKind) -> CircuitState {
         self.health_of(kind).state()
+    }
+
+    /// The sharded engine's supervisor, when [`DispatcherConfig::shard`] is
+    /// configured — exposes shard-loss/requeue/degradation counters and
+    /// per-shard breaker states.
+    pub fn shard_supervisor(&self) -> Option<&ShardSupervisor> {
+        self.shard.as_ref()
     }
 
     fn health_of(&self, kind: EngineKind) -> &EngineHealth {
@@ -389,7 +420,9 @@ impl Dispatcher {
         let ws_cell = ws.map(std::cell::RefCell::new);
         self.drive(
             opts,
-            |kind| kind != EngineKind::Atomic,
+            |kind| {
+                kind != EngineKind::Atomic && (kind != EngineKind::Sharded || self.shard.is_some())
+            },
             |kind, ctx| {
                 let tried: TryEngineResult<MultiprefixOutput<T>> = match kind {
                     EngineKind::Serial => {
@@ -409,6 +442,12 @@ impl Dispatcher {
                             )
                         }
                         None => try_multiprefix_chunked_cfg_ctx(values, labels, m, op, exec, ctx),
+                    },
+                    EngineKind::Sharded => match &self.shard {
+                        Some(sup) => sup.try_multiprefix(values, labels, m, op, exec, ctx),
+                        None => unreachable!(
+                            "invariant: Sharded is filtered out of dispatch when unconfigured"
+                        ),
                     },
                     EngineKind::Atomic => unreachable!(
                         "invariant: Atomic is filtered out of generic dispatch by `supports`"
@@ -440,7 +479,7 @@ impl Dispatcher {
         let exec = self.cfg.exec;
         self.drive(
             opts,
-            |_| true,
+            |kind| kind != EngineKind::Sharded || self.shard.is_some(),
             |kind, ctx| {
                 let tried: TryEngineResult<MultiprefixOutput<i64>> = match kind {
                     EngineKind::Serial => {
@@ -455,6 +494,12 @@ impl Dispatcher {
                     EngineKind::Chunked => {
                         try_multiprefix_chunked_cfg_ctx(values, labels, m, op, exec, ctx)
                     }
+                    EngineKind::Sharded => match &self.shard {
+                        Some(sup) => sup.try_multiprefix(values, labels, m, op, exec, ctx),
+                        None => unreachable!(
+                            "invariant: Sharded is filtered out of dispatch when unconfigured"
+                        ),
+                    },
                     EngineKind::Atomic => {
                         try_multiprefix_atomic_cfg_ctx(values, labels, m, op, exec, ctx)
                     }
@@ -510,9 +555,13 @@ impl Dispatcher {
         let exec = self.cfg.exec;
         let checking = policy.needs_checking();
         let ws_cell = ws.map(std::cell::RefCell::new);
+        // Reduce dispatches have no sharded path (the sharded engine's
+        // value is distributing the three-phase prefix; a reduce is served
+        // fine by the single-node engines), so Sharded is skipped like any
+        // other unsupported kind.
         self.drive(
             opts,
-            |kind| kind != EngineKind::Atomic,
+            |kind| kind != EngineKind::Atomic && kind != EngineKind::Sharded,
             |kind, ctx| {
                 let tried: TryEngineResult<Vec<T>> = match kind {
                     _ if checking => {
@@ -536,8 +585,8 @@ impl Dispatcher {
                         }
                         None => try_multireduce_chunked_cfg_ctx(values, labels, m, op, exec, ctx),
                     },
-                    EngineKind::Atomic => unreachable!(
-                        "invariant: Atomic is filtered out of generic dispatch by `supports`"
+                    EngineKind::Atomic | EngineKind::Sharded => unreachable!(
+                        "invariant: Atomic and Sharded are filtered out of reduce dispatch by `supports`"
                     ),
                 };
                 match tried? {
@@ -564,7 +613,7 @@ impl Dispatcher {
         let checking = policy.needs_checking();
         self.drive(
             opts,
-            |_| true,
+            |kind| kind != EngineKind::Sharded,
             |kind, ctx| {
                 let tried: TryEngineResult<Vec<i64>> = match kind {
                     _ if checking => {
@@ -582,6 +631,9 @@ impl Dispatcher {
                     EngineKind::Chunked => {
                         try_multireduce_chunked_cfg_ctx(values, labels, m, op, exec, ctx)
                     }
+                    EngineKind::Sharded => unreachable!(
+                        "invariant: Sharded is filtered out of reduce dispatch by `supports`"
+                    ),
                     EngineKind::Atomic => {
                         try_multireduce_atomic_cfg_ctx(values, labels, m, op, exec, ctx)
                     }
@@ -1171,6 +1223,79 @@ mod tests {
             "events: {:?}",
             snap.events
         );
+    }
+
+    #[test]
+    fn sharded_primary_serves_when_configured() {
+        let (values, labels) = problem(3000, 11);
+        let cfg = DispatcherConfig {
+            chain: vec![EngineKind::Sharded, EngineKind::Serial],
+            shard: Some(crate::shard::ShardConfig::default().shards(3)),
+            ..Default::default()
+        };
+        let d = Dispatcher::new(cfg).unwrap();
+        let outcome = d
+            .dispatch(&values, &labels, 11, Plus, &DispatchOpts::default())
+            .unwrap();
+        assert_eq!(outcome.engine, EngineKind::Sharded);
+        assert_eq!(
+            outcome.output,
+            multiprefix_serial(&values, &labels, 11, Plus)
+        );
+        assert_eq!(d.shard_supervisor().unwrap().shards_lost(), 0);
+        // Reduce dispatch has no sharded path: it skips to serial.
+        let reduce = d
+            .dispatch_reduce(&values, &labels, 11, Plus, &DispatchOpts::default())
+            .unwrap();
+        assert_eq!(reduce.engine, EngineKind::Serial);
+    }
+
+    #[test]
+    fn unconfigured_sharded_entry_is_skipped_as_fallback() {
+        let (values, labels) = problem(800, 5);
+        let cfg = DispatcherConfig {
+            chain: vec![EngineKind::Sharded, EngineKind::Serial],
+            ..Default::default()
+        };
+        let d = Dispatcher::new(cfg).unwrap();
+        assert!(d.shard_supervisor().is_none());
+        let outcome = d
+            .dispatch(&values, &labels, 5, Plus, &DispatchOpts::default())
+            .unwrap();
+        assert_eq!(outcome.engine, EngineKind::Serial);
+        assert_eq!(outcome.fallbacks, 1);
+    }
+
+    #[test]
+    fn sharded_dispatch_survives_injected_shard_loss() {
+        let (values, labels) = problem(2000, 7);
+        let cfg = DispatcherConfig {
+            chain: vec![EngineKind::Sharded, EngineKind::Serial],
+            shard: Some(
+                crate::shard::ShardConfig::default()
+                    .shards(3)
+                    .task_timeout(Duration::from_millis(200)),
+            ),
+            ..Default::default()
+        };
+        let d = Dispatcher::new(cfg).unwrap();
+        let chaos = ChaosPlan::seeded(21)
+            .shard_panic_ppm(1_000_000)
+            .only_shard(0)
+            .arm();
+        let opts = DispatchOpts {
+            chaos: Some(chaos),
+            ..Default::default()
+        };
+        let outcome = d.dispatch(&values, &labels, 7, Plus, &opts).unwrap();
+        assert_eq!(outcome.engine, EngineKind::Sharded);
+        assert_eq!(
+            outcome.output,
+            multiprefix_serial(&values, &labels, 7, Plus)
+        );
+        let sup = d.shard_supervisor().unwrap();
+        assert!(sup.shards_lost() >= 1);
+        assert!(sup.requeues() >= 1);
     }
 
     #[test]

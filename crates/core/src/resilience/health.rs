@@ -54,9 +54,19 @@ pub enum CircuitState {
 
 #[derive(Debug, Clone, Copy)]
 enum State {
-    Closed { failures: u32 },
-    Open { until: Instant },
-    HalfOpen,
+    Closed {
+        failures: u32,
+    },
+    Open {
+        until: Instant,
+    },
+    /// Exactly one probe is outstanding; `probe_since` is when it was
+    /// admitted, so a probe that never reports back (its thread died
+    /// without reaching `on_success`/`on_failure`) can be reclaimed after
+    /// another cooldown instead of wedging the breaker half-open forever.
+    HalfOpen {
+        probe_since: Instant,
+    },
 }
 
 /// One engine's circuit breaker. Interior-mutable and thread-safe; the
@@ -84,15 +94,29 @@ impl EngineHealth {
 
     /// May a request be routed to this engine right now? An open breaker
     /// whose cooldown has elapsed transitions to half-open and admits the
-    /// caller as the probe.
+    /// caller as **the** probe; every other caller is rejected until that
+    /// probe reports its outcome. The single state transition and the
+    /// admit decision happen under one lock, so concurrent callers racing
+    /// the cooldown edge see exactly one winner. A probe outstanding
+    /// longer than a full cooldown is presumed lost and its slot handed to
+    /// the current caller.
     pub fn admit(&self) -> bool {
         let mut state = self.lock();
+        let now = Instant::now();
         match *state {
             State::Closed { .. } => true,
-            State::HalfOpen => true,
+            State::HalfOpen { probe_since } => {
+                if now.saturating_duration_since(probe_since) >= self.cfg.cooldown {
+                    // The previous probe went dark; take over its slot.
+                    *state = State::HalfOpen { probe_since: now };
+                    true
+                } else {
+                    false
+                }
+            }
             State::Open { until } => {
-                if Instant::now() >= until {
-                    *state = State::HalfOpen;
+                if now >= until {
+                    *state = State::HalfOpen { probe_since: now };
                     true
                 } else {
                     false
@@ -123,7 +147,7 @@ impl EngineHealth {
                     State::Closed { failures }
                 }
             }
-            State::HalfOpen => State::Open {
+            State::HalfOpen { .. } => State::Open {
                 until: Instant::now() + self.cfg.cooldown,
             },
             open @ State::Open { .. } => open,
@@ -137,7 +161,7 @@ impl EngineHealth {
         match *self.lock() {
             State::Closed { .. } => CircuitState::Closed,
             State::Open { .. } => CircuitState::Open,
-            State::HalfOpen => CircuitState::HalfOpen,
+            State::HalfOpen { .. } => CircuitState::HalfOpen,
         }
     }
 }
@@ -219,5 +243,86 @@ mod tests {
         h.on_failure();
         assert_eq!(h.state(), CircuitState::Open);
         assert!(!h.admit());
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let h = EngineHealth::new(fast_cfg());
+        for _ in 0..3 {
+            h.on_failure();
+        }
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(h.admit(), "first caller wins the probe slot");
+        // Losers are rejected without disturbing the breaker state.
+        for _ in 0..10 {
+            assert!(!h.admit());
+        }
+        assert_eq!(h.state(), CircuitState::HalfOpen);
+        // The probe's success still closes the breaker normally.
+        h.on_success();
+        assert_eq!(h.state(), CircuitState::Closed);
+    }
+
+    #[test]
+    fn concurrent_probes_admit_exactly_one() {
+        // Interleaving check for the race the single-probe rule exists
+        // for: many threads hit admit() at the same instant right after
+        // the cooldown; exactly one may win, and the losers must not
+        // double-transition the breaker.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::{Arc, Barrier};
+
+        for round in 0..20 {
+            let h = Arc::new(EngineHealth::new(BreakerConfig {
+                failure_threshold: 1,
+                cooldown: Duration::from_millis(1),
+            }));
+            h.on_failure();
+            assert_eq!(h.state(), CircuitState::Open);
+            std::thread::sleep(Duration::from_millis(2));
+
+            let threads = 8;
+            let barrier = Arc::new(Barrier::new(threads));
+            let admitted = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let h = Arc::clone(&h);
+                    let barrier = Arc::clone(&barrier);
+                    let admitted = Arc::clone(&admitted);
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        if h.admit() {
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().unwrap();
+            }
+            assert_eq!(
+                admitted.load(Ordering::Relaxed),
+                1,
+                "round {round}: exactly one concurrent probe may be admitted"
+            );
+            assert_eq!(h.state(), CircuitState::HalfOpen);
+        }
+    }
+
+    #[test]
+    fn lost_probe_slot_is_reclaimed_after_a_cooldown() {
+        let h = EngineHealth::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(5),
+        });
+        h.on_failure();
+        std::thread::sleep(Duration::from_millis(8));
+        assert!(h.admit(), "probe admitted");
+        assert!(!h.admit(), "slot taken");
+        // The probe never reports back; after another cooldown the slot is
+        // handed to a new caller instead of wedging half-open forever.
+        std::thread::sleep(Duration::from_millis(8));
+        assert!(h.admit(), "dark probe's slot reclaimed");
+        assert_eq!(h.state(), CircuitState::HalfOpen);
     }
 }

@@ -233,9 +233,16 @@ where
     };
     // The worker checkpoint: fires *after* InFlight owns the tickets, so an
     // injected panic here unwinds through the guard and every ticket in the
-    // batch resolves WorkerLost — the supervised-teardown scenario.
+    // batch resolves WorkerLost — the supervised-teardown scenario. An
+    // injected stall is clamped to the batch's earliest request deadline.
     if let (Some(idx), Some(chaos)) = (worker, &shared.cfg.chaos) {
-        chaos.inject_worker(idx);
+        let nearest = inflight
+            .slots
+            .iter()
+            .flatten()
+            .filter_map(|entry| entry.request.deadline)
+            .reduce(|a, b| a.min(b));
+        chaos.inject_worker(idx, nearest);
     }
     // Pre-execution triage: requests that no longer need an engine are
     // settled for the cost of a flag/clock read. A deadline that expired

@@ -1,0 +1,1050 @@
+//! # Fault-tolerant sharded multiprefix
+//!
+//! The chunked engine's three phases, distributed across shard workers
+//! behind a message [`Transport`], with shard-loss recovery:
+//!
+//! 1. **local** — each worker runs the local phase over its contiguous
+//!    span, producing a [`ShardSummary`] (touched labels in first-touch
+//!    order + per-label span totals);
+//! 2. **exscan** — the supervisor runs [`exscan::exscan_parts`] (the same
+//!    primitive the single-node chunked engine uses for its combine phase)
+//!    over the summaries in span order, turning each summary into its
+//!    exclusive per-label offsets and yielding the global reductions;
+//! 3. **apply** — each worker replays its span with the offsets, producing
+//!    the span's final prefix sums.
+//!
+//! ## Why losses are recoverable
+//!
+//! Both worker tasks are **pure functions of their span**: a summary or an
+//! applied-sums block recomputed on any surviving worker is bit-identical
+//! to the lost one, and the exscan is exclusive and order-indexed, so
+//! stitching never depends on *which* worker produced a part — only on the
+//! part's span position. The [`ShardSupervisor`] exploits this: tasks from
+//! a crashed, stalled or silent shard are requeued onto surviving workers,
+//! duplicated deliveries are deduplicated by span index (first reply wins;
+//! later replies are identical anyway), and dropped messages surface as
+//! attempt timeouts and requeue like a crash.
+//!
+//! ## Supervisor state machine (per task)
+//!
+//! ```text
+//!             send ──────▶ Outstanding ───reply──▶ Done
+//!               ▲            │      │
+//!               │   timeout  │      │ worker crash / silent shard
+//!               └────────────┴──────┘
+//!                 requeue to next live, admitted shard
+//!                 (breaker per shard; attempts capped)
+//! ```
+//!
+//! When no live shard is admitted (too many breakers open, every worker
+//! lost, or a task exhausts its retries) the run **degrades**: with
+//! [`ShardConfig::fallback_single_node`] it re-runs the request through
+//! the single-node chunked engine in the supervisor's thread (timed under
+//! the `recover` phase); otherwise it fails cleanly with
+//! [`MpError::Unavailable`]. Never a wrong answer, never a hang: every
+//! blocking wait is bounded by the heartbeat tick, attempt deadlines, and
+//! the run context's own deadline, and the worker scope broadcasts
+//! [`DownMsg::Shutdown`] even when the supervisor unwinds.
+
+pub mod exscan;
+pub mod transport;
+
+pub use exscan::{exscan_over_summaries, ShardSummary};
+pub use transport::{ChannelTransport, DownMsg, RecvOutcome, ShardSpan, Transport, UpMsg};
+
+use crate::chunked::{run_prefix, use_direct, ChunkSpace, ChunkedWorkspace, Comb, PlainComb};
+use crate::error::MpError;
+use crate::exec::{try_filled_vec, CheckGuard, ExecConfig, TryEngineResult};
+use crate::obs::Phase;
+use crate::op::{CombineOp, TryCombineOp};
+use crate::problem::{validate_slices, Element, MultiprefixOutput};
+use crate::resilience::health::{BreakerConfig, CircuitState, EngineHealth};
+use crate::resilience::RunContext;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Recorder key for shards declared lost (crash or silence).
+pub const COUNTER_SHARD_LOST: &str = "shard.supervisor.shard_lost";
+/// Recorder key for task requeues (loss, timeout, or drop recovery).
+pub const COUNTER_REQUEUED: &str = "shard.supervisor.requeued";
+/// Recorder key for runs degraded to single-node execution.
+pub const COUNTER_DEGRADED: &str = "shard.supervisor.degraded";
+
+/// Tuning knobs for a [`ShardSupervisor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Worker count (spans are split to match; at most one span per
+    /// worker, so spare workers double as requeue targets).
+    pub shards: usize,
+    /// Fewer live shards than this aborts the distributed attempt (the
+    /// degradation path takes over).
+    pub min_live: usize,
+    /// Per-task attempt deadline: a task not answered within this window
+    /// is counted against the shard's breaker and requeued.
+    pub task_timeout: Duration,
+    /// Idle workers send a heartbeat on this tick; a shard silent for
+    /// several ticks with no task outstanding is declared lost.
+    pub heartbeat_interval: Duration,
+    /// Requeues allowed per task beyond its first attempt before the run
+    /// degrades.
+    pub max_task_retries: u32,
+    /// Per-shard circuit breaker tuning (reuses
+    /// [`crate::resilience::health`]).
+    pub breaker: BreakerConfig,
+    /// On exhausted recovery, re-run through the single-node chunked
+    /// engine (`true`, the default) instead of failing with
+    /// [`MpError::Unavailable`].
+    pub fallback_single_node: bool,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 4,
+            min_live: 1,
+            task_timeout: Duration::from_millis(500),
+            heartbeat_interval: Duration::from_millis(25),
+            max_task_retries: 3,
+            breaker: BreakerConfig::default(),
+            fallback_single_node: true,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Set the worker count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Set the minimum live-shard floor.
+    pub fn min_live(mut self, min_live: usize) -> Self {
+        self.min_live = min_live;
+        self
+    }
+
+    /// Set the per-task attempt deadline.
+    pub fn task_timeout(mut self, timeout: Duration) -> Self {
+        self.task_timeout = timeout;
+        self
+    }
+
+    /// Set the idle heartbeat tick.
+    pub fn heartbeat_interval(mut self, interval: Duration) -> Self {
+        self.heartbeat_interval = interval;
+        self
+    }
+
+    /// Set the per-task requeue budget.
+    pub fn max_task_retries(mut self, retries: u32) -> Self {
+        self.max_task_retries = retries;
+        self
+    }
+
+    /// Set the per-shard breaker tuning.
+    pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Enable or disable the single-node degradation fallback.
+    pub fn fallback_single_node(mut self, fallback: bool) -> Self {
+        self.fallback_single_node = fallback;
+        self
+    }
+
+    fn normalized(mut self) -> Self {
+        self.shards = self.shards.max(1);
+        self.min_live = self.min_live.clamp(1, self.shards);
+        self.task_timeout = self.task_timeout.max(Duration::from_millis(1));
+        self.heartbeat_interval = self.heartbeat_interval.max(Duration::from_millis(1));
+        self
+    }
+}
+
+/// One span's outstanding attempt.
+struct Assign {
+    shard: usize,
+    deadline: Instant,
+}
+
+/// A phase reply, keyed by span index.
+enum Payload<T> {
+    Summary { touched: Vec<usize>, totals: Vec<T> },
+    Sums(Vec<T>),
+}
+
+/// The shard orchestrator: owns per-shard breakers and loss/requeue/
+/// degradation counters across runs, spawns a worker fleet per request,
+/// and stitches results with the shared exscan primitive.
+///
+/// Deliberately non-generic (no element or transport type parameters) so a
+/// [`crate::resilience::Dispatcher`] can own one alongside its engine
+/// breakers; each run builds its own [`ChannelTransport`] and worker
+/// scope.
+#[derive(Debug)]
+pub struct ShardSupervisor {
+    cfg: ShardConfig,
+    health: Vec<EngineHealth>,
+    shard_lost: AtomicU64,
+    requeued: AtomicU64,
+    degraded: AtomicU64,
+}
+
+impl ShardSupervisor {
+    /// A supervisor with `cfg` (normalized: at least one shard, `min_live`
+    /// clamped into `[1, shards]`).
+    pub fn new(cfg: ShardConfig) -> Self {
+        let cfg = cfg.normalized();
+        let health = (0..cfg.shards)
+            .map(|_| EngineHealth::new(cfg.breaker))
+            .collect();
+        ShardSupervisor {
+            cfg,
+            health,
+            shard_lost: AtomicU64::new(0),
+            requeued: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+        }
+    }
+
+    /// The normalized configuration.
+    pub fn config(&self) -> &ShardConfig {
+        &self.cfg
+    }
+
+    /// Shards declared lost (crash or prolonged silence) across all runs.
+    pub fn shards_lost(&self) -> u64 {
+        self.shard_lost.load(Ordering::Relaxed)
+    }
+
+    /// Task requeues across all runs.
+    pub fn requeues(&self) -> u64 {
+        self.requeued.load(Ordering::Relaxed)
+    }
+
+    /// Runs that fell back to single-node execution.
+    pub fn degraded_runs(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// The breaker state of one shard slot.
+    pub fn shard_state(&self, shard: usize) -> CircuitState {
+        self.health[shard].state()
+    }
+
+    /// Plain sharded multiprefix: validates, distributes, recovers; panics
+    /// on typed failures (mirrors the other plain engine entries).
+    pub fn multiprefix<T: Element, O: CombineOp<T>>(
+        &self,
+        values: &[T],
+        labels: &[usize],
+        m: usize,
+        op: O,
+    ) -> MultiprefixOutput<T> {
+        self.run_sharded(values, labels, m, PlainComb(op), &RunContext::new())
+            .expect("sharded multiprefix failed")
+    }
+
+    /// Hardened sharded multiprefix under an [`ExecConfig`] overflow
+    /// policy and a [`RunContext`]. Same contract as
+    /// [`crate::chunked::try_multiprefix_chunked_ws_ctx`]: `Ok(None)`
+    /// means a checked combine tripped and the caller must canonicalize
+    /// with a serial replay.
+    pub fn try_multiprefix<T: Element, O: TryCombineOp<T>>(
+        &self,
+        values: &[T],
+        labels: &[usize],
+        m: usize,
+        op: O,
+        cfg: ExecConfig,
+        ctx: &RunContext,
+    ) -> TryEngineResult<MultiprefixOutput<T>> {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let tripped = AtomicBool::new(false);
+            let guard = CheckGuard::new(op, cfg.overflow, &tripped);
+            let out = self.run_sharded(values, labels, m, guard, ctx)?;
+            if tripped.load(Ordering::Relaxed) {
+                Ok(None)
+            } else {
+                Ok(Some(out))
+            }
+        }));
+        // AssertUnwindSafe is sound: partial outputs die inside the
+        // closure, worker threads are joined by the scope before the
+        // unwind escapes, and the supervisor's own state (breakers,
+        // counters) is interior-mutable and coherent at every step.
+        caught.unwrap_or(Err(MpError::EnginePanicked))
+    }
+
+    /// Validate, distribute across shard workers, and degrade to
+    /// single-node chunked execution when recovery is exhausted.
+    fn run_sharded<T: Element, C: Comb<T>>(
+        &self,
+        values: &[T],
+        labels: &[usize],
+        m: usize,
+        comb: C,
+        ctx: &RunContext,
+    ) -> Result<MultiprefixOutput<T>, MpError> {
+        ctx.checkpoint()?;
+        // Up-front validation matters more here than in the single-node
+        // engines: a bad label inside a worker would read as a shard crash
+        // and be pointlessly retried on every surviving worker.
+        validate_slices(values, labels, m)?;
+        if values.is_empty() {
+            return Ok(MultiprefixOutput {
+                sums: Vec::new(),
+                reductions: try_filled_vec(comb.identity(), m)?,
+            });
+        }
+        match self.run_distributed(values, labels, m, comb, ctx) {
+            Err(MpError::Unavailable) if self.cfg.fallback_single_node => {
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+                if let Some(rec) = ctx.recorder() {
+                    rec.counter(COUNTER_DEGRADED, 1);
+                }
+                let _span = ctx.phase_span(Phase::Recover);
+                let mut ws = ChunkedWorkspace::new();
+                run_prefix(values, labels, m, comb, self.cfg.shards, &mut ws, ctx)
+            }
+            other => other,
+        }
+    }
+
+    /// One distributed attempt: spawn the worker fleet, supervise the two
+    /// worker phases around the supervisor-local exscan, and join.
+    fn run_distributed<T: Element, C: Comb<T>>(
+        &self,
+        values: &[T],
+        labels: &[usize],
+        m: usize,
+        comb: C,
+        ctx: &RunContext,
+    ) -> Result<MultiprefixOutput<T>, MpError> {
+        let n = values.len();
+        let nshards = self.cfg.shards.min(n);
+        let span_len = n.div_ceil(nshards);
+        let nspans = n.div_ceil(span_len);
+        let spans: Vec<ShardSpan> = (0..nspans)
+            .map(|i| ShardSpan {
+                index: i,
+                start: i * span_len,
+                end: ((i + 1) * span_len).min(n),
+            })
+            .collect();
+        let transport: ChannelTransport<T> = ChannelTransport::new(nshards, ctx.chaos_arc());
+        std::thread::scope(|scope| {
+            for shard in 0..nshards {
+                let t = &transport;
+                let hb = self.cfg.heartbeat_interval;
+                scope.spawn(move || worker_loop(t, shard, values, labels, m, comb, hb, ctx));
+            }
+            // Dropped on every exit from this closure — Ok, Err, or unwind
+            // — so the workers always see Shutdown and the scope's implicit
+            // join is bounded.
+            let _guard = ShutdownGuard {
+                transport: &transport,
+                _elements: PhantomData,
+            };
+            self.supervise(&transport, &spans, n, m, comb, ctx)
+        })
+    }
+
+    /// The supervisor loop proper: local scans → exscan → apply.
+    fn supervise<T: Element, C: Comb<T>, Tr: Transport<T>>(
+        &self,
+        transport: &Tr,
+        spans: &[ShardSpan],
+        n: usize,
+        m: usize,
+        comb: C,
+        ctx: &RunContext,
+    ) -> Result<MultiprefixOutput<T>, MpError> {
+        let mut live = vec![true; transport.shards()];
+        let mut next_task = 0u64;
+
+        let scan_replies = {
+            let _span = ctx.phase_span(Phase::Local);
+            self.drive_phase(
+                transport,
+                ctx,
+                &mut live,
+                spans,
+                &mut next_task,
+                false,
+                |span, task| DownMsg::Scan { task, span },
+            )?
+        };
+        let mut summaries: Vec<ShardSummary<T>> = Vec::with_capacity(spans.len());
+        for (i, reply) in scan_replies.into_iter().enumerate() {
+            match reply {
+                Payload::Summary { touched, totals } => summaries.push(ShardSummary {
+                    shard: i,
+                    touched,
+                    totals,
+                }),
+                Payload::Sums(_) => unreachable!("scan phase only accepts summaries"),
+            }
+        }
+
+        ctx.checkpoint()?;
+        let reductions = {
+            let _span = ctx.phase_span(Phase::Exscan);
+            let mut global = ChunkSpace::default();
+            exscan::exscan_parts(&mut summaries, m, n, &mut global, comb, ctx)?
+        };
+
+        // The exscan replaced each summary's totals with its exclusive
+        // offsets; ship them back per span for the apply phase.
+        let offsets: Vec<Vec<(usize, T)>> = summaries
+            .iter()
+            .map(|s| {
+                s.touched
+                    .iter()
+                    .copied()
+                    .zip(s.totals.iter().copied())
+                    .collect()
+            })
+            .collect();
+        let apply_replies = {
+            let _span = ctx.phase_span(Phase::Apply);
+            self.drive_phase(
+                transport,
+                ctx,
+                &mut live,
+                spans,
+                &mut next_task,
+                true,
+                |span, task| DownMsg::Apply {
+                    task,
+                    span,
+                    offsets: offsets[span.index].clone(),
+                },
+            )?
+        };
+        let mut sums = try_filled_vec(comb.identity(), n)?;
+        for (i, reply) in apply_replies.into_iter().enumerate() {
+            match reply {
+                Payload::Sums(part) => sums[spans[i].start..spans[i].end].copy_from_slice(&part),
+                Payload::Summary { .. } => unreachable!("apply phase only accepts sums"),
+            }
+        }
+        Ok(MultiprefixOutput { sums, reductions })
+    }
+
+    /// Drive one worker phase to completion: assign every span, collect
+    /// replies (deduplicated by span index — replies are deterministic, so
+    /// first-wins is also only-possible), and recover from crashes,
+    /// timeouts and silence by requeueing onto live, breaker-admitted
+    /// shards. Errors with [`MpError::Unavailable`] when recovery is
+    /// exhausted.
+    #[allow(clippy::too_many_arguments)]
+    fn drive_phase<T: Element, Tr: Transport<T>, F: Fn(ShardSpan, u64) -> DownMsg<T>>(
+        &self,
+        transport: &Tr,
+        ctx: &RunContext,
+        live: &mut [bool],
+        spans: &[ShardSpan],
+        next_task: &mut u64,
+        want_sums: bool,
+        mk: F,
+    ) -> Result<Vec<Payload<T>>, MpError> {
+        let nshards = live.len();
+        let mut results: Vec<Option<Payload<T>>> = (0..spans.len()).map(|_| None).collect();
+        let mut assigned: Vec<Option<Assign>> = (0..spans.len()).map(|_| None).collect();
+        let mut attempts = vec![0u32; spans.len()];
+        let mut last_seen = vec![Instant::now(); nshards];
+        let mut pending = spans.len();
+        let mut rr = 0usize;
+        // Idle workers beacon every tick; give a few ticks of slack before
+        // declaring silence (a dropped heartbeat is not a dead shard).
+        let silence_budget = self.cfg.heartbeat_interval * 8;
+
+        for (i, &span) in spans.iter().enumerate() {
+            self.assign_span(
+                transport,
+                live,
+                span,
+                &mut assigned[i],
+                &mut attempts[i],
+                next_task,
+                &mut rr,
+                Some(i % nshards),
+                &mk,
+            )?;
+        }
+
+        while pending > 0 {
+            ctx.checkpoint()?;
+            if live.iter().filter(|&&l| l).count() < self.cfg.min_live {
+                return Err(MpError::Unavailable);
+            }
+
+            let now = Instant::now();
+            let mut wait = self.cfg.heartbeat_interval;
+            for a in assigned.iter().flatten() {
+                wait = wait.min(a.deadline.saturating_duration_since(now));
+            }
+            if let Some(d) = ctx.deadline() {
+                wait = wait.min(d.remaining());
+            }
+            // A tiny floor keeps an expired deadline from busy-spinning;
+            // the next checkpoint/timeout scan resolves it.
+            let wait = wait.max(Duration::from_micros(200));
+
+            let mut to_requeue: Vec<usize> = Vec::new();
+            match transport.recv_up(wait) {
+                RecvOutcome::Msg(UpMsg::Heartbeat { shard }) => {
+                    if shard < nshards {
+                        last_seen[shard] = Instant::now();
+                    }
+                }
+                RecvOutcome::Msg(UpMsg::Crashed { shard }) => {
+                    if shard < nshards && live[shard] {
+                        self.note_shard_lost(ctx, shard, live);
+                        for (i, slot) in assigned.iter_mut().enumerate() {
+                            if matches!(slot, Some(a) if a.shard == shard) {
+                                *slot = None;
+                                to_requeue.push(i);
+                            }
+                        }
+                    }
+                }
+                RecvOutcome::Msg(UpMsg::Summary {
+                    shard,
+                    span,
+                    touched,
+                    totals,
+                    ..
+                }) => {
+                    if shard < nshards {
+                        last_seen[shard] = Instant::now();
+                    }
+                    let i = span.index;
+                    if !want_sums && i < results.len() && results[i].is_none() {
+                        results[i] = Some(Payload::Summary { touched, totals });
+                        assigned[i] = None;
+                        pending -= 1;
+                        if shard < nshards {
+                            self.health[shard].on_success();
+                        }
+                    }
+                }
+                RecvOutcome::Msg(UpMsg::Applied {
+                    shard, span, sums, ..
+                }) => {
+                    if shard < nshards {
+                        last_seen[shard] = Instant::now();
+                    }
+                    let i = span.index;
+                    if want_sums
+                        && i < results.len()
+                        && results[i].is_none()
+                        && sums.len() == span.len()
+                    {
+                        results[i] = Some(Payload::Sums(sums));
+                        assigned[i] = None;
+                        pending -= 1;
+                        if shard < nshards {
+                            self.health[shard].on_success();
+                        }
+                    }
+                }
+                RecvOutcome::TimedOut => {}
+                RecvOutcome::Disconnected => return Err(MpError::Unavailable),
+            }
+
+            // Attempt deadlines: a task unanswered past its window is
+            // presumed lost in transit or stuck behind a stall; charge the
+            // shard's breaker and requeue elsewhere.
+            let now = Instant::now();
+            for (i, slot) in assigned.iter_mut().enumerate() {
+                if matches!(&slot, Some(a) if now >= a.deadline) {
+                    let a = slot.take().expect("matched Some above");
+                    self.health[a.shard].on_failure();
+                    to_requeue.push(i);
+                }
+            }
+
+            // Silence detection: an *idle* shard heartbeats every tick, so
+            // prolonged silence means the worker is gone or wedged. Busy
+            // shards are covered by their task's attempt deadline instead.
+            for (s, seen) in last_seen.iter().enumerate() {
+                let busy = assigned.iter().flatten().any(|a| a.shard == s);
+                if live[s] && !busy && now.saturating_duration_since(*seen) > silence_budget {
+                    self.note_shard_lost(ctx, s, live);
+                }
+            }
+
+            for i in to_requeue {
+                self.requeued.fetch_add(1, Ordering::Relaxed);
+                if let Some(rec) = ctx.recorder() {
+                    rec.counter(COUNTER_REQUEUED, 1);
+                }
+                let _span = ctx.phase_span(Phase::Recover);
+                self.assign_span(
+                    transport,
+                    live,
+                    spans[i],
+                    &mut assigned[i],
+                    &mut attempts[i],
+                    next_task,
+                    &mut rr,
+                    None,
+                    &mk,
+                )?;
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("pending reached zero"))
+            .collect())
+    }
+
+    /// Send one task to the first live, breaker-admitted shard at or after
+    /// the preferred slot (round-robin otherwise). Fails with
+    /// [`MpError::Unavailable`] when the attempt budget is spent or no
+    /// shard is assignable — the degradation trigger.
+    #[allow(clippy::too_many_arguments)]
+    fn assign_span<T: Element, Tr: Transport<T>, F: Fn(ShardSpan, u64) -> DownMsg<T>>(
+        &self,
+        transport: &Tr,
+        live: &[bool],
+        span: ShardSpan,
+        slot: &mut Option<Assign>,
+        attempts: &mut u32,
+        next_task: &mut u64,
+        rr: &mut usize,
+        prefer: Option<usize>,
+        mk: &F,
+    ) -> Result<(), MpError> {
+        if *attempts > self.cfg.max_task_retries {
+            return Err(MpError::Unavailable);
+        }
+        let nshards = live.len();
+        let start = prefer.unwrap_or(*rr) % nshards;
+        for k in 0..nshards {
+            let s = (start + k) % nshards;
+            if live[s] && self.health[s].admit() {
+                *attempts += 1;
+                *next_task += 1;
+                transport.send_down(s, mk(span, *next_task));
+                *slot = Some(Assign {
+                    shard: s,
+                    deadline: Instant::now() + self.cfg.task_timeout,
+                });
+                *rr = (s + 1) % nshards;
+                return Ok(());
+            }
+        }
+        Err(MpError::Unavailable)
+    }
+
+    fn note_shard_lost(&self, ctx: &RunContext, shard: usize, live: &mut [bool]) {
+        live[shard] = false;
+        self.health[shard].on_failure();
+        self.shard_lost.fetch_add(1, Ordering::Relaxed);
+        if let Some(rec) = ctx.recorder() {
+            rec.counter(COUNTER_SHARD_LOST, 1);
+        }
+    }
+}
+
+/// Broadcasts [`DownMsg::Shutdown`] on drop so the worker fleet always
+/// terminates — including when the supervisor body unwinds from an
+/// injected panic.
+struct ShutdownGuard<'a, T: Element, Tr: Transport<T>> {
+    transport: &'a Tr,
+    _elements: PhantomData<T>,
+}
+
+impl<T: Element, Tr: Transport<T>> Drop for ShutdownGuard<'_, T, Tr> {
+    fn drop(&mut self) {
+        for shard in 0..self.transport.shards() {
+            self.transport.send_down(shard, DownMsg::Shutdown);
+        }
+    }
+}
+
+/// One worker: a stateless task servant. Receives self-contained tasks,
+/// recomputes them deterministically (duplicates are bit-identical),
+/// beacons a heartbeat when idle, and converts any panic or checkpoint
+/// failure into a [`UpMsg::Crashed`] exit instead of a hang.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<T: Element, C: Comb<T>, Tr: Transport<T>>(
+    transport: &Tr,
+    shard: usize,
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    comb: C,
+    heartbeat: Duration,
+    ctx: &RunContext,
+) {
+    let mut space = ChunkSpace::default();
+    let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), MpError> {
+        loop {
+            match transport.recv_down(shard, heartbeat) {
+                RecvOutcome::Msg(DownMsg::Shutdown) | RecvOutcome::Disconnected => return Ok(()),
+                RecvOutcome::TimedOut => transport.send_up(UpMsg::Heartbeat { shard }),
+                RecvOutcome::Msg(DownMsg::Scan { task, span }) => {
+                    if let Some(chaos) = ctx.chaos() {
+                        chaos.inject_shard_worker(shard, ctx.deadline());
+                    }
+                    let (touched, totals) =
+                        scan_span(&mut space, values, labels, span, m, comb, ctx)?;
+                    transport.send_up(UpMsg::Summary {
+                        shard,
+                        task,
+                        span,
+                        touched,
+                        totals,
+                    });
+                }
+                RecvOutcome::Msg(DownMsg::Apply {
+                    task,
+                    span,
+                    offsets,
+                }) => {
+                    if let Some(chaos) = ctx.chaos() {
+                        chaos.inject_shard_worker(shard, ctx.deadline());
+                    }
+                    let sums =
+                        apply_span(&mut space, values, labels, span, m, &offsets, comb, ctx)?;
+                    transport.send_up(UpMsg::Applied {
+                        shard,
+                        task,
+                        span,
+                        sums,
+                    });
+                }
+            }
+        }
+    }));
+    match outcome {
+        Ok(Ok(())) => {}
+        // A checkpoint failure (cancel/deadline/chaos) or a caught panic:
+        // announce the death so the supervisor requeues, then exit. The
+        // supervisor's own checkpoint reports the user-facing error.
+        Ok(Err(_)) | Err(_) => transport.send_up(UpMsg::Crashed { shard }),
+    }
+}
+
+/// The local phase over one span: serial multiprefix into a compact
+/// touched-label table. Pure function of the span (given `comb`).
+fn scan_span<T: Element, C: Comb<T>>(
+    space: &mut ChunkSpace<T>,
+    values: &[T],
+    labels: &[usize],
+    span: ShardSpan,
+    m: usize,
+    comb: C,
+    ctx: &RunContext,
+) -> Result<(Vec<usize>, Vec<T>), MpError> {
+    let len = span.len();
+    space.begin_use(m, len.min(m), use_direct(1, len, m))?;
+    for (i, idx) in (span.start..span.end).enumerate() {
+        ctx.checkpoint_every(i)?;
+        let slot = space.slot_or_insert(labels[idx], comb.identity());
+        space.vals[slot] = comb.combine(space.vals[slot], values[idx]);
+    }
+    Ok((
+        std::mem::take(&mut space.touched),
+        std::mem::take(&mut space.vals),
+    ))
+}
+
+/// The apply phase over one span: preload the exscanned offsets, then
+/// replay the span accumulating each element's exclusive prefix. Pure
+/// function of span + offsets.
+#[allow(clippy::too_many_arguments)]
+fn apply_span<T: Element, C: Comb<T>>(
+    space: &mut ChunkSpace<T>,
+    values: &[T],
+    labels: &[usize],
+    span: ShardSpan,
+    m: usize,
+    offsets: &[(usize, T)],
+    comb: C,
+    ctx: &RunContext,
+) -> Result<Vec<T>, MpError> {
+    let len = span.len();
+    space.begin_use(m, len.min(m), use_direct(1, len, m))?;
+    for &(label, offset) in offsets {
+        let slot = space.slot_or_insert(label, comb.identity());
+        space.vals[slot] = offset;
+    }
+    let mut sums = try_filled_vec(comb.identity(), len)?;
+    for (i, idx) in (span.start..span.end).enumerate() {
+        ctx.checkpoint_every(i)?;
+        let slot = space.slot_or_insert(labels[idx], comb.identity());
+        sums[i] = space.vals[slot];
+        space.vals[slot] = comb.combine(space.vals[slot], values[idx]);
+    }
+    Ok(sums)
+}
+
+/// Sharded multiprefix over an in-process worker fleet with default
+/// recovery tuning. A convenience over [`ShardSupervisor`] for one-shot
+/// runs:
+///
+/// ```
+/// use multiprefix::op::Plus;
+/// use multiprefix::shard::multiprefix_sharded;
+///
+/// let values = [1i64, 3, 2, 1, 1, 2, 3, 1];
+/// let labels = [1usize, 2, 1, 1, 2, 2, 1, 1];
+/// let out = multiprefix_sharded(&values, &labels, 4, Plus, 3);
+/// assert_eq!(out.sums, vec![0, 0, 1, 3, 3, 4, 4, 7]);
+/// assert_eq!(out.reductions, vec![0, 8, 6, 0]);
+/// ```
+pub fn multiprefix_sharded<T: Element, O: CombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    shards: usize,
+) -> MultiprefixOutput<T> {
+    ShardSupervisor::new(ShardConfig::default().shards(shards)).multiprefix(values, labels, m, op)
+}
+
+/// Hardened one-shot sharded multiprefix: a transient supervisor under an
+/// explicit [`ShardConfig`] and [`RunContext`] (the bench harness's entry;
+/// the dispatcher owns a persistent supervisor instead so breaker state
+/// survives across requests).
+pub fn try_multiprefix_sharded_ctx<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    cfg: ExecConfig,
+    shard_cfg: &ShardConfig,
+    ctx: &RunContext,
+) -> TryEngineResult<MultiprefixOutput<T>> {
+    ShardSupervisor::new(*shard_cfg).try_multiprefix(values, labels, m, op, cfg, ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{FirstLast, Plus};
+    use crate::resilience::ChaosPlan;
+
+    fn problem(n: usize, m: usize) -> (Vec<i64>, Vec<usize>) {
+        let values: Vec<i64> = (0..n).map(|i| (i as i64 % 23) - 11).collect();
+        let labels: Vec<usize> = (0..n).map(|i| (i * 7 + i / 3) % m).collect();
+        (values, labels)
+    }
+
+    fn oracle(values: &[i64], labels: &[usize], m: usize) -> MultiprefixOutput<i64> {
+        let mut buckets = vec![0i64; m];
+        let mut sums = Vec::with_capacity(values.len());
+        for (&v, &l) in values.iter().zip(labels) {
+            sums.push(buckets[l]);
+            buckets[l] = buckets[l].wrapping_add(v);
+        }
+        MultiprefixOutput {
+            sums,
+            reductions: buckets,
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_oracle() {
+        for &(n, m, shards) in &[
+            (1usize, 1usize, 1usize),
+            (200, 8, 3),
+            (500, 3, 4),
+            (64, 200, 2),
+        ] {
+            let (values, labels) = problem(n, m);
+            let out = multiprefix_sharded(&values, &labels, m, Plus, shards);
+            assert_eq!(
+                out,
+                oracle(&values, &labels, m),
+                "n={n} m={m} shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn noncommutative_op_preserves_element_order_across_shards() {
+        let n = 300;
+        let values: Vec<(i32, i32)> = (0..n).map(|i| (i as i32, i as i32)).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 5).collect();
+        let out = multiprefix_sharded(&values, &labels, 5, FirstLast, 4);
+        let serial = crate::serial::multiprefix_serial(&values, &labels, 5, FirstLast);
+        assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn empty_input_yields_identity_reductions() {
+        let out = multiprefix_sharded::<i64, _>(&[], &[], 3, Plus, 4);
+        assert_eq!(out.sums, Vec::<i64>::new());
+        assert_eq!(out.reductions, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn more_shards_than_elements_still_correct() {
+        let (values, labels) = problem(5, 2);
+        let out = multiprefix_sharded(&values, &labels, 2, Plus, 16);
+        assert_eq!(out, oracle(&values, &labels, 2));
+    }
+
+    #[test]
+    fn lost_shard_recovers_bit_for_bit_on_survivors() {
+        // Shard 0 panics on every task it receives; its span must requeue
+        // onto a survivor and the answer must match the oracle exactly.
+        let (values, labels) = problem(400, 7);
+        let chaos = ChaosPlan::seeded(11)
+            .shard_panic_ppm(1_000_000)
+            .only_shard(0)
+            .arm();
+        let ctx = RunContext::new().with_chaos(chaos.clone());
+        let sup = ShardSupervisor::new(
+            ShardConfig::default()
+                .shards(3)
+                .task_timeout(Duration::from_millis(200)),
+        );
+        let out = sup
+            .try_multiprefix(&values, &labels, 7, Plus, ExecConfig::default(), &ctx)
+            .expect("recovers")
+            .expect("no overflow policy armed");
+        assert_eq!(out, oracle(&values, &labels, 7));
+        assert!(sup.shards_lost() >= 1, "shard 0 must be declared lost");
+        assert!(sup.requeues() >= 1, "its task must have been requeued");
+        assert_eq!(sup.degraded_runs(), 0, "survivors suffice; no fallback");
+        assert!(chaos.shard_panics_injected() >= 1);
+    }
+
+    #[test]
+    fn losing_every_shard_degrades_to_single_node_with_exact_result() {
+        let (values, labels) = problem(300, 5);
+        let chaos = ChaosPlan::seeded(12).shard_panic_ppm(1_000_000).arm();
+        let ctx = RunContext::new().with_chaos(chaos);
+        let sup = ShardSupervisor::new(
+            ShardConfig::default()
+                .shards(2)
+                .task_timeout(Duration::from_millis(100)),
+        );
+        let out = sup
+            .try_multiprefix(&values, &labels, 5, Plus, ExecConfig::default(), &ctx)
+            .expect("degrades, not errors")
+            .expect("no overflow policy armed");
+        assert_eq!(out, oracle(&values, &labels, 5));
+        assert_eq!(sup.degraded_runs(), 1);
+        assert!(sup.shards_lost() >= 1);
+    }
+
+    #[test]
+    fn fallback_disabled_surfaces_unavailable() {
+        let (values, labels) = problem(300, 5);
+        let chaos = ChaosPlan::seeded(13).shard_panic_ppm(1_000_000).arm();
+        let ctx = RunContext::new().with_chaos(chaos);
+        let sup = ShardSupervisor::new(
+            ShardConfig::default()
+                .shards(2)
+                .task_timeout(Duration::from_millis(100))
+                .fallback_single_node(false),
+        );
+        let res = sup.try_multiprefix(&values, &labels, 5, Plus, ExecConfig::default(), &ctx);
+        assert!(matches!(res, Err(MpError::Unavailable)), "got {res:?}");
+    }
+
+    #[test]
+    fn message_drops_recover_via_attempt_timeouts() {
+        // Every fourth-ish data message is dropped; attempt deadlines must
+        // requeue the silent tasks until the run completes exactly.
+        let (values, labels) = problem(350, 6);
+        let chaos = ChaosPlan::seeded(14).shard_drop_ppm(250_000).arm();
+        let ctx = RunContext::new().with_chaos(chaos);
+        let sup = ShardSupervisor::new(
+            ShardConfig::default()
+                .shards(3)
+                .task_timeout(Duration::from_millis(40))
+                .max_task_retries(30),
+        );
+        let out = sup
+            .try_multiprefix(&values, &labels, 6, Plus, ExecConfig::default(), &ctx)
+            .expect("drops are recoverable")
+            .expect("no overflow policy armed");
+        assert_eq!(out, oracle(&values, &labels, 6));
+    }
+
+    #[test]
+    fn message_duplication_is_deduplicated_exactly() {
+        let (values, labels) = problem(350, 6);
+        let chaos = ChaosPlan::seeded(15).shard_dup_ppm(1_000_000).arm();
+        let ctx = RunContext::new().with_chaos(chaos.clone());
+        let sup = ShardSupervisor::new(ShardConfig::default().shards(3));
+        let out = sup
+            .try_multiprefix(&values, &labels, 6, Plus, ExecConfig::default(), &ctx)
+            .expect("duplicates are benign")
+            .expect("no overflow policy armed");
+        assert_eq!(out, oracle(&values, &labels, 6));
+        assert!(chaos.msg_dups_injected() >= 1);
+    }
+
+    #[test]
+    fn checked_overflow_trips_to_replay_sentinel() {
+        let values = vec![i64::MAX, 1, 5];
+        let labels = vec![0usize, 0, 1];
+        let sup = ShardSupervisor::new(ShardConfig::default().shards(2));
+        let res = sup.try_multiprefix(
+            &values,
+            &labels,
+            2,
+            Plus,
+            ExecConfig::default().overflow(crate::exec::OverflowPolicy::Checked),
+            &RunContext::new(),
+        );
+        assert!(
+            matches!(res, Ok(None)),
+            "tripped combine → canonicalize serially"
+        );
+    }
+
+    #[test]
+    fn supervisor_counters_reach_the_recorder() {
+        use crate::obs::MemoryRecorder;
+        use std::sync::Arc;
+        let (values, labels) = problem(200, 4);
+        let chaos = ChaosPlan::seeded(16)
+            .shard_panic_ppm(1_000_000)
+            .only_shard(0)
+            .arm();
+        let rec = Arc::new(MemoryRecorder::new());
+        let ctx = RunContext::new()
+            .with_chaos(chaos)
+            .with_recorder(rec.clone());
+        let sup = ShardSupervisor::new(
+            ShardConfig::default()
+                .shards(3)
+                .task_timeout(Duration::from_millis(200)),
+        );
+        let out = sup
+            .try_multiprefix(&values, &labels, 4, Plus, ExecConfig::default(), &ctx)
+            .expect("recovers")
+            .expect("no overflow");
+        assert_eq!(out, oracle(&values, &labels, 4));
+        assert!(rec.counter_value(COUNTER_SHARD_LOST) >= 1);
+        assert!(rec.counter_value(COUNTER_REQUEUED) >= 1);
+    }
+
+    #[test]
+    fn bad_labels_are_rejected_before_distribution() {
+        let res = ShardSupervisor::new(ShardConfig::default()).try_multiprefix(
+            &[1i64, 2],
+            &[0usize, 9],
+            2,
+            Plus,
+            ExecConfig::default(),
+            &RunContext::new(),
+        );
+        assert!(matches!(res, Err(MpError::LabelOutOfRange { .. })));
+    }
+}

@@ -1,0 +1,327 @@
+//! The shard transport: the message fabric between a
+//! [`ShardSupervisor`](crate::shard::ShardSupervisor) and its workers,
+//! abstracted behind a trait so the in-process channel fabric used today
+//! can be swapped for a TCP/UDS one without touching the supervisor.
+//!
+//! The protocol is deliberately *stateless on the worker side*: every
+//! down-message is a self-contained task over a span of the input, so any
+//! task can be re-sent to any surviving worker after a loss, and a
+//! duplicated delivery recomputes a bit-identical reply (summaries and
+//! applied sums are pure functions of the span). The supervisor owns all
+//! sequencing.
+
+use crate::problem::Element;
+use crate::resilience::chaos::MessageFault;
+use crate::resilience::ChaosState;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A contiguous span of the input vector, identified by its position in
+/// span order (`index`) — the order the exscan stitches summaries in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpan {
+    /// Position in span order (shard index for the exscan).
+    pub index: usize,
+    /// First element (inclusive).
+    pub start: usize,
+    /// One past the last element.
+    pub end: usize,
+}
+
+impl ShardSpan {
+    /// Elements covered by the span.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the span covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A supervisor → worker message. `task` is a unique attempt id: replies
+/// carry it back so stale replies from a requeued attempt can be told
+/// apart (and, being deterministic, safely accepted anyway).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DownMsg<T> {
+    /// Run the local phase over `span`: compute its touched-label summary.
+    Scan {
+        /// Attempt id.
+        task: u64,
+        /// The span to scan.
+        span: ShardSpan,
+    },
+    /// Run the apply phase over `span` with the exscan's per-label
+    /// exclusive offsets (parallel `(label, offset)` pairs in the span's
+    /// first-touch order).
+    Apply {
+        /// Attempt id.
+        task: u64,
+        /// The span to apply over.
+        span: ShardSpan,
+        /// Per-label exclusive offsets for the span.
+        offsets: Vec<(usize, T)>,
+    },
+    /// Exit the worker loop. Never dropped or duplicated by chaos: losing
+    /// it would turn an injected fault into a real hang.
+    Shutdown,
+}
+
+/// A worker → supervisor message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpMsg<T> {
+    /// Reply to [`DownMsg::Scan`].
+    Summary {
+        /// The replying worker.
+        shard: usize,
+        /// Echo of the attempt id.
+        task: u64,
+        /// Echo of the span.
+        span: ShardSpan,
+        /// Distinct labels in first-touch order.
+        touched: Vec<usize>,
+        /// Per-label span totals, parallel to `touched`.
+        totals: Vec<T>,
+    },
+    /// Reply to [`DownMsg::Apply`].
+    Applied {
+        /// The replying worker.
+        shard: usize,
+        /// Echo of the attempt id.
+        task: u64,
+        /// Echo of the span.
+        span: ShardSpan,
+        /// The span's final per-element prefix sums.
+        sums: Vec<T>,
+    },
+    /// Liveness beacon: sent on idle timeout and periodically mid-task.
+    Heartbeat {
+        /// The beating worker.
+        shard: usize,
+    },
+    /// The worker caught a panic and is exiting; its outstanding task (if
+    /// any) must be requeued. Never dropped or duplicated by chaos.
+    Crashed {
+        /// The dying worker.
+        shard: usize,
+    },
+}
+
+/// Outcome of a timed receive.
+#[derive(Debug)]
+pub enum RecvOutcome<M> {
+    /// A message arrived.
+    Msg(M),
+    /// Nothing arrived within the timeout.
+    TimedOut,
+    /// The sending side is gone; no message can ever arrive.
+    Disconnected,
+}
+
+/// The fabric between one supervisor and its `shards()` workers: indexed
+/// down-queues (supervisor → worker) and one shared up-queue.
+///
+/// Implementations deliver in order per queue but may — under an armed
+/// chaos plan — drop or duplicate *data* messages ([`DownMsg::Shutdown`]
+/// and [`UpMsg::Crashed`] are exempt: losing either turns injected chaos
+/// into a hang or a silent loss, which the fault model excludes).
+pub trait Transport<T: Element>: Sync {
+    /// Worker queues this fabric serves.
+    fn shards(&self) -> usize;
+    /// Enqueue a message for `shard`.
+    fn send_down(&self, shard: usize, msg: DownMsg<T>);
+    /// Worker-side timed receive on `shard`'s queue.
+    fn recv_down(&self, shard: usize, timeout: Duration) -> RecvOutcome<DownMsg<T>>;
+    /// Enqueue a reply for the supervisor.
+    fn send_up(&self, msg: UpMsg<T>);
+    /// Supervisor-side timed receive on the shared up-queue.
+    fn recv_up(&self, timeout: Duration) -> RecvOutcome<UpMsg<T>>;
+}
+
+/// One worker's down-queue endpoints: the supervisor's sender and the
+/// worker's (mutex-shared) receiver.
+type DownQueue<T> = (Sender<DownMsg<T>>, Mutex<Receiver<DownMsg<T>>>);
+
+/// The in-process fabric: `std::sync::mpsc` channels, one per worker plus
+/// the shared up-queue. Message drop/duplication faults from an armed
+/// [`ChaosPlan`](crate::resilience::ChaosPlan) are applied at send time.
+pub struct ChannelTransport<T> {
+    up_tx: Sender<UpMsg<T>>,
+    up_rx: Mutex<Receiver<UpMsg<T>>>,
+    down: Vec<DownQueue<T>>,
+    chaos: Option<Arc<ChaosState>>,
+}
+
+impl<T> std::fmt::Debug for ChannelTransport<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelTransport")
+            .field("shards", &self.down.len())
+            .field("chaos", &self.chaos.is_some())
+            .finish()
+    }
+}
+
+impl<T: Element> ChannelTransport<T> {
+    /// A fabric for `shards` workers; `chaos` (usually the run context's
+    /// armed plan) injects message drop/duplication at send time.
+    pub fn new(shards: usize, chaos: Option<Arc<ChaosState>>) -> Self {
+        let (up_tx, up_rx) = channel();
+        let down = (0..shards)
+            .map(|_| {
+                let (tx, rx) = channel();
+                (tx, Mutex::new(rx))
+            })
+            .collect();
+        ChannelTransport {
+            up_tx,
+            up_rx: Mutex::new(up_rx),
+            down,
+            chaos,
+        }
+    }
+
+    /// Drop/duplicate draw for one data message; protocol-critical
+    /// messages bypass this.
+    fn fault(&self) -> MessageFault {
+        match &self.chaos {
+            Some(chaos) => chaos.transport_fault(),
+            None => MessageFault::Deliver,
+        }
+    }
+
+    fn recv<M>(rx: &Mutex<Receiver<M>>, timeout: Duration) -> RecvOutcome<M> {
+        let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+        match rx.recv_timeout(timeout) {
+            Ok(msg) => RecvOutcome::Msg(msg),
+            Err(RecvTimeoutError::Timeout) => RecvOutcome::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => RecvOutcome::Disconnected,
+        }
+    }
+}
+
+impl<T: Element> Transport<T> for ChannelTransport<T> {
+    fn shards(&self) -> usize {
+        self.down.len()
+    }
+
+    fn send_down(&self, shard: usize, msg: DownMsg<T>) {
+        let tx = &self.down[shard].0;
+        let fault = if matches!(msg, DownMsg::Shutdown) {
+            MessageFault::Deliver
+        } else {
+            self.fault()
+        };
+        match fault {
+            MessageFault::Drop => {}
+            MessageFault::Deliver => {
+                let _ = tx.send(msg);
+            }
+            MessageFault::Duplicate => {
+                let _ = tx.send(msg.clone());
+                let _ = tx.send(msg);
+            }
+        }
+    }
+
+    fn recv_down(&self, shard: usize, timeout: Duration) -> RecvOutcome<DownMsg<T>> {
+        Self::recv(&self.down[shard].1, timeout)
+    }
+
+    fn send_up(&self, msg: UpMsg<T>) {
+        let fault = if matches!(msg, UpMsg::Crashed { .. }) {
+            MessageFault::Deliver
+        } else {
+            self.fault()
+        };
+        match fault {
+            MessageFault::Drop => {}
+            MessageFault::Deliver => {
+                let _ = self.up_tx.send(msg);
+            }
+            MessageFault::Duplicate => {
+                let _ = self.up_tx.send(msg.clone());
+                let _ = self.up_tx.send(msg);
+            }
+        }
+    }
+
+    fn recv_up(&self, timeout: Duration) -> RecvOutcome<UpMsg<T>> {
+        Self::recv(&self.up_rx, timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilience::ChaosPlan;
+
+    #[test]
+    fn faultless_fabric_delivers_in_order() {
+        let t: ChannelTransport<i64> = ChannelTransport::new(2, None);
+        t.send_down(
+            1,
+            DownMsg::Scan {
+                task: 7,
+                span: ShardSpan {
+                    index: 1,
+                    start: 10,
+                    end: 20,
+                },
+            },
+        );
+        t.send_down(1, DownMsg::Shutdown);
+        match t.recv_down(1, Duration::from_millis(100)) {
+            RecvOutcome::Msg(DownMsg::Scan { task: 7, span }) => {
+                assert_eq!(span.len(), 10);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(matches!(
+            t.recv_down(1, Duration::from_millis(100)),
+            RecvOutcome::Msg(DownMsg::Shutdown)
+        ));
+        assert!(matches!(
+            t.recv_down(0, Duration::from_millis(1)),
+            RecvOutcome::TimedOut
+        ));
+    }
+
+    #[test]
+    fn full_drop_loses_data_but_never_shutdown_or_crashed() {
+        let chaos = ChaosPlan::seeded(3).shard_drop_ppm(1_000_000).arm();
+        let t: ChannelTransport<i64> = ChannelTransport::new(1, Some(chaos.clone()));
+        t.send_up(UpMsg::Heartbeat { shard: 0 });
+        t.send_up(UpMsg::Crashed { shard: 0 });
+        t.send_down(0, DownMsg::Shutdown);
+        // The heartbeat was dropped; the exempt messages survive.
+        assert!(matches!(
+            t.recv_up(Duration::from_millis(100)),
+            RecvOutcome::Msg(UpMsg::Crashed { shard: 0 })
+        ));
+        assert!(matches!(
+            t.recv_down(0, Duration::from_millis(100)),
+            RecvOutcome::Msg(DownMsg::Shutdown)
+        ));
+        assert!(chaos.msg_drops_injected() > 0);
+    }
+
+    #[test]
+    fn full_duplication_doubles_data_messages() {
+        let chaos = ChaosPlan::seeded(4).shard_dup_ppm(1_000_000).arm();
+        let t: ChannelTransport<i64> = ChannelTransport::new(1, Some(chaos.clone()));
+        t.send_up(UpMsg::Heartbeat { shard: 5 });
+        for _ in 0..2 {
+            assert!(matches!(
+                t.recv_up(Duration::from_millis(100)),
+                RecvOutcome::Msg(UpMsg::Heartbeat { shard: 5 })
+            ));
+        }
+        assert!(matches!(
+            t.recv_up(Duration::from_millis(1)),
+            RecvOutcome::TimedOut
+        ));
+        assert!(chaos.msg_dups_injected() > 0);
+    }
+}

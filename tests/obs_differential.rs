@@ -7,7 +7,7 @@ use multiprefix::obs::MemoryRecorder;
 use multiprefix::op::Plus;
 use multiprefix::resilience::RunContext;
 use multiprefix::{
-    DispatchOpts, Dispatcher, DispatcherConfig, EngineKind, OverflowPolicy, Recorder,
+    DispatchOpts, Dispatcher, DispatcherConfig, EngineKind, ExecConfig, OverflowPolicy, Recorder,
 };
 use std::sync::Arc;
 
@@ -46,6 +46,7 @@ fn every_engine_is_bit_identical_with_and_without_recorder() {
             EngineKind::Blocked,
             EngineKind::Chunked,
             EngineKind::Atomic,
+            EngineKind::Sharded,
         ] {
             let run = |ctx: &RunContext| match kind {
                 EngineKind::Serial => multiprefix::serial::try_multiprefix_serial_ctx(
@@ -89,6 +90,15 @@ fn every_engine_is_bit_identical_with_and_without_recorder() {
                     m,
                     Plus,
                     OverflowPolicy::Wrap,
+                    ctx,
+                ),
+                EngineKind::Sharded => multiprefix::shard::try_multiprefix_sharded_ctx(
+                    &values,
+                    &labels,
+                    m,
+                    Plus,
+                    ExecConfig::default(),
+                    &multiprefix::ShardConfig::default(),
                     ctx,
                 ),
             };

@@ -36,7 +36,7 @@ proptest! {
         // last row processed).
         let layout = Layout::with_row_len(labels.len(), m, row_len);
         let spine = build_spinetree(&labels, &layout, ArbPolicy::LastWins);
-        for b in 0..m {
+        for (b, &ptr) in spine.iter().enumerate().take(m) {
             let lowest = labels
                 .iter()
                 .enumerate()
@@ -44,9 +44,9 @@ proptest! {
                 .map(|(i, _)| layout.row_of(i))
                 .min();
             match lowest {
-                None => prop_assert_eq!(spine[b], b, "untouched bucket self-points"),
+                None => prop_assert_eq!(ptr, b, "untouched bucket self-points"),
                 Some(row) => {
-                    let e = spine[b] - m;
+                    let e = ptr - m;
                     prop_assert_eq!(labels[e], b);
                     prop_assert_eq!(layout.row_of(e), row);
                 }
@@ -60,7 +60,7 @@ proptest! {
         // element's own bucket (the spinetree really is a tree per class).
         let layout = Layout::with_row_len(labels.len(), m, row_len);
         let spine = build_spinetree(&labels, &layout, ArbPolicy::Seeded(3));
-        for i in 0..labels.len() {
+        for (i, &label) in labels.iter().enumerate() {
             let mut slot = m + i;
             let mut hops = 0;
             while slot >= m {
@@ -68,7 +68,7 @@ proptest! {
                 hops += 1;
                 prop_assert!(hops <= layout.n_rows + 1, "cycle suspected from element {}", i);
             }
-            prop_assert_eq!(slot, labels[i], "element {} drained to wrong bucket", i);
+            prop_assert_eq!(slot, label, "element {} drained to wrong bucket", i);
         }
     }
 }

@@ -1,0 +1,432 @@
+//! An offline, dependency-free drop-in subset of the `rayon` API.
+//!
+//! This workspace builds in air-gapped environments where crates.io is
+//! unreachable, so the registry `rayon` is replaced by this vendored
+//! shim. It implements exactly the surface the workspace uses — slice
+//! and range parallel iterators with `map`/`zip` adapters and
+//! `for_each`/`try_for_each`/`collect` terminals, `join`,
+//! `current_num_threads`, and scoped `ThreadPool::install` — with real
+//! data parallelism on `std::thread::scope`.
+//!
+//! Semantics intentionally preserved from rayon:
+//! * terminal operations preserve input order (`collect` is positional),
+//! * a panic inside a worker closure propagates to the caller
+//!   (`catch_unwind` around a parallel call contains it),
+//! * `ThreadPool::install` bounds the parallelism of the parallel calls
+//!   made inside it,
+//! * `join` runs both closures, possibly concurrently, and returns both
+//!   results.
+//!
+//! Not implemented (unused here): work stealing, nested-pool
+//! propagation into worker threads, the full adapter zoo, `scope`,
+//! `par_sort`.
+
+use std::cell::Cell;
+use std::error::Error;
+use std::fmt;
+use std::ops::Range;
+use std::panic::resume_unwind;
+use std::thread;
+
+pub mod prelude {
+    //! The traits that put `par_iter`/`par_chunks`/`into_par_iter` in scope.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The number of threads parallel calls on this thread will use.
+///
+/// Inside [`ThreadPool::install`] this is the pool's configured size;
+/// elsewhere it is the host's available parallelism.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(default_threads)
+}
+
+/// Run both closures, potentially in parallel, and return both results.
+///
+/// A panic in either closure resumes on the caller once both have
+/// finished, matching rayon's containment contract.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    thread::scope(|s| {
+        let hb = s.spawn(oper_b);
+        let ra = oper_a();
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => resume_unwind(payload),
+        }
+    })
+}
+
+/// Builder for a bounded [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (host parallelism) size.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the pool at `num_threads` workers.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = Some(num_threads);
+        self
+    }
+
+    /// Build the pool. Never fails in this shim; the `Result` mirrors
+    /// the rayon signature so call sites keep their error handling.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.num_threads.unwrap_or_else(default_threads).max(1),
+        })
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl Error for ThreadPoolBuildError {}
+
+/// A bounded scope for parallel calls: inside [`ThreadPool::install`],
+/// [`current_num_threads`] — and therefore the fan-out of every parallel
+/// iterator terminal — is the pool's configured size.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count bounding parallel calls.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_THREADS.with(|c| c.replace(Some(self.threads))));
+        op()
+    }
+
+    /// The pool's configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// A materialized parallel iterator: a positional list of base items and
+/// the composed per-item transform applied on worker threads.
+pub struct Par<B, F> {
+    base: Vec<B>,
+    f: F,
+}
+
+fn ident<T>(t: T) -> T {
+    t
+}
+
+/// The identity transform used by the base constructors.
+pub type Id<T> = fn(T) -> T;
+
+fn execute<B, R, F>(base: Vec<B>, f: F) -> Vec<R>
+where
+    B: Send,
+    R: Send,
+    F: Fn(B) -> R + Sync,
+{
+    let len = base.len();
+    let threads = current_num_threads().max(1);
+    let chunk = len.div_ceil(threads.max(1)).max(1);
+    if threads == 1 || len <= 1 || chunk >= len {
+        return base.into_iter().map(f).collect();
+    }
+    let mut chunks: Vec<Vec<B>> = Vec::with_capacity(threads);
+    let mut it = base.into_iter();
+    loop {
+        let c: Vec<B> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let parts: Vec<Vec<R>> = thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => resume_unwind(payload),
+            })
+            .collect()
+    });
+    parts.into_iter().flatten().collect()
+}
+
+impl<B, I, F> Par<B, F>
+where
+    B: Send,
+    I: Send,
+    F: Fn(B) -> I + Sync,
+{
+    /// Transform every item with `g`.
+    pub fn map<R, G>(self, g: G) -> Par<B, impl Fn(B) -> R + Sync>
+    where
+        R: Send,
+        G: Fn(I) -> R + Sync,
+    {
+        let f = self.f;
+        Par {
+            base: self.base,
+            f: move |b| g(f(b)),
+        }
+    }
+
+    /// Pair this iterator positionally with `other` (shorter length wins).
+    #[allow(clippy::type_complexity)]
+    pub fn zip<B2, I2, F2>(
+        self,
+        other: Par<B2, F2>,
+    ) -> Par<(B, B2), impl Fn((B, B2)) -> (I, I2) + Sync>
+    where
+        B2: Send,
+        I2: Send,
+        F2: Fn(B2) -> I2 + Sync,
+    {
+        let base: Vec<(B, B2)> = self.base.into_iter().zip(other.base).collect();
+        let (fa, fb) = (self.f, other.f);
+        Par {
+            base,
+            f: move |(a, b)| (fa(a), fb(b)),
+        }
+    }
+
+    /// Run `g` on every item, in parallel.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(I) + Sync,
+    {
+        let f = self.f;
+        execute(self.base, move |b| g(f(b)));
+    }
+
+    /// Run `g` on every item; return the first error in positional order.
+    pub fn try_for_each<E, G>(self, g: G) -> Result<(), E>
+    where
+        E: Send,
+        G: Fn(I) -> Result<(), E> + Sync,
+    {
+        let f = self.f;
+        execute(self.base, move |b| g(f(b))).into_iter().collect()
+    }
+
+    /// Collect the transformed items, preserving input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I>,
+    {
+        let f = self.f;
+        execute(self.base, f).into_iter().collect()
+    }
+}
+
+/// `into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// The element type produced.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Par<Self::Item, Id<Self::Item>>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> Par<T, Id<T>> {
+        Par {
+            base: self,
+            f: ident,
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> Par<usize, Id<usize>> {
+        Par {
+            base: self.collect(),
+            f: ident,
+        }
+    }
+}
+
+/// `par_iter()` for slices (and, via deref, `Vec`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type produced (a shared reference).
+    type Item: Send;
+    /// A parallel iterator over shared references.
+    fn par_iter(&'a self) -> Par<Self::Item, Id<Self::Item>>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> Par<&'a T, Id<&'a T>> {
+        Par {
+            base: self.iter().collect(),
+            f: ident,
+        }
+    }
+}
+
+/// `par_iter_mut()` for slices (and, via deref, `Vec`).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The element type produced (an exclusive reference).
+    type Item: Send;
+    /// A parallel iterator over exclusive references.
+    fn par_iter_mut(&'a mut self) -> Par<Self::Item, Id<Self::Item>>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> Par<&'a mut T, Id<&'a mut T>> {
+        Par {
+            base: self.iter_mut().collect(),
+            f: ident,
+        }
+    }
+}
+
+/// `par_chunks()` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel iterator over contiguous `chunk_size`-sized pieces.
+    fn par_chunks(&self, chunk_size: usize) -> Par<&[T], Id<&[T]>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Par<&[T], Id<&[T]>> {
+        Par {
+            base: self.chunks(chunk_size.max(1)).collect(),
+            f: ident,
+        }
+    }
+}
+
+/// `par_chunks_mut()` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// A parallel iterator over exclusive contiguous pieces.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<&mut [T], Id<&mut [T]>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<&mut [T], Id<&mut [T]>> {
+        Par {
+            base: self.chunks_mut(chunk_size.max(1)).collect(),
+            f: ident,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..10_000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_chains_match_serial() {
+        let a: Vec<i64> = (0..1000).map(|i| i as i64).collect();
+        let b: Vec<i64> = (0..1000).map(|i| (i * 3) as i64).collect();
+        let mut out = vec![0i64; 1000];
+        out.par_chunks_mut(97)
+            .zip(a.par_chunks(97))
+            .zip(b.par_chunks(97))
+            .for_each(|((o, x), y)| {
+                for ((oi, xi), yi) in o.iter_mut().zip(x).zip(y) {
+                    *oi = xi + yi;
+                }
+            });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == (i * 4) as i64));
+    }
+
+    #[test]
+    fn try_for_each_returns_first_error() {
+        let r: Result<(), usize> =
+            (0..100)
+                .into_par_iter()
+                .try_for_each(|i| if i >= 40 { Err(i) } else { Ok(()) });
+        assert_eq!(r, Err(40));
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_value() {
+        let ok: Result<Vec<usize>, ()> = (0..50).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 50);
+        let err: Result<Vec<usize>, usize> = (0..50)
+            .into_par_iter()
+            .map(|i| if i == 7 { Err(i) } else { Ok(i) })
+            .collect();
+        assert_eq!(err, Err(7));
+    }
+
+    #[test]
+    fn panic_in_worker_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            (0..64usize).into_par_iter().for_each(|i| {
+                if i == 33 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn install_bounds_current_num_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 2);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn join_runs_both_and_propagates_panics() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!((a, b.as_str()), (2, "x"));
+        assert!(std::panic::catch_unwind(|| join(|| panic!("left"), || 0)).is_err());
+    }
+}
