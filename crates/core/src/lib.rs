@@ -138,6 +138,10 @@ pub use resilience::{
     CancelToken, Deadline, DispatchOpts, DispatchOutcome, Dispatcher, DispatcherConfig, EngineKind,
     RunContext,
 };
+pub use shard::net::{
+    maybe_run_worker_from_env, multiprefix_socket, try_multiprefix_socket_ctx, NetConfig, NetError,
+    SocketKind, WireOp, WireValue,
+};
 pub use shard::{
     exscan_over_summaries, multiprefix_sharded, ShardConfig, ShardSummary, ShardSupervisor,
 };

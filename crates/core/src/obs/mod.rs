@@ -36,6 +36,7 @@
 //! | `service.queue` | `depth` gauge, `wait_ns` histogram |
 //! | `service.exec` | `exec_ns` histogram |
 //! | `service` | `admitted`, `completed`, `shed`, `expired`, `cancelled`, `worker_lost`, `failed` counters (mirrors [`ServiceMetrics`](crate::service::ServiceMetrics)) |
+//! | `shard.supervisor` | `shard_lost`, `requeued`, `degraded` counters; `reconnects` counts socket-transport worker revivals (respawn + re-handshake) by the connection keeper |
 
 mod hist;
 mod record;

@@ -91,6 +91,21 @@ pub struct ChaosPlan {
     /// Restrict **shard** panic/stall injection to one shard index
     /// (`None` faults every shard).
     pub only_shard: Option<usize>,
+    /// Probability a socket-transport **data frame** has one bit flipped
+    /// after its checksum is computed (the receiver must reject it with a
+    /// typed decode error and recover via NAK/resend, never deliver it).
+    pub net_corrupt_ppm: u32,
+    /// Probability a socket-transport data frame is truncated mid-write
+    /// (the receiver must resynchronize on the next frame magic).
+    pub net_truncate_ppm: u32,
+    /// Probability a socket-transport data frame's write turns into a
+    /// mid-message disconnect (partial write, then both stream directions
+    /// shut down) — the connection-supervision / respawn trigger.
+    pub net_disconnect_ppm: u32,
+    /// Probability a socket-transport frame write stalls for
+    /// [`ChaosPlan::stall`] first (clamped to the active deadline),
+    /// exercising attempt-deadline requeues through a slow writer.
+    pub net_stall_ppm: u32,
 }
 
 impl Default for ChaosPlan {
@@ -110,6 +125,10 @@ impl Default for ChaosPlan {
             shard_drop_ppm: 0,
             shard_dup_ppm: 0,
             only_shard: None,
+            net_corrupt_ppm: 0,
+            net_truncate_ppm: 0,
+            net_disconnect_ppm: 0,
+            net_stall_ppm: 0,
         }
     }
 }
@@ -201,6 +220,35 @@ impl ChaosPlan {
         self
     }
 
+    /// Set the socket-frame bit-corruption probability (ppm per data
+    /// frame written).
+    pub fn net_corrupt_ppm(mut self, ppm: u32) -> Self {
+        self.net_corrupt_ppm = ppm;
+        self
+    }
+
+    /// Set the socket-frame truncation probability (ppm per data frame
+    /// written).
+    pub fn net_truncate_ppm(mut self, ppm: u32) -> Self {
+        self.net_truncate_ppm = ppm;
+        self
+    }
+
+    /// Set the socket mid-message-disconnect probability (ppm per data
+    /// frame written).
+    pub fn net_disconnect_ppm(mut self, ppm: u32) -> Self {
+        self.net_disconnect_ppm = ppm;
+        self
+    }
+
+    /// Set the socket slow-writer stall probability (ppm per data frame
+    /// written; stall length is [`ChaosPlan::stall`], shared with engine
+    /// stalls and clamped to the active deadline).
+    pub fn net_stall_ppm(mut self, ppm: u32) -> Self {
+        self.net_stall_ppm = ppm;
+        self
+    }
+
     /// Arm the plan: the returned state carries the live draw stream and
     /// injection counters, and is what a
     /// [`crate::resilience::RunContext::with_chaos`] takes. One armed state
@@ -220,8 +268,26 @@ impl ChaosPlan {
             shard_stalls: AtomicUsize::new(0),
             msg_drops: AtomicUsize::new(0),
             msg_dups: AtomicUsize::new(0),
+            net_corrupts: AtomicUsize::new(0),
+            net_truncates: AtomicUsize::new(0),
+            net_disconnects: AtomicUsize::new(0),
+            net_stalls: AtomicUsize::new(0),
         })
     }
+}
+
+/// The fate of one socket-transport data frame, drawn at write time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NetFault {
+    /// Flip one bit of the encoded frame (after the checksum was
+    /// computed).
+    Corrupt,
+    /// Write only a prefix of the frame.
+    Truncate,
+    /// Write a partial frame, then shut both stream directions down.
+    Disconnect,
+    /// Sleep (clamped to the active deadline), then write normally.
+    Stall,
 }
 
 /// The fate of one shard-transport data message, drawn at send time.
@@ -251,6 +317,10 @@ pub struct ChaosState {
     shard_stalls: AtomicUsize,
     msg_drops: AtomicUsize,
     msg_dups: AtomicUsize,
+    net_corrupts: AtomicUsize,
+    net_truncates: AtomicUsize,
+    net_disconnects: AtomicUsize,
+    net_stalls: AtomicUsize,
 }
 
 impl ChaosState {
@@ -314,6 +384,26 @@ impl ChaosState {
         self.msg_dups.load(Ordering::Relaxed)
     }
 
+    /// Socket frames bit-corrupted so far.
+    pub fn net_corrupts_injected(&self) -> usize {
+        self.net_corrupts.load(Ordering::Relaxed)
+    }
+
+    /// Socket frames truncated so far.
+    pub fn net_truncates_injected(&self) -> usize {
+        self.net_truncates.load(Ordering::Relaxed)
+    }
+
+    /// Socket mid-message disconnects injected so far.
+    pub fn net_disconnects_injected(&self) -> usize {
+        self.net_disconnects.load(Ordering::Relaxed)
+    }
+
+    /// Socket slow-writer stalls injected so far.
+    pub fn net_stalls_injected(&self) -> usize {
+        self.net_stalls.load(Ordering::Relaxed)
+    }
+
     /// Total faults injected so far.
     pub fn faults_injected(&self) -> usize {
         self.panics_injected()
@@ -327,6 +417,10 @@ impl ChaosState {
             + self.shard_stalls_injected()
             + self.msg_drops_injected()
             + self.msg_dups_injected()
+            + self.net_corrupts_injected()
+            + self.net_truncates_injected()
+            + self.net_disconnects_injected()
+            + self.net_stalls_injected()
     }
 
     /// Sleep for the plan's stall length, clamped to the remaining budget
@@ -334,7 +428,7 @@ impl ChaosState {
     /// deadline (the next checkpoint observes the expiry) but never burns
     /// wall-clock past it, so a chaos soak's total runtime stays bounded by
     /// the deadlines it configures.
-    fn stall_sleep(&self, deadline: Option<Deadline>) {
+    pub(crate) fn stall_sleep(&self, deadline: Option<Deadline>) {
         let length = match deadline {
             Some(d) => self.plan.stall.min(d.remaining()),
             None => self.plan.stall,
@@ -487,6 +581,54 @@ impl ChaosState {
         } else {
             MessageFault::Deliver
         }
+    }
+
+    /// One **socket-frame** draw for a data frame about to be written.
+    /// `None` means write normally. A plan with no net faults armed burns
+    /// **no draw**, keeping the engine-, worker- and shard-fault sequences
+    /// of a given seed untouched. Counters are bumped here, at the draw,
+    /// so an injected `Disconnect` is counted even if the stream was
+    /// already gone.
+    pub(crate) fn net_fault(&self) -> Option<NetFault> {
+        let p = &self.plan;
+        if p.net_corrupt_ppm == 0
+            && p.net_truncate_ppm == 0
+            && p.net_disconnect_ppm == 0
+            && p.net_stall_ppm == 0
+        {
+            return None;
+        }
+        let draw = self.next_draw() % 1_000_000;
+        let corrupt_edge = p.net_corrupt_ppm as u64;
+        let truncate_edge = corrupt_edge + p.net_truncate_ppm as u64;
+        let disconnect_edge = truncate_edge + p.net_disconnect_ppm as u64;
+        let stall_edge = disconnect_edge + p.net_stall_ppm as u64;
+        if draw < corrupt_edge {
+            self.net_corrupts.fetch_add(1, Ordering::Relaxed);
+            Some(NetFault::Corrupt)
+        } else if draw < truncate_edge {
+            self.net_truncates.fetch_add(1, Ordering::Relaxed);
+            Some(NetFault::Truncate)
+        } else if draw < disconnect_edge {
+            self.net_disconnects.fetch_add(1, Ordering::Relaxed);
+            Some(NetFault::Disconnect)
+        } else if draw < stall_edge {
+            self.net_stalls.fetch_add(1, Ordering::Relaxed);
+            Some(NetFault::Stall)
+        } else {
+            None
+        }
+    }
+
+    /// A uniform index in `[0, bound)` from the fault stream — used to
+    /// pick the corrupted bit / truncation point of a faulted frame. Only
+    /// called after a fault already fired, so it never perturbs the clean
+    /// sequence.
+    pub(crate) fn net_index(&self, bound: usize) -> usize {
+        if bound == 0 {
+            return 0;
+        }
+        (self.next_draw() % bound as u64) as usize
     }
 
     /// Advance the shared xorshift64* stream by one draw.
@@ -700,6 +842,36 @@ mod tests {
         assert!(start.elapsed() >= Duration::from_millis(4));
         assert_eq!(state.shard_stalls_injected(), 1);
         assert_eq!(state.faults_injected(), 1);
+    }
+
+    #[test]
+    fn net_faults_split_and_burn_no_draw_when_unarmed() {
+        // Unarmed: no draw, so the engine stream of a seed is untouched.
+        let plain = ChaosPlan::seeded(21).alloc_fail_ppm(400_000).arm();
+        let with_net = ChaosPlan::seeded(21).alloc_fail_ppm(400_000).arm();
+        for i in 0..200 {
+            assert_eq!(with_net.net_fault(), None);
+            assert_eq!(
+                plain.inject(None, None),
+                with_net.inject(None, None),
+                "draw {i}"
+            );
+        }
+        // Armed at full rate, the four classes split the draw space.
+        let state = ChaosPlan::seeded(22)
+            .net_corrupt_ppm(250_000)
+            .net_truncate_ppm(250_000)
+            .net_disconnect_ppm(250_000)
+            .net_stall_ppm(250_000)
+            .arm();
+        for _ in 0..400 {
+            assert!(state.net_fault().is_some());
+        }
+        assert!(state.net_corrupts_injected() > 0);
+        assert!(state.net_truncates_injected() > 0);
+        assert!(state.net_disconnects_injected() > 0);
+        assert!(state.net_stalls_injected() > 0);
+        assert_eq!(state.faults_injected(), 400);
     }
 
     #[test]

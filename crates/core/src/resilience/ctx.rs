@@ -241,6 +241,13 @@ impl RunContext {
         self.recorder.as_deref()
     }
 
+    /// A shared handle to the recorder, for components (the socket
+    /// transport's connection keeper) that outlive a single borrow of the
+    /// context.
+    pub(crate) fn recorder_arc(&self) -> Option<Arc<dyn Recorder>> {
+        self.recorder.clone()
+    }
+
     /// Start a [`Span`] timing `phase` of the context's engine (tagged via
     /// [`Self::for_engine`]). Inert — returns `None` without reading a
     /// clock — when no recorder is attached or the engine tag is unset.

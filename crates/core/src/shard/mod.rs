@@ -47,6 +47,7 @@
 //! [`DownMsg::Shutdown`] even when the supervisor unwinds.
 
 pub mod exscan;
+pub mod net;
 pub mod transport;
 
 pub use exscan::{exscan_over_summaries, ShardSummary};
@@ -71,6 +72,9 @@ pub const COUNTER_SHARD_LOST: &str = "shard.supervisor.shard_lost";
 pub const COUNTER_REQUEUED: &str = "shard.supervisor.requeued";
 /// Recorder key for runs degraded to single-node execution.
 pub const COUNTER_DEGRADED: &str = "shard.supervisor.degraded";
+/// Recorder key for successful worker reconnect/respawns (socket
+/// transport's connection keeper).
+pub const COUNTER_RECONNECTS: &str = "shard.supervisor.reconnects";
 
 /// Tuning knobs for a [`ShardSupervisor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +101,15 @@ pub struct ShardConfig {
     /// engine (`true`, the default) instead of failing with
     /// [`MpError::Unavailable`].
     pub fallback_single_node: bool,
+    /// Socket transport only: reconnect/respawn attempts allowed per
+    /// shard slot before the connection keeper gives up on it and the
+    /// degradation ladder takes over. Ignored by the channel transport
+    /// (in-process workers cannot be respawned — their problem slices
+    /// live on the caller's stack).
+    pub max_reconnects: u32,
+    /// Socket transport only: base delay of the keeper's jittered
+    /// exponential reconnect backoff.
+    pub reconnect_backoff: Duration,
 }
 
 impl Default for ShardConfig {
@@ -109,6 +122,8 @@ impl Default for ShardConfig {
             max_task_retries: 3,
             breaker: BreakerConfig::default(),
             fallback_single_node: true,
+            max_reconnects: 3,
+            reconnect_backoff: Duration::from_millis(10),
         }
     }
 }
@@ -156,11 +171,24 @@ impl ShardConfig {
         self
     }
 
+    /// Set the per-shard reconnect/respawn budget (socket transport).
+    pub fn max_reconnects(mut self, reconnects: u32) -> Self {
+        self.max_reconnects = reconnects;
+        self
+    }
+
+    /// Set the base reconnect backoff delay (socket transport).
+    pub fn reconnect_backoff(mut self, backoff: Duration) -> Self {
+        self.reconnect_backoff = backoff;
+        self
+    }
+
     fn normalized(mut self) -> Self {
         self.shards = self.shards.max(1);
         self.min_live = self.min_live.clamp(1, self.shards);
         self.task_timeout = self.task_timeout.max(Duration::from_millis(1));
         self.heartbeat_interval = self.heartbeat_interval.max(Duration::from_millis(1));
+        self.reconnect_backoff = self.reconnect_backoff.max(Duration::from_millis(1));
         self
     }
 }
@@ -192,6 +220,7 @@ pub struct ShardSupervisor {
     shard_lost: AtomicU64,
     requeued: AtomicU64,
     degraded: AtomicU64,
+    reconnects: AtomicU64,
 }
 
 impl ShardSupervisor {
@@ -208,6 +237,7 @@ impl ShardSupervisor {
             shard_lost: AtomicU64::new(0),
             requeued: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
         }
     }
 
@@ -229,6 +259,12 @@ impl ShardSupervisor {
     /// Runs that fell back to single-node execution.
     pub fn degraded_runs(&self) -> u64 {
         self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Successful worker reconnect/respawns across all runs (socket
+    /// transport's connection keeper; always zero on the channel path).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
     }
 
     /// The breaker state of one shard slot.
@@ -501,6 +537,12 @@ impl ShardSupervisor {
                 RecvOutcome::Msg(UpMsg::Heartbeat { shard }) => {
                     if shard < nshards {
                         last_seen[shard] = Instant::now();
+                        // Any sign of life from a dead slot revives it:
+                        // the socket keeper beacons a synthetic heartbeat
+                        // after a successful reconnect/respawn. Channel
+                        // workers never speak after `Crashed`, so this
+                        // arm is inert on the in-process path.
+                        live[shard] = true;
                     }
                 }
                 RecvOutcome::Msg(UpMsg::Crashed { shard }) => {
@@ -523,6 +565,7 @@ impl ShardSupervisor {
                 }) => {
                     if shard < nshards {
                         last_seen[shard] = Instant::now();
+                        live[shard] = true;
                     }
                     let i = span.index;
                     if !want_sums && i < results.len() && results[i].is_none() {
@@ -539,6 +582,7 @@ impl ShardSupervisor {
                 }) => {
                     if shard < nshards {
                         last_seen[shard] = Instant::now();
+                        live[shard] = true;
                     }
                     let i = span.index;
                     if want_sums

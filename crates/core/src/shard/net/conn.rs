@@ -1,0 +1,364 @@
+//! One duplex shard connection: framed writes with a retained resend
+//! ring, framed reads through the resynchronizing [`FrameBuffer`], and
+//! the go-back-N NAK protocol that stitches the two together.
+//!
+//! Byte-level chaos is injected **here**, at the frame writer — after the
+//! checksums are computed — so every fault the receiver sees is exactly
+//! the wire-damage model: flipped bits, truncated writes, mid-message
+//! disconnects, slow writers. Control frames (handshake, job shipping,
+//! NAKs) and protocol-critical messages (`Shutdown`, `Crashed`) are
+//! exempt, mirroring the in-process transport's rule: losing one of those
+//! turns injected chaos into a hang, which the fault model excludes.
+
+use super::codec::{decode_nak, encode_nak, TAG_NAK};
+use super::frame::{encode_frame, FrameBuffer, FrameEvent, MAX_PAYLOAD};
+use super::wire::NetError;
+use crate::resilience::chaos::NetFault;
+use crate::resilience::ctx::Deadline;
+use crate::resilience::ChaosState;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Frames retained for go-back-N resend. A NAK reaching further back
+/// than this poisons the connection (the supervisor then reconnects).
+const RESEND_RING: usize = 64;
+
+/// A stream over either fabric. Both halves of a [`Conn`] hold their own
+/// OS handle (`try_clone`), so reads and writes never contend on a lock.
+pub(crate) enum NetStream {
+    /// Unix-domain socket.
+    Unix(UnixStream),
+    /// Loopback TCP socket.
+    Tcp(TcpStream),
+}
+
+impl NetStream {
+    pub(crate) fn try_clone(&self) -> std::io::Result<NetStream> {
+        Ok(match self {
+            NetStream::Unix(s) => NetStream::Unix(s.try_clone()?),
+            NetStream::Tcp(s) => NetStream::Tcp(s.try_clone()?),
+        })
+    }
+
+    fn set_read_timeout(&self, d: Duration) -> std::io::Result<()> {
+        let d = Some(d.max(Duration::from_millis(1)));
+        match self {
+            NetStream::Unix(s) => s.set_read_timeout(d),
+            NetStream::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+
+    fn shutdown(&self) {
+        let _ = match self {
+            NetStream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            NetStream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+
+    fn read_some(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            NetStream::Unix(s) => s.read(buf),
+            NetStream::Tcp(s) => s.read(buf),
+        }
+    }
+
+    fn write_all_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        match self {
+            NetStream::Unix(s) => s.write_all(bytes),
+            NetStream::Tcp(s) => s.write_all(bytes),
+        }
+    }
+
+    /// Connect to an `"uds:<path>"` / `"tcp:<addr>"` address, retrying
+    /// briefly (a just-spawned worker can race the listener).
+    pub(crate) fn connect(addr: &str, budget: Duration) -> std::io::Result<NetStream> {
+        let deadline = Instant::now() + budget;
+        loop {
+            let attempt = if let Some(path) = addr.strip_prefix("uds:") {
+                UnixStream::connect(path).map(NetStream::Unix)
+            } else if let Some(tcp) = addr.strip_prefix("tcp:") {
+                TcpStream::connect(tcp).map(|s| {
+                    let _ = s.set_nodelay(true);
+                    NetStream::Tcp(s)
+                })
+            } else {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("bad worker address {addr:?}"),
+                ))
+            };
+            match attempt {
+                Ok(s) => return Ok(s),
+                // The listener is always bound before workers launch, so
+                // "no such socket" / "refused" means it is *gone* (the
+                // run ended) — retrying would stall the teardown that is
+                // about to join this worker.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::NotFound | std::io::ErrorKind::ConnectionRefused
+                    ) =>
+                {
+                    return Err(e)
+                }
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    }
+}
+
+struct WriteHalf {
+    stream: NetStream,
+    seq: u32,
+    /// `(seq, encoded frame, exempt-from-chaos)` — identical bytes are
+    /// replayed on resend, so a resent frame is bit-for-bit the original.
+    ring: VecDeque<(u32, Vec<u8>, bool)>,
+}
+
+impl WriteHalf {
+    /// Write `frame`, possibly damaged by an armed chaos plan. Damage is
+    /// applied to a *copy*: the pristine bytes stay in the ring for the
+    /// NAK-triggered resend.
+    fn write_frame(
+        &mut self,
+        frame: &[u8],
+        exempt: bool,
+        chaos: Option<&ChaosState>,
+        deadline: Option<Deadline>,
+    ) -> std::io::Result<()> {
+        let fault = match chaos {
+            Some(chaos) if !exempt => chaos.net_fault(),
+            _ => None,
+        };
+        match fault {
+            None => self.stream.write_all_bytes(frame),
+            Some(NetFault::Corrupt) => {
+                let chaos = chaos.expect("fault implies chaos");
+                let mut damaged = frame.to_vec();
+                let bit = chaos.net_index(damaged.len() * 8);
+                damaged[bit / 8] ^= 1 << (bit % 8);
+                self.stream.write_all_bytes(&damaged)
+            }
+            Some(NetFault::Truncate) => {
+                let chaos = chaos.expect("fault implies chaos");
+                let cut = chaos.net_index(frame.len());
+                self.stream.write_all_bytes(&frame[..cut])
+            }
+            Some(NetFault::Disconnect) => {
+                let chaos = chaos.expect("fault implies chaos");
+                let cut = chaos.net_index(frame.len());
+                let _ = self.stream.write_all_bytes(&frame[..cut]);
+                self.stream.shutdown();
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "chaos: injected mid-message disconnect",
+                ))
+            }
+            Some(NetFault::Stall) => {
+                chaos.expect("fault implies chaos").stall_sleep(deadline);
+                self.stream.write_all_bytes(frame)
+            }
+        }
+    }
+}
+
+struct ReadHalf {
+    stream: NetStream,
+    fb: FrameBuffer,
+    naks_sent: u32,
+    scratch: Vec<u8>,
+}
+
+/// A supervised duplex connection. Cheap to share (`Arc`); the two
+/// halves lock independently, so a reader waiting on bytes never blocks
+/// a writer.
+pub(crate) struct Conn {
+    writer: Mutex<WriteHalf>,
+    reader: Mutex<ReadHalf>,
+    chaos: Option<Arc<ChaosState>>,
+    deadline: Option<Deadline>,
+    nak_budget: u32,
+    dead: AtomicBool,
+}
+
+impl Conn {
+    pub(crate) fn new(
+        stream: NetStream,
+        chaos: Option<Arc<ChaosState>>,
+        deadline: Option<Deadline>,
+        nak_budget: u32,
+    ) -> std::io::Result<Arc<Conn>> {
+        let read_stream = stream.try_clone()?;
+        Ok(Arc::new(Conn {
+            writer: Mutex::new(WriteHalf {
+                stream,
+                seq: 0,
+                ring: VecDeque::with_capacity(RESEND_RING),
+            }),
+            reader: Mutex::new(ReadHalf {
+                stream: read_stream,
+                fb: FrameBuffer::new(),
+                naks_sent: 0,
+                scratch: vec![0u8; 16 * 1024],
+            }),
+            chaos,
+            deadline,
+            nak_budget,
+            dead: AtomicBool::new(false),
+        }))
+    }
+
+    /// True once either direction failed; no further traffic will work.
+    pub(crate) fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    fn mark_dead(&self) {
+        self.dead.store(true, Ordering::Release);
+    }
+
+    /// Shut both stream directions down (unblocks a peer's read).
+    pub(crate) fn shutdown(&self) {
+        self.mark_dead();
+        self.writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .stream
+            .shutdown();
+    }
+
+    /// Frame and send one payload. `exempt` frames bypass chaos (control
+    /// traffic and protocol-critical messages).
+    pub(crate) fn send(&self, payload: &[u8], exempt: bool) -> Result<(), NetError> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(NetError::BadLength {
+                len: payload.len() as u64,
+                cap: MAX_PAYLOAD as u64,
+            });
+        }
+        if self.is_dead() {
+            return Err(NetError::Closed);
+        }
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        w.seq += 1;
+        let seq = w.seq;
+        let frame = encode_frame(seq, payload);
+        if w.ring.len() == RESEND_RING {
+            w.ring.pop_front();
+        }
+        w.ring.push_back((seq, frame.clone(), exempt));
+        let res = w.write_frame(&frame, exempt, self.chaos.as_deref(), self.deadline);
+        drop(w);
+        res.map_err(|e| {
+            self.mark_dead();
+            NetError::from(e)
+        })
+    }
+
+    /// Go-back-N resend: replay every retained frame after `last_ok`.
+    /// Resends are *not* exempt from chaos (unless the original was), so
+    /// full-rate corruption keeps damaging them until the NAK budget
+    /// poisons the connection — the degradation path.
+    fn resend_from(&self, last_ok: u32) -> Result<(), NetError> {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let from = last_ok + 1;
+        if let Some(&(oldest, _, _)) = w.ring.front() {
+            if oldest > from {
+                // The needed frame aged out of the ring; the stream can
+                // never heal. Poison and let supervision reconnect.
+                self.mark_dead();
+                return Err(NetError::Poisoned { naks: 0 });
+            }
+        }
+        let frames: Vec<(Vec<u8>, bool)> = w
+            .ring
+            .iter()
+            .filter(|(s, _, _)| *s >= from)
+            .map(|(_, f, e)| (f.clone(), *e))
+            .collect();
+        for (frame, exempt) in frames {
+            w.write_frame(&frame, exempt, self.chaos.as_deref(), self.deadline)
+                .map_err(|e| {
+                    self.mark_dead();
+                    NetError::from(e)
+                })?;
+        }
+        Ok(())
+    }
+
+    /// Receive the next verified, in-order payload. `Ok(None)` on
+    /// timeout; `Err` when the connection is closed, poisoned, or failed.
+    /// NAKs — ours (damage seen) and the peer's (resend requests) — are
+    /// handled internally.
+    pub(crate) fn recv(&self, timeout: Duration) -> Result<Option<Vec<u8>>, NetError> {
+        let deadline = Instant::now() + timeout;
+        let mut r = self.reader.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            // Drain the parser before touching the stream.
+            loop {
+                match r.fb.poll() {
+                    FrameEvent::Frame { payload, .. } => {
+                        if payload.first() == Some(&TAG_NAK) {
+                            let last_ok = decode_nak(&payload)?;
+                            self.resend_from(last_ok)?;
+                            continue;
+                        }
+                        return Ok(Some(payload));
+                    }
+                    FrameEvent::NakNeeded { last_ok, cause } => {
+                        r.naks_sent += 1;
+                        if r.naks_sent > self.nak_budget {
+                            self.mark_dead();
+                            return Err(NetError::Poisoned { naks: r.naks_sent });
+                        }
+                        // The typed cause (`BadChecksum`/`BadLength`/...)
+                        // drove the NAK; it surfaces as `Poisoned` only
+                        // if the budget runs dry.
+                        let _ = cause;
+                        self.send(&encode_nak(last_ok), true)?;
+                    }
+                    FrameEvent::Stale { .. } => {}
+                    FrameEvent::Need => break,
+                }
+            }
+            if self.is_dead() {
+                return Err(NetError::Closed);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            // Bounded read so a shutdown is honored promptly even under
+            // a long caller timeout.
+            let wait = (deadline - now).min(Duration::from_millis(100));
+            r.stream.set_read_timeout(wait)?;
+            let ReadHalf {
+                stream,
+                fb,
+                scratch,
+                ..
+            } = &mut *r;
+            match stream.read_some(scratch) {
+                Ok(0) => {
+                    self.mark_dead();
+                    return Err(NetError::Closed);
+                }
+                Ok(n) => fb.extend(&scratch[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut
+                        || e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.mark_dead();
+                    return Err(NetError::from(e));
+                }
+            }
+        }
+    }
+}

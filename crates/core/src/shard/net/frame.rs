@@ -1,0 +1,477 @@
+//! Length-prefixed, checksummed, sequence-numbered frames.
+//!
+//! ```text
+//! ┌────────────┬─────────┬─────────┬──────────┬──────────┬──────────────┐
+//! │ MAGIC MPXF │ seq u32 │ len u32 │ hcrc u32 │ pcrc u32 │ payload[len] │
+//! │  4 bytes   │   LE    │   LE    │    LE    │    LE    │              │
+//! └────────────┴─────────┴─────────┴──────────┴──────────┴──────────────┘
+//! hcrc = CRC-32 (IEEE) over seq ‖ len      (authenticates the header)
+//! pcrc = CRC-32 (IEEE) over payload        (authenticates the body)
+//! ```
+//!
+//! The header carries its **own** checksum so a corrupted length field is
+//! rejected at once — without it, a bit flip in `len` would leave the
+//! parser waiting forever for payload bytes that never arrive, turning a
+//! detectable fault into a stall.
+//!
+//! The parser ([`FrameBuffer`]) is a pure byte-stream machine with no I/O
+//! of its own, so the whole damage model — bit flips, truncation,
+//! arbitrary re-chunking — is unit-testable (and proptested in
+//! `tests/shard_codec_differential.rs`) without a socket. Damage is never
+//! delivered: a frame whose checksum fails, whose length field is
+//! implausible, or whose sequence number jumps ahead produces a
+//! [`FrameEvent::NakNeeded`], the parser resynchronizes by scanning for
+//! the next `MAGIC`, and the connection layer asks the peer to resend
+//! everything after the last good frame (go-back-N).
+
+use super::wire::NetError;
+
+/// Frame preamble: what the resync scan hunts for.
+pub const MAGIC: [u8; 4] = *b"MPXF";
+/// Header bytes before the payload.
+pub const HEADER_LEN: usize = 20;
+/// Hard cap on one frame's payload: large enough for a `Job` carrying a
+/// bench-sized input, small enough that a hostile length field can never
+/// demand a gigantic buffer.
+pub const MAX_PAYLOAD: usize = 256 * 1024 * 1024;
+
+/// CRC-32 (IEEE 802.3, reflected) with a lazily built table — zero
+/// dependencies, matches every standard `crc32` implementation.
+pub fn crc32(parts: &[&[u8]]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    });
+    let mut c = 0xFFFF_FFFFu32;
+    for part in parts {
+        for &b in *part {
+            c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    !c
+}
+
+/// Encode one frame: header + payload, both checksummed.
+pub fn encode_frame(seq: u32, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_PAYLOAD);
+    let seq_le = seq.to_le_bytes();
+    let len_le = (payload.len() as u32).to_le_bytes();
+    let hcrc = crc32(&[&seq_le, &len_le]);
+    let pcrc = crc32(&[payload]);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&seq_le);
+    out.extend_from_slice(&len_le);
+    out.extend_from_slice(&hcrc.to_le_bytes());
+    out.extend_from_slice(&pcrc.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// One step of the frame parser.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// The next in-sequence frame, verified and complete.
+    Frame {
+        /// Its sequence number (`== expected` at delivery).
+        seq: u32,
+        /// Its payload bytes.
+        payload: Vec<u8>,
+    },
+    /// Damage detected (checksum failure, implausible length, or a
+    /// sequence gap). The connection should send a NAK carrying
+    /// `last_ok` so the peer resends everything after it; the typed
+    /// cause is reported alongside for diagnostics and tests.
+    NakNeeded {
+        /// Last sequence number delivered in order.
+        last_ok: u32,
+        /// Why the stream broke.
+        cause: NetError,
+    },
+    /// A frame older than `expected` (a resend overshoot or an injected
+    /// duplicate) — verified but already delivered; skip it.
+    Stale {
+        /// The duplicate's sequence number.
+        seq: u32,
+    },
+    /// Not enough bytes buffered for another event.
+    Need,
+}
+
+/// Reassembles a damaged byte stream into verified, in-order frames.
+/// Pure: bytes in via [`FrameBuffer::extend`], events out via
+/// [`FrameBuffer::poll`]. Never panics and never allocates more than the
+/// buffered bytes plus one payload copy, whatever the input.
+#[derive(Debug)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Read cursor into `buf` (compacted periodically).
+    pos: usize,
+    /// Next sequence number to deliver.
+    expected: u32,
+    /// Bytes skipped hunting for `MAGIC` (diagnostics).
+    resynced: u64,
+}
+
+impl Default for FrameBuffer {
+    fn default() -> Self {
+        FrameBuffer::new()
+    }
+}
+
+impl FrameBuffer {
+    /// An empty parser expecting sequence number 1.
+    pub fn new() -> Self {
+        FrameBuffer {
+            buf: Vec::new(),
+            pos: 0,
+            expected: 1,
+            resynced: 0,
+        }
+    }
+
+    /// Last sequence number delivered in order (0 before the first).
+    pub fn last_ok(&self) -> u32 {
+        self.expected - 1
+    }
+
+    /// Bytes discarded while hunting for a frame magic.
+    pub fn resynced_bytes(&self) -> u64 {
+        self.resynced
+    }
+
+    /// Feed raw stream bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: the parser never re-reads consumed
+        // bytes, so the buffer stays bounded by one frame plus readahead.
+        if self.pos > 0 && (self.pos >= 4096 || self.pos == self.buf.len()) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn remaining(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Drop `n` bytes as resync garbage.
+    fn skip(&mut self, n: usize) {
+        self.pos += n;
+        self.resynced += n as u64;
+    }
+
+    /// Extract the next event. Call until it returns [`FrameEvent::Need`].
+    pub fn poll(&mut self) -> FrameEvent {
+        loop {
+            // Hunt for the magic: anything before it is resync garbage
+            // (a truncated frame's tail, or a corrupted magic byte).
+            let rem = self.remaining();
+            if rem.len() < 4 {
+                // Too short to even hold the magic; discard bytes that
+                // already cannot begin one.
+                let keep = longest_magic_prefix(rem);
+                let drop = rem.len() - keep;
+                if drop > 0 {
+                    self.skip(drop);
+                }
+                return FrameEvent::Need;
+            }
+            if rem[..4] != MAGIC {
+                match find_magic(rem) {
+                    Some(at) => self.skip(at),
+                    None => {
+                        let keep = longest_magic_prefix(rem);
+                        self.skip(rem.len() - keep);
+                        return FrameEvent::Need;
+                    }
+                }
+                continue;
+            }
+            let rem = self.remaining();
+            if rem.len() < HEADER_LEN {
+                return FrameEvent::Need;
+            }
+            let seq = u32::from_le_bytes(rem[4..8].try_into().unwrap());
+            let len = u32::from_le_bytes(rem[8..12].try_into().unwrap());
+            let hcrc = u32::from_le_bytes(rem[12..16].try_into().unwrap());
+            let pcrc = u32::from_le_bytes(rem[16..20].try_into().unwrap());
+            if crc32(&[&rem[4..8], &rem[8..12]]) != hcrc {
+                // A lying header (possibly a corrupt length) must be
+                // rejected *now* — waiting for `len` payload bytes that
+                // may never come would turn a bit flip into a stall.
+                let last_ok = self.last_ok();
+                self.skip(1);
+                return FrameEvent::NakNeeded {
+                    last_ok,
+                    cause: NetError::BadChecksum { seq },
+                };
+            }
+            if len as usize > MAX_PAYLOAD {
+                let last_ok = self.last_ok();
+                self.skip(1);
+                return FrameEvent::NakNeeded {
+                    last_ok,
+                    cause: NetError::BadLength {
+                        len: len as u64,
+                        cap: MAX_PAYLOAD as u64,
+                    },
+                };
+            }
+            if rem.len() < HEADER_LEN + len as usize {
+                // Header verified, so `len` is trustworthy: the payload
+                // really is coming (or the stream died, which the
+                // connection layer detects as EOF/timeout).
+                return FrameEvent::Need;
+            }
+            let payload = &rem[HEADER_LEN..HEADER_LEN + len as usize];
+            if crc32(&[payload]) != pcrc {
+                let last_ok = self.last_ok();
+                // The header was genuine, so skipping the whole frame is
+                // safe — no byte-by-byte rescan needed.
+                self.pos += HEADER_LEN + len as usize;
+                self.resynced += 1;
+                return FrameEvent::NakNeeded {
+                    last_ok,
+                    cause: NetError::BadChecksum { seq },
+                };
+            }
+            // Verified. Now sequence-check.
+            if seq == self.expected {
+                let payload = payload.to_vec();
+                self.pos += HEADER_LEN + len as usize;
+                self.expected += 1;
+                return FrameEvent::Frame { seq, payload };
+            }
+            if seq < self.expected {
+                self.pos += HEADER_LEN + len as usize;
+                return FrameEvent::Stale { seq };
+            }
+            // A gap: an earlier frame vanished whole (truncated away).
+            // Leave this frame unconsumed is wrong (infinite loop); drop
+            // it and let the go-back-N resend replay both.
+            let last_ok = self.last_ok();
+            self.pos += HEADER_LEN + len as usize;
+            return FrameEvent::NakNeeded {
+                last_ok,
+                cause: NetError::Truncated {
+                    need: (seq - self.expected) as usize,
+                    have: 0,
+                },
+            };
+        }
+    }
+}
+
+/// First offset in `hay` (after 0) where `MAGIC` begins, if any.
+fn find_magic(hay: &[u8]) -> Option<usize> {
+    hay.windows(4)
+        .skip(1)
+        .position(|w| w == MAGIC)
+        .map(|p| p + 1)
+}
+
+/// Length of the longest *suffix* of `hay` that is a prefix of `MAGIC`
+/// (those bytes might become a magic once more arrive, so keep them).
+fn longest_magic_prefix(hay: &[u8]) -> usize {
+    for keep in (1..=3.min(hay.len())).rev() {
+        if hay[hay.len() - keep..] == MAGIC[..keep] {
+            return keep;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE check value for "123456789".
+        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b"1234", b"56789"]), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn frames_roundtrip_in_order_across_arbitrary_chunking() {
+        let frames: Vec<Vec<u8>> = (1..=5u32)
+            .map(|s| encode_frame(s, format!("payload-{s}").as_bytes()))
+            .collect();
+        let stream: Vec<u8> = frames.concat();
+        for chunk in [1usize, 3, 7, stream.len()] {
+            let mut fb = FrameBuffer::new();
+            let mut got = Vec::new();
+            for piece in stream.chunks(chunk) {
+                fb.extend(piece);
+                loop {
+                    match fb.poll() {
+                        FrameEvent::Frame { seq, payload } => got.push((seq, payload)),
+                        FrameEvent::Need => break,
+                        other => panic!("clean stream produced {other:?}"),
+                    }
+                }
+            }
+            assert_eq!(got.len(), 5, "chunk={chunk}");
+            for (i, (seq, payload)) in got.iter().enumerate() {
+                assert_eq!(*seq, i as u32 + 1);
+                assert_eq!(payload, format!("payload-{seq}").as_bytes());
+            }
+            assert_eq!(fb.resynced_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn every_possible_bit_flip_is_rejected_then_resend_recovers() {
+        let good = encode_frame(1, b"hello");
+        for bit in 0..good.len() * 8 {
+            let mut bad = good.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            let mut fb = FrameBuffer::new();
+            fb.extend(&bad);
+            // Whatever the flipped bit hit — magic, header, payload, or
+            // a checksum — the damaged frame must never be delivered.
+            loop {
+                match fb.poll() {
+                    FrameEvent::Frame { seq, payload } => {
+                        panic!("flipped bit {bit} delivered seq {seq} {payload:?}")
+                    }
+                    FrameEvent::NakNeeded { last_ok, .. } => assert_eq!(last_ok, 0),
+                    FrameEvent::Stale { .. } => {}
+                    FrameEvent::Need => break,
+                }
+            }
+            // The "resend" then delivers exactly the original bytes.
+            fb.extend(&good);
+            let mut delivered = false;
+            loop {
+                match fb.poll() {
+                    FrameEvent::Frame { seq: 1, payload } => {
+                        assert_eq!(payload, b"hello");
+                        delivered = true;
+                    }
+                    FrameEvent::Need => break,
+                    _ => {}
+                }
+            }
+            assert!(delivered, "resend after bit {bit} not delivered");
+        }
+    }
+
+    #[test]
+    fn truncated_frame_resyncs_on_next_magic_and_naks_the_gap() {
+        let f1 = encode_frame(1, b"first");
+        let f2 = encode_frame(2, b"second");
+        let mut fb = FrameBuffer::new();
+        fb.extend(&f1[..f1.len() - 3]); // frame 1 never finishes
+        fb.extend(&f2);
+        let mut nak = false;
+        loop {
+            match fb.poll() {
+                FrameEvent::NakNeeded { last_ok: 0, .. } => nak = true,
+                FrameEvent::Frame { seq: 2, .. } => {
+                    panic!("frame 2 delivered before frame 1")
+                }
+                FrameEvent::Need => break,
+                _ => {}
+            }
+        }
+        assert!(nak, "gap must demand a NAK");
+        // Peer resends 1 and 2.
+        fb.extend(&f1);
+        fb.extend(&f2);
+        let mut got = Vec::new();
+        loop {
+            match fb.poll() {
+                FrameEvent::Frame { seq, .. } => got.push(seq),
+                FrameEvent::Need => break,
+                _ => {}
+            }
+        }
+        assert_eq!(got, vec![1, 2]);
+        assert!(fb.resynced_bytes() > 0);
+    }
+
+    #[test]
+    fn oversized_length_field_is_rejected_not_awaited() {
+        // Forge a header that *checksums correctly* but advertises an
+        // absurd length: the cap must reject it.
+        let seq_le = 1u32.to_le_bytes();
+        let len_le = u32::MAX.to_le_bytes();
+        let hcrc = crc32(&[&seq_le, &len_le]);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC);
+        frame.extend_from_slice(&seq_le);
+        frame.extend_from_slice(&len_le);
+        frame.extend_from_slice(&hcrc.to_le_bytes());
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        let mut fb = FrameBuffer::new();
+        fb.extend(&frame);
+        match fb.poll() {
+            FrameEvent::NakNeeded {
+                cause: NetError::BadLength { .. },
+                ..
+            } => {}
+            other => panic!("expected BadLength, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_resends_are_skipped() {
+        let f1 = encode_frame(1, b"one");
+        let f2 = encode_frame(2, b"two");
+        let mut fb = FrameBuffer::new();
+        fb.extend(&f1);
+        assert!(matches!(fb.poll(), FrameEvent::Frame { seq: 1, .. }));
+        fb.extend(&f1); // duplicate
+        fb.extend(&f2);
+        assert!(matches!(fb.poll(), FrameEvent::Stale { seq: 1 }));
+        assert!(matches!(fb.poll(), FrameEvent::Frame { seq: 2, .. }));
+    }
+
+    #[test]
+    fn garbage_between_frames_is_skipped_by_magic_scan() {
+        let f1 = encode_frame(1, b"one");
+        let f2 = encode_frame(2, b"two");
+        let mut fb = FrameBuffer::new();
+        fb.extend(&f1);
+        fb.extend(b"\x00\xFFgarbageMP"); // includes a magic prefix tail
+        fb.extend(&f2);
+        let mut got = Vec::new();
+        loop {
+            match fb.poll() {
+                FrameEvent::Frame { seq, .. } => got.push(seq),
+                FrameEvent::Need => break,
+                _ => {}
+            }
+        }
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_payload_frame_roundtrips() {
+        let f = encode_frame(1, b"");
+        let mut fb = FrameBuffer::new();
+        fb.extend(&f);
+        match fb.poll() {
+            FrameEvent::Frame { seq: 1, payload } => assert!(payload.is_empty()),
+            other => panic!("expected empty frame, got {other:?}"),
+        }
+    }
+}

@@ -15,7 +15,16 @@
 //! cargo run --release --example bench_report -- --smoke # CI smoke mode
 //! cargo run --release --example bench_report -- --out my_report.json
 //! cargo run --release --example bench_report -- --gate BENCH_multiprefix.json
+//! cargo run --release --example bench_report -- --transport uds
 //! ```
+//!
+//! `--transport={channel,uds,tcp}` selects the wire the *sharded* engine
+//! rides for its rows (the in-process channel transport, Unix-domain
+//! sockets, or loopback TCP — the latter two serialize every
+//! `Scan`/`Apply` through the framed codec). The choice is recorded in
+//! the report as the top-level `"transport"` key; it is informational
+//! and does not participate in `--gate` comparisons, which always
+//! measure the default channel transport.
 //!
 //! `--gate` is the regression gate: it re-measures every engine at the
 //! baseline's sizes and compares *serial-normalized* ratios (engine time /
@@ -30,7 +39,9 @@ use multiprefix::resilience::RunContext;
 use multiprefix::spinetree::build::ArbPolicy;
 use multiprefix::spinetree::engine::multiprefix_spinetree_instrumented;
 use multiprefix::spinetree::layout::{choose_row_len_skewed, Layout};
-use multiprefix::{EngineKind, ExecConfig, OverflowPolicy, ShardConfig};
+use multiprefix::{
+    try_multiprefix_socket_ctx, EngineKind, ExecConfig, NetConfig, OverflowPolicy, ShardConfig,
+};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -81,6 +92,41 @@ const BENCH_THREADS: usize = 4;
 /// Chunks-per-thread oversubscription factors for the chunked-engine sweep.
 const CHUNK_FACTORS: [usize; 4] = [1, 2, 4, 8];
 
+/// Wire for the sharded engine's bench rows (`--transport`): the
+/// in-process channel transport, or the socket transport over UDS /
+/// loopback TCP with in-process workers. Set once at startup.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ShardTransport {
+    Channel,
+    Uds,
+    Tcp,
+}
+
+impl ShardTransport {
+    fn name(self) -> &'static str {
+        match self {
+            ShardTransport::Channel => "channel",
+            ShardTransport::Uds => "uds",
+            ShardTransport::Tcp => "tcp",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "channel" => Some(ShardTransport::Channel),
+            "uds" => Some(ShardTransport::Uds),
+            "tcp" => Some(ShardTransport::Tcp),
+            _ => None,
+        }
+    }
+}
+
+static TRANSPORT: std::sync::OnceLock<ShardTransport> = std::sync::OnceLock::new();
+
+fn shard_transport() -> ShardTransport {
+    TRANSPORT.get().copied().unwrap_or(ShardTransport::Channel)
+}
+
 /// Regression tolerance for `--gate`: fail when an engine's
 /// serial-normalized ratio grows past `baseline * (1 + 25%)`.
 const GATE_TOLERANCE: f64 = 0.25;
@@ -126,15 +172,34 @@ fn run_engine(
         EngineKind::Atomic => {
             multiprefix::atomic::try_multiprefix_atomic_cfg_ctx(values, labels, m, Plus, cfg, ctx)
         }
-        EngineKind::Sharded => multiprefix::shard::try_multiprefix_sharded_ctx(
-            values,
-            labels,
-            m,
-            Plus,
-            cfg,
-            &ShardConfig::default().shards(BENCH_THREADS),
-            ctx,
-        ),
+        EngineKind::Sharded => {
+            let shard_cfg = ShardConfig::default().shards(BENCH_THREADS);
+            match shard_transport() {
+                ShardTransport::Channel => multiprefix::shard::try_multiprefix_sharded_ctx(
+                    values, labels, m, Plus, cfg, &shard_cfg, ctx,
+                ),
+                ShardTransport::Uds => try_multiprefix_socket_ctx(
+                    values,
+                    labels,
+                    m,
+                    Plus,
+                    &shard_cfg,
+                    &NetConfig::uds(),
+                    ctx,
+                )
+                .map(Some),
+                ShardTransport::Tcp => try_multiprefix_socket_ctx(
+                    values,
+                    labels,
+                    m,
+                    Plus,
+                    &shard_cfg,
+                    &NetConfig::tcp(),
+                    ctx,
+                )
+                .map(Some),
+            }
+        }
     };
     let out = out
         .expect("bench workload must not fail")
@@ -341,6 +406,24 @@ fn main() {
     } else {
         FULL
     };
+    // `--transport uds` / `--transport=tcp`: wire for the sharded rows.
+    // Parsed after `--gate` on purpose — gate comparisons always run the
+    // default channel transport so ratios stay comparable to committed
+    // baselines.
+    let transport = args
+        .iter()
+        .position(|a| a == "--transport")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--transport=").map(str::to_string))
+        })
+        .map(|name| {
+            ShardTransport::from_name(&name)
+                .unwrap_or_else(|| panic!("unknown --transport {name:?} (channel|uds|tcp)"))
+        })
+        .unwrap_or(ShardTransport::Channel);
+    let _ = TRANSPORT.set(transport);
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -364,6 +447,8 @@ fn main() {
     let _ = writeln!(json, "  \"mode\": \"{}\",", cfg.mode);
     let _ = writeln!(json, "  \"iters\": {},", cfg.iters);
     let _ = writeln!(json, "  \"threads\": {BENCH_THREADS},");
+    // Informational: which wire the sharded engine's rows rode.
+    let _ = writeln!(json, "  \"transport\": \"{}\",", transport.name());
     json.push_str("  \"engines\": [\n");
 
     let mut checksum = 0i64;
