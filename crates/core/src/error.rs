@@ -110,6 +110,44 @@ pub enum MpError {
         /// Index of the worker that died.
         worker: usize,
     },
+    /// A session op named an element index that was never appended
+    /// ([`crate::session`] `update`/`prefix_query`).
+    IndexOutOfRange {
+        /// The requested element index.
+        index: u64,
+        /// Elements in the session log.
+        len: u64,
+    },
+    /// A durable-session storage operation ([`crate::session`]) failed at
+    /// the I/O layer — a write, fsync, rename or open refused by the OS
+    /// (or injected by [`crate::resilience::ChaosPlan::fsync_fail_ppm`] and
+    /// friends). The operation was **not** acknowledged: the in-memory
+    /// session state excludes it and a recovery will not replay it.
+    Storage {
+        /// Which storage step failed (e.g. `"wal.append"`,
+        /// `"snapshot.rename"`).
+        op: &'static str,
+        /// The OS error class.
+        kind: std::io::ErrorKind,
+    },
+    /// A [`crate::service::Service`] session call named a
+    /// [`SessionId`](crate::service::SessionId) that is not open — never
+    /// opened, already closed, or force-closed after its storage breaker
+    /// tripped.
+    UnknownSession {
+        /// The id the caller presented.
+        id: u64,
+    },
+    /// A durable-session store is damaged beyond what the recovery state
+    /// machine can repair: every snapshot generation failed validation, a
+    /// non-final WAL segment is torn, or the replay chain has a gap. The
+    /// store **fails closed** — no partial or guessed state is ever
+    /// surfaced.
+    CorruptStore {
+        /// What the recovery pass found (e.g. `"no valid snapshot
+        /// generation"`).
+        what: &'static str,
+    },
 }
 
 impl MpError {
@@ -131,6 +169,7 @@ impl MpError {
                 | MpError::Unavailable
                 | MpError::Overloaded { .. }
                 | MpError::WorkerLost { .. }
+                | MpError::Storage { .. }
         )
     }
 
@@ -197,6 +236,21 @@ impl fmt::Display for MpError {
                     f,
                     "service worker {worker} died while executing the request"
                 )
+            }
+            MpError::IndexOutOfRange { index, len } => {
+                write!(
+                    f,
+                    "element index {index} is out of range for a session of {len} elements"
+                )
+            }
+            MpError::Storage { op, kind } => {
+                write!(f, "session storage operation {op} failed: {kind:?}")
+            }
+            MpError::UnknownSession { id } => {
+                write!(f, "session {id} is not open on this service")
+            }
+            MpError::CorruptStore { what } => {
+                write!(f, "session store corrupted beyond recovery: {what}")
             }
         }
     }
@@ -354,7 +408,36 @@ mod tests {
             assert_eq!(err.is_transient(), transient, "{err}");
             assert_eq!(err.is_permanent(), !transient, "{err}");
         }
-        // WorkerLost closes the set (13 variants total).
+        // WorkerLost, IndexOutOfRange, Storage, UnknownSession and
+        // CorruptStore close the set (17 variants total). A refused fsync
+        // is a property of the moment (disk pressure, a flaky mount) —
+        // transient; a store that failed recovery validation and a request
+        // naming a nonexistent element or session can never succeed as
+        // posed — permanent.
         assert!(MpError::WorkerLost { worker: 0 }.is_transient());
+        assert!(MpError::IndexOutOfRange { index: 9, len: 3 }.is_permanent());
+        assert!(MpError::UnknownSession { id: 42 }.is_permanent());
+        assert!(MpError::Storage {
+            op: "wal.append",
+            kind: std::io::ErrorKind::Other,
+        }
+        .is_transient());
+        assert!(MpError::CorruptStore {
+            what: "no valid snapshot generation",
+        }
+        .is_permanent());
+    }
+
+    #[test]
+    fn display_session_variants() {
+        let e = MpError::Storage {
+            op: "snapshot.rename",
+            kind: std::io::ErrorKind::PermissionDenied,
+        };
+        assert!(e.to_string().contains("snapshot.rename"));
+        let e = MpError::CorruptStore {
+            what: "wal segment gap",
+        };
+        assert!(e.to_string().contains("fails") || e.to_string().contains("corrupted"));
     }
 }

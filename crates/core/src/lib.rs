@@ -93,6 +93,25 @@
 //! snapshot as JSON or text; with no recorder installed, instrumentation
 //! reduces to one branch per site and reads no clocks.
 //!
+//! ## Durable sessions
+//!
+//! [`session`] makes the multiprefix *stateful and crash-durable*: a
+//! [`session::DurableSession`] maintains per-label Fenwick trees for
+//! O(log n) `append` / `update` / `prefix_query` / `label_total` over a
+//! growing element log, with every mutation acknowledged by a
+//! checksummed write-ahead log (the same MPXF frame discipline as the
+//! socket transport) before it applies. Periodic snapshots (atomic
+//! tmp+rename, independent header/payload CRCs, generation-numbered)
+//! bound replay length; recovery loads the newest valid snapshot,
+//! replays the WAL tail — detecting torn, truncated and bit-flipped
+//! records and truncating the log at the first invalid one — and
+//! cross-checks the rebuilt state with the Träff exclusive-scan
+//! structure before serving. A store damaged beyond recovery fails
+//! closed with [`MpError::CorruptStore`]. The
+//! [`service::Service`] session API (`open_session` / `session_append` /
+//! `session_query` / …) routes these stores through the dispatcher's
+//! deadline and breaker discipline.
+//!
 //! ## Derived primitives
 //!
 //! The paper argues multiprefix subsumes many parallel primitives; the
@@ -119,6 +138,7 @@ pub mod scan;
 pub mod segmented;
 pub mod serial;
 pub mod service;
+pub mod session;
 pub mod shard;
 pub mod spinetree;
 pub mod split;
@@ -132,12 +152,13 @@ pub use chunked::{ChunkedPlan, ChunkedWorkspace, WorkspacePool};
 pub use error::MpError;
 pub use exec::{ExecConfig, OverflowPolicy};
 pub use obs::{MemoryRecorder, ObsSnapshot, Recorder};
-pub use op::TryCombineOp;
+pub use op::{InvertibleOp, TryCombineOp};
 pub use problem::{validate, Element, MultiprefixOutput};
 pub use resilience::{
     CancelToken, Deadline, DispatchOpts, DispatchOutcome, Dispatcher, DispatcherConfig, EngineKind,
     RunContext,
 };
+pub use session::{DurableSession, RecoveryReport, SessionCore, SessionOptions};
 pub use shard::net::{
     maybe_run_worker_from_env, multiprefix_socket, try_multiprefix_socket_ctx, NetConfig, NetError,
     SocketKind, WireOp, WireValue,

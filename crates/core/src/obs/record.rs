@@ -2,7 +2,7 @@
 //! export (JSON and human-readable text).
 
 use super::hist::{HistogramSnapshot, LatencyHistogram};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
@@ -32,7 +32,9 @@ pub trait Recorder: Send + Sync + fmt::Debug {
     fn event(&self, name: &str, detail: &str);
 }
 
-/// Maximum retained events; older events are dropped (count preserved).
+/// Maximum retained events; the buffer is a ring — once full, the
+/// *oldest* event is evicted for each new arrival (count preserved in
+/// `events_dropped`), so a snapshot always shows the most recent window.
 const EVENT_CAP: usize = 1024;
 
 /// One recorded [`Recorder::event`].
@@ -57,7 +59,7 @@ pub struct MemoryRecorder {
     counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: RwLock<BTreeMap<String, Arc<AtomicI64>>>,
     hists: RwLock<BTreeMap<String, Arc<LatencyHistogram>>>,
-    events: Mutex<Vec<ObsEvent>>,
+    events: Mutex<VecDeque<ObsEvent>>,
     events_dropped: AtomicU64,
 }
 
@@ -145,7 +147,9 @@ impl MemoryRecorder {
             .events
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .clone();
+            .iter()
+            .cloned()
+            .collect();
         ObsSnapshot {
             counters,
             gauges,
@@ -172,10 +176,12 @@ impl Recorder for MemoryRecorder {
     fn event(&self, name: &str, detail: &str) {
         let mut events = self.events.lock().unwrap_or_else(PoisonError::into_inner);
         if events.len() >= EVENT_CAP {
+            // Ring semantics: evict the oldest so late-run events (the
+            // ones a post-mortem actually wants) are always retained.
+            events.pop_front();
             self.events_dropped.fetch_add(1, Ordering::Release);
-            return;
         }
-        events.push(ObsEvent {
+        events.push_back(ObsEvent {
             name: name.to_owned(),
             detail: detail.to_owned(),
         });
@@ -408,6 +414,28 @@ mod tests {
         let snap = rec.snapshot();
         assert_eq!(snap.events.len(), EVENT_CAP);
         assert_eq!(snap.events_dropped, 10);
+    }
+
+    #[test]
+    fn event_ring_evicts_oldest_keeps_newest() {
+        // Regression: the buffer used to stop accepting once full, so a
+        // long run's snapshot showed only its *first* EVENT_CAP events and
+        // silently discarded everything recent. The ring must retain the
+        // last EVENT_CAP events in arrival order.
+        let rec = MemoryRecorder::new();
+        let total = EVENT_CAP + 37;
+        for i in 0..total {
+            rec.event("e", &format!("{i}"));
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.events.len(), EVENT_CAP);
+        assert_eq!(snap.events_dropped, 37);
+        assert_eq!(snap.events.first().unwrap().detail, format!("{}", 37));
+        assert_eq!(snap.events.last().unwrap().detail, format!("{}", total - 1));
+        // Still in arrival order across the eviction boundary.
+        for (k, e) in snap.events.iter().enumerate() {
+            assert_eq!(e.detail, format!("{}", 37 + k));
+        }
     }
 
     #[test]

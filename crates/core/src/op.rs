@@ -142,6 +142,39 @@ macro_rules! impl_int_ops {
 
 impl_int_ops!(i8, i16, i32, i64, i128, u8, u16, u32, u64, u128, usize, isize);
 
+/// A commutative [`CombineOp`] with an exact inverse — the structural
+/// requirement for O(log n) *point-assignment* in the incremental session
+/// engine's per-label Fenwick trees ([`crate::session`]).
+///
+/// Laws, on top of the [`CombineOp`] laws:
+///
+/// * inverse: `combine(uncombine(a, b), b) == a` for every `a`, `b`;
+/// * commutativity (`COMMUTATIVE == true`), so a point delta may be folded
+///   into interior tree nodes in tree order rather than vector order.
+///
+/// Only *exactly* invertible operators qualify: integer `Plus` under the
+/// wrapping discipline forms a group (`wrapping_sub` is the exact inverse
+/// of `wrapping_add` in Z/2ⁿ), so an incremental session is bit-identical
+/// to a batch engine replay. Floating-point addition is **not** exactly
+/// invertible (`(a + b) - b ≠ a` after rounding) and `Max`/`Min`/`And`/`Or`
+/// destroy information, so none of them implement this trait.
+pub trait InvertibleOp<T: Element>: CombineOp<T> {
+    /// The exact inverse of [`CombineOp::combine`] in its right argument:
+    /// `combine(uncombine(a, b), b) == a`.
+    fn uncombine(&self, a: T, b: T) -> T;
+}
+
+macro_rules! impl_int_invertible {
+    ($($t:ty),*) => {$(
+        impl InvertibleOp<$t> for Plus {
+            #[inline(always)]
+            fn uncombine(&self, a: $t, b: $t) -> $t { a.wrapping_sub(b) }
+        }
+    )*};
+}
+
+impl_int_invertible!(i8, i16, i32, i64, i128, u8, u16, u32, u64, u128, usize, isize);
+
 macro_rules! impl_int_try_ops {
     ($($t:ty),*) => {$(
         impl TryCombineOp<$t> for Plus {

@@ -40,10 +40,12 @@
 pub(crate) mod coalesce;
 pub(crate) mod pool;
 pub(crate) mod queue;
+pub(crate) mod session_api;
 pub(crate) mod shed;
 
 pub use coalesce::CoalesceConfig;
 pub use queue::{Priority, Reply, Request, Ticket};
+pub use session_api::SessionId;
 
 use crate::chunked::WorkspacePool;
 use crate::error::MpError;
@@ -365,6 +367,7 @@ impl<T: Element, O: TryCombineOp<T>> Service<T, O> {
             op,
             cfg,
             stats,
+            sessions: session_api::new_registry(),
         });
         for idx in 0..shared.cfg.workers() {
             spawn_worker(&shared, idx);

@@ -54,6 +54,9 @@ pub(crate) struct Shared<T: Element, O> {
     pub(crate) op: O,
     pub(crate) cfg: ServiceConfig,
     pub(crate) stats: ServiceStats,
+    /// Durable sessions opened on this service (see
+    /// [`super::session_api`]). Batch traffic never touches this lock.
+    pub(crate) sessions: Mutex<super::session_api::SessionRegistry<T, O>>,
 }
 
 pub(crate) fn lock_queue<'a, T: Element, O>(

@@ -1,0 +1,303 @@
+//! The in-memory incremental multiprefix engine: per-label Fenwick trees
+//! over a growing element log.
+//!
+//! Where every batch engine answers "the multiprefix of *this* vector,
+//! once", a [`SessionCore`] holds a *live* vector: `append` admits the
+//! next element, `update` re-assigns an existing one, and
+//! `prefix_query`/`label_total` answer the multiprefix questions of the
+//! moment in O(log n) — no rescan, no resubmission. The contract is
+//! differential: after any op sequence, `prefix_query(i)` equals
+//! `sums[i]` and `label_total(l)` equals `reductions[l]` of the batch
+//! chunked engine run over the session's current (label, value) vector,
+//! bit for bit (`tests/session_differential.rs`).
+//!
+//! Recovery reuses the Träff exclusive-scan structure: segment the
+//! restored element log, summarize each segment per label, and stitch the
+//! segments with [`exscan_over_summaries`] — the same primitive the
+//! chunked engine's combine phase and the shard supervisor use — to
+//! cross-check the rebuilt Fenwick forest (totals *and* the per-segment
+//! carries at every segment boundary) before the store is trusted.
+
+use super::fenwick::Fenwick;
+use crate::error::MpError;
+use crate::op::InvertibleOp;
+use crate::problem::Element;
+use crate::shard::{exscan_over_summaries, ShardSummary};
+use std::collections::HashMap;
+
+/// One live element of the session log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SessionElem<T> {
+    /// Its label (bucket), `< m`.
+    pub label: usize,
+    /// Its current value (the latest `update`, or the appended value).
+    pub value: T,
+    /// Its occurrence index within its label class (0-based).
+    pub occ: usize,
+}
+
+/// The incremental engine: an element log plus one Fenwick tree per
+/// touched label.
+#[derive(Debug)]
+pub struct SessionCore<T, O> {
+    op: O,
+    m: usize,
+    elems: Vec<SessionElem<T>>,
+    trees: HashMap<usize, Fenwick<T, O>>,
+}
+
+impl<T: Element, O: InvertibleOp<T>> SessionCore<T, O> {
+    /// An empty session over `m` buckets.
+    pub fn new(m: usize, op: O) -> Self {
+        SessionCore {
+            op,
+            m,
+            elems: Vec::new(),
+            trees: HashMap::new(),
+        }
+    }
+
+    /// The declared bucket count.
+    pub fn buckets(&self) -> usize {
+        self.m
+    }
+
+    /// Elements appended so far.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Append the next element; returns its (stable) index.
+    pub fn append(&mut self, label: usize, value: T) -> Result<u64, MpError> {
+        if label >= self.m {
+            return Err(MpError::LabelOutOfRange {
+                index: self.elems.len(),
+                label,
+                m: self.m,
+            });
+        }
+        let tree = self
+            .trees
+            .entry(label)
+            .or_insert_with(|| Fenwick::new(self.op));
+        let occ = tree.len();
+        tree.push(value)?;
+        self.elems.push(SessionElem { label, value, occ });
+        Ok(self.elems.len() as u64 - 1)
+    }
+
+    /// Re-assign element `index` to `value` (its label is fixed).
+    pub fn update(&mut self, index: u64, value: T) -> Result<(), MpError> {
+        let len = self.elems.len() as u64;
+        let elem = match self.elems.get_mut(index as usize) {
+            Some(e) => e,
+            None => return Err(MpError::IndexOutOfRange { index, len }),
+        };
+        let tree = self
+            .trees
+            .get_mut(&elem.label)
+            .expect("invariant: every element's label has a tree");
+        tree.assign(elem.occ, elem.value, value);
+        elem.value = value;
+        Ok(())
+    }
+
+    /// The multiprefix sum of element `index`: the ⊕-combination of every
+    /// *earlier* element with the same label (identity for the first).
+    pub fn prefix_query(&self, index: u64) -> Result<T, MpError> {
+        let elem = match self.elems.get(index as usize) {
+            Some(e) => e,
+            None => {
+                return Err(MpError::IndexOutOfRange {
+                    index,
+                    len: self.elems.len() as u64,
+                })
+            }
+        };
+        let tree = self
+            .trees
+            .get(&elem.label)
+            .expect("invariant: every element's label has a tree");
+        Ok(tree.prefix(elem.occ))
+    }
+
+    /// The ⊕-reduction of every element with label `label` (identity for
+    /// an untouched label).
+    pub fn label_total(&self, label: usize) -> Result<T, MpError> {
+        if label >= self.m {
+            return Err(MpError::LabelOutOfRange {
+                index: self.elems.len(),
+                label,
+                m: self.m,
+            });
+        }
+        Ok(self
+            .trees
+            .get(&label)
+            .map(|t| t.total())
+            .unwrap_or_else(|| self.op.identity()))
+    }
+
+    /// The current (label, value) vectors, in append order — what a batch
+    /// engine would be handed to reproduce this session's state.
+    pub fn as_batch(&self) -> (Vec<T>, Vec<usize>) {
+        (
+            self.elems.iter().map(|e| e.value).collect(),
+            self.elems.iter().map(|e| e.label).collect(),
+        )
+    }
+
+    /// Internal: the raw element log (snapshot encoding).
+    pub(crate) fn elems(&self) -> &[SessionElem<T>] {
+        &self.elems
+    }
+
+    /// The recovery self-check: segment the log, summarize each segment
+    /// per label, exscan-stitch the summaries, and compare (a) the global
+    /// reductions against every tree's total and (b) each segment's
+    /// exclusive carry against `prefix_query` at the first in-segment
+    /// occurrence of each label — the cross-segment carries of the batch
+    /// structure replayed against the incremental one.
+    pub(crate) fn verify_with_exscan(&self) -> Result<(), MpError>
+    where
+        T: PartialEq,
+    {
+        let n = self.elems.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let segments = 8.min(n);
+        let seg_len = n.div_ceil(segments);
+        let mut summaries: Vec<ShardSummary<T>> = Vec::with_capacity(segments);
+        // First in-segment element index per (segment, label), to probe
+        // the carries afterwards.
+        let mut firsts: Vec<Vec<(usize, usize)>> = Vec::with_capacity(segments);
+        for (s, chunk) in self.elems.chunks(seg_len).enumerate() {
+            let base = s * seg_len;
+            let mut touched: Vec<usize> = Vec::new();
+            let mut totals: Vec<T> = Vec::new();
+            let mut slot: HashMap<usize, usize> = HashMap::new();
+            let mut first: Vec<(usize, usize)> = Vec::new();
+            for (off, e) in chunk.iter().enumerate() {
+                match slot.get(&e.label) {
+                    Some(&at) => totals[at] = self.op.combine(totals[at], e.value),
+                    None => {
+                        slot.insert(e.label, touched.len());
+                        touched.push(e.label);
+                        totals.push(e.value);
+                        first.push((e.label, base + off));
+                    }
+                }
+            }
+            summaries.push(ShardSummary {
+                shard: s,
+                touched,
+                totals,
+            });
+            firsts.push(first);
+        }
+        let reductions = exscan_over_summaries(&mut summaries, self.m, self.op)?;
+        // (a) global reductions vs tree totals.
+        for (label, tree) in &self.trees {
+            if reductions[*label] != tree.total() {
+                return Err(MpError::CorruptStore {
+                    what: "recovery self-check: exscan reduction disagrees with Fenwick total",
+                });
+            }
+        }
+        // (b) per-segment exclusive carries vs prefix queries at segment
+        // entry points.
+        for (summary, first) in summaries.iter().zip(&firsts) {
+            let (touched, carried) = (&summary.touched, &summary.totals);
+            for (slot, &label) in touched.iter().enumerate() {
+                let (flabel, at) = first[slot];
+                debug_assert_eq!(flabel, label);
+                if self.prefix_query(at as u64)? != carried[slot] {
+                    return Err(MpError::CorruptStore {
+                        what: "recovery self-check: exscan carry disagrees with prefix query",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunked::multiprefix_chunked;
+    use crate::op::Plus;
+
+    #[test]
+    fn session_matches_batch_chunked_on_every_prefix() {
+        let m = 13;
+        let mut core = SessionCore::new(m, Plus);
+        let mut state = 0x5EEDu64;
+        let mut step = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for i in 0..300u64 {
+            let label = (step() % m as u64) as usize;
+            let value = step() as i64 - (u32::MAX / 2) as i64;
+            assert_eq!(core.append(label, value).unwrap(), i);
+            if step() % 4 == 0 && i > 0 {
+                let target = step() % (i + 1);
+                core.update(target, step() as i64).unwrap();
+            }
+            // Every few ops, check the whole state against the batch
+            // chunked engine.
+            if i % 37 == 0 {
+                let (values, labels) = core.as_batch();
+                let batch = multiprefix_chunked(&values, &labels, m, Plus);
+                for j in 0..values.len() {
+                    assert_eq!(
+                        core.prefix_query(j as u64).unwrap(),
+                        batch.sums[j],
+                        "i={i} j={j}"
+                    );
+                }
+                for l in 0..m {
+                    assert_eq!(
+                        core.label_total(l).unwrap(),
+                        batch.reductions[l],
+                        "i={i} l={l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_ops_are_typed_errors() {
+        let mut core: SessionCore<i64, Plus> = SessionCore::new(4, Plus);
+        assert!(matches!(
+            core.append(4, 1),
+            Err(MpError::LabelOutOfRange { label: 4, m: 4, .. })
+        ));
+        assert!(core.update(0, 1).is_err());
+        assert!(core.prefix_query(0).is_err());
+        assert!(core.label_total(4).is_err());
+        assert_eq!(core.label_total(3).unwrap(), 0);
+    }
+
+    #[test]
+    fn exscan_self_check_accepts_clean_state() {
+        let mut core = SessionCore::new(7, Plus);
+        for i in 0..100 {
+            core.append(i % 7, i as i64 * 11 - 300).unwrap();
+        }
+        // Updates too, including overflow-adjacent values.
+        core.update(3, i64::MAX).unwrap();
+        core.update(97, i64::MIN).unwrap();
+        core.verify_with_exscan().unwrap();
+    }
+}

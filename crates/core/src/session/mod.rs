@@ -1,0 +1,45 @@
+//! # Durable streaming multiprefix sessions
+//!
+//! Every engine below this module answers the multiprefix question for
+//! one batch, once. A *session* turns the operation into a long-lived,
+//! incrementally-maintained object — elements arrive over time
+//! ([`DurableSession::append`]), values are revised
+//! ([`DurableSession::update`]), and the multiprefix views
+//! ([`DurableSession::prefix_query`], [`DurableSession::label_total`])
+//! are answered in O(log n) from per-label Fenwick trees — and makes the
+//! whole thing **crash-durable**: a write-ahead log in the MPXF frame
+//! discipline acknowledges every mutation before it applies, periodic
+//! checksummed snapshots bound replay length, and recovery restores
+//! *exactly* the acknowledged prefix, bit for bit, or fails closed with
+//! a typed [`CorruptStore`](crate::MpError::CorruptStore).
+//!
+//! The module splits along those lines:
+//!
+//! * [`fenwick`] — the per-label prefix structure (append / point-assign
+//!   / prefix in O(log n), bit-exact left-fold block order);
+//! * [`engine`] — [`SessionCore`], the in-memory incremental engine and
+//!   the exscan-based recovery self-check;
+//! * [`wal`] — checksummed, sequence-numbered records; strict
+//!   truncate-at-first-damage replay scanning;
+//! * [`snapshot`] — atomic generation-numbered images with independent
+//!   header/payload CRCs;
+//! * [`store`] — [`DurableSession`]: WAL-then-apply writes, snapshot
+//!   rotation, and the recovery state machine stitching it together.
+//!
+//! Incremental point-update requires the operator to be a commutative
+//! *group*, not just a monoid — see [`InvertibleOp`](crate::op::InvertibleOp).
+//! In this tree that is integer [`Plus`](crate::op::Plus) (wrapping
+//! arithmetic in Z/2ⁿ is exactly invertible); saturating ops like
+//! max/min and floating-point addition are deliberately excluded.
+
+pub mod engine;
+pub mod fenwick;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use engine::SessionCore;
+pub use fenwick::Fenwick;
+pub use snapshot::SnapshotImage;
+pub use store::{DurableSession, RecoveryReport, SessionOptions};
+pub use wal::{WalDamage, WalRecord};

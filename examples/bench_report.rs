@@ -64,6 +64,8 @@ struct SweepConfig {
     iters: u32,
     row_sweep_n: usize,
     row_sweep_iters: u32,
+    session_ops: u64,
+    session_recovery: &'static [u64],
     mode: &'static str,
 }
 
@@ -72,6 +74,8 @@ const FULL: SweepConfig = SweepConfig {
     iters: 5,
     row_sweep_n: 250_000,
     row_sweep_iters: 3,
+    session_ops: 20_000,
+    session_recovery: &[1_000, 10_000, 50_000],
     mode: "full",
 };
 
@@ -80,6 +84,8 @@ const SMOKE: SweepConfig = SweepConfig {
     iters: 2,
     row_sweep_n: 4_096,
     row_sweep_iters: 1,
+    session_ops: 1_000,
+    session_recovery: &[256, 1_024],
     mode: "smoke",
 };
 
@@ -392,6 +398,110 @@ fn run_gate(baseline_path: &str) -> ! {
     std::process::exit(0);
 }
 
+/// The durable-session measurements: a fresh store per leg under a
+/// temporary directory, removed afterwards.
+fn session_bench(json: &mut String, cfg: &SweepConfig, checksum: &mut i64) {
+    use multiprefix::session::{DurableSession, SessionOptions};
+
+    const SESSION_M: usize = 64;
+    let n_ops = cfg.session_ops;
+    let labels = lcg_labels(n_ops as usize, SESSION_M, 13);
+    let bench_dir = |tag: &str| {
+        let dir =
+            std::env::temp_dir().join(format!("mpx-bench-session-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    };
+    let fill = |dir: &std::path::Path, ops: u64, no_sync: bool| -> u64 {
+        let opts = SessionOptions {
+            no_sync,
+            ..SessionOptions::default()
+        };
+        let mut s = DurableSession::open(dir, SESSION_M, Plus, opts).unwrap();
+        let started = Instant::now();
+        for i in 0..ops {
+            s.append(labels[(i as usize) % labels.len()], i as i64)
+                .unwrap();
+        }
+        let ns = started.elapsed().as_nanos() as u64;
+        s.close().unwrap();
+        ns / ops.max(1)
+    };
+
+    json.push_str("  \"session\": {\n");
+    let _ = writeln!(json, "    \"m\": {SESSION_M},");
+    let _ = writeln!(json, "    \"append_ops\": {n_ops},");
+
+    // Append throughput, both sides of the durability barrier: the
+    // fsync-per-record contract an `Ok` acknowledgment stands on, and
+    // the no_sync configuration that trades the barrier for throughput.
+    let dir = bench_dir("nosync");
+    let nosync_ns = fill(&dir, n_ops, true);
+    std::fs::remove_dir_all(&dir).unwrap();
+    let dir = bench_dir("synced");
+    let synced_ns = fill(&dir, n_ops, false);
+    let _ = writeln!(json, "    \"append_synced_ns_per_op\": {synced_ns},");
+    let _ = writeln!(json, "    \"append_nosync_ns_per_op\": {nosync_ns},");
+
+    // Query latency over the synced store, via the session's own
+    // observability histogram (the same instrument an embedding reads).
+    let rec = MemoryRecorder::shared();
+    let opts = SessionOptions {
+        recorder: Some(Arc::clone(&rec) as Arc<dyn multiprefix::Recorder>),
+        ..SessionOptions::default()
+    };
+    let s = DurableSession::<i64, Plus>::open(&dir, SESSION_M, Plus, opts).unwrap();
+    let queries = (n_ops * 4).min(50_000);
+    let mut state = 0xBEEFu64;
+    for _ in 0..queries {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let idx = (state >> 33) % n_ops;
+        *checksum = checksum.wrapping_add(s.prefix_query(idx).unwrap());
+    }
+    drop(s);
+    let snap = rec.histogram("session.query").expect("query histogram");
+    let _ = writeln!(json, "    \"query_count\": {},", snap.count);
+    let _ = writeln!(
+        json,
+        "    \"query_ns\": {{\"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}},",
+        json_num(snap.mean()),
+        json_num(snap.p50()),
+        json_num(snap.p95()),
+        json_num(snap.p99()),
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // Recovery time vs WAL length: a store whose whole history sits in
+    // one un-snapshotted segment, so `open` replays exactly `wal_records`
+    // records (plus the exscan self-check) to rebuild the Fenwick forest.
+    json.push_str("    \"recovery\": [\n");
+    for (ri, &records) in cfg.session_recovery.iter().enumerate() {
+        let dir = bench_dir(&format!("recover-{records}"));
+        fill(&dir, records, true);
+        let started = Instant::now();
+        let s = DurableSession::<i64, Plus>::open(&dir, SESSION_M, Plus, SessionOptions::default())
+            .unwrap();
+        let recover_ns = started.elapsed().as_nanos() as u64;
+        assert_eq!(s.recovery_report().replayed_records, records);
+        *checksum = checksum.wrapping_add(s.label_total(0).unwrap());
+        drop(s);
+        std::fs::remove_dir_all(&dir).unwrap();
+        let _ = write!(
+            json,
+            "      {{\"wal_records\": {records}, \"recover_ns\": {recover_ns}}}"
+        );
+        json.push_str(if ri + 1 < cfg.session_recovery.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--gate") {
@@ -610,6 +720,15 @@ fn main() {
     }
     json.push_str("    ]\n");
     json.push_str("  },\n");
+
+    // Durable-session arm: append throughput (WAL-acknowledged, with and
+    // without the per-record fsync barrier), O(log n) query latency from
+    // the session's own `session.query` histogram, and recovery time as a
+    // function of replayed WAL length. Informational — the regression
+    // gate reads only the engine rows above.
+    eprintln!("session sweep ...");
+    session_bench(&mut json, &cfg, &mut checksum);
+
     let _ = writeln!(json, "  \"checksum\": {checksum}");
     json.push_str("}\n");
 

@@ -1,148 +1,229 @@
-//! Streaming aggregation through the service layer: concurrent producers
-//! feed chunks of a synthetic event log as batch-priority multireduce
-//! requests; the service coalesces the small chunks into fused multiprefix
-//! calls and the per-tenant totals come out equal to a one-shot oracle.
+//! Durable streaming multiprefix: a writer process appends a synthetic
+//! event log to a [`DurableSession`] and is repeatedly killed (`SIGKILL`,
+//! no cleanup) mid-stream; after every kill the parent reopens the store,
+//! lets crash recovery replay the snapshot + WAL chain, and verifies the
+//! recovered state is **prefix-exact**: it equals the batch engine run
+//! over exactly the operations the writer had been acknowledged for —
+//! never fewer than the durably-recorded floor, never a phantom tail.
+//!
+//! The example re-executes its own binary as the writer (`MPX_STREAM_DIR`
+//! set in the environment). The writer periodically publishes an
+//! "acknowledged floor" via an atomic tmp+rename, which is the parent's
+//! independent lower bound on what recovery must reproduce.
 //!
 //! ```sh
 //! cargo run --release --example streaming
 //! ```
 
-use multiprefix::keyed::compress_keys;
+use multiprefix::chunked::multiprefix_chunked;
 use multiprefix::op::Plus;
-use multiprefix::service::{CoalesceConfig, Request, Service, ServiceConfig};
-use multiprefix::{Engine, MpError};
-use std::sync::Arc;
+use multiprefix::session::{DurableSession, SessionOptions};
+use std::path::{Path, PathBuf};
+
+const TENANTS: [&str; 5] = ["acme", "globex", "initech", "hooli", "umbrella"];
+const M: usize = TENANTS.len();
+const TARGET_OPS: u64 = 30_000;
+const FLOOR_EVERY: u64 = 512;
+
+fn mix(mut x: u64) -> u64 {
+    // splitmix64: the op stream must be a pure function of the op index
+    // so writer, resumed writer and verifier all derive the same log.
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Append { label: usize, value: i64 },
+    Update { index: u64, value: i64 },
+}
+
+/// Operation `i` of the deterministic stream. `appends_before` is the
+/// number of appends among operations `0..i` — itself determined by the
+/// stream, so any party replaying from 0 (or resuming from a recovered
+/// prefix) computes the identical log.
+fn nth_op(i: u64, appends_before: u64) -> Op {
+    let r = mix(i);
+    let value = (mix(i ^ 0xDEAD_BEEF) % 3_000) as i64 - 500;
+    if appends_before == 0 || r % 10 < 8 {
+        Op::Append {
+            label: ((r >> 8) as usize) % M,
+            value,
+        }
+    } else {
+        Op::Update {
+            index: (r >> 16) % appends_before,
+            value,
+        }
+    }
+}
+
+/// Replay the generator: the (values, labels) vectors after `ops`
+/// operations — the oracle recovery is held to.
+fn expected_log(ops: u64) -> (Vec<i64>, Vec<usize>) {
+    let mut values = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..ops {
+        match nth_op(i, values.len() as u64) {
+            Op::Append { label, value } => {
+                values.push(value);
+                labels.push(label);
+            }
+            Op::Update { index, value } => values[index as usize] = value,
+        }
+    }
+    (values, labels)
+}
+
+fn floor_path(dir: &Path) -> PathBuf {
+    dir.join("acked-floor")
+}
+
+/// Publish the acknowledged-op floor atomically (tmp + rename), so a
+/// kill can never leave a half-written floor.
+fn write_floor(dir: &Path, ops: u64) {
+    let tmp = dir.join("acked-floor.tmp");
+    std::fs::write(&tmp, ops.to_string()).unwrap();
+    std::fs::rename(&tmp, floor_path(dir)).unwrap();
+}
+
+fn read_floor(dir: &Path) -> u64 {
+    std::fs::read_to_string(floor_path(dir))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// The writer role: open (recovering whatever a previous incarnation
+/// left), resume the deterministic stream at the recovered op count, and
+/// append until the target — or until SIGKILL arrives first.
+fn run_writer(dir: &Path) -> ! {
+    let opts = SessionOptions {
+        snapshot_every: Some(4_096), // rotations land inside the kill window
+        ..SessionOptions::default()
+    };
+    let mut s = DurableSession::open(dir, M, Plus, opts).unwrap();
+    let mut appends = s.len() as u64;
+    let mut i = s.ops();
+    while i < TARGET_OPS {
+        match nth_op(i, appends) {
+            Op::Append { label, value } => {
+                s.append(label, value).unwrap();
+                appends += 1;
+            }
+            Op::Update { index, value } => s.update(index, value).unwrap(),
+        }
+        i += 1;
+        if i % FLOOR_EVERY == 0 {
+            write_floor(dir, i);
+        }
+    }
+    write_floor(dir, i);
+    s.close().unwrap();
+    std::process::exit(0);
+}
+
+/// Reopen the store, run recovery, and hold it to the prefix-exactness
+/// contract: at least `floor` operations survived, and the whole state
+/// is bit-identical to the batch chunked engine over the eventful prefix.
+fn recover_and_verify(dir: &Path, floor: u64) -> u64 {
+    let t = std::time::Instant::now();
+    let s = DurableSession::<i64, Plus>::open(dir, M, Plus, SessionOptions::default()).unwrap();
+    let rep = s.recovery_report();
+    let ops = s.ops();
+    assert!(
+        ops >= floor,
+        "recovery lost acknowledged operations: recovered {ops}, floor {floor}"
+    );
+    let (values, labels) = expected_log(ops);
+    assert_eq!(s.as_batch(), (values.clone(), labels.clone()));
+    let batch = multiprefix_chunked(&values, &labels, M, Plus);
+    for j in 0..values.len() {
+        assert_eq!(s.prefix_query(j as u64).unwrap(), batch.sums[j]);
+    }
+    for l in 0..M {
+        assert_eq!(s.label_total(l).unwrap(), batch.reductions[l]);
+    }
+    println!(
+        "  recovered gen {} in {:?}: {} ops ({} from snapshot + {} replayed{}), floor was {}",
+        rep.gen,
+        t.elapsed(),
+        ops,
+        rep.snapshot_ops,
+        rep.replayed_records,
+        if rep.truncated_tail {
+            ", torn tail truncated"
+        } else {
+            ""
+        },
+        floor
+    );
+    println!("  state is prefix-exact vs the batch chunked engine over {ops} ops");
+    ops
+}
 
 fn main() {
-    // A synthetic "request log": (tenant, bytes) events arriving in time
-    // order, processed in chunks as if read from disk.
-    let tenants = ["acme", "globex", "initech", "acme", "hooli"];
-    let n_events = 200_000usize;
-    let chunk_size = 256usize; // small enough to coalesce
-    let producers = 4usize;
+    if let Ok(dir) = std::env::var("MPX_STREAM_DIR") {
+        run_writer(Path::new(&dir));
+    }
 
-    let mut state = 0xC0FFEEu64;
-    let mut step = || {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        (state >> 33) as usize
-    };
-    let event_tenants: Vec<&str> = (0..n_events)
-        .map(|_| tenants[step() % tenants.len()])
-        .collect();
-    let event_bytes: Vec<i64> = (0..n_events).map(|_| (step() % 1500) as i64).collect();
-
-    // Tenant names → dense labels (first-occurrence order).
-    let (labels, distinct) = compress_keys(&event_tenants);
-    let m = distinct.len();
-    let chunks: Vec<(Vec<i64>, Vec<usize>)> = event_bytes
-        .chunks(chunk_size)
-        .zip(labels.chunks(chunk_size))
-        .map(|(v, l)| (v.to_vec(), l.to_vec()))
-        .collect();
+    let dir = std::env::temp_dir().join(format!("mpx-streaming-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let exe = std::env::current_exe().unwrap();
     println!(
-        "{} events over {} tenants: {} chunks of ≤{}, {} concurrent producers\n",
-        n_events,
-        m,
-        chunks.len(),
-        chunk_size,
-        producers
+        "streaming {} operations over {} tenants through a durable session at {}\n",
+        TARGET_OPS,
+        M,
+        dir.display()
     );
 
-    // A service with micro-batching on: chunk requests are small, so the
-    // engines' fixed costs dominate — fusing them into one multiprefix call
-    // (§4.4 economics) amortizes those costs across the batch.
-    let service = Arc::new(
-        Service::new(
-            Plus,
-            ServiceConfig {
-                workers: Some(3),
-                queue_capacity: Some(64),
-                coalesce: Some(CoalesceConfig::default()),
-                ..ServiceConfig::default()
-            },
-        )
-        .unwrap(),
-    );
-
-    let t = std::time::Instant::now();
-    let handles: Vec<_> = (0..producers)
-        .map(|p| {
-            let service = Arc::clone(&service);
-            let my_chunks: Vec<(Vec<i64>, Vec<usize>)> =
-                chunks.iter().skip(p).step_by(producers).cloned().collect();
-            std::thread::spawn(move || {
-                // Submit the shard's chunks (fail-fast first, falling back
-                // to blocking backpressure when the queue is full), then
-                // drain the tickets into a per-producer total.
-                let mut backpressured = 0usize;
-                let mut tickets = Vec::with_capacity(my_chunks.len());
-                for (vals, labs) in my_chunks {
-                    let request = Request::multireduce(vals, labs, m);
-                    let ticket = match service.try_submit(request.clone()) {
-                        Ok(t) => t,
-                        Err(MpError::Overloaded { .. }) => {
-                            backpressured += 1;
-                            service.submit(request).unwrap()
-                        }
-                        Err(other) => panic!("unexpected submit error: {other}"),
-                    };
-                    tickets.push(ticket);
+    let kills = 3usize;
+    for round in 1..=kills + 1 {
+        let mut child = std::process::Command::new(&exe)
+            .env("MPX_STREAM_DIR", &dir)
+            .spawn()
+            .unwrap();
+        if round <= kills {
+            // Let the writer get ahead of the last incarnation, then kill
+            // it cold — mid-append, possibly mid-snapshot-rotation.
+            let resume_floor = read_floor(&dir);
+            let goal = (resume_floor + 3 * FLOOR_EVERY).min(TARGET_OPS - 1);
+            while read_floor(&dir) < goal {
+                match child.try_wait().unwrap() {
+                    Some(status) => panic!("writer exited early: {status}"),
+                    None => std::thread::sleep(std::time::Duration::from_millis(2)),
                 }
-                let mut totals = vec![0i64; m];
-                for ticket in tickets {
-                    let reply = ticket.wait().unwrap();
-                    for (acc, r) in totals.iter_mut().zip(reply.reductions()) {
-                        *acc += r;
-                    }
-                }
-                (totals, backpressured)
-            })
-        })
-        .collect();
-
-    let mut totals = vec![0i64; m];
-    let mut backpressured = 0usize;
-    for handle in handles {
-        let (part, blocked) = handle.join().unwrap();
-        for (acc, p) in totals.iter_mut().zip(part) {
-            *acc += p;
+            }
+            child.kill().unwrap();
+            child.wait().unwrap();
+            println!("round {round}: writer killed (SIGKILL) past op {goal}");
+        } else {
+            let status = child.wait().unwrap();
+            assert!(status.success(), "final writer run failed: {status}");
+            println!("round {round}: writer ran to completion");
         }
-        backpressured += blocked;
+        let ops = recover_and_verify(&dir, read_floor(&dir));
+        if round > kills {
+            assert_eq!(ops, TARGET_OPS);
+        }
+        println!();
     }
-    let elapsed = t.elapsed();
-    let metrics = service.shutdown();
 
-    println!("processed in {elapsed:?}\n\nfinal per-tenant byte totals:");
-    let mut rows: Vec<(&str, i64)> = distinct
+    // The recovered totals, through the session's O(log n) queries.
+    let s = DurableSession::<i64, Plus>::open(&dir, M, Plus, SessionOptions::default()).unwrap();
+    println!("final per-tenant totals after {} ops:", s.ops());
+    let mut rows: Vec<(&str, i64)> = TENANTS
         .iter()
-        .copied()
-        .zip(totals.iter().copied())
+        .enumerate()
+        .map(|(l, name)| (*name, s.label_total(l).unwrap()))
         .collect();
-    rows.sort_by_key(|&(_, b)| std::cmp::Reverse(b));
-    for (tenant, bytes) in &rows {
-        println!("  {tenant:<10} {bytes:>14}");
+    rows.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
+    for (tenant, total) in rows {
+        println!("  {tenant:<10} {total:>12}");
     }
-
-    println!(
-        "\naccounting:  admitted={} completed={} errored={} (invariant: {}=={}+{})",
-        metrics.admitted,
-        metrics.completed,
-        metrics.errored,
-        metrics.admitted,
-        metrics.completed,
-        metrics.errored
-    );
-    println!(
-        "coalescing:  {} requests served through {} fused calls; {} submits backpressured",
-        metrics.coalesced_requests, metrics.coalesced_batches, backpressured
-    );
-    assert_eq!(metrics.admitted, metrics.completed + metrics.errored);
-    assert_eq!(metrics.completed as usize, chunks.len());
-
-    // Verify against a one-shot run over the whole log.
-    let oracle = multiprefix::multireduce(&event_bytes, &labels, m, Plus, Engine::Blocked).unwrap();
-    assert_eq!(totals, oracle);
-    println!("\nchunked service totals match the one-shot multireduce");
+    println!("\nsurvived {kills} kill -9s with zero acknowledged operations lost");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
