@@ -32,6 +32,39 @@ use std::time::{Duration, Instant};
 /// cost of checkpointing is unmeasurable.
 pub const CHECK_STRIDE: usize = 4096;
 
+/// Test-only instrumentation: counts, per thread, how many times a
+/// [`Deadline`] method read the wall clock. The shed-scan pin test uses it
+/// to prove a full-lane victim scan performs no clock reads at all (it
+/// compares stored absolute instants instead).
+#[cfg(test)]
+pub(crate) mod clock_probe {
+    use std::cell::Cell;
+
+    thread_local! {
+        static CLOCK_READS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(crate) fn count() -> u64 {
+        CLOCK_READS.with(Cell::get)
+    }
+
+    pub(super) fn record() {
+        CLOCK_READS.with(|c| c.set(c.get() + 1));
+    }
+}
+
+#[cfg(test)]
+fn probed_now() -> Instant {
+    clock_probe::record();
+    Instant::now()
+}
+
+#[cfg(not(test))]
+#[inline(always)]
+fn probed_now() -> Instant {
+    Instant::now()
+}
+
 /// A wall-clock deadline for one run (or one dispatch attempt).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Deadline(Instant);
@@ -49,12 +82,12 @@ impl Deadline {
 
     /// Has the deadline passed?
     pub fn expired(&self) -> bool {
-        Instant::now() >= self.0
+        probed_now() >= self.0
     }
 
     /// Time left before expiry (zero once expired).
     pub fn remaining(&self) -> Duration {
-        self.0.saturating_duration_since(Instant::now())
+        self.0.saturating_duration_since(probed_now())
     }
 
     /// The underlying instant.

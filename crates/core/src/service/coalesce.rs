@@ -21,17 +21,47 @@ use crate::problem::MultiprefixOutput;
 use crate::service::queue::{JobKind, Reply, Request};
 use std::ops::Range;
 
+/// The measured §4.4 sweet-spot coefficient: across the engine benchmarks
+/// (`bench_report`'s row-length sweep) throughput peaks when the row
+/// length sits near `0.749·√n` of the problem size — equivalently, a
+/// problem of `(rows/0.749)²` elements is the smallest one that amortizes
+/// the per-call fixed costs at that row length. The adaptive coalescer
+/// inverts this to pick a fused-size target from the head request's size.
+pub(crate) const ROW_SWEET_FACTOR: f64 = 0.749;
+
+/// Cap on fused members per batch in adaptive mode. Higher than the static
+/// default's 16: adaptive fusion only ever consumes already-queued
+/// entries, so a deep backlog (exactly when fusion pays most) may drain in
+/// bigger gulps without adding any latency for a shallow one.
+const ADAPTIVE_MAX_REQUESTS: usize = 64;
+
+/// Floor on the adaptive fused-element target. For very small heads the
+/// `(n/0.749)²` inversion collapses toward the head's own size, but tiny
+/// requests are precisely the ones whose fixed costs need amortizing —
+/// so the target never drops below this (one quarter of the default
+/// `max_fused_elements`).
+const ADAPTIVE_MIN_FUSED: usize = 1024;
+
 /// Tuning for the opt-in micro-batching coalescer
 /// ([`super::ServiceConfig::coalesce`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoalesceConfig {
-    /// Most requests fused into one call.
+    /// Most requests fused into one call (static mode; adaptive mode
+    /// derives its own member budget per dequeue).
     pub max_requests: usize,
-    /// Ceiling on the fused element count (`Σ nᵢ`).
+    /// Ceiling on the fused element count (`Σ nᵢ`) in both modes.
     pub max_fused_elements: usize,
     /// Only requests with at most this many elements coalesce — larger
     /// requests already amortize the engines' fixed costs on their own.
     pub max_request_elements: usize,
+    /// §4.4 adaptive batch sizing (the default). Instead of the static
+    /// `max_requests` limit, each dequeue derives its member/element
+    /// budget from the observed shard depth and the measured `0.749·√n`
+    /// sweet spot — fusing deeply when a backlog has formed, passing
+    /// single requests through untouched when the queue is shallow. Set
+    /// `false` to pin the static limits (benchmark baselines, exact-batch
+    /// tests).
+    pub adaptive: bool,
 }
 
 impl Default for CoalesceConfig {
@@ -43,6 +73,7 @@ impl Default for CoalesceConfig {
             // rates); fusing bigger batches buys little and delays results.
             max_fused_elements: 4096,
             max_request_elements: 512,
+            adaptive: true,
         }
     }
 }
@@ -51,6 +82,29 @@ impl CoalesceConfig {
     /// May `request` participate in a fused batch at all?
     pub(crate) fn admits<T>(&self, request: &Request<T>) -> bool {
         request.values.len() <= self.max_request_elements
+    }
+
+    /// The (member, fused-element) budget for one dequeue whose head
+    /// request has `head_len` elements, taken from a shard currently
+    /// `shard_depth` deep (head included).
+    ///
+    /// Static mode returns the configured limits. Adaptive mode targets
+    /// the fused size at which the head's row length sits at the measured
+    /// `0.749·√n` sweet spot — `(head_len / 0.749)²` — clamped between
+    /// [`ADAPTIVE_MIN_FUSED`] and `max_fused_elements`; the member budget
+    /// is the observed shard depth (adaptive fusion never waits for future
+    /// arrivals, so a depth-1 shard passes its head through unfused),
+    /// capped at [`ADAPTIVE_MAX_REQUESTS`].
+    pub(crate) fn take_budget(&self, head_len: usize, shard_depth: usize) -> (usize, usize) {
+        if !self.adaptive {
+            return (self.max_requests, self.max_fused_elements);
+        }
+        let head = head_len.max(1) as f64;
+        let target = (head / ROW_SWEET_FACTOR).powi(2) as usize;
+        let ceiling = self.max_fused_elements.max(1);
+        let fused = target.clamp(ADAPTIVE_MIN_FUSED.min(ceiling), ceiling);
+        let members = shard_depth.clamp(1, ADAPTIVE_MAX_REQUESTS);
+        (members, fused)
     }
 }
 
@@ -209,5 +263,26 @@ mod tests {
         };
         assert!(cfg.admits(&request(4, 2, 1, 0)));
         assert!(!cfg.admits(&request(5, 2, 1, 0)));
+    }
+
+    #[test]
+    fn adaptive_budget_tracks_depth_and_the_sweet_spot() {
+        let cc = CoalesceConfig::default();
+        // Static mode pins the configured limits regardless of depth.
+        let fixed = CoalesceConfig {
+            adaptive: false,
+            ..cc
+        };
+        assert_eq!(fixed.take_budget(8, 100), (16, 4096));
+        // A depth-1 shard passes its head through unfused; deeper shards
+        // get a member budget equal to the depth, capped at 64.
+        assert_eq!(cc.take_budget(64, 1).0, 1);
+        assert_eq!(cc.take_budget(64, 9).0, 9);
+        assert_eq!(cc.take_budget(64, 1000).0, 64);
+        // Fused-element target: (n/0.749)² clamped into [1024, max_fused].
+        assert_eq!(cc.take_budget(1, 10).1, 1024);
+        assert_eq!(cc.take_budget(512, 10).1, 4096);
+        let (_, mid) = cc.take_budget(48, 10);
+        assert!((1024..=4096).contains(&mid), "mid-range target: {mid}");
     }
 }

@@ -38,6 +38,7 @@
 //! property harness assert the invariant under submit/cancel/chaos storms.
 
 pub(crate) mod coalesce;
+pub(crate) mod ingress;
 pub(crate) mod pool;
 pub(crate) mod queue;
 pub(crate) mod session_api;
@@ -55,10 +56,11 @@ use crate::problem::{validate_slices, Element};
 use crate::resilience::chaos::ChaosState;
 use crate::resilience::ctx::{CancelToken, Deadline};
 use crate::resilience::dispatcher::{Dispatcher, DispatcherConfig};
-use pool::{lock_queue, run_batch, spawn_worker, Shared};
-use queue::{Entry, QueuePhase, QueueState};
+use ingress::{Admit, Ingress, ShedSwap};
+use pool::{run_batch, spawn_worker, Shared};
+use queue::{Entry, QueuePhase};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Configuration for a [`Service`].
@@ -70,6 +72,11 @@ pub struct ServiceConfig {
     /// 64. Submissions beyond it shed lower-priority work or exert
     /// backpressure.
     pub queue_capacity: Option<usize>,
+    /// Ingress shard count. Default `workers.next_power_of_two()`: enough
+    /// shards that submitters rarely contend pairwise, few enough that a
+    /// worker's steal scan stays short. `Some(1)` reproduces the old
+    /// single-mutex front door exactly (the benchmark baseline).
+    pub ingress_shards: Option<usize>,
     /// The dispatcher every worker executes through (fallback chain, retry,
     /// breakers, timeouts).
     pub dispatcher: DispatcherConfig,
@@ -97,6 +104,11 @@ impl ServiceConfig {
     fn queue_capacity(&self) -> usize {
         self.queue_capacity.unwrap_or(64)
     }
+
+    fn ingress_shards(&self) -> usize {
+        self.ingress_shards
+            .unwrap_or_else(|| self.workers().next_power_of_two())
+    }
 }
 
 /// Monotonic service counters. Interior-mutable so workers and submitters
@@ -121,6 +133,7 @@ pub(crate) struct ServiceStats {
     coalesced_requests: AtomicU64,
     worker_panics: AtomicU64,
     respawns: AtomicU64,
+    steals: AtomicU64,
     /// Mirror sink: every counter movement is also forwarded here under
     /// `service.*` names, so an external observer sees the same accounting
     /// a [`ServiceMetrics`] snapshot reports.
@@ -197,6 +210,11 @@ impl ServiceStats {
         self.mirror("service.respawns");
     }
 
+    pub(crate) fn bump_steals(&self) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+        self.mirror("service.steals");
+    }
+
     pub(crate) fn bump_coalesced(&self, members: usize) {
         self.coalesced_batches.fetch_add(1, Ordering::Relaxed);
         self.coalesced_requests
@@ -247,6 +265,7 @@ impl ServiceStats {
             coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             respawns: self.respawns.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
         }
     }
 }
@@ -290,6 +309,9 @@ pub struct ServiceMetrics {
     pub worker_panics: u64,
     /// Replacement workers spawned by supervision.
     pub respawns: u64,
+    /// Batches a worker took from a non-home ingress shard (work stealing;
+    /// see [`ServiceConfig::ingress_shards`]).
+    pub steals: u64,
 }
 
 impl ServiceMetrics {
@@ -300,6 +322,7 @@ impl ServiceMetrics {
 }
 
 /// How long an admission attempt may wait for queue space.
+#[derive(Clone, Copy)]
 enum AdmissionWait {
     FailFast,
     Block,
@@ -348,6 +371,11 @@ impl<T: Element, O: TryCombineOp<T>> Service<T, O> {
                 });
             }
         }
+        if cfg.ingress_shards() == 0 {
+            return Err(MpError::InvalidConfig {
+                what: "service ingress shard count is zero",
+            });
+        }
         let mut dispatcher = Dispatcher::new(cfg.dispatcher.clone())?;
         if let Some(rec) = &cfg.recorder {
             dispatcher = dispatcher.with_recorder(Arc::clone(rec));
@@ -358,9 +386,7 @@ impl<T: Element, O: TryCombineOp<T>> Service<T, O> {
         };
         let workers = cfg.workers();
         let shared = Arc::new(Shared {
-            queue: Mutex::new(QueueState::new()),
-            work: Condvar::new(),
-            space: Condvar::new(),
+            ingress: Ingress::new(cfg.ingress_shards(), cfg.queue_capacity()),
             handles: Mutex::new(Vec::new()),
             dispatcher,
             workspaces: WorkspacePool::new(workers),
@@ -392,85 +418,117 @@ impl<T: Element, O: TryCombineOp<T>> Service<T, O> {
         self.admit(request, AdmissionWait::Until(Deadline::after(wait)))
     }
 
-    fn admit(&self, request: Request<T>, mut wait: AdmissionWait) -> Result<Ticket<T>, MpError> {
+    /// Emit the global and per-shard depth gauges — called after every
+    /// lock involved in the transition has been released, so recorder work
+    /// never executes inside a queue critical section.
+    fn emit_depth_gauges(&self, shard: usize, shard_depth: usize) {
+        if let Some(rec) = self.shared.stats.recorder() {
+            rec.gauge("service.queue.depth", self.shared.ingress.depth() as i64);
+            rec.gauge(
+                self.shared.ingress.shard_gauge_name(shard),
+                shard_depth as i64,
+            );
+        }
+    }
+
+    fn admit(&self, request: Request<T>, wait: AdmissionWait) -> Result<Ticket<T>, MpError> {
         // Malformed requests fail at the submission site, not on a worker.
         validate_slices(&request.values, &request.labels, request.m)?;
-        let capacity = self.shared.cfg.queue_capacity();
+        let stats = &self.shared.stats;
+        let ing = &self.shared.ingress;
+        let capacity = ing.capacity();
         let cancel = CancelToken::new();
         let (ticket, resolver) = queue::ticket::<T>(cancel.clone());
-        let mut q = lock_queue(&self.shared);
+        let shard = ing.route(&request);
+        // The admission timestamp is read here — before any lock is taken
+        // (it used to be an `Instant::now()` inside the queue critical
+        // section). `Some` exactly when a recorder is installed.
+        let mut entry = Entry {
+            request,
+            cancel,
+            resolver,
+            seq: ing.alloc_seq(),
+            admitted_at: stats.recorder().map(|_| Instant::now()),
+        };
         loop {
-            if q.phase != QueuePhase::Accepting {
-                self.shared.stats.bump_rejected();
-                return Err(MpError::Unavailable);
-            }
-            let depth = q.depth();
-            if depth < capacity {
-                let seq = q.next_seq;
-                q.next_seq += 1;
-                self.shared.stats.bump_admitted();
-                q.push(Entry {
-                    request,
-                    cancel,
-                    resolver,
-                    seq,
-                    admitted_at: self.shared.stats.recorder().map(|_| Instant::now()),
-                });
-                if let Some(rec) = self.shared.stats.recorder() {
-                    rec.gauge("service.queue.depth", q.depth() as i64);
+            entry = match ing.try_admit(shard, entry, || stats.bump_admitted()) {
+                Admit::Admitted { shard, shard_depth } => {
+                    self.emit_depth_gauges(shard, shard_depth);
+                    return Ok(ticket);
                 }
-                drop(q);
-                self.shared.work.notify_one();
-                return Ok(ticket);
-            }
-            if let Some(victim) = shed::pick_victim(&q, request.priority) {
-                let evicted = q
-                    .batch
-                    .remove(victim)
-                    .expect("invariant: shed victim index is in range");
-                // Resolving under the queue lock is safe: ticket waiters
-                // never take the queue lock (queue → ticket is the only
-                // lock order in the service).
-                evicted.resolver.resolve(
-                    &self.shared.stats,
-                    Err(MpError::Overloaded {
-                        queue_depth: depth,
-                        capacity,
-                    }),
-                );
-                continue; // the freed slot admits us on the next pass
-            }
+                Admit::Stopped { entry } => {
+                    drop(entry); // never admitted: its resolver never counts
+                    stats.bump_rejected();
+                    return Err(MpError::Unavailable);
+                }
+                Admit::Refused { entry, .. } => {
+                    // Full queue: an interactive arrival may evict the
+                    // globally best batch victim and take its slot.
+                    match ing.try_shed_swap(shard, entry, || stats.bump_admitted()) {
+                        ShedSwap::Swapped {
+                            victim,
+                            shard,
+                            shard_depth,
+                            victim_shard,
+                            victim_shard_depth,
+                        } => {
+                            // The depth is read at resolution time — not a
+                            // value captured before the scan — so every
+                            // victim of a multi-eviction sequence sees the
+                            // queue state that actually held when its
+                            // ticket settled.
+                            victim.resolver.resolve(
+                                stats,
+                                Err(MpError::Overloaded {
+                                    queue_depth: ing.depth(),
+                                    capacity,
+                                }),
+                            );
+                            self.emit_depth_gauges(victim_shard, victim_shard_depth);
+                            self.emit_depth_gauges(shard, shard_depth);
+                            return Ok(ticket);
+                        }
+                        ShedSwap::Stopped { victim, entry } => {
+                            if let Some(victim) = victim {
+                                victim.resolver.resolve(
+                                    stats,
+                                    Err(MpError::Overloaded {
+                                        queue_depth: ing.depth(),
+                                        capacity,
+                                    }),
+                                );
+                            }
+                            drop(entry);
+                            stats.bump_rejected();
+                            return Err(MpError::Unavailable);
+                        }
+                        ShedSwap::NoVictim { entry } => entry,
+                    }
+                }
+            };
+            // No room and nothing sheddable: wait for space or refuse,
+            // reporting the depth observed at refusal time.
             match wait {
                 AdmissionWait::FailFast => {
-                    self.shared.stats.bump_rejected();
+                    drop(entry);
+                    stats.bump_rejected();
                     return Err(MpError::Overloaded {
-                        queue_depth: depth,
+                        queue_depth: ing.depth(),
                         capacity,
                     });
                 }
                 AdmissionWait::Block => {
-                    q = self
-                        .shared
-                        .space
-                        .wait(q)
-                        .unwrap_or_else(PoisonError::into_inner);
+                    ing.wait_for_space(shard, None);
                 }
                 AdmissionWait::Until(deadline) => {
-                    let left = deadline.remaining();
-                    if left.is_zero() {
-                        self.shared.stats.bump_rejected();
+                    if !ing.wait_for_space(shard, Some(deadline)) {
+                        drop(entry);
+                        stats.bump_rejected();
                         return Err(MpError::Overloaded {
-                            queue_depth: depth,
+                            queue_depth: ing.depth(),
                             capacity,
                         });
                     }
-                    q = self
-                        .shared
-                        .space
-                        .wait_timeout(q, left)
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .0;
-                    wait = AdmissionWait::Until(deadline);
                 }
             }
         }
@@ -483,7 +541,12 @@ impl<T: Element, O: TryCombineOp<T>> Service<T, O> {
 
     /// Requests currently queued (admitted, not yet taken by a worker).
     pub fn queue_depth(&self) -> usize {
-        lock_queue(&self.shared).depth()
+        self.shared.ingress.depth()
+    }
+
+    /// Ingress shard count in effect ([`ServiceConfig::ingress_shards`]).
+    pub fn ingress_shards(&self) -> usize {
+        self.shared.ingress.shard_count()
     }
 
     /// Graceful shutdown: refuse new submissions, finish every queued
@@ -501,28 +564,23 @@ impl<T: Element, O: TryCombineOp<T>> Service<T, O> {
     }
 
     fn stop(&self, graceful: bool) -> ServiceMetrics {
-        {
-            let mut q = lock_queue(&self.shared);
-            match (q.phase, graceful) {
-                (QueuePhase::Accepting, true) => q.phase = QueuePhase::Draining,
-                (QueuePhase::Accepting, false) | (QueuePhase::Draining, false) => {
-                    q.phase = QueuePhase::Aborting;
-                }
-                _ => {} // already stopping at least as strongly
+        let ing = &self.shared.ingress;
+        let aborted = {
+            let drained = ing.begin_stop(graceful);
+            let aborted = !drained.is_empty() || ing.phase() == QueuePhase::Aborting;
+            for entry in drained {
+                entry
+                    .resolver
+                    .resolve(&self.shared.stats, Err(MpError::Cancelled));
             }
-            if q.phase == QueuePhase::Aborting {
-                for entry in q.drain_all() {
-                    entry
-                        .resolver
-                        .resolve(&self.shared.stats, Err(MpError::Cancelled));
-                }
-                if let Some(rec) = self.shared.stats.recorder() {
-                    rec.gauge("service.queue.depth", 0);
-                }
+            aborted
+        };
+        if aborted {
+            if let Some(rec) = self.shared.stats.recorder() {
+                rec.gauge("service.queue.depth", ing.depth() as i64);
             }
         }
-        self.shared.work.notify_all();
-        self.shared.space.notify_all();
+        ing.wake_all();
         // Join the whole worker lineage. A replacement pushes its handle
         // before its predecessor's thread exits, so looping until the vec
         // is empty catches every respawn generation.
@@ -543,7 +601,7 @@ impl<T: Element, O: TryCombineOp<T>> Service<T, O> {
         // Defensive sweep: if the last worker died and its respawn failed
         // (spawn refusal under resource exhaustion), queued entries could
         // outlive the pool. Resolve them inline rather than leak tickets.
-        let leftovers = lock_queue(&self.shared).drain_all();
+        let leftovers = ing.drain_all();
         if !leftovers.is_empty() {
             run_batch(&self.shared, None, leftovers);
         }
@@ -959,6 +1017,140 @@ mod tests {
         assert!(exec.count >= 1 && exec.count <= m.admitted);
         // The depth gauge was maintained and ended at zero (queue drained).
         assert_eq!(rec.gauge_value("service.queue.depth"), Some(0));
+    }
+
+    #[test]
+    fn shed_victims_see_resolution_time_depth_across_multi_eviction() {
+        // Regression pin for the stale-depth bug: the old admission loop
+        // captured `depth` once before shedding and stamped that snapshot
+        // into every victim's `Overloaded{queue_depth}`. Two interactive
+        // arrivals against the same full queue each evict one batch entry;
+        // each victim must report the depth that actually held when its
+        // ticket settled (the slot transfers, so that is the full capacity).
+        let chaos = ChaosPlan::seeded(17)
+            .worker_stall_ppm(1_000_000)
+            .stall(0, Duration::from_millis(120))
+            .arm();
+        let cfg = ServiceConfig {
+            workers: Some(1),
+            queue_capacity: Some(2),
+            ingress_shards: Some(1),
+            chaos: Some(chaos),
+            ..ServiceConfig::default()
+        };
+        let service = Service::new(Plus, cfg).unwrap();
+        // First submission is taken by the (stalled) worker; give it time
+        // to leave the queue so the next two fill it exactly.
+        let first = service
+            .submit(Request::multireduce(vec![1i64], vec![0], 1))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let batch: Vec<_> = (0..2)
+            .map(|_| {
+                service
+                    .submit(Request::multireduce(vec![1i64], vec![0], 1))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(service.queue_depth(), 2);
+        let vips: Vec<_> = (0..2)
+            .map(|_| {
+                service
+                    .try_submit(
+                        Request::multireduce(vec![2i64], vec![0], 1)
+                            .priority(Priority::Interactive),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        for victim in batch {
+            match victim.wait() {
+                Err(MpError::Overloaded {
+                    queue_depth,
+                    capacity,
+                }) => {
+                    assert_eq!(capacity, 2);
+                    assert_eq!(
+                        queue_depth, 2,
+                        "victim must see the live depth at resolution time"
+                    );
+                }
+                other => panic!("expected both batch entries shed, got {other:?}"),
+            }
+        }
+        assert!(first.wait().is_ok());
+        for vip in vips {
+            assert!(vip.wait().is_ok());
+        }
+        let m = service.shutdown();
+        assert_eq!(m.shed, 2);
+        assert_eq!(m.admitted, m.completed + m.errored);
+    }
+
+    #[test]
+    fn depth_gauge_is_emitted_on_every_transition_including_shed() {
+        // Regression pin for the missing-gauge bug: the old shed path
+        // resolved its victim without touching `service.queue.depth`, and
+        // pushes emitted the gauge from inside the queue critical section.
+        // Poisoning the gauge with a sentinel right before each transition
+        // proves the transition itself re-emits it.
+        let rec = crate::obs::MemoryRecorder::shared();
+        let chaos = ChaosPlan::seeded(23)
+            .worker_stall_ppm(1_000_000)
+            .stall(0, Duration::from_millis(120))
+            .arm();
+        let cfg = ServiceConfig {
+            workers: Some(1),
+            queue_capacity: Some(2),
+            ingress_shards: Some(1),
+            chaos: Some(chaos),
+            recorder: Some(rec.clone() as Arc<dyn Recorder>),
+            ..ServiceConfig::default()
+        };
+        let service = Service::new(Plus, cfg).unwrap();
+        // Worker takes the first request and stalls mid-batch (it emits its
+        // pop-side gauge before the stall), leaving the queue to the test.
+        let first = service
+            .submit(Request::multireduce(vec![1i64], vec![0], 1))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        // Push transitions: each admission re-emits the live depth.
+        rec.gauge("service.queue.depth", -1);
+        let _b1 = service
+            .submit(Request::multireduce(vec![1i64], vec![0], 1))
+            .unwrap();
+        assert_eq!(rec.gauge_value("service.queue.depth"), Some(1));
+        let _b2 = service
+            .submit(Request::multireduce(vec![1i64], vec![0], 1))
+            .unwrap();
+        assert_eq!(rec.gauge_value("service.queue.depth"), Some(2));
+        // Shed transition: poison both gauges, then let an interactive
+        // arrival evict a batch entry — the swap must re-emit them even
+        // though the global depth is unchanged (slot transfer).
+        rec.gauge("service.queue.depth", -1);
+        rec.gauge("service.queue.shard.0.depth", -1);
+        let vip = service
+            .try_submit(
+                Request::multireduce(vec![2i64], vec![0], 1).priority(Priority::Interactive),
+            )
+            .unwrap();
+        assert_eq!(
+            rec.gauge_value("service.queue.depth"),
+            Some(2),
+            "shed must re-emit the global depth gauge"
+        );
+        assert_eq!(
+            rec.gauge_value("service.queue.shard.0.depth"),
+            Some(2),
+            "shed must re-emit the per-shard depth gauge"
+        );
+        assert!(first.wait().is_ok());
+        assert!(vip.wait().is_ok());
+        // Drain transitions: the workers' pops walk the gauge back to zero.
+        let m = service.shutdown();
+        assert_eq!(rec.gauge_value("service.queue.depth"), Some(0));
+        assert_eq!(m.shed, 1);
+        assert_eq!(m.admitted, m.completed + m.errored);
     }
 
     #[test]

@@ -26,9 +26,10 @@ use crate::op::TryCombineOp;
 use crate::problem::Element;
 use crate::resilience::dispatcher::{DispatchOpts, Dispatcher};
 use crate::service::coalesce::{fuse, split};
-use crate::service::queue::{Entry, JobKind, QueuePhase, QueueState, Reply, Request};
+use crate::service::ingress::Ingress;
+use crate::service::queue::{Entry, JobKind, QueuePhase, Reply, Request};
 use crate::service::{ServiceConfig, ServiceStats};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -39,11 +40,9 @@ pub(crate) const INLINE_WORKER: usize = usize::MAX;
 /// Everything the pool's threads share.
 #[derive(Debug)]
 pub(crate) struct Shared<T: Element, O> {
-    pub(crate) queue: Mutex<QueueState<T>>,
-    /// Workers sleep here for work.
-    pub(crate) work: Condvar,
-    /// Blocking submitters sleep here for a free slot.
-    pub(crate) space: Condvar,
+    /// The sharded submission front door: per-shard locks, global atomics
+    /// for depth/phase, and both condvar pairs (see [`Ingress`]).
+    pub(crate) ingress: Ingress<T>,
     /// Join handles of every worker ever spawned (replacements included).
     pub(crate) handles: Mutex<Vec<JoinHandle<()>>>,
     pub(crate) dispatcher: Dispatcher,
@@ -57,14 +56,6 @@ pub(crate) struct Shared<T: Element, O> {
     /// Durable sessions opened on this service (see
     /// [`super::session_api`]). Batch traffic never touches this lock.
     pub(crate) sessions: Mutex<super::session_api::SessionRegistry<T, O>>,
-}
-
-pub(crate) fn lock_queue<'a, T: Element, O>(
-    shared: &'a Shared<T, O>,
-) -> MutexGuard<'a, QueueState<T>> {
-    // Workers never panic while holding the queue lock (the chaos worker
-    // checkpoint fires after it is released), but stay robust anyway.
-    shared.queue.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Spawn the worker with index `idx` (initial spawn and respawn share this).
@@ -108,7 +99,7 @@ impl<T: Element, O: TryCombineOp<T>> Drop for DeathNotice<T, O> {
             return; // normal exit (drain/abort): the pool is winding down
         }
         self.shared.stats.bump_worker_panics();
-        let respawn = lock_queue(&self.shared).phase != QueuePhase::Aborting;
+        let respawn = self.shared.ingress.phase() != QueuePhase::Aborting;
         if respawn {
             self.shared.stats.bump_respawns();
             spawn_worker(&self.shared, self.idx);
@@ -116,8 +107,7 @@ impl<T: Element, O: TryCombineOp<T>> Drop for DeathNotice<T, O> {
         // Wake sleepers unconditionally: if this was the last worker, a
         // blocked submitter or drainer must re-evaluate rather than wait on
         // a corpse.
-        self.shared.work.notify_all();
-        self.shared.space.notify_all();
+        self.shared.ingress.wake_all();
     }
 }
 
@@ -161,51 +151,22 @@ where
     T: Element,
     O: TryCombineOp<T>,
 {
-    while let Some(batch) = take_batch(shared) {
-        // The dequeue freed queue slots; let blocked submitters at them.
-        shared.space.notify_all();
+    // The ingress handles sleeping, stealing and coalescing; the pool adds
+    // the steal accounting and the depth gauges — both emitted here, after
+    // every shard lock has been released (no recorder work under a lock).
+    while let Some((batch, meta)) = shared.ingress.next_batch(idx, shared.cfg.coalesce.as_ref()) {
+        if meta.stolen {
+            shared.stats.bump_steals();
+        }
+        if let Some(rec) = shared.stats.recorder() {
+            rec.gauge("service.queue.depth", shared.ingress.depth() as i64);
+            rec.gauge(
+                shared.ingress.shard_gauge_name(meta.shard),
+                meta.shard_depth as i64,
+            );
+        }
         run_batch(shared, Some(idx), batch);
     }
-}
-
-/// Block for the next unit of work: one entry, or — when coalescing is on
-/// and the head of the queue is small — a run of small entries fused into
-/// one batch. `None` means the service is stopping and the worker should
-/// exit.
-fn take_batch<T: Element, O>(shared: &Shared<T, O>) -> Option<Vec<Entry<T>>> {
-    let mut q = lock_queue(shared);
-    loop {
-        match q.phase {
-            QueuePhase::Aborting => return None,
-            QueuePhase::Draining if q.depth() == 0 => return None,
-            _ => {}
-        }
-        if q.depth() > 0 {
-            break;
-        }
-        q = shared.work.wait(q).unwrap_or_else(PoisonError::into_inner);
-    }
-    let first = q.pop().expect("invariant: depth > 0 under the queue lock");
-    let mut batch = vec![first];
-    if let Some(cc) = shared.cfg.coalesce {
-        if cc.admits(&batch[0].request) {
-            let mut fused_elems = batch[0].request.len();
-            while batch.len() < cc.max_requests {
-                let Some(next) = q.peek() else { break };
-                if !cc.admits(&next.request)
-                    || fused_elems + next.request.len() > cc.max_fused_elements
-                {
-                    break;
-                }
-                fused_elems += next.request.len();
-                batch.push(q.pop().expect("invariant: peeked entry exists"));
-            }
-        }
-    }
-    if let Some(rec) = shared.stats.recorder() {
-        rec.gauge("service.queue.depth", q.depth() as i64);
-    }
-    Some(batch)
 }
 
 /// Execute one dequeued batch and resolve every ticket in it. `worker` is

@@ -303,7 +303,9 @@ pub(crate) struct Entry<T> {
     pub(crate) admitted_at: Option<Instant>,
 }
 
-/// Lifecycle phase of the queue (and so of the whole service).
+/// Lifecycle phase of the service's ingress (and so of the whole service).
+/// Stored as an atomic in [`super::ingress::Ingress`]; submitters re-check
+/// it inside their shard lock so no push can race a shutdown drain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum QueuePhase {
     /// Normal operation: submissions admitted, workers draining.
@@ -315,24 +317,20 @@ pub(crate) enum QueuePhase {
     Aborting,
 }
 
-/// The queue proper: two FIFO lanes under one mutex (held in
-/// [`super::pool::Shared`]), plus the phase and the admission sequence
-/// counter.
+/// One ingress shard's queue state: two FIFO lanes under that shard's
+/// mutex (held in [`super::ingress::Ingress`]). Phase and the admission
+/// sequence counter are service-global atomics, not per-shard state.
 #[derive(Debug)]
-pub(crate) struct QueueState<T> {
+pub(crate) struct Lanes<T> {
     pub(crate) interactive: VecDeque<Entry<T>>,
     pub(crate) batch: VecDeque<Entry<T>>,
-    pub(crate) phase: QueuePhase,
-    pub(crate) next_seq: u64,
 }
 
-impl<T> QueueState<T> {
+impl<T> Lanes<T> {
     pub(crate) fn new() -> Self {
-        QueueState {
+        Lanes {
             interactive: VecDeque::new(),
             batch: VecDeque::new(),
-            phase: QueuePhase::Accepting,
-            next_seq: 0,
         }
     }
 
@@ -379,11 +377,14 @@ mod tests {
         ServiceStats::default()
     }
 
-    fn entry(q: &mut QueueState<i64>, priority: Priority) -> Ticket<i64> {
+    fn entry(q: &mut Lanes<i64>, seq: &mut u64, priority: Priority) -> Ticket<i64> {
         let cancel = CancelToken::new();
         let (t, resolver) = ticket::<i64>(cancel.clone());
-        let seq = q.next_seq;
-        q.next_seq += 1;
+        let seq = {
+            let s = *seq;
+            *seq += 1;
+            s
+        };
         q.push(Entry {
             request: Request::multiprefix(vec![1], vec![0], 1).priority(priority),
             cancel,
@@ -451,11 +452,12 @@ mod tests {
 
     #[test]
     fn service_order_is_interactive_before_batch_fifo_within_class() {
-        let mut q = QueueState::<i64>::new();
-        let _b0 = entry(&mut q, Priority::Batch);
-        let _i0 = entry(&mut q, Priority::Interactive);
-        let _b1 = entry(&mut q, Priority::Batch);
-        let _i1 = entry(&mut q, Priority::Interactive);
+        let mut q = Lanes::<i64>::new();
+        let mut next_seq = 0u64;
+        let _b0 = entry(&mut q, &mut next_seq, Priority::Batch);
+        let _i0 = entry(&mut q, &mut next_seq, Priority::Interactive);
+        let _b1 = entry(&mut q, &mut next_seq, Priority::Batch);
+        let _i1 = entry(&mut q, &mut next_seq, Priority::Interactive);
         assert_eq!(q.depth(), 4);
         let order: Vec<(Priority, u64)> = std::iter::from_fn(|| q.pop())
             .map(|e| (e.request.priority, e.seq))

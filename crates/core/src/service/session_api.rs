@@ -25,7 +25,6 @@
 //!
 //! [`DispatcherConfig::request_timeout`]: crate::resilience::DispatcherConfig::request_timeout
 
-use super::pool::lock_queue;
 use super::queue::QueuePhase;
 use super::Service;
 use crate::error::MpError;
@@ -96,7 +95,7 @@ where
         m: usize,
         mut opts: SessionOptions,
     ) -> Result<SessionId, MpError> {
-        if lock_queue(&self.shared).phase != QueuePhase::Accepting {
+        if self.shared.ingress.phase() != QueuePhase::Accepting {
             return Err(MpError::Unavailable);
         }
         if opts.chaos.is_none() {

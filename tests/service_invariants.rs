@@ -74,6 +74,7 @@ fn run_case(raw: &[RawSpec], seed: u64, worker_chaos: bool) {
             ServiceConfig {
                 workers: Some(2),
                 queue_capacity: Some(8),
+                ingress_shards: None,
                 coalesce: Some(CoalesceConfig::default()),
                 dispatcher: DispatcherConfig {
                     retry: RetryPolicy {

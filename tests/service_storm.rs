@@ -202,6 +202,7 @@ fn storm_service(chaos: Arc<ChaosState>, coalesce: bool) -> Arc<Service<i64, Plu
             ServiceConfig {
                 workers: Some(4),
                 queue_capacity: Some(32),
+                ingress_shards: None,
                 dispatcher: storm_dispatcher(),
                 coalesce: coalesce.then(CoalesceConfig::default),
                 chaos: Some(chaos),
