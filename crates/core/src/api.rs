@@ -2,8 +2,8 @@
 //! selection.
 
 use crate::blocked::{
-    multiprefix_blocked, multireduce_blocked, try_multiprefix_blocked_ctx,
-    try_multireduce_blocked_ctx,
+    multiprefix_blocked, multireduce_blocked, try_multiprefix_blocked_cfg_ctx,
+    try_multireduce_blocked_cfg_ctx,
 };
 use crate::chunked::{
     multiprefix_chunked, multireduce_chunked, try_multiprefix_chunked_cfg_ctx,
@@ -193,9 +193,7 @@ pub fn try_multiprefix_ctx<T: Element, O: TryCombineOp<T>>(
         Engine::Spinetree => {
             try_multiprefix_spinetree_ctx(values, labels, m, op, config.overflow, ctx)?
         }
-        Engine::Blocked => {
-            try_multiprefix_blocked_ctx(values, labels, m, op, config.overflow, ctx)?
-        }
+        Engine::Blocked => try_multiprefix_blocked_cfg_ctx(values, labels, m, op, config, ctx)?,
         Engine::Chunked => try_multiprefix_chunked_cfg_ctx(values, labels, m, op, config, ctx)?,
         Engine::Auto => unreachable!("resolve() never returns Auto"),
     };
@@ -258,9 +256,7 @@ pub fn try_multireduce_ctx<T: Element, O: TryCombineOp<T>>(
         Engine::Spinetree => {
             try_multireduce_spinetree_ctx(values, labels, m, op, config.overflow, ctx)?
         }
-        Engine::Blocked => {
-            try_multireduce_blocked_ctx(values, labels, m, op, config.overflow, ctx)?
-        }
+        Engine::Blocked => try_multireduce_blocked_cfg_ctx(values, labels, m, op, config, ctx)?,
         Engine::Chunked => try_multireduce_chunked_cfg_ctx(values, labels, m, op, config, ctx)?,
         Engine::Auto => unreachable!("resolve() never returns Auto"),
     };

@@ -26,7 +26,7 @@
 //! not explode to `O(C·n)` memory.
 
 use crate::error::MpError;
-use crate::exec::{try_filled_vec, CheckGuard, OverflowPolicy, TryEngineResult};
+use crate::exec::{try_filled_vec, CheckGuard, ExecConfig, OverflowPolicy, TryEngineResult};
 use crate::obs::Phase;
 use crate::op::{CombineOp, TryCombineOp};
 use crate::problem::{Element, MultiprefixOutput};
@@ -99,12 +99,23 @@ pub fn multiprefix_blocked_with_chunk<T: Element, O: CombineOp<T>>(
     let dense = chunks.saturating_mul(m) <= 8 * n.max(1) + 1024;
     let mut sums = vec![op.identity(); n];
 
+    // Single-label vector fast path: with `m == 1` every row scan is a
+    // plain prefix scan and pass 3 a broadcast, both of which the simd
+    // kernels implement bit-exactly for recognized operators
+    // ([`crate::op::CombineOp::KERNEL`]). Multi-bucket tables stay scalar
+    // (DESIGN §12).
+    let fast = if m == 1 {
+        O::KERNEL.and_then(|k| crate::simd::kernels::<T>(k, false))
+    } else {
+        None
+    };
+
     // Pass 1 — local multiprefix per chunk.
     let mut tables: Vec<Table<T>> = sums
         .par_chunks_mut(chunk_len)
         .zip(values.par_chunks(chunk_len))
         .zip(labels.par_chunks(chunk_len))
-        .map(|((s, v), l)| local_pass(s, v, l, m, op, dense))
+        .map(|((s, v), l)| local_pass(s, v, l, m, op, dense, fast))
         .collect();
 
     // Pass 2 — exclusive scan of the tables, per label, in chunk order.
@@ -152,6 +163,10 @@ pub fn multiprefix_blocked_with_chunk<T: Element, O: CombineOp<T>>(
         .zip(tables.par_iter())
         .for_each(|((s, l), table)| match table {
             Table::Dense { vals, .. } => {
+                if let Some(tbl) = fast {
+                    (tbl.combine_broadcast)(vals[0], s);
+                    return;
+                }
                 for (si, &label) in s.iter_mut().zip(l) {
                     *si = op.combine(vals[label], *si);
                 }
@@ -175,7 +190,23 @@ fn local_pass<T: Element, O: CombineOp<T>>(
     m: usize,
     op: O,
     dense: bool,
+    fast: Option<&'static crate::simd::Kernels<T>>,
 ) -> Table<T> {
+    // Single-label fast path (`fast` is only `Some` when `m == 1`): the
+    // whole row is one exclusive scan; the outgoing carry is the chunk
+    // total.
+    if let Some(tbl) = fast {
+        let mut buckets = vec![op.identity(); m];
+        let mut touched = Vec::new();
+        if !values.is_empty() {
+            buckets[0] = (tbl.excl_scan_into)(values, sums, op.identity());
+            touched.push(0);
+        }
+        return Table::Dense {
+            vals: buckets,
+            touched,
+        };
+    }
     if dense {
         let mut buckets = vec![op.identity(); m];
         let mut seen = vec![false; m];
@@ -217,10 +248,27 @@ pub fn multireduce_blocked<T: Element, O: CombineOp<T>>(
         return vec![op.identity(); m];
     }
     let (chunk_len, dense) = choose_chunk_len(n, m);
+    let fast = if m == 1 {
+        O::KERNEL.and_then(|k| crate::simd::kernels::<T>(k, false))
+    } else {
+        None
+    };
     let tables: Vec<Table<T>> = values
         .par_chunks(chunk_len)
         .zip(labels.par_chunks(chunk_len))
         .map(|(v, l)| {
+            if let Some(tbl) = fast {
+                let mut buckets = vec![op.identity(); m];
+                let mut touched = Vec::new();
+                if !v.is_empty() {
+                    buckets[0] = (tbl.reduce)(op.identity(), v);
+                    touched.push(0);
+                }
+                return Table::Dense {
+                    vals: buckets,
+                    touched,
+                };
+            }
             if dense {
                 let mut buckets = vec![op.identity(); m];
                 let mut seen = vec![false; m];
@@ -305,8 +353,29 @@ pub fn try_multiprefix_blocked_ctx<T: Element, O: TryCombineOp<T>>(
     policy: OverflowPolicy,
     ctx: &RunContext,
 ) -> TryEngineResult<MultiprefixOutput<T>> {
+    try_multiprefix_blocked_cfg_ctx(
+        values,
+        labels,
+        m,
+        op,
+        ExecConfig::default().overflow(policy),
+        ctx,
+    )
+}
+
+/// [`try_multiprefix_blocked_ctx`] under a full [`ExecConfig`], so the
+/// SIMD knobs ([`ExecConfig::force_scalar`], [`ExecConfig::simd_f32`])
+/// reach the engine alongside the overflow policy.
+pub fn try_multiprefix_blocked_cfg_ctx<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    cfg: ExecConfig,
+    ctx: &RunContext,
+) -> TryEngineResult<MultiprefixOutput<T>> {
     let caught = catch_unwind(AssertUnwindSafe(|| {
-        try_multiprefix_blocked_inner(values, labels, m, op, policy, ctx)
+        try_multiprefix_blocked_inner(values, labels, m, op, cfg, ctx)
     }));
     // AssertUnwindSafe is sound here: on panic every partially-built local
     // (sums, tables) is dropped inside the closure and nothing the caller
@@ -319,7 +388,7 @@ fn try_multiprefix_blocked_inner<T: Element, O: TryCombineOp<T>>(
     labels: &[usize],
     m: usize,
     op: O,
-    policy: OverflowPolicy,
+    cfg: ExecConfig,
     ctx: &RunContext,
 ) -> TryEngineResult<MultiprefixOutput<T>> {
     debug_assert_eq!(values.len(), labels.len());
@@ -335,7 +404,13 @@ fn try_multiprefix_blocked_inner<T: Element, O: TryCombineOp<T>>(
     let chunks = n.div_ceil(chunk_len).max(1);
     let dense = chunks.saturating_mul(m) <= 8 * n.max(1) + 1024;
     let tripped = AtomicBool::new(false);
-    let guard = CheckGuard::new(op, policy, &tripped);
+    let guard =
+        CheckGuard::new(op, cfg.overflow, &tripped).with_simd_opts(cfg.force_scalar, cfg.simd_f32);
+    let fast = if m == 1 && guard.simd_ok() {
+        O::KERNEL.and_then(|k| crate::simd::kernels::<T>(k, guard.allow_f32()))
+    } else {
+        None
+    };
     let mut sums = try_filled_vec(op.identity(), n)?;
 
     // Pass 1 — local multiprefix per chunk, fallible table allocation.
@@ -346,7 +421,7 @@ fn try_multiprefix_blocked_inner<T: Element, O: TryCombineOp<T>>(
         .par_chunks_mut(chunk_len)
         .zip(values.par_chunks(chunk_len))
         .zip(labels.par_chunks(chunk_len))
-        .map(|((s, v), l)| try_local_pass(s, v, l, m, guard, dense, ctx))
+        .map(|((s, v), l)| try_local_pass(s, v, l, m, guard, dense, fast, ctx))
         .collect::<Result<_, _>>()?;
     drop(local_span);
 
@@ -407,6 +482,10 @@ fn try_multiprefix_blocked_inner<T: Element, O: TryCombineOp<T>>(
             ctx.checkpoint()?;
             match table {
                 Table::Dense { vals, .. } => {
+                    if let Some(tbl) = fast {
+                        (tbl.combine_broadcast)(vals[0], s);
+                        return Ok(());
+                    }
                     for (si, &label) in s.iter_mut().zip(l) {
                         *si = guard.combine(vals[label], *si);
                     }
@@ -437,8 +516,31 @@ fn try_local_pass<T: Element, O: TryCombineOp<T>>(
     m: usize,
     guard: CheckGuard<'_, O>,
     dense: bool,
+    fast: Option<&'static crate::simd::Kernels<T>>,
     ctx: &RunContext,
 ) -> Result<Table<T>, MpError> {
+    // Single-label fast path, block-strided so the cancellation fuse is
+    // polled at the same indices as the scalar loop.
+    if let Some(tbl) = fast {
+        let mut buckets = try_filled_vec(guard.identity(), m)?;
+        let mut touched = Vec::new();
+        if !values.is_empty() {
+            let mut acc = guard.identity();
+            let mut i = 0usize;
+            while i < values.len() {
+                ctx.checkpoint_every(i)?;
+                let end = (i + crate::resilience::CHECK_STRIDE).min(values.len());
+                acc = (tbl.excl_scan_into)(&values[i..end], &mut sums[i..end], acc);
+                i = end;
+            }
+            buckets[0] = acc;
+            touched.push(0);
+        }
+        return Ok(Table::Dense {
+            vals: buckets,
+            touched,
+        });
+    }
     if dense {
         let mut buckets = try_filled_vec(guard.identity(), m)?;
         let mut seen = try_filled_vec(false, m)?;
@@ -490,8 +592,28 @@ pub fn try_multireduce_blocked_ctx<T: Element, O: TryCombineOp<T>>(
     policy: OverflowPolicy,
     ctx: &RunContext,
 ) -> TryEngineResult<Vec<T>> {
+    try_multireduce_blocked_cfg_ctx(
+        values,
+        labels,
+        m,
+        op,
+        ExecConfig::default().overflow(policy),
+        ctx,
+    )
+}
+
+/// [`try_multireduce_blocked_ctx`] under a full [`ExecConfig`] (the SIMD
+/// knobs reach the engine alongside the overflow policy).
+pub fn try_multireduce_blocked_cfg_ctx<T: Element, O: TryCombineOp<T>>(
+    values: &[T],
+    labels: &[usize],
+    m: usize,
+    op: O,
+    cfg: ExecConfig,
+    ctx: &RunContext,
+) -> TryEngineResult<Vec<T>> {
     let caught = catch_unwind(AssertUnwindSafe(|| {
-        try_multireduce_blocked_inner(values, labels, m, op, policy, ctx)
+        try_multireduce_blocked_inner(values, labels, m, op, cfg, ctx)
     }));
     caught.unwrap_or(Err(MpError::EnginePanicked))
 }
@@ -501,7 +623,7 @@ fn try_multireduce_blocked_inner<T: Element, O: TryCombineOp<T>>(
     labels: &[usize],
     m: usize,
     op: O,
-    policy: OverflowPolicy,
+    cfg: ExecConfig,
     ctx: &RunContext,
 ) -> TryEngineResult<Vec<T>> {
     debug_assert_eq!(values.len(), labels.len());
@@ -512,11 +634,37 @@ fn try_multireduce_blocked_inner<T: Element, O: TryCombineOp<T>>(
     }
     let (chunk_len, dense) = choose_chunk_len(n, m);
     let tripped = AtomicBool::new(false);
-    let guard = CheckGuard::new(op, policy, &tripped);
+    let guard =
+        CheckGuard::new(op, cfg.overflow, &tripped).with_simd_opts(cfg.force_scalar, cfg.simd_f32);
+    let fast = if m == 1 && guard.simd_ok() {
+        O::KERNEL.and_then(|k| crate::simd::kernels::<T>(k, guard.allow_f32()))
+    } else {
+        None
+    };
     let tables: Vec<Table<T>> = values
         .par_chunks(chunk_len)
         .zip(labels.par_chunks(chunk_len))
         .map(|(v, l)| {
+            if let Some(tbl) = fast {
+                let mut buckets = try_filled_vec(guard.identity(), m)?;
+                let mut touched = Vec::new();
+                if !v.is_empty() {
+                    let mut acc = guard.identity();
+                    let mut i = 0usize;
+                    while i < v.len() {
+                        ctx.checkpoint_every(i)?;
+                        let end = (i + crate::resilience::CHECK_STRIDE).min(v.len());
+                        acc = (tbl.reduce)(acc, &v[i..end]);
+                        i = end;
+                    }
+                    buckets[0] = acc;
+                    touched.push(0);
+                }
+                return Ok(Table::Dense {
+                    vals: buckets,
+                    touched,
+                });
+            }
             if dense {
                 let mut buckets = try_filled_vec(op.identity(), m)?;
                 let mut seen = try_filled_vec(false, m)?;

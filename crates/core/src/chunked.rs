@@ -39,10 +39,11 @@
 
 use crate::error::MpError;
 use crate::exec::{try_filled_vec, CheckGuard, ExecConfig, OverflowPolicy, TryEngineResult};
-use crate::obs::Phase;
+use crate::obs::{phase_key, Phase};
 use crate::op::{CombineOp, TryCombineOp};
 use crate::problem::{validate, Element, MultiprefixOutput};
-use crate::resilience::RunContext;
+use crate::resilience::{EngineKind, RunContext, CHECK_STRIDE};
+use crate::simd::{Kernel, Kernels};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -66,6 +67,26 @@ fn chunk_count(n: usize, threads: usize) -> usize {
 pub(crate) trait Comb<T: Element>: Copy + Send + Sync {
     fn identity(&self) -> T;
     fn combine(&self, a: T, b: T) -> T;
+    /// The recognized vector-kernel class for this combine, when engaging
+    /// it is bit-exact for this run ([`crate::op::CombineOp::KERNEL`],
+    /// vetoed by checked/saturating policies and
+    /// [`crate::ExecConfig::force_scalar`]). `None` keeps every phase on
+    /// the scalar loops.
+    fn kernel(&self) -> Option<Kernel> {
+        None
+    }
+    /// Whether the opt-in `f32` kernel is admitted
+    /// ([`crate::ExecConfig::simd_f32`]).
+    fn allow_f32(&self) -> bool {
+        false
+    }
+}
+
+/// Resolve the vector-kernel table for this run, or `None` for scalar.
+#[inline]
+pub(crate) fn comb_kernels<T: Element, C: Comb<T>>(comb: C) -> Option<&'static Kernels<T>> {
+    comb.kernel()
+        .and_then(|k| crate::simd::kernels::<T>(k, comb.allow_f32()))
 }
 
 /// Plain (unchecked) combine for the infallible entry points.
@@ -81,6 +102,10 @@ impl<T: Element, O: CombineOp<T>> Comb<T> for PlainComb<O> {
     fn combine(&self, a: T, b: T) -> T {
         self.0.combine(a, b)
     }
+    #[inline(always)]
+    fn kernel(&self) -> Option<Kernel> {
+        O::KERNEL
+    }
 }
 
 impl<T: Element, O: TryCombineOp<T>> Comb<T> for CheckGuard<'_, O> {
@@ -91,6 +116,18 @@ impl<T: Element, O: TryCombineOp<T>> Comb<T> for CheckGuard<'_, O> {
     #[inline(always)]
     fn combine(&self, a: T, b: T) -> T {
         CheckGuard::combine(self, a, b)
+    }
+    #[inline(always)]
+    fn kernel(&self) -> Option<Kernel> {
+        if self.simd_ok() {
+            O::KERNEL
+        } else {
+            None
+        }
+    }
+    #[inline(always)]
+    fn allow_f32(&self) -> bool {
+        CheckGuard::allow_f32(self)
     }
 }
 
@@ -448,12 +485,14 @@ pub(crate) fn use_direct(chunks: usize, n: usize, m: usize) -> bool {
 
 /// The local phase over one chunk: a serial (Figure 2) multiprefix into the
 /// chunk's compact table. `worker` indexes the chunk for chaos injection.
+#[allow(clippy::too_many_arguments)]
 fn local_pass<T: Element, C: Comb<T>>(
     space: &mut ChunkSpace<T>,
     sums: &mut [T],
     values: &[T],
     labels: &[usize],
     comb: C,
+    fast: Option<&'static Kernels<T>>,
     ctx: &RunContext,
     worker: usize,
 ) -> Result<(), MpError> {
@@ -462,6 +501,25 @@ fn local_pass<T: Element, C: Comb<T>>(
     // through the scope join into the engine's catch_unwind).
     if let Some(chaos) = ctx.chaos() {
         chaos.inject_chunk_worker(worker, ctx.deadline());
+    }
+    // Single-label fast path (`fast` is only `Some` when `m == 1`, so
+    // every label is 0): the whole chunk is one exclusive scan with the
+    // bucket value as carry. Block-strided so the cancellation fuse is
+    // polled at exactly the same indices as the scalar loop below.
+    if let Some(tbl) = fast {
+        if !values.is_empty() {
+            let s = space.slot_or_insert(0, comb.identity());
+            let mut acc = space.vals[s];
+            let mut i = 0usize;
+            while i < values.len() {
+                ctx.checkpoint_every(i)?;
+                let end = (i + CHECK_STRIDE).min(values.len());
+                acc = (tbl.excl_scan_into)(&values[i..end], &mut sums[i..end], acc);
+                i = end;
+            }
+            space.vals[s] = acc;
+        }
+        return Ok(());
     }
     for (i, ((si, &v), &l)) in sums.iter_mut().zip(values).zip(labels).enumerate() {
         ctx.checkpoint_every(i)?;
@@ -478,11 +536,27 @@ fn local_reduce_pass<T: Element, C: Comb<T>>(
     values: &[T],
     labels: &[usize],
     comb: C,
+    fast: Option<&'static Kernels<T>>,
     ctx: &RunContext,
     worker: usize,
 ) -> Result<(), MpError> {
     if let Some(chaos) = ctx.chaos() {
         chaos.inject_chunk_worker(worker, ctx.deadline());
+    }
+    if let Some(tbl) = fast {
+        if !values.is_empty() {
+            let s = space.slot_or_insert(0, comb.identity());
+            let mut acc = space.vals[s];
+            let mut i = 0usize;
+            while i < values.len() {
+                ctx.checkpoint_every(i)?;
+                let end = (i + CHECK_STRIDE).min(values.len());
+                acc = (tbl.reduce)(acc, &values[i..end]);
+                i = end;
+            }
+            space.vals[s] = acc;
+        }
+        return Ok(());
     }
     for (i, (&v, &l)) in values.iter().zip(labels).enumerate() {
         ctx.checkpoint_every(i)?;
@@ -498,8 +572,23 @@ fn apply_pass<T: Element, C: Comb<T>>(
     sums: &mut [T],
     labels: &[usize],
     comb: C,
+    fast: Option<&'static Kernels<T>>,
     ctx: &RunContext,
 ) -> Result<(), MpError> {
+    // Single-label fast path: one offset prepended across the chunk.
+    if let Some(tbl) = fast {
+        if !sums.is_empty() {
+            let acc = space.vals[space.slot(0)];
+            let mut i = 0usize;
+            while i < sums.len() {
+                ctx.checkpoint_every(i)?;
+                let end = (i + CHECK_STRIDE).min(sums.len());
+                (tbl.combine_broadcast)(acc, &mut sums[i..end]);
+                i = end;
+            }
+        }
+        return Ok(());
+    }
     for (i, (si, &l)) in sums.iter_mut().zip(labels).enumerate() {
         ctx.checkpoint_every(i)?;
         *si = comb.combine(space.vals[space.slot(l)], *si);
@@ -566,6 +655,26 @@ pub(crate) fn run_prefix<T: Element, C: Comb<T>>(
     let ChunkedWorkspace { spaces, global } = ws;
     let spaces = &mut spaces[..chunks];
 
+    // Vector-kernel eligibility for this run: a single label class means
+    // the local scan and the apply prepend degenerate to plain prefix
+    // operations the simd kernels implement bit-exactly. Multi-bucket
+    // tables stay scalar (see DESIGN §12).
+    let fast = if m == 1 {
+        comb_kernels::<T, C>(comb)
+    } else {
+        None
+    };
+    if let Some(rec) = ctx.recorder() {
+        rec.event(
+            phase_key(EngineKind::Chunked, Phase::Local),
+            if fast.is_some() {
+                "kernel=simd"
+            } else {
+                "kernel=scalar"
+            },
+        );
+    }
+
     // Phase 1 — local. Tables are prepared serially (fallible allocation
     // surfaces before any thread spawns), then each chunk runs its serial
     // multiprefix on its own thread.
@@ -581,7 +690,7 @@ pub(crate) fn run_prefix<T: Element, C: Comb<T>>(
             .zip(values.chunks(chunk_len).zip(labels.chunks(chunk_len)))
             .collect();
         run_chunks(items, |idx, ((space, s), (v, l))| {
-            local_pass(space, s, v, l, comb, ctx, idx)
+            local_pass(space, s, v, l, comb, fast, ctx, idx)
         })?;
     }
 
@@ -605,7 +714,7 @@ pub(crate) fn run_prefix<T: Element, C: Comb<T>>(
             .zip(labels.chunks(chunk_len))
             .collect();
         run_chunks(items, |_, ((space, s), l)| {
-            apply_pass(space, s, l, comb, ctx)
+            apply_pass(space, s, l, comb, fast, ctx)
         })?;
     }
     Ok(MultiprefixOutput { sums, reductions })
@@ -632,6 +741,11 @@ fn run_reduce<T: Element, C: Comb<T>>(
     let direct = use_direct(chunks, n, m);
     ws.ensure_chunks(chunks);
     let spaces = &mut ws.spaces[..chunks];
+    let fast = if m == 1 {
+        comb_kernels::<T, C>(comb)
+    } else {
+        None
+    };
     {
         let _span = ctx.phase_span(Phase::Local);
         let distinct_cap = chunk_len.min(m);
@@ -643,7 +757,7 @@ fn run_reduce<T: Element, C: Comb<T>>(
             .zip(values.chunks(chunk_len).zip(labels.chunks(chunk_len)))
             .collect();
         run_chunks(items, |idx, (space, (v, l))| {
-            local_reduce_pass(space, v, l, comb, ctx, idx)
+            local_reduce_pass(space, v, l, comb, fast, ctx, idx)
         })?;
     }
     ctx.checkpoint()?;
@@ -809,7 +923,8 @@ pub fn try_multiprefix_chunked_ws_ctx<T: Element, O: TryCombineOp<T>>(
 ) -> TryEngineResult<MultiprefixOutput<T>> {
     let caught = catch_unwind(AssertUnwindSafe(|| {
         let tripped = AtomicBool::new(false);
-        let guard = CheckGuard::new(op, cfg.overflow, &tripped);
+        let guard = CheckGuard::new(op, cfg.overflow, &tripped)
+            .with_simd_opts(cfg.force_scalar, cfg.simd_f32);
         let out = run_prefix(
             values,
             labels,
@@ -890,7 +1005,8 @@ pub fn try_multireduce_chunked_ws_ctx<T: Element, O: TryCombineOp<T>>(
 ) -> TryEngineResult<Vec<T>> {
     let caught = catch_unwind(AssertUnwindSafe(|| {
         let tripped = AtomicBool::new(false);
-        let guard = CheckGuard::new(op, cfg.overflow, &tripped);
+        let guard = CheckGuard::new(op, cfg.overflow, &tripped)
+            .with_simd_opts(cfg.force_scalar, cfg.simd_f32);
         let red = run_reduce(
             values,
             labels,

@@ -29,7 +29,12 @@
 //! | [`Engine::AtomicSpinetree`] | [`atomic`] | a genuinely concurrent spinetree build for `i64`/`Plus`: the overwrite-and-test races are resolved by relaxed atomic stores, a faithful CRCW-ARB realization |
 //!
 //! All engines produce results identical to [`serial::multiprefix_serial`]
-//! (bit-for-bit for integer types).
+//! (bit-for-bit for integer types). Under them sits [`simd`]: runtime-
+//! dispatched AVX2 scan/broadcast/reduce kernels (portable fallback
+//! elsewhere) that the chunked/blocked single-label fast paths, the
+//! [`scan`] partition sweeps, and the session store's bulk Fenwick
+//! rebuild call through — engaged only for operators with an exact
+//! machine counterpart, so results stay bit-identical.
 //!
 //! ## Quick start
 //!
@@ -140,6 +145,7 @@ pub mod serial;
 pub mod service;
 pub mod session;
 pub mod shard;
+pub mod simd;
 pub mod spinetree;
 pub mod split;
 pub mod stream;

@@ -144,9 +144,17 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) in nanoseconds: the
-    /// midpoint of the bucket holding the `ceil(q·count)`-th sample.
-    /// `None` on an empty histogram.
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) in nanoseconds: locate
+    /// the bucket holding the `ceil(q·count)`-th sample, then interpolate
+    /// within it assuming samples spread uniformly — the `r`-th of `c`
+    /// samples in `[lo, hi)` reports `lo + (hi−lo)·(2r−1)/(2c)`. Distinct
+    /// ranks thus give distinct estimates even when they share a bucket
+    /// (a one-sample bucket still reports the midpoint, and the unbounded
+    /// underflow/overflow buckets keep their fixed midpoint estimates).
+    /// Before this interpolation, nearby quantiles collapsed to one
+    /// midpoint whenever few samples landed in a wide bucket — the
+    /// `p95 == p99` artifact in low-sample bench reports. `None` on an
+    /// empty histogram.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
@@ -155,10 +163,10 @@ impl HistogramSnapshot {
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Some(bucket_midpoint(i));
+            if c > 0 && seen + c >= rank {
+                return Some(bucket_value(i, rank - seen, c));
             }
+            seen += c;
         }
         // Unreachable when count <= sum of buckets; be safe anyway.
         Some(self.max)
@@ -195,8 +203,9 @@ impl HistogramSnapshot {
     }
 }
 
-/// Representative value for quantile estimates from bucket `i`.
-fn bucket_midpoint(i: usize) -> u64 {
+/// Quantile estimate for the `r`-th (1-based) of `c` samples in bucket
+/// `i`, interpolated assuming uniform spread within the bucket.
+fn bucket_value(i: usize, r: u64, c: u64) -> u64 {
     if i == UNDERFLOW {
         // The underflow bucket spans [0, 2^MIN_EXP); report its midpoint.
         return 1u64 << (MIN_EXP - 1);
@@ -206,7 +215,11 @@ fn bucket_midpoint(i: usize) -> u64 {
         return 1u64 << (MAX_EXP + 1);
     }
     let (lo, hi) = bucket_bounds(i);
-    lo + (hi - lo) / 2
+    debug_assert!(1 <= r && r <= c);
+    // lo + (hi−lo)·(2r−1)/(2c); u128 keeps the widest bucket (2^37 ns)
+    // times any count exact. For c == 1 this is exactly the midpoint.
+    let span = (hi - lo) as u128;
+    lo + (span * (2 * r as u128 - 1) / (2 * c as u128)) as u64
 }
 
 #[cfg(test)]
@@ -303,6 +316,45 @@ mod tests {
         assert!((p50 / 500_000.0 - 1.0).abs() < 0.15, "p50 = {p50}");
         assert!((p99 / 990_000.0 - 1.0).abs() < 0.15, "p99 = {p99}");
         assert_eq!(s.count, 1_000);
+    }
+
+    #[test]
+    fn nearby_quantiles_stay_distinct_within_one_bucket() {
+        // 20 samples in a single bucket: rank(p95) = 19, rank(p99) = 20.
+        // The old midpoint estimator collapsed both to one value; the
+        // interpolated estimator keeps them ordered and in-bucket.
+        let h = LatencyHistogram::new();
+        for _ in 0..20 {
+            h.record(1_000);
+        }
+        let s = h.snapshot();
+        let (lo, hi) = bucket_bounds(bucket_index(1_000));
+        let p50 = s.p50().unwrap();
+        let p95 = s.p95().unwrap();
+        let p99 = s.p99().unwrap();
+        assert!(p50 < p95 && p95 < p99, "{p50} < {p95} < {p99}");
+        for v in [p50, p95, p99] {
+            assert!((lo..hi).contains(&v), "{lo} <= {v} < {hi}");
+        }
+    }
+
+    #[test]
+    fn interpolation_tracks_rank_position_across_buckets() {
+        // 3 samples low bucket + 1 sample high bucket: p50 interpolates
+        // the 2nd-of-3 inside the low bucket (its exact midpoint), p99
+        // lands in the high bucket.
+        let h = LatencyHistogram::new();
+        h.record(1_000);
+        h.record(1_000);
+        h.record(1_000);
+        h.record(100_000);
+        let s = h.snapshot();
+        let (lo, hi) = bucket_bounds(bucket_index(1_000));
+        let p50 = s.p50().unwrap();
+        assert_eq!(p50, lo + (hi - lo) * 3 / 6, "2nd of 3: (2·2−1)/(2·3)");
+        let (lo_hi, hi_hi) = bucket_bounds(bucket_index(100_000));
+        let p99 = s.p99().unwrap();
+        assert!((lo_hi..hi_hi).contains(&p99));
     }
 
     #[test]

@@ -15,6 +15,26 @@
 
 use crate::problem::Element;
 
+/// The vectorizable kernel classes the [`crate::simd`] module recognizes.
+///
+/// An operator that declares `KERNEL = Some(...)` promises that its
+/// `combine` over the declaring element type is **exactly** the named
+/// machine operation (wrapping add, max, min, bitwise xor), so a SIMD
+/// kernel may evaluate it lane-parallel and reassociate freely with a
+/// bit-identical result. Operators without an exact machine counterpart
+/// keep the default `None` and always run the scalar path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Wrapping addition (`Plus` under [`crate::OverflowPolicy::Wrap`]).
+    Add,
+    /// Maximum selection.
+    Max,
+    /// Minimum selection.
+    Min,
+    /// Bitwise exclusive-or.
+    Xor,
+}
+
 /// A binary associative operator with identity, over element type `T`.
 ///
 /// Laws (checked by property tests in this module and relied on by every
@@ -28,6 +48,11 @@ pub trait CombineOp<T: Element>: Copy + Send + Sync + 'static {
     /// (e.g. the atomic spinetree engine) are only offered for commutative
     /// operators; the order-preserving engines ignore this flag.
     const COMMUTATIVE: bool;
+
+    /// The SIMD kernel class this operator maps onto for this element
+    /// type, if any (see [`Kernel`]). `None` — the default — means the
+    /// engines never attempt a vectorized fast path for it.
+    const KERNEL: Option<Kernel> = None;
 
     /// The identity element (the "0" of the paper, generalized).
     fn identity(&self) -> T;
@@ -93,10 +118,23 @@ pub struct And;
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Or;
 
+/// Bitwise exclusive-or (`XOR`) on integers. Identity: `0`.
+///
+/// `XOR` is its own inverse (`a ^ b ^ b == a`), so it is the one
+/// lossy-looking operator that still implements [`InvertibleOp`]: each
+/// element of Z/2ⁿ is its own negation under the xor group structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Xor;
+
+// `$kerneled` is `true` for the element widths the `simd` module carries
+// AVX2/portable kernels for (32- and 64-bit lanes); every other width
+// keeps `KERNEL = None` and stays on the scalar path.
 macro_rules! impl_int_ops {
-    ($($t:ty),*) => {$(
+    ($(($t:ty, $kerneled:expr)),* $(,)?) => {$(
         impl CombineOp<$t> for Plus {
             const COMMUTATIVE: bool = true;
+            const KERNEL: Option<Kernel> =
+                if $kerneled { Some(Kernel::Add) } else { None };
             #[inline(always)]
             fn identity(&self) -> $t { 0 }
             #[inline(always)]
@@ -111,6 +149,8 @@ macro_rules! impl_int_ops {
         }
         impl CombineOp<$t> for Max {
             const COMMUTATIVE: bool = true;
+            const KERNEL: Option<Kernel> =
+                if $kerneled { Some(Kernel::Max) } else { None };
             #[inline(always)]
             fn identity(&self) -> $t { <$t>::MIN }
             #[inline(always)]
@@ -118,6 +158,8 @@ macro_rules! impl_int_ops {
         }
         impl CombineOp<$t> for Min {
             const COMMUTATIVE: bool = true;
+            const KERNEL: Option<Kernel> =
+                if $kerneled { Some(Kernel::Min) } else { None };
             #[inline(always)]
             fn identity(&self) -> $t { <$t>::MAX }
             #[inline(always)]
@@ -137,10 +179,32 @@ macro_rules! impl_int_ops {
             #[inline(always)]
             fn combine(&self, a: $t, b: $t) -> $t { a | b }
         }
+        impl CombineOp<$t> for Xor {
+            const COMMUTATIVE: bool = true;
+            const KERNEL: Option<Kernel> =
+                if $kerneled { Some(Kernel::Xor) } else { None };
+            #[inline(always)]
+            fn identity(&self) -> $t { 0 }
+            #[inline(always)]
+            fn combine(&self, a: $t, b: $t) -> $t { a ^ b }
+        }
     )*};
 }
 
-impl_int_ops!(i8, i16, i32, i64, i128, u8, u16, u32, u64, u128, usize, isize);
+impl_int_ops!(
+    (i8, false),
+    (i16, false),
+    (i32, true),
+    (i64, true),
+    (i128, false),
+    (u8, false),
+    (u16, false),
+    (u32, true),
+    (u64, true),
+    (u128, false),
+    (usize, false),
+    (isize, false),
+);
 
 /// A commutative [`CombineOp`] with an exact inverse — the structural
 /// requirement for O(log n) *point-assignment* in the incremental session
@@ -169,6 +233,10 @@ macro_rules! impl_int_invertible {
         impl InvertibleOp<$t> for Plus {
             #[inline(always)]
             fn uncombine(&self, a: $t, b: $t) -> $t { a.wrapping_sub(b) }
+        }
+        impl InvertibleOp<$t> for Xor {
+            #[inline(always)]
+            fn uncombine(&self, a: $t, b: $t) -> $t { a ^ b }
         }
     )*};
 }
@@ -215,15 +283,29 @@ macro_rules! impl_int_try_ops {
             #[inline(always)]
             fn saturating_combine(&self, a: $t, b: $t) -> $t { self.combine(a, b) }
         }
+        impl TryCombineOp<$t> for Xor {
+            #[inline(always)]
+            fn checked_combine(&self, a: $t, b: $t) -> Option<$t> { Some(self.combine(a, b)) }
+            #[inline(always)]
+            fn saturating_combine(&self, a: $t, b: $t) -> $t { self.combine(a, b) }
+        }
     )*};
 }
 
 impl_int_try_ops!(i8, i16, i32, i64, i128, u8, u16, u32, u64, u128, usize, isize);
 
+// Only f32 `Plus` declares a kernel, and even that one is additionally
+// gated behind an explicit runtime opt-in (`ExecConfig::simd_f32`):
+// float addition is not associative, so the vectorized evaluation order
+// is *not* bit-identical to the scalar left fold. `Max`/`Min` stay
+// scalar outright — `_mm256_max_ps` NaN/-0.0 semantics differ from
+// Rust's `f32::max`.
 macro_rules! impl_float_ops {
-    ($($t:ty),*) => {$(
+    ($(($t:ty, $kerneled:expr)),* $(,)?) => {$(
         impl CombineOp<$t> for Plus {
             const COMMUTATIVE: bool = true;
+            const KERNEL: Option<Kernel> =
+                if $kerneled { Some(Kernel::Add) } else { None };
             #[inline(always)]
             fn identity(&self) -> $t { 0.0 }
             #[inline(always)]
@@ -253,7 +335,7 @@ macro_rules! impl_float_ops {
     )*};
 }
 
-impl_float_ops!(f32, f64);
+impl_float_ops!((f32, true), (f64, false));
 
 // IEEE float arithmetic never traps: overflow saturates to ±∞ by the
 // standard itself, so checked and saturating collapse to plain combine.
@@ -548,6 +630,18 @@ mod tests {
         fn or_bool_laws(a: bool, b: bool, c: bool) { check_laws(Or, a, b, c); }
 
         #[test]
+        fn xor_u64_laws(a: u64, b: u64, c: u64) { check_laws(Xor, a, b, c); }
+
+        #[test]
+        fn xor_i32_laws(a: i32, b: i32, c: i32) { check_laws(Xor, a, b, c); }
+
+        #[test]
+        fn xor_uncombine_is_exact_inverse(a: u64, b: u64) {
+            prop_assert_eq!(Xor.combine(Xor.uncombine(a, b), b), a);
+            prop_assert_eq!(Xor.uncombine(Xor.combine(a, b), b), a);
+        }
+
+        #[test]
         fn argmax_laws(
             a in (any::<i64>(), 0i64..1000),
             b in (any::<i64>(), 0i64..1000),
@@ -590,6 +684,26 @@ mod tests {
         fn min_f64_laws(a in -1e12f64..1e12, b in -1e12f64..1e12, c in -1e12f64..1e12) {
             check_laws(Min, a, b, c);
         }
+    }
+
+    #[test]
+    fn kernel_recognition_matrix() {
+        // Only the 32/64-bit lanes of Add/Max/Min/Xor (and f32 Add, which
+        // is further gated at runtime) are vectorizable; everything else
+        // must stay None so it can never leave the scalar path.
+        assert_eq!(<Plus as CombineOp<u64>>::KERNEL, Some(Kernel::Add));
+        assert_eq!(<Plus as CombineOp<i32>>::KERNEL, Some(Kernel::Add));
+        assert_eq!(<Plus as CombineOp<u8>>::KERNEL, None);
+        assert_eq!(<Plus as CombineOp<u128>>::KERNEL, None);
+        assert_eq!(<Plus as CombineOp<usize>>::KERNEL, None);
+        assert_eq!(<Max as CombineOp<i64>>::KERNEL, Some(Kernel::Max));
+        assert_eq!(<Min as CombineOp<u32>>::KERNEL, Some(Kernel::Min));
+        assert_eq!(<Xor as CombineOp<i64>>::KERNEL, Some(Kernel::Xor));
+        assert_eq!(<Mult as CombineOp<u64>>::KERNEL, None);
+        assert_eq!(<And as CombineOp<u64>>::KERNEL, None);
+        assert_eq!(<Plus as CombineOp<f32>>::KERNEL, Some(Kernel::Add));
+        assert_eq!(<Plus as CombineOp<f64>>::KERNEL, None);
+        assert_eq!(<Max as CombineOp<f32>>::KERNEL, None);
     }
 
     #[test]

@@ -53,13 +53,19 @@ pub fn exclusive_scan_partition<T: Element, O: CombineOp<T>>(values: &[T], op: O
     let partitions = rayon::current_num_threads().max(1) * 4;
     let part_len = n.div_ceil(partitions).max(1);
 
+    // Both sweeps are plain prefix operations, so recognized operators
+    // ([`crate::op::CombineOp::KERNEL`]) run the vectorized kernels —
+    // bit-identical to the serial fold for the exact integer kernels.
+    let fast = O::KERNEL.and_then(|k| crate::simd::kernels::<T>(k, false));
+
     // Sweep 1: per-partition totals.
     let totals: Vec<T> = values
         .par_chunks(part_len)
-        .map(|chunk| {
-            chunk
+        .map(|chunk| match fast {
+            Some(tbl) => (tbl.reduce)(op.identity(), chunk),
+            None => chunk
                 .iter()
-                .fold(op.identity(), |acc, &v| op.combine(acc, v))
+                .fold(op.identity(), |acc, &v| op.combine(acc, v)),
         })
         .collect();
 
@@ -72,6 +78,10 @@ pub fn exclusive_scan_partition<T: Element, O: CombineOp<T>>(values: &[T], op: O
         .zip(values.par_chunks(part_len))
         .zip(offsets.par_iter())
         .for_each(|((o, v), &offset)| {
+            if let Some(tbl) = fast {
+                (tbl.excl_scan_into)(v, o, offset);
+                return;
+            }
             let mut acc = offset;
             for (oi, &vi) in o.iter_mut().zip(v) {
                 *oi = acc;

@@ -57,6 +57,46 @@ impl<T: Element, O: InvertibleOp<T>> SessionCore<T, O> {
         }
     }
 
+    /// Rebuild a session from a full `(label, value)` log in one pass —
+    /// the snapshot-restore path. Per-label occurrence sequences are
+    /// gathered, then each tree is bulk-built by
+    /// [`Fenwick::from_values`] (a single vectorizable scan per label)
+    /// instead of `O(log n)` combines per element; the resulting trees
+    /// are bit-identical to replaying [`SessionCore::append`].
+    pub fn from_batch<I>(m: usize, op: O, items: I) -> Result<Self, MpError>
+    where
+        I: IntoIterator<Item = (usize, T)>,
+    {
+        let mut elems: Vec<SessionElem<T>> = Vec::new();
+        let mut per_label: HashMap<usize, Vec<T>> = HashMap::new();
+        for (label, value) in items {
+            if label >= m {
+                return Err(MpError::LabelOutOfRange {
+                    index: elems.len(),
+                    label,
+                    m,
+                });
+            }
+            let vals = per_label.entry(label).or_default();
+            elems.push(SessionElem {
+                label,
+                value,
+                occ: vals.len(),
+            });
+            vals.push(value);
+        }
+        let mut trees = HashMap::with_capacity(per_label.len());
+        for (label, vals) in per_label {
+            trees.insert(label, Fenwick::from_values(op, &vals)?);
+        }
+        Ok(SessionCore {
+            op,
+            m,
+            elems,
+            trees,
+        })
+    }
+
     /// The declared bucket count.
     pub fn buckets(&self) -> usize {
         self.m

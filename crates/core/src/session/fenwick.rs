@@ -107,6 +107,50 @@ impl<T: Element, O: CombineOp<T>> Fenwick<T, O> {
 }
 
 impl<T: Element, O: InvertibleOp<T>> Fenwick<T, O> {
+    /// Bulk-build the tree for a label's full occurrence sequence in one
+    /// pass — the session-store restore path, where rebuilding a large
+    /// label push-by-push costs `O(n log n)` combines against `O(n)` here.
+    ///
+    /// The construction is an inclusive prefix scan of the values
+    /// (vectorized when the operator is a recognized kernel, see
+    /// [`crate::simd`]) followed by `node_i = incl[i−1] ⊖
+    /// incl[i−lowbit(i)−1]`: node `i` covers `(i − lowbit(i), i]`, and an
+    /// [`InvertibleOp`] is a commutative group, so the prefix difference
+    /// equals — exactly, bit for bit — the fold [`Fenwick::push`] would
+    /// have computed for that range.
+    pub fn from_values(op: O, values: &[T]) -> Result<Self, MpError> {
+        let n = values.len();
+        let bytes = n.saturating_mul(std::mem::size_of::<T>());
+        let mut incl = Vec::new();
+        incl.try_reserve_exact(n)
+            .map_err(|_| MpError::AllocationFailed { bytes })?;
+        incl.extend_from_slice(values);
+        match O::KERNEL.and_then(|k| crate::simd::kernels::<T>(k, false)) {
+            Some(tbl) => {
+                (tbl.incl_scan_inplace)(&mut incl, op.identity());
+            }
+            None => {
+                let mut acc = op.identity();
+                for x in incl.iter_mut() {
+                    acc = op.combine(acc, *x);
+                    *x = acc;
+                }
+            }
+        }
+        let mut tree = Vec::new();
+        tree.try_reserve_exact(n)
+            .map_err(|_| MpError::AllocationFailed { bytes })?;
+        for i in 1..=n {
+            let stop = i - lowbit(i);
+            tree.push(if stop == 0 {
+                incl[i - 1]
+            } else {
+                op.uncombine(incl[i - 1], incl[stop - 1])
+            });
+        }
+        Ok(Fenwick { tree, op })
+    }
+
     /// Replace occurrence `index` (0-based) with `value`, given the value
     /// it currently holds, in O(log n). The delta `uncombine(value, old)`
     /// is folded into each covering node — exact because an
@@ -179,5 +223,34 @@ mod tests {
         assert!(fw.is_empty());
         assert_eq!(fw.prefix(0), 0);
         assert_eq!(fw.total(), 0);
+    }
+
+    #[test]
+    fn bulk_build_is_bit_identical_to_push() {
+        use crate::op::Xor;
+        // Lengths straddling powers of two, values straddling the wrap
+        // boundary: every internal node must match the push-built tree
+        // exactly (not just every queryable prefix).
+        for n in [0usize, 1, 2, 3, 7, 8, 9, 63, 64, 65, 1000, 4097] {
+            let values: Vec<i64> = (0..n)
+                .map(|i| (i as i64).wrapping_mul(0x9E3779B97F4A7C15u64 as i64))
+                .collect();
+            let mut pushed = Fenwick::new(Plus);
+            for &v in &values {
+                pushed.push(v).unwrap();
+            }
+            let bulk = Fenwick::from_values(Plus, &values).unwrap();
+            assert_eq!(bulk.tree, pushed.tree, "plus n={n}");
+
+            let values: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0xDEAD_BEEF_CAFE))
+                .collect();
+            let mut pushed = Fenwick::new(Xor);
+            for &v in &values {
+                pushed.push(v).unwrap();
+            }
+            let bulk = Fenwick::from_values(Xor, &values).unwrap();
+            assert_eq!(bulk.tree, pushed.tree, "xor n={n}");
+        }
     }
 }

@@ -212,10 +212,9 @@ where
             None => (Vec::new(), 0, 0),
         };
 
-        let mut core = SessionCore::new(m, op);
-        for (label, value) in restored {
-            core.append(label, value)?;
-        }
+        // Bulk rebuild: one vectorizable scan per label instead of
+        // `O(log n)` combines per restored element (bit-identical trees).
+        let mut core = SessionCore::from_batch(m, op, restored)?;
 
         // 2. Replay the WAL chain from the snapshot generation forward.
         let mut gen = base_gen;

@@ -16,9 +16,19 @@
 //! cargo run --release --example bench_report -- --out my_report.json
 //! cargo run --release --example bench_report -- --gate BENCH_multiprefix.json
 //! cargo run --release --example bench_report -- --transport uds
+//! cargo run --release --example bench_report -- --kernel simd  # pin AVX2, refuse fallback
 //! cargo run --release --example bench_report -- --service           # service saturation sweep
 //! cargo run --release --example bench_report -- --service --gate BENCH_service.json
 //! ```
+//!
+//! `--kernel={auto,simd,scalar}` pins the process-wide vectorized-kernel
+//! level before anything runs: `simd` refuses to start (exit 2) unless
+//! the host actually has AVX2 — no silent portable fallback — `scalar`
+//! pins every engine to its scalar inner loops, and `auto` (the default)
+//! keeps runtime detection. The gate's `simd_vs_scalar` check only fires
+//! when the resolved level is AVX2, so the `--kernel scalar` CI leg
+//! exercises the scalar engines against the same engine baselines without
+//! tripping the SIMD pin.
 //!
 //! `--service` switches to the **service saturation bench**: sustained
 //! req/s and queue-wait p99 versus offered load (1/8/32/64 pipelined
@@ -48,6 +58,7 @@ use multiprefix::chunked::multiprefix_chunked_with_parts;
 use multiprefix::obs::{phase_key, MemoryRecorder, Phase};
 use multiprefix::op::Plus;
 use multiprefix::resilience::RunContext;
+use multiprefix::simd::{active_level, avx2_available, pin_level, SimdLevel};
 use multiprefix::spinetree::build::ArbPolicy;
 use multiprefix::spinetree::engine::multiprefix_spinetree_instrumented;
 use multiprefix::spinetree::layout::{choose_row_len_skewed, Layout};
@@ -81,9 +92,13 @@ struct SweepConfig {
     mode: &'static str,
 }
 
+// 19 timed iterations plus one warm-up put 20 samples in every phase
+// histogram, so rank(p95) = 19 and rank(p99) = 20 are distinct — together
+// with the histogram's in-bucket interpolation, the committed p95/p99
+// stay distinguishable instead of collapsing to one bucket midpoint.
 const FULL: SweepConfig = SweepConfig {
     sizes: &[10_000, 100_000, 1_000_000],
-    iters: 5,
+    iters: 19,
     row_sweep_n: 250_000,
     row_sweep_iters: 3,
     session_ops: 20_000,
@@ -334,6 +349,77 @@ fn measure_paired_ratio(kind: EngineKind, n: usize, checksum: &mut i64) -> f64 {
     ratios[ratios.len() / 2]
 }
 
+/// The SIMD-vs-scalar paired ratio on the workload the vectorized kernels
+/// actually accelerate: a single-label (`m == 1`) wrapping-add multiprefix
+/// over `u64`, run by the chunked engine — its dense local scan and apply
+/// prepend become [`multiprefix::simd`] kernel calls, while the scalar leg
+/// pins the per-run [`ExecConfig::force_scalar`] escape hatch. Both legs
+/// run back-to-back inside every trial so sustained host load cancels out
+/// of the quotient; the median ratio over [`gate_trials`] trials is
+/// returned together with each leg's minimum wall time.
+fn measure_simd_point(n: usize, checksum: &mut i64) -> (f64, u64, u64) {
+    let values: Vec<u64> = (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let labels = vec![0usize; n];
+    let ctx = RunContext::new();
+    let simd_cfg = ExecConfig::default().threads(BENCH_THREADS);
+    let scalar_cfg = simd_cfg.force_scalar(true);
+    let time_leg = |cfg: ExecConfig, checksum: &mut i64| -> u64 {
+        let started = Instant::now();
+        let out = multiprefix::chunked::try_multiprefix_chunked_cfg_ctx(
+            &values, &labels, 1, Plus, cfg, &ctx,
+        )
+        .expect("simd bench workload must not fail")
+        .expect("Wrap policy never trips");
+        *checksum = checksum.wrapping_add(out.reductions[0] as i64);
+        started.elapsed().as_nanos().max(1) as u64
+    };
+    // Warm both legs (first-touch faults, rayon pool spin-up).
+    time_leg(scalar_cfg, checksum);
+    time_leg(simd_cfg, checksum);
+    let trials = gate_trials(n);
+    let mut ratios = Vec::with_capacity(trials);
+    let (mut simd_min, mut scalar_min) = (u64::MAX, u64::MAX);
+    for _ in 0..trials {
+        let scalar_ns = time_leg(scalar_cfg, checksum);
+        let simd_ns = time_leg(simd_cfg, checksum);
+        scalar_min = scalar_min.min(scalar_ns);
+        simd_min = simd_min.min(simd_ns);
+        ratios.push(scalar_ns as f64 / simd_ns as f64);
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    (ratios[ratios.len() / 2], simd_min, scalar_min)
+}
+
+/// Line-scan a committed report for its `simd_vs_scalar` points (the
+/// one-line rows under the `"simd"` section; see `main`'s writer).
+fn parse_simd_points(text: &str) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let t = line.trim();
+        let Some(rest) = t.strip_prefix("{\"size\": ") else {
+            continue;
+        };
+        let Some((size, tail)) = rest.split_once(',') else {
+            continue;
+        };
+        let Some(ratio) = tail.split("\"simd_vs_scalar\": ").nth(1) else {
+            continue;
+        };
+        let size = size.trim().parse::<usize>().ok();
+        let ratio = ratio
+            .trim_end_matches(['}', ','])
+            .trim()
+            .parse::<f64>()
+            .ok();
+        if let (Some(size), Some(ratio)) = (size, ratio) {
+            out.push((size, ratio));
+        }
+    }
+    out
+}
+
 /// The `--gate` mode: compare fresh serial-normalized ratios against the
 /// committed baseline and exit non-zero on a >25% regression.
 fn run_gate(baseline_path: &str) -> ! {
@@ -394,6 +480,32 @@ fn run_gate(baseline_path: &str) -> ! {
             let regressed = cur_ratio > base_ratio * (1.0 + GATE_TOLERANCE);
             eprintln!(
                 "gate: n={n:>8} {name:<9} ratio {cur_ratio:>7.3} vs baseline {base_ratio:>7.3} {}",
+                if regressed { "REGRESSED" } else { "ok" }
+            );
+            if regressed {
+                failures += 1;
+            }
+        }
+    }
+    // The SIMD regression pin: the committed simd_vs_scalar points must
+    // reproduce within the same tolerance. Only meaningful when this
+    // process actually resolved the AVX2 kernels — the `--kernel scalar`
+    // CI leg and non-AVX2 hosts skip it (the engine rows above still ran).
+    let simd_base = parse_simd_points(&text);
+    if simd_base.is_empty() {
+        eprintln!("gate: baseline has no simd_vs_scalar points (pre-simd baseline)");
+    } else if active_level() != SimdLevel::Avx2 {
+        eprintln!(
+            "gate: simd ratio check skipped (kernel level = {})",
+            active_level().name()
+        );
+    } else {
+        for &(n, base) in &simd_base {
+            let (cur, simd_ns, scalar_ns) = measure_simd_point(n, &mut checksum);
+            let regressed = cur < base * (1.0 - GATE_TOLERANCE);
+            eprintln!(
+                "gate: n={n:>8} simd_vs_scalar {cur:>7.3} vs baseline {base:>7.3} \
+                 (simd {simd_ns}ns, scalar {scalar_ns}ns) {}",
                 if regressed { "REGRESSED" } else { "ok" }
             );
             if regressed {
@@ -976,6 +1088,32 @@ mod service_bench {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    // `--kernel={auto,simd,scalar}`: pin the process-wide kernel level
+    // before the first engine run resolves it. Parsed up front so every
+    // mode — sweep, gate, service — runs under the requested level.
+    let kernel_arg = args
+        .iter()
+        .position(|a| a == "--kernel")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--kernel=").map(str::to_string))
+        })
+        .unwrap_or_else(|| "auto".to_string());
+    match kernel_arg.as_str() {
+        "auto" => {}
+        "simd" => {
+            if !avx2_available() {
+                eprintln!("--kernel simd: this host lacks AVX2; refusing silent fallback");
+                std::process::exit(2);
+            }
+            pin_level(SimdLevel::Avx2);
+        }
+        "scalar" => {
+            pin_level(SimdLevel::Scalar);
+        }
+        other => panic!("unknown --kernel {other:?} (auto|simd|scalar)"),
+    }
     if args.iter().any(|a| a == "--service") {
         if let Some(i) = args.iter().position(|a| a == "--gate") {
             let baseline = args
@@ -1206,6 +1344,45 @@ fn main() {
         } else {
             "\n"
         });
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
+
+    // SIMD-vs-scalar ablation: the single-label (`m == 1`) chunked
+    // workload whose dense local scan and apply prepend the vectorized
+    // kernels take over; the scalar leg pins `ExecConfig::force_scalar`
+    // per run, so both legs share one process, one allocator state, one
+    // host — the ratio is what the regression gate re-measures.
+    eprintln!("simd-vs-scalar sweep ...");
+    let host_cpus = std::thread::available_parallelism().map_or(0, usize::from);
+    json.push_str("  \"simd\": {\n");
+    let _ = writeln!(json, "    \"level\": \"{}\",", active_level().name());
+    let _ = writeln!(json, "    \"kernel_arg\": \"{kernel_arg}\",");
+    let _ = writeln!(json, "    \"host_cpus\": {host_cpus},");
+    let _ = writeln!(
+        json,
+        "    \"workload\": \"chunked engine, m=1, u64 wrapping add, threads={BENCH_THREADS}\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"note\": \"median of paired per-trial scalar/simd quotients, so absolute host \
+         speed cancels; on a host_cpus=1 runner the {BENCH_THREADS} workers time-slice one \
+         core, which leaves the ratio meaningful but makes absolute ns pessimistic\","
+    );
+    json.push_str("    \"points\": [\n");
+    for (si, &n) in cfg.sizes.iter().enumerate() {
+        let (ratio, simd_ns, scalar_ns) = measure_simd_point(n, &mut checksum);
+        let _ = write!(
+            json,
+            "      {{\"size\": {n}, \"scalar_ns_min\": {scalar_ns}, \
+             \"simd_ns_min\": {simd_ns}, \"simd_vs_scalar\": {ratio:.3}}}"
+        );
+        json.push_str(if si + 1 < cfg.sizes.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+        eprintln!("  n={n}: simd_vs_scalar = {ratio:.3}");
     }
     json.push_str("    ]\n");
     json.push_str("  },\n");
